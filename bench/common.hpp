@@ -1,0 +1,170 @@
+// Shared machinery for the figure/table reproduction binaries.
+//
+// Every binary in bench/ regenerates one table or figure from the paper's
+// evaluation (§4): it prints the same series the paper plots — measured
+// (our machine emulation), MPI-SIM-DE and MPI-SIM-AM — plus the derived
+// error/ratio columns, through a uniform TablePrinter layout that
+// EXPERIMENTS.md records against the paper's reported shapes.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "harness/runner.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace stgsim::benchx {
+
+/// Builds a target program for a given process count (apps whose shape
+/// depends on the grid rebuild per point).
+using ProgramFactory = std::function<ir::Program(int nprocs)>;
+
+struct PointOptions {
+  bool run_measured = true;
+  bool run_de = true;
+  bool run_am = true;
+  std::size_t memory_cap_bytes = 0;
+  bool record_host_trace = false;
+  std::size_t fiber_stack_bytes = 256 * 1024;
+};
+
+struct ValidationPoint {
+  int procs = 0;
+  std::optional<harness::RunOutcome> measured;
+  std::optional<harness::RunOutcome> de;
+  std::optional<harness::RunOutcome> am;
+
+  double am_error_vs_measured() const {
+    return relative_error(am->predicted_seconds(),
+                          measured->predicted_seconds());
+  }
+  double de_error_vs_measured() const {
+    return relative_error(de->predicted_seconds(),
+                          measured->predicted_seconds());
+  }
+};
+
+/// Calibrates w_i at `calib_procs` (Figure 2) and returns the table.
+inline std::map<std::string, double> calibrate_at(
+    const ProgramFactory& make, int calib_procs,
+    const harness::MachineSpec& machine) {
+  ir::Program prog = make(calib_procs);
+  core::CompileResult compiled = core::compile(prog);
+  return harness::calibrate(compiled.timer_program, calib_procs, machine,
+                            compiled.simplified.params);
+}
+
+/// Runs the measured / DE / AM triple at one process count.
+inline ValidationPoint validate_point(
+    const ProgramFactory& make, int procs,
+    const harness::MachineSpec& machine,
+    const std::map<std::string, double>& params,
+    const PointOptions& opts = {}) {
+  ValidationPoint point;
+  point.procs = procs;
+  ir::Program prog = make(procs);
+
+  harness::RunConfig cfg;
+  cfg.nprocs = procs;
+  cfg.machine = machine;
+  cfg.memory_cap_bytes = opts.memory_cap_bytes;
+  cfg.record_host_trace = opts.record_host_trace;
+  cfg.fiber_stack_bytes = opts.fiber_stack_bytes;
+
+  if (opts.run_measured) {
+    cfg.mode = harness::Mode::kMeasured;
+    point.measured = harness::run_program(prog, cfg);
+  }
+  if (opts.run_de) {
+    cfg.mode = harness::Mode::kDirectExec;
+    point.de = harness::run_program(prog, cfg);
+  }
+  if (opts.run_am) {
+    core::CompileResult compiled = core::compile(prog);
+    cfg.mode = harness::Mode::kAnalytical;
+    cfg.params = params;
+    point.am = harness::run_program(compiled.simplified.program, cfg);
+  }
+  return point;
+}
+
+/// Host-era normalization factor for absolute simulator-performance
+/// figures (12/13): the paper ran MPI-Sim on the same IBM SP it was
+/// predicting, so host and target speeds matched; this container is ~two
+/// orders of magnitude faster than a 1999 SP node. Multiplying replayed
+/// simulator wall-clocks by
+///     (total virtual computation DE executed) / (host seconds DE took)
+/// re-expresses them as if the simulator ran on target-era nodes. This is
+/// a single measured ratio per run — not a fit to the paper's numbers.
+inline double era_factor(const ValidationPoint& p) {
+  STGSIM_CHECK(p.de.has_value() && !p.de->out_of_memory);
+  const double virtual_compute =
+      vtime_to_sec(p.de->stats.compute_time) * p.procs;
+  // Normalize against the DE run's *traced* execution time (the same
+  // quantity duration_scale multiplies), so a 1-host era-normalized DE
+  // replay lands at the total target-era computation by construction.
+  double traced = 0.0;
+  for (const auto& s : p.de->host_trace) traced += s.duration_sec;
+  return virtual_compute / std::max(1e-9, traced);
+}
+
+/// Host model for replays expressed in target-era units: slice durations
+/// slowed to era hardware, cross-worker messaging at SP-interconnect cost.
+inline simk::HostModel era_host_model(const ValidationPoint& p) {
+  simk::HostModel m;
+  m.duration_scale = era_factor(p);
+  m.cross_worker_msg_sec = 30e-6;
+  m.per_slice_overhead_sec = 2e-6;
+  return m;
+}
+
+inline std::string cell_time(const std::optional<harness::RunOutcome>& o) {
+  if (!o.has_value()) return "-";
+  if (o->out_of_memory) return "OOM";
+  return TablePrinter::fmt(o->predicted_seconds(), 3);
+}
+
+inline std::string cell_err(const std::optional<harness::RunOutcome>& o,
+                            const std::optional<harness::RunOutcome>& ref) {
+  if (!o || !ref || o->out_of_memory || ref->out_of_memory) return "-";
+  return TablePrinter::fmt_percent(
+      relative_error(o->predicted_seconds(), ref->predicted_seconds()));
+}
+
+/// Standard validation table (Figs. 3-6): one row per process count.
+inline void print_validation_table(const std::string& fig,
+                                   const std::string& title,
+                                   const std::vector<std::string>& notes,
+                                   const std::vector<ValidationPoint>& points) {
+  print_experiment_header(std::cout, fig, title, notes);
+  TablePrinter t({"procs", "measured (s)", "MPI-SIM-DE (s)", "MPI-SIM-AM (s)",
+                  "DE err", "AM err"});
+  for (const auto& p : points) {
+    t.add_row({TablePrinter::fmt_int(p.procs), cell_time(p.measured),
+               cell_time(p.de), cell_time(p.am),
+               cell_err(p.de, p.measured), cell_err(p.am, p.measured)});
+  }
+  std::cout << t.to_ascii();
+
+  RunningStats am_err;
+  for (const auto& p : points) {
+    if (p.am && p.measured && !p.am->out_of_memory &&
+        !p.measured->out_of_memory) {
+      am_err.add(abs_relative_error(p.am->predicted_seconds(),
+                                    p.measured->predicted_seconds()));
+    }
+  }
+  if (am_err.count() > 0) {
+    std::cout << "AM |error| vs measured: mean "
+              << TablePrinter::fmt_percent(am_err.mean()) << ", max "
+              << TablePrinter::fmt_percent(am_err.max()) << "\n";
+  }
+}
+
+}  // namespace stgsim::benchx

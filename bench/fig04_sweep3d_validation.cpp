@@ -1,0 +1,46 @@
+// Figure 4: validation of Sweep3D on the IBM SP, fixed total problem size
+// 150x150x150. Paper: predicted and measured differ by at most 7%.
+#include "apps/sweep3d.hpp"
+#include "bench/common.hpp"
+
+using namespace stgsim;
+
+namespace {
+
+apps::Sweep3DConfig config_for(int nprocs) {
+  apps::Sweep3DConfig cfg;
+  apps::sweep3d_grid_for(nprocs, &cfg.npe_i, &cfg.npe_j);
+  const std::int64_t total = 150;
+  cfg.it = (total + cfg.npe_i - 1) / cfg.npe_i;
+  cfg.jt = (total + cfg.npe_j - 1) / cfg.npe_j;
+  cfg.kt = 150;
+  cfg.kb = 30;
+  cfg.mm = 6;
+  cfg.mmi = 3;
+  cfg.timesteps = 1;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = harness::ibm_sp_machine();
+  const benchx::ProgramFactory make = [](int nprocs) {
+    return apps::make_sweep3d(config_for(nprocs));
+  };
+
+  const auto params = benchx::calibrate_at(make, 16, machine);
+
+  std::vector<benchx::ValidationPoint> points;
+  for (int procs : {4, 8, 16, 32, 64}) {
+    points.push_back(benchx::validate_point(make, procs, machine, params));
+  }
+
+  benchx::print_validation_table(
+      "Figure 4", "Validation of Sweep3D, fixed total 150^3 (IBM SP)",
+      {"total grid 150x150x150 block-distributed on a 2D process grid",
+       "w_i calibrated once at 16 processors",
+       "paper shape: predictions within 7% of measurement at all points"},
+      points);
+  return 0;
+}

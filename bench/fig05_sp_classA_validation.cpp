@@ -1,0 +1,30 @@
+// Figure 5: validation for NAS SP, class A, on the IBM SP.
+// Paper: task times from the 16-processor class-A run; errors below 7%.
+#include "apps/nas_sp.hpp"
+#include "bench/common.hpp"
+
+using namespace stgsim;
+
+int main() {
+  const auto machine = harness::ibm_sp_machine();
+  const benchx::ProgramFactory make = [](int nprocs) {
+    int q = 1;
+    while ((q + 1) * (q + 1) <= nprocs) ++q;
+    return apps::make_nas_sp(apps::sp_class('A', q, /*timesteps=*/2));
+  };
+
+  const auto params = benchx::calibrate_at(make, 16, machine);
+
+  std::vector<benchx::ValidationPoint> points;
+  for (int procs : {4, 16, 36, 64}) {
+    points.push_back(benchx::validate_point(make, procs, machine, params));
+  }
+
+  benchx::print_validation_table(
+      "Figure 5", "Validation for NAS SP, class A (IBM SP)",
+      {"class A: 64^3 grid, square process grids q^2 = 4..64, 2 timesteps",
+       "w_i calibrated at 16 processors on class A",
+       "paper shape: errors less than 7%"},
+      points);
+  return 0;
+}

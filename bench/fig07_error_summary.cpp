@@ -1,0 +1,86 @@
+// Figure 7: percent error incurred by MPI-SIM-AM when predicting
+// application performance, across all three applications and a range of
+// system sizes. Paper: all errors within 16%.
+#include "apps/nas_sp.hpp"
+#include "apps/sweep3d.hpp"
+#include "apps/tomcatv.hpp"
+#include "bench/common.hpp"
+
+using namespace stgsim;
+
+namespace {
+
+int q_for(int nprocs) {
+  int q = 1;
+  while ((q + 1) * (q + 1) <= nprocs) ++q;
+  return q;
+}
+
+apps::Sweep3DConfig sweep_for(int nprocs) {
+  apps::Sweep3DConfig cfg;
+  apps::sweep3d_grid_for(nprocs, &cfg.npe_i, &cfg.npe_j);
+  cfg.it = (150 + cfg.npe_i - 1) / cfg.npe_i;
+  cfg.jt = (150 + cfg.npe_j - 1) / cfg.npe_j;
+  cfg.kt = 150;
+  cfg.kb = 30;
+  cfg.mm = 6;
+  cfg.mmi = 3;
+  return cfg;
+}
+
+double am_error(const benchx::ProgramFactory& make, int procs,
+                const harness::MachineSpec& machine,
+                const std::map<std::string, double>& params) {
+  benchx::PointOptions opts;
+  opts.run_de = false;
+  auto point = benchx::validate_point(make, procs, machine, params, opts);
+  return point.am_error_vs_measured();
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = harness::ibm_sp_machine();
+
+  const benchx::ProgramFactory make_sp_c = [](int nprocs) {
+    return apps::make_nas_sp(apps::sp_class('C', q_for(nprocs), 2));
+  };
+  const benchx::ProgramFactory make_sp_a = [](int nprocs) {
+    return apps::make_nas_sp(apps::sp_class('A', q_for(nprocs), 2));
+  };
+  apps::TomcatvConfig tc;
+  tc.n = 1024;
+  tc.iterations = 4;
+  const benchx::ProgramFactory make_tc = [&](int) {
+    return apps::make_tomcatv(tc);
+  };
+  const benchx::ProgramFactory make_sw = [](int nprocs) {
+    return apps::make_sweep3d(sweep_for(nprocs));
+  };
+
+  const auto params_sp = benchx::calibrate_at(make_sp_a, 16, machine);
+  const auto params_tc = benchx::calibrate_at(make_tc, 16, machine);
+  const auto params_sw = benchx::calibrate_at(make_sw, 16, machine);
+
+  print_experiment_header(
+      std::cout, "Figure 7",
+      "Percent error of MPI-SIM-AM predictions vs measurement",
+      {"SP class C uses class-A task times (as in the paper)",
+       "paper shape: all errors within 16%"});
+
+  TablePrinter t({"procs", "SP class C", "Tomcatv", "Sweep3D 150^3"});
+  RunningStats all;
+  for (int procs : {4, 16, 64}) {
+    const double e_sp = am_error(make_sp_c, procs, machine, params_sp);
+    const double e_tc = am_error(make_tc, procs, machine, params_tc);
+    const double e_sw = am_error(make_sw, procs, machine, params_sw);
+    for (double e : {e_sp, e_tc, e_sw}) all.add(std::abs(e));
+    t.add_row({TablePrinter::fmt_int(procs), TablePrinter::fmt_percent(e_sp),
+               TablePrinter::fmt_percent(e_tc),
+               TablePrinter::fmt_percent(e_sw)});
+  }
+  std::cout << t.to_ascii();
+  std::cout << "max |error| over all cells: "
+            << TablePrinter::fmt_percent(all.max()) << " (paper: <16%)\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 8: validation of SAMPLE on the SGI Origin 2000 — measured vs
+// MPI-SIM-AM total execution time for the wavefront and nearest-neighbour
+// patterns as the computation:communication ratio varies.
+#include "apps/sample.hpp"
+#include "bench/common.hpp"
+
+using namespace stgsim;
+
+namespace {
+
+apps::SampleConfig config_for(apps::SamplePattern pattern, double ratio,
+                              const harness::MachineSpec& machine) {
+  apps::SampleConfig cfg;
+  cfg.pattern = pattern;
+  cfg.iterations = 40;
+  cfg.msg_doubles = 1024;
+  cfg.work_iters = apps::sample_work_for_ratio(machine.net, machine.compute,
+                                               cfg.msg_doubles, ratio);
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = harness::origin2000_machine();
+  const int nprocs = 8;  // the paper's Origin 2000 had 8 processors
+
+  print_experiment_header(
+      std::cout, "Figure 8",
+      "Validation of SAMPLE on the Origin 2000 (measured vs MPI-SIM-AM)",
+      {"8 processors, 40 iterations, 8KB messages",
+       "ratio column = computation : communication per step",
+       "paper shape: curves overlap; divergence only at comm-heavy ratios"});
+
+  TablePrinter t({"comp:comm", "wavefront measured (s)", "wavefront AM (s)",
+                  "NN measured (s)", "NN AM (s)"});
+
+  for (double ratio : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    std::vector<double> cells;
+    for (auto pattern : {apps::SamplePattern::kWavefront,
+                         apps::SamplePattern::kNearestNeighbor}) {
+      const auto cfg = config_for(pattern, ratio, machine);
+      const benchx::ProgramFactory make = [&](int) {
+        return apps::make_sample(cfg);
+      };
+      const auto params = benchx::calibrate_at(make, nprocs, machine);
+      benchx::PointOptions opts;
+      opts.run_de = false;
+      auto point = benchx::validate_point(make, nprocs, machine, params, opts);
+      cells.push_back(point.measured->predicted_seconds());
+      cells.push_back(point.am->predicted_seconds());
+    }
+    t.add_row({TablePrinter::fmt(ratio, 0) + ":1",
+               TablePrinter::fmt(cells[0], 4), TablePrinter::fmt(cells[1], 4),
+               TablePrinter::fmt(cells[2], 4), TablePrinter::fmt(cells[3], 4)});
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

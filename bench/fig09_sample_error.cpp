@@ -1,0 +1,46 @@
+// Figure 9: effect of the communication:computation ratio on the accuracy
+// of the optimized simulator (SAMPLE on the Origin 2000). Paper: below
+// 5% error when computation dominates, growing to at most ~15% as the
+// program becomes communication-bound.
+#include "apps/sample.hpp"
+#include "bench/common.hpp"
+
+using namespace stgsim;
+
+int main() {
+  const auto machine = harness::origin2000_machine();
+  const int nprocs = 8;
+
+  print_experiment_header(
+      std::cout, "Figure 9",
+      "Percent variation of MPI-SIM-AM from measured vs comp:comm ratio",
+      {"8 processors, 40 iterations, 8KB messages",
+       "paper shape: <5% when computation dominates; up to ~15% when",
+       "communication dominates (where contention/noise the model omits",
+       "matter most)"});
+
+  TablePrinter t({"comp:comm", "wavefront err", "nearest-neighbor err"});
+  for (double ratio : {1.0, 3.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    std::vector<std::string> row{TablePrinter::fmt(ratio, 0) + ":1"};
+    for (auto pattern : {apps::SamplePattern::kWavefront,
+                         apps::SamplePattern::kNearestNeighbor}) {
+      apps::SampleConfig cfg;
+      cfg.pattern = pattern;
+      cfg.iterations = 40;
+      cfg.msg_doubles = 1024;
+      cfg.work_iters = apps::sample_work_for_ratio(
+          machine.net, machine.compute, cfg.msg_doubles, ratio);
+      const benchx::ProgramFactory make = [&](int) {
+        return apps::make_sample(cfg);
+      };
+      const auto params = benchx::calibrate_at(make, nprocs, machine);
+      benchx::PointOptions opts;
+      opts.run_de = false;
+      auto point = benchx::validate_point(make, nprocs, machine, params, opts);
+      row.push_back(TablePrinter::fmt_percent(point.am_error_vs_measured()));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

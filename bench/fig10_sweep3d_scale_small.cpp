@@ -1,0 +1,57 @@
+// Figure 10: scalability of Sweep3D for the 4x4x255-per-processor size.
+// Paper: direct execution is memory-limited to ~250 target processors;
+// the analytical model simulates 10,000 — and stays accurate where
+// measurement exists.
+#include "apps/sweep3d.hpp"
+#include "bench/common.hpp"
+
+using namespace stgsim;
+
+namespace {
+
+apps::Sweep3DConfig config_for(int nprocs) {
+  apps::Sweep3DConfig cfg;
+  cfg.it = 4;
+  cfg.jt = 4;
+  cfg.kt = 255;
+  cfg.kb = 51;
+  cfg.mm = 6;
+  cfg.mmi = 6;
+  apps::sweep3d_grid_for(nprocs, &cfg.npe_i, &cfg.npe_j);
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = harness::ibm_sp_machine();
+  const benchx::ProgramFactory make = [](int nprocs) {
+    return apps::make_sweep3d(config_for(nprocs));
+  };
+  const auto params = benchx::calibrate_at(make, 16, machine);
+
+  print_experiment_header(
+      std::cout, "Figure 10",
+      "Scalability of Sweep3D, 4x4x255 per processor (IBM SP)",
+      {"fixed per-processor size; total problem grows with target count",
+       "DE under a 256MB host-memory budget (the paper's host nodes);",
+       "paper shape: DE memory-limited near 250 targets, AM reaches 10,000"});
+
+  TablePrinter t({"target procs", "measured (s)", "MPI-SIM-DE (s)",
+                  "MPI-SIM-AM (s)", "DE memory", "AM memory"});
+  for (int procs : {16, 64, 256, 1024, 2500, 4900, 10000}) {
+    benchx::PointOptions opts;
+    opts.run_measured = procs <= 64;
+    opts.memory_cap_bytes = 256ull << 20;
+    opts.fiber_stack_bytes = 128 * 1024;
+    auto p = benchx::validate_point(make, procs, machine, params, opts);
+    t.add_row({TablePrinter::fmt_int(procs), benchx::cell_time(p.measured),
+               benchx::cell_time(p.de), benchx::cell_time(p.am),
+               p.de->out_of_memory
+                   ? ">256MB (OOM)"
+                   : TablePrinter::fmt_bytes(p.de->peak_target_bytes),
+               TablePrinter::fmt_bytes(p.am->peak_target_bytes)});
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

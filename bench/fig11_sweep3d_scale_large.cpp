@@ -1,0 +1,57 @@
+// Figure 11: scalability of Sweep3D for the 6x6x1000-per-processor size.
+// Paper: direct execution cannot go past ~400 target processors; the
+// analytical model scales to the 20,000-processor, one-billion-cell
+// configuration of interest to the ASCI application developers.
+#include "apps/sweep3d.hpp"
+#include "bench/common.hpp"
+
+using namespace stgsim;
+
+namespace {
+
+apps::Sweep3DConfig config_for(int nprocs) {
+  apps::Sweep3DConfig cfg;
+  cfg.it = 6;
+  cfg.jt = 6;
+  cfg.kt = 1000;
+  cfg.kb = 125;
+  cfg.mm = 6;
+  cfg.mmi = 6;
+  apps::sweep3d_grid_for(nprocs, &cfg.npe_i, &cfg.npe_j);
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = harness::ibm_sp_machine();
+  const benchx::ProgramFactory make = [](int nprocs) {
+    return apps::make_sweep3d(config_for(nprocs));
+  };
+  const auto params = benchx::calibrate_at(make, 16, machine);
+
+  print_experiment_header(
+      std::cout, "Figure 11",
+      "Scalability of Sweep3D, 6x6x1000 per processor (IBM SP)",
+      {"the paper's billion-cell target: 36,000 cells/proc on 20,000 procs",
+       "DE under a 1GB host-memory budget",
+       "paper shape: DE stops by ~400 targets; AM reaches 20,000 in ~700MB"});
+
+  TablePrinter t({"target procs", "measured (s)", "MPI-SIM-DE (s)",
+                  "MPI-SIM-AM (s)", "DE memory", "AM memory"});
+  for (int procs : {16, 64, 256, 1024, 4096, 10000, 20000}) {
+    benchx::PointOptions opts;
+    opts.run_measured = procs <= 64;
+    opts.memory_cap_bytes = 1024ull << 20;
+    opts.fiber_stack_bytes = 128 * 1024;
+    auto p = benchx::validate_point(make, procs, machine, params, opts);
+    t.add_row({TablePrinter::fmt_int(procs), benchx::cell_time(p.measured),
+               benchx::cell_time(p.de), benchx::cell_time(p.am),
+               p.de->out_of_memory
+                   ? ">1GB (OOM)"
+                   : TablePrinter::fmt_bytes(p.de->peak_target_bytes),
+               TablePrinter::fmt_bytes(p.am->peak_target_bytes)});
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 12: absolute performance of MPI-Sim for NAS SP class A, with as
+// many host processors as target processors. Paper: MPI-SIM-DE runs about
+// 2x slower than the application it predicts; MPI-SIM-AM runs faster than
+// the application (up to 2.5x), despite simulating communication in
+// detail — and its advantage shrinks as computation per processor shrinks.
+//
+// Host-parallel wall-clocks come from replaying the recorded slice trace
+// on an emulated k-worker host (this container has one core; see
+// DESIGN.md). The DE-vs-application *ratio* additionally reflects that
+// this host is far faster than a 1999 SP node — EXPERIMENTS.md discusses
+// the comparison; the AM-vs-DE relation is host-independent.
+#include "apps/nas_sp.hpp"
+#include "bench/common.hpp"
+
+using namespace stgsim;
+
+int main() {
+  const auto machine = harness::ibm_sp_machine();
+  const benchx::ProgramFactory make = [](int nprocs) {
+    int q = 1;
+    while ((q + 1) * (q + 1) <= nprocs) ++q;
+    return apps::make_nas_sp(apps::sp_class('A', q, /*timesteps=*/2));
+  };
+  const auto params = benchx::calibrate_at(make, 16, machine);
+
+  print_experiment_header(
+      std::cout, "Figure 12",
+      "Absolute performance of MPI-Sim for NAS SP class A (#host = #target)",
+      {"application time = emulated measurement of the target program",
+       "simulator wall-clocks replayed on an emulated equal-size host",
+       "paper shape: AM faster than the application; AM gain shrinks with",
+       "more processors; DE pays for executing all computation"});
+
+  TablePrinter t({"procs", "application (s)", "DE wall, era-norm (s)",
+                  "AM wall, era-norm (s)", "DE vs app", "AM vs app",
+                  "AM speedup vs DE"});
+  for (int procs : {4, 16, 36, 64}) {
+    benchx::PointOptions opts;
+    opts.record_host_trace = true;
+    auto p = benchx::validate_point(make, procs, machine, params, opts);
+    const double app = p.measured->predicted_seconds();
+    const auto host = benchx::era_host_model(p);
+    const double de_wall = harness::emulated_host_seconds(*p.de, procs, host);
+    const double am_wall = harness::emulated_host_seconds(*p.am, procs, host);
+    t.add_row({TablePrinter::fmt_int(procs), TablePrinter::fmt(app, 3),
+               TablePrinter::fmt(de_wall, 3), TablePrinter::fmt(am_wall, 3),
+               TablePrinter::fmt(de_wall / app, 2) + "x",
+               TablePrinter::fmt(app / am_wall, 2) + "x faster",
+               TablePrinter::fmt(de_wall / am_wall, 1) + "x"});
+  }
+  std::cout << t.to_ascii();
+  std::cout << "era-norm: simulator wall-clocks scaled to target-era host "
+               "nodes (see bench/common.hpp)\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 13: absolute performance of MPI-Sim for Tomcatv (#host =
+// #target). Paper: the MPI-SIM-AM runtime stays essentially flat (< 2s)
+// across processor counts while the application takes 13-100s — the
+// optimized simulator's cost tracks the communication structure, not the
+// computation.
+#include "apps/tomcatv.hpp"
+#include "bench/common.hpp"
+
+using namespace stgsim;
+
+int main() {
+  const auto machine = harness::ibm_sp_machine();
+  apps::TomcatvConfig cfg;
+  cfg.n = 1024;
+  cfg.iterations = 4;
+  const benchx::ProgramFactory make = [&](int) {
+    return apps::make_tomcatv(cfg);
+  };
+  const auto params = benchx::calibrate_at(make, 16, machine);
+
+  print_experiment_header(
+      std::cout, "Figure 13",
+      "Absolute performance of MPI-Sim for Tomcatv (#host = #target)",
+      {"paper shape: AM wall-clock roughly constant and far below the",
+       "application's runtime at every processor count"});
+
+  TablePrinter t({"procs", "application (s)", "DE wall, era-norm (s)",
+                  "AM wall, era-norm (s)", "AM vs app", "AM speedup vs DE"});
+  for (int procs : {4, 8, 16, 32, 64}) {
+    benchx::PointOptions opts;
+    opts.record_host_trace = true;
+    auto p = benchx::validate_point(make, procs, machine, params, opts);
+    const double app = p.measured->predicted_seconds();
+    const auto host = benchx::era_host_model(p);
+    const double de_wall = harness::emulated_host_seconds(*p.de, procs, host);
+    const double am_wall = harness::emulated_host_seconds(*p.am, procs, host);
+    t.add_row({TablePrinter::fmt_int(procs), TablePrinter::fmt(app, 3),
+               TablePrinter::fmt(de_wall, 4), TablePrinter::fmt(am_wall, 4),
+               TablePrinter::fmt(app / am_wall, 1) + "x faster",
+               TablePrinter::fmt(de_wall / am_wall, 1) + "x"});
+  }
+  std::cout << t.to_ascii();
+  std::cout << "era-norm: simulator wall-clocks scaled to target-era host "
+               "nodes (see bench/common.hpp)\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 14: parallel performance of MPI-Sim — Sweep3D 150^3 on 64 target
+// processors, with host processors varied from 1 to 64. Paper: both
+// simulator versions scale well; MPI-SIM-AM is on average 5.4x faster
+// than MPI-SIM-DE.
+//
+// The 1-host column is the real wall-clock of the sequential run on this
+// machine; k-host columns replay the recorded slice trace on an emulated
+// k-worker conservative host (see DESIGN.md's substitution note).
+#include "apps/sweep3d.hpp"
+#include "bench/common.hpp"
+
+using namespace stgsim;
+
+namespace {
+
+apps::Sweep3DConfig config_150(int nprocs) {
+  apps::Sweep3DConfig cfg;
+  apps::sweep3d_grid_for(nprocs, &cfg.npe_i, &cfg.npe_j);
+  cfg.it = (150 + cfg.npe_i - 1) / cfg.npe_i;
+  cfg.jt = (150 + cfg.npe_j - 1) / cfg.npe_j;
+  cfg.kt = 150;
+  cfg.kb = 30;
+  cfg.mm = 6;
+  cfg.mmi = 3;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = harness::ibm_sp_machine();
+  const int targets = 64;
+  const benchx::ProgramFactory make = [](int nprocs) {
+    return apps::make_sweep3d(config_150(nprocs));
+  };
+  const auto params = benchx::calibrate_at(make, 16, machine);
+
+  benchx::PointOptions opts;
+  opts.record_host_trace = true;
+  auto p = benchx::validate_point(make, targets, machine, params, opts);
+
+  print_experiment_header(
+      std::cout, "Figure 14",
+      "Parallel performance: Sweep3D 150^3, 64 targets, 1-64 host procs",
+      {"application (measured target time): " +
+           TablePrinter::fmt(p.measured->predicted_seconds(), 3) + " s",
+       "paper shape: both simulators scale; AM ~5.4x faster than DE on",
+       "average; AM speedup flattens past ~8 hosts (communication-bound)"});
+
+  TablePrinter t({"host procs", "MPI-SIM-DE wall (s)", "MPI-SIM-AM wall (s)",
+                  "AM speedup vs DE"});
+  const auto host = benchx::era_host_model(p);
+  for (int hosts : {1, 2, 4, 8, 16, 32, 64}) {
+    const double de_wall = harness::emulated_host_seconds(*p.de, hosts, host);
+    const double am_wall = harness::emulated_host_seconds(*p.am, hosts, host);
+    t.add_row({TablePrinter::fmt_int(hosts), TablePrinter::fmt(de_wall, 3),
+               TablePrinter::fmt(am_wall, 4),
+               TablePrinter::fmt(de_wall / am_wall, 1) + "x"});
+  }
+  std::cout << t.to_ascii();
+  std::cout << "1-host real wall-clock of this run: DE "
+            << TablePrinter::fmt(p.de->sim_host_seconds, 3) << " s, AM "
+            << TablePrinter::fmt(p.am->sim_host_seconds, 3) << " s\n";
+  return 0;
+}

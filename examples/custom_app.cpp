@@ -1,0 +1,174 @@
+// Authoring a new target application — and seeing what the compiler can
+// and cannot abstract away.
+//
+// The app is a 2D Jacobi iteration with halo exchange, built in two
+// variants:
+//   * fixed iteration count — the residual feeds only an allreduce
+//     payload, so the slice eliminates every kernel and every array;
+//   * convergence-checked — the allreduced residual steers a branch, so
+//     it is part of the parallel structure: the slice must retain the
+//     residual kernel, the arrays it reads, and (transitively) the update
+//     kernel producing them. This is the paper's §3.2 point that
+//     "intermediate computational results can affect the program
+//     execution time", and the price of predicting such programs.
+//
+//   $ ./examples/custom_app
+#include <iostream>
+
+#include "core/compiler.hpp"
+#include "harness/runner.hpp"
+#include "ir/builder.hpp"
+
+using namespace stgsim;
+using sym::Expr;
+
+namespace {
+
+Expr I(std::int64_t v) { return Expr::integer(v); }
+
+ir::Program make_jacobi(std::int64_t n, std::int64_t max_iters,
+                        bool convergence_check) {
+  ir::ProgramBuilder b(convergence_check ? "jacobi2d_conv" : "jacobi2d_fixed");
+  Expr P = b.get_size("P");
+  Expr myid = b.get_rank("myid");
+  Expr N = b.decl_int("N", I(n));
+  Expr iters = b.decl_int("MAXIT", I(max_iters));
+  Expr rows = b.decl_int("rows", sym::ceil_div(N, P));
+  b.decl_real("resid", Expr::real(1.0));
+  b.decl_int("converged", I(0));
+
+  b.decl_array("U", {(rows + 2) * N});
+  b.decl_array("V", {(rows + 2) * N});
+
+  {
+    ir::KernelSpec init;
+    init.task = "jb_init";
+    init.iters = (rows + 2) * N;
+    init.flops_per_iter = 1.0;
+    init.writes = {"U", "V"};
+    init.body = [](ir::KernelCtx& ctx) {
+      double* u = ctx.array("U");
+      double* v = ctx.array("V");
+      for (std::size_t i = 0; i < ctx.array_elems("U"); ++i) {
+        u[i] = (i % 7 == 0) ? 1.0 : 0.0;
+        v[i] = 0.0;
+      }
+    };
+    b.compute(std::move(init));
+  }
+
+  auto iteration_body = [&] {
+    // Halo rows to/from both neighbours.
+    b.if_then(sym::gt(myid, I(0)), [&] {
+      b.isend("reqs", "U", myid - 1, N, N, 1);
+      b.irecv("reqs", "U", myid - 1, N, I(0), 2);
+    });
+    b.if_then(sym::lt(myid, P - 1), [&] {
+      b.isend("reqs", "U", myid + 1, N, rows * N, 2);
+      b.irecv("reqs", "U", myid + 1, N, (rows + 1) * N, 1);
+    });
+    b.waitall("reqs");
+
+    {
+      ir::KernelSpec update;
+      update.task = "jb_update";
+      update.iters = rows * (N - 2);
+      update.flops_per_iter = 5.0;
+      update.reads = {"U"};
+      update.writes = {"V"};
+      update.body = [](ir::KernelCtx& ctx) {
+        const double* u = ctx.array("U");
+        double* v = ctx.array("V");
+        const std::size_t n = ctx.array_elems("U");
+        for (std::size_t i = 1; i + 1 < n; ++i) {
+          v[i] = 0.25 * (u[i - 1] + u[i + 1] + 2.0 * u[i]);
+        }
+      };
+      b.compute(std::move(update));
+    }
+
+    {
+      ir::KernelSpec residual;
+      residual.task = "jb_residual";
+      residual.iters = rows * N;
+      residual.flops_per_iter = 3.0;
+      residual.reads = {"U", "V"};
+      residual.writes = {"U", "resid"};
+      residual.body = [](ir::KernelCtx& ctx) {
+        double* u = ctx.array("U");
+        const double* v = ctx.array("V");
+        double r = 0.0;
+        const std::size_t n = ctx.array_elems("U");
+        for (std::size_t i = 0; i < n; ++i) {
+          r += (v[i] - u[i]) * (v[i] - u[i]);
+          u[i] = v[i];
+        }
+        ctx.set_scalar("resid", sym::Value(r / static_cast<double>(n)));
+      };
+      b.compute(std::move(residual));
+    }
+    b.allreduce_sum("resid");
+    if (convergence_check) {
+      b.if_then(sym::lt(Expr::var("resid"), Expr::real(1e-7)),
+                [&] { b.assign("converged", I(1)); });
+    }
+  };
+
+  b.for_loop("t", I(1), iters, [&](Expr) {
+    if (convergence_check) {
+      b.if_then(sym::eq(Expr::var("converged"), I(0)), iteration_body);
+    } else {
+      iteration_body();
+    }
+  });
+  return b.take();
+}
+
+void describe(const char* title, const ir::Program& prog) {
+  core::CompileResult compiled = core::compile(prog);
+  std::cout << "--- " << title << " ---\n";
+  std::cout << compiled.report(prog);
+  for (const char* a : {"U", "V"}) {
+    std::cout << "  array " << a << ": "
+              << (compiled.slice.array_is_live(a) ? "RETAINED" : "eliminated")
+              << "\n";
+  }
+
+  const int nprocs = 8;
+  const auto machine = harness::ibm_sp_machine();
+  const auto params =
+      harness::calibrate(compiled.timer_program, nprocs, machine);
+
+  harness::RunConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.machine = machine;
+  cfg.mode = harness::Mode::kDirectExec;
+  const auto de = harness::run_program(prog, cfg);
+  cfg.mode = harness::Mode::kAnalytical;
+  cfg.params = params;
+  const auto am = harness::run_program(compiled.simplified.program, cfg);
+
+  std::cout << "  DE " << de.predicted_seconds() << " s / "
+            << de.peak_target_bytes << " B;  AM " << am.predicted_seconds()
+            << " s / " << am.peak_target_bytes << " B  (memory reduction "
+            << static_cast<double>(de.peak_target_bytes) /
+                   static_cast<double>(am.peak_target_bytes)
+            << "x)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  describe("fixed iteration count: everything collapses",
+           make_jacobi(512, 40, /*convergence_check=*/false));
+  describe(
+      "convergence-checked: the residual steers control flow, so the "
+      "slice\nmust retain the computation that produces it",
+      make_jacobi(512, 40, /*convergence_check=*/true));
+
+  std::cout << "Lesson: communication *payloads* are free to abstract; "
+               "values that reach\ncontrol flow are not — the compiler "
+               "keeps exactly the computation needed\nto reproduce the "
+               "program's parallel behaviour (paper §3.2).\n";
+  return 0;
+}

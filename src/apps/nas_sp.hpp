@@ -1,0 +1,37 @@
+// NAS SP (NPB 2.3, paper §4.1): a scalar-pentadiagonal ADI solver on a
+// square process grid (P = q^2). Each timestep exchanges faces with the
+// four grid neighbours, computes the right-hand side, then performs
+// pipelined line solves in x, y and z; the x/y solves pipeline across q
+// stages with a boundary exchange per stage.
+//
+// The per-stage cell sizes are computed with non-affine expressions
+// (mod-based remainder distribution), reproducing the paper's observation
+// about SP: the compiler cannot forward-substitute the loop bounds into a
+// closed form, so the simplified program retains *executable symbolic
+// scaling expressions* evaluated at run time (§3.3).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/program.hpp"
+
+namespace stgsim::apps {
+
+struct NasSpConfig {
+  std::int64_t grid = 64;      ///< class A = 64, class B = 102, class C = 162
+  std::int64_t timesteps = 4;  ///< full benchmark: 400
+  int q = 2;                   ///< process grid edge; P must equal q*q
+};
+
+/// Built-in problem classes (grid edge per the NPB 2.3 specification).
+NasSpConfig sp_class(char cls, int q, std::int64_t timesteps);
+
+ir::Program make_nas_sp(const NasSpConfig& config);
+
+/// Messages (isend/send ops) one rank issues over the whole run.
+std::uint64_t nas_sp_expected_sends(const NasSpConfig& config, int rank);
+
+/// Per-rank data footprint (bytes).
+std::size_t nas_sp_rank_bytes(const NasSpConfig& config);
+
+}  // namespace stgsim::apps

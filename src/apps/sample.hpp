@@ -1,0 +1,40 @@
+// SAMPLE (paper §4.1): the synthetic communication kernel used to quantify
+// how the optimized simulator's accuracy depends on the computation
+// granularity and the communication pattern. Two patterns, as in the
+// paper's Origin 2000 study: a wavefront pipeline and a nearest-neighbour
+// exchange; the computation:communication ratio is a direct knob.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/program.hpp"
+#include "machine/compute.hpp"
+#include "net/network.hpp"
+
+namespace stgsim::apps {
+
+enum class SamplePattern { kWavefront, kNearestNeighbor };
+
+const char* sample_pattern_name(SamplePattern p);
+
+struct SampleConfig {
+  SamplePattern pattern = SamplePattern::kNearestNeighbor;
+  std::int64_t iterations = 50;
+  std::int64_t msg_doubles = 2048;   ///< message payload (doubles)
+  std::int64_t work_iters = 100000;  ///< kernel iterations per step
+  double flops_per_iter = 4.0;
+};
+
+ir::Program make_sample(const SampleConfig& config);
+
+/// Picks work_iters so that (communication time) : (computation time) per
+/// step is roughly 1 : comp_per_comm on the given machine, mirroring how
+/// the paper sweeps the ratio from 1:1 to 1:10000.
+std::int64_t sample_work_for_ratio(const net::NetworkParams& net,
+                                   const machine::ComputeParams& compute,
+                                   std::int64_t msg_doubles,
+                                   double comp_per_comm,
+                                   double flops_per_iter = 4.0);
+
+}  // namespace stgsim::apps

@@ -1,0 +1,45 @@
+// Sweep3D (DOE ASCI benchmark, paper §4.1): discrete-ordinates transport
+// sweeps over a 3D grid block-distributed on a 2D process grid. Each of
+// the 8 octants pipelines wavefronts across the grid in blocks of k-planes
+// and angles: receive upwind faces, compute the block, send downwind
+// faces. A data-dependent flux-fixup branch inside the computational
+// kernel is the paper's example of a branch that must be eliminated
+// statistically (§3.1).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/program.hpp"
+
+namespace stgsim::apps {
+
+struct Sweep3DConfig {
+  // Per-process block (the paper studies 4x4x255 and 6x6x1000 per proc).
+  std::int64_t it = 4;
+  std::int64_t jt = 4;
+  std::int64_t kt = 255;
+
+  std::int64_t mm = 6;   ///< angles per octant
+  std::int64_t mmi = 3;  ///< angles per pipeline stage
+  std::int64_t kb = 17;  ///< k-planes per pipeline stage (must divide kt)
+
+  std::int64_t timesteps = 1;
+
+  // Process grid (npe_i * npe_j must equal the run's process count).
+  int npe_i = 2;
+  int npe_j = 2;
+};
+
+ir::Program make_sweep3d(const Sweep3DConfig& config);
+
+/// Near-square factorization helper for the benches: npe_i <= npe_j.
+void sweep3d_grid_for(int nprocs, int* npe_i, int* npe_j);
+
+/// Messages (send ops) rank (ip, jp) issues over the whole run.
+std::uint64_t sweep3d_expected_sends(const Sweep3DConfig& config, int ip,
+                                     int jp);
+
+/// Per-rank data footprint (bytes) of the full program.
+std::size_t sweep3d_rank_bytes(const Sweep3DConfig& config);
+
+}  // namespace stgsim::apps

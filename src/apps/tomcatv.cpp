@@ -1,0 +1,204 @@
+#include "apps/tomcatv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+
+namespace stgsim::apps {
+
+namespace {
+
+using sym::Expr;
+
+Expr I(std::int64_t v) { return Expr::integer(v); }
+
+/// Column-major local layout: column j (0 = left halo, b+1 = right halo)
+/// occupies elements [j*n, (j+1)*n).
+void exchange_columns(ir::ProgramBuilder& b, const std::string& array,
+                      const Expr& myid, const Expr& P, const Expr& n,
+                      const Expr& blk, int tag_left, int tag_right) {
+  b.if_then(sym::gt(myid, I(0)), [&] {
+    b.isend("reqs", array, myid - 1, n, n, tag_left);          // col 1
+    b.irecv("reqs", array, myid - 1, n, I(0), tag_right);      // col 0
+  });
+  b.if_then(sym::lt(myid, P - 1), [&] {
+    b.isend("reqs", array, myid + 1, n, blk * n, tag_right);   // col b
+    b.irecv("reqs", array, myid + 1, n, (blk + 1) * n, tag_left);
+  });
+}
+
+}  // namespace
+
+ir::Program make_tomcatv(const TomcatvConfig& config) {
+  ir::ProgramBuilder b("tomcatv");
+  Expr P = b.get_size("P");
+  Expr myid = b.get_rank("myid");
+  Expr n = b.decl_int("N", I(config.n));
+  Expr niter = b.decl_int("NITER", I(config.iterations));
+  Expr blk = b.decl_int("b", sym::ceil_div(n, P));
+  b.decl_real("rmax", Expr::real(0.0));
+
+  // Mesh coordinates, residuals and the tridiagonal workspace (the real
+  // benchmark's X, Y, RX, RY, AA, DD, D), one halo column on each side.
+  for (const char* a : {"X", "Y", "RX", "RY", "AA", "DD", "D"}) {
+    b.decl_array(a, {n, blk + 2});
+  }
+
+  {
+    ir::KernelSpec init;
+    init.task = "tc_init";
+    init.iters = n * (blk + 2);
+    init.flops_per_iter = 4.0;
+    init.writes = {"X", "Y"};
+    init.body = [](ir::KernelCtx& ctx) {
+      double* x = ctx.array("X");
+      double* y = ctx.array("Y");
+      const std::size_t elems = ctx.array_elems("X");
+      const double r0 = static_cast<double>(ctx.rank() + 1);
+      for (std::size_t i = 0; i < elems; ++i) {
+        x[i] = r0 + static_cast<double>(i % 101) * 0.01;
+        y[i] = r0 - static_cast<double>(i % 97) * 0.01;
+      }
+    };
+    b.compute(std::move(init));
+  }
+
+  b.for_loop("iter", I(1), niter, [&](Expr) {
+    // Boundary-column exchange for both coordinate arrays.
+    exchange_columns(b, "X", myid, P, n, blk, 1, 2);
+    exchange_columns(b, "Y", myid, P, n, blk, 3, 4);
+    b.waitall("reqs");
+
+    {
+      ir::KernelSpec resid;
+      resid.task = "tc_resid";
+      resid.iters = (n - 2) * blk;
+      resid.flops_per_iter = 31.0;  // the big 9-point residual stencil
+      resid.reads = {"X", "Y"};
+      resid.writes = {"RX", "RY"};
+      resid.body = [](ir::KernelCtx& ctx) {
+        const double* x = ctx.array("X");
+        const double* y = ctx.array("Y");
+        double* rx = ctx.array("RX");
+        double* ry = ctx.array("RY");
+        const auto nn = static_cast<std::size_t>(ctx.array_extent("X", 0));
+        const auto cols = static_cast<std::size_t>(ctx.array_extent("X", 1));
+        for (std::size_t j = 1; j + 1 < cols; ++j) {
+          for (std::size_t i = 1; i + 1 < nn; ++i) {
+            const std::size_t c = j * nn + i;
+            const double xxx = x[c + nn] - 2.0 * x[c] + x[c - nn];
+            const double xyy = x[c + 1] - 2.0 * x[c] + x[c - 1];
+            const double yxx = y[c + nn] - 2.0 * y[c] + y[c - nn];
+            const double yyy = y[c + 1] - 2.0 * y[c] + y[c - 1];
+            rx[c] = xxx * 0.5 + xyy * 0.25 + (x[c + nn + 1] - x[c - nn + 1]);
+            ry[c] = yxx * 0.5 + yyy * 0.25 + (y[c + nn + 1] - y[c - nn + 1]);
+          }
+        }
+      };
+      b.compute(std::move(resid));
+    }
+
+    {
+      // Residual maximum: feeds only the allreduce payload, so the slice
+      // eliminates this kernel — the reduction itself stays.
+      ir::KernelSpec rmax;
+      rmax.task = "tc_rmax";
+      rmax.iters = (n - 2) * blk;
+      rmax.flops_per_iter = 2.0;
+      rmax.reads = {"RX", "RY"};
+      rmax.writes = {"rmax"};
+      rmax.body = [](ir::KernelCtx& ctx) {
+        const double* rx = ctx.array("RX");
+        const double* ry = ctx.array("RY");
+        const std::size_t elems = ctx.array_elems("RX");
+        double m = 0.0;
+        for (std::size_t i = 0; i < elems; ++i) {
+          m = std::max(m, std::max(std::fabs(rx[i]), std::fabs(ry[i])));
+        }
+        ctx.set_scalar("rmax", sym::Value(m));
+      };
+      b.compute(std::move(rmax));
+    }
+    b.allreduce_max("rmax");
+
+    {
+      // Tridiagonal coefficients (AA, DD) from the current mesh.
+      ir::KernelSpec coef;
+      coef.task = "tc_coef";
+      coef.iters = n * blk;
+      coef.flops_per_iter = 9.0;
+      coef.reads = {"X", "Y"};
+      coef.writes = {"AA", "DD"};
+      coef.body = [](ir::KernelCtx& ctx) {
+        const double* x = ctx.array("X");
+        const double* y = ctx.array("Y");
+        double* aa = ctx.array("AA");
+        double* dd = ctx.array("DD");
+        const std::size_t elems = ctx.array_elems("AA");
+        for (std::size_t i = 0; i < elems; ++i) {
+          aa[i] = -0.5 * (x[i] * x[i] + y[i] * y[i]);
+          dd[i] = 1.0 - 2.0 * aa[i];
+        }
+      };
+      b.compute(std::move(coef));
+    }
+
+    {
+      // Tridiagonal solves along each column (local under (*,BLOCK)).
+      ir::KernelSpec solve;
+      solve.task = "tc_solve";
+      solve.iters = n * blk;
+      solve.flops_per_iter = 24.0;  // forward elimination + back substitution
+      solve.reads = {"RX", "RY", "AA", "DD"};
+      solve.writes = {"X", "Y", "D"};
+      solve.body = [](ir::KernelCtx& ctx) {
+        double* x = ctx.array("X");
+        double* y = ctx.array("Y");
+        double* d = ctx.array("D");
+        const double* rx = ctx.array("RX");
+        const double* ry = ctx.array("RY");
+        const double* aa = ctx.array("AA");
+        const double* dd = ctx.array("DD");
+        const auto nn = static_cast<std::size_t>(ctx.array_extent("X", 0));
+        const auto cols = static_cast<std::size_t>(ctx.array_extent("X", 1));
+        for (std::size_t j = 1; j + 1 < cols; ++j) {
+          double carry_x = 0.0, carry_y = 0.0;
+          for (std::size_t i = 1; i + 1 < nn; ++i) {
+            const std::size_t c = j * nn + i;
+            const double piv = dd[c] - aa[c] * d[c - 1];
+            d[c] = aa[c] / (piv != 0.0 ? piv : 1.0);
+            carry_x = (rx[c] - aa[c] * carry_x) * d[c];
+            carry_y = (ry[c] - aa[c] * carry_y) * d[c];
+            x[c] += carry_x;
+            y[c] += carry_y;
+          }
+        }
+      };
+      b.compute(std::move(solve));
+    }
+  });
+
+  return b.take();
+}
+
+std::uint64_t tomcatv_expected_isends(const TomcatvConfig& config, int nprocs,
+                                      int rank) {
+  const bool has_left = rank > 0;
+  const bool has_right = rank < nprocs - 1;
+  // Per iteration: 2 arrays x (1 isend per existing neighbour).
+  const std::uint64_t per_iter =
+      2ULL * (static_cast<std::uint64_t>(has_left) +
+              static_cast<std::uint64_t>(has_right));
+  return per_iter * static_cast<std::uint64_t>(config.iterations);
+}
+
+std::size_t tomcatv_rank_bytes(const TomcatvConfig& config, int nprocs) {
+  const auto n = static_cast<std::size_t>(config.n);
+  const std::size_t blk =
+      (n + static_cast<std::size_t>(nprocs) - 1) / static_cast<std::size_t>(nprocs);
+  return 7 * n * (blk + 2) * sizeof(double);
+}
+
+}  // namespace stgsim::apps

@@ -1,0 +1,34 @@
+// Tomcatv (SPEC92 mesh-generation benchmark) as compiled by dHPF with a
+// (*,BLOCK) distribution (paper §4.1): columns of the N x N mesh are
+// block-distributed, each iteration exchanges boundary columns with both
+// neighbours, computes residuals, reduces the residual maximum, and
+// applies the tridiagonal corrections.
+//
+// This is the benchmark the paper handles *fully automatically* through
+// compilation, task measurement and simulation (Figure 2) — and so do we:
+// the returned program goes through core::compile() unmodified.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/program.hpp"
+
+namespace stgsim::apps {
+
+struct TomcatvConfig {
+  std::int64_t n = 2048;        ///< mesh is n x n (paper: 2048)
+  std::int64_t iterations = 8;  ///< outer mesh-generation sweeps
+};
+
+ir::Program make_tomcatv(const TomcatvConfig& config);
+
+/// Analytic oracle for tests: user-level point-to-point messages one rank
+/// issues over the whole run (isend ops; receives mirror them).
+std::uint64_t tomcatv_expected_isends(const TomcatvConfig& config, int nprocs,
+                                      int rank);
+
+/// Per-rank data footprint (bytes) of the full program — what MPI-SIM-DE
+/// must allocate for this rank.
+std::size_t tomcatv_rank_bytes(const TomcatvConfig& config, int nprocs);
+
+}  // namespace stgsim::apps

@@ -1,0 +1,300 @@
+// stgsim — command-line front end.
+//
+//   stgsim list-apps
+//   stgsim compile --app <name> [app flags] [--procs P]
+//                  [--dump-stg f.dot] [--dump-dtg f.dot]
+//                  [--print-simplified] [--print-timer]
+//   stgsim run --app <name> --procs P --mode measured|de|am [app flags]
+//              [--machine sp|origin2000] [--calib N]
+//              [--load-params f] [--save-params f]
+//              [--threads N] [--abstract-comm] [--memory-cap-mb M]
+//              [--seed S]
+//
+// Examples:
+//   stgsim run --app tomcatv --n 1024 --procs 64 --mode am
+//   stgsim run --app sweep3d --kt 1000 --procs 10000 --mode am --calib 16
+//   stgsim compile --app nas_sp --class A --procs 16 --dump-stg sp.dot
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/nas_sp.hpp"
+#include "apps/sample.hpp"
+#include "apps/sweep3d.hpp"
+#include "apps/tomcatv.hpp"
+#include "core/calibration.hpp"
+#include "core/compiler.hpp"
+#include "core/dtg.hpp"
+#include "harness/runner.hpp"
+#include "support/table.hpp"
+
+namespace stgsim::cli {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::runtime_error("expected --flag, got '" + key + "'");
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+      seen_[key] = false;
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+  std::string str(const std::string& key, const std::string& dflt) {
+    auto it = values_.find(key);
+    if (it == values_.end()) return dflt;
+    seen_[key] = true;
+    return it->second;
+  }
+
+  long long num(const std::string& key, long long dflt) {
+    auto it = values_.find(key);
+    if (it == values_.end()) return dflt;
+    seen_[key] = true;
+    return std::stoll(it->second);
+  }
+
+  bool flag(const std::string& key) {
+    auto it = values_.find(key);
+    if (it == values_.end()) return false;
+    seen_[key] = true;
+    return true;
+  }
+
+  void check_all_consumed() const {
+    for (const auto& [key, used] : seen_) {
+      if (!used) throw std::runtime_error("unknown flag --" + key);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> seen_;
+};
+
+const std::vector<std::string> kApps = {"tomcatv", "sweep3d", "nas_sp",
+                                        "sample"};
+
+ir::Program build_app(const std::string& app, int procs, Args& args) {
+  if (app == "tomcatv") {
+    apps::TomcatvConfig cfg;
+    cfg.n = args.num("n", 1024);
+    cfg.iterations = args.num("iters", 4);
+    return apps::make_tomcatv(cfg);
+  }
+  if (app == "sweep3d") {
+    apps::Sweep3DConfig cfg;
+    cfg.it = args.num("it", 6);
+    cfg.jt = args.num("jt", 6);
+    cfg.kt = args.num("kt", 255);
+    cfg.kb = args.num("kb", 51);
+    cfg.mm = args.num("mm", 6);
+    cfg.mmi = args.num("mmi", 3);
+    cfg.timesteps = args.num("steps", 1);
+    apps::sweep3d_grid_for(procs, &cfg.npe_i, &cfg.npe_j);
+    return apps::make_sweep3d(cfg);
+  }
+  if (app == "nas_sp") {
+    int q = 1;
+    while ((q + 1) * (q + 1) <= procs) ++q;
+    if (q * q != procs) {
+      throw std::runtime_error("nas_sp needs a square process count");
+    }
+    const std::string cls = args.str("class", "A");
+    return apps::make_nas_sp(
+        apps::sp_class(cls.at(0), q, args.num("steps", 2)));
+  }
+  if (app == "sample") {
+    apps::SampleConfig cfg;
+    const std::string pattern = args.str("pattern", "nn");
+    cfg.pattern = (pattern == "wavefront") ? apps::SamplePattern::kWavefront
+                                           : apps::SamplePattern::kNearestNeighbor;
+    cfg.iterations = args.num("iters", 40);
+    cfg.msg_doubles = args.num("msg-doubles", 1024);
+    cfg.work_iters = args.num("work", 100000);
+    return apps::make_sample(cfg);
+  }
+  throw std::runtime_error("unknown app '" + app +
+                           "' (try: stgsim list-apps)");
+}
+
+harness::MachineSpec machine_for(Args& args) {
+  const std::string m = args.str("machine", "sp");
+  if (m == "sp") return harness::ibm_sp_machine();
+  if (m == "origin2000") return harness::origin2000_machine();
+  throw std::runtime_error("unknown machine '" + m + "'");
+}
+
+int cmd_list_apps() {
+  for (const auto& a : kApps) std::cout << a << '\n';
+  return 0;
+}
+
+int cmd_compile(Args& args) {
+  const std::string app = args.str("app", "");
+  const int procs = static_cast<int>(args.num("procs", 16));
+  ir::Program prog = build_app(app, procs, args);
+  core::CompileResult compiled = core::compile(prog);
+
+  std::cout << compiled.report(prog);
+
+  const std::string dot_path = args.str("dump-stg", "");
+  if (!dot_path.empty()) {
+    std::ofstream os(dot_path);
+    os << compiled.stg.to_dot();
+    std::cout << "wrote " << dot_path << '\n';
+  }
+  if (args.flag("print-simplified")) {
+    std::cout << "\n--- simplified program ---\n"
+              << compiled.simplified.program.to_string();
+  }
+  if (args.flag("print-timer")) {
+    std::cout << "\n--- timer-instrumented program ---\n"
+              << compiled.timer_program.to_string();
+  }
+
+  const std::string dtg_path = args.str("dump-dtg", "");
+  if (!dtg_path.empty()) {
+    // Unfold the dynamic task graph from one direct-execution run.
+    core::DtgRecorder recorder;
+    core::DtgObserver observer(&recorder);
+    smpi::World::Options wopts;
+    wopts.net = harness::ibm_sp_machine().net;
+    wopts.compute = harness::ibm_sp_machine().compute;
+    smpi::World world(wopts, procs);
+    simk::EngineConfig ec;
+    ec.num_processes = procs;
+    simk::Engine engine(ec);
+    ir::ExecOptions xopts;
+    xopts.observer = &observer;
+    engine.set_body([&](simk::Process& p) {
+      smpi::Comm comm(world, p);
+      ir::execute(prog, comm, xopts);
+    });
+    engine.run();
+    core::Dtg dtg = recorder.build();
+    const std::string consistency = dtg.check_consistency();
+    std::cout << dtg.summary() << "consistency: "
+              << (consistency.empty() ? "OK" : consistency) << '\n';
+    std::ofstream os(dtg_path);
+    os << dtg.to_dot();
+    std::cout << "wrote " << dtg_path << '\n';
+  }
+  args.check_all_consumed();
+  return 0;
+}
+
+int cmd_run(Args& args) {
+  const std::string app = args.str("app", "");
+  const int procs = static_cast<int>(args.num("procs", 16));
+  const std::string mode_str = args.str("mode", "de");
+  const auto machine = machine_for(args);
+
+  harness::RunConfig cfg;
+  cfg.nprocs = procs;
+  cfg.machine = machine;
+  cfg.threads = static_cast<int>(args.num("threads", 0));
+  cfg.abstract_comm = args.flag("abstract-comm");
+  cfg.memory_cap_bytes =
+      static_cast<std::size_t>(args.num("memory-cap-mb", 0)) << 20;
+  cfg.seed = static_cast<std::uint64_t>(args.num("seed", 20260704));
+  cfg.fiber_stack_bytes =
+      static_cast<std::size_t>(args.num("stack-kb", 256)) * 1024;
+
+  harness::RunOutcome out;
+  if (mode_str == "measured" || mode_str == "de") {
+    cfg.mode = mode_str == "de" ? harness::Mode::kDirectExec
+                                : harness::Mode::kMeasured;
+    ir::Program prog = build_app(app, procs, args);
+    args.check_all_consumed();
+    out = harness::run_program(prog, cfg);
+  } else if (mode_str == "am") {
+    cfg.mode = harness::Mode::kAnalytical;
+    ir::Program prog = build_app(app, procs, args);
+    core::CompileResult compiled = core::compile(prog);
+
+    const std::string load = args.str("load-params", "");
+    if (!load.empty()) {
+      cfg.params = core::load_params(load);
+      for (const auto& p : compiled.simplified.params) {
+        cfg.params.emplace(p, 0.0);
+      }
+    } else {
+      const int calib = static_cast<int>(args.num("calib", 16));
+      std::cerr << "calibrating w_i at " << calib << " processes...\n";
+      // The calibration program must be built for the calibration size
+      // (apps whose shape depends on the grid).
+      Args calib_args = args;
+      ir::Program calib_prog = build_app(app, calib, calib_args);
+      core::CompileResult calib_compiled = core::compile(calib_prog);
+      cfg.params =
+          harness::calibrate(calib_compiled.timer_program, calib, machine,
+                             compiled.simplified.params, cfg.seed);
+    }
+    const std::string save = args.str("save-params", "");
+    if (!save.empty()) {
+      core::save_params(save, cfg.params);
+      std::cerr << "wrote " << save << '\n';
+    }
+    args.check_all_consumed();
+    out = harness::run_program(compiled.simplified.program, cfg);
+  } else {
+    throw std::runtime_error("unknown mode '" + mode_str +
+                             "' (measured|de|am)");
+  }
+
+  if (out.out_of_memory) {
+    std::cout << "OUT OF MEMORY: the run exceeded the configured cap\n";
+    return 2;
+  }
+  TablePrinter t({"quantity", "value"});
+  t.add_row({"app", app});
+  t.add_row({"mode", mode_str});
+  t.add_row({"target processes", TablePrinter::fmt_int(procs)});
+  t.add_row({"predicted time", vtime_to_string(out.predicted_time)});
+  t.add_row({"target data (peak)", TablePrinter::fmt_bytes(out.peak_target_bytes)});
+  t.add_row({"messages simulated",
+             TablePrinter::fmt_int(static_cast<long long>(out.messages))});
+  t.add_row({"simulator wall-clock",
+             TablePrinter::fmt(out.sim_host_seconds, 3) + " s"});
+  std::cout << t.to_ascii();
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: stgsim <list-apps|compile|run> [--flags]\n"
+                 "see the header of src/cli/stgsim_cli.cpp for examples\n";
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    Args args(argc, argv);
+    if (cmd == "list-apps") return cmd_list_apps();
+    if (cmd == "compile") return cmd_compile(args);
+    if (cmd == "run") return cmd_run(args);
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace
+}  // namespace stgsim::cli
+
+int main(int argc, char** argv) { return stgsim::cli::main(argc, argv); }

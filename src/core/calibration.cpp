@@ -1,0 +1,31 @@
+#include "core/calibration.hpp"
+
+#include <fstream>
+
+#include "support/check.hpp"
+
+namespace stgsim::core {
+
+void save_params(const std::string& path,
+                 const std::map<std::string, double>& params) {
+  std::ofstream os(path);
+  STGSIM_CHECK(os.good()) << "cannot open " << path << " for writing";
+  os.precision(17);
+  for (const auto& [name, value] : params) {
+    os << name << ' ' << value << '\n';
+  }
+}
+
+std::map<std::string, double> load_params(const std::string& path) {
+  std::ifstream is(path);
+  STGSIM_CHECK(is.good()) << "cannot open parameter file " << path;
+  std::map<std::string, double> params;
+  std::string name;
+  double value = 0.0;
+  while (is >> name >> value) {
+    params[name] = value;
+  }
+  return params;
+}
+
+}  // namespace stgsim::core

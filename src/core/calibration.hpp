@@ -1,0 +1,18 @@
+// Persistence of the w_i parameter tables (paper Figure 2: the output of
+// the timer-instrumented run "can be directly provided as input to the
+// delay version of the code").
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace stgsim::core {
+
+/// Writes "name value" lines; overwrites the file.
+void save_params(const std::string& path,
+                 const std::map<std::string, double>& params);
+
+/// Reads a table written by save_params. Throws on malformed input.
+std::map<std::string, double> load_params(const std::string& path);
+
+}  // namespace stgsim::core

@@ -1,0 +1,48 @@
+#include "core/compiler.hpp"
+
+#include <sstream>
+
+namespace stgsim::core {
+
+CompileResult compile(const ir::Program& prog, const CompileOptions& options) {
+  prog.validate();
+  Stg stg = synthesize_stg(prog, options.rank_var);
+  SliceResult slice = compute_slice(prog, options.slice);
+  SimplifyResult simplified = generate_simplified(prog, slice, options.codegen);
+  ir::Program timer = generate_timer_program(prog);
+  return CompileResult{std::move(stg), std::move(slice), std::move(simplified),
+                       std::move(timer)};
+}
+
+std::string CompileResult::report(const ir::Program& original) const {
+  std::size_t total = 0;
+  ir::for_each_stmt(original, [&](const ir::Stmt&) { ++total; });
+
+  std::size_t arrays = 0, live = 0;
+  ir::for_each_stmt(original, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kDeclArray) {
+      ++arrays;
+      if (slice.array_is_live(s.name)) ++live;
+    }
+  });
+
+  std::ostringstream os;
+  os << "compile report for '" << original.name() << "'\n";
+  os << "  " << stg.summary();
+  os << "  slice: retained " << slice.retained.size() << "/" << total
+     << " statements, " << slice.needed_vars.size() << " needed variables\n";
+  os << "  arrays: " << live << "/" << arrays
+     << " kept; eliminated arrays redirected to "
+     << (simplified.dummy_buffer_comms > 0 ? "the dummy buffer" : "(none)")
+     << " in " << simplified.dummy_buffer_comms << " communication ops\n";
+  os << "  condensed tasks: " << simplified.condensed.size() << "\n";
+  for (const auto& ct : simplified.condensed) {
+    os << "    delay(" << ct.seconds.to_string() << ")\n";
+  }
+  os << "  parameters:";
+  for (const auto& p : simplified.params) os << ' ' << p;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace stgsim::core

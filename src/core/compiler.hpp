@@ -1,0 +1,34 @@
+// The compiler driver: IR program -> {STG, slice, simplified program,
+// timer-instrumented program} — the full §3 pipeline in one call.
+#pragma once
+
+#include <string>
+
+#include "core/codegen.hpp"
+#include "core/slice.hpp"
+#include "core/stg.hpp"
+#include "ir/program.hpp"
+
+namespace stgsim::core {
+
+struct CompileOptions {
+  SliceOptions slice;
+  CodegenOptions codegen;
+  std::string rank_var = "myid";
+};
+
+struct CompileResult {
+  Stg stg;
+  SliceResult slice;
+  SimplifyResult simplified;
+  ir::Program timer_program;
+
+  /// Human-readable compilation summary (what was retained, what was
+  /// collapsed, which parameters the simplified program needs).
+  std::string report(const ir::Program& original) const;
+};
+
+CompileResult compile(const ir::Program& prog,
+                      const CompileOptions& options = {});
+
+}  // namespace stgsim::core

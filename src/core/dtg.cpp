@@ -1,0 +1,217 @@
+#include "core/dtg.hpp"
+
+#include <sstream>
+
+#include "core/stg.hpp"
+#include "support/check.hpp"
+
+namespace stgsim::core {
+
+namespace {
+
+const char* kind_name(DtgNodeKind k) {
+  switch (k) {
+    case DtgNodeKind::kCompute: return "compute";
+    case DtgNodeKind::kSend: return "send";
+    case DtgNodeKind::kRecv: return "recv";
+    case DtgNodeKind::kCollective: return "collective";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<const DtgNode*> Dtg::instances_of(int rank) const {
+  std::vector<const DtgNode*> out;
+  for (const auto& n : nodes) {
+    if (n.rank == rank) out.push_back(&n);
+  }
+  return out;
+}
+
+std::size_t Dtg::count(DtgNodeKind kind) const {
+  std::size_t c = 0;
+  for (const auto& n : nodes) c += n.kind == kind;
+  return c;
+}
+
+std::string Dtg::check_consistency() const {
+  std::ostringstream os;
+
+  // Per-rank instance sequences must be time-ordered.
+  std::map<int, VTime> last_end;
+  for (const auto& n : nodes) {
+    if (n.end < n.start) {
+      os << "instance " << n.id << " ends before it starts";
+      return os.str();
+    }
+    auto it = last_end.find(n.rank);
+    if (it != last_end.end() && n.start + 1 < it->second) {
+      // +1ns slack: collectives may complete at identical timestamps.
+      os << "rank " << n.rank << " instance " << n.id
+         << " starts before its predecessor ended";
+      return os.str();
+    }
+    last_end[n.rank] = n.end;
+  }
+
+  // Every message edge pairs a send with a recv of the same tag/bytes.
+  std::map<int, const DtgNode*> by_id;
+  for (const auto& n : nodes) by_id[n.id] = &n;
+  std::size_t paired_sends = 0;
+  for (const auto& e : msg_edges) {
+    const DtgNode* s = by_id.at(e.send_node);
+    const DtgNode* r = by_id.at(e.recv_node);
+    if (s->kind != DtgNodeKind::kSend || r->kind != DtgNodeKind::kRecv) {
+      os << "edge " << e.send_node << "->" << e.recv_node
+         << " does not connect send to recv";
+      return os.str();
+    }
+    if (s->tag != r->tag || s->bytes != r->bytes) {
+      os << "edge " << e.send_node << "->" << e.recv_node
+         << " mismatched tag/bytes (" << s->tag << "/" << s->bytes << " vs "
+         << r->tag << "/" << r->bytes << ")";
+      return os.str();
+    }
+    if (s->peer != r->rank || r->peer != s->rank) {
+      os << "edge " << e.send_node << "->" << e.recv_node
+         << " endpoint mismatch";
+      return os.str();
+    }
+    // Nonblocking receives are recorded at post time, which may precede
+    // the matching send; the causality check applies to blocking ops.
+    if (!r->nonblocking && !s->nonblocking && r->end < s->start) {
+      os << "edge " << e.send_node << "->" << e.recv_node
+         << " completes before the send began";
+      return os.str();
+    }
+    ++paired_sends;
+  }
+  if (paired_sends != count(DtgNodeKind::kSend)) {
+    os << "unpaired sends: " << count(DtgNodeKind::kSend) - paired_sends;
+    return os.str();
+  }
+  return "";
+}
+
+std::string Dtg::check_against_stg(
+    const Stg& stg, const std::map<std::string, sym::Value>& globals,
+    const std::string& rank_var) const {
+  std::ostringstream os;
+  for (const auto& n : nodes) {
+    const StgNode* sn = stg.node_for_stmt(n.stmt_id);
+    if (sn == nullptr) {
+      os << "dynamic instance " << n.id << " (" << kind_name(n.kind)
+         << ", stmt " << n.stmt_id << ") has no static node";
+      return os.str();
+    }
+    const bool kinds_match =
+        (n.kind == DtgNodeKind::kCompute) == (sn->kind == StgNodeKind::kCompute);
+    if (!kinds_match) {
+      os << "dynamic instance " << n.id << " kind disagrees with static node";
+      return os.str();
+    }
+    // Guard check: the static process set must admit the executing rank.
+    sym::MapEnv env(globals);
+    env.set(rank_var, sym::Value(std::int64_t{n.rank}));
+    try {
+      if (!sn->guard.eval(env).as_bool()) {
+        os << "rank " << n.rank << " executed stmt " << n.stmt_id
+           << " but the static guard " << sn->guard.to_string()
+           << " excludes it";
+        return os.str();
+      }
+    } catch (const sym::EvalError&) {
+      // Guard references run-time scalars the caller did not provide
+      // (e.g. per-octant direction variables): not checkable statically.
+    }
+  }
+  return "";
+}
+
+std::string Dtg::to_dot() const {
+  std::ostringstream os;
+  os << "digraph dtg {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n";
+  // One horizontal chain per rank.
+  std::map<int, std::vector<const DtgNode*>> per_rank;
+  for (const auto& n : nodes) per_rank[n.rank].push_back(&n);
+  for (const auto& [rank, seq] : per_rank) {
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      const DtgNode& n = *seq[i];
+      os << "  n" << n.id << " [label=\"r" << n.rank << " "
+         << kind_name(n.kind);
+      if (!n.task.empty()) os << " " << n.task;
+      if (n.kind == DtgNodeKind::kSend || n.kind == DtgNodeKind::kRecv) {
+        os << " tag " << n.tag;
+      }
+      os << "\\n@" << vtime_to_string(n.start) << "\"];\n";
+      if (i > 0) {
+        os << "  n" << seq[i - 1]->id << " -> n" << n.id
+           << " [color=gray];\n";
+      }
+    }
+  }
+  for (const auto& e : msg_edges) {
+    os << "  n" << e.send_node << " -> n" << e.recv_node
+       << " [style=dashed, color=red];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string Dtg::summary() const {
+  std::ostringstream os;
+  os << "DTG: " << nodes.size() << " task instances ("
+     << count(DtgNodeKind::kCompute) << " compute, "
+     << count(DtgNodeKind::kSend) << " send, " << count(DtgNodeKind::kRecv)
+     << " recv, " << count(DtgNodeKind::kCollective) << " collective), "
+     << msg_edges.size() << " message edges\n";
+  return os.str();
+}
+
+void DtgRecorder::record(int rank, DtgNodeKind kind, const ir::Stmt& stmt,
+                         const std::string& task, int peer, int tag,
+                         std::size_t bytes, bool nonblocking, VTime start,
+                         VTime end) {
+  DtgNode n;
+  n.id = static_cast<int>(nodes_.size());
+  n.rank = rank;
+  n.kind = kind;
+  n.stmt_id = stmt.id;
+  n.task = task;
+  n.peer = peer;
+  n.tag = tag;
+  n.bytes = bytes;
+  n.nonblocking = nonblocking;
+  n.start = start;
+  n.end = end;
+  nodes_.push_back(std::move(n));
+}
+
+Dtg DtgRecorder::build() const {
+  Dtg dtg;
+  dtg.nodes = nodes_;
+
+  // Pair the k-th send on channel (src, dst, tag) with the k-th receive
+  // posted for it — the engine's non-overtaking matching rule.
+  using Channel = std::tuple<int, int, int>;
+  std::map<Channel, std::vector<int>> sends, recvs;
+  for (const auto& n : dtg.nodes) {
+    if (n.kind == DtgNodeKind::kSend) {
+      sends[{n.rank, n.peer, n.tag}].push_back(n.id);
+    } else if (n.kind == DtgNodeKind::kRecv && n.peer >= 0) {
+      recvs[{n.peer, n.rank, n.tag}].push_back(n.id);
+    }
+  }
+  for (const auto& [channel, ss] : sends) {
+    auto it = recvs.find(channel);
+    if (it == recvs.end()) continue;
+    const auto& rs = it->second;
+    for (std::size_t k = 0; k < ss.size() && k < rs.size(); ++k) {
+      dtg.msg_edges.push_back(DtgMsgEdge{ss[k], rs[k]});
+    }
+  }
+  return dtg;
+}
+
+}  // namespace stgsim::core

@@ -1,0 +1,130 @@
+// The dynamic task graph (DTG).
+//
+// The paper's compiler work synthesized "static (and dynamic) task
+// graphs" (§2.2): where the STG is a compact symbolic representation —
+// one node per *set* of parallel tasks — the DTG is its unfolding for a
+// concrete run: one node per executed task *instance* per process, with
+// the actual message edges that occurred. It serves three purposes here:
+//   * a ground-truth artifact for inspecting a run (export to Graphviz);
+//   * cross-validation of the STG: every dynamic instance must map back
+//     to a static node whose guard admits the executing process;
+//   * structural invariants (send/recv pairing, per-process ordering)
+//     that the tests assert after direct-execution runs.
+//
+// Recording is opt-in via ir::ExecOptions (sequential scheduler only).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/interp.hpp"
+#include "ir/program.hpp"
+#include "support/vtime.hpp"
+
+namespace stgsim::core {
+
+class Stg;
+
+enum class DtgNodeKind { kCompute, kSend, kRecv, kCollective };
+
+struct DtgNode {
+  int id = -1;
+  int rank = -1;
+  DtgNodeKind kind{};
+  int stmt_id = -1;       ///< source marker into the IR / STG
+  std::string task;       ///< kernel task (compute nodes)
+  int peer = -1;          ///< actual partner rank (p2p nodes)
+  int tag = 0;
+  std::size_t bytes = 0;
+  bool nonblocking = false;  ///< isend/irecv: recorded at post time
+  VTime start = 0;
+  VTime end = 0;
+};
+
+struct DtgMsgEdge {
+  int send_node = -1;
+  int recv_node = -1;
+};
+
+/// A fully unfolded run: per-rank instance sequences plus message edges.
+class Dtg {
+ public:
+  std::vector<DtgNode> nodes;
+  std::vector<DtgMsgEdge> msg_edges;
+
+  /// Instances executed by `rank`, in program order.
+  std::vector<const DtgNode*> instances_of(int rank) const;
+  std::size_t count(DtgNodeKind kind) const;
+
+  /// Structural invariants: every send instance pairs with exactly one
+  /// recv instance of equal tag and byte count; a message never completes
+  /// before it started; each rank's instances are time-ordered. Returns
+  /// "" or a description of the first violation.
+  std::string check_consistency() const;
+
+  /// Cross-validation against the static graph: every instance's stmt_id
+  /// must name an STG node of the matching kind, and for nodes guarded by
+  /// a process-set condition over `rank_var` and `globals`, the guard
+  /// must admit the executing rank. Returns "" or the first violation.
+  std::string check_against_stg(const Stg& stg,
+                                const std::map<std::string, sym::Value>& globals,
+                                const std::string& rank_var = "myid") const;
+
+  std::string to_dot() const;
+  std::string summary() const;
+};
+
+/// Collects instances during interpretation; build() pairs message edges
+/// (k-th send on a (src,dst,tag) channel with its k-th receive — the
+/// engine's own non-overtaking matching rule).
+class DtgRecorder {
+ public:
+  void record(int rank, DtgNodeKind kind, const ir::Stmt& stmt,
+              const std::string& task, int peer, int tag, std::size_t bytes,
+              bool nonblocking, VTime start, VTime end);
+
+  Dtg build() const;
+
+ private:
+  std::vector<DtgNode> nodes_;
+};
+
+/// Adapter plugging a DtgRecorder into ir::ExecOptions::observer.
+class DtgObserver : public ir::StmtObserver {
+ public:
+  explicit DtgObserver(DtgRecorder* recorder) : recorder_(recorder) {}
+
+  void on_compute(int rank, const ir::Stmt& stmt, VTime start,
+                  VTime end) override {
+    recorder_->record(rank, DtgNodeKind::kCompute, stmt, stmt.kernel.task,
+                      -1, 0, 0, /*nonblocking=*/false, start, end);
+  }
+
+  void on_comm(int rank, const ir::Stmt& stmt, int peer, std::size_t bytes,
+               VTime start, VTime end) override {
+    DtgNodeKind kind = DtgNodeKind::kCollective;
+    switch (stmt.kind) {
+      case ir::StmtKind::kSend:
+      case ir::StmtKind::kIsend:
+        kind = DtgNodeKind::kSend;
+        break;
+      case ir::StmtKind::kRecv:
+      case ir::StmtKind::kIrecv:
+        kind = DtgNodeKind::kRecv;
+        break;
+      default:
+        break;
+    }
+    const bool nonblocking = stmt.kind == ir::StmtKind::kIsend ||
+                             stmt.kind == ir::StmtKind::kIrecv;
+    recorder_->record(rank, kind, stmt, "", peer, stmt.tag, bytes,
+                      nonblocking, start, end);
+  }
+
+ private:
+  DtgRecorder* recorder_;
+};
+
+}  // namespace stgsim::core

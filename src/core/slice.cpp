@@ -1,0 +1,301 @@
+#include "core/slice.hpp"
+
+#include <map>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace stgsim::core {
+
+namespace {
+
+using ir::Stmt;
+using ir::StmtKind;
+
+bool is_comm(StmtKind k) {
+  switch (k) {
+    case StmtKind::kSend:
+    case StmtKind::kRecv:
+    case StmtKind::kIsend:
+    case StmtKind::kIrecv:
+    case StmtKind::kWaitall:
+    case StmtKind::kBarrier:
+    case StmtKind::kBcast:
+    case StmtKind::kAllreduceSum:
+    case StmtKind::kAllreduceMax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Variables whose values influence timing/structure when this statement
+/// is retained — communication payloads excluded.
+std::set<std::string> structural_uses(const Stmt& s) {
+  std::set<std::string> out;
+  auto add = [&](const sym::Expr& e) {
+    for (auto& v : e.free_vars()) out.insert(v);
+  };
+  switch (s.kind) {
+    case StmtKind::kDeclScalar:
+      if (s.has_init) add(s.e1);
+      break;
+    case StmtKind::kDeclArray:
+      for (const auto& e : s.extents) add(e);
+      break;
+    case StmtKind::kAssign:
+      add(s.e1);
+      break;
+    case StmtKind::kFor:
+      add(s.e1);
+      add(s.e2);
+      break;
+    case StmtKind::kIf:
+      add(s.e1);
+      break;
+    case StmtKind::kCompute:
+      // A retained kernel really executes: it needs its operands (values)
+      // and its buffers (reads and writes), plus its cost expression.
+      for (const auto& r : s.kernel.reads) out.insert(r);
+      for (const auto& w : s.kernel.writes) out.insert(w);
+      add(s.kernel.iters);
+      break;
+    case StmtKind::kSend:
+    case StmtKind::kRecv:
+    case StmtKind::kIsend:
+    case StmtKind::kIrecv:
+    case StmtKind::kBcast:
+      add(s.e1);
+      add(s.e2);
+      add(s.e3);
+      break;
+    case StmtKind::kAllreduceSum:
+    case StmtKind::kAllreduceMax:
+    case StmtKind::kWaitall:
+    case StmtKind::kBarrier:
+    case StmtKind::kGetRank:
+    case StmtKind::kGetSize:
+    case StmtKind::kReadParam:
+    case StmtKind::kCall:
+      break;
+    case StmtKind::kDelay:
+    case StmtKind::kTimerStop:
+      add(s.e1);
+      break;
+    case StmtKind::kTimerStart:
+      break;
+  }
+  return out;
+}
+
+struct StmtInfo {
+  const Stmt* stmt = nullptr;
+  std::vector<const Stmt*> ancestors;  // innermost last, within one body
+  std::string proc;                    // "" for main
+};
+
+class Slicer {
+ public:
+  Slicer(const ir::Program& prog, const SliceOptions& options)
+      : prog_(prog), options_(options) {
+    index_block(prog.main(), {}, "");
+    for (const auto& p : prog.procedures()) {
+      index_block(p.body, {}, p.name);
+    }
+  }
+
+  SliceResult run() {
+    seed();
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      changed |= propagate_defs();
+      changed |= control_closure();
+      changed |= call_closure();
+      changed |= scaling_closure();
+    }
+
+    SliceResult result;
+    result.retained = std::move(retained_);
+    result.needed_vars = std::move(needed_);
+    for (const auto& info : infos_) {
+      if (info.stmt->kind == StmtKind::kDeclArray &&
+          result.retained.contains(info.stmt->id)) {
+        result.live_arrays.insert(info.stmt->name);
+      }
+    }
+    return result;
+  }
+
+ private:
+  void index_block(const std::vector<ir::StmtP>& block,
+                   std::vector<const Stmt*> ancestors,
+                   const std::string& proc) {
+    for (const auto& sp : block) {
+      const Stmt* s = sp.get();
+      infos_.push_back(StmtInfo{s, ancestors, proc});
+      info_of_[s->id] = infos_.size() - 1;
+      for (const auto& d : ir::stmt_effects(*s).defs) {
+        // Request-list names are bookkeeping, not program variables.
+        if (s->kind == StmtKind::kIsend || s->kind == StmtKind::kIrecv) {
+          if (d == s->aux_name) continue;
+        }
+        if (s->kind == StmtKind::kWaitall) continue;
+        defs_of_[d].push_back(s);
+      }
+      if (s->kind == StmtKind::kCall) {
+        call_sites_[s->name].push_back(s);
+      }
+      auto inner = ancestors;
+      inner.push_back(s);
+      index_block(s->body, inner, proc);
+      index_block(s->else_body, inner, proc);
+    }
+  }
+
+  bool retain(const Stmt* s) { return retained_.insert(s->id).second; }
+
+  bool need(const std::string& var) { return needed_.insert(var).second; }
+
+  bool need_all(const std::set<std::string>& vars) {
+    bool changed = false;
+    for (const auto& v : vars) changed |= need(v);
+    return changed;
+  }
+
+  void seed() {
+    // Scalar declarations by name, for payload-only scalars (below).
+    std::map<std::string, std::vector<const Stmt*>> scalar_decls;
+    for (const auto& info : infos_) {
+      if (info.stmt->kind == StmtKind::kDeclScalar) {
+        scalar_decls[info.stmt->name].push_back(info.stmt);
+      }
+    }
+
+    for (const auto& info : infos_) {
+      const Stmt& s = *info.stmt;
+      if (is_comm(s.kind)) {
+        retain(info.stmt);
+        need_all(structural_uses(s));
+        // A reduction's payload scalar must stay *declared* even when its
+        // value is dead (the kernels computing it are eliminated, but the
+        // collective still transfers 8 bytes of it).
+        if (s.kind == StmtKind::kAllreduceSum ||
+            s.kind == StmtKind::kAllreduceMax) {
+          auto it = scalar_decls.find(s.name);
+          if (it != scalar_decls.end()) {
+            for (const Stmt* d : it->second) {
+              retain(d);
+              need_all(structural_uses(*d));
+            }
+          }
+        }
+      }
+      if (s.kind == StmtKind::kIf &&
+          (options_.retain_all_branches ||
+           options_.retained_branch_ids.contains(s.id))) {
+        retain(info.stmt);
+        need_all(structural_uses(s));
+      }
+    }
+  }
+
+  bool propagate_defs() {
+    bool changed = false;
+    // Every definition of a needed variable is retained, and its own
+    // structural uses become needed (flow-insensitive closure).
+    for (const auto& var : std::set<std::string>(needed_)) {
+      auto it = defs_of_.find(var);
+      if (it == defs_of_.end()) continue;
+      for (const Stmt* d : it->second) {
+        changed |= retain(d);
+        changed |= need_all(structural_uses(*d));
+      }
+    }
+    return changed;
+  }
+
+  bool control_closure() {
+    bool changed = false;
+    for (const auto& info : infos_) {
+      if (!retained_.contains(info.stmt->id)) continue;
+      for (const Stmt* a : info.ancestors) {
+        changed |= retain(a);
+        changed |= need_all(structural_uses(*a));
+      }
+    }
+    return changed;
+  }
+
+  bool call_closure() {
+    bool changed = false;
+    for (const auto& info : infos_) {
+      if (info.proc.empty() || !retained_.contains(info.stmt->id)) continue;
+      auto it = call_sites_.find(info.proc);
+      if (it == call_sites_.end()) continue;
+      for (const Stmt* site : it->second) {
+        changed |= retain(site);
+        // Ancestors of the site are handled by control_closure next round.
+      }
+    }
+    return changed;
+  }
+
+  /// For every *eliminated* kernel, the free variables of its scaling
+  /// function — with variables bound by enclosing eliminated loops removed
+  /// (they are summed over symbolically) and the bounds of those loops
+  /// added instead (paper §3.1: "we also compute a scaling expression for
+  /// each collapsed task").
+  bool scaling_closure() {
+    bool changed = false;
+    for (const auto& info : infos_) {
+      const Stmt& s = *info.stmt;
+      if (s.kind != StmtKind::kCompute || retained_.contains(s.id)) continue;
+
+      std::set<std::string> bound;
+      // Walk ancestors outermost -> innermost below the last retained one.
+      std::size_t start = 0;
+      for (std::size_t i = 0; i < info.ancestors.size(); ++i) {
+        if (retained_.contains(info.ancestors[i]->id)) start = i + 1;
+      }
+      for (std::size_t i = start; i < info.ancestors.size(); ++i) {
+        const Stmt& a = *info.ancestors[i];
+        if (a.kind == StmtKind::kFor) {
+          for (const auto& v : a.e1.free_vars()) {
+            if (!bound.contains(v)) changed |= need(v);
+          }
+          for (const auto& v : a.e2.free_vars()) {
+            if (!bound.contains(v)) changed |= need(v);
+          }
+          bound.insert(a.name);
+        }
+        // Eliminated branches are folded statistically; their condition
+        // variables are intentionally NOT needed (§3.1's simpler approach).
+      }
+      for (const auto& v : s.kernel.iters.free_vars()) {
+        if (!bound.contains(v)) changed |= need(v);
+      }
+    }
+    return changed;
+  }
+
+  const ir::Program& prog_;
+  SliceOptions options_;
+
+  std::vector<StmtInfo> infos_;
+  std::map<int, std::size_t> info_of_;
+  std::map<std::string, std::vector<const Stmt*>> defs_of_;
+  std::map<std::string, std::vector<const Stmt*>> call_sites_;
+
+  std::set<int> retained_;
+  std::set<std::string> needed_;
+};
+
+}  // namespace
+
+SliceResult compute_slice(const ir::Program& prog,
+                          const SliceOptions& options) {
+  return Slicer(prog, options).run();
+}
+
+}  // namespace stgsim::core

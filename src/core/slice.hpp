@@ -1,0 +1,58 @@
+// Program slicing (paper §3.2).
+//
+// Given a target program, computes the subset of statements that must be
+// retained in the simplified program because they affect its *parallel
+// structure*: communication arguments (peers, sizes, offsets), the control
+// flow that reaches communication, and the free variables of the scaling
+// functions of eliminated computational tasks. Everything else — in
+// particular the computational loop nests and the large arrays they touch
+// — can be abstracted away.
+//
+// The slice is flow-insensitive (every definition of a needed variable is
+// retained) and therefore conservative, exactly as the paper allows: "the
+// subset has to be conservative, limited by the precision of static
+// program analysis, and therefore may not be minimal."
+//
+// Values that flow only through communication *payloads* are not part of
+// the criterion: predicting performance needs message sizes and
+// destinations, not message contents. A payload variable joins the slice
+// only if something structural later depends on it (e.g. a convergence
+// test on an allreduced residual), in which case the def-use closure pulls
+// in the kernels that compute it — and those kernels then stay in the
+// simplified program as real computations.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace stgsim::core {
+
+struct SliceOptions {
+  /// Ablation knob: retain every branch (and the computation feeding its
+  /// condition) instead of eliminating branches statistically (§3.1's
+  /// "more precise approach").
+  bool retain_all_branches = false;
+
+  /// User directives (§3.1): specific branches to retain by statement id
+  /// — "allow the user to specify through directives that specific
+  /// branches can be [kept and the rest] treated analytically".
+  std::set<int> retained_branch_ids;
+};
+
+struct SliceResult {
+  std::set<int> retained;            ///< statement ids kept in the slice
+  std::set<std::string> needed_vars; ///< scalars/arrays whose values matter
+  std::set<std::string> live_arrays; ///< arrays that must stay allocated
+
+  bool is_retained(const ir::Stmt& s) const { return retained.contains(s.id); }
+  bool array_is_live(const std::string& name) const {
+    return live_arrays.contains(name);
+  }
+};
+
+SliceResult compute_slice(const ir::Program& prog,
+                          const SliceOptions& options = {});
+
+}  // namespace stgsim::core

@@ -1,0 +1,293 @@
+#include "core/stg.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace stgsim::core {
+
+namespace {
+
+using ir::Stmt;
+using ir::StmtKind;
+using sym::Expr;
+
+bool is_comm_stmt(StmtKind k) {
+  switch (k) {
+    case StmtKind::kSend:
+    case StmtKind::kRecv:
+    case StmtKind::kIsend:
+    case StmtKind::kIrecv:
+    case StmtKind::kWaitall:
+    case StmtKind::kBarrier:
+    case StmtKind::kBcast:
+    case StmtKind::kAllreduceSum:
+    case StmtKind::kAllreduceMax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_send_kind(StmtKind k) {
+  return k == StmtKind::kSend || k == StmtKind::kIsend;
+}
+bool is_recv_kind(StmtKind k) {
+  return k == StmtKind::kRecv || k == StmtKind::kIrecv;
+}
+
+class Synthesizer {
+ public:
+  Synthesizer(const ir::Program& prog, std::string rank_var)
+      : prog_(prog), rank_var_(std::move(rank_var)) {
+    ir::for_each_stmt(prog_, [&](const Stmt& s) {
+      if (s.kind == StmtKind::kDeclArray) {
+        elem_bytes_[s.name] = s.elem_bytes;
+      }
+    });
+  }
+
+  Stg run() {
+    stg_.roots = walk_block(prog_.main(), Expr::integer(1));
+    pair_comm_edges();
+    return std::move(stg_);
+  }
+
+ private:
+  std::size_t elem_bytes_of(const std::string& array) const {
+    auto it = elem_bytes_.find(array);
+    return it == elem_bytes_.end() ? sizeof(double) : it->second;
+  }
+
+  std::vector<int> walk_block(const std::vector<ir::StmtP>& block,
+                              const Expr& guard) {
+    std::vector<int> ids;
+    for (const auto& sp : block) {
+      const Stmt& s = *sp;
+      switch (s.kind) {
+        case StmtKind::kCompute: {
+          StgNode n;
+          n.kind = StgNodeKind::kCompute;
+          n.stmt_id = s.id;
+          n.guard = guard;
+          n.task = s.kernel.task;
+          n.scaling = s.kernel.iters;
+          n.flops_per_iter = s.kernel.flops_per_iter;
+          ids.push_back(add(std::move(n)));
+          break;
+        }
+        case StmtKind::kFor: {
+          StgNode n;
+          n.kind = StgNodeKind::kControl;
+          n.stmt_id = s.id;
+          n.guard = guard;
+          n.is_loop = true;
+          n.loop_var = s.name;
+          n.lo = s.e1;
+          n.hi = s.e2;
+          const int id = add(std::move(n));
+          ids.push_back(id);
+          auto kids = walk_block(s.body, guard);
+          stg_.nodes[static_cast<std::size_t>(id)].children = std::move(kids);
+          break;
+        }
+        case StmtKind::kIf: {
+          // A branch on the rank variable refines the process set of the
+          // statements it guards (Fig. 1(b): send/recv nodes exist only
+          // for the boundary processes); any other branch becomes a
+          // control node.
+          const bool rank_guard = s.e1.references(rank_var_) &&
+                                  s.else_body.empty();
+          if (rank_guard) {
+            auto kids =
+                walk_block(s.body, sym::logical_and(guard, s.e1).simplified());
+            ids.insert(ids.end(), kids.begin(), kids.end());
+          } else {
+            StgNode n;
+            n.kind = StgNodeKind::kControl;
+            n.stmt_id = s.id;
+            n.guard = guard;
+            n.is_loop = false;
+            n.cond = s.e1;
+            const int id = add(std::move(n));
+            ids.push_back(id);
+            auto kids = walk_block(s.body, guard);
+            auto ekids = walk_block(s.else_body, guard);
+            kids.insert(kids.end(), ekids.begin(), ekids.end());
+            stg_.nodes[static_cast<std::size_t>(id)].children =
+                std::move(kids);
+          }
+          break;
+        }
+        case StmtKind::kCall: {
+          const ir::Procedure* p = prog_.find_procedure(s.name);
+          STGSIM_CHECK(p != nullptr);
+          auto kids = walk_block(p->body, guard);
+          ids.insert(ids.end(), kids.begin(), kids.end());
+          break;
+        }
+        default: {
+          if (!is_comm_stmt(s.kind)) break;  // scalar stmts: no STG node
+          StgNode n;
+          n.kind = StgNodeKind::kComm;
+          n.stmt_id = s.id;
+          n.guard = guard;
+          n.comm_kind = s.kind;
+          n.tag = s.tag;
+          n.peer = s.e1;
+          if (s.kind == StmtKind::kAllreduceSum ||
+              s.kind == StmtKind::kAllreduceMax) {
+            n.size_bytes = Expr::integer(static_cast<std::int64_t>(
+                sizeof(double)));
+          } else if (s.kind != StmtKind::kBarrier &&
+                     s.kind != StmtKind::kWaitall) {
+            n.size_bytes =
+                (s.e2 * Expr::integer(static_cast<std::int64_t>(
+                            elem_bytes_of(s.name))))
+                    .simplified();
+          }
+          ids.push_back(add(std::move(n)));
+          break;
+        }
+      }
+    }
+    return ids;
+  }
+
+  int add(StgNode n) {
+    n.id = static_cast<int>(stg_.nodes.size());
+    stg_.nodes.push_back(std::move(n));
+    return stg_.nodes.back().id;
+  }
+
+  /// Pairs send-type with recv-type nodes by message tag — tags statically
+  /// identify communication patterns in compiler-generated MPI (the dHPF
+  /// convention the paper relies on).
+  void pair_comm_edges() {
+    std::map<int, std::vector<int>> sends;
+    std::map<int, std::vector<int>> recvs;
+    for (const auto& n : stg_.nodes) {
+      if (n.kind != StgNodeKind::kComm) continue;
+      if (is_send_kind(n.comm_kind)) sends[n.tag].push_back(n.id);
+      if (is_recv_kind(n.comm_kind)) recvs[n.tag].push_back(n.id);
+    }
+    for (const auto& [tag, ss] : sends) {
+      auto it = recvs.find(tag);
+      if (it == recvs.end()) continue;
+      for (int s : ss) {
+        for (int r : it->second) {
+          StgCommEdge e;
+          e.send_node = s;
+          e.recv_node = r;
+          e.tag = tag;
+          e.mapping = stg_.nodes[static_cast<std::size_t>(s)].peer;
+          stg_.comm_edges.push_back(std::move(e));
+        }
+      }
+    }
+  }
+
+  const ir::Program& prog_;
+  std::string rank_var_;
+  std::map<std::string, std::size_t> elem_bytes_;
+  Stg stg_;
+};
+
+std::string guard_text(const Expr& guard) {
+  auto c = guard.constant_value();
+  if (c.has_value() && c->as_bool()) return "{[p] : 0 <= p < P}";
+  return "{[p] : 0 <= p < P, " + guard.to_string() + "}";
+}
+
+}  // namespace
+
+const StgNode* Stg::node_for_stmt(int stmt_id) const {
+  for (const auto& n : nodes) {
+    if (n.stmt_id == stmt_id) return &n;
+  }
+  return nullptr;
+}
+
+std::size_t Stg::count(StgNodeKind kind) const {
+  std::size_t c = 0;
+  for (const auto& n : nodes) c += (n.kind == kind) ? 1 : 0;
+  return c;
+}
+
+std::string Stg::to_dot() const {
+  std::ostringstream os;
+  os << "digraph stg {\n  node [shape=box, fontsize=10];\n";
+  for (const auto& n : nodes) {
+    os << "  n" << n.id << " [label=\"";
+    switch (n.kind) {
+      case StgNodeKind::kCompute:
+        os << "COMPUTE " << n.task << "\\niters: " << n.scaling.to_string();
+        break;
+      case StgNodeKind::kComm:
+        os << ir::stmt_kind_name(n.comm_kind) << " tag " << n.tag
+           << "\\nsize: " << n.size_bytes.to_string();
+        if (n.comm_kind == ir::StmtKind::kSend ||
+            n.comm_kind == ir::StmtKind::kIsend ||
+            n.comm_kind == ir::StmtKind::kRecv ||
+            n.comm_kind == ir::StmtKind::kIrecv) {
+          os << "\\npeer: " << n.peer.to_string();
+        }
+        break;
+      case StgNodeKind::kControl:
+        if (n.is_loop) {
+          os << "DO " << n.loop_var << " = " << n.lo.to_string() << ".."
+             << n.hi.to_string();
+        } else {
+          os << "IF " << n.cond.to_string();
+        }
+        break;
+    }
+    os << "\\n" << guard_text(n.guard) << "\"";
+    if (n.kind == StgNodeKind::kComm) os << ", style=filled, fillcolor=lightblue";
+    os << "];\n";
+  }
+  // Control-nesting edges.
+  for (const auto& n : nodes) {
+    for (int c : n.children) {
+      os << "  n" << n.id << " -> n" << c << " [color=gray];\n";
+    }
+  }
+  // Sequential flow among roots.
+  for (std::size_t i = 1; i < roots.size(); ++i) {
+    os << "  n" << roots[i - 1] << " -> n" << roots[i] << ";\n";
+  }
+  // Communication edges.
+  for (const auto& e : comm_edges) {
+    os << "  n" << e.send_node << " -> n" << e.recv_node
+       << " [style=dashed, color=red, label=\"q = " << e.mapping.to_string()
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string Stg::summary() const {
+  std::ostringstream os;
+  os << "STG: " << nodes.size() << " nodes ("
+     << count(StgNodeKind::kCompute) << " compute, "
+     << count(StgNodeKind::kComm) << " comm, "
+     << count(StgNodeKind::kControl) << " control), "
+     << comm_edges.size() << " communication edge sets\n";
+  for (const auto& n : nodes) {
+    if (n.kind != StgNodeKind::kCompute) continue;
+    os << "  task " << n.task << ": iters = " << n.scaling.to_string()
+       << ", tasks " << guard_text(n.guard) << "\n";
+  }
+  for (const auto& e : comm_edges) {
+    os << "  comm tag " << e.tag << ": pairs {[p] -> [q] : q = "
+       << e.mapping.to_string() << "}\n";
+  }
+  return os.str();
+}
+
+Stg synthesize_stg(const ir::Program& prog, const std::string& rank_var) {
+  return Synthesizer(prog, rank_var).run();
+}
+
+}  // namespace stgsim::core

@@ -1,0 +1,83 @@
+// The static task graph (STG) — paper §2.2.
+//
+// A compact, symbolic representation of the parallel structure of a
+// message-passing program, independent of input values and process count.
+// Nodes represent sets of parallel tasks (one per process, restricted by a
+// symbolic guard over the process id); communication edges carry a
+// symbolic mapping from sender to receiver process ids and a symbolic
+// message size. Control nodes capture the loops and branches that shape
+// the parallel structure.
+//
+// The STG is synthesized from the IR (mirroring how the dHPF compiler
+// synthesizes it from HPF/MPI programs); each node keeps a marker to its
+// source statement, which is what the condensation and slicing passes key
+// on. Use to_dot() to render the graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace stgsim::core {
+
+enum class StgNodeKind { kCompute, kComm, kControl };
+
+struct StgNode {
+  int id = -1;
+  StgNodeKind kind{};
+  int stmt_id = -1;  ///< source marker into the IR
+
+  /// Process set {[p] : 0 <= p < P && guard}; guard is a boolean
+  /// expression over the rank variable and program variables.
+  sym::Expr guard = sym::Expr::integer(1);
+
+  // kCompute
+  std::string task;
+  sym::Expr scaling = sym::Expr::integer(0);  ///< iterations per execution
+  double flops_per_iter = 0.0;
+
+  // kComm
+  ir::StmtKind comm_kind = ir::StmtKind::kBarrier;
+  sym::Expr peer = sym::Expr::integer(-1);  ///< partner rank as f(p)
+  sym::Expr size_bytes = sym::Expr::integer(0);
+  int tag = 0;
+
+  // kControl
+  bool is_loop = false;
+  std::string loop_var;
+  sym::Expr lo, hi, cond;
+
+  std::vector<int> children;  ///< nested structure (control nodes)
+};
+
+/// A symbolic communication edge: task pairs {[p] -> [q] : q = mapping(p)}.
+struct StgCommEdge {
+  int send_node = -1;
+  int recv_node = -1;
+  int tag = 0;
+  sym::Expr mapping;  ///< receiver rank as a function of the sender's rank
+};
+
+class Stg {
+ public:
+  std::vector<StgNode> nodes;
+  std::vector<int> roots;  ///< top-level sequence (main body)
+  std::vector<StgCommEdge> comm_edges;
+
+  const StgNode* node_for_stmt(int stmt_id) const;
+  std::size_t count(StgNodeKind kind) const;
+
+  /// Graphviz rendering (control nesting as clusters, comm edges dashed).
+  std::string to_dot() const;
+
+  /// Text summary used by the examples and the compiler report.
+  std::string summary() const;
+};
+
+/// Synthesizes the STG from an IR program. `rank_var` is the scalar the
+/// program binds to its MPI rank (used to phrase guards and mappings).
+Stg synthesize_stg(const ir::Program& prog,
+                   const std::string& rank_var = "myid");
+
+}  // namespace stgsim::core

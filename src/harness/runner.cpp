@@ -1,0 +1,149 @@
+#include "harness/runner.hpp"
+
+#include "support/check.hpp"
+
+namespace stgsim::harness {
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kMeasured: return "measured";
+    case Mode::kDirectExec: return "MPI-SIM-DE";
+    case Mode::kAnalytical: return "MPI-SIM-AM";
+  }
+  return "?";
+}
+
+MachineSpec ibm_sp_machine() {
+  MachineSpec m;
+  m.name = "IBM SP";
+  m.net = net::ibm_sp();
+  m.compute = machine::ibm_sp_node();
+  return m;
+}
+
+MachineSpec origin2000_machine() {
+  MachineSpec m;
+  m.name = "SGI Origin 2000";
+  m.net = net::origin2000();
+  m.compute = machine::origin2000_node();
+  return m;
+}
+
+RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
+                       ir::TimerRecorder* timers, ir::BranchProfiler* branches,
+                       ir::KernelMetaRecorder* kernel_meta) {
+  STGSIM_CHECK_GT(config.nprocs, 0);
+
+  smpi::World::Options wopts;
+  wopts.net = config.machine.net;
+  wopts.compute = config.machine.compute;
+  if (config.mode == Mode::kMeasured) {
+    // The "real machine" has the imperfections the simulator's model
+    // ignores; this is where DE's (small) prediction error comes from.
+    wopts.net.model_contention = config.machine.emulation_contention;
+    wopts.net.jitter_frac = config.machine.emulation_net_jitter;
+    wopts.compute.compute_jitter_frac = config.machine.emulation_compute_jitter;
+  }
+
+  if (config.abstract_comm) {
+    wopts.comm_fidelity = smpi::World::Options::CommFidelity::kAbstract;
+  }
+
+  smpi::World world(wopts, config.nprocs);
+  for (const auto& [k, v] : config.params) world.set_param(k, v);
+
+  simk::EngineConfig ec;
+  ec.num_processes = config.nprocs;
+  ec.memory_cap_bytes = config.memory_cap_bytes;
+  ec.fiber_stack_bytes = config.fiber_stack_bytes;
+  ec.seed = config.seed;
+  ec.record_host_trace = config.record_host_trace;
+  if (config.threads > 0) {
+    ec.host_workers = config.threads;
+    ec.use_threads = true;
+    STGSIM_CHECK(timers == nullptr && branches == nullptr)
+        << "calibration/profiling require the sequential scheduler";
+    STGSIM_CHECK(config.mode != Mode::kMeasured)
+        << "emulation (NIC contention state) is sequential-only";
+  }
+
+  simk::Engine engine(ec);
+  ir::ExecOptions xopts;
+  xopts.timers = timers;
+  xopts.branches = branches;
+  xopts.kernel_meta = kernel_meta;
+  engine.set_body([&](simk::Process& p) {
+    smpi::Comm comm(world, p);
+    ir::execute(prog, comm, xopts);
+  });
+
+  RunOutcome out;
+  out.nprocs = config.nprocs;
+  try {
+    simk::RunResult rr = engine.run();
+    out.predicted_time = rr.completion;
+    out.per_rank = std::move(rr.per_rank_completion);
+    out.sim_host_seconds = rr.host_seconds;
+    out.peak_target_bytes = rr.peak_target_bytes;
+    out.messages = rr.messages_delivered;
+    out.stats = world.aggregate_stats();
+    if (config.record_host_trace) out.host_trace = engine.host_trace();
+  } catch (const MemoryCapExceeded&) {
+    out.out_of_memory = true;
+    out.peak_target_bytes = engine.memory().peak_bytes();
+  }
+  return out;
+}
+
+std::map<std::string, double> calibrate(
+    const ir::Program& timer_program, int calib_procs,
+    const MachineSpec& machine, const std::set<std::string>& required_params,
+    std::uint64_t seed) {
+  ir::TimerRecorder timers;
+  RunConfig cfg;
+  cfg.nprocs = calib_procs;
+  cfg.machine = machine;
+  cfg.mode = Mode::kMeasured;
+  cfg.seed = seed;
+  RunOutcome out = run_program(timer_program, cfg, &timers);
+  STGSIM_CHECK(!out.out_of_memory) << "calibration run exceeded memory cap";
+  auto params = timers.to_params();
+  for (const auto& name : required_params) {
+    params.emplace(name, 0.0);  // unmeasured task: never ran at calibration
+  }
+  return params;
+}
+
+std::map<std::string, double> estimate_params(
+    const ir::Program& original, int calib_procs, const MachineSpec& machine,
+    const std::set<std::string>& required_params, std::uint64_t seed) {
+  ir::KernelMetaRecorder meta;
+  RunConfig cfg;
+  cfg.nprocs = calib_procs;
+  cfg.machine = machine;
+  cfg.mode = Mode::kDirectExec;  // observe exact counts, without noise
+  cfg.seed = seed;
+  RunOutcome out =
+      run_program(original, cfg, nullptr, nullptr, &meta);
+  STGSIM_CHECK(!out.out_of_memory) << "estimation run exceeded memory cap";
+
+  std::map<std::string, double> params;
+  for (const auto& [task, m] : meta.records()) {
+    if (m.iters <= 0.0) continue;
+    const double flops_avg = m.flops_weighted / m.iters;
+    params["w_" + task] = machine::seconds_per_iteration(
+        machine.compute, flops_avg, m.ws_bytes_max);
+  }
+  for (const auto& name : required_params) params.emplace(name, 0.0);
+  return params;
+}
+
+double emulated_host_seconds(const RunOutcome& outcome, int workers,
+                             const simk::HostModel& model) {
+  STGSIM_CHECK(!outcome.host_trace.empty())
+      << "run with record_host_trace=true to replay host schedules";
+  return simk::replay_host_trace(outcome.host_trace, outcome.nprocs, workers,
+                                 model);
+}
+
+}  // namespace stgsim::harness

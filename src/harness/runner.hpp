@@ -1,0 +1,133 @@
+// Experiment harness: runs a target program under one of three modes and
+// collects the quantities the paper's evaluation reports.
+//
+//   kMeasured  — stands in for "direct measurement" on the real machine:
+//                the full program runs on the detailed machine model with
+//                NIC contention and seeded noise enabled.
+//   kDirectExec— MPI-SIM-DE: the full program under the simulator's clean
+//                communication model (direct execution of computation).
+//   kAnalytical— MPI-SIM-AM: the compiler-simplified program, parameterized
+//                by w_i values measured at a calibration configuration.
+//
+// calibrate() implements the Figure-2 workflow: run the timer-instrumented
+// program under kMeasured at the calibration configuration and return the
+// w_i table.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/interp.hpp"
+#include "ir/program.hpp"
+#include "machine/compute.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "smpi/smpi.hpp"
+
+namespace stgsim::harness {
+
+enum class Mode { kMeasured, kDirectExec, kAnalytical };
+
+const char* mode_name(Mode m);
+
+/// A target machine: communication + compute models plus the emulation-only
+/// imperfections that make kMeasured differ from the simulator's model.
+struct MachineSpec {
+  std::string name;
+  net::NetworkParams net;
+  machine::ComputeParams compute;
+  double emulation_net_jitter = 0.03;
+  double emulation_compute_jitter = 0.015;
+  bool emulation_contention = true;
+};
+
+MachineSpec ibm_sp_machine();
+MachineSpec origin2000_machine();
+
+struct RunConfig {
+  int nprocs = 1;
+  MachineSpec machine = ibm_sp_machine();
+  Mode mode = Mode::kDirectExec;
+
+  /// w_i table for analytical-model runs (from calibrate()).
+  std::map<std::string, double> params;
+
+  /// Simulated-program data cap; 0 = uncapped. Runs that exceed it report
+  /// out_of_memory instead of crashing (paper Figs. 10/11: "memory
+  /// requirements restricted the largest target architecture").
+  std::size_t memory_cap_bytes = 0;
+
+  /// Record the slice trace for emulated parallel-host replays.
+  bool record_host_trace = false;
+
+  /// Run the threaded conservative scheduler with this many workers
+  /// (0 = sequential scheduler).
+  int threads = 0;
+
+  /// Replace the detailed communication simulation with the abstract
+  /// communication model (paper §5's proposed extension).
+  bool abstract_comm = false;
+
+  std::size_t fiber_stack_bytes = 256 * 1024;
+  std::uint64_t seed = 20260704;
+};
+
+struct RunOutcome {
+  bool out_of_memory = false;
+  VTime predicted_time = 0;  ///< target program execution time (max rank)
+  double predicted_seconds() const { return vtime_to_sec(predicted_time); }
+  std::vector<VTime> per_rank;
+
+  double sim_host_seconds = 0.0;  ///< wall-clock the simulator itself took
+  std::size_t peak_target_bytes = 0;
+  std::uint64_t messages = 0;
+  smpi::RankStats stats;  ///< aggregate across ranks
+
+  std::vector<simk::Slice> host_trace;  ///< when record_host_trace
+  int nprocs = 0;
+};
+
+/// Executes `prog` under `config`; never throws for memory-cap overruns
+/// (reported in the outcome). The instrumentation hooks may be null.
+RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
+                       ir::TimerRecorder* timers = nullptr,
+                       ir::BranchProfiler* branches = nullptr,
+                       ir::KernelMetaRecorder* kernel_meta = nullptr);
+
+/// Figure-2 calibration: runs `timer_program` under kMeasured on
+/// `calib_procs` processes and returns the {w_<task> -> sec/iter} table.
+///
+/// `required_params` (typically SimplifyResult::params) names every
+/// parameter the simplified program will read; tasks the measurement run
+/// never executed — e.g. inside a branch not taken at the calibration
+/// configuration — are filled with 0 so prediction can proceed (they
+/// contributed nothing to the measured run either; an acknowledged
+/// limitation of measurement-based parameterization, §3.3).
+std::map<std::string, double> calibrate(
+    const ir::Program& timer_program, int calib_procs,
+    const MachineSpec& machine,
+    const std::set<std::string>& required_params = {},
+    std::uint64_t seed = 20260704);
+
+/// §3.3 alternative (a): task times *estimated by the compiler's machine
+/// model* instead of measured with timers. Runs the original program once
+/// (direct execution, to observe actual iteration counts, branch
+/// fractions and working sets) and derives each w_<task> analytically —
+/// free of timer noise, but sharing the constant-w_i transfer limitation.
+/// Run it at the *target* configuration to also remove the cache
+/// working-set transfer error (at the cost of a full direct-execution
+/// pass there).
+std::map<std::string, double> estimate_params(
+    const ir::Program& original, int calib_procs, const MachineSpec& machine,
+    const std::set<std::string>& required_params = {},
+    std::uint64_t seed = 20260704);
+
+/// Predicted simulator wall-clock on `workers` host processors, from a
+/// recorded host trace (our stand-in for running MPI-Sim's conservative
+/// parallel protocols on a real multiprocessor host).
+double emulated_host_seconds(const RunOutcome& outcome, int workers,
+                             const simk::HostModel& model = {});
+
+}  // namespace stgsim::harness

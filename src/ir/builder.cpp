@@ -1,0 +1,206 @@
+#include "ir/builder.hpp"
+
+#include "support/check.hpp"
+
+namespace stgsim::ir {
+
+Program ProgramBuilder::take() {
+  STGSIM_CHECK(!taken_) << "ProgramBuilder::take() called twice";
+  STGSIM_CHECK_EQ(targets_.size(), 1u)
+      << "unbalanced builder nesting at take()";
+  taken_ = true;
+  program_.validate();
+  return std::move(program_);
+}
+
+Stmt& ProgramBuilder::append(StmtKind kind) {
+  STGSIM_CHECK(!taken_);
+  target()->push_back(program_.make_stmt(kind));
+  return *target()->back();
+}
+
+sym::Expr ProgramBuilder::get_rank(const std::string& name) {
+  append(StmtKind::kGetRank).name = name;
+  return sym::Expr::var(name);
+}
+
+sym::Expr ProgramBuilder::get_size(const std::string& name) {
+  append(StmtKind::kGetSize).name = name;
+  return sym::Expr::var(name);
+}
+
+sym::Expr ProgramBuilder::decl_int(const std::string& name,
+                                   const sym::Expr& init) {
+  Stmt& s = append(StmtKind::kDeclScalar);
+  s.name = name;
+  s.e1 = init;
+  s.has_init = true;
+  return sym::Expr::var(name);
+}
+
+sym::Expr ProgramBuilder::decl_int(const std::string& name) {
+  append(StmtKind::kDeclScalar).name = name;
+  return sym::Expr::var(name);
+}
+
+sym::Expr ProgramBuilder::decl_real(const std::string& name,
+                                    const sym::Expr& init) {
+  Stmt& s = append(StmtKind::kDeclScalar);
+  s.name = name;
+  s.e1 = init;
+  s.has_init = true;
+  s.scalar_is_real = true;
+  return sym::Expr::var(name);
+}
+
+sym::Expr ProgramBuilder::read_param(const std::string& name,
+                                     const std::string& param) {
+  Stmt& s = append(StmtKind::kReadParam);
+  s.name = name;
+  s.aux_name = param;
+  return sym::Expr::var(name);
+}
+
+void ProgramBuilder::assign(const std::string& name, const sym::Expr& value) {
+  Stmt& s = append(StmtKind::kAssign);
+  s.name = name;
+  s.e1 = value;
+}
+
+void ProgramBuilder::decl_array(const std::string& name,
+                                std::vector<sym::Expr> extents,
+                                std::size_t elem_bytes) {
+  Stmt& s = append(StmtKind::kDeclArray);
+  s.name = name;
+  s.extents = std::move(extents);
+  s.elem_bytes = elem_bytes;
+}
+
+void ProgramBuilder::for_loop(const std::string& var, const sym::Expr& lo,
+                              const sym::Expr& hi,
+                              const std::function<void(sym::Expr)>& body) {
+  Stmt& s = append(StmtKind::kFor);
+  s.name = var;
+  s.e1 = lo;
+  s.e2 = hi;
+  targets_.push_back(&s.body);
+  body(sym::Expr::var(var));
+  targets_.pop_back();
+}
+
+void ProgramBuilder::if_then(const sym::Expr& cond,
+                             const std::function<void()>& then_fn) {
+  Stmt& s = append(StmtKind::kIf);
+  s.e1 = cond;
+  targets_.push_back(&s.body);
+  then_fn();
+  targets_.pop_back();
+}
+
+void ProgramBuilder::if_then_else(const sym::Expr& cond,
+                                  const std::function<void()>& then_fn,
+                                  const std::function<void()>& else_fn) {
+  Stmt& s = append(StmtKind::kIf);
+  s.e1 = cond;
+  targets_.push_back(&s.body);
+  then_fn();
+  targets_.pop_back();
+  targets_.push_back(&s.else_body);
+  else_fn();
+  targets_.pop_back();
+}
+
+void ProgramBuilder::compute(KernelSpec kernel) {
+  STGSIM_CHECK(!kernel.task.empty()) << "compute kernel needs a task name";
+  append(StmtKind::kCompute).kernel = std::move(kernel);
+}
+
+void ProgramBuilder::delay(const sym::Expr& seconds) {
+  append(StmtKind::kDelay).e1 = seconds;
+}
+
+void ProgramBuilder::send(const std::string& array, const sym::Expr& dst,
+                          const sym::Expr& count_elems,
+                          const sym::Expr& offset_elems, int tag) {
+  Stmt& s = append(StmtKind::kSend);
+  s.name = array;
+  s.e1 = dst;
+  s.e2 = count_elems;
+  s.e3 = offset_elems;
+  s.tag = tag;
+}
+
+void ProgramBuilder::recv(const std::string& array, const sym::Expr& src,
+                          const sym::Expr& count_elems,
+                          const sym::Expr& offset_elems, int tag) {
+  Stmt& s = append(StmtKind::kRecv);
+  s.name = array;
+  s.e1 = src;
+  s.e2 = count_elems;
+  s.e3 = offset_elems;
+  s.tag = tag;
+}
+
+void ProgramBuilder::isend(const std::string& reqs, const std::string& array,
+                           const sym::Expr& dst, const sym::Expr& count_elems,
+                           const sym::Expr& offset_elems, int tag) {
+  Stmt& s = append(StmtKind::kIsend);
+  s.name = array;
+  s.aux_name = reqs;
+  s.e1 = dst;
+  s.e2 = count_elems;
+  s.e3 = offset_elems;
+  s.tag = tag;
+}
+
+void ProgramBuilder::irecv(const std::string& reqs, const std::string& array,
+                           const sym::Expr& src, const sym::Expr& count_elems,
+                           const sym::Expr& offset_elems, int tag) {
+  Stmt& s = append(StmtKind::kIrecv);
+  s.name = array;
+  s.aux_name = reqs;
+  s.e1 = src;
+  s.e2 = count_elems;
+  s.e3 = offset_elems;
+  s.tag = tag;
+}
+
+void ProgramBuilder::waitall(const std::string& reqs) {
+  append(StmtKind::kWaitall).name = reqs;
+}
+
+void ProgramBuilder::barrier() { append(StmtKind::kBarrier); }
+
+void ProgramBuilder::bcast(const std::string& array, const sym::Expr& root,
+                           const sym::Expr& count_elems,
+                           const sym::Expr& offset_elems) {
+  Stmt& s = append(StmtKind::kBcast);
+  s.name = array;
+  s.e1 = root;
+  s.e2 = count_elems;
+  s.e3 = offset_elems;
+}
+
+void ProgramBuilder::allreduce_sum(const std::string& scalar) {
+  append(StmtKind::kAllreduceSum).name = scalar;
+}
+
+void ProgramBuilder::allreduce_max(const std::string& scalar) {
+  append(StmtKind::kAllreduceMax).name = scalar;
+}
+
+void ProgramBuilder::procedure(const std::string& name,
+                               const std::function<void()>& body) {
+  STGSIM_CHECK_EQ(targets_.size(), 1u)
+      << "procedures must be defined at top level";
+  Procedure& p = program_.add_procedure(name);
+  targets_.push_back(&p.body);
+  body();
+  targets_.pop_back();
+}
+
+void ProgramBuilder::call(const std::string& name) {
+  append(StmtKind::kCall).name = name;
+}
+
+}  // namespace stgsim::ir

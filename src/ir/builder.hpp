@@ -1,0 +1,89 @@
+// Fluent construction of IR programs.
+//
+// Target benchmarks (src/apps) are authored through this builder; nesting
+// is expressed with lambdas so the C++ structure of the app source mirrors
+// the loop structure of the generated IR.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace stgsim::ir {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string program_name)
+      : program_(std::move(program_name)) {
+    targets_.push_back(&program_.main());
+  }
+
+  /// Finalizes and returns the program (builder becomes unusable).
+  Program take();
+
+  // -- Declarations / scalars ----------------------------------------------
+
+  sym::Expr get_rank(const std::string& name = "myid");
+  sym::Expr get_size(const std::string& name = "P");
+  sym::Expr decl_int(const std::string& name, const sym::Expr& init);
+  sym::Expr decl_int(const std::string& name);  // uninitialized
+  sym::Expr decl_real(const std::string& name, const sym::Expr& init);
+  sym::Expr read_param(const std::string& name, const std::string& param);
+  void assign(const std::string& name, const sym::Expr& value);
+  void decl_array(const std::string& name, std::vector<sym::Expr> extents,
+                  std::size_t elem_bytes = sizeof(double));
+
+  // -- Control flow ----------------------------------------------------------
+
+  /// for var = lo .. hi (inclusive); `body` receives the loop variable.
+  void for_loop(const std::string& var, const sym::Expr& lo,
+                const sym::Expr& hi,
+                const std::function<void(sym::Expr)>& body);
+  void if_then(const sym::Expr& cond, const std::function<void()>& then_fn);
+  void if_then_else(const sym::Expr& cond,
+                    const std::function<void()>& then_fn,
+                    const std::function<void()>& else_fn);
+
+  // -- Computation -----------------------------------------------------------
+
+  void compute(KernelSpec kernel);
+  void delay(const sym::Expr& seconds);
+
+  // -- Communication -----------------------------------------------------------
+
+  void send(const std::string& array, const sym::Expr& dst,
+            const sym::Expr& count_elems, const sym::Expr& offset_elems,
+            int tag);
+  void recv(const std::string& array, const sym::Expr& src,
+            const sym::Expr& count_elems, const sym::Expr& offset_elems,
+            int tag);
+  void isend(const std::string& reqs, const std::string& array,
+             const sym::Expr& dst, const sym::Expr& count_elems,
+             const sym::Expr& offset_elems, int tag);
+  void irecv(const std::string& reqs, const std::string& array,
+             const sym::Expr& src, const sym::Expr& count_elems,
+             const sym::Expr& offset_elems, int tag);
+  void waitall(const std::string& reqs);
+  void barrier();
+  void bcast(const std::string& array, const sym::Expr& root,
+             const sym::Expr& count_elems, const sym::Expr& offset_elems);
+  void allreduce_sum(const std::string& scalar);
+  void allreduce_max(const std::string& scalar);
+
+  // -- Procedures -----------------------------------------------------------
+
+  void procedure(const std::string& name, const std::function<void()>& body);
+  void call(const std::string& name);
+
+ private:
+  Stmt& append(StmtKind kind);
+  std::vector<StmtP>* target() { return targets_.back(); }
+
+  Program program_;
+  std::vector<std::vector<StmtP>*> targets_;
+  bool taken_ = false;
+};
+
+}  // namespace stgsim::ir

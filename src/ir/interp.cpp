@@ -1,0 +1,404 @@
+#include "ir/interp.hpp"
+
+#include <algorithm>
+
+#include "machine/compute.hpp"
+#include "support/check.hpp"
+
+namespace stgsim::ir {
+
+void TimerRecorder::add(const std::string& task, double seconds,
+                        double iters) {
+  auto& r = records_[task];
+  r.seconds += seconds;
+  r.iters += iters;
+}
+
+std::map<std::string, double> TimerRecorder::to_params() const {
+  std::map<std::string, double> params;
+  for (const auto& [task, r] : records_) {
+    STGSIM_CHECK_GT(r.iters, 0.0) << "task " << task << " never iterated";
+    params["w_" + task] = r.seconds / r.iters;
+  }
+  return params;
+}
+
+namespace {
+
+struct ArrayVal {
+  TrackedBuffer buf;
+  std::vector<std::int64_t> extents;
+  std::size_t elems = 0;
+  std::size_t elem_bytes = sizeof(double);
+};
+
+}  // namespace
+
+/// Per-rank interpreter state: one flat frame of scalars, arrays and
+/// request lists (the paper's single-procedure model).
+class ExecState : public sym::Env {
+ public:
+  ExecState(const Program& prog, smpi::Comm& comm, const ExecOptions& options)
+      : prog_(prog), comm_(comm), options_(options) {}
+
+  void run() { exec_block(prog_.main()); }
+
+  // sym::Env
+  std::optional<sym::Value> lookup(const std::string& name) const override {
+    auto it = scalars_.find(name);
+    if (it == scalars_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  smpi::Comm& comm() { return comm_; }
+
+  ArrayVal& array(const std::string& name) {
+    auto it = arrays_.find(name);
+    STGSIM_CHECK(it != arrays_.end()) << "unknown array '" << name << "'";
+    return it->second;
+  }
+  const ArrayVal& array(const std::string& name) const {
+    auto it = arrays_.find(name);
+    STGSIM_CHECK(it != arrays_.end()) << "unknown array '" << name << "'";
+    return it->second;
+  }
+
+  sym::Value scalar(const std::string& name) const {
+    auto it = scalars_.find(name);
+    STGSIM_CHECK(it != scalars_.end()) << "unknown scalar '" << name << "'";
+    return it->second;
+  }
+
+  void set_scalar(const std::string& name, sym::Value v, bool must_exist) {
+    if (must_exist) {
+      auto it = scalars_.find(name);
+      STGSIM_CHECK(it != scalars_.end())
+          << "assignment to undeclared scalar '" << name << "'";
+      if (it->second.is_int() && !v.is_int()) {
+        // Keep declared integer scalars integral (Fortran INTEGER).
+        it->second = sym::Value(v.as_int());
+      } else {
+        it->second = v;
+      }
+    } else {
+      scalars_[name] = v;
+    }
+  }
+
+ private:
+  friend class KernelCtx;
+
+  void exec_block(const std::vector<StmtP>& block) {
+    for (const auto& s : block) exec_stmt(*s);
+  }
+
+  /// Resolves (array, offset_elems, count_elems) to a raw span for a
+  /// communication statement, bounds-checked.
+  std::uint8_t* comm_span(const Stmt& s, std::size_t* bytes_out) {
+    ArrayVal& a = array(s.name);
+    const std::int64_t count = s.e2.eval_int(*this);
+    const std::int64_t offset = s.e3.eval_int(*this);
+    STGSIM_CHECK_GE(count, 0);
+    STGSIM_CHECK_GE(offset, 0);
+    STGSIM_CHECK_LE(static_cast<std::size_t>(offset + count), a.elems)
+        << "communication slice out of bounds on '" << s.name << "' (offset "
+        << offset << " count " << count << " elems " << a.elems << ")";
+    *bytes_out = static_cast<std::size_t>(count) * a.elem_bytes;
+    return a.buf.data() + static_cast<std::size_t>(offset) * a.elem_bytes;
+  }
+
+  std::vector<smpi::Request>& reqs(const std::string& name) {
+    return requests_[name];
+  }
+
+  void exec_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kDeclScalar: {
+        sym::Value v = s.has_init ? s.e1.eval(*this) : sym::Value(0);
+        if (s.scalar_is_real) v = sym::Value(v.as_real());
+        set_scalar(s.name, v, /*must_exist=*/false);
+        break;
+      }
+      case StmtKind::kDeclArray: {
+        ArrayVal a;
+        std::size_t elems = 1;
+        for (const auto& e : s.extents) {
+          const std::int64_t n = e.eval_int(*this);
+          STGSIM_CHECK_GE(n, 0) << "negative array extent on " << s.name;
+          a.extents.push_back(n);
+          elems *= static_cast<std::size_t>(n);
+        }
+        a.elems = elems;
+        a.elem_bytes = s.elem_bytes;
+        a.buf = TrackedBuffer(&comm_.process().memory(), elems * s.elem_bytes);
+        arrays_[s.name] = std::move(a);
+        break;
+      }
+      case StmtKind::kAssign:
+        set_scalar(s.name, s.e1.eval(*this), /*must_exist=*/true);
+        break;
+      case StmtKind::kFor: {
+        const std::int64_t lo = s.e1.eval_int(*this);
+        const std::int64_t hi = s.e2.eval_int(*this);
+        for (std::int64_t i = lo; i <= hi; ++i) {
+          set_scalar(s.name, sym::Value(i), /*must_exist=*/false);
+          exec_block(s.body);
+        }
+        break;
+      }
+      case StmtKind::kIf: {
+        const bool taken = s.e1.eval(*this).as_bool();
+        if (options_.branches != nullptr) {
+          options_.branches->record(s.id, taken);
+        }
+        if (taken) {
+          exec_block(s.body);
+        } else {
+          exec_block(s.else_body);
+        }
+        break;
+      }
+      case StmtKind::kCompute:
+        exec_kernel(s, s.kernel);
+        break;
+      case StmtKind::kSend: {
+        std::size_t bytes = 0;
+        const std::uint8_t* p = comm_span(s, &bytes);
+        const auto dst = static_cast<int>(s.e1.eval_int(*this));
+        const VTime t0 = comm_.now();
+        comm_.send(dst, s.tag, p, bytes);
+        observe_comm(s, dst, bytes, t0);
+        break;
+      }
+      case StmtKind::kRecv: {
+        std::size_t bytes = 0;
+        std::uint8_t* p = comm_span(s, &bytes);
+        const auto src = static_cast<int>(s.e1.eval_int(*this));
+        const VTime t0 = comm_.now();
+        comm_.recv(src, s.tag, p, bytes);
+        observe_comm(s, src, bytes, t0);
+        break;
+      }
+      case StmtKind::kIsend: {
+        std::size_t bytes = 0;
+        const std::uint8_t* p = comm_span(s, &bytes);
+        const auto dst = static_cast<int>(s.e1.eval_int(*this));
+        const VTime t0 = comm_.now();
+        reqs(s.aux_name).push_back(comm_.isend(dst, s.tag, p, bytes));
+        observe_comm(s, dst, bytes, t0);
+        break;
+      }
+      case StmtKind::kIrecv: {
+        std::size_t bytes = 0;
+        std::uint8_t* p = comm_span(s, &bytes);
+        const auto src = static_cast<int>(s.e1.eval_int(*this));
+        const VTime t0 = comm_.now();
+        reqs(s.aux_name).push_back(comm_.irecv(src, s.tag, p, bytes));
+        observe_comm(s, src, bytes, t0);
+        break;
+      }
+      case StmtKind::kWaitall: {
+        auto& rs = reqs(s.name);
+        comm_.waitall(rs);
+        rs.clear();
+        break;
+      }
+      case StmtKind::kBarrier: {
+        const VTime t0 = comm_.now();
+        comm_.barrier();
+        observe_comm(s, -1, 0, t0);
+        break;
+      }
+      case StmtKind::kBcast: {
+        std::size_t bytes = 0;
+        std::uint8_t* p = comm_span(s, &bytes);
+        const auto root = static_cast<int>(s.e1.eval_int(*this));
+        const VTime t0 = comm_.now();
+        comm_.bcast(p, bytes, root);
+        observe_comm(s, root, bytes, t0);
+        break;
+      }
+      case StmtKind::kAllreduceSum: {
+        double v = scalar(s.name).as_real();
+        const VTime t0 = comm_.now();
+        comm_.allreduce_sum(&v, 1);
+        set_scalar(s.name, sym::Value(v), /*must_exist=*/true);
+        observe_comm(s, -1, sizeof(double), t0);
+        break;
+      }
+      case StmtKind::kAllreduceMax: {
+        double v = scalar(s.name).as_real();
+        const VTime t0 = comm_.now();
+        comm_.allreduce_max(&v, 1);
+        set_scalar(s.name, sym::Value(v), /*must_exist=*/true);
+        observe_comm(s, -1, sizeof(double), t0);
+        break;
+      }
+      case StmtKind::kGetRank:
+        set_scalar(s.name, sym::Value(std::int64_t{comm_.rank()}),
+                   /*must_exist=*/false);
+        break;
+      case StmtKind::kGetSize:
+        set_scalar(s.name, sym::Value(std::int64_t{comm_.size()}),
+                   /*must_exist=*/false);
+        break;
+      case StmtKind::kDelay: {
+        const double sec = s.e1.eval_real(*this);
+        STGSIM_CHECK_GE(sec, -1e-12)
+            << "negative delay from scaling function: " << s.e1.to_string();
+        comm_.delay_seconds(std::max(sec, 0.0));
+        break;
+      }
+      case StmtKind::kReadParam: {
+        const double v = comm_.read_param(s.aux_name);
+        set_scalar(s.name, sym::Value(v), /*must_exist=*/false);
+        break;
+      }
+      case StmtKind::kTimerStart:
+        open_timers_[s.name] = comm_.now();
+        break;
+      case StmtKind::kTimerStop: {
+        auto it = open_timers_.find(s.name);
+        STGSIM_CHECK(it != open_timers_.end())
+            << "timer_stop without timer_start for task " << s.name;
+        const VTime dt = comm_.now() - it->second;
+        open_timers_.erase(it);
+        if (options_.timers != nullptr) {
+          options_.timers->add(s.name, vtime_to_sec(dt),
+                               s.e1.eval_real(*this));
+        }
+        break;
+      }
+      case StmtKind::kCall: {
+        const Procedure* p = prog_.find_procedure(s.name);
+        STGSIM_CHECK(p != nullptr) << "unknown procedure " << s.name;
+        exec_block(p->body);
+        break;
+      }
+    }
+  }
+
+  void observe_comm(const Stmt& s, int peer, std::size_t bytes, VTime t0) {
+    if (options_.observer != nullptr) {
+      options_.observer->on_comm(comm_.rank(), s, peer, bytes, t0,
+                                 comm_.now());
+    }
+  }
+
+  void exec_kernel(const Stmt& stmt, const KernelSpec& k) {
+    const VTime t_begin = comm_.now();
+    const std::int64_t iters = k.iters.eval_int(*this);
+    STGSIM_CHECK_GE(iters, 0) << "negative iteration count for " << k.task;
+
+    KernelCtx ctx(*this, k, iters);
+    if (k.body) k.body(ctx);
+
+    double fraction = 0.0;
+    if (k.branch_fraction) fraction = k.branch_fraction(ctx);
+    STGSIM_DCHECK(fraction >= 0.0 && fraction <= 1.0);
+
+    // Working set: every array the task touches, per the declared sets.
+    double ws_bytes = 0.0;
+    for (const auto* names : {&k.reads, &k.writes}) {
+      for (const auto& n : *names) {
+        auto it = arrays_.find(n);
+        if (it != arrays_.end()) {
+          ws_bytes += static_cast<double>(it->second.elems *
+                                          it->second.elem_bytes);
+        }
+      }
+    }
+
+    const double flops_eff =
+        k.flops_per_iter + fraction * k.extra_flops_per_iter;
+    if (options_.kernel_meta != nullptr) {
+      options_.kernel_meta->add(k.task, static_cast<double>(iters), flops_eff,
+                                ws_bytes);
+    }
+
+    const auto& params = comm_.world().options().compute;
+    const VTime cost =
+        machine::kernel_cost(params, static_cast<double>(iters), flops_eff,
+                             ws_bytes, &comm_.process().rng());
+    comm_.compute(cost);
+    if (options_.observer != nullptr) {
+      options_.observer->on_compute(comm_.rank(), stmt, t_begin, comm_.now());
+    }
+  }
+
+  const Program& prog_;
+  smpi::Comm& comm_;
+  ExecOptions options_;
+
+  std::map<std::string, sym::Value> scalars_;
+  std::map<std::string, ArrayVal> arrays_;
+  std::map<std::string, std::vector<smpi::Request>> requests_;
+  std::map<std::string, VTime> open_timers_;
+};
+
+// ---------------------------------------------------------------------------
+// KernelCtx
+// ---------------------------------------------------------------------------
+
+KernelCtx::KernelCtx(ExecState& state, const KernelSpec& spec,
+                     std::int64_t iters)
+    : state_(state), spec_(spec), iters_(iters) {}
+
+int KernelCtx::rank() const { return state_.comm().rank(); }
+int KernelCtx::world_size() const { return state_.comm().size(); }
+
+void KernelCtx::check_access(const std::string& name, bool write) const {
+  const auto& allowed = write ? spec_.writes : spec_.reads;
+  const bool in_primary =
+      std::find(allowed.begin(), allowed.end(), name) != allowed.end();
+  // Reading a variable you may write is fine (read-modify-write tasks).
+  const bool in_writes =
+      std::find(spec_.writes.begin(), spec_.writes.end(), name) !=
+      spec_.writes.end();
+  STGSIM_CHECK(in_primary || (!write && in_writes))
+      << "kernel " << spec_.task << " accesses '" << name
+      << "' outside its declared " << (write ? "write" : "read") << " set";
+}
+
+double* KernelCtx::array(const std::string& name) {
+  // Conservative: grant pointer if the name is in either set; writes
+  // through a read-only pointer are the kernel author's bug.
+  check_access(name, /*write=*/false);
+  ArrayVal& a = state_.array(name);
+  STGSIM_CHECK_EQ(a.elem_bytes, sizeof(double))
+      << "kernel array access requires double elements";
+  return a.buf.as_doubles();
+}
+
+std::size_t KernelCtx::array_elems(const std::string& name) const {
+  return state_.array(name).elems;
+}
+
+std::int64_t KernelCtx::array_extent(const std::string& name,
+                                     std::size_t dim) const {
+  const ArrayVal& a = state_.array(name);
+  STGSIM_CHECK_LT(dim, a.extents.size());
+  return a.extents[dim];
+}
+
+sym::Value KernelCtx::scalar(const std::string& name) const {
+  check_access(name, /*write=*/false);
+  return state_.scalar(name);
+}
+
+void KernelCtx::set_scalar(const std::string& name, sym::Value v) {
+  check_access(name, /*write=*/true);
+  state_.set_scalar(name, v, /*must_exist=*/true);
+}
+
+Rng& KernelCtx::rng() { return state_.comm().process().rng(); }
+
+// ---------------------------------------------------------------------------
+
+void execute(const Program& prog, smpi::Comm& comm,
+             const ExecOptions& options) {
+  ExecState state(prog, comm, options);
+  state.run();
+}
+
+}  // namespace stgsim::ir

@@ -1,0 +1,45 @@
+#include "machine/compute.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace stgsim::machine {
+
+ComputeParams ibm_sp_node() {
+  ComputeParams p;
+  p.flop_time_ns = 8.0;
+  p.cache_bytes = 2.0 * 1024 * 1024;
+  p.cache_penalty = 0.35;
+  return p;
+}
+
+ComputeParams origin2000_node() {
+  ComputeParams p;
+  p.flop_time_ns = 5.0;
+  p.cache_bytes = 4.0 * 1024 * 1024;
+  p.cache_penalty = 0.30;
+  return p;
+}
+
+double cache_factor(const ComputeParams& p, double ws_bytes) {
+  STGSIM_DCHECK(ws_bytes >= 0.0);
+  if (ws_bytes <= 0.0) return 1.0;
+  return 1.0 + p.cache_penalty * ws_bytes / (ws_bytes + p.cache_bytes);
+}
+
+double seconds_per_iteration(const ComputeParams& p, double flops_per_iter,
+                             double ws_bytes) {
+  return flops_per_iter * p.flop_time_ns * 1e-9 * cache_factor(p, ws_bytes);
+}
+
+VTime kernel_cost(const ComputeParams& p, double iters, double flops_per_iter,
+                  double ws_bytes, Rng* rng) {
+  double sec = iters * seconds_per_iteration(p, flops_per_iter, ws_bytes);
+  if (p.compute_jitter_frac > 0.0 && rng != nullptr) {
+    sec *= std::max(0.5, 1.0 + p.compute_jitter_frac * rng->next_gaussian());
+  }
+  return vtime_from_sec(sec);
+}
+
+}  // namespace stgsim::machine

@@ -1,0 +1,63 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace stgsim::net {
+
+NetworkParams ibm_sp() {
+  NetworkParams p;
+  p.latency = vtime_from_us(25);
+  p.bytes_per_sec = 90e6;
+  p.send_overhead = vtime_from_us(6);
+  p.recv_overhead = vtime_from_us(6);
+  p.eager_threshold = 16 * 1024;
+  return p;
+}
+
+NetworkParams origin2000() {
+  NetworkParams p;
+  p.latency = vtime_from_us(12);
+  p.bytes_per_sec = 150e6;
+  p.send_overhead = vtime_from_us(3);
+  p.recv_overhead = vtime_from_us(3);
+  p.eager_threshold = 8 * 1024;
+  return p;
+}
+
+Network::Network(const NetworkParams& params, int nranks) : params_(params) {
+  STGSIM_CHECK_GT(nranks, 0);
+  STGSIM_CHECK_GT(params_.bytes_per_sec, 0.0);
+  if (params_.model_contention) {
+    nic_free_.assign(static_cast<std::size_t>(nranks), 0);
+  }
+}
+
+VTime Network::wire_time(std::size_t bytes) const {
+  return params_.latency +
+         vtime_from_sec(static_cast<double>(bytes) / params_.bytes_per_sec);
+}
+
+VTime Network::arrival(int src, VTime ready, std::size_t bytes, Rng& rng) {
+  VTime start = ready;
+  const VTime serialize =
+      vtime_from_sec(static_cast<double>(bytes) / params_.bytes_per_sec);
+
+  if (params_.model_contention) {
+    auto& nic = nic_free_[static_cast<std::size_t>(src)];
+    start = std::max(start, nic);
+    nic = start + serialize;
+  }
+
+  VTime flight = params_.latency + serialize;
+  if (params_.jitter_frac > 0.0) {
+    const double factor =
+        std::max(0.2, 1.0 + params_.jitter_frac * rng.next_gaussian());
+    flight = vtime_from_sec(vtime_to_sec(flight) * factor);
+    flight = std::max(flight, params_.latency / 2);
+  }
+  return start + flight;
+}
+
+}  // namespace stgsim::net

@@ -1,0 +1,71 @@
+// Communication machine models.
+//
+// MPI-Sim traps communication calls and predicts their cost on the target
+// architecture with a per-machine model (paper §2.1). We use a LogGP-style
+// parameterization: software send/receive overheads, wire latency, and
+// bandwidth, plus an eager/rendezvous protocol threshold like the IBM and
+// SGI MPI implementations the paper validated against.
+//
+// The same parameter set drives two fidelities:
+//   * simulation (DE/AM): contention-free, noise-free — the model MPI-Sim
+//     itself used;
+//   * emulation ("direct measurement" stand-in): per-rank NIC serialization
+//     and seeded multiplicative jitter, so the emulated machine differs
+//     from the simulator's model the way real hardware differed from it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/vtime.hpp"
+
+namespace stgsim::net {
+
+struct NetworkParams {
+  VTime latency = vtime_from_us(25);      ///< alpha: end-to-end wire latency
+  double bytes_per_sec = 90e6;            ///< beta^-1: sustained bandwidth
+  VTime send_overhead = vtime_from_us(6); ///< o_s: sender CPU cost per msg
+  VTime recv_overhead = vtime_from_us(6); ///< o_r: receiver CPU cost per msg
+  std::size_t eager_threshold = 16 * 1024; ///< bytes; above this: rendezvous
+
+  // Emulation-only switches ("the real machine" differs from the model):
+  bool model_contention = false;  ///< serialize injection per source NIC
+  double jitter_frac = 0.0;       ///< stddev of multiplicative wire noise
+};
+
+/// IBM SP (thin nodes, SP switch) — the paper's distributed-memory target.
+NetworkParams ibm_sp();
+
+/// SGI Origin 2000 running MPI over shared memory — the SAMPLE target.
+NetworkParams origin2000();
+
+/// Per-world communication state (NIC availability for contention).
+class Network {
+ public:
+  Network(const NetworkParams& params, int nranks);
+
+  const NetworkParams& params() const { return params_; }
+
+  /// Pure wire time for `bytes` (no overheads): latency + bytes/bandwidth.
+  VTime wire_time(std::size_t bytes) const;
+
+  /// Arrival time at the destination for a message whose injection becomes
+  /// ready at `ready` on `src`. Applies contention and jitter when enabled
+  /// (jitter draws from `rng`, which must be the sender's stream so runs
+  /// stay deterministic).
+  VTime arrival(int src, VTime ready, std::size_t bytes, Rng& rng);
+
+  /// Lower bound on any future message's flight time (wildcard safety).
+  VTime min_latency() const { return params_.latency; }
+
+  bool uses_rendezvous(std::size_t bytes) const {
+    return bytes > params_.eager_threshold;
+  }
+
+ private:
+  NetworkParams params_;
+  std::vector<VTime> nic_free_;
+};
+
+}  // namespace stgsim::net

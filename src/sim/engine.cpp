@@ -1,0 +1,471 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <queue>
+#include <sstream>
+#include <thread>
+
+namespace stgsim::simk {
+
+namespace {
+
+thread_local int g_current_worker = 0;
+
+double steady_now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// CPU time consumed by this thread. Slice durations use this rather than
+/// wall time so preemption by other host processes cannot poison the
+/// recorded trace (a slice on a dedicated parallel host would not be
+/// preempted).
+double thread_cpu_sec() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Min-heap of (clock, rank); clocks are frozen while a process is ready,
+/// so entries never go stale.
+using ReadyHeap =
+    std::priority_queue<std::pair<VTime, int>,
+                        std::vector<std::pair<VTime, int>>,
+                        std::greater<std::pair<VTime, int>>>;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+int Process::world_size() const { return engine_->config().num_processes; }
+
+MemoryTracker& Process::memory() { return engine_->memory(); }
+
+void Process::send(Message msg) {
+  STGSIM_DCHECK(msg.src == rank_);
+  STGSIM_DCHECK(msg.dst >= 0 && msg.dst < world_size());
+  STGSIM_DCHECK(msg.arrival >= msg.sent_at);
+  msg.seq = next_seq_[msg.dst]++;
+  if (engine_->config().record_host_trace) {
+    msg.producer_slice = current_slice_;
+    msg.producer_offset_sec = thread_cpu_sec() - slice_begin_sec_;
+  }
+  engine_->deliver(std::move(msg));
+}
+
+bool Process::try_match(const MatchSpec& spec, Message* out) {
+  auto take = [&](std::deque<Message>& q, std::size_t idx) {
+    *out = std::move(q[idx]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+    --inbox_size_;
+    if (engine_->config().record_host_trace) {
+      // Consuming a message is a dependency point: end the current slice
+      // here and begin a new one gated on the message's production point.
+      // (On a parallel host this is exactly where the process could have
+      // had to block, letting its worker run other processes meanwhile.)
+      engine_->split_slice(*this);
+      engine_->trace_[current_slice_].deps.push_back(
+          {out->producer_slice, out->producer_offset_sec, out->src});
+    }
+  };
+
+  if (spec.src != MatchSpec::kAnySource) {
+    auto it = inbox_.find(spec.src);
+    if (it == inbox_.end()) return false;
+    auto& q = it->second;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (spec.accept(q[i])) {
+        take(q, i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Wildcard: per MPI, messages from one source are matched in send order;
+  // across sources we pick the earliest arrival (ties by source id) among
+  // each channel's first acceptable message.
+  std::deque<Message>* best_q = nullptr;
+  std::size_t best_idx = 0;
+  VTime best_arrival = kVTimeNever;
+  int best_src = -1;
+  for (auto& [src, q] : inbox_) {
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (spec.accept(q[i])) {
+        if (q[i].arrival < best_arrival ||
+            (q[i].arrival == best_arrival && src < best_src)) {
+          best_q = &q;
+          best_idx = i;
+          best_arrival = q[i].arrival;
+          best_src = src;
+        }
+        break;  // only the first acceptable message per channel competes
+      }
+    }
+  }
+  if (best_q == nullptr) return false;
+  take(*best_q, best_idx);
+  return true;
+}
+
+bool Process::peek_match(const MatchSpec& spec, VTime* arrival) const {
+  VTime best = kVTimeNever;
+  for (const auto& [src, q] : inbox_) {
+    if (spec.src != MatchSpec::kAnySource && spec.src != src) continue;
+    for (const auto& m : q) {
+      if (spec.accept(m)) {
+        best = std::min(best, m.arrival);
+        break;  // send order: only the first acceptable per channel
+      }
+    }
+  }
+  if (best == kVTimeNever) return false;
+  if (arrival != nullptr) *arrival = best;
+  return true;
+}
+
+Message Process::blocking_match(const MatchSpec& spec) {
+  Message out;
+  if (try_match(spec, &out)) return out;
+  blocked_ = true;
+  waiting_on_ = &spec;
+  Fiber::yield_to_scheduler();
+  if (engine_->aborting_) throw FiberAborted{};
+  // The engine only wakes us when a match is available.
+  STGSIM_CHECK(try_match(spec, &out))
+      << "process " << rank_ << " woke without a matching message";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(EngineConfig config) : config_(config) {
+  STGSIM_CHECK_GT(config_.num_processes, 0);
+  STGSIM_CHECK_GT(config_.host_workers, 0);
+  memory_.set_cap(config_.memory_cap_bytes);
+  if (config_.use_threads) {
+    STGSIM_CHECK(!config_.record_host_trace)
+        << "host-trace recording requires the sequential scheduler";
+  }
+}
+
+Engine::~Engine() = default;
+
+VTime Engine::wildcard_safe_bound(VTime min_latency) const {
+  VTime lo = kVTimeNever;
+  for (const auto& p : procs_) {
+    if (!p->finished_) lo = std::min(lo, p->clock_);
+  }
+  if (lo == kVTimeNever) return kVTimeNever;
+  return lo + min_latency;
+}
+
+double Engine::now_host_sec() const { return steady_now_sec() - host_t0_sec_; }
+
+void Engine::deliver(Message&& msg) {
+  Process& dst = *procs_[static_cast<std::size_t>(msg.dst)];
+
+  if (threaded_phase_ && dst.home_worker_ != g_current_worker) {
+    // Cross-partition: buffered until the end-of-round barrier.
+    round_outboxes_[static_cast<std::size_t>(g_current_worker)].push_back(
+        std::move(msg));
+    return;
+  }
+
+  auto& q = dst.inbox_[msg.src];
+  STGSIM_DCHECK(q.empty() || q.back().seq < msg.seq)
+      << "FIFO violation on channel " << msg.src << "->" << msg.dst;
+  q.push_back(std::move(msg));
+  ++dst.inbox_size_;
+  ++messages_delivered_;
+
+  if (dst.blocked_) {
+    // Wake only if the newly available message completes a match, so a
+    // process never context-switches spuriously.
+    const MatchSpec& spec = *dst.waiting_on_;
+    const Message& m = q.back();
+    bool can_match = false;
+    if (spec.src == MatchSpec::kAnySource || spec.src == m.src) {
+      // The new message is last in its channel; it can only be matched if
+      // no earlier message in the same channel also matches (that one
+      // would have woken us already) — so testing the new message alone
+      // is exact.
+      can_match = spec.accept(m);
+    }
+    if (can_match) {
+      dst.blocked_ = false;
+      dst.waiting_on_ = nullptr;
+      if (threaded_run_) {
+        // Local deliveries happen on the destination's own worker; flush
+        // deliveries happen between rounds — both may touch this list.
+        worker_ready_[static_cast<std::size_t>(dst.home_worker_)].push_back(
+            dst.rank_);
+      } else {
+        ready_.push_back(dst.rank_);
+      }
+    }
+  }
+}
+
+void Engine::resume_process(Process& p) {
+  STGSIM_DCHECK(!p.finished_ && !p.blocked_);
+  if (config_.record_host_trace) {
+    p.current_slice_ = trace_.size();
+    trace_.push_back(Slice{p.rank_, 0.0, {}});
+    p.slice_begin_sec_ = thread_cpu_sec();
+  }
+  p.fiber_->resume();
+  if (config_.record_host_trace) {
+    trace_[p.current_slice_].duration_sec =
+        thread_cpu_sec() - p.slice_begin_sec_;
+  }
+  if (p.fiber_->finished()) {
+    p.finished_ = true;
+  } else {
+    STGSIM_CHECK(p.blocked_)
+        << "process " << p.rank_ << " yielded without blocking or finishing";
+  }
+}
+
+void Engine::split_slice(Process& p) {
+  const double now = thread_cpu_sec();
+  trace_[p.current_slice_].duration_sec = now - p.slice_begin_sec_;
+  p.current_slice_ = trace_.size();
+  trace_.push_back(Slice{p.rank_, 0.0, {}});
+  p.slice_begin_sec_ = now;
+}
+
+void Engine::note_error(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!error_) error_ = std::move(e);
+}
+
+void Engine::abort_run(std::exception_ptr fallback) {
+  aborting_ = true;
+  // Unwind every suspended fiber so its RAII state (arrays, requests,
+  // inbox payloads) is destroyed; never-started fibers hold no state.
+  for (auto& p : procs_) {
+    if (p->finished_ || p->fiber_ == nullptr) continue;
+    if (!p->blocked_) continue;
+    p->blocked_ = false;
+    p->waiting_on_ = nullptr;
+    p->fiber_->resume();
+    p->finished_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!error_) error_ = std::move(fallback);
+  }
+  std::rethrow_exception(error_);
+}
+
+void Engine::raise_deadlock() {
+  std::ostringstream os;
+  os << "simulation deadlock: all unfinished processes are blocked;";
+  int shown = 0;
+  for (const auto& p : procs_) {
+    if (p->finished_) continue;
+    if (shown++ == 8) {
+      os << " ...";
+      break;
+    }
+    os << " rank " << p->rank_ << " @" << vtime_to_string(p->clock_)
+       << " waiting on src="
+       << (p->waiting_on_ != nullptr ? p->waiting_on_->src : -2);
+  }
+  abort_run(std::make_exception_ptr(DeadlockError(os.str())));
+}
+
+RunResult Engine::run() {
+  STGSIM_CHECK(!ran_) << "Engine::run() is single-shot";
+  ran_ = true;
+  STGSIM_CHECK(body_ != nullptr) << "set_body() before run()";
+
+  procs_.reserve(static_cast<std::size_t>(config_.num_processes));
+  SplitMix64 seeder(config_.seed);
+  for (int r = 0; r < config_.num_processes; ++r) {
+    auto p = std::make_unique<Process>();
+    p->engine_ = this;
+    p->rank_ = r;
+    p->rng_.reseed(seeder.next());
+    p->home_worker_ = static_cast<int>(
+        static_cast<long long>(r) * config_.host_workers /
+        config_.num_processes);
+    Process* raw = p.get();
+    p->fiber_ = std::make_unique<Fiber>(
+        [this, raw] {
+          try {
+            body_(*raw);
+          } catch (const FiberAborted&) {
+            // Clean teardown: unwound by Engine::abort_run.
+          } catch (...) {
+            note_error(std::current_exception());
+          }
+        },
+        config_.fiber_stack_bytes);
+    procs_.push_back(std::move(p));
+  }
+
+  host_t0_sec_ = steady_now_sec();
+  const auto switches_before = Fiber::switch_count();
+
+  if (config_.use_threads && config_.host_workers > 1) {
+    run_threaded();
+  } else {
+    run_sequential();
+  }
+
+  RunResult res;
+  res.per_rank_completion.reserve(procs_.size());
+  for (const auto& p : procs_) {
+    STGSIM_CHECK(p->finished_);
+    res.per_rank_completion.push_back(p->clock_);
+    res.completion = std::max(res.completion, p->clock_);
+  }
+  res.host_seconds = now_host_sec();
+  res.messages_delivered = messages_delivered_;
+  res.slices = config_.record_host_trace
+                   ? trace_.size()
+                   : (Fiber::switch_count() - switches_before);
+  res.peak_target_bytes = memory_.peak_bytes();
+  res.final_target_bytes = memory_.current_bytes();
+  return res;
+}
+
+void Engine::run_sequential() {
+  ReadyHeap heap;
+  ready_.reserve(procs_.size());
+  for (const auto& p : procs_) heap.push({p->clock_, p->rank_});
+
+  std::size_t remaining = procs_.size();
+  while (remaining > 0) {
+    if (heap.empty()) raise_deadlock();
+    const auto [clock, rank] = heap.top();
+    heap.pop();
+    Process& p = *procs_[static_cast<std::size_t>(rank)];
+    STGSIM_DCHECK(p.clock_ == clock);
+    resume_process(p);
+    if (error_) abort_run(error_);
+    if (p.finished_) --remaining;
+    // Deliveries during the slice queued wakeups into ready_.
+    for (int woken : ready_) {
+      heap.push({procs_[static_cast<std::size_t>(woken)]->clock_, woken});
+    }
+    ready_.clear();
+  }
+}
+
+void Engine::run_partition_until_blocked(int worker) {
+  g_current_worker = worker;
+  ReadyHeap heap;
+  std::vector<int>& local_ready = worker_ready_[static_cast<std::size_t>(worker)];
+  for (int rank : local_ready) {
+    heap.push({procs_[static_cast<std::size_t>(rank)]->clock_, rank});
+  }
+  local_ready.clear();
+
+  while (!heap.empty()) {
+    const auto [clock, rank] = heap.top();
+    heap.pop();
+    Process& p = *procs_[static_cast<std::size_t>(rank)];
+    resume_process(p);
+    // Local deliveries appended wakeups to our own worker list.
+    for (int woken : local_ready) {
+      heap.push({procs_[static_cast<std::size_t>(woken)]->clock_, woken});
+    }
+    local_ready.clear();
+  }
+}
+
+void Engine::run_threaded() {
+  const int workers = config_.host_workers;
+  threaded_run_ = true;
+  round_outboxes_.assign(static_cast<std::size_t>(workers), {});
+  worker_ready_.assign(static_cast<std::size_t>(workers), {});
+  for (const auto& p : procs_) {
+    worker_ready_[static_cast<std::size_t>(p->home_worker_)].push_back(
+        p->rank_);
+  }
+
+  auto any_ready = [&] {
+    for (const auto& v : worker_ready_) {
+      if (!v.empty()) return true;
+    }
+    return false;
+  };
+
+  while (true) {
+    if (!any_ready()) {
+      bool all_done = true;
+      for (const auto& p : procs_) all_done = all_done && p->finished_;
+      if (all_done) break;
+      raise_deadlock();
+    }
+
+    threaded_phase_ = true;
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([this, w] { run_partition_until_blocked(w); });
+      }
+      for (auto& t : threads) t.join();
+    }
+    threaded_phase_ = false;
+    if (error_) abort_run(error_);
+
+    // Barrier reached: flush cross-partition messages. Worker order is
+    // fixed and per-channel order is preserved within each outbox, so the
+    // flush — and therefore the whole run — is deterministic.
+    for (auto& outbox : round_outboxes_) {
+      for (auto& msg : outbox) deliver(std::move(msg));
+      outbox.clear();
+    }
+  }
+  threaded_run_ = false;
+}
+
+double replay_host_trace(const std::vector<Slice>& trace, int num_processes,
+                         int workers, const HostModel& model) {
+  STGSIM_CHECK_GT(workers, 0);
+  STGSIM_CHECK_GT(num_processes, 0);
+
+  auto worker_of = [&](int lp) {
+    return static_cast<int>(static_cast<long long>(lp) * workers /
+                            num_processes);
+  };
+
+  std::vector<double> worker_free(static_cast<std::size_t>(workers), 0.0);
+  std::vector<double> slice_start(trace.size(), 0.0);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Slice& s = trace[i];
+    const int w = worker_of(s.lp);
+    double ready = worker_free[static_cast<std::size_t>(w)];
+    for (const Slice::Dep& d : s.deps) {
+      STGSIM_DCHECK(d.slice <= i);
+      double avail =
+          slice_start[d.slice] + d.offset_sec * model.duration_scale;
+      if (worker_of(d.producer_lp) != w) avail += model.cross_worker_msg_sec;
+      ready = std::max(ready, avail);
+    }
+    slice_start[i] = ready;
+    worker_free[static_cast<std::size_t>(w)] =
+        ready + s.duration_sec * model.duration_scale +
+        model.per_slice_overhead_sec;
+  }
+
+  double makespan = 0.0;
+  for (double t : worker_free) makespan = std::max(makespan, t);
+  return makespan;
+}
+
+}  // namespace stgsim::simk

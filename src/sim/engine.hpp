@@ -1,0 +1,294 @@
+// Process-oriented parallel discrete-event simulation kernel.
+//
+// This is our reimplementation of the MPI-Sim substrate (paper §2.1): every
+// target process is a fiber with its own virtual clock; local computation
+// advances the clock without context switches; communication is exchanged
+// as timestamped messages. Because target programs are deterministic and
+// receive completion uses max(local clock, arrival time), simulation
+// results are independent of the order in which processes are scheduled —
+// the property direct-execution simulators rely on. Wildcard receives are
+// the exception and are guarded by a conservative safety bound.
+//
+// Two schedulers are provided:
+//  * Sequential: runs fibers lowest-clock-first on one OS thread. While it
+//    runs, it records a *slice trace* (host-time cost of every execution
+//    slice and the message dependencies between slices). Replaying the
+//    trace under a k-worker list schedule yields the wall-clock the same
+//    simulation would take on k host processors — this stands in for the
+//    paper's measurements of MPI-Sim on a parallel host (Figs. 14-16),
+//    since this container has a single core.
+//  * Threaded conservative: partitions processes over real worker threads;
+//    each round runs every partition until all its processes block, then
+//    flushes cross-partition mailboxes at a barrier. Used to validate that
+//    parallel execution is deterministic and agrees with the sequential
+//    scheduler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "support/check.hpp"
+#include "support/memtrack.hpp"
+#include "support/rng.hpp"
+#include "support/vtime.hpp"
+
+namespace stgsim::simk {
+
+/// A timestamped message between target processes. Payload holds real data
+/// under direct execution; under the analytical model only `wire_bytes` is
+/// meaningful and the payload stays empty.
+struct Message {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  VTime sent_at = 0;        ///< virtual time the send was issued
+  VTime arrival = 0;        ///< virtual time available at the receiver
+  std::uint64_t seq = 0;    ///< per-(src,dst) send order (non-overtaking)
+  std::uint64_t aux = 0;    ///< protocol-defined (rendezvous/collective ids)
+  std::size_t wire_bytes = 0;
+  std::vector<std::uint8_t> payload;
+
+  // Host-trace bookkeeping (set by the engine on send).
+  std::uint64_t producer_slice = 0;
+  double producer_offset_sec = 0.0;
+};
+
+/// Matching rule for a (blocking) receive: source (or kAnySource) plus an
+/// acceptance test over tag/kind. The engine applies MPI ordering: for a
+/// fixed source, the earliest message in send order whose accept() holds.
+struct MatchSpec {
+  static constexpr int kAnySource = -1;
+  int src = kAnySource;
+  std::function<bool(const Message&)> accept;
+};
+
+class Engine;
+
+/// Handle a target-process body uses to interact with the simulation.
+class Process {
+ public:
+  int rank() const { return rank_; }
+  int world_size() const;
+
+  VTime now() const { return clock_; }
+
+  /// Charges `dt` of local computation to this process's virtual clock.
+  void advance(VTime dt) {
+    STGSIM_DCHECK(dt >= 0);
+    clock_ += dt;
+  }
+
+  /// clock = max(clock, t); used for receive/transfer completions.
+  void lift_clock(VTime t) {
+    if (t > clock_) clock_ = t;
+  }
+
+  /// Sends a message. msg.src must equal rank(); seq is assigned here.
+  void send(Message msg);
+
+  /// Non-blocking probe-and-remove: returns true and fills *out if a
+  /// message matching `spec` is available now.
+  bool try_match(const MatchSpec& spec, Message* out);
+
+  /// Non-destructive probe: reports whether a matching message is
+  /// available and, if so, its arrival time (for earliest-completion
+  /// selection among several candidates, e.g. waitany).
+  bool peek_match(const MatchSpec& spec, VTime* arrival) const;
+
+  /// Blocks until a matching message is available, removes and returns it.
+  /// Receive *completion time* is the caller's business (lift_clock).
+  Message blocking_match(const MatchSpec& spec);
+
+  /// Deterministic per-process random stream.
+  Rng& rng() { return rng_; }
+
+  /// Tracker charged for this run's simulated program data.
+  MemoryTracker& memory();
+
+  Engine& engine() { return *engine_; }
+
+  /// Slot for the layer above (smpi::Comm) to attach its state.
+  void* user = nullptr;
+
+ private:
+  friend class Engine;
+
+  Engine* engine_ = nullptr;
+  int rank_ = -1;
+  VTime clock_ = 0;
+  Rng rng_;
+
+  std::unique_ptr<Fiber> fiber_;
+  bool finished_ = false;
+  bool blocked_ = false;
+  const MatchSpec* waiting_on_ = nullptr;  // valid while blocked_
+  int home_worker_ = 0;
+
+  // Inbox: per-source channels in send (seq) order.
+  std::map<int, std::deque<Message>> inbox_;
+  std::uint64_t inbox_size_ = 0;
+
+  // Next seq per destination for outgoing messages.
+  std::map<int, std::uint64_t> next_seq_;
+
+  // Host-trace state: current slice id and its start instant.
+  std::uint64_t current_slice_ = 0;
+  double slice_begin_sec_ = 0.0;
+  double resume_ready_sec_ = 0.0;  // host_avail of the message that woke us
+};
+
+/// One execution slice in the host trace: process `lp` ran for
+/// `duration_sec` of host time; it could not start before its dependencies
+/// (send points inside earlier slices) were produced.
+struct Slice {
+  int lp = 0;
+  double duration_sec = 0.0;
+  /// (producer slice index, host-time offset of the send within it,
+  ///  producer lp) for every message consumed to unblock/feed this slice.
+  struct Dep {
+    std::uint64_t slice;
+    double offset_sec;
+    int producer_lp;
+  };
+  std::vector<Dep> deps;
+};
+
+/// Knobs for replaying a slice trace on an emulated parallel host.
+struct HostModel {
+  double per_slice_overhead_sec = 0.4e-6;   ///< scheduler/context switch
+  double cross_worker_msg_sec = 3.0e-6;     ///< remote delivery overhead
+  double per_round_sync_base_sec = 4.0e-6;  ///< (reserved for window modes)
+
+  /// Multiplier applied to measured slice durations (and send offsets):
+  /// set to the target-era slowdown to model the simulator running on the
+  /// same machine generation it predicts, as the paper's did.
+  double duration_scale = 1.0;
+};
+
+struct EngineConfig {
+  int num_processes = 1;
+
+  /// Threaded conservative mode when > 1 and use_threads; otherwise the
+  /// value is only used as the default worker count for trace replay.
+  int host_workers = 1;
+  bool use_threads = false;
+
+  std::size_t fiber_stack_bytes = 256 * 1024;
+  std::size_t memory_cap_bytes = 0;  ///< 0 = uncapped
+  std::uint64_t seed = 0x5eedULL;
+
+  /// Record the slice trace (sequential scheduler only).
+  bool record_host_trace = false;
+};
+
+struct RunResult {
+  VTime completion = 0;  ///< max over ranks of virtual finish time
+  std::vector<VTime> per_rank_completion;
+
+  double host_seconds = 0.0;  ///< real wall-clock of this simulation run
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t slices = 0;
+  std::size_t peak_target_bytes = 0;
+  std::size_t final_target_bytes = 0;
+};
+
+/// Thrown when every unfinished process is blocked and nothing can match.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown *inside* target-process fibers when the run is being torn down
+/// (another process failed, or a deadlock was detected); it unwinds the
+/// fiber stack so RAII state (arrays, inboxes) is released. Target code
+/// must not swallow it.
+struct FiberAborted {};
+
+class Engine {
+ public:
+  using ProcessBody = std::function<void(Process&)>;
+
+  explicit Engine(EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The body every process runs (rank via Process::rank()).
+  void set_body(ProcessBody body) { body_ = std::move(body); }
+
+  /// Runs the simulation to completion. Callable once per Engine.
+  RunResult run();
+
+  const EngineConfig& config() const { return config_; }
+  MemoryTracker& memory() { return memory_; }
+
+  /// Recorded slice trace (empty unless config.record_host_trace).
+  const std::vector<Slice>& host_trace() const { return trace_; }
+
+  /// Lower bound on the arrival time of any message not yet matchable:
+  /// min over unfinished processes of their clock, plus `min_latency`.
+  /// Used for ANY_SOURCE safety by the layer above.
+  VTime wildcard_safe_bound(VTime min_latency) const;
+
+ private:
+  friend class Process;
+
+  void deliver(Message&& msg);
+  void run_sequential();
+  void run_threaded();
+  void run_partition_until_blocked(int worker);
+  void resume_process(Process& p);
+  [[noreturn]] void raise_deadlock();
+  double now_host_sec() const;
+
+  /// Ends the current slice of `p` and starts a fresh one (trace only).
+  void split_slice(Process& p);
+
+  /// Stores the first exception thrown by a process body.
+  void note_error(std::exception_ptr e);
+  /// Resumes every blocked fiber so it unwinds via FiberAborted, then
+  /// rethrows the pending error (or `fallback` if none).
+  [[noreturn]] void abort_run(std::exception_ptr fallback);
+
+  EngineConfig config_;
+  ProcessBody body_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  MemoryTracker memory_;
+
+  // Processes woken by deliveries during the current slice (sequential
+  // scheduler); drained into the ready heap after each slice.
+  std::vector<int> ready_;
+
+  std::vector<Slice> trace_;
+  std::atomic<std::uint64_t> messages_delivered_{0};
+  bool ran_ = false;
+
+  // Threaded mode: per-worker ready lists and outboxes for cross-partition
+  // messages, flushed at the end-of-round barrier.
+  std::vector<std::vector<int>> worker_ready_;
+  std::vector<std::vector<Message>> round_outboxes_;
+  bool threaded_run_ = false;
+  bool threaded_phase_ = false;
+
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+  bool aborting_ = false;
+
+  double host_t0_sec_ = 0.0;
+};
+
+/// Replays `trace` on an emulated `workers`-processor host (block mapping
+/// of processes to workers) and returns the predicted wall-clock seconds.
+double replay_host_trace(const std::vector<Slice>& trace, int num_processes,
+                         int workers, const HostModel& model = {});
+
+}  // namespace stgsim::simk

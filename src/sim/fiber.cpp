@@ -1,0 +1,103 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace stgsim::simk {
+
+namespace {
+
+thread_local Fiber* g_current_fiber = nullptr;
+thread_local unsigned long long g_switches = 0;
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up_pages(std::size_t bytes) {
+  const std::size_t ps = page_size();
+  return (bytes + ps - 1) / ps * ps;
+}
+
+}  // namespace
+
+Fiber::Fiber(BodyFn body, std::size_t stack_bytes) : body_(std::move(body)) {
+  STGSIM_CHECK(body_ != nullptr);
+  const std::size_t usable = round_up_pages(stack_bytes);
+  map_bytes_ = usable + page_size();  // + guard page
+  stack_base_ = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  STGSIM_CHECK(stack_base_ != MAP_FAILED) << "fiber stack mmap failed";
+  // Guard page at the low end (stacks grow down on x86-64).
+  STGSIM_CHECK_EQ(mprotect(stack_base_, page_size(), PROT_NONE), 0);
+
+  STGSIM_CHECK_EQ(getcontext(&context_), 0);
+  context_.uc_stack.ss_sp =
+      static_cast<std::uint8_t*>(stack_base_) + page_size();
+  context_.uc_stack.ss_size = usable;
+  context_.uc_link = nullptr;  // run_body never falls off the trampoline
+
+  // makecontext only passes ints; split the pointer into two 32-bit halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() {
+  // Fibers must not be destroyed while suspended mid-body with live RAII
+  // state; the engine only destroys fibers after completion or when the
+  // whole run is being torn down (where leaking fiber-local destructors
+  // is acceptable for abnormal termination).
+  if (stack_base_ != nullptr) {
+    munmap(stack_base_, map_bytes_);
+  }
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(bits)->run_body();
+}
+
+void Fiber::run_body() {
+  body_();
+  finished_ = true;
+  // Return to whoever resumed us last; the fiber is never resumed again.
+  Fiber* self = g_current_fiber;
+  g_current_fiber = nullptr;
+  swapcontext(&self->context_, &self->return_context_);
+  STGSIM_UNREACHABLE("finished fiber resumed");
+}
+
+void Fiber::resume() {
+  STGSIM_CHECK(g_current_fiber == nullptr)
+      << "resume() called from inside a fiber";
+  STGSIM_CHECK(!finished_) << "resume() on finished fiber";
+  started_ = true;
+  g_current_fiber = this;
+  ++g_switches;
+  STGSIM_CHECK_EQ(swapcontext(&return_context_, &context_), 0);
+  STGSIM_CHECK(g_current_fiber == nullptr);
+}
+
+void Fiber::yield_to_scheduler() {
+  Fiber* self = g_current_fiber;
+  STGSIM_CHECK(self != nullptr) << "yield outside of fiber";
+  g_current_fiber = nullptr;
+  STGSIM_CHECK_EQ(swapcontext(&self->context_, &self->return_context_), 0);
+  // Resumed again: restore current pointer (resume() set it before the
+  // swap back into us).
+  g_current_fiber = self;
+}
+
+Fiber* Fiber::current() { return g_current_fiber; }
+
+unsigned long long Fiber::switch_count() { return g_switches; }
+
+}  // namespace stgsim::simk

@@ -1,0 +1,831 @@
+#include "smpi/smpi.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace stgsim::smpi {
+
+namespace {
+
+/// Wire size charged for control messages (RTS/CTS envelopes).
+constexpr std::size_t kControlBytes = 64;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+double World::param(const std::string& name) const {
+  auto it = params_.find(name);
+  STGSIM_CHECK(it != params_.end())
+      << "missing model parameter '" << name
+      << "' — run the timer-instrumented program first (Figure 2 workflow)";
+  return it->second;
+}
+
+std::string CommTrace::diff(const CommTrace& other) const {
+  std::ostringstream os;
+  if (per_rank_.size() != other.per_rank_.size()) {
+    os << "rank count differs: " << per_rank_.size() << " vs "
+       << other.per_rank_.size();
+    return os.str();
+  }
+  for (std::size_t r = 0; r < per_rank_.size(); ++r) {
+    const auto& a = per_rank_[r];
+    const auto& b = other.per_rank_[r];
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(a[i] == b[i])) {
+        os << "rank " << r << " op " << i << ": kind "
+           << static_cast<int>(a[i].kind) << "/" << static_cast<int>(b[i].kind)
+           << " peer " << a[i].peer << "/" << b[i].peer << " tag " << a[i].tag
+           << "/" << b[i].tag << " bytes " << a[i].bytes << "/" << b[i].bytes;
+        return os.str();
+      }
+    }
+    if (a.size() != b.size()) {
+      os << "rank " << r << ": op count " << a.size() << " vs " << b.size();
+      return os.str();
+    }
+  }
+  return "";
+}
+
+RankStats World::aggregate_stats() const {
+  RankStats agg;
+  for (const auto& s : stats_) {
+    agg.compute_time = std::max(agg.compute_time, s.compute_time);
+    agg.comm_time = std::max(agg.comm_time, s.comm_time);
+    agg.sends += s.sends;
+    agg.recvs += s.recvs;
+    agg.collectives += s.collectives;
+    agg.delays += s.delays;
+    agg.bytes_sent += s.bytes_sent;
+  }
+  return agg;
+}
+
+// ---------------------------------------------------------------------------
+// Comm: basics
+// ---------------------------------------------------------------------------
+
+Comm::Comm(World& world, simk::Process& proc)
+    : world_(world), proc_(proc), stats_(world.stats(proc.rank())) {
+  STGSIM_CHECK_EQ(world.nranks(), proc.world_size());
+  proc_.user = this;
+}
+
+Comm::~Comm() { proc_.user = nullptr; }
+
+void Comm::compute(VTime t) {
+  proc_.advance(t);
+  stats_.compute_time += t;
+}
+
+void Comm::delay(VTime t) {
+  STGSIM_CHECK_GE(t, 0) << "negative delay — bad scaling function?";
+  proc_.advance(t);
+  stats_.compute_time += t;
+  ++stats_.delays;
+}
+
+int Comm::encode_tag(MsgKind kind, int user_tag) {
+  STGSIM_DCHECK(user_tag >= 0 && user_tag < (1 << 24));
+  return (static_cast<int>(kind) << 24) | user_tag;
+}
+
+Comm::MsgKind Comm::decode_kind(int wire_tag) {
+  return static_cast<MsgKind>(wire_tag >> 24);
+}
+
+int Comm::decode_user_tag(int wire_tag) { return wire_tag & 0xffffff; }
+
+void Comm::send_raw(int dst, int wire_tag, std::uint64_t aux,
+                    const void* data, std::size_t bytes,
+                    std::size_t wire_bytes) {
+  simk::Message m;
+  m.src = rank();
+  m.dst = dst;
+  m.tag = wire_tag;
+  m.aux = aux;
+  m.sent_at = now();
+  m.arrival = world_.network().arrival(rank(), now(), wire_bytes, proc_.rng());
+  m.wire_bytes = bytes;  // logical message size (status / rndv transfer)
+  if (data != nullptr && bytes > 0) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    m.payload.assign(p, p + bytes);
+  }
+  proc_.send(std::move(m));
+}
+
+VTime Comm::abstract_coll_cost(std::size_t bytes) const {
+  const auto& net = world_.options().net;
+  int rounds = 0;
+  for (int span = 1; span < size(); span <<= 1) ++rounds;
+  const VTime per_round = net.latency + net.send_overhead + net.recv_overhead;
+  return rounds * per_round +
+         vtime_from_sec(static_cast<double>(bytes) / net.bytes_per_sec);
+}
+
+void Comm::coll_send_at(int dst, int round, const void* data,
+                        std::size_t bytes, VTime arrival) {
+  const std::uint64_t aux =
+      (coll_seq_ << 8) | static_cast<std::uint64_t>(round & 0xff);
+  simk::Message m;
+  m.src = rank();
+  m.dst = dst;
+  m.tag = encode_tag(kKindColl, 0);
+  m.aux = aux;
+  m.sent_at = now();
+  m.arrival = std::max(arrival, now());
+  m.wire_bytes = bytes;
+  if (data != nullptr && bytes > 0) {
+    const auto* pb = static_cast<const std::uint8_t*>(data);
+    m.payload.assign(pb, pb + bytes);
+  }
+  proc_.send(std::move(m));
+  stats_.bytes_sent += bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
+  const VTime t0 = now();
+  STGSIM_CHECK(dst >= 0 && dst < size());
+  trace(CommEvent::Kind::kSend, dst, tag, bytes);
+  proc_.advance(world_.options().net.send_overhead);
+  ++stats_.sends;
+  stats_.bytes_sent += bytes;
+
+  if (abstract_comm() || !world_.network().uses_rendezvous(bytes)) {
+    send_raw(dst, encode_tag(kKindEager, tag), 0, data, bytes, bytes);
+  } else {
+    // Rendezvous: the RTS envelope carries the payload for fidelity of the
+    // data, but only kControlBytes travel now; the bulk transfer is modeled
+    // by the receiver once it grants the CTS. The blocking send completes
+    // when the CTS arrives — i.e. not before the receive is posted.
+    const std::uint64_t rid =
+        (static_cast<std::uint64_t>(rank()) << 32) | next_rid_++;
+    {
+      simk::Message m;
+      m.src = rank();
+      m.dst = dst;
+      m.tag = encode_tag(kKindRts, tag);
+      m.aux = rid;
+      m.sent_at = now();
+      m.arrival =
+          world_.network().arrival(rank(), now(), kControlBytes, proc_.rng());
+      m.wire_bytes = bytes;
+      if (data != nullptr && bytes > 0) {
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        m.payload.assign(p, p + bytes);
+      }
+      proc_.send(std::move(m));
+    }
+    simk::MatchSpec spec;
+    spec.src = dst;
+    spec.accept = [rid](const simk::Message& m) {
+      return decode_kind(m.tag) == kKindCts && m.aux == rid;
+    };
+    simk::Message cts = proc_.blocking_match(spec);
+    proc_.lift_clock(cts.arrival);
+  }
+  stats_.comm_time += now() - t0;
+}
+
+simk::Message Comm::match_recv(int src, int user_tag) {
+  simk::MatchSpec spec;
+  spec.src = (src == kAnySource) ? simk::MatchSpec::kAnySource : src;
+  spec.accept = [user_tag](const simk::Message& m) {
+    const MsgKind k = decode_kind(m.tag);
+    if (k != kKindEager && k != kKindRts) return false;
+    return user_tag == kAnyTag || decode_user_tag(m.tag) == user_tag;
+  };
+  return proc_.blocking_match(spec);
+}
+
+void Comm::complete_eager_or_rts(simk::Message& m, void* data,
+                                 std::size_t bytes, RecvStatus* status) {
+  STGSIM_CHECK_LE(m.wire_bytes, bytes)
+      << "receive buffer too small: posted " << bytes << " got "
+      << m.wire_bytes << " (src " << m.src << " tag "
+      << decode_user_tag(m.tag) << ")";
+  proc_.lift_clock(m.arrival);
+
+  if (decode_kind(m.tag) == kKindRts) {
+    // Grant the transfer: CTS back to the sender, then model the bulk
+    // data crossing the wire starting when the CTS reaches the sender.
+    const VTime cts_arrival =
+        world_.network().arrival(rank(), now(), kControlBytes, proc_.rng());
+    {
+      simk::Message cts;
+      cts.src = rank();
+      cts.dst = m.src;
+      cts.tag = encode_tag(kKindCts, decode_user_tag(m.tag));
+      cts.aux = m.aux;
+      cts.sent_at = now();
+      cts.arrival = cts_arrival;
+      cts.wire_bytes = kControlBytes;
+      proc_.send(std::move(cts));
+    }
+    const VTime data_done = world_.network().arrival(
+        m.src, cts_arrival, m.wire_bytes, proc_.rng());
+    proc_.lift_clock(data_done);
+  }
+
+  proc_.advance(world_.options().net.recv_overhead);
+  if (data != nullptr && !m.payload.empty()) {
+    std::memcpy(data, m.payload.data(), m.payload.size());
+  }
+  if (status != nullptr) {
+    status->src = m.src;
+    status->tag = decode_user_tag(m.tag);
+    status->bytes = m.wire_bytes;
+  }
+  ++stats_.recvs;
+}
+
+void Comm::recv(int src, int tag, void* data, std::size_t bytes,
+                RecvStatus* status) {
+  const VTime t0 = now();
+  trace(CommEvent::Kind::kRecv, src, tag, bytes);
+  simk::Message m = match_recv(src, tag);
+  complete_eager_or_rts(m, data, bytes, status);
+  stats_.comm_time += now() - t0;
+}
+
+Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
+  const VTime t0 = now();
+  STGSIM_CHECK(dst >= 0 && dst < size());
+  trace(CommEvent::Kind::kIsend, dst, tag, bytes);
+  proc_.advance(world_.options().net.send_overhead);
+  ++stats_.sends;
+  stats_.bytes_sent += bytes;
+
+  Request req;
+  req.peer = dst;
+  req.tag = tag;
+  req.bytes = bytes;
+
+  if (abstract_comm() || !world_.network().uses_rendezvous(bytes)) {
+    send_raw(dst, encode_tag(kKindEager, tag), 0, data, bytes, bytes);
+    req.kind_ = Request::Kind::kSendDone;
+    req.done_ = true;
+  } else {
+    const std::uint64_t rid =
+        (static_cast<std::uint64_t>(rank()) << 32) | next_rid_++;
+    simk::Message m;
+    m.src = rank();
+    m.dst = dst;
+    m.tag = encode_tag(kKindRts, tag);
+    m.aux = rid;
+    m.sent_at = now();
+    m.arrival =
+        world_.network().arrival(rank(), now(), kControlBytes, proc_.rng());
+    m.wire_bytes = bytes;
+    if (data != nullptr && bytes > 0) {
+      const auto* p = static_cast<const std::uint8_t*>(data);
+      m.payload.assign(p, p + bytes);
+    }
+    proc_.send(std::move(m));
+    req.kind_ = Request::Kind::kSendRendezvous;
+    req.rid = rid;
+  }
+  stats_.comm_time += now() - t0;
+  return req;
+}
+
+Request Comm::irecv(int src, int tag, void* data, std::size_t bytes,
+                    RecvStatus* status) {
+  trace(CommEvent::Kind::kIrecv, src, tag, bytes);
+  Request req;
+  req.kind_ = Request::Kind::kRecv;
+  req.peer = src;
+  req.tag = tag;
+  req.buf = data;
+  req.bytes = bytes;
+  req.status = status;
+  return req;
+}
+
+void Comm::wait(Request& req) {
+  STGSIM_CHECK(req.valid()) << "wait() on invalid request";
+  if (req.done_) return;
+  const VTime t0 = now();
+  switch (req.kind_) {
+    case Request::Kind::kSendRendezvous: {
+      simk::MatchSpec spec;
+      spec.src = req.peer;
+      const std::uint64_t rid = req.rid;
+      spec.accept = [rid](const simk::Message& m) {
+        return decode_kind(m.tag) == kKindCts && m.aux == rid;
+      };
+      simk::Message cts = proc_.blocking_match(spec);
+      proc_.lift_clock(cts.arrival);
+      break;
+    }
+    case Request::Kind::kRecv: {
+      simk::Message m = match_recv(req.peer, req.tag);
+      complete_eager_or_rts(m, req.buf, req.bytes, req.status);
+      break;
+    }
+    default:
+      break;
+  }
+  req.done_ = true;
+  stats_.comm_time += now() - t0;
+}
+
+void Comm::waitall(std::vector<Request>& reqs) {
+  trace(CommEvent::Kind::kWaitall, -1, 0, reqs.size());
+  // Service receives first: granting CTSes unblocks peers whose
+  // rendezvous sends we may be waiting on ourselves (progress-engine
+  // behaviour of a real MPI library).
+  for (auto& r : reqs) {
+    if (r.kind_ == Request::Kind::kRecv) wait(r);
+  }
+  for (auto& r : reqs) {
+    if (!r.done_) wait(r);
+  }
+}
+
+std::size_t Comm::waitany(std::vector<Request>& reqs) {
+  const VTime t0 = now();
+  auto spec_for = [](const Request& r, simk::MatchSpec* spec) {
+    if (r.kind_ == Request::Kind::kSendRendezvous) {
+      spec->src = r.peer;
+      const std::uint64_t rid = r.rid;
+      spec->accept = [rid](const simk::Message& mm) {
+        return decode_kind(mm.tag) == kKindCts && mm.aux == rid;
+      };
+      return true;
+    }
+    if (r.kind_ == Request::Kind::kRecv) {
+      spec->src =
+          (r.peer == kAnySource) ? simk::MatchSpec::kAnySource : r.peer;
+      const int want = r.tag;
+      spec->accept = [want](const simk::Message& mm) {
+        const MsgKind k = decode_kind(mm.tag);
+        if (k != kKindEager && k != kKindRts) return false;
+        return want == kAnyTag || decode_user_tag(mm.tag) == want;
+      };
+      return true;
+    }
+    return false;
+  };
+  auto complete = [&](std::size_t i, simk::MatchSpec& spec) {
+    Request& r = reqs[i];
+    simk::Message m;
+    STGSIM_CHECK(proc_.try_match(spec, &m));
+    if (r.kind_ == Request::Kind::kSendRendezvous) {
+      proc_.lift_clock(m.arrival);
+    } else {
+      complete_eager_or_rts(m, r.buf, r.bytes, r.status);
+    }
+    r.done_ = true;
+    stats_.comm_time += now() - t0;
+  };
+
+  while (true) {
+    // Pass 1: among everything already completable, finish the one whose
+    // message arrived earliest in virtual time (what a real waitany on
+    // the target machine would have observed first).
+    bool any_incomplete = false;
+    std::size_t best_idx = reqs.size();
+    VTime best_arrival = kVTimeNever;
+    simk::MatchSpec best_spec;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      Request& r = reqs[i];
+      if (!r.valid() || r.done_) continue;
+      any_incomplete = true;
+      simk::MatchSpec spec;
+      if (!spec_for(r, &spec)) continue;
+      VTime arrival = 0;
+      if (proc_.peek_match(spec, &arrival) && arrival < best_arrival) {
+        best_arrival = arrival;
+        best_idx = i;
+        best_spec = std::move(spec);
+      }
+    }
+    if (best_idx < reqs.size()) {
+      complete(best_idx, best_spec);
+      return best_idx;
+    }
+    STGSIM_CHECK(any_incomplete) << "waitany with no incomplete requests";
+
+    // Pass 2: block on the union of all pending matches; the winning
+    // message is identified afterwards by re-testing each request.
+    simk::MatchSpec united;
+    united.src = simk::MatchSpec::kAnySource;
+    const std::vector<Request>* rp = &reqs;
+    united.accept = [rp](const simk::Message& mm) {
+      for (const Request& r : *rp) {
+        if (!r.valid() || r.done_) continue;
+        if (r.kind_ == Request::Kind::kSendRendezvous) {
+          if (decode_kind(mm.tag) == kKindCts && mm.aux == r.rid &&
+              mm.src == r.peer) {
+            return true;
+          }
+        } else if (r.kind_ == Request::Kind::kRecv) {
+          const MsgKind k = decode_kind(mm.tag);
+          if (k != kKindEager && k != kKindRts) continue;
+          if (r.peer != kAnySource && r.peer != mm.src) continue;
+          if (r.tag != kAnyTag && decode_user_tag(mm.tag) != r.tag) continue;
+          return true;
+        }
+      }
+      return false;
+    };
+    simk::Message m = proc_.blocking_match(united);
+
+    // Attribute the message to the first request it satisfies.
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      Request& r = reqs[i];
+      if (!r.valid() || r.done_) continue;
+      if (r.kind_ == Request::Kind::kSendRendezvous) {
+        if (decode_kind(m.tag) == kKindCts && m.aux == r.rid &&
+            m.src == r.peer) {
+          proc_.lift_clock(m.arrival);
+          r.done_ = true;
+          stats_.comm_time += now() - t0;
+          return i;
+        }
+      } else if (r.kind_ == Request::Kind::kRecv) {
+        const MsgKind k = decode_kind(m.tag);
+        if (k != kKindEager && k != kKindRts) continue;
+        if (r.peer != kAnySource && r.peer != m.src) continue;
+        if (r.tag != kAnyTag && decode_user_tag(m.tag) != r.tag) continue;
+        complete_eager_or_rts(m, r.buf, r.bytes, r.status);
+        r.done_ = true;
+        stats_.comm_time += now() - t0;
+        return i;
+      }
+    }
+    STGSIM_UNREACHABLE("waitany matched a message no request claims");
+  }
+}
+
+void Comm::sendrecv(int dst, int send_tag, const void* send_data,
+                    std::size_t send_bytes, int src, int recv_tag,
+                    void* recv_data, std::size_t recv_bytes,
+                    RecvStatus* status) {
+  std::vector<Request> reqs;
+  reqs.push_back(irecv(src, recv_tag, recv_data, recv_bytes, status));
+  reqs.push_back(isend(dst, send_tag, send_data, send_bytes));
+  waitall(reqs);
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+void Comm::coll_send(int dst, int round, const void* data, std::size_t bytes) {
+  proc_.advance(world_.options().net.send_overhead);
+  const std::uint64_t aux =
+      (coll_seq_ << 8) | static_cast<std::uint64_t>(round & 0xff);
+  send_raw(dst, encode_tag(kKindColl, 0), aux, data, bytes,
+           std::max(bytes, std::size_t{8}));
+  stats_.bytes_sent += bytes;
+}
+
+void Comm::coll_recv(int src, int round, void* data, std::size_t bytes) {
+  simk::MatchSpec spec;
+  spec.src = src;
+  const std::uint64_t aux =
+      (coll_seq_ << 8) | static_cast<std::uint64_t>(round & 0xff);
+  spec.accept = [aux](const simk::Message& m) {
+    return decode_kind(m.tag) == kKindColl && m.aux == aux;
+  };
+  simk::Message m = proc_.blocking_match(spec);
+  proc_.lift_clock(m.arrival);
+  proc_.advance(world_.options().net.recv_overhead);
+  if (data != nullptr && !m.payload.empty()) {
+    STGSIM_CHECK_LE(m.payload.size(), bytes);
+    std::memcpy(data, m.payload.data(), m.payload.size());
+  }
+}
+
+void Comm::barrier() {
+  trace(CommEvent::Kind::kBarrier, -1, 0, 0);
+  const VTime t0 = now();
+  ++coll_seq_;
+  ++stats_.collectives;
+  const int P = size();
+  if (abstract_comm()) {
+    // Gather/release star with a closed-form cost each way.
+    const VTime half = abstract_coll_cost(0) / 2;
+    if (rank() == 0) {
+      VTime latest = now();
+      for (int r = 1; r < P; ++r) {
+        simk::MatchSpec spec;
+        spec.src = r;
+        const std::uint64_t aux = (coll_seq_ << 8);
+        spec.accept = [aux](const simk::Message& m) {
+          return decode_kind(m.tag) == kKindColl && m.aux == aux;
+        };
+        simk::Message m = proc_.blocking_match(spec);
+        latest = std::max(latest, m.arrival);
+      }
+      proc_.lift_clock(latest + half);
+      for (int r = 1; r < P; ++r) {
+        coll_send_at(r, 1, nullptr, 0, now() + half);
+      }
+    } else {
+      coll_send_at(0, 0, nullptr, 0, now() + half);
+      coll_recv(0, 1, nullptr, 0);
+    }
+    stats_.comm_time += now() - t0;
+    return;
+  }
+  if (world_.options().linear_collectives) {
+    // Gather-to-0 then release, both root-sequential.
+    if (rank() == 0) {
+      for (int r = 1; r < P; ++r) coll_recv(r, 0, nullptr, 0);
+      for (int r = 1; r < P; ++r) coll_send(r, 1, nullptr, 0);
+    } else {
+      coll_send(0, 0, nullptr, 0);
+      coll_recv(0, 1, nullptr, 0);
+    }
+    stats_.comm_time += now() - t0;
+    return;
+  }
+  for (int round = 0, offset = 1; offset < P; ++round, offset <<= 1) {
+    const int dst = (rank() + offset) % P;
+    const int src = (rank() - offset % P + P) % P;
+    coll_send(dst, round, nullptr, 0);
+    coll_recv(src, round, nullptr, 0);
+  }
+  stats_.comm_time += now() - t0;
+}
+
+void Comm::bcast(void* data, std::size_t bytes, int root) {
+  trace(CommEvent::Kind::kBcast, root, 0, bytes);
+  const VTime t0 = now();
+  ++coll_seq_;
+  ++stats_.collectives;
+  const int P = size();
+  const int relative = (rank() - root + P) % P;
+
+  if (abstract_comm()) {
+    // Star from the root, arrivals at the closed-form completion time.
+    if (rank() == root) {
+      const VTime done = now() + abstract_coll_cost(bytes);
+      for (int r = 0; r < P; ++r) {
+        if (r != root) coll_send_at(r, 0, data, bytes, done);
+      }
+    } else {
+      coll_recv(root, 0, data, bytes);
+    }
+    stats_.comm_time += now() - t0;
+    return;
+  }
+
+  if (world_.options().linear_collectives) {
+    if (rank() == root) {
+      for (int r = 0; r < P; ++r) {
+        if (r != root) coll_send(r, 0, data, bytes);
+      }
+    } else {
+      coll_recv(root, 0, data, bytes);
+    }
+    stats_.comm_time += now() - t0;
+    return;
+  }
+
+  int mask = 1;
+  while (mask < P) {
+    if (relative & mask) {
+      const int src = (rank() - mask + P) % P;
+      coll_recv(src, 0, data, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < P) {
+      const int dst = (rank() + mask) % P;
+      coll_send(dst, 0, data, bytes);
+    }
+    mask >>= 1;
+  }
+  stats_.comm_time += now() - t0;
+}
+
+void Comm::reduce_sum(double* inout, int n, int root) {
+  trace(CommEvent::Kind::kAllreduce, root, 0,
+        static_cast<std::size_t>(n) * sizeof(double));
+  const VTime t0 = now();
+  ++coll_seq_;
+  ++stats_.collectives;
+  const int P = size();
+  const int relative = (rank() - root + P) % P;
+  const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(double);
+  std::vector<double> partial(static_cast<std::size_t>(n));
+
+  if (abstract_comm()) {
+    // Gather star into the root; completion = latest entry + closed form.
+    const VTime cost = abstract_coll_cost(bytes);
+    if (rank() == root) {
+      VTime latest = now();
+      for (int r = 0; r < P; ++r) {
+        if (r == root) continue;
+        simk::MatchSpec spec;
+        spec.src = r;
+        const std::uint64_t aux = (coll_seq_ << 8);
+        spec.accept = [aux](const simk::Message& m) {
+          return decode_kind(m.tag) == kKindColl && m.aux == aux;
+        };
+        simk::Message m = proc_.blocking_match(spec);
+        latest = std::max(latest, m.arrival);
+        if (inout != nullptr && !m.payload.empty()) {
+          std::memcpy(partial.data(), m.payload.data(), m.payload.size());
+          for (int i = 0; i < n; ++i) inout[i] += partial[i];
+        }
+      }
+      proc_.lift_clock(latest + cost);
+    } else {
+      coll_send_at(root, 0, inout, bytes, now());
+    }
+    stats_.comm_time += now() - t0;
+    return;
+  }
+
+  if (world_.options().linear_collectives) {
+    if (rank() == root) {
+      for (int r = 0; r < P; ++r) {
+        if (r == root) continue;
+        coll_recv(r, 0, partial.data(), bytes);
+        if (inout != nullptr) {
+          for (int i = 0; i < n; ++i) inout[i] += partial[i];
+        }
+      }
+    } else {
+      coll_send(root, 0, inout, bytes);
+    }
+    stats_.comm_time += now() - t0;
+    return;
+  }
+
+  int mask = 1;
+  while (mask < P) {
+    if ((relative & mask) == 0) {
+      const int src_rel = relative | mask;
+      if (src_rel < P) {
+        const int src = (src_rel + root) % P;
+        coll_recv(src, mask, partial.data(), bytes);
+        if (inout != nullptr) {
+          for (int i = 0; i < n; ++i) inout[i] += partial[i];
+        }
+      }
+    } else {
+      const int dst = ((relative & ~mask) + root) % P;
+      coll_send(dst, mask, inout, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  stats_.comm_time += now() - t0;
+}
+
+void Comm::allreduce_sum(double* inout, int n) {
+  reduce_sum(inout, n, 0);
+  bcast(inout, static_cast<std::size_t>(n) * sizeof(double), 0);
+}
+
+double Comm::allreduce_sum(double value) {
+  allreduce_sum(&value, 1);
+  return value;
+}
+
+void Comm::allreduce_max(double* inout, int n) {
+  trace(CommEvent::Kind::kAllreduce, -1, 1,
+        static_cast<std::size_t>(n) * sizeof(double));
+  // Same binomial pattern as reduce_sum with a max combiner, then bcast.
+  const VTime t0 = now();
+  ++coll_seq_;
+  ++stats_.collectives;
+  const int P = size();
+  const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(double);
+  std::vector<double> partial(static_cast<std::size_t>(n));
+
+  if (abstract_comm()) {
+    // Gather star into rank 0, closed-form completion, then bcast (which
+    // itself takes the abstract path).
+    const VTime cost = abstract_coll_cost(bytes);
+    if (rank() == 0) {
+      VTime latest = now();
+      for (int r = 1; r < P; ++r) {
+        simk::MatchSpec spec;
+        spec.src = r;
+        const std::uint64_t aux = (coll_seq_ << 8);
+        spec.accept = [aux](const simk::Message& m) {
+          return decode_kind(m.tag) == kKindColl && m.aux == aux;
+        };
+        simk::Message m = proc_.blocking_match(spec);
+        latest = std::max(latest, m.arrival);
+        if (inout != nullptr && !m.payload.empty()) {
+          std::memcpy(partial.data(), m.payload.data(), m.payload.size());
+          for (int i = 0; i < n; ++i) {
+            inout[i] = std::max(inout[i], partial[i]);
+          }
+        }
+      }
+      proc_.lift_clock(latest + cost);
+    } else {
+      coll_send_at(0, 0, inout, bytes, now());
+    }
+    stats_.comm_time += now() - t0;
+    bcast(inout, bytes, 0);
+    return;
+  }
+
+  int mask = 1;
+  while (mask < P) {
+    if ((rank() & mask) == 0) {
+      const int src = rank() | mask;
+      if (src < P) {
+        coll_recv(src, mask, partial.data(), bytes);
+        if (inout != nullptr) {
+          for (int i = 0; i < n; ++i) inout[i] = std::max(inout[i], partial[i]);
+        }
+      }
+    } else {
+      const int dst = rank() & ~mask;
+      coll_send(dst, mask, inout, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  stats_.comm_time += now() - t0;
+  bcast(inout, bytes, 0);
+}
+
+void Comm::gather(const void* send, std::size_t bytes_each, void* recv_all,
+                  int root) {
+  trace(CommEvent::Kind::kAllreduce, root, 2, bytes_each);
+  const VTime t0 = now();
+  ++coll_seq_;
+  ++stats_.collectives;
+  const int P = size();
+  if (rank() == root) {
+    auto* out = static_cast<std::uint8_t*>(recv_all);
+    if (out != nullptr && send != nullptr) {
+      std::memcpy(out + static_cast<std::size_t>(root) * bytes_each, send,
+                  bytes_each);
+    }
+    for (int r = 0; r < P; ++r) {
+      if (r == root) continue;
+      coll_recv(r, 0,
+                out != nullptr
+                    ? out + static_cast<std::size_t>(r) * bytes_each
+                    : nullptr,
+                bytes_each);
+    }
+  } else {
+    coll_send(root, 0, send, bytes_each);
+  }
+  stats_.comm_time += now() - t0;
+}
+
+void Comm::scatter(const void* send_all, std::size_t bytes_each, void* recv,
+                   int root) {
+  trace(CommEvent::Kind::kAllreduce, root, 3, bytes_each);
+  const VTime t0 = now();
+  ++coll_seq_;
+  ++stats_.collectives;
+  const int P = size();
+  if (rank() == root) {
+    const auto* in = static_cast<const std::uint8_t*>(send_all);
+    for (int r = 0; r < P; ++r) {
+      if (r == root) continue;
+      coll_send(r, 0,
+                in != nullptr ? in + static_cast<std::size_t>(r) * bytes_each
+                              : nullptr,
+                bytes_each);
+    }
+    if (recv != nullptr && in != nullptr) {
+      std::memcpy(recv, in + static_cast<std::size_t>(root) * bytes_each,
+                  bytes_each);
+    }
+  } else {
+    coll_recv(root, 0, recv, bytes_each);
+  }
+  stats_.comm_time += now() - t0;
+}
+
+double Comm::read_param(const std::string& name) {
+  double value = 0.0;
+  if (rank() == 0) {
+    proc_.advance(world_.options().param_read_cost);
+    value = world_.param(name);
+  }
+  bcast(&value, sizeof value, 0);
+  return value;
+}
+
+}  // namespace stgsim::smpi

@@ -1,0 +1,13 @@
+#include "support/check.hpp"
+
+namespace stgsim::detail {
+
+void check_failed(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace stgsim::detail

@@ -1,0 +1,74 @@
+// Lightweight invariant checking for STGSim.
+//
+// STGSIM_CHECK is always on (simulation correctness beats the last few
+// percent of speed); STGSIM_DCHECK compiles out in release builds and is
+// meant for hot paths (event queues, interpreter dispatch).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stgsim {
+
+/// Thrown when an internal invariant is violated. Carries the failing
+/// condition text and location so tests can assert on failures.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const std::string& msg);
+
+/// Builds the optional streamed message for a failed check.
+class CheckMessage {
+ public:
+  CheckMessage(const char* cond, const char* file, int line)
+      : cond_(cond), file_(file), line_(line) {}
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    check_failed(cond_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* cond_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace stgsim
+
+#define STGSIM_CHECK(cond)                                          \
+  if (cond) {                                                       \
+  } else                                                            \
+    ::stgsim::detail::CheckMessage(#cond, __FILE__, __LINE__)
+
+#define STGSIM_CHECK_EQ(a, b) STGSIM_CHECK((a) == (b))
+#define STGSIM_CHECK_NE(a, b) STGSIM_CHECK((a) != (b))
+#define STGSIM_CHECK_LT(a, b) STGSIM_CHECK((a) < (b))
+#define STGSIM_CHECK_LE(a, b) STGSIM_CHECK((a) <= (b))
+#define STGSIM_CHECK_GT(a, b) STGSIM_CHECK((a) > (b))
+#define STGSIM_CHECK_GE(a, b) STGSIM_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define STGSIM_DCHECK(cond) \
+  if (true) {               \
+  } else                    \
+    ::stgsim::detail::CheckMessage(#cond, __FILE__, __LINE__)
+#else
+#define STGSIM_DCHECK(cond) STGSIM_CHECK(cond)
+#endif
+
+#define STGSIM_UNREACHABLE(msg)                                             \
+  ::stgsim::detail::check_failed("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,70 @@
+// Small statistics helpers used by the harness and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace stgsim {
+
+/// Signed relative error of `predicted` against `reference`.
+inline double relative_error(double predicted, double reference) {
+  STGSIM_CHECK(reference != 0.0) << "relative error vs zero reference";
+  return (predicted - reference) / reference;
+}
+
+/// |relative error|.
+inline double abs_relative_error(double predicted, double reference) {
+  return std::abs(relative_error(predicted, reference));
+}
+
+inline double mean(const std::vector<double>& xs) {
+  STGSIM_CHECK(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+inline double max_value(const std::vector<double>& xs) {
+  STGSIM_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+/// Geometric mean of strictly positive values.
+inline double geomean(const std::vector<double>& xs) {
+  STGSIM_CHECK(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) {
+    STGSIM_CHECK_GT(x, 0.0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/// Running accumulator for mean / min / max over a stream of samples.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = HUGE_VAL;
+  double max_ = -HUGE_VAL;
+};
+
+}  // namespace stgsim

@@ -1,0 +1,122 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace stgsim {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  STGSIM_CHECK(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  STGSIM_CHECK_EQ(cells.size(), headers_.size())
+      << "row width mismatch in table";
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_ascii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      os << std::string(widths[c] - row[c].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::string TablePrinter::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c != 0 ? "," : "") << escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c != 0 ? "," : "") << escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+std::string TablePrinter::fmt_bytes(std::size_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (b >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", b / (1024.0 * 1024.0 * 1024.0));
+  } else if (b >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.2f MB", b / (1024.0 * 1024.0));
+  } else if (b >= 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.2f KB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%zu B", bytes);
+  }
+  return buf;
+}
+
+std::string TablePrinter::fmt_percent(double fraction, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& title,
+                             const std::vector<std::string>& notes) {
+  os << "\n== " << id << ": " << title << " ==\n";
+  for (const auto& n : notes) os << "   " << n << '\n';
+  os << '\n';
+}
+
+}  // namespace stgsim

@@ -1,0 +1,24 @@
+#include "support/vtime.hpp"
+
+#include <cstdio>
+
+namespace stgsim {
+
+std::string vtime_to_string(VTime t) {
+  char buf[64];
+  const double ns = static_cast<double>(t);
+  if (t == kVTimeNever) {
+    return "never";
+  } else if (ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f s", ns * 1e-9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ns * 1e-6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3f us", ns * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace stgsim

@@ -1,0 +1,31 @@
+// Virtual (simulated) time.
+//
+// Fixed-point nanoseconds in an int64 keeps virtual time exactly
+// associative and reproducible — floating point seconds would make event
+// ordering depend on summation order across schedulers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace stgsim {
+
+/// Virtual time / durations in nanoseconds.
+using VTime = std::int64_t;
+
+inline constexpr VTime kVTimeNever = INT64_MAX;
+
+constexpr VTime vtime_from_ns(double ns) {
+  return static_cast<VTime>(ns + (ns >= 0 ? 0.5 : -0.5));
+}
+constexpr VTime vtime_from_us(double us) { return vtime_from_ns(us * 1e3); }
+constexpr VTime vtime_from_ms(double ms) { return vtime_from_ns(ms * 1e6); }
+constexpr VTime vtime_from_sec(double s) { return vtime_from_ns(s * 1e9); }
+
+constexpr double vtime_to_sec(VTime t) { return static_cast<double>(t) * 1e-9; }
+constexpr double vtime_to_us(VTime t) { return static_cast<double>(t) * 1e-3; }
+
+/// Renders a time like "1.234 s" / "56.7 us" for tables and logs.
+std::string vtime_to_string(VTime t);
+
+}  // namespace stgsim

@@ -1,0 +1,560 @@
+#include "symexpr/expr.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace stgsim::sym {
+
+namespace {
+
+Value apply_binary(Op op, const Value& a, const Value& b) {
+  const bool both_int = a.is_int() && b.is_int();
+  switch (op) {
+    case Op::kAdd:
+      if (both_int) return Value(a.as_int() + b.as_int());
+      return Value(a.as_real() + b.as_real());
+    case Op::kSub:
+      if (both_int) return Value(a.as_int() - b.as_int());
+      return Value(a.as_real() - b.as_real());
+    case Op::kMul:
+      if (both_int) return Value(a.as_int() * b.as_int());
+      return Value(a.as_real() * b.as_real());
+    case Op::kDiv: {
+      const double d = b.as_real();
+      if (d == 0.0) throw EvalError("division by zero");
+      return Value(a.as_real() / d);
+    }
+    case Op::kIDiv: {
+      const std::int64_t d = b.as_int();
+      if (d == 0) throw EvalError("integer division by zero");
+      return Value(a.as_int() / d);
+    }
+    case Op::kMod: {
+      const std::int64_t d = b.as_int();
+      if (d == 0) throw EvalError("modulus by zero");
+      return Value(a.as_int() % d);
+    }
+    case Op::kCeilDiv: {
+      const std::int64_t n = a.as_int();
+      const std::int64_t d = b.as_int();
+      if (d == 0) throw EvalError("ceil-division by zero");
+      STGSIM_CHECK_GT(d, 0) << "ceil_div with non-positive divisor";
+      // Works for negative numerators as well (floor toward -inf + adjust).
+      const std::int64_t q = n / d;
+      return Value(q + ((n % d != 0 && n > 0) ? 1 : 0));
+    }
+    case Op::kMin:
+      if (both_int) return Value(std::min(a.as_int(), b.as_int()));
+      return Value(std::min(a.as_real(), b.as_real()));
+    case Op::kMax:
+      if (both_int) return Value(std::max(a.as_int(), b.as_int()));
+      return Value(std::max(a.as_real(), b.as_real()));
+    case Op::kEq: return Value(static_cast<std::int64_t>(a == b));
+    case Op::kNe: return Value(static_cast<std::int64_t>(!(a == b)));
+    case Op::kLt: return Value(static_cast<std::int64_t>(a.as_real() < b.as_real()));
+    case Op::kLe: return Value(static_cast<std::int64_t>(a.as_real() <= b.as_real()));
+    case Op::kGt: return Value(static_cast<std::int64_t>(a.as_real() > b.as_real()));
+    case Op::kGe: return Value(static_cast<std::int64_t>(a.as_real() >= b.as_real()));
+    case Op::kAnd: return Value(static_cast<std::int64_t>(a.as_bool() && b.as_bool()));
+    case Op::kOr: return Value(static_cast<std::int64_t>(a.as_bool() || b.as_bool()));
+    default:
+      STGSIM_UNREACHABLE("non-binary op in apply_binary");
+  }
+}
+
+/// Env wrapper that shadows one variable, used by kSum evaluation.
+class ShadowEnv : public Env {
+ public:
+  ShadowEnv(const Env& base, const std::string& name, Value v)
+      : base_(base), name_(name), value_(v) {}
+
+  std::optional<Value> lookup(const std::string& name) const override {
+    if (name == name_) return value_;
+    return base_.lookup(name);
+  }
+
+ private:
+  const Env& base_;
+  const std::string& name_;
+  Value value_;
+};
+
+Value eval_node(const Node& n, const Env& env) {
+  switch (n.op) {
+    case Op::kConst:
+      return n.constant;
+    case Op::kVar: {
+      auto v = env.lookup(n.var);
+      if (!v) throw EvalError("unbound variable '" + n.var + "'");
+      return *v;
+    }
+    case Op::kNeg: {
+      const Value v = eval_node(*n.children[0], env);
+      if (v.is_int()) return Value(-v.as_int());
+      return Value(-v.as_real());
+    }
+    case Op::kNot:
+      return Value(static_cast<std::int64_t>(!eval_node(*n.children[0], env).as_bool()));
+    case Op::kSelect: {
+      const Value c = eval_node(*n.children[0], env);
+      return eval_node(*n.children[c.as_bool() ? 1 : 2], env);
+    }
+    case Op::kSum: {
+      const std::int64_t lo = eval_node(*n.children[0], env).as_int();
+      const std::int64_t hi = eval_node(*n.children[1], env).as_int();
+      // Fast path: affine body has a closed form; avoids O(trip count)
+      // work when collapsed loops are evaluated at run time.
+      double racc = 0.0;
+      std::int64_t iacc = 0;
+      bool all_int = true;
+      for (std::int64_t i = lo; i <= hi; ++i) {
+        ShadowEnv inner(env, n.var, Value(i));
+        const Value v = eval_node(*n.children[2], inner);
+        if (v.is_int() && all_int) {
+          iacc += v.as_int();
+        } else {
+          if (all_int) {
+            racc = static_cast<double>(iacc);
+            all_int = false;
+          }
+          racc += v.as_real();
+        }
+      }
+      if (all_int) return Value(iacc);
+      return Value(racc);
+    }
+    default:
+      return apply_binary(n.op, eval_node(*n.children[0], env),
+                          eval_node(*n.children[1], env));
+  }
+}
+
+void collect_free_vars(const Node& n, std::set<std::string>& bound,
+                       std::set<std::string>& out) {
+  switch (n.op) {
+    case Op::kConst:
+      return;
+    case Op::kVar:
+      if (!bound.contains(n.var)) out.insert(n.var);
+      return;
+    case Op::kSum: {
+      collect_free_vars(*n.children[0], bound, out);
+      collect_free_vars(*n.children[1], bound, out);
+      const bool newly_bound = bound.insert(n.var).second;
+      collect_free_vars(*n.children[2], bound, out);
+      if (newly_bound) bound.erase(n.var);
+      return;
+    }
+    default:
+      for (const auto& c : n.children) collect_free_vars(*c, bound, out);
+  }
+}
+
+int precedence(Op op) {
+  switch (op) {
+    case Op::kOr: return 1;
+    case Op::kAnd: return 2;
+    case Op::kEq: case Op::kNe: case Op::kLt: case Op::kLe:
+    case Op::kGt: case Op::kGe: return 3;
+    case Op::kAdd: case Op::kSub: return 4;
+    case Op::kMul: case Op::kDiv: case Op::kIDiv: case Op::kMod: return 5;
+    case Op::kNeg: case Op::kNot: return 6;
+    default: return 7;  // atoms and function-style ops
+  }
+}
+
+const char* infix_symbol(Op op) {
+  switch (op) {
+    case Op::kAdd: return " + ";
+    case Op::kSub: return " - ";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kIDiv: return " div ";
+    case Op::kMod: return " mod ";
+    case Op::kEq: return " == ";
+    case Op::kNe: return " != ";
+    case Op::kLt: return " < ";
+    case Op::kLe: return " <= ";
+    case Op::kGt: return " > ";
+    case Op::kGe: return " >= ";
+    case Op::kAnd: return " && ";
+    case Op::kOr: return " || ";
+    default: return nullptr;
+  }
+}
+
+void render(const Node& n, std::ostringstream& os, int parent_prec) {
+  const int prec = precedence(n.op);
+  switch (n.op) {
+    case Op::kConst: {
+      if (n.constant.is_int()) {
+        os << n.constant.as_int();
+      } else {
+        os << n.constant.as_real();
+      }
+      return;
+    }
+    case Op::kVar:
+      os << n.var;
+      return;
+    case Op::kNeg:
+      os << "-";
+      render(*n.children[0], os, prec);
+      return;
+    case Op::kNot:
+      os << "!";
+      render(*n.children[0], os, prec);
+      return;
+    case Op::kCeilDiv:
+    case Op::kMin:
+    case Op::kMax: {
+      os << (n.op == Op::kCeilDiv ? "ceil_div" : n.op == Op::kMin ? "min" : "max")
+         << "(";
+      render(*n.children[0], os, 0);
+      os << ", ";
+      render(*n.children[1], os, 0);
+      os << ")";
+      return;
+    }
+    case Op::kSelect: {
+      os << "select(";
+      render(*n.children[0], os, 0);
+      os << ", ";
+      render(*n.children[1], os, 0);
+      os << ", ";
+      render(*n.children[2], os, 0);
+      os << ")";
+      return;
+    }
+    case Op::kSum: {
+      os << "sum(" << n.var << " = ";
+      render(*n.children[0], os, 0);
+      os << " .. ";
+      render(*n.children[1], os, 0);
+      os << ", ";
+      render(*n.children[2], os, 0);
+      os << ")";
+      return;
+    }
+    default: {
+      const bool need_parens = prec < parent_prec;
+      if (need_parens) os << "(";
+      render(*n.children[0], os, prec);
+      os << infix_symbol(n.op);
+      // Right child gets prec+1 so non-associative ops parenthesize.
+      render(*n.children[1], os, prec + 1);
+      if (need_parens) os << ")";
+    }
+  }
+}
+
+Expr make_binary(Op op, const Expr& a, const Expr& b) {
+  return Expr(std::make_shared<Node>(
+      op, std::vector<NodeP>{a.node_ptr(), b.node_ptr()}));
+}
+
+bool is_const_value(const Expr& e, double v) {
+  auto c = e.constant_value();
+  return c.has_value() && c->as_real() == v;
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kVar: return "var";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kIDiv: return "idiv";
+    case Op::kMod: return "mod";
+    case Op::kCeilDiv: return "ceil_div";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kNeg: return "neg";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kNot: return "not";
+    case Op::kSelect: return "select";
+    case Op::kSum: return "sum";
+  }
+  return "?";
+}
+
+Expr::Expr() : node_(std::make_shared<Node>(Op::kConst, Value(std::int64_t{0}))) {}
+
+Expr Expr::constant(Value v) {
+  return Expr(std::make_shared<Node>(Op::kConst, v));
+}
+
+Expr Expr::var(const std::string& name) {
+  STGSIM_CHECK(!name.empty());
+  return Expr(std::make_shared<Node>(Op::kVar, name));
+}
+
+std::optional<Value> Expr::constant_value() const {
+  if (node_->op != Op::kConst) return std::nullopt;
+  return node_->constant;
+}
+
+Value Expr::eval(const Env& env) const { return eval_node(*node_, env); }
+
+std::set<std::string> Expr::free_vars() const {
+  std::set<std::string> bound;
+  std::set<std::string> out;
+  collect_free_vars(*node_, bound, out);
+  return out;
+}
+
+bool Expr::references(const std::string& name) const {
+  return free_vars().contains(name);
+}
+
+Expr Expr::substitute(const std::map<std::string, Expr>& repl) const {
+  const Node& n = *node_;
+  switch (n.op) {
+    case Op::kConst:
+      return *this;
+    case Op::kVar: {
+      auto it = repl.find(n.var);
+      return it == repl.end() ? *this : it->second;
+    }
+    case Op::kSum: {
+      // The bound variable shadows any replacement of the same name.
+      std::map<std::string, Expr> inner = repl;
+      inner.erase(n.var);
+      Expr lo = Expr(n.children[0]).substitute(repl);
+      Expr hi = Expr(n.children[1]).substitute(repl);
+      Expr body = Expr(n.children[2]).substitute(inner);
+      return sum(n.var, lo, hi, body);
+    }
+    default: {
+      std::vector<NodeP> kids;
+      kids.reserve(n.children.size());
+      bool changed = false;
+      for (const auto& c : n.children) {
+        Expr sub = Expr(c).substitute(repl);
+        changed = changed || sub.node_ptr() != c;
+        kids.push_back(sub.node_ptr());
+      }
+      if (!changed) return *this;
+      return Expr(std::make_shared<Node>(n.op, n.var, std::move(kids)));
+    }
+  }
+}
+
+Expr Expr::simplified() const {
+  const Node& n = *node_;
+  switch (n.op) {
+    case Op::kConst:
+    case Op::kVar:
+      return *this;
+    default:
+      break;
+  }
+
+  std::vector<Expr> kids;
+  kids.reserve(n.children.size());
+  bool all_const = true;
+  for (const auto& c : n.children) {
+    kids.push_back(Expr(c).simplified());
+    all_const = all_const && kids.back().is_constant();
+  }
+
+  // Sums are folded only when bounds are constant and the body is constant
+  // (otherwise the bound variable is involved; leave for closed_form_sum).
+  if (all_const && n.op != Op::kSum) {
+    std::vector<NodeP> kid_nodes;
+    for (const auto& k : kids) kid_nodes.push_back(k.node_ptr());
+    Node folded(n.op, n.var, kid_nodes);
+    MapEnv empty;
+    return Expr::constant(eval_node(folded, empty));
+  }
+
+  // Algebraic identities.
+  switch (n.op) {
+    case Op::kAdd:
+      if (is_const_value(kids[0], 0)) return kids[1];
+      if (is_const_value(kids[1], 0)) return kids[0];
+      break;
+    case Op::kSub:
+      if (is_const_value(kids[1], 0)) return kids[0];
+      break;
+    case Op::kMul:
+      if (is_const_value(kids[0], 0) || is_const_value(kids[1], 0))
+        return Expr::integer(0);
+      if (is_const_value(kids[0], 1)) return kids[1];
+      if (is_const_value(kids[1], 1)) return kids[0];
+      break;
+    case Op::kDiv:
+    case Op::kIDiv:
+      if (is_const_value(kids[1], 1)) return kids[0];
+      break;
+    case Op::kMin:
+    case Op::kMax:
+      if (kids[0].structurally_equal(kids[1])) return kids[0];
+      break;
+    case Op::kNeg:
+      if (kids[0].op() == Op::kNeg) return Expr(kids[0].node().children[0]);
+      break;
+    case Op::kSelect:
+      if (auto c = kids[0].constant_value()) {
+        return c->as_bool() ? kids[1] : kids[2];
+      }
+      if (kids[1].structurally_equal(kids[2])) return kids[1];
+      break;
+    default:
+      break;
+  }
+
+  std::vector<NodeP> kid_nodes;
+  for (const auto& k : kids) kid_nodes.push_back(k.node_ptr());
+  return Expr(std::make_shared<Node>(n.op, n.var, std::move(kid_nodes)));
+}
+
+bool Expr::structurally_equal(const Expr& other) const {
+  std::function<bool(const Node&, const Node&)> eq_fn =
+      [&](const Node& a, const Node& b) -> bool {
+    if (a.op != b.op) return false;
+    switch (a.op) {
+      case Op::kConst:
+        return a.constant == b.constant;
+      case Op::kVar:
+        return a.var == b.var;
+      default:
+        break;
+    }
+    if (a.op == Op::kSum && a.var != b.var) return false;
+    if (a.children.size() != b.children.size()) return false;
+    for (std::size_t i = 0; i < a.children.size(); ++i) {
+      if (!eq_fn(*a.children[i], *b.children[i])) return false;
+    }
+    return true;
+  };
+  return eq_fn(*node_, *other.node_);
+}
+
+std::string Expr::to_string() const {
+  std::ostringstream os;
+  render(*node_, os, 0);
+  return os.str();
+}
+
+Expr operator+(const Expr& a, const Expr& b) { return make_binary(Op::kAdd, a, b); }
+Expr operator-(const Expr& a, const Expr& b) { return make_binary(Op::kSub, a, b); }
+Expr operator*(const Expr& a, const Expr& b) { return make_binary(Op::kMul, a, b); }
+Expr operator/(const Expr& a, const Expr& b) { return make_binary(Op::kDiv, a, b); }
+
+Expr operator-(const Expr& a) {
+  return Expr(std::make_shared<Node>(Op::kNeg, std::vector<NodeP>{a.node_ptr()}));
+}
+
+Expr idiv(const Expr& a, const Expr& b) { return make_binary(Op::kIDiv, a, b); }
+Expr imod(const Expr& a, const Expr& b) { return make_binary(Op::kMod, a, b); }
+Expr ceil_div(const Expr& a, const Expr& b) { return make_binary(Op::kCeilDiv, a, b); }
+Expr min(const Expr& a, const Expr& b) { return make_binary(Op::kMin, a, b); }
+Expr max(const Expr& a, const Expr& b) { return make_binary(Op::kMax, a, b); }
+
+Expr eq(const Expr& a, const Expr& b) { return make_binary(Op::kEq, a, b); }
+Expr ne(const Expr& a, const Expr& b) { return make_binary(Op::kNe, a, b); }
+Expr lt(const Expr& a, const Expr& b) { return make_binary(Op::kLt, a, b); }
+Expr le(const Expr& a, const Expr& b) { return make_binary(Op::kLe, a, b); }
+Expr gt(const Expr& a, const Expr& b) { return make_binary(Op::kGt, a, b); }
+Expr ge(const Expr& a, const Expr& b) { return make_binary(Op::kGe, a, b); }
+Expr logical_and(const Expr& a, const Expr& b) { return make_binary(Op::kAnd, a, b); }
+Expr logical_or(const Expr& a, const Expr& b) { return make_binary(Op::kOr, a, b); }
+
+Expr logical_not(const Expr& a) {
+  return Expr(std::make_shared<Node>(Op::kNot, std::vector<NodeP>{a.node_ptr()}));
+}
+
+Expr select(const Expr& cond, const Expr& then_e, const Expr& else_e) {
+  return Expr(std::make_shared<Node>(
+      Op::kSelect,
+      std::vector<NodeP>{cond.node_ptr(), then_e.node_ptr(), else_e.node_ptr()}));
+}
+
+Expr sum(const std::string& var, const Expr& lo, const Expr& hi,
+         const Expr& body) {
+  STGSIM_CHECK(!var.empty());
+  return Expr(std::make_shared<Node>(
+      Op::kSum, var,
+      std::vector<NodeP>{lo.node_ptr(), hi.node_ptr(), body.node_ptr()}));
+}
+
+std::optional<std::pair<Expr, Expr>> decompose_affine(const Expr& e,
+                                                      const std::string& var) {
+  if (!e.references(var)) {
+    return std::make_pair(Expr::integer(0), e);
+  }
+  const Node& n = e.node();
+  switch (n.op) {
+    case Op::kVar:
+      if (n.var == var) {
+        return std::make_pair(Expr::integer(1), Expr::integer(0));
+      }
+      return std::nullopt;
+    case Op::kAdd: {
+      auto l = decompose_affine(Expr(n.children[0]), var);
+      auto r = decompose_affine(Expr(n.children[1]), var);
+      if (!l || !r) return std::nullopt;
+      return std::make_pair((l->first + r->first).simplified(),
+                            (l->second + r->second).simplified());
+    }
+    case Op::kSub: {
+      auto l = decompose_affine(Expr(n.children[0]), var);
+      auto r = decompose_affine(Expr(n.children[1]), var);
+      if (!l || !r) return std::nullopt;
+      return std::make_pair((l->first - r->first).simplified(),
+                            (l->second - r->second).simplified());
+    }
+    case Op::kNeg: {
+      auto c = decompose_affine(Expr(n.children[0]), var);
+      if (!c) return std::nullopt;
+      return std::make_pair((-c->first).simplified(), (-c->second).simplified());
+    }
+    case Op::kMul: {
+      const Expr l(n.children[0]);
+      const Expr r(n.children[1]);
+      if (!l.references(var)) {
+        auto c = decompose_affine(r, var);
+        if (!c) return std::nullopt;
+        return std::make_pair((l * c->first).simplified(),
+                              (l * c->second).simplified());
+      }
+      if (!r.references(var)) {
+        auto c = decompose_affine(l, var);
+        if (!c) return std::nullopt;
+        return std::make_pair((c->first * r).simplified(),
+                              (c->second * r).simplified());
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<Expr> closed_form_sum(const std::string& var, const Expr& lo,
+                                    const Expr& hi, const Expr& body) {
+  auto affine = decompose_affine(body, var);
+  if (!affine) return std::nullopt;
+  const Expr& a = affine->first;
+  const Expr& b = affine->second;
+  // count = max(hi - lo + 1, 0); sum var = count*(lo+hi)/2 — computed as
+  // a*(lo+hi)*count/2 in the real domain to avoid parity concerns, then the
+  // caller treats the result as an operation count (real-valued is fine).
+  Expr count = max(hi - lo + 1, Expr::integer(0));
+  Expr sum_var = (lo + hi) * count / Expr::integer(2);
+  return (a * sum_var + b * count).simplified();
+}
+
+}  // namespace stgsim::sym

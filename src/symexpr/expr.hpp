@@ -1,0 +1,227 @@
+// Symbolic expressions.
+//
+// One expression language serves three roles in STGSim, mirroring the role
+// symbolic expressions play in the dHPF-synthesized static task graph:
+//   1. right-hand sides / bounds / conditions in the program IR,
+//   2. scaling functions attached to STG compute nodes (paper §3.1),
+//   3. communication patterns and sizes on STG communication nodes.
+//
+// Expressions are immutable DAG nodes held by shared_ptr; Expr is a small
+// value-semantic handle. Integer and real arithmetic are distinguished
+// (Fortran-style truncating integer division vs real division) because loop
+// trip counts and process ids must stay exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace stgsim::sym {
+
+/// Runtime value of an expression: an exact integer or a real.
+class Value {
+ public:
+  Value() : is_int_(true), i_(0), d_(0.0) {}
+  Value(std::int64_t v) : is_int_(true), i_(v), d_(static_cast<double>(v)) {}
+  Value(int v) : Value(static_cast<std::int64_t>(v)) {}
+  Value(double v) : is_int_(false), i_(0), d_(v) {}
+
+  bool is_int() const { return is_int_; }
+  double as_real() const { return is_int_ ? static_cast<double>(i_) : d_; }
+
+  /// Integer view; a real value must be integral.
+  std::int64_t as_int() const {
+    if (is_int_) return i_;
+    const auto r = static_cast<std::int64_t>(d_);
+    STGSIM_CHECK(static_cast<double>(r) == d_)
+        << "value " << d_ << " used as integer";
+    return r;
+  }
+
+  bool as_bool() const { return as_real() != 0.0; }
+
+  bool operator==(const Value& o) const {
+    if (is_int_ && o.is_int_) return i_ == o.i_;
+    return as_real() == o.as_real();
+  }
+
+ private:
+  bool is_int_;
+  std::int64_t i_;
+  double d_;
+};
+
+/// Expression node kinds.
+enum class Op {
+  kConst,    // literal Value
+  kVar,      // named variable
+  kAdd, kSub, kMul,
+  kDiv,      // real division
+  kIDiv,     // truncating integer division
+  kMod,      // integer modulus (C semantics)
+  kCeilDiv,  // ceil(a / b) on integers
+  kMin, kMax,
+  kNeg,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kNot,
+  kSelect,   // select(cond, a, b)
+  kSum,      // sum_{var = lo .. hi} body
+};
+
+const char* op_name(Op op);
+
+class Node;
+using NodeP = std::shared_ptr<const Node>;
+
+/// Immutable expression DAG node.
+class Node {
+ public:
+  Op op;
+  Value constant;               // kConst
+  std::string var;              // kVar, and the bound variable of kSum
+  std::vector<NodeP> children;  // operands; kSum: {lo, hi, body}
+
+  Node(Op o, Value c) : op(o), constant(c) {}
+  Node(Op o, std::string v) : op(o), var(std::move(v)) {}
+  Node(Op o, std::vector<NodeP> ch) : op(o), children(std::move(ch)) {}
+  Node(Op o, std::string v, std::vector<NodeP> ch)
+      : op(o), var(std::move(v)), children(std::move(ch)) {}
+};
+
+/// Variable-resolution interface for evaluation.
+class Env {
+ public:
+  virtual ~Env() = default;
+  virtual std::optional<Value> lookup(const std::string& name) const = 0;
+};
+
+/// Env backed by a map; convenient for tests and calibration tables.
+class MapEnv : public Env {
+ public:
+  MapEnv() = default;
+  explicit MapEnv(std::map<std::string, Value> values)
+      : values_(std::move(values)) {}
+
+  void set(const std::string& name, Value v) { values_[name] = v; }
+
+  std::optional<Value> lookup(const std::string& name) const override {
+    auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+/// Thrown when evaluation hits an unbound variable or a domain error.
+class EvalError : public std::runtime_error {
+ public:
+  explicit EvalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Value-semantic handle to an expression DAG.
+class Expr {
+ public:
+  /// Default-constructed Expr is the integer constant 0.
+  Expr();
+  explicit Expr(NodeP node) : node_(std::move(node)) {
+    STGSIM_CHECK(node_ != nullptr);
+  }
+
+  // Literals and variables.
+  static Expr constant(Value v);
+  static Expr integer(std::int64_t v) { return constant(Value(v)); }
+  static Expr real(double v) { return constant(Value(v)); }
+  static Expr var(const std::string& name);
+
+  const Node& node() const { return *node_; }
+  NodeP node_ptr() const { return node_; }
+  Op op() const { return node_->op; }
+
+  bool is_constant() const { return node_->op == Op::kConst; }
+  /// Constant value if this is a literal.
+  std::optional<Value> constant_value() const;
+
+  /// Evaluates against an environment; throws EvalError on unbound vars.
+  Value eval(const Env& env) const;
+  double eval_real(const Env& env) const { return eval(env).as_real(); }
+  std::int64_t eval_int(const Env& env) const { return eval(env).as_int(); }
+
+  /// All free variables (Sum's bound variable is not free in its body).
+  std::set<std::string> free_vars() const;
+  bool references(const std::string& name) const;
+
+  /// Replaces free variables by expressions.
+  Expr substitute(const std::map<std::string, Expr>& repl) const;
+
+  /// Constant folding + light algebraic identities (x+0, x*1, x*0,
+  /// min/max of equal operands, double negation, constant selects).
+  Expr simplified() const;
+
+  /// Structural equality (after no normalization; use simplified() first
+  /// when comparing rewritten expressions).
+  bool structurally_equal(const Expr& other) const;
+
+  /// Human-readable rendering with minimal parentheses.
+  std::string to_string() const;
+
+ private:
+  NodeP node_;
+};
+
+// -- Builders -------------------------------------------------------------
+
+Expr operator+(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a, const Expr& b);
+Expr operator*(const Expr& a, const Expr& b);
+Expr operator/(const Expr& a, const Expr& b);  // real division
+Expr operator-(const Expr& a);
+
+Expr idiv(const Expr& a, const Expr& b);
+Expr imod(const Expr& a, const Expr& b);
+Expr ceil_div(const Expr& a, const Expr& b);
+Expr min(const Expr& a, const Expr& b);
+Expr max(const Expr& a, const Expr& b);
+
+Expr eq(const Expr& a, const Expr& b);
+Expr ne(const Expr& a, const Expr& b);
+Expr lt(const Expr& a, const Expr& b);
+Expr le(const Expr& a, const Expr& b);
+Expr gt(const Expr& a, const Expr& b);
+Expr ge(const Expr& a, const Expr& b);
+Expr logical_and(const Expr& a, const Expr& b);
+Expr logical_or(const Expr& a, const Expr& b);
+Expr logical_not(const Expr& a);
+Expr select(const Expr& cond, const Expr& then_e, const Expr& else_e);
+
+/// sum_{var = lo .. hi} body (inclusive bounds; empty when hi < lo).
+Expr sum(const std::string& var, const Expr& lo, const Expr& hi,
+         const Expr& body);
+
+// Mixed-literal conveniences.
+inline Expr operator+(const Expr& a, std::int64_t b) { return a + Expr::integer(b); }
+inline Expr operator+(std::int64_t a, const Expr& b) { return Expr::integer(a) + b; }
+inline Expr operator-(const Expr& a, std::int64_t b) { return a - Expr::integer(b); }
+inline Expr operator-(std::int64_t a, const Expr& b) { return Expr::integer(a) - b; }
+inline Expr operator*(const Expr& a, std::int64_t b) { return a * Expr::integer(b); }
+inline Expr operator*(std::int64_t a, const Expr& b) { return Expr::integer(a) * b; }
+
+/// If `body` is affine in `var` (a*var + b with a, b free of var), returns
+/// the closed form of sum_{var=lo..hi} body; otherwise nullopt. Used by the
+/// code generator to collapse whole loop nests into one delay (paper §3.1).
+std::optional<Expr> closed_form_sum(const std::string& var, const Expr& lo,
+                                    const Expr& hi, const Expr& body);
+
+/// Decomposes `e` as (a, b) with e == a*var + b, a and b free of `var`.
+std::optional<std::pair<Expr, Expr>> decompose_affine(const Expr& e,
+                                                      const std::string& var);
+
+}  // namespace stgsim::sym

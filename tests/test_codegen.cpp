@@ -1,0 +1,312 @@
+// Unit tests for simplified-program generation (paper §3.1) and the
+// timer-version generator (§3.3).
+#include <gtest/gtest.h>
+
+#include "core/codegen.hpp"
+#include "core/compiler.hpp"
+#include "ir/builder.hpp"
+
+namespace stgsim::core {
+namespace {
+
+using sym::Expr;
+
+Expr I(std::int64_t v) { return Expr::integer(v); }
+
+ir::KernelSpec kernel(const std::string& task, Expr iters,
+                      std::vector<std::string> writes = {"A"}) {
+  ir::KernelSpec k;
+  k.task = task;
+  k.iters = std::move(iters);
+  k.writes = std::move(writes);
+  return k;
+}
+
+std::size_t count_kind(const ir::Program& p, ir::StmtKind kind) {
+  std::size_t n = 0;
+  ir::for_each_stmt(p, [&](const ir::Stmt& s) { n += s.kind == kind; });
+  return n;
+}
+
+sym::MapEnv env_with(std::map<std::string, sym::Value> vals) {
+  return sym::MapEnv(std::move(vals));
+}
+
+TEST(Codegen, AdjacentEliminatedKernelsMergeIntoOneDelay) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  b.decl_array("A", {I(64)});
+  b.compute(kernel("k1", I(100)));
+  b.compute(kernel("k2", I(200)));
+  b.compute(kernel("k3", I(300)));
+  b.barrier();
+  ir::Program p = b.take();
+
+  auto result = generate_simplified(p, compute_slice(p));
+  ASSERT_EQ(result.condensed.size(), 1u);
+  EXPECT_EQ(result.condensed[0].tasks.size(), 3u);
+  // delay = 100 w_k1 + 200 w_k2 + 300 w_k3.
+  auto env = env_with({{"w_k1", 1.0}, {"w_k2", 10.0}, {"w_k3", 100.0}});
+  EXPECT_DOUBLE_EQ(result.condensed[0].seconds.eval_real(env),
+                   100.0 + 2000.0 + 30000.0);
+}
+
+TEST(Codegen, RetainedStatementSplitsDelays) {
+  ir::ProgramBuilder b("t");
+  Expr myid = b.get_rank("myid");
+  Expr P = b.get_size("P");
+  b.decl_array("A", {I(64)});
+  b.compute(kernel("k1", I(100)));
+  b.if_then(sym::lt(myid, P - 1),
+            [&] { b.send("A", myid + 1, I(8), I(0), 0); });
+  b.compute(kernel("k2", I(200)));
+  ir::Program p = b.take();
+
+  auto result = generate_simplified(p, compute_slice(p));
+  EXPECT_EQ(result.condensed.size(), 2u);  // before and after the send
+}
+
+TEST(Codegen, AffineLoopCollapsesToClosedForm) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  Expr n = b.decl_int("n", I(10));
+  b.decl_array("A", {I(64)});
+  b.for_loop("i", I(1), n, [&](Expr i) { b.compute(kernel("tri", i)); });
+  b.barrier();
+  ir::Program p = b.take();
+
+  auto result = generate_simplified(p, compute_slice(p));
+  ASSERT_EQ(result.condensed.size(), 1u);
+  // No executable Sum node: closed form of sum_{i=1..n} i * w.
+  std::function<bool(const sym::Node&)> has_sum = [&](const sym::Node& node) {
+    if (node.op == sym::Op::kSum) return true;
+    for (const auto& c : node.children) {
+      if (has_sum(*c)) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(has_sum(result.condensed[0].seconds.node()));
+  auto env = env_with({{"n", sym::Value(std::int64_t{10})}, {"w_tri", 2.0}});
+  EXPECT_DOUBLE_EQ(result.condensed[0].seconds.eval_real(env), 55.0 * 2.0);
+
+  // No loop survives in the simplified program.
+  EXPECT_EQ(count_kind(result.program, ir::StmtKind::kFor), 0u);
+}
+
+TEST(Codegen, NonAffineLoopKeepsExecutableSum) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  Expr n = b.decl_int("n", I(9));
+  b.decl_array("A", {I(64)});
+  b.for_loop("i", I(1), n, [&](Expr i) {
+    b.compute(kernel("sq", i * i));  // quadratic: no closed form here
+  });
+  b.barrier();
+  ir::Program p = b.take();
+
+  auto result = generate_simplified(p, compute_slice(p));
+  ASSERT_EQ(result.condensed.size(), 1u);
+  auto env = env_with({{"n", sym::Value(std::int64_t{9})}, {"w_sq", 1.0}});
+  // sum_{i=1..9} i^2 = 285.
+  EXPECT_DOUBLE_EQ(result.condensed[0].seconds.eval_real(env), 285.0);
+}
+
+TEST(Codegen, ClosedFormDisabledFallsBackToSum) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  Expr n = b.decl_int("n", I(10));
+  b.decl_array("A", {I(64)});
+  b.for_loop("i", I(1), n, [&](Expr i) { b.compute(kernel("tri", i)); });
+  b.barrier();
+  ir::Program p = b.take();
+
+  CodegenOptions opts;
+  opts.use_closed_form_sums = false;
+  auto result = generate_simplified(p, compute_slice(p), opts);
+  auto env = env_with({{"n", sym::Value(std::int64_t{10})}, {"w_tri", 2.0}});
+  EXPECT_DOUBLE_EQ(result.condensed[0].seconds.eval_real(env), 110.0);
+}
+
+TEST(Codegen, EliminatedBranchIsProbabilityWeighted) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  Expr flag = b.decl_int("flag", I(0));
+  b.decl_array("A", {I(64)});
+  b.if_then_else(sym::eq(flag, I(1)),
+                 [&] { b.compute(kernel("hot", I(1000))); },
+                 [&] { b.compute(kernel("cold", I(10))); });
+  b.barrier();
+  ir::Program p = b.take();
+
+  const ir::Stmt* branch = nullptr;
+  ir::for_each_stmt(p, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kIf) branch = &s;
+  });
+  ASSERT_NE(branch, nullptr);
+
+  CodegenOptions opts;
+  opts.branch_probs[branch->id] = 0.25;
+  auto result = generate_simplified(p, compute_slice(p), opts);
+  ASSERT_EQ(result.condensed.size(), 1u);
+  auto env = env_with({{"w_hot", 1.0}, {"w_cold", 1.0}});
+  EXPECT_DOUBLE_EQ(result.condensed[0].seconds.eval_real(env),
+                   0.25 * 1000.0 + 0.75 * 10.0);
+}
+
+TEST(Codegen, DefaultBranchProbabilityIsHalf) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  Expr flag = b.decl_int("flag", I(0));
+  b.decl_array("A", {I(64)});
+  b.if_then(sym::eq(flag, I(1)),
+            [&] { b.compute(kernel("hot", I(1000))); });
+  b.barrier();
+  ir::Program p = b.take();
+  auto result = generate_simplified(p, compute_slice(p));
+  auto env = env_with({{"w_hot", 1.0}});
+  EXPECT_DOUBLE_EQ(result.condensed[0].seconds.eval_real(env), 500.0);
+}
+
+TEST(Codegen, DummyBufferSizedToMaximumMessage) {
+  ir::ProgramBuilder b("t");
+  Expr myid = b.get_rank("myid");
+  Expr P = b.get_size("P");
+  b.decl_array("A", {I(4096)});
+  b.decl_array("B", {I(4096)}, 4);  // 4-byte elements
+  b.if_then(sym::lt(myid, P - 1), [&] {
+    b.send("A", myid + 1, I(100), I(0), 0);   // 800 bytes
+    b.send("B", myid + 1, I(500), I(0), 1);   // 2000 bytes
+    b.send("A", myid + 1, I(50), I(7), 2);    // 400 bytes
+  });
+  ir::Program p = b.take();
+  auto result = generate_simplified(p, compute_slice(p));
+  EXPECT_EQ(result.dummy_buffer_comms, 3u);
+
+  const ir::Stmt* dummy = nullptr;
+  ir::for_each_stmt(result.program, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kDeclArray && s.name == "__dummy_buf") {
+      dummy = &s;
+    }
+  });
+  ASSERT_NE(dummy, nullptr);
+  EXPECT_EQ(dummy->elem_bytes, 1u);
+  sym::MapEnv env;
+  EXPECT_EQ(dummy->extents[0].eval_int(env), 2000);
+
+  // Every rewritten comm uses byte counts and offset 0 on the dummy.
+  ir::for_each_stmt(result.program, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kSend) {
+      EXPECT_EQ(s.name, "__dummy_buf");
+      auto off = s.e3.constant_value();
+      ASSERT_TRUE(off.has_value());
+      EXPECT_EQ(off->as_int(), 0);
+    }
+  });
+}
+
+TEST(Codegen, LiveArraysKeepTheirCommunication) {
+  // An array read by a retained kernel stays; comm on it is not dummied.
+  ir::ProgramBuilder b("t");
+  Expr myid = b.get_rank("myid");
+  Expr P = b.get_size("P");
+  b.decl_real("resid", Expr::real(1.0));
+  b.decl_array("U", {I(128)});
+  b.if_then(sym::gt(myid, I(0)),
+            [&] { b.recv("U", myid - 1, I(16), I(0), 0); });
+  b.if_then(sym::lt(myid, P - 1),
+            [&] { b.send("U", myid + 1, I(16), I(0), 0); });
+  ir::KernelSpec res = kernel("res", I(128), {"resid"});
+  res.reads = {"U"};
+  b.compute(std::move(res));
+  b.allreduce_sum("resid");
+  b.if_then(sym::gt(Expr::var("resid"), Expr::real(0.5)), [&] { b.barrier(); });
+  ir::Program p = b.take();
+  auto slice = compute_slice(p);
+  ASSERT_TRUE(slice.array_is_live("U"));
+  auto result = generate_simplified(p, slice);
+  EXPECT_EQ(result.dummy_buffer_comms, 0u);
+  ir::for_each_stmt(result.program, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kSend || s.kind == ir::StmtKind::kRecv) {
+      EXPECT_EQ(s.name, "U");
+    }
+  });
+}
+
+TEST(Codegen, ReadParamProloguePrecedesEverything) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  b.decl_array("A", {I(64)});
+  b.compute(kernel("k1", I(10)));
+  b.compute(kernel("k2", I(20)));
+  b.barrier();
+  ir::Program p = b.take();
+  auto result = generate_simplified(p, compute_slice(p));
+  EXPECT_EQ(result.params,
+            (std::set<std::string>{"w_k1", "w_k2"}));
+  const auto& main = result.program.main();
+  ASSERT_GE(main.size(), 2u);
+  EXPECT_EQ(main[0]->kind, ir::StmtKind::kReadParam);
+  EXPECT_EQ(main[1]->kind, ir::StmtKind::kReadParam);
+}
+
+TEST(Codegen, SimplifiedProgramHasNoKernels) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  b.decl_array("A", {I(64)});
+  b.for_loop("i", I(1), I(5), [&](Expr) { b.compute(kernel("k", I(10))); });
+  b.barrier();
+  ir::Program p = b.take();
+  auto result = generate_simplified(p, compute_slice(p));
+  EXPECT_EQ(count_kind(result.program, ir::StmtKind::kCompute), 0u);
+  result.program.validate();
+}
+
+TEST(Codegen, TimerProgramWrapsKernelsEverywhere) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  b.decl_array("A", {I(64)});
+  b.procedure("helper", [&] { b.compute(kernel("pk", I(5))); });
+  b.for_loop("i", I(1), I(2), [&](Expr) {
+    b.compute(kernel("lk", I(7)));
+    b.call("helper");
+  });
+  ir::Program p = b.take();
+  ir::Program timer = generate_timer_program(p);
+  EXPECT_EQ(count_kind(timer, ir::StmtKind::kTimerStart), 2u);
+  EXPECT_EQ(count_kind(timer, ir::StmtKind::kTimerStop), 2u);
+  EXPECT_EQ(count_kind(timer, ir::StmtKind::kCompute), 2u);
+  timer.validate();
+
+  // Start-kernel-stop adjacency holds in every body.
+  ir::for_each_stmt(timer, [&](const ir::Stmt& s) {
+    if (s.kind != ir::StmtKind::kTimerStop) return;
+    EXPECT_FALSE(s.name.empty());
+  });
+}
+
+TEST(Codegen, CompileDriverProducesConsistentArtifacts) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  b.decl_array("A", {I(64)});
+  b.compute(kernel("k", I(10)));
+  b.barrier();
+  ir::Program p = b.take();
+  CompileResult r = compile(p);
+  EXPECT_EQ(r.simplified.params.size(), r.simplified.condensed.empty() ? 0u : 1u);
+  EXPECT_FALSE(r.report(p).empty());
+  r.simplified.program.validate();
+  r.timer_program.validate();
+}
+
+}  // namespace
+}  // namespace stgsim::core

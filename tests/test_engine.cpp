@@ -1,0 +1,467 @@
+// Unit tests for the PDES kernel: fibers, message delivery, scheduling
+// determinism, the threaded conservative mode, abort unwinding, and the
+// host-trace replay model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sim/engine.hpp"
+
+namespace stgsim::simk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fibers
+// ---------------------------------------------------------------------------
+
+TEST(Fiber, RunsBodyToCompletion) {
+  int x = 0;
+  Fiber f([&] { x = 42; }, 64 * 1024);
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> log;
+  Fiber f(
+      [&] {
+        log.push_back(1);
+        Fiber::yield_to_scheduler();
+        log.push_back(3);
+        Fiber::yield_to_scheduler();
+        log.push_back(5);
+      },
+      64 * 1024);
+  f.resume();
+  log.push_back(2);
+  f.resume();
+  log.push_back(4);
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, CurrentIsSetInsideFiberOnly) {
+  EXPECT_EQ(Fiber::current(), nullptr);
+  Fiber* observed = nullptr;
+  Fiber f([&] { observed = Fiber::current(); }, 64 * 1024);
+  f.resume();
+  EXPECT_EQ(observed, &f);
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, DeepStackUsageSurvives) {
+  // Recursion touching well under the stack size must work; the guard
+  // page exists for the case beyond it (not testable without SIGSEGV).
+  std::function<int(int)> rec = [&](int n) -> int {
+    char pad[512];
+    pad[0] = static_cast<char>(n);
+    return n == 0 ? pad[0] : rec(n - 1) + 1;
+  };
+  int out = -1;
+  Fiber f([&] { out = rec(200); }, 256 * 1024);
+  f.resume();
+  EXPECT_EQ(out, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Engine basics
+// ---------------------------------------------------------------------------
+
+Message make_msg(int src, int dst, int tag, VTime sent, VTime arrival) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.tag = tag;
+  m.sent_at = sent;
+  m.arrival = arrival;
+  return m;
+}
+
+MatchSpec match_tag(int src, int tag) {
+  MatchSpec s;
+  s.src = src;
+  s.accept = [tag](const Message& m) { return m.tag == tag; };
+  return s;
+}
+
+TEST(Engine, SingleProcessAdvancesClock) {
+  EngineConfig cfg;
+  cfg.num_processes = 1;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    p.advance(vtime_from_us(10));
+    p.advance(vtime_from_us(5));
+  });
+  auto r = e.run();
+  EXPECT_EQ(r.completion, vtime_from_us(15));
+  EXPECT_EQ(r.per_rank_completion.size(), 1u);
+}
+
+TEST(Engine, RunIsSingleShot) {
+  EngineConfig cfg;
+  Engine e(cfg);
+  e.set_body([](Process&) {});
+  e.run();
+  EXPECT_THROW(e.run(), CheckError);
+}
+
+TEST(Engine, MessageDeliveryAndMaxSemantics) {
+  EngineConfig cfg;
+  cfg.num_processes = 2;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    if (p.rank() == 0) {
+      p.advance(vtime_from_us(3));
+      p.send(make_msg(0, 1, 7, p.now(), p.now() + vtime_from_us(10)));
+    } else {
+      Message m = p.blocking_match(match_tag(0, 7));
+      p.lift_clock(m.arrival);
+      // Receiver was at 0, message arrives at 13us.
+      EXPECT_EQ(p.now(), vtime_from_us(13));
+    }
+  });
+  auto r = e.run();
+  EXPECT_EQ(r.per_rank_completion[1], vtime_from_us(13));
+  EXPECT_EQ(r.messages_delivered, 1u);
+}
+
+TEST(Engine, LateReceiverKeepsItsOwnClock) {
+  EngineConfig cfg;
+  cfg.num_processes = 2;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    if (p.rank() == 0) {
+      p.send(make_msg(0, 1, 1, 0, vtime_from_us(5)));
+    } else {
+      p.advance(vtime_from_us(100));  // receiver is past the arrival
+      Message m = p.blocking_match(match_tag(0, 1));
+      p.lift_clock(m.arrival);
+      EXPECT_EQ(p.now(), vtime_from_us(100));  // max(100, 5)
+    }
+  });
+  e.run();
+}
+
+TEST(Engine, FifoPerChannelMatchingOrder) {
+  EngineConfig cfg;
+  cfg.num_processes = 2;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    if (p.rank() == 0) {
+      // Second message has an earlier arrival, but same tag: matching
+      // must still deliver in send order (MPI non-overtaking).
+      p.send(make_msg(0, 1, 5, 0, vtime_from_us(50)));
+      p.send(make_msg(0, 1, 5, 0, vtime_from_us(10)));
+    } else {
+      p.advance(vtime_from_us(60));
+      Message first = p.blocking_match(match_tag(0, 5));
+      Message second = p.blocking_match(match_tag(0, 5));
+      EXPECT_EQ(first.arrival, vtime_from_us(50));
+      EXPECT_EQ(second.arrival, vtime_from_us(10));
+      EXPECT_LT(first.seq, second.seq);
+    }
+  });
+  e.run();
+}
+
+TEST(Engine, TagSelectiveMatchingSkipsNonMatching) {
+  EngineConfig cfg;
+  cfg.num_processes = 2;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    if (p.rank() == 0) {
+      p.send(make_msg(0, 1, 1, 0, vtime_from_us(1)));
+      p.send(make_msg(0, 1, 2, 0, vtime_from_us(2)));
+    } else {
+      Message m2 = p.blocking_match(match_tag(0, 2));
+      EXPECT_EQ(m2.tag, 2);
+      Message m1 = p.blocking_match(match_tag(0, 1));
+      EXPECT_EQ(m1.tag, 1);
+    }
+  });
+  e.run();
+}
+
+TEST(Engine, WildcardPicksEarliestArrivalAcrossSources) {
+  EngineConfig cfg;
+  cfg.num_processes = 3;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    if (p.rank() == 0) {
+      p.send(make_msg(0, 2, 9, 0, vtime_from_us(30)));
+    } else if (p.rank() == 1) {
+      p.send(make_msg(1, 2, 9, 0, vtime_from_us(20)));
+    } else {
+      p.advance(vtime_from_us(100));  // both candidates present
+      MatchSpec any;
+      any.src = MatchSpec::kAnySource;
+      any.accept = [](const Message& m) { return m.tag == 9; };
+      Message first = p.blocking_match(any);
+      EXPECT_EQ(first.src, 1);  // earlier arrival
+      Message second = p.blocking_match(any);
+      EXPECT_EQ(second.src, 0);
+    }
+  });
+  e.run();
+}
+
+TEST(Engine, TryMatchDoesNotBlock) {
+  EngineConfig cfg;
+  cfg.num_processes = 1;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    Message out;
+    EXPECT_FALSE(p.try_match(match_tag(0, 1), &out));
+  });
+  e.run();
+}
+
+TEST(Engine, DeadlockIsDetectedAndReported) {
+  EngineConfig cfg;
+  cfg.num_processes = 2;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    // Both wait for a message that never comes.
+    p.blocking_match(match_tag(1 - p.rank(), 0));
+  });
+  EXPECT_THROW(e.run(), DeadlockError);
+}
+
+TEST(Engine, AbortUnwindsBlockedFibersRunningDestructors) {
+  static std::atomic<int> destroyed{0};
+  struct Sentinel {
+    ~Sentinel() { ++destroyed; }
+  };
+  destroyed = 0;
+  EngineConfig cfg;
+  cfg.num_processes = 3;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    Sentinel s;
+    if (p.rank() == 0) {
+      // Block until the LAST rank pokes us, so every fiber has started
+      // (and suspended) by the time we blow up.
+      p.blocking_match(match_tag(2, 1));
+      throw std::runtime_error("boom");
+    }
+    if (p.rank() == 2) {
+      p.send(make_msg(2, 0, 1, 0, vtime_from_us(1)));
+    }
+    p.blocking_match(match_tag(0, 99));  // blocks forever
+  });
+  EXPECT_THROW(e.run(), std::runtime_error);
+  // All three fibers' stack objects were destroyed (0 threw; 1, 2 were
+  // unwound via FiberAborted).
+  EXPECT_EQ(destroyed.load(), 3);
+}
+
+TEST(Engine, PerProcessRngStreamsAreIndependentAndDeterministic) {
+  auto collect = [] {
+    std::vector<std::uint64_t> vals;
+    EngineConfig cfg;
+    cfg.num_processes = 4;
+    cfg.seed = 99;
+    Engine e(cfg);
+    std::mutex m;
+    e.set_body([&](Process& p) {
+      std::lock_guard<std::mutex> lock(m);
+      vals.push_back(p.rng().next_u64());
+    });
+    e.run();
+    std::sort(vals.begin(), vals.end());
+    return vals;
+  };
+  auto a = collect();
+  auto b = collect();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::set<std::uint64_t>(a.begin(), a.end()).size(), a.size());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: sequential vs threaded, and across runs
+// ---------------------------------------------------------------------------
+
+/// A little token-ring workload with data-dependent forwarding times.
+void ring_body(Process& p) {
+  const int n = p.world_size();
+  const int next = (p.rank() + 1) % n;
+  const int prev = (p.rank() + n - 1) % n;
+  VTime hold = vtime_from_us(1 + p.rank() % 3);
+  for (int round = 0; round < 5; ++round) {
+    if (p.rank() == 0 && round == 0) {
+      Message m;
+      m.src = 0;
+      m.dst = next;
+      m.tag = 1;
+      m.sent_at = p.now();
+      m.arrival = p.now() + vtime_from_us(7);
+      p.send(m);
+    }
+    MatchSpec spec;
+    spec.src = prev;
+    spec.accept = [](const Message& m) { return m.tag == 1; };
+    Message tok = p.blocking_match(spec);
+    p.lift_clock(tok.arrival);
+    p.advance(hold);
+    Message fwd;
+    fwd.src = p.rank();
+    fwd.dst = next;
+    fwd.tag = 1;
+    fwd.sent_at = p.now();
+    fwd.arrival = p.now() + vtime_from_us(7);
+    p.send(fwd);
+  }
+  // Rank 0's injected token means its successor ends with one unconsumed
+  // message in its inbox — legal, like an unmatched MPI send at exit.
+}
+
+std::vector<VTime> run_ring(int procs, int workers, bool threads) {
+  EngineConfig cfg;
+  cfg.num_processes = procs;
+  cfg.host_workers = workers;
+  cfg.use_threads = threads;
+  Engine e(cfg);
+  e.set_body(ring_body);
+  return e.run().per_rank_completion;
+}
+
+TEST(Engine, RepeatedRunsAreBitIdentical) {
+  EXPECT_EQ(run_ring(6, 1, false), run_ring(6, 1, false));
+}
+
+class ThreadedEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadedEquivalence, MatchesSequentialScheduler) {
+  const int workers = GetParam();
+  auto seq = run_ring(8, 1, false);
+  auto par = run_ring(8, workers, true);
+  EXPECT_EQ(seq, par) << "workers = " << workers;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ThreadedEquivalence,
+                         ::testing::Values(2, 3, 4, 8));
+
+// Wait-until-blocked semantics: a process that never blocks finishes in
+// one slice and others still make progress.
+TEST(Engine, NonBlockingProcessesFinishIndependently) {
+  EngineConfig cfg;
+  cfg.num_processes = 4;
+  Engine e(cfg);
+  e.set_body([](Process& p) { p.advance(vtime_from_us(p.rank() + 1)); });
+  auto r = e.run();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.per_rank_completion[static_cast<std::size_t>(i)],
+              vtime_from_us(i + 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Host-trace replay
+// ---------------------------------------------------------------------------
+
+Slice slice(int lp, double dur, std::vector<Slice::Dep> deps = {}) {
+  Slice s;
+  s.lp = lp;
+  s.duration_sec = dur;
+  s.deps = std::move(deps);
+  return s;
+}
+
+TEST(Replay, IndependentSlicesParallelizePerfectly) {
+  HostModel m;
+  m.per_slice_overhead_sec = 0.0;
+  std::vector<Slice> trace;
+  for (int lp = 0; lp < 4; ++lp) trace.push_back(slice(lp, 1.0));
+  EXPECT_DOUBLE_EQ(replay_host_trace(trace, 4, 1, m), 4.0);
+  EXPECT_DOUBLE_EQ(replay_host_trace(trace, 4, 4, m), 1.0);
+  EXPECT_DOUBLE_EQ(replay_host_trace(trace, 4, 2, m), 2.0);
+}
+
+TEST(Replay, DependencyChainSerializes) {
+  HostModel m;
+  m.per_slice_overhead_sec = 0.0;
+  m.cross_worker_msg_sec = 0.0;
+  std::vector<Slice> trace;
+  trace.push_back(slice(0, 1.0));
+  trace.push_back(slice(1, 1.0, {{0, 1.0, 0}}));  // sent at end of slice 0
+  trace.push_back(slice(2, 1.0, {{1, 1.0, 1}}));
+  EXPECT_DOUBLE_EQ(replay_host_trace(trace, 3, 3, m), 3.0);
+}
+
+TEST(Replay, CrossWorkerMessagesAddOverhead) {
+  HostModel m;
+  m.per_slice_overhead_sec = 0.0;
+  m.cross_worker_msg_sec = 0.5;
+  std::vector<Slice> trace;
+  trace.push_back(slice(0, 1.0));
+  trace.push_back(slice(1, 1.0, {{0, 1.0, 0}}));
+  // Same worker: no cross cost.
+  EXPECT_DOUBLE_EQ(replay_host_trace(trace, 2, 1, m), 2.0);
+  // Different workers: +0.5 delivery.
+  EXPECT_DOUBLE_EQ(replay_host_trace(trace, 2, 2, m), 2.5);
+}
+
+TEST(Replay, MidSliceSendOffsetsRespected) {
+  HostModel m;
+  m.per_slice_overhead_sec = 0.0;
+  m.cross_worker_msg_sec = 0.0;
+  std::vector<Slice> trace;
+  trace.push_back(slice(0, 1.0));
+  // Message produced 0.5s into slice 0: the consumer overlaps with the
+  // rest of the producing slice instead of waiting for its end.
+  trace.push_back(slice(1, 1.0, {{0, 0.5, 0}}));
+  EXPECT_DOUBLE_EQ(replay_host_trace(trace, 2, 2, m), 1.5);
+}
+
+TEST(Replay, DurationScaleStretchesWorkNotMessaging) {
+  HostModel m;
+  m.per_slice_overhead_sec = 0.0;
+  m.cross_worker_msg_sec = 0.25;
+  m.duration_scale = 10.0;
+  std::vector<Slice> trace;
+  trace.push_back(slice(0, 1.0));
+  trace.push_back(slice(1, 1.0, {{0, 1.0, 0}}));
+  // (1.0 * 10) + 0.25 + (1.0 * 10)
+  EXPECT_DOUBLE_EQ(replay_host_trace(trace, 2, 2, m), 20.25);
+}
+
+TEST(Replay, PerSliceOverheadAccumulates) {
+  HostModel m;
+  m.per_slice_overhead_sec = 0.1;
+  std::vector<Slice> trace;
+  for (int i = 0; i < 5; ++i) trace.push_back(slice(0, 1.0));
+  EXPECT_NEAR(replay_host_trace(trace, 1, 1, m), 5.5, 1e-12);
+}
+
+TEST(Engine, HostTraceRecordsSlicesAndDeps) {
+  EngineConfig cfg;
+  cfg.num_processes = 2;
+  cfg.record_host_trace = true;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    if (p.rank() == 0) {
+      p.send(make_msg(0, 1, 1, 0, vtime_from_us(5)));
+    } else {
+      Message m = p.blocking_match(match_tag(0, 1));
+      p.lift_clock(m.arrival);
+    }
+  });
+  e.run();
+  const auto& trace = e.host_trace();
+  ASSERT_GE(trace.size(), 2u);
+  bool found_dep = false;
+  for (const auto& s : trace) {
+    for (const auto& d : s.deps) {
+      found_dep = true;
+      EXPECT_EQ(d.producer_lp, 0);
+    }
+  }
+  EXPECT_TRUE(found_dep);
+}
+
+}  // namespace
+}  // namespace stgsim::simk

@@ -1,0 +1,143 @@
+// Unit tests for the network and compute machine models.
+#include <gtest/gtest.h>
+
+#include "machine/compute.hpp"
+#include "net/network.hpp"
+
+namespace stgsim {
+namespace {
+
+TEST(Network, WireTimeIsLatencyPlusBandwidthTerm) {
+  net::NetworkParams p;
+  p.latency = vtime_from_us(10);
+  p.bytes_per_sec = 1e8;
+  net::Network n(p, 2);
+  EXPECT_EQ(n.wire_time(0), vtime_from_us(10));
+  // 1 MB at 100 MB/s = 10 ms.
+  EXPECT_EQ(n.wire_time(1000000), vtime_from_us(10) + vtime_from_ms(10));
+}
+
+TEST(Network, ArrivalWithoutContentionIsReadyPlusFlight) {
+  net::NetworkParams p;
+  p.latency = vtime_from_us(10);
+  p.bytes_per_sec = 1e8;
+  net::Network n(p, 2);
+  Rng rng(1);
+  EXPECT_EQ(n.arrival(0, vtime_from_us(5), 0, rng),
+            vtime_from_us(5) + vtime_from_us(10));
+}
+
+TEST(Network, ContentionSerializesInjection) {
+  net::NetworkParams p;
+  p.latency = vtime_from_us(0);
+  p.bytes_per_sec = 1e6;  // 1 MB/s: 1000 bytes = 1 ms serialization
+  p.model_contention = true;
+  net::Network n(p, 2);
+  Rng rng(1);
+  const VTime a1 = n.arrival(0, 0, 1000, rng);
+  const VTime a2 = n.arrival(0, 0, 1000, rng);  // queued behind the first
+  EXPECT_EQ(a1, vtime_from_ms(1));
+  EXPECT_EQ(a2, vtime_from_ms(2));
+  // A different source has its own NIC.
+  const VTime b1 = n.arrival(1, 0, 1000, rng);
+  EXPECT_EQ(b1, vtime_from_ms(1));
+}
+
+TEST(Network, JitterIsDeterministicGivenTheStream) {
+  net::NetworkParams p;
+  p.jitter_frac = 0.05;
+  auto sample = [&] {
+    net::Network n(p, 1);
+    Rng rng(77);
+    std::vector<VTime> v;
+    for (int i = 0; i < 10; ++i) v.push_back(n.arrival(0, 0, 4096, rng));
+    return v;
+  };
+  EXPECT_EQ(sample(), sample());
+}
+
+TEST(Network, JitterStaysBounded) {
+  net::NetworkParams p;
+  p.jitter_frac = 0.10;
+  net::Network n(p, 1);
+  net::Network clean(net::NetworkParams{}, 1);
+  Rng rng(3);
+  const double base = vtime_to_sec(clean.arrival(0, 0, 8192, rng));
+  Rng rng2(3);
+  for (int i = 0; i < 200; ++i) {
+    const double t = vtime_to_sec(n.arrival(0, 0, 8192, rng2));
+    EXPECT_GT(t, base * 0.2);
+    EXPECT_LT(t, base * 2.0);
+  }
+}
+
+TEST(Network, EagerThresholdSplitsProtocols) {
+  net::NetworkParams p;
+  p.eager_threshold = 1024;
+  net::Network n(p, 1);
+  EXPECT_FALSE(n.uses_rendezvous(1024));
+  EXPECT_TRUE(n.uses_rendezvous(1025));
+}
+
+TEST(Network, PresetsAreOrdered) {
+  // The Origin 2000's shared-memory MPI beats the SP switch on both
+  // latency and bandwidth, as in the literature of the period.
+  const auto sp = net::ibm_sp();
+  const auto o2k = net::origin2000();
+  EXPECT_LT(o2k.latency, sp.latency);
+  EXPECT_GT(o2k.bytes_per_sec, sp.bytes_per_sec);
+}
+
+TEST(Compute, CacheFactorMonotoneAndBounded) {
+  machine::ComputeParams p;
+  p.cache_penalty = 0.4;
+  EXPECT_DOUBLE_EQ(machine::cache_factor(p, 0.0), 1.0);
+  double prev = 1.0;
+  for (double ws : {1e3, 1e5, 1e7, 1e9}) {
+    const double f = machine::cache_factor(p, ws);
+    EXPECT_GT(f, prev);
+    EXPECT_LT(f, 1.0 + p.cache_penalty);
+    prev = f;
+  }
+}
+
+TEST(Compute, KernelCostScalesLinearlyInItersAndFlops) {
+  machine::ComputeParams p;
+  const VTime t = machine::kernel_cost(p, 1000, 2.0, 0.0);
+  EXPECT_EQ(machine::kernel_cost(p, 2000, 2.0, 0.0), 2 * t);
+  EXPECT_EQ(machine::kernel_cost(p, 1000, 4.0, 0.0), 2 * t);
+}
+
+TEST(Compute, SecondsPerIterationMatchesKernelCost) {
+  machine::ComputeParams p;
+  const double w = machine::seconds_per_iteration(p, 3.0, 1e6);
+  EXPECT_NEAR(vtime_to_sec(machine::kernel_cost(p, 500, 3.0, 1e6)), 500 * w,
+              1e-9);
+}
+
+TEST(Compute, JitterRequiresRngAndStaysFair) {
+  machine::ComputeParams p;
+  p.compute_jitter_frac = 0.02;
+  // Without an RNG the jitter silently does not apply.
+  const VTime clean = machine::kernel_cost(p, 1e6, 1.0, 0.0, nullptr);
+  EXPECT_EQ(clean, machine::kernel_cost(p, 1e6, 1.0, 0.0, nullptr));
+
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    sum += vtime_to_sec(machine::kernel_cost(p, 1e6, 1.0, 0.0, &rng));
+  }
+  const double mean = sum / 300.0;
+  // Unbiased to within a few sigma.
+  EXPECT_NEAR(mean, vtime_to_sec(clean), vtime_to_sec(clean) * 0.01);
+}
+
+TEST(Compute, NodePresetsDiffer) {
+  const auto sp = machine::ibm_sp_node();
+  const auto o2k = machine::origin2000_node();
+  EXPECT_GT(sp.flop_time_ns, o2k.flop_time_ns);  // R10k clocked higher
+  EXPECT_LT(sp.cache_bytes, o2k.cache_bytes);
+}
+
+}  // namespace
+}  // namespace stgsim

@@ -1,0 +1,167 @@
+// Tests for the IR program structure itself: def/use effects, cloning,
+// validation and builder misuse.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/program.hpp"
+
+namespace stgsim::ir {
+namespace {
+
+using sym::Expr;
+
+Expr I(std::int64_t v) { return Expr::integer(v); }
+
+TEST(Program, StmtEffectsForScalars) {
+  Program p("t");
+  auto s = p.make_stmt(StmtKind::kAssign);
+  s->name = "x";
+  s->e1 = Expr::var("a") + Expr::var("b");
+  auto fx = stmt_effects(*s);
+  EXPECT_EQ(fx.defs, (std::vector<std::string>{"x"}));
+  EXPECT_EQ(std::set<std::string>(fx.uses.begin(), fx.uses.end()),
+            (std::set<std::string>{"a", "b"}));
+}
+
+TEST(Program, StmtEffectsForComm) {
+  Program p("t");
+  auto s = p.make_stmt(StmtKind::kSend);
+  s->name = "A";
+  s->e1 = Expr::var("dst");
+  s->e2 = Expr::var("n");
+  s->e3 = I(0);
+  auto fx = stmt_effects(*s);
+  EXPECT_TRUE(fx.defs.empty());
+  std::set<std::string> uses(fx.uses.begin(), fx.uses.end());
+  EXPECT_TRUE(uses.contains("A"));    // payload
+  EXPECT_TRUE(uses.contains("dst"));
+  EXPECT_TRUE(uses.contains("n"));
+}
+
+TEST(Program, StmtEffectsForKernels) {
+  Program p("t");
+  auto s = p.make_stmt(StmtKind::kCompute);
+  s->kernel.task = "k";
+  s->kernel.iters = Expr::var("N") * Expr::var("b");
+  s->kernel.reads = {"X"};
+  s->kernel.writes = {"Y", "r"};
+  auto fx = stmt_effects(*s);
+  EXPECT_EQ(std::set<std::string>(fx.defs.begin(), fx.defs.end()),
+            (std::set<std::string>{"Y", "r"}));
+  std::set<std::string> uses(fx.uses.begin(), fx.uses.end());
+  EXPECT_TRUE(uses.contains("X"));
+  EXPECT_TRUE(uses.contains("N"));
+  EXPECT_TRUE(uses.contains("b"));
+}
+
+TEST(Program, CloneIsDeepAndPreservesIds) {
+  ProgramBuilder b("orig");
+  Expr n = b.decl_int("n", I(5));
+  b.for_loop("i", I(1), n, [&](Expr) { b.assign("n", n + 1); });
+  Program p = b.take();
+
+  Program c = p.clone();
+  std::vector<int> ids_p, ids_c;
+  for_each_stmt(p, [&](const Stmt& s) { ids_p.push_back(s.id); });
+  for_each_stmt(c, [&](const Stmt& s) { ids_c.push_back(s.id); });
+  EXPECT_EQ(ids_p, ids_c);
+  EXPECT_EQ(p.to_string(), c.to_string());
+
+  // The clone owns its statements: mutating it leaves the original alone.
+  c.main().clear();
+  EXPECT_NE(p.to_string(), c.to_string());
+}
+
+TEST(Program, CloneContinuesIdAllocation) {
+  ProgramBuilder b("orig");
+  b.decl_int("x", I(1));
+  Program p = b.take();
+  Program c = p.clone();
+  auto extra = c.make_stmt(StmtKind::kBarrier);
+  // Fresh ids never collide with cloned ones.
+  for_each_stmt(p, [&](const Stmt& s) { EXPECT_NE(s.id, extra->id); });
+}
+
+TEST(Program, ValidateRejectsDuplicateIds) {
+  Program p("t");
+  auto a = p.make_stmt(StmtKind::kBarrier);
+  auto b = p.make_stmt(StmtKind::kBarrier);
+  b->id = a->id;
+  p.main().push_back(std::move(a));
+  p.main().push_back(std::move(b));
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+TEST(Program, ValidateRejectsUnknownProcedureCalls) {
+  Program p("t");
+  auto c = p.make_stmt(StmtKind::kCall);
+  c->name = "ghost";
+  p.main().push_back(std::move(c));
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+TEST(Program, ForEachStmtVisitsNestedBodies) {
+  ProgramBuilder b("t");
+  b.if_then_else(sym::eq(I(1), I(1)),
+                 [&] { b.barrier(); },
+                 [&] {
+                   b.for_loop("i", I(1), I(2), [&](Expr) { b.barrier(); });
+                 });
+  Program p = b.take();
+  std::size_t barriers = 0;
+  for_each_stmt(p, [&](const Stmt& s) {
+    barriers += s.kind == StmtKind::kBarrier;
+  });
+  EXPECT_EQ(barriers, 2u);
+}
+
+TEST(Builder, TakeTwiceFails) {
+  ProgramBuilder b("t");
+  b.barrier();
+  (void)b.take();
+  EXPECT_THROW((void)b.take(), CheckError);
+}
+
+TEST(Builder, ComputeRequiresTaskName) {
+  ProgramBuilder b("t");
+  KernelSpec k;  // no task
+  EXPECT_THROW(b.compute(std::move(k)), CheckError);
+}
+
+TEST(Builder, DuplicateProcedureFails) {
+  ProgramBuilder b("t");
+  b.procedure("p", [] {});
+  EXPECT_THROW(b.procedure("p", [] {}), CheckError);
+}
+
+TEST(Builder, NestedProcedureDefinitionFails) {
+  ProgramBuilder b("t");
+  EXPECT_THROW(
+      b.for_loop("i", I(1), I(2), [&](Expr) { b.procedure("p", [] {}); }),
+      CheckError);
+}
+
+TEST(Builder, StatementsLandInTheActiveScope) {
+  ProgramBuilder b("t");
+  b.barrier();  // top level
+  b.for_loop("i", I(1), I(3), [&](Expr) {
+    b.barrier();  // loop body
+  });
+  Program p = b.take();
+  ASSERT_EQ(p.main().size(), 2u);
+  EXPECT_EQ(p.main()[0]->kind, StmtKind::kBarrier);
+  ASSERT_EQ(p.main()[1]->kind, StmtKind::kFor);
+  ASSERT_EQ(p.main()[1]->body.size(), 1u);
+  EXPECT_EQ(p.main()[1]->body[0]->kind, StmtKind::kBarrier);
+}
+
+TEST(Program, KindNamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (int k = 0; k <= static_cast<int>(StmtKind::kCall); ++k) {
+    names.insert(stmt_kind_name(static_cast<StmtKind>(k)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(StmtKind::kCall) + 1);
+}
+
+}  // namespace
+}  // namespace stgsim::ir

@@ -1,0 +1,289 @@
+// Unit tests for program slicing (paper §3.2): what must be retained,
+// what may be eliminated, and the closure rules that connect them.
+#include <gtest/gtest.h>
+
+#include "core/slice.hpp"
+#include "ir/builder.hpp"
+
+namespace stgsim::core {
+namespace {
+
+using sym::Expr;
+
+Expr I(std::int64_t v) { return Expr::integer(v); }
+
+ir::KernelSpec kernel(const std::string& task, Expr iters,
+                      std::vector<std::string> reads,
+                      std::vector<std::string> writes) {
+  ir::KernelSpec k;
+  k.task = task;
+  k.iters = std::move(iters);
+  k.reads = std::move(reads);
+  k.writes = std::move(writes);
+  return k;
+}
+
+/// Finds the (unique) statement of a kind, by declared name.
+const ir::Stmt* find_stmt(const ir::Program& p, ir::StmtKind kind,
+                          const std::string& name = "") {
+  const ir::Stmt* found = nullptr;
+  ir::for_each_stmt(p, [&](const ir::Stmt& s) {
+    if (s.kind == kind && (name.empty() || s.name == name)) found = &s;
+  });
+  return found;
+}
+
+TEST(Slice, CommunicationStatementsAlwaysRetained) {
+  ir::ProgramBuilder b("t");
+  Expr myid = b.get_rank("myid");
+  Expr P = b.get_size("P");
+  b.decl_array("A", {I(100)});
+  b.if_then(sym::lt(myid, P - 1),
+            [&] { b.send("A", myid + 1, I(10), I(0), 0); });
+  ir::Program p = b.take();
+  SliceResult slice = compute_slice(p);
+  EXPECT_TRUE(slice.is_retained(*find_stmt(p, ir::StmtKind::kSend)));
+  EXPECT_TRUE(slice.is_retained(*find_stmt(p, ir::StmtKind::kIf)));
+  EXPECT_TRUE(slice.needed_vars.contains("myid"));
+  EXPECT_TRUE(slice.needed_vars.contains("P"));
+}
+
+TEST(Slice, PayloadOnlyComputationIsEliminated) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  b.decl_array("A", {I(100)});
+  b.compute(kernel("fill", I(100), {}, {"A"}));
+  b.send("A", I(0), I(10), I(0), 0);
+  ir::Program p = b.take();
+  SliceResult slice = compute_slice(p);
+  EXPECT_FALSE(slice.is_retained(*find_stmt(p, ir::StmtKind::kCompute)));
+  EXPECT_FALSE(slice.array_is_live("A"));
+}
+
+TEST(Slice, MessageSizeDependenciesAreRetained) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  Expr P = b.get_size("P");
+  Expr n = b.decl_int("n", I(64));
+  Expr m = b.decl_int("m", n * 2);     // feeds the count
+  b.decl_int("junk", n * 3);           // feeds nothing
+  b.decl_array("A", {m});
+  b.send("A", I(0), m, I(0), 0);
+  ir::Program p = b.take();
+  SliceResult slice = compute_slice(p);
+  EXPECT_TRUE(slice.needed_vars.contains("m"));
+  EXPECT_TRUE(slice.needed_vars.contains("n"));  // transitively
+  EXPECT_FALSE(slice.needed_vars.contains("junk"));
+  EXPECT_FALSE(slice.is_retained(
+      *find_stmt(p, ir::StmtKind::kDeclScalar, "junk")));
+}
+
+TEST(Slice, ScalingFunctionVariablesAreNeeded) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  Expr n = b.decl_int("n", I(64));
+  Expr blk = b.decl_int("blk", sym::ceil_div(n, Expr::var("P")));
+  b.decl_array("A", {I(16)});
+  b.compute(kernel("work", (n - 2) * blk, {}, {"A"}));
+  b.barrier();  // some communication so the program has structure
+  ir::Program p = b.take();
+  SliceResult slice = compute_slice(p);
+  // The kernel itself is eliminated, but the variables in its scaling
+  // function must survive for the delay expression.
+  EXPECT_FALSE(slice.is_retained(*find_stmt(p, ir::StmtKind::kCompute)));
+  EXPECT_TRUE(slice.needed_vars.contains("n"));
+  EXPECT_TRUE(slice.needed_vars.contains("blk"));
+}
+
+TEST(Slice, EliminatedLoopVariableIsNotNeededButBoundsAre) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  Expr n = b.decl_int("n", I(8));
+  b.decl_array("A", {I(16)});
+  b.for_loop("i", I(1), n, [&](Expr i) {
+    b.compute(kernel("tri", i * 10, {}, {"A"}));
+  });
+  b.barrier();
+  ir::Program p = b.take();
+  SliceResult slice = compute_slice(p);
+  EXPECT_FALSE(slice.is_retained(*find_stmt(p, ir::StmtKind::kFor)));
+  EXPECT_FALSE(slice.needed_vars.contains("i"));  // bound by the sum
+  EXPECT_TRUE(slice.needed_vars.contains("n"));   // loop bound survives
+}
+
+TEST(Slice, LoopWithCommunicationIsRetainedWithItsVariables) {
+  ir::ProgramBuilder b("t");
+  Expr myid = b.get_rank("myid");
+  Expr P = b.get_size("P");
+  Expr steps = b.decl_int("steps", I(5));
+  b.decl_array("A", {I(64)});
+  b.for_loop("t", I(1), steps, [&](Expr) {
+    b.if_then(sym::gt(myid, I(0)),
+              [&] { b.send("A", myid - 1, I(8), I(0), 0); });
+  });
+  ir::Program p = b.take();
+  SliceResult slice = compute_slice(p);
+  EXPECT_TRUE(slice.is_retained(*find_stmt(p, ir::StmtKind::kFor)));
+  EXPECT_TRUE(slice.needed_vars.contains("steps"));
+}
+
+TEST(Slice, ControlDependentValueRetainsItsProducers) {
+  // A computed value reaching a retained branch pulls in the kernel that
+  // computes it AND the arrays that kernel reads (paper §3.2: retained
+  // subsets of computation and data).
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  b.decl_real("resid", Expr::real(1.0));
+  b.decl_int("stop", I(0));
+  b.decl_array("U", {I(128)});
+  b.compute(kernel("mkdata", I(128), {}, {"U"}));
+  b.compute(kernel("residual", I(128), {"U"}, {"resid"}));
+  b.allreduce_sum("resid");
+  b.if_then(sym::lt(Expr::var("resid"), Expr::real(1e-6)), [&] {
+    b.assign("stop", I(1));
+  });
+  b.if_then(sym::eq(Expr::var("stop"), I(0)), [&] { b.barrier(); });
+  ir::Program p = b.take();
+  SliceResult slice = compute_slice(p);
+  EXPECT_TRUE(slice.needed_vars.contains("resid"));
+  EXPECT_TRUE(slice.array_is_live("U"));
+  std::size_t retained_kernels = 0;
+  ir::for_each_stmt(p, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kCompute && slice.is_retained(s)) {
+      ++retained_kernels;
+    }
+  });
+  EXPECT_EQ(retained_kernels, 2u);  // residual AND its data producer
+}
+
+TEST(Slice, ReductionPayloadScalarKeepsDeclOnly) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  b.decl_real("rmax", Expr::real(0.0));
+  b.decl_array("R", {I(64)});
+  b.compute(kernel("reduce_local", I(64), {"R"}, {"rmax"}));
+  b.allreduce_max("rmax");  // value never used structurally
+  ir::Program p = b.take();
+  SliceResult slice = compute_slice(p);
+  EXPECT_TRUE(slice.is_retained(
+      *find_stmt(p, ir::StmtKind::kDeclScalar, "rmax")));
+  EXPECT_FALSE(slice.is_retained(*find_stmt(p, ir::StmtKind::kCompute)));
+  EXPECT_FALSE(slice.array_is_live("R"));
+}
+
+TEST(Slice, InterproceduralCommRetainsCallSites) {
+  ir::ProgramBuilder b("t");
+  Expr myid = b.get_rank("myid");
+  b.get_size("P");
+  b.decl_array("A", {I(64)});
+  b.procedure("exchange", [&] {
+    b.if_then(sym::gt(myid, I(0)),
+              [&] { b.send("A", myid - 1, I(8), I(0), 0); });
+  });
+  b.procedure("pure_compute", [&] {
+    b.compute(kernel("noop", I(10), {}, {"A"}));
+  });
+  b.for_loop("t", I(1), I(3), [&](Expr) {
+    b.call("exchange");
+    b.call("pure_compute");
+  });
+  ir::Program p = b.take();
+  SliceResult slice = compute_slice(p);
+
+  std::size_t retained_calls = 0, total_calls = 0;
+  ir::for_each_stmt(p, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kCall) {
+      ++total_calls;
+      if (slice.is_retained(s)) ++retained_calls;
+    }
+  });
+  EXPECT_EQ(total_calls, 2u);
+  EXPECT_EQ(retained_calls, 1u);  // only the communicating procedure
+}
+
+TEST(Slice, RetainAllBranchesOptionKeepsConditions) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  Expr flag = b.decl_int("flag", I(1));
+  b.decl_array("A", {I(64)});
+  b.if_then(sym::eq(flag, I(1)),
+            [&] { b.compute(kernel("k", I(50), {}, {"A"})); });
+  b.barrier();
+  ir::Program p = b.take();
+
+  SliceResult lax = compute_slice(p);
+  EXPECT_FALSE(lax.is_retained(*find_stmt(p, ir::StmtKind::kIf)));
+  EXPECT_FALSE(lax.needed_vars.contains("flag"));
+
+  SliceOptions opts;
+  opts.retain_all_branches = true;
+  SliceResult strict = compute_slice(p, opts);
+  EXPECT_TRUE(strict.is_retained(*find_stmt(p, ir::StmtKind::kIf)));
+  EXPECT_TRUE(strict.needed_vars.contains("flag"));
+}
+
+TEST(Slice, DirectiveRetainsOnlyTheNamedBranch) {
+  ir::ProgramBuilder b("t");
+  b.get_rank("myid");
+  b.get_size("P");
+  Expr f1 = b.decl_int("f1", I(1));
+  Expr f2 = b.decl_int("f2", I(0));
+  b.decl_array("A", {I(64)});
+  b.if_then(sym::eq(f1, I(1)),
+            [&] { b.compute(kernel("k1", I(10), {}, {"A"})); });
+  b.if_then(sym::eq(f2, I(1)),
+            [&] { b.compute(kernel("k2", I(10), {}, {"A"})); });
+  b.barrier();
+  ir::Program p = b.take();
+
+  // Find the first branch's id.
+  int first_if = -1;
+  ir::for_each_stmt(p, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kIf && first_if == -1) first_if = s.id;
+  });
+  ASSERT_NE(first_if, -1);
+
+  SliceOptions opts;
+  opts.retained_branch_ids = {first_if};
+  SliceResult slice = compute_slice(p, opts);
+
+  std::size_t retained_ifs = 0;
+  ir::for_each_stmt(p, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kIf && slice.is_retained(s)) ++retained_ifs;
+  });
+  EXPECT_EQ(retained_ifs, 1u);
+  EXPECT_TRUE(slice.needed_vars.contains("f1"));
+  EXPECT_FALSE(slice.needed_vars.contains("f2"));
+}
+
+TEST(Slice, VariableRedefinedInsideEliminatedRegionPullsItIn) {
+  // A message size modified inside a loop forces the defining assignment
+  // (and therefore the loop) into the slice.
+  ir::ProgramBuilder b("t");
+  Expr myid = b.get_rank("myid");
+  Expr P = b.get_size("P");
+  Expr sz = b.decl_int("sz", I(4));
+  b.decl_array("A", {I(1024)});
+  b.for_loop("t", I(1), I(3), [&](Expr) {
+    b.assign("sz", sz * 2);
+    b.compute(kernel("k", I(10), {}, {"A"}));
+  });
+  b.if_then(sym::lt(myid, P - 1),
+            [&] { b.send("A", myid + 1, sz, I(0), 0); });
+  ir::Program p = b.take();
+  SliceResult slice = compute_slice(p);
+  EXPECT_TRUE(slice.needed_vars.contains("sz"));
+  EXPECT_TRUE(slice.is_retained(*find_stmt(p, ir::StmtKind::kAssign, "sz")));
+  EXPECT_TRUE(slice.is_retained(*find_stmt(p, ir::StmtKind::kFor)));
+  // The kernel inside the now-retained loop is still eliminable.
+  EXPECT_FALSE(slice.is_retained(*find_stmt(p, ir::StmtKind::kCompute)));
+}
+
+}  // namespace
+}  // namespace stgsim::core

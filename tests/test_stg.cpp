@@ -1,0 +1,156 @@
+// Unit tests for static task graph synthesis (paper §2.2): node kinds,
+// process-set guards, symbolic communication mappings and DOT export.
+#include <gtest/gtest.h>
+
+#include "core/stg.hpp"
+#include "ir/builder.hpp"
+
+namespace stgsim::core {
+namespace {
+
+using sym::Expr;
+
+Expr I(std::int64_t v) { return Expr::integer(v); }
+
+ir::Program make_sample_program() {
+  ir::ProgramBuilder b("stg_sample");
+  Expr P = b.get_size("P");
+  Expr myid = b.get_rank("myid");
+  Expr n = b.decl_int("n", I(64));
+  b.decl_array("A", {n});
+
+  ir::KernelSpec k;
+  k.task = "work";
+  k.iters = n * 2;
+  k.flops_per_iter = 3.0;
+  k.writes = {"A"};
+  b.compute(std::move(k));
+
+  b.if_then(sym::gt(myid, I(0)),
+            [&] { b.send("A", myid - 1, n - 2, I(0), 4); });
+  b.if_then(sym::lt(myid, P - 1),
+            [&] { b.recv("A", myid + 1, n - 2, I(0), 4); });
+
+  b.for_loop("t", I(1), I(3), [&](Expr) { b.barrier(); });
+  return b.take();
+}
+
+TEST(Stg, NodeCountsByKind) {
+  Stg stg = synthesize_stg(make_sample_program());
+  EXPECT_EQ(stg.count(StgNodeKind::kCompute), 1u);
+  EXPECT_EQ(stg.count(StgNodeKind::kComm), 3u);  // send, recv, barrier
+  EXPECT_EQ(stg.count(StgNodeKind::kControl), 1u);  // the t-loop
+}
+
+TEST(Stg, RankBranchesBecomeProcessSetGuards) {
+  Stg stg = synthesize_stg(make_sample_program());
+  const StgNode* send = nullptr;
+  for (const auto& n : stg.nodes) {
+    if (n.kind == StgNodeKind::kComm && n.comm_kind == ir::StmtKind::kSend) {
+      send = &n;
+    }
+  }
+  ASSERT_NE(send, nullptr);
+  // Guard is myid > 0: process 0 excluded, others included.
+  sym::MapEnv env;
+  env.set("P", sym::Value(std::int64_t{4}));
+  env.set("myid", sym::Value(std::int64_t{0}));
+  EXPECT_FALSE(send->guard.eval(env).as_bool());
+  env.set("myid", sym::Value(std::int64_t{2}));
+  EXPECT_TRUE(send->guard.eval(env).as_bool());
+}
+
+TEST(Stg, CommEdgePairsSendRecvByTagWithMapping) {
+  Stg stg = synthesize_stg(make_sample_program());
+  ASSERT_EQ(stg.comm_edges.size(), 1u);
+  const StgCommEdge& e = stg.comm_edges[0];
+  EXPECT_EQ(e.tag, 4);
+  sym::MapEnv env;
+  env.set("myid", sym::Value(std::int64_t{5}));
+  EXPECT_EQ(e.mapping.eval_int(env), 4);  // q = p - 1
+}
+
+TEST(Stg, CommNodeCarriesSymbolicByteSize) {
+  Stg stg = synthesize_stg(make_sample_program());
+  for (const auto& n : stg.nodes) {
+    if (n.kind == StgNodeKind::kComm && n.comm_kind == ir::StmtKind::kSend) {
+      sym::MapEnv env;
+      env.set("n", sym::Value(std::int64_t{64}));
+      EXPECT_EQ(n.size_bytes.eval_int(env), (64 - 2) * 8);
+    }
+  }
+}
+
+TEST(Stg, ComputeNodeCarriesScalingFunction) {
+  Stg stg = synthesize_stg(make_sample_program());
+  for (const auto& n : stg.nodes) {
+    if (n.kind != StgNodeKind::kCompute) continue;
+    EXPECT_EQ(n.task, "work");
+    sym::MapEnv env;
+    env.set("n", sym::Value(std::int64_t{10}));
+    EXPECT_EQ(n.scaling.eval_int(env), 20);
+  }
+}
+
+TEST(Stg, LoopNodeNestsItsChildren) {
+  Stg stg = synthesize_stg(make_sample_program());
+  for (const auto& n : stg.nodes) {
+    if (n.kind == StgNodeKind::kControl) {
+      EXPECT_TRUE(n.is_loop);
+      EXPECT_EQ(n.loop_var, "t");
+      ASSERT_EQ(n.children.size(), 1u);
+      EXPECT_EQ(stg.nodes[static_cast<std::size_t>(n.children[0])].comm_kind,
+                ir::StmtKind::kBarrier);
+    }
+  }
+}
+
+TEST(Stg, NodeForStmtFindsSourceMarkers) {
+  ir::Program p = make_sample_program();
+  Stg stg = synthesize_stg(p);
+  ir::for_each_stmt(p, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kCompute) {
+      const StgNode* node = stg.node_for_stmt(s.id);
+      ASSERT_NE(node, nullptr);
+      EXPECT_EQ(node->kind, StgNodeKind::kCompute);
+    }
+  });
+  EXPECT_EQ(stg.node_for_stmt(999999), nullptr);
+}
+
+TEST(Stg, ProceduresAreExpandedInline) {
+  ir::ProgramBuilder b("proc_stg");
+  Expr myid = b.get_rank("myid");
+  b.get_size("P");
+  b.decl_array("A", {I(8)});
+  b.procedure("talk", [&] {
+    b.if_then(sym::gt(myid, I(0)),
+              [&] { b.send("A", myid - 1, I(4), I(0), 1); });
+  });
+  b.call("talk");
+  b.call("talk");
+  Stg stg = synthesize_stg(b.take());
+  // The procedure body appears once per call site.
+  EXPECT_EQ(stg.count(StgNodeKind::kComm), 2u);
+}
+
+TEST(Stg, DotExportContainsTheInterestingPieces) {
+  Stg stg = synthesize_stg(make_sample_program());
+  const std::string dot = stg.to_dot();
+  EXPECT_NE(dot.find("digraph stg"), std::string::npos);
+  EXPECT_NE(dot.find("COMPUTE work"), std::string::npos);
+  EXPECT_NE(dot.find("q = myid - 1"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("DO t"), std::string::npos);
+}
+
+TEST(Stg, SummaryListsTasksAndMappings) {
+  Stg stg = synthesize_stg(make_sample_program());
+  const std::string s = stg.summary();
+  EXPECT_NE(s.find("task work"), std::string::npos);
+  EXPECT_NE(s.find("comm tag 4"), std::string::npos);
+  EXPECT_NE(s.find("{[p] : 0 <= p < P"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stgsim::core

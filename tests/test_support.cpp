@@ -1,0 +1,255 @@
+// Unit tests for the support layer: memory tracking, tables, virtual
+// time, RNG, stats, checks — and the calibration file round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "support/check.hpp"
+#include "support/memtrack.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/vtime.hpp"
+
+namespace stgsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Checks
+// ---------------------------------------------------------------------------
+
+TEST(Check, PassingConditionIsSilent) {
+  STGSIM_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(Check, FailingConditionThrowsWithContext) {
+  try {
+    STGSIM_CHECK_EQ(2 + 2, 5) << "math is hard";
+    FAIL();
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math is hard"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Memory tracking
+// ---------------------------------------------------------------------------
+
+TEST(MemTrack, CurrentAndPeakFollowAllocations) {
+  MemoryTracker t;
+  t.add(100);
+  t.add(50);
+  EXPECT_EQ(t.current_bytes(), 150u);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+  t.remove(100);
+  EXPECT_EQ(t.current_bytes(), 50u);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+  t.add(10);
+  EXPECT_EQ(t.peak_bytes(), 150u);
+}
+
+TEST(MemTrack, CapRejectsAndRollsBack) {
+  MemoryTracker t(100);
+  t.add(80);
+  EXPECT_THROW(t.add(30), MemoryCapExceeded);
+  EXPECT_EQ(t.current_bytes(), 80u);  // failed add rolled back
+  t.add(20);                          // exactly at the cap is fine
+  EXPECT_EQ(t.current_bytes(), 100u);
+}
+
+TEST(MemTrack, CapErrorCarriesNumbers) {
+  MemoryTracker t(64);
+  try {
+    t.add(100);
+    FAIL();
+  } catch (const MemoryCapExceeded& e) {
+    EXPECT_EQ(e.requested_bytes, 100u);
+    EXPECT_EQ(e.cap_bytes, 64u);
+  }
+}
+
+TEST(MemTrack, TrackedBufferChargesForItsLifetime) {
+  MemoryTracker t;
+  {
+    TrackedBuffer buf(&t, 4096);
+    EXPECT_EQ(t.current_bytes(), 4096u);
+    EXPECT_TRUE(buf.valid());
+    // Zero-initialized.
+    EXPECT_EQ(buf.data()[0], 0);
+    EXPECT_EQ(buf.data()[4095], 0);
+  }
+  EXPECT_EQ(t.current_bytes(), 0u);
+  EXPECT_EQ(t.peak_bytes(), 4096u);
+}
+
+TEST(MemTrack, TrackedBufferMoveTransfersOwnership) {
+  MemoryTracker t;
+  TrackedBuffer a(&t, 128);
+  TrackedBuffer b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(t.current_bytes(), 128u);
+  TrackedBuffer c(&t, 64);
+  c = std::move(b);
+  EXPECT_EQ(t.current_bytes(), 128u);  // the 64B buffer was released
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+TEST(Table, AsciiAlignsColumns) {
+  TablePrinter t({"a", "long header"});
+  t.add_row({"1", "x"});
+  t.add_row({"22", "yy"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| a  | long header |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 | yy          |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  TablePrinter t({"name", "note"});
+  t.add_row({"x,y", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt_int(-42), "-42");
+  EXPECT_EQ(TablePrinter::fmt_bytes(512), "512 B");
+  EXPECT_EQ(TablePrinter::fmt_bytes(2048), "2.00 KB");
+  EXPECT_EQ(TablePrinter::fmt_bytes(3 * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(TablePrinter::fmt_percent(0.123, 1), "12.3%");
+}
+
+// ---------------------------------------------------------------------------
+// Virtual time
+// ---------------------------------------------------------------------------
+
+TEST(VTimeTest, ConversionsRoundTrip) {
+  EXPECT_EQ(vtime_from_us(1), 1000);
+  EXPECT_EQ(vtime_from_ms(1), 1000000);
+  EXPECT_EQ(vtime_from_sec(1.0), 1000000000);
+  EXPECT_DOUBLE_EQ(vtime_to_sec(vtime_from_sec(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(vtime_to_us(vtime_from_us(7.0)), 7.0);
+}
+
+TEST(VTimeTest, FormattingPicksUnits) {
+  EXPECT_EQ(vtime_to_string(500), "500 ns");
+  EXPECT_EQ(vtime_to_string(vtime_from_us(1.5)), "1.500 us");
+  EXPECT_EQ(vtime_to_string(vtime_from_ms(2)), "2.000 ms");
+  EXPECT_EQ(vtime_to_string(vtime_from_sec(3)), "3.000 s");
+  EXPECT_EQ(vtime_to_string(kVTimeNever), "never");
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextInIsInclusiveAndCoversRange) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianHasReasonableMoments) {
+  Rng r(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, RelativeErrors) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.10);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), -0.10);
+  EXPECT_DOUBLE_EQ(abs_relative_error(90.0, 100.0), 0.10);
+  EXPECT_THROW(relative_error(1.0, 0.0), CheckError);
+}
+
+TEST(Stats, MeanMaxGeomean) {
+  std::vector<double> xs{1.0, 4.0, 16.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 16.0);
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, RunningStatsTracksStream) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  for (double x : {3.0, 1.0, 2.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 3u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration files
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, SaveLoadRoundTripsAtFullPrecision) {
+  const std::string path = "/tmp/stgsim_params_test.txt";
+  std::map<std::string, double> params{
+      {"w_a", 1.2345678901234567e-8}, {"w_b", 3.25}, {"w_c", 0.0}};
+  core::save_params(path, params);
+  const auto loaded = core::load_params(path);
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.at("w_a"), params.at("w_a"));
+  EXPECT_DOUBLE_EQ(loaded.at("w_b"), 3.25);
+  std::remove(path.c_str());
+}
+
+TEST(Calibration, MissingFileThrows) {
+  EXPECT_THROW(core::load_params("/nonexistent/params.txt"), CheckError);
+}
+
+}  // namespace
+}  // namespace stgsim

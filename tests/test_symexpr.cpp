@@ -1,0 +1,359 @@
+// Unit tests for the symbolic expression library.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "symexpr/expr.hpp"
+
+namespace stgsim::sym {
+namespace {
+
+Expr V(const std::string& n) { return Expr::var(n); }
+Expr I(std::int64_t v) { return Expr::integer(v); }
+
+TEST(SymExpr, ConstantsEvaluate) {
+  MapEnv env;
+  EXPECT_EQ(I(42).eval_int(env), 42);
+  EXPECT_DOUBLE_EQ(Expr::real(2.5).eval_real(env), 2.5);
+}
+
+TEST(SymExpr, VariableLookup) {
+  MapEnv env;
+  env.set("N", Value(std::int64_t{7}));
+  EXPECT_EQ(V("N").eval_int(env), 7);
+}
+
+TEST(SymExpr, UnboundVariableThrows) {
+  MapEnv env;
+  EXPECT_THROW(V("missing").eval(env), EvalError);
+}
+
+TEST(SymExpr, IntegerArithmeticStaysExact) {
+  MapEnv env;
+  Expr e = (I(7) + I(5)) * I(3) - I(4);
+  Value v = e.eval(env);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 32);
+}
+
+TEST(SymExpr, MixedArithmeticPromotesToReal) {
+  MapEnv env;
+  Value v = (I(1) + Expr::real(0.5)).eval(env);
+  EXPECT_FALSE(v.is_int());
+  EXPECT_DOUBLE_EQ(v.as_real(), 1.5);
+}
+
+TEST(SymExpr, TruncatingIntegerDivision) {
+  MapEnv env;
+  EXPECT_EQ(idiv(I(7), I(2)).eval_int(env), 3);
+  EXPECT_EQ(idiv(I(-7), I(2)).eval_int(env), -3);  // C semantics
+  EXPECT_EQ(imod(I(7), I(3)).eval_int(env), 1);
+}
+
+TEST(SymExpr, CeilDiv) {
+  MapEnv env;
+  EXPECT_EQ(ceil_div(I(7), I(2)).eval_int(env), 4);
+  EXPECT_EQ(ceil_div(I(6), I(2)).eval_int(env), 3);
+  EXPECT_EQ(ceil_div(I(0), I(5)).eval_int(env), 0);
+  EXPECT_EQ(ceil_div(I(1), I(5)).eval_int(env), 1);
+}
+
+TEST(SymExpr, DivisionByZeroThrows) {
+  MapEnv env;
+  EXPECT_THROW((I(1) / I(0)).eval(env), EvalError);
+  EXPECT_THROW(idiv(I(1), I(0)).eval(env), EvalError);
+  EXPECT_THROW(imod(I(1), I(0)).eval(env), EvalError);
+}
+
+TEST(SymExpr, MinMax) {
+  MapEnv env;
+  EXPECT_EQ(min(I(3), I(8)).eval_int(env), 3);
+  EXPECT_EQ(max(I(3), I(8)).eval_int(env), 8);
+}
+
+TEST(SymExpr, Comparisons) {
+  MapEnv env;
+  EXPECT_TRUE(lt(I(1), I(2)).eval(env).as_bool());
+  EXPECT_FALSE(gt(I(1), I(2)).eval(env).as_bool());
+  EXPECT_TRUE(le(I(2), I(2)).eval(env).as_bool());
+  EXPECT_TRUE(ge(I(2), I(2)).eval(env).as_bool());
+  EXPECT_TRUE(eq(I(2), I(2)).eval(env).as_bool());
+  EXPECT_TRUE(ne(I(2), I(3)).eval(env).as_bool());
+}
+
+TEST(SymExpr, LogicalOps) {
+  MapEnv env;
+  EXPECT_TRUE(logical_and(I(1), I(1)).eval(env).as_bool());
+  EXPECT_FALSE(logical_and(I(1), I(0)).eval(env).as_bool());
+  EXPECT_TRUE(logical_or(I(0), I(1)).eval(env).as_bool());
+  EXPECT_TRUE(logical_not(I(0)).eval(env).as_bool());
+}
+
+TEST(SymExpr, SelectPicksBranch) {
+  MapEnv env;
+  env.set("x", Value(std::int64_t{5}));
+  Expr e = select(gt(V("x"), I(3)), I(100), I(200));
+  EXPECT_EQ(e.eval_int(env), 100);
+  env.set("x", Value(std::int64_t{1}));
+  EXPECT_EQ(e.eval_int(env), 200);
+}
+
+TEST(SymExpr, SumEvaluatesInclusive) {
+  MapEnv env;
+  // sum_{i=1..4} i = 10
+  EXPECT_EQ(sum("i", I(1), I(4), V("i")).eval_int(env), 10);
+  // empty when hi < lo
+  EXPECT_EQ(sum("i", I(3), I(2), V("i")).eval_int(env), 0);
+}
+
+TEST(SymExpr, SumShadowsOuterVariable) {
+  MapEnv env;
+  env.set("i", Value(std::int64_t{100}));
+  EXPECT_EQ(sum("i", I(1), I(3), V("i")).eval_int(env), 6);
+}
+
+TEST(SymExpr, FreeVarsExcludeSumBoundVar) {
+  Expr e = sum("i", I(1), V("N"), V("i") * V("w"));
+  auto vars = e.free_vars();
+  EXPECT_TRUE(vars.contains("N"));
+  EXPECT_TRUE(vars.contains("w"));
+  EXPECT_FALSE(vars.contains("i"));
+}
+
+TEST(SymExpr, SubstituteReplacesFreeVars) {
+  MapEnv env;
+  Expr e = V("x") + V("y");
+  Expr s = e.substitute({{"x", I(10)}, {"y", I(20)}});
+  EXPECT_EQ(s.eval_int(env), 30);
+}
+
+TEST(SymExpr, SubstituteRespectsSumBinding) {
+  MapEnv env;
+  Expr e = sum("i", I(1), I(3), V("i"));
+  Expr s = e.substitute({{"i", I(99)}});
+  EXPECT_EQ(s.eval_int(env), 6);  // bound i untouched
+}
+
+TEST(SymExpr, SimplifyFoldsConstants) {
+  Expr e = (I(2) + I(3)) * I(4);
+  auto c = e.simplified().constant_value();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->as_int(), 20);
+}
+
+TEST(SymExpr, SimplifyIdentities) {
+  Expr x = V("x");
+  EXPECT_TRUE((x + I(0)).simplified().structurally_equal(x));
+  EXPECT_TRUE((x * I(1)).simplified().structurally_equal(x));
+  EXPECT_TRUE((x * I(0)).simplified().is_constant());
+  EXPECT_TRUE((I(0) + x).simplified().structurally_equal(x));
+  EXPECT_TRUE((x - I(0)).simplified().structurally_equal(x));
+}
+
+TEST(SymExpr, SimplifyConstantSelect) {
+  Expr e = select(I(1), V("a"), V("b"));
+  EXPECT_TRUE(e.simplified().structurally_equal(V("a")));
+}
+
+TEST(SymExpr, ToStringRoundTripReadable) {
+  Expr e = (V("N") - I(2)) * (min(V("N"), V("b") + I(1)) - max(I(2), V("lo")));
+  const std::string s = e.to_string();
+  EXPECT_NE(s.find("N - 2"), std::string::npos);
+  EXPECT_NE(s.find("min("), std::string::npos);
+}
+
+TEST(SymExpr, StructuralEquality) {
+  EXPECT_TRUE((V("a") + I(1)).structurally_equal(V("a") + I(1)));
+  EXPECT_FALSE((V("a") + I(1)).structurally_equal(V("a") + I(2)));
+  EXPECT_FALSE((V("a") + I(1)).structurally_equal(I(1) + V("a")));
+}
+
+TEST(SymExpr, DecomposeAffineBasic) {
+  auto d = decompose_affine(I(3) * V("i") + V("N"), "i");
+  ASSERT_TRUE(d.has_value());
+  MapEnv env;
+  env.set("N", Value(std::int64_t{5}));
+  EXPECT_EQ(d->first.eval_int(env), 3);
+  EXPECT_EQ(d->second.eval_int(env), 5);
+}
+
+TEST(SymExpr, DecomposeAffineRejectsQuadratic) {
+  EXPECT_FALSE(decompose_affine(V("i") * V("i"), "i").has_value());
+}
+
+TEST(SymExpr, DecomposeAffineConstInVar) {
+  auto d = decompose_affine(V("N") * I(7), "i");
+  ASSERT_TRUE(d.has_value());
+  MapEnv env;
+  EXPECT_EQ(d->first.eval_int(env), 0);
+}
+
+TEST(SymExpr, ClosedFormSumMatchesDirectSum) {
+  MapEnv env;
+  env.set("N", Value(std::int64_t{11}));
+  env.set("c", Value(std::int64_t{4}));
+  Expr body = I(3) * V("i") + V("c");
+  auto closed = closed_form_sum("i", I(2), V("N"), body);
+  ASSERT_TRUE(closed.has_value());
+  const double expect = sum("i", I(2), V("N"), body).eval_real(env);
+  EXPECT_NEAR(closed->eval_real(env), expect, 1e-9);
+}
+
+TEST(SymExpr, ClosedFormSumEmptyRange) {
+  MapEnv env;
+  auto closed = closed_form_sum("i", I(5), I(2), V("i"));
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_DOUBLE_EQ(closed->eval_real(env), 0.0);
+}
+
+TEST(SymExpr, ClosedFormSumLoopInvariantBody) {
+  MapEnv env;
+  env.set("N", Value(std::int64_t{10}));
+  auto closed = closed_form_sum("i", I(1), V("N"), V("N") * I(2));
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_NEAR(closed->eval_real(env), 200.0, 1e-9);
+}
+
+TEST(SymExpr, ClosedFormSumRejectsNonAffine) {
+  EXPECT_FALSE(closed_form_sum("i", I(1), I(4), V("i") * V("i")).has_value());
+}
+
+// Property sweep: closed form == direct evaluation over many bounds.
+class ClosedFormSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ClosedFormSweep, AgreesWithDirectEvaluation) {
+  const auto [lo, hi] = GetParam();
+  MapEnv env;
+  env.set("a", Value(std::int64_t{3}));
+  Expr body = V("a") * V("i") + I(7);
+  auto closed = closed_form_sum("i", I(lo), I(hi), body);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_NEAR(closed->eval_real(env),
+              sum("i", I(lo), I(hi), body).eval_real(env), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bounds, ClosedFormSweep,
+    ::testing::Values(std::pair{0, 0}, std::pair{0, 1}, std::pair{1, 100},
+                      std::pair{-5, 5}, std::pair{7, 3}, std::pair{-10, -2},
+                      std::pair{50, 49}, std::pair{1, 1}));
+
+TEST(SymExpr, ValueIntegerCheckOnRealThrows) {
+  Value v(2.5);
+  EXPECT_THROW(v.as_int(), CheckError);
+  Value w(2.0);
+  EXPECT_EQ(w.as_int(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: random expressions
+// ---------------------------------------------------------------------------
+
+/// Random expression generator over a fixed set of positive variables.
+/// Divisor positions are guarded by max(..., 1) so evaluation never hits a
+/// domain error.
+class ExprGen {
+ public:
+  explicit ExprGen(std::uint64_t seed) : rng_(seed) {}
+
+  Expr gen(int depth) {
+    if (depth == 0 || rng_.next_below(4) == 0) {
+      switch (rng_.next_below(3)) {
+        case 0: return I(rng_.next_in(0, 9));
+        case 1: return Expr::real(static_cast<double>(rng_.next_in(0, 20)) / 4.0);
+        default: return V(kVars[rng_.next_below(3)]);
+      }
+    }
+    Expr a = gen(depth - 1);
+    Expr b = gen(depth - 1);
+    switch (rng_.next_below(10)) {
+      case 0: return a + b;
+      case 1: return a - b;
+      case 2: return a * b;
+      case 3: return min(a, b);
+      case 4: return max(a, b);
+      case 5: return select(lt(a, b), a, b);
+      case 6: return select(ge(a, b), a + I(1), b);
+      case 7: return -a;
+      case 8: return a + b * I(2);
+      default: return max(a, I(0)) + max(b, I(0));
+    }
+  }
+
+  sym::MapEnv random_env() {
+    sym::MapEnv env;
+    for (const char* v : kVars) {
+      env.set(v, Value(rng_.next_in(1, 50)));
+    }
+    return env;
+  }
+
+  static constexpr const char* kVars[3] = {"x", "y", "z"};
+
+ private:
+  stgsim::Rng rng_;
+};
+
+class RandomExprs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomExprs, SimplifyPreservesValue) {
+  ExprGen gen(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    Expr e = gen.gen(4);
+    Expr s = e.simplified();
+    for (int j = 0; j < 4; ++j) {
+      auto env = gen.random_env();
+      EXPECT_NEAR(e.eval_real(env), s.eval_real(env), 1e-9)
+          << e.to_string() << "  vs  " << s.to_string();
+    }
+  }
+}
+
+TEST_P(RandomExprs, SubstituteEqualsEnvironmentBinding) {
+  ExprGen gen(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    Expr e = gen.gen(3);
+    auto env = gen.random_env();
+    std::map<std::string, Expr> repl;
+    for (const char* v : ExprGen::kVars) {
+      repl.emplace(v, Expr::constant(*env.lookup(v)));
+    }
+    Expr closed = e.substitute(repl);
+    EXPECT_TRUE(closed.free_vars().empty()) << closed.to_string();
+    sym::MapEnv empty;
+    EXPECT_NEAR(closed.eval_real(empty), e.eval_real(env), 1e-9)
+        << e.to_string();
+  }
+}
+
+TEST_P(RandomExprs, ToStringNeverEmptyAndStable) {
+  ExprGen gen(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    Expr e = gen.gen(3);
+    const std::string s1 = e.to_string();
+    EXPECT_FALSE(s1.empty());
+    EXPECT_EQ(s1, e.to_string());
+  }
+}
+
+TEST_P(RandomExprs, SumOverRandomBodyMatchesManualLoop) {
+  ExprGen gen(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    Expr body = gen.gen(2).substitute({{"z", V("i")}});
+    auto env = gen.random_env();
+    const std::int64_t lo = 1, hi = 7;
+    double manual = 0.0;
+    for (std::int64_t k = lo; k <= hi; ++k) {
+      sym::MapEnv inner = env;
+      inner.set("i", Value(k));
+      manual += body.eval_real(inner);
+    }
+    EXPECT_NEAR(sum("i", I(lo), I(hi), body).eval_real(env), manual, 1e-9)
+        << body.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExprs,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace stgsim::sym

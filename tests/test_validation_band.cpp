@@ -1,0 +1,121 @@
+// Integration guard: the paper's headline claims, asserted as invariants
+// on scaled-down configurations. If a model or compiler change pushes the
+// analytical simulator out of the paper's accuracy envelope, or destroys
+// the memory reduction, these tests fail.
+#include <gtest/gtest.h>
+
+#include "apps/nas_sp.hpp"
+#include "apps/sweep3d.hpp"
+#include "apps/tomcatv.hpp"
+#include "core/compiler.hpp"
+#include "harness/runner.hpp"
+#include "support/stats.hpp"
+
+namespace stgsim {
+namespace {
+
+struct Band {
+  double max_abs_error = 0.17;  // the paper's "at most 17%"
+};
+
+struct TripleResult {
+  double measured_s = 0;
+  double am_s = 0;
+  std::size_t de_bytes = 0;
+  std::size_t am_bytes = 0;
+};
+
+TripleResult run_triple(const ir::Program& prog,
+                        const std::map<std::string, double>& params,
+                        int procs, const harness::MachineSpec& machine) {
+  core::CompileResult compiled = core::compile(prog);
+  harness::RunConfig cfg;
+  cfg.nprocs = procs;
+  cfg.machine = machine;
+
+  TripleResult r;
+  cfg.mode = harness::Mode::kMeasured;
+  auto measured = harness::run_program(prog, cfg);
+  r.measured_s = measured.predicted_seconds();
+
+  cfg.mode = harness::Mode::kDirectExec;
+  r.de_bytes = harness::run_program(prog, cfg).peak_target_bytes;
+
+  cfg.mode = harness::Mode::kAnalytical;
+  cfg.params = params;
+  auto am = harness::run_program(compiled.simplified.program, cfg);
+  r.am_s = am.predicted_seconds();
+  r.am_bytes = am.peak_target_bytes;
+  return r;
+}
+
+class ValidationBand
+    : public ::testing::TestWithParam<int> {};  // process count
+
+TEST_P(ValidationBand, TomcatvStaysInsideThePaperEnvelope) {
+  const int procs = GetParam();
+  const auto machine = harness::ibm_sp_machine();
+  apps::TomcatvConfig cfg;
+  cfg.n = 512;
+  cfg.iterations = 3;
+  ir::Program prog = apps::make_tomcatv(cfg);
+  core::CompileResult compiled = core::compile(prog);
+  const auto params = harness::calibrate(compiled.timer_program, 16, machine,
+                                         compiled.simplified.params);
+
+  auto r = run_triple(prog, params, procs, machine);
+  EXPECT_LT(abs_relative_error(r.am_s, r.measured_s), Band{}.max_abs_error)
+      << "AM " << r.am_s << " vs measured " << r.measured_s << " at "
+      << procs << " procs";
+  EXPECT_GT(r.de_bytes, 20 * r.am_bytes)
+      << "memory reduction collapsed: DE " << r.de_bytes << " vs AM "
+      << r.am_bytes;
+}
+
+TEST_P(ValidationBand, Sweep3DStaysInsideThePaperEnvelope) {
+  const int procs = GetParam();
+  const auto machine = harness::ibm_sp_machine();
+  auto make = [](int nprocs) {
+    apps::Sweep3DConfig cfg;
+    apps::sweep3d_grid_for(nprocs, &cfg.npe_i, &cfg.npe_j);
+    cfg.it = (48 + cfg.npe_i - 1) / cfg.npe_i;
+    cfg.jt = (48 + cfg.npe_j - 1) / cfg.npe_j;
+    cfg.kt = 48;
+    cfg.kb = 12;
+    cfg.mm = 6;
+    cfg.mmi = 3;
+    return apps::make_sweep3d(cfg);
+  };
+  ir::Program calib_prog = make(16);
+  core::CompileResult calib = core::compile(calib_prog);
+  const auto params = harness::calibrate(calib.timer_program, 16, machine,
+                                         calib.simplified.params);
+
+  ir::Program prog = make(procs);
+  auto r = run_triple(prog, params, procs, machine);
+  EXPECT_LT(abs_relative_error(r.am_s, r.measured_s), Band{}.max_abs_error)
+      << "AM " << r.am_s << " vs measured " << r.measured_s;
+}
+
+TEST_P(ValidationBand, NasSpClassCWithClassAParamsStaysInsideEnvelope) {
+  const int procs = GetParam();
+  if (procs == 8) GTEST_SKIP() << "SP needs a square process count";
+  const auto machine = harness::ibm_sp_machine();
+  int q = 1;
+  while ((q + 1) * (q + 1) <= procs) ++q;
+
+  ir::Program class_a = apps::make_nas_sp(apps::sp_class('A', 4, 1));
+  core::CompileResult calib = core::compile(class_a);
+  const auto params = harness::calibrate(calib.timer_program, 16, machine,
+                                         calib.simplified.params);
+
+  ir::Program class_c = apps::make_nas_sp(apps::sp_class('C', q, 1));
+  auto r = run_triple(class_c, params, procs, machine);
+  EXPECT_LT(abs_relative_error(r.am_s, r.measured_s), Band{}.max_abs_error)
+      << "AM " << r.am_s << " vs measured " << r.measured_s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, ValidationBand, ::testing::Values(4, 8, 16));
+
+}  // namespace
+}  // namespace stgsim
