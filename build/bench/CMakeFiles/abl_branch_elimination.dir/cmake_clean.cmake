@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_branch_elimination.dir/abl_branch_elimination.cpp.o"
+  "CMakeFiles/abl_branch_elimination.dir/abl_branch_elimination.cpp.o.d"
+  "abl_branch_elimination"
+  "abl_branch_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_branch_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

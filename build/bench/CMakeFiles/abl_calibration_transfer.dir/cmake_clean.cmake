@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_calibration_transfer.dir/abl_calibration_transfer.cpp.o"
+  "CMakeFiles/abl_calibration_transfer.dir/abl_calibration_transfer.cpp.o.d"
+  "abl_calibration_transfer"
+  "abl_calibration_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_calibration_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_comm_model.dir/abl_comm_model.cpp.o"
+  "CMakeFiles/abl_comm_model.dir/abl_comm_model.cpp.o.d"
+  "abl_comm_model"
+  "abl_comm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_comm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scaling_form.dir/abl_scaling_form.cpp.o"
+  "CMakeFiles/abl_scaling_form.dir/abl_scaling_form.cpp.o.d"
+  "abl_scaling_form"
+  "abl_scaling_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scaling_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_task_time_sources.dir/abl_task_time_sources.cpp.o"
+  "CMakeFiles/abl_task_time_sources.dir/abl_task_time_sources.cpp.o.d"
+  "abl_task_time_sources"
+  "abl_task_time_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_task_time_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_task_time_sources.
+# This may be replaced when dependencies are built.

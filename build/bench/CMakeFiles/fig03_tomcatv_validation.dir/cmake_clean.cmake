@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_tomcatv_validation.dir/fig03_tomcatv_validation.cpp.o"
+  "CMakeFiles/fig03_tomcatv_validation.dir/fig03_tomcatv_validation.cpp.o.d"
+  "fig03_tomcatv_validation"
+  "fig03_tomcatv_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_tomcatv_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sweep3d_validation.dir/fig04_sweep3d_validation.cpp.o"
+  "CMakeFiles/fig04_sweep3d_validation.dir/fig04_sweep3d_validation.cpp.o.d"
+  "fig04_sweep3d_validation"
+  "fig04_sweep3d_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sweep3d_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_sp_classA_validation.dir/fig05_sp_classA_validation.cpp.o"
+  "CMakeFiles/fig05_sp_classA_validation.dir/fig05_sp_classA_validation.cpp.o.d"
+  "fig05_sp_classA_validation"
+  "fig05_sp_classA_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sp_classA_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

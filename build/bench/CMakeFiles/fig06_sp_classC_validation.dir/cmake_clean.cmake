@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sp_classC_validation.dir/fig06_sp_classC_validation.cpp.o"
+  "CMakeFiles/fig06_sp_classC_validation.dir/fig06_sp_classC_validation.cpp.o.d"
+  "fig06_sp_classC_validation"
+  "fig06_sp_classC_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sp_classC_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_sp_classC_validation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_error_summary.dir/fig07_error_summary.cpp.o"
+  "CMakeFiles/fig07_error_summary.dir/fig07_error_summary.cpp.o.d"
+  "fig07_error_summary"
+  "fig07_error_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_error_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

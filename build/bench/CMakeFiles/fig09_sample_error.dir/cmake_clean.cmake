@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sample_error.dir/fig09_sample_error.cpp.o"
+  "CMakeFiles/fig09_sample_error.dir/fig09_sample_error.cpp.o.d"
+  "fig09_sample_error"
+  "fig09_sample_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sample_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sweep3d_scale_small.dir/fig10_sweep3d_scale_small.cpp.o"
+  "CMakeFiles/fig10_sweep3d_scale_small.dir/fig10_sweep3d_scale_small.cpp.o.d"
+  "fig10_sweep3d_scale_small"
+  "fig10_sweep3d_scale_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sweep3d_scale_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_sweep3d_scale_small.
+# This may be replaced when dependencies are built.

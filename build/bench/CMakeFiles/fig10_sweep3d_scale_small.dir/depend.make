@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_sweep3d_scale_small.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sweep3d_scale_large.dir/fig11_sweep3d_scale_large.cpp.o"
+  "CMakeFiles/fig11_sweep3d_scale_large.dir/fig11_sweep3d_scale_large.cpp.o.d"
+  "fig11_sweep3d_scale_large"
+  "fig11_sweep3d_scale_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sweep3d_scale_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sp_absolute_perf.dir/fig12_sp_absolute_perf.cpp.o"
+  "CMakeFiles/fig12_sp_absolute_perf.dir/fig12_sp_absolute_perf.cpp.o.d"
+  "fig12_sp_absolute_perf"
+  "fig12_sp_absolute_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sp_absolute_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tomcatv_absolute_perf.dir/fig13_tomcatv_absolute_perf.cpp.o"
+  "CMakeFiles/fig13_tomcatv_absolute_perf.dir/fig13_tomcatv_absolute_perf.cpp.o.d"
+  "fig13_tomcatv_absolute_perf"
+  "fig13_tomcatv_absolute_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tomcatv_absolute_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_parallel_performance.dir/fig14_parallel_performance.cpp.o"
+  "CMakeFiles/fig14_parallel_performance.dir/fig14_parallel_performance.cpp.o.d"
+  "fig14_parallel_performance"
+  "fig14_parallel_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_parallel_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_am_speedup.dir/fig15_am_speedup.cpp.o"
+  "CMakeFiles/fig15_am_speedup.dir/fig15_am_speedup.cpp.o.d"
+  "fig15_am_speedup"
+  "fig15_am_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_am_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

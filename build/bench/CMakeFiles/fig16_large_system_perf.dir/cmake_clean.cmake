@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_large_system_perf.dir/fig16_large_system_perf.cpp.o"
+  "CMakeFiles/fig16_large_system_perf.dir/fig16_large_system_perf.cpp.o.d"
+  "fig16_large_system_perf"
+  "fig16_large_system_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_large_system_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_memory.dir/table1_memory.cpp.o"
+  "CMakeFiles/table1_memory.dir/table1_memory.cpp.o.d"
+  "table1_memory"
+  "table1_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

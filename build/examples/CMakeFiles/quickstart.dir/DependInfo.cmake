@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/stgsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stgsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/stgsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/stgsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/symexpr/CMakeFiles/stgsim_symexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/smpi/CMakeFiles/stgsim_smpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stgsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stgsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/stgsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stgsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

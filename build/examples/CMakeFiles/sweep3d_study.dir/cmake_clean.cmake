@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep3d_study.dir/sweep3d_study.cpp.o"
+  "CMakeFiles/sweep3d_study.dir/sweep3d_study.cpp.o.d"
+  "sweep3d_study"
+  "sweep3d_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep3d_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

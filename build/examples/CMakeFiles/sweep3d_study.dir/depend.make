@@ -1,0 +1,2 @@
+# Empty dependencies file for sweep3d_study.
+# This may be replaced when dependencies are built.

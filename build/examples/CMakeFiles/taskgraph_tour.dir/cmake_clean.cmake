@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskgraph_tour.dir/taskgraph_tour.cpp.o"
+  "CMakeFiles/taskgraph_tour.dir/taskgraph_tour.cpp.o.d"
+  "taskgraph_tour"
+  "taskgraph_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskgraph_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("symexpr")
+subdirs("sim")
+subdirs("net")
+subdirs("machine")
+subdirs("smpi")
+subdirs("ir")
+subdirs("core")
+subdirs("apps")
+subdirs("harness")
+subdirs("cli")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgsim_apps.dir/nas_sp.cpp.o"
+  "CMakeFiles/stgsim_apps.dir/nas_sp.cpp.o.d"
+  "CMakeFiles/stgsim_apps.dir/sample.cpp.o"
+  "CMakeFiles/stgsim_apps.dir/sample.cpp.o.d"
+  "CMakeFiles/stgsim_apps.dir/sweep3d.cpp.o"
+  "CMakeFiles/stgsim_apps.dir/sweep3d.cpp.o.d"
+  "CMakeFiles/stgsim_apps.dir/tomcatv.cpp.o"
+  "CMakeFiles/stgsim_apps.dir/tomcatv.cpp.o.d"
+  "libstgsim_apps.a"
+  "libstgsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgsim.dir/stgsim_cli.cpp.o"
+  "CMakeFiles/stgsim.dir/stgsim_cli.cpp.o.d"
+  "stgsim"
+  "stgsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

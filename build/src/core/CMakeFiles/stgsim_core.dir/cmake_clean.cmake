@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgsim_core.dir/calibration.cpp.o"
+  "CMakeFiles/stgsim_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/stgsim_core.dir/codegen.cpp.o"
+  "CMakeFiles/stgsim_core.dir/codegen.cpp.o.d"
+  "CMakeFiles/stgsim_core.dir/compiler.cpp.o"
+  "CMakeFiles/stgsim_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/stgsim_core.dir/dtg.cpp.o"
+  "CMakeFiles/stgsim_core.dir/dtg.cpp.o.d"
+  "CMakeFiles/stgsim_core.dir/slice.cpp.o"
+  "CMakeFiles/stgsim_core.dir/slice.cpp.o.d"
+  "CMakeFiles/stgsim_core.dir/stg.cpp.o"
+  "CMakeFiles/stgsim_core.dir/stg.cpp.o.d"
+  "libstgsim_core.a"
+  "libstgsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

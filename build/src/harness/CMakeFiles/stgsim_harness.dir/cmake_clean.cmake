@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgsim_harness.dir/runner.cpp.o"
+  "CMakeFiles/stgsim_harness.dir/runner.cpp.o.d"
+  "libstgsim_harness.a"
+  "libstgsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgsim_ir.dir/builder.cpp.o"
+  "CMakeFiles/stgsim_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/stgsim_ir.dir/interp.cpp.o"
+  "CMakeFiles/stgsim_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/stgsim_ir.dir/program.cpp.o"
+  "CMakeFiles/stgsim_ir.dir/program.cpp.o.d"
+  "libstgsim_ir.a"
+  "libstgsim_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgsim_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgsim_machine.dir/compute.cpp.o"
+  "CMakeFiles/stgsim_machine.dir/compute.cpp.o.d"
+  "libstgsim_machine.a"
+  "libstgsim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgsim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstgsim_machine.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgsim_net.dir/network.cpp.o"
+  "CMakeFiles/stgsim_net.dir/network.cpp.o.d"
+  "libstgsim_net.a"
+  "libstgsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

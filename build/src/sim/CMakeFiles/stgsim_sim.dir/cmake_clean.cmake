@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgsim_sim.dir/engine.cpp.o"
+  "CMakeFiles/stgsim_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/stgsim_sim.dir/fiber.cpp.o"
+  "CMakeFiles/stgsim_sim.dir/fiber.cpp.o.d"
+  "libstgsim_sim.a"
+  "libstgsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

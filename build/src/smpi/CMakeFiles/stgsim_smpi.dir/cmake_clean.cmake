@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgsim_smpi.dir/smpi.cpp.o"
+  "CMakeFiles/stgsim_smpi.dir/smpi.cpp.o.d"
+  "libstgsim_smpi.a"
+  "libstgsim_smpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgsim_smpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgsim_support.dir/check.cpp.o"
+  "CMakeFiles/stgsim_support.dir/check.cpp.o.d"
+  "CMakeFiles/stgsim_support.dir/table.cpp.o"
+  "CMakeFiles/stgsim_support.dir/table.cpp.o.d"
+  "CMakeFiles/stgsim_support.dir/vtime.cpp.o"
+  "CMakeFiles/stgsim_support.dir/vtime.cpp.o.d"
+  "libstgsim_support.a"
+  "libstgsim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgsim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgsim_symexpr.dir/expr.cpp.o"
+  "CMakeFiles/stgsim_symexpr.dir/expr.cpp.o.d"
+  "libstgsim_symexpr.a"
+  "libstgsim_symexpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgsim_symexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stgsim_symexpr.
+# This may be replaced when dependencies are built.

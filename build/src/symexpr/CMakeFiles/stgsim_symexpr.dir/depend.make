@@ -1,0 +1,2 @@
+# Empty dependencies file for stgsim_symexpr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_codegen.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_codegen.cpp.o.d"
+  "/root/repo/tests/test_dtg.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_dtg.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_dtg.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_net_machine.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_net_machine.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_net_machine.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_program.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_program.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_program.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_slice.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_slice.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_slice.cpp.o.d"
+  "/root/repo/tests/test_smpi.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_smpi.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_smpi.cpp.o.d"
+  "/root/repo/tests/test_stg.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_stg.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_stg.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_symexpr.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_symexpr.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_symexpr.cpp.o.d"
+  "/root/repo/tests/test_validation_band.cpp" "tests/CMakeFiles/stgsim_tests.dir/test_validation_band.cpp.o" "gcc" "tests/CMakeFiles/stgsim_tests.dir/test_validation_band.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/stgsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stgsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/stgsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/stgsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/symexpr/CMakeFiles/stgsim_symexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/smpi/CMakeFiles/stgsim_smpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stgsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stgsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/stgsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/stgsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

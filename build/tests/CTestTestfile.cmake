@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stgsim_tests[1]_include.cmake")
+add_test(cli_list_apps "/root/repo/build/src/cli/stgsim" "list-apps")
+set_tests_properties(cli_list_apps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_compile "/root/repo/build/src/cli/stgsim" "compile" "--app" "tomcatv" "--n" "128" "--procs" "4")
+set_tests_properties(cli_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_compile_sp_stg "/root/repo/build/src/cli/stgsim" "compile" "--app" "nas_sp" "--class" "A" "--procs" "9" "--dump-stg" "/root/repo/build/sp_stg.dot" "--print-simplified")
+set_tests_properties(cli_compile_sp_stg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_de "/root/repo/build/src/cli/stgsim" "run" "--app" "sample" "--procs" "4" "--mode" "de" "--iters" "3" "--work" "2000")
+set_tests_properties(cli_run_de PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_measured "/root/repo/build/src/cli/stgsim" "run" "--app" "sweep3d" "--procs" "4" "--mode" "measured" "--kt" "36" "--kb" "12")
+set_tests_properties(cli_run_measured PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_am "/root/repo/build/src/cli/stgsim" "run" "--app" "tomcatv" "--n" "128" "--iters" "2" "--procs" "8" "--mode" "am" "--calib" "4")
+set_tests_properties(cli_run_am PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_am_abstract "/root/repo/build/src/cli/stgsim" "run" "--app" "nas_sp" "--class" "A" "--procs" "4" "--mode" "am" "--calib" "4" "--abstract-comm")
+set_tests_properties(cli_run_am_abstract PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_flag "/root/repo/build/src/cli/stgsim" "run" "--app" "tomcatv" "--procs" "4" "--mode" "de" "--bogus" "1")
+set_tests_properties(cli_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_app "/root/repo/build/src/cli/stgsim" "run" "--app" "nope" "--procs" "4")
+set_tests_properties(cli_rejects_unknown_app PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;47;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_custom_app "/root/repo/build/examples/custom_app")
+set_tests_properties(example_custom_app PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_taskgraph_tour "/root/repo/build/examples/taskgraph_tour")
+set_tests_properties(example_taskgraph_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;49;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_dump_dtg "/root/repo/build/src/cli/stgsim" "compile" "--app" "tomcatv" "--n" "128" "--iters" "1" "--procs" "4" "--dump-dtg" "/root/repo/build/tc_dtg.dot")
+set_tests_properties(cli_dump_dtg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;50;add_test;/root/repo/tests/CMakeLists.txt;0;")
