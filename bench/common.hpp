@@ -103,7 +103,7 @@ inline ValidationPoint validate_point(
 /// re-expresses them as if the simulator ran on target-era nodes. This is
 /// a single measured ratio per run — not a fit to the paper's numbers.
 inline double era_factor(const ValidationPoint& p) {
-  STGSIM_CHECK(p.de.has_value() && !p.de->out_of_memory);
+  STGSIM_CHECK(p.de.has_value() && p.de->ok());
   const double virtual_compute =
       vtime_to_sec(p.de->stats.compute_time) * p.procs;
   // Normalize against the DE run's *traced* execution time (the same
@@ -126,13 +126,14 @@ inline simk::HostModel era_host_model(const ValidationPoint& p) {
 
 inline std::string cell_time(const std::optional<harness::RunOutcome>& o) {
   if (!o.has_value()) return "-";
-  if (o->out_of_memory) return "OOM";
+  if (o->out_of_memory()) return "OOM";
+  if (!o->ok()) return harness::run_status_name(o->status);
   return TablePrinter::fmt(o->predicted_seconds(), 3);
 }
 
 inline std::string cell_err(const std::optional<harness::RunOutcome>& o,
                             const std::optional<harness::RunOutcome>& ref) {
-  if (!o || !ref || o->out_of_memory || ref->out_of_memory) return "-";
+  if (!o || !ref || !o->ok() || !ref->ok()) return "-";
   return TablePrinter::fmt_percent(
       relative_error(o->predicted_seconds(), ref->predicted_seconds()));
 }
@@ -154,8 +155,7 @@ inline void print_validation_table(const std::string& fig,
 
   RunningStats am_err;
   for (const auto& p : points) {
-    if (p.am && p.measured && !p.am->out_of_memory &&
-        !p.measured->out_of_memory) {
+    if (p.am && p.measured && p.am->ok() && p.measured->ok()) {
       am_err.add(abs_relative_error(p.am->predicted_seconds(),
                                     p.measured->predicted_seconds()));
     }

@@ -47,7 +47,7 @@ int main() {
     auto p = benchx::validate_point(make, procs, machine, params, opts);
     t.add_row({TablePrinter::fmt_int(procs), benchx::cell_time(p.measured),
                benchx::cell_time(p.de), benchx::cell_time(p.am),
-               p.de->out_of_memory
+               p.de->out_of_memory()
                    ? ">256MB (OOM)"
                    : TablePrinter::fmt_bytes(p.de->peak_target_bytes),
                TablePrinter::fmt_bytes(p.am->peak_target_bytes)});

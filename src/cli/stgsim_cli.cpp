@@ -8,11 +8,21 @@
 //              [--machine sp|origin2000] [--calib N]
 //              [--load-params f] [--save-params f]
 //              [--threads N] [--abstract-comm] [--memory-cap-mb M]
-//              [--seed S]
+//              [--seed S] [--fault SPEC]
+//              [--max-vtime-sec T] [--max-messages N] [--max-host-sec T]
+//
+// --fault injects a deterministic fault plan (see src/fault/fault.hpp for
+// the clause syntax); the --max-* flags bound pathological runs, which then
+// exit with a structured outcome instead of hanging.
+//
+// Exit codes: 0 ok, 2 out_of_memory, 3 deadlock, 4 budget_exceeded,
+// 5 internal_error (1 = usage/configuration errors).
 //
 // Examples:
 //   stgsim run --app tomcatv --n 1024 --procs 64 --mode am
 //   stgsim run --app sweep3d --kt 1000 --procs 10000 --mode am --calib 16
+//   stgsim run --app sweep3d --procs 4 --mode de \
+//       --fault "link:src=0,dst=1,latency=4,bandwidth=0.25;straggler:rank=2,factor=2"
 //   stgsim compile --app nas_sp --class A --procs 16 --dump-stg sp.dot
 #include <fstream>
 #include <iostream>
@@ -27,6 +37,7 @@
 #include "core/calibration.hpp"
 #include "core/compiler.hpp"
 #include "core/dtg.hpp"
+#include "fault/fault.hpp"
 #include "harness/runner.hpp"
 #include "support/table.hpp"
 
@@ -65,6 +76,13 @@ class Args {
     if (it == values_.end()) return dflt;
     seen_[key] = true;
     return std::stoll(it->second);
+  }
+
+  double real(const std::string& key, double dflt) {
+    auto it = values_.find(key);
+    if (it == values_.end()) return dflt;
+    seen_[key] = true;
+    return std::stod(it->second);
   }
 
   bool flag(const std::string& key) {
@@ -213,6 +231,11 @@ int cmd_run(Args& args) {
   cfg.seed = static_cast<std::uint64_t>(args.num("seed", 20260704));
   cfg.fiber_stack_bytes =
       static_cast<std::size_t>(args.num("stack-kb", 256)) * 1024;
+  const std::string fault_spec = args.str("fault", "");
+  if (!fault_spec.empty()) cfg.faults = fault::parse_fault_plan(fault_spec);
+  cfg.max_virtual_time = vtime_from_sec(args.real("max-vtime-sec", 0.0));
+  cfg.max_messages = static_cast<std::uint64_t>(args.num("max-messages", 0));
+  cfg.max_host_seconds = args.real("max-host-sec", 0.0);
 
   harness::RunOutcome out;
   if (mode_str == "measured" || mode_str == "de") {
@@ -256,13 +279,20 @@ int cmd_run(Args& args) {
                              "' (measured|de|am)");
   }
 
-  if (out.out_of_memory) {
-    std::cout << "OUT OF MEMORY: the run exceeded the configured cap\n";
-    return 2;
+  if (!out.ok()) {
+    std::cout << "RUN FAILED [" << harness::run_status_name(out.status)
+              << "]: " << out.diagnostic << '\n';
+    switch (out.status) {
+      case harness::RunStatus::kOutOfMemory: return 2;
+      case harness::RunStatus::kDeadlock: return 3;
+      case harness::RunStatus::kBudgetExceeded: return 4;
+      default: return 5;
+    }
   }
   TablePrinter t({"quantity", "value"});
   t.add_row({"app", app});
   t.add_row({"mode", mode_str});
+  t.add_row({"outcome", harness::run_status_name(out.status)});
   t.add_row({"target processes", TablePrinter::fmt_int(procs)});
   t.add_row({"predicted time", vtime_to_string(out.predicted_time)});
   t.add_row({"target data (peak)", TablePrinter::fmt_bytes(out.peak_target_bytes)});

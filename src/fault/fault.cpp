@@ -1,0 +1,300 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace stgsim::fault {
+
+namespace {
+
+bool rank_matches(int selector, int rank) {
+  return selector == kAnyRank || selector == rank;
+}
+
+/// Formats a VTime window bound as fractional seconds for to_string().
+void append_window(std::ostringstream& os, const Window& w) {
+  if (w.from != 0) os << ",from=" << vtime_to_sec(w.from);
+  if (w.until != kVTimeNever) os << ",until=" << vtime_to_sec(w.until);
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  for (const auto& l : links) {
+    STGSIM_CHECK_GE(l.latency_factor, 1.0)
+        << "link latency factor must be >= 1 (faults only degrade)";
+    STGSIM_CHECK(l.bandwidth_factor > 0.0 && l.bandwidth_factor <= 1.0)
+        << "link bandwidth factor must be in (0, 1]";
+    STGSIM_CHECK_LE(l.window.from, l.window.until) << "empty link window";
+  }
+  for (const auto& s : stragglers) {
+    STGSIM_CHECK_GE(s.factor, 1.0) << "straggler factor must be >= 1";
+    STGSIM_CHECK_LE(s.window.from, s.window.until) << "empty straggler window";
+  }
+  for (const auto& b : brownouts) {
+    STGSIM_CHECK(b.injection_factor > 0.0 && b.injection_factor <= 1.0)
+        << "brownout injection factor must be in (0, 1]";
+    STGSIM_CHECK_LE(b.window.from, b.window.until) << "empty brownout window";
+  }
+  STGSIM_CHECK(eager_drop.drop_prob >= 0.0 && eager_drop.drop_prob < 1.0)
+      << "drop probability must be in [0, 1)";
+  STGSIM_CHECK_GE(eager_drop.backoff_factor, 1.0)
+      << "retransmission backoff must be >= 1";
+  STGSIM_CHECK_GE(eager_drop.max_retries, 0);
+  if (eager_drop.enabled()) {
+    STGSIM_CHECK_GT(eager_drop.retransmit_timeout, 0)
+        << "retransmission timeout must be positive";
+  }
+}
+
+double FaultPlan::latency_factor(int src, int dst, VTime t) const {
+  double f = 1.0;
+  for (const auto& l : links) {
+    if (rank_matches(l.src, src) && rank_matches(l.dst, dst) &&
+        l.window.contains(t)) {
+      f *= l.latency_factor;
+    }
+  }
+  return f;
+}
+
+double FaultPlan::bandwidth_factor(int src, int dst, VTime t) const {
+  double f = 1.0;
+  for (const auto& l : links) {
+    if (rank_matches(l.src, src) && rank_matches(l.dst, dst) &&
+        l.window.contains(t)) {
+      f *= l.bandwidth_factor;
+    }
+  }
+  return f;
+}
+
+double FaultPlan::injection_factor(int rank, VTime t) const {
+  double f = 1.0;
+  for (const auto& b : brownouts) {
+    if (rank_matches(b.rank, rank) && b.window.contains(t)) {
+      f *= b.injection_factor;
+    }
+  }
+  return f;
+}
+
+double FaultPlan::compute_factor(int rank, VTime t) const {
+  double f = 1.0;
+  for (const auto& s : stragglers) {
+    if (rank_matches(s.rank, rank) && s.window.contains(t)) f *= s.factor;
+  }
+  return f;
+}
+
+VTime FaultPlan::stretch_compute(int rank, VTime start, VTime work) const {
+  if (stragglers.empty() || work <= 0) return work;
+
+  // Earliest window edge strictly after t for this rank (kVTimeNever when
+  // the factor is constant from t on).
+  auto next_boundary = [&](VTime t) {
+    VTime b = kVTimeNever;
+    for (const auto& s : stragglers) {
+      if (!rank_matches(s.rank, rank)) continue;
+      if (s.window.from > t) b = std::min(b, s.window.from);
+      if (s.window.until > t && s.window.until != kVTimeNever) {
+        b = std::min(b, s.window.until);
+      }
+    }
+    return b;
+  };
+
+  VTime t = start;
+  double remaining = static_cast<double>(work);  // work still to run, in ns
+  double elapsed = 0.0;                          // stretched virtual time
+  while (remaining > 0.5) {
+    const double f = compute_factor(rank, t);
+    const VTime boundary = next_boundary(t);
+    if (boundary == kVTimeNever || remaining * f <=
+                                       static_cast<double>(boundary - t)) {
+      elapsed += remaining * f;
+      break;
+    }
+    // Consume the span up to the boundary at the current factor.
+    const double span = static_cast<double>(boundary - t);
+    elapsed += span;
+    remaining -= span / f;
+    t = boundary;
+  }
+  return static_cast<VTime>(elapsed + 0.5);
+}
+
+int FaultPlan::draw_eager_drops(Rng& rng) const {
+  if (!eager_drop.enabled()) return 0;
+  int drops = 0;
+  while (drops < eager_drop.max_retries &&
+         rng.next_double() < eager_drop.drop_prob) {
+    ++drops;
+  }
+  return drops;
+}
+
+VTime FaultPlan::retransmission_delay(int drops) const {
+  double delay = 0.0;
+  double timeout = static_cast<double>(eager_drop.retransmit_timeout);
+  for (int i = 0; i < drops; ++i) {
+    delay += timeout;
+    timeout *= eager_drop.backoff_factor;
+  }
+  return static_cast<VTime>(delay + 0.5);
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ';';
+    first = false;
+  };
+  for (const auto& l : links) {
+    sep();
+    os << "link:src=" << l.src << ",dst=" << l.dst
+       << ",latency=" << l.latency_factor
+       << ",bandwidth=" << l.bandwidth_factor;
+    append_window(os, l.window);
+  }
+  for (const auto& s : stragglers) {
+    sep();
+    os << "straggler:rank=" << s.rank << ",factor=" << s.factor;
+    append_window(os, s.window);
+  }
+  for (const auto& b : brownouts) {
+    sep();
+    os << "brownout:rank=" << b.rank << ",injection=" << b.injection_factor;
+    append_window(os, b.window);
+  }
+  if (eager_drop.enabled()) {
+    sep();
+    os << "drop:prob=" << eager_drop.drop_prob
+       << ",timeout=" << vtime_to_sec(eager_drop.retransmit_timeout)
+       << ",backoff=" << eager_drop.backoff_factor
+       << ",retries=" << eager_drop.max_retries;
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void parse_error(const std::string& clause,
+                              const std::string& why) {
+  throw std::runtime_error("bad fault clause '" + clause + "': " + why);
+}
+
+/// Splits "key=value,key=value" into pairs; every value must be numeric.
+std::vector<std::pair<std::string, double>> parse_kvs(
+    const std::string& clause, const std::string& body) {
+  std::vector<std::pair<std::string, double>> kvs;
+  std::istringstream is(body);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const auto pos = item.find('=');
+    if (pos == std::string::npos || pos == 0) {
+      parse_error(clause, "expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, pos);
+    const std::string val = item.substr(pos + 1);
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(val, &used);
+      if (used != val.size()) throw std::invalid_argument(val);
+      kvs.emplace_back(key, v);
+    } catch (const std::exception&) {
+      parse_error(clause, "non-numeric value for '" + key + "'");
+    }
+  }
+  return kvs;
+}
+
+Window take_window(std::vector<std::pair<std::string, double>>& kvs) {
+  Window w;
+  for (auto it = kvs.begin(); it != kvs.end();) {
+    if (it->first == "from") {
+      w.from = vtime_from_sec(it->second);
+      it = kvs.erase(it);
+    } else if (it->first == "until") {
+      w.until = vtime_from_sec(it->second);
+      it = kvs.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return w;
+}
+
+double take(std::vector<std::pair<std::string, double>>& kvs,
+            const std::string& key, double dflt) {
+  for (auto it = kvs.begin(); it != kvs.end(); ++it) {
+    if (it->first == key) {
+      const double v = it->second;
+      kvs.erase(it);
+      return v;
+    }
+  }
+  return dflt;
+}
+
+void expect_consumed(const std::string& clause,
+                     const std::vector<std::pair<std::string, double>>& kvs) {
+  if (!kvs.empty()) parse_error(clause, "unknown key '" + kvs.front().first + "'");
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream is(spec);
+  std::string clause;
+  while (std::getline(is, clause, ';')) {
+    if (clause.empty()) continue;
+    const auto colon = clause.find(':');
+    if (colon == std::string::npos) {
+      parse_error(clause, "expected kind:key=value,...");
+    }
+    const std::string kind = clause.substr(0, colon);
+    auto kvs = parse_kvs(clause, clause.substr(colon + 1));
+    if (kind == "link") {
+      LinkDegradation l;
+      l.window = take_window(kvs);
+      l.src = static_cast<int>(take(kvs, "src", kAnyRank));
+      l.dst = static_cast<int>(take(kvs, "dst", kAnyRank));
+      l.latency_factor = take(kvs, "latency", 1.0);
+      l.bandwidth_factor = take(kvs, "bandwidth", 1.0);
+      expect_consumed(clause, kvs);
+      plan.links.push_back(l);
+    } else if (kind == "straggler") {
+      ComputeSlowdown s;
+      s.window = take_window(kvs);
+      s.rank = static_cast<int>(take(kvs, "rank", kAnyRank));
+      s.factor = take(kvs, "factor", 1.0);
+      expect_consumed(clause, kvs);
+      plan.stragglers.push_back(s);
+    } else if (kind == "brownout") {
+      NicBrownout b;
+      b.window = take_window(kvs);
+      b.rank = static_cast<int>(take(kvs, "rank", kAnyRank));
+      b.injection_factor = take(kvs, "injection", 1.0);
+      expect_consumed(clause, kvs);
+      plan.brownouts.push_back(b);
+    } else if (kind == "drop") {
+      plan.eager_drop.drop_prob = take(kvs, "prob", 0.0);
+      plan.eager_drop.retransmit_timeout =
+          vtime_from_sec(take(kvs, "timeout", 500e-6));
+      plan.eager_drop.backoff_factor = take(kvs, "backoff", 2.0);
+      plan.eager_drop.max_retries = static_cast<int>(take(kvs, "retries", 8));
+      expect_consumed(clause, kvs);
+    } else {
+      parse_error(clause, "unknown fault kind '" + kind + "'");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace stgsim::fault

@@ -13,6 +13,17 @@ const char* mode_name(Mode m) {
   return "?";
 }
 
+const char* run_status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kOutOfMemory: return "out_of_memory";
+    case RunStatus::kDeadlock: return "deadlock";
+    case RunStatus::kBudgetExceeded: return "budget_exceeded";
+    case RunStatus::kInternalError: return "internal_error";
+  }
+  return "?";
+}
+
 MachineSpec ibm_sp_machine() {
   MachineSpec m;
   m.name = "IBM SP";
@@ -48,6 +59,7 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
   if (config.abstract_comm) {
     wopts.comm_fidelity = smpi::World::Options::CommFidelity::kAbstract;
   }
+  wopts.faults = config.faults;
 
   smpi::World world(wopts, config.nprocs);
   for (const auto& [k, v] : config.params) world.set_param(k, v);
@@ -58,6 +70,9 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
   ec.fiber_stack_bytes = config.fiber_stack_bytes;
   ec.seed = config.seed;
   ec.record_host_trace = config.record_host_trace;
+  ec.max_virtual_time = config.max_virtual_time;
+  ec.max_messages = config.max_messages;
+  ec.max_host_seconds = config.max_host_seconds;
   if (config.threads > 0) {
     ec.host_workers = config.threads;
     ec.use_threads = true;
@@ -88,9 +103,22 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
     out.messages = rr.messages_delivered;
     out.stats = world.aggregate_stats();
     if (config.record_host_trace) out.host_trace = engine.host_trace();
-  } catch (const MemoryCapExceeded&) {
-    out.out_of_memory = true;
+  } catch (const MemoryCapExceeded& e) {
+    out.status = RunStatus::kOutOfMemory;
+    out.diagnostic = e.what();
     out.peak_target_bytes = engine.memory().peak_bytes();
+  } catch (const simk::DeadlockError& e) {
+    out.status = RunStatus::kDeadlock;
+    out.diagnostic = e.what();
+  } catch (const simk::BudgetExceededError& e) {
+    out.status = RunStatus::kBudgetExceeded;
+    out.diagnostic = std::string(simk::budget_kind_name(e.kind())) +
+                     " budget: " + e.what();
+  } catch (const std::exception& e) {
+    // Anything else is a defect in the *target* program (or a model check
+    // it tripped); the simulator itself stays alive and reports it.
+    out.status = RunStatus::kInternalError;
+    out.diagnostic = e.what();
   }
   return out;
 }
@@ -106,7 +134,9 @@ std::map<std::string, double> calibrate(
   cfg.mode = Mode::kMeasured;
   cfg.seed = seed;
   RunOutcome out = run_program(timer_program, cfg, &timers);
-  STGSIM_CHECK(!out.out_of_memory) << "calibration run exceeded memory cap";
+  STGSIM_CHECK(out.ok()) << "calibration run failed ("
+                         << run_status_name(out.status)
+                         << "): " << out.diagnostic;
   auto params = timers.to_params();
   for (const auto& name : required_params) {
     params.emplace(name, 0.0);  // unmeasured task: never ran at calibration
@@ -125,7 +155,9 @@ std::map<std::string, double> estimate_params(
   cfg.seed = seed;
   RunOutcome out =
       run_program(original, cfg, nullptr, nullptr, &meta);
-  STGSIM_CHECK(!out.out_of_memory) << "estimation run exceeded memory cap";
+  STGSIM_CHECK(out.ok()) << "estimation run failed ("
+                         << run_status_name(out.status)
+                         << "): " << out.diagnostic;
 
   std::map<std::string, double> params;
   for (const auto& [task, m] : meta.records()) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "ir/interp.hpp"
 #include "ir/program.hpp"
 #include "machine/compute.hpp"
@@ -72,10 +73,39 @@ struct RunConfig {
 
   std::size_t fiber_stack_bytes = 256 * 1024;
   std::uint64_t seed = 20260704;
+
+  /// Deterministic fault schedule injected into the run (empty = healthy
+  /// machine). Same seed + same plan ⇒ identical RunOutcome under both the
+  /// sequential and threaded conservative schedulers.
+  fault::FaultPlan faults;
+
+  // Run budgets (0 = unlimited); exceeding one yields kBudgetExceeded.
+  VTime max_virtual_time = 0;
+  std::uint64_t max_messages = 0;
+  double max_host_seconds = 0.0;
 };
 
+/// How a run ended. Every run — including pathological target programs and
+/// fault-degraded ones — produces a reportable RunOutcome with one of
+/// these statuses instead of crashing or hanging the simulator.
+enum class RunStatus {
+  kOk,
+  kOutOfMemory,     ///< simulated data exceeded RunConfig::memory_cap_bytes
+  kDeadlock,        ///< every unfinished rank blocked with nothing in flight
+  kBudgetExceeded,  ///< a RunConfig::max_* budget fired
+  kInternalError,   ///< target program error (e.g. buffer overrun check)
+};
+
+const char* run_status_name(RunStatus s);
+
 struct RunOutcome {
-  bool out_of_memory = false;
+  RunStatus status = RunStatus::kOk;
+  /// Human-readable failure description (empty when status == kOk).
+  std::string diagnostic;
+
+  bool ok() const { return status == RunStatus::kOk; }
+  bool out_of_memory() const { return status == RunStatus::kOutOfMemory; }
+
   VTime predicted_time = 0;  ///< target program execution time (max rank)
   double predicted_seconds() const { return vtime_to_sec(predicted_time); }
   std::vector<VTime> per_rank;
@@ -89,8 +119,10 @@ struct RunOutcome {
   int nprocs = 0;
 };
 
-/// Executes `prog` under `config`; never throws for memory-cap overruns
-/// (reported in the outcome). The instrumentation hooks may be null.
+/// Executes `prog` under `config`. Never throws for conditions arising in
+/// the *target* program or machine — memory-cap overruns, deadlocks,
+/// budget violations, and target-program errors are all reported through
+/// RunOutcome::status. The instrumentation hooks may be null.
 RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
                        ir::TimerRecorder* timers = nullptr,
                        ir::BranchProfiler* branches = nullptr,

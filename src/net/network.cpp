@@ -34,15 +34,34 @@ Network::Network(const NetworkParams& params, int nranks) : params_(params) {
   }
 }
 
+void Network::set_fault_plan(const fault::FaultPlan& plan) {
+  plan.validate();
+  faults_ = plan;
+  has_faults_ = !plan.empty();
+}
+
 VTime Network::wire_time(std::size_t bytes) const {
   return params_.latency +
          vtime_from_sec(static_cast<double>(bytes) / params_.bytes_per_sec);
 }
 
-VTime Network::arrival(int src, VTime ready, std::size_t bytes, Rng& rng) {
+VTime Network::arrival(int src, int dst, VTime ready, std::size_t bytes,
+                       Rng& rng, TransferKind kind) {
   VTime start = ready;
+
+  // Effective link parameters at injection time. Degradation factors are
+  // sampled once, at `ready` — a transfer straddling a window boundary uses
+  // the conditions under which it was injected.
+  VTime latency = params_.latency;
+  double bytes_per_sec = params_.bytes_per_sec;
+  if (has_faults_) {
+    latency = vtime_from_sec(vtime_to_sec(latency) *
+                             faults_.latency_factor(src, dst, ready));
+    bytes_per_sec *= faults_.bandwidth_factor(src, dst, ready);
+    bytes_per_sec *= faults_.injection_factor(src, ready);
+  }
   const VTime serialize =
-      vtime_from_sec(static_cast<double>(bytes) / params_.bytes_per_sec);
+      vtime_from_sec(static_cast<double>(bytes) / bytes_per_sec);
 
   if (params_.model_contention) {
     auto& nic = nic_free_[static_cast<std::size_t>(src)];
@@ -50,12 +69,17 @@ VTime Network::arrival(int src, VTime ready, std::size_t bytes, Rng& rng) {
     nic = start + serialize;
   }
 
-  VTime flight = params_.latency + serialize;
+  VTime flight = latency + serialize;
   if (params_.jitter_frac > 0.0) {
     const double factor =
         std::max(0.2, 1.0 + params_.jitter_frac * rng.next_gaussian());
     flight = vtime_from_sec(vtime_to_sec(flight) * factor);
     flight = std::max(flight, params_.latency / 2);
+  }
+
+  if (has_faults_ && kind == TransferKind::kEager &&
+      faults_.eager_drop.enabled()) {
+    flight += faults_.retransmission_delay(faults_.draw_eager_drops(rng));
   }
   return start + flight;
 }

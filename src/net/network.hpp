@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "support/rng.hpp"
 #include "support/vtime.hpp"
 
@@ -40,6 +41,11 @@ NetworkParams ibm_sp();
 /// SGI Origin 2000 running MPI over shared memory — the SAMPLE target.
 NetworkParams origin2000();
 
+/// What a transfer carries, for fault purposes: injected message loss
+/// applies only to eager payloads — control traffic (RTS/CTS) and
+/// rendezvous bulk data are modeled as reliable.
+enum class TransferKind { kEager, kControl, kRendezvousData };
+
 /// Per-world communication state (NIC availability for contention).
 class Network {
  public:
@@ -47,16 +53,27 @@ class Network {
 
   const NetworkParams& params() const { return params_; }
 
+  /// Installs a fault plan (validated; the Network keeps its own copy).
+  /// Degradation factors apply to every subsequent arrival() call.
+  void set_fault_plan(const fault::FaultPlan& plan);
+
+  const fault::FaultPlan& fault_plan() const { return faults_; }
+
   /// Pure wire time for `bytes` (no overheads): latency + bytes/bandwidth.
   VTime wire_time(std::size_t bytes) const;
 
-  /// Arrival time at the destination for a message whose injection becomes
-  /// ready at `ready` on `src`. Applies contention and jitter when enabled
-  /// (jitter draws from `rng`, which must be the sender's stream so runs
-  /// stay deterministic).
-  VTime arrival(int src, VTime ready, std::size_t bytes, Rng& rng);
+  /// Arrival time at `dst` for a message whose injection becomes ready at
+  /// `ready` on `src`. Applies contention and jitter when enabled, plus any
+  /// installed fault plan: link latency/bandwidth degradation, sender NIC
+  /// brownouts, and (for kEager transfers) seeded drop + retransmission.
+  /// All random draws come from `rng`, which must be the sender's stream so
+  /// runs stay deterministic across schedulers.
+  VTime arrival(int src, int dst, VTime ready, std::size_t bytes, Rng& rng,
+                TransferKind kind = TransferKind::kEager);
 
   /// Lower bound on any future message's flight time (wildcard safety).
+  /// Faults only ever slow traffic (latency factors >= 1, bandwidth and
+  /// injection factors <= 1), so this stays valid under any plan.
   VTime min_latency() const { return params_.latency; }
 
   bool uses_rendezvous(std::size_t bytes) const {
@@ -65,6 +82,8 @@ class Network {
 
  private:
   NetworkParams params_;
+  fault::FaultPlan faults_;
+  bool has_faults_ = false;
   std::vector<VTime> nic_free_;
 };
 

@@ -185,7 +185,13 @@ void Engine::deliver(Message&& msg) {
       << "FIFO violation on channel " << msg.src << "->" << msg.dst;
   q.push_back(std::move(msg));
   ++dst.inbox_size_;
-  ++messages_delivered_;
+  const std::uint64_t delivered = ++messages_delivered_;
+  if (config_.max_messages > 0 && delivered > config_.max_messages) {
+    raise_budget(BudgetExceededError::Kind::kMessages,
+                 "message budget exceeded: " + std::to_string(delivered) +
+                     " messages delivered (cap " +
+                     std::to_string(config_.max_messages) + ")");
+  }
 
   if (dst.blocked_) {
     // Wake only if the newly available message completes a match, so a
@@ -268,20 +274,64 @@ void Engine::abort_run(std::exception_ptr fallback) {
 }
 
 void Engine::raise_deadlock() {
-  std::ostringstream os;
-  os << "simulation deadlock: all unfinished processes are blocked;";
-  int shown = 0;
+  std::vector<DeadlockError::BlockedRank> blocked;
   for (const auto& p : procs_) {
     if (p->finished_) continue;
+    DeadlockError::BlockedRank b;
+    b.rank = p->rank_;
+    b.clock = p->clock_;
+    if (p->waiting_on_ != nullptr) {
+      b.waiting_src = p->waiting_on_->src;
+      b.waiting_tag = p->waiting_on_->user_tag;
+      b.waiting_what = p->waiting_on_->what;
+    } else {
+      b.waiting_what = "(not blocked)";
+    }
+    blocked.push_back(std::move(b));
+  }
+
+  std::ostringstream os;
+  os << "simulation deadlock: " << blocked.size()
+     << " unfinished process(es) blocked with no matching message in flight"
+     << " and no future wakeup;";
+  std::size_t shown = 0;
+  for (const auto& b : blocked) {
     if (shown++ == 8) {
-      os << " ...";
+      os << " ... (" << blocked.size() - 8 << " more)";
       break;
     }
-    os << " rank " << p->rank_ << " @" << vtime_to_string(p->clock_)
-       << " waiting on src="
-       << (p->waiting_on_ != nullptr ? p->waiting_on_->src : -2);
+    os << " rank " << b.rank << " @" << vtime_to_string(b.clock) << " in "
+       << b.waiting_what << "(src=";
+    if (b.waiting_src == MatchSpec::kAnySource) {
+      os << "ANY";
+    } else {
+      os << b.waiting_src;
+    }
+    os << ", tag=";
+    if (b.waiting_tag < 0) {
+      os << "ANY";
+    } else {
+      os << b.waiting_tag;
+    }
+    os << ");";
   }
-  abort_run(std::make_exception_ptr(DeadlockError(os.str())));
+  abort_run(std::make_exception_ptr(DeadlockError(os.str(), std::move(blocked))));
+}
+
+void Engine::raise_budget(BudgetExceededError::Kind kind,
+                          const std::string& what) {
+  auto err = std::make_exception_ptr(BudgetExceededError(kind, what));
+  if (Fiber::current() != nullptr) {
+    // In fiber context: unwind this process body; the wrapper records the
+    // error and the scheduler aborts the rest of the run.
+    std::rethrow_exception(err);
+  }
+  abort_run(std::move(err));
+}
+
+bool Engine::host_budget_exhausted() const {
+  return config_.max_host_seconds > 0.0 &&
+         now_host_sec() > config_.max_host_seconds;
 }
 
 RunResult Engine::run() {
@@ -295,6 +345,9 @@ RunResult Engine::run() {
     auto p = std::make_unique<Process>();
     p->engine_ = this;
     p->rank_ = r;
+    if (config_.max_virtual_time > 0) {
+      p->vtime_budget_ = config_.max_virtual_time;
+    }
     p->rng_.reseed(seeder.next());
     p->home_worker_ = static_cast<int>(
         static_cast<long long>(r) * config_.host_workers /
@@ -346,8 +399,15 @@ void Engine::run_sequential() {
   for (const auto& p : procs_) heap.push({p->clock_, p->rank_});
 
   std::size_t remaining = procs_.size();
+  std::uint64_t iter = 0;
   while (remaining > 0) {
     if (heap.empty()) raise_deadlock();
+    // A process that blocks immediately never runs advance(), so its
+    // in-fiber watchdog never fires; probe from the scheduler too.
+    if ((++iter & 1023U) == 0 && host_budget_exhausted()) {
+      raise_budget(BudgetExceededError::Kind::kHostWallClock,
+                   "host wall-clock watchdog fired in scheduler");
+    }
     const auto [clock, rank] = heap.top();
     heap.pop();
     Process& p = *procs_[static_cast<std::size_t>(rank)];
@@ -421,6 +481,10 @@ void Engine::run_threaded() {
     }
     threaded_phase_ = false;
     if (error_) abort_run(error_);
+    if (host_budget_exhausted()) {
+      raise_budget(BudgetExceededError::Kind::kHostWallClock,
+                   "host wall-clock watchdog fired at round barrier");
+    }
 
     // Barrier reached: flush cross-partition messages. Worker order is
     // fixed and per-channel order is preserved within each outbox, so the

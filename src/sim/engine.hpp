@@ -68,6 +68,11 @@ struct MatchSpec {
   static constexpr int kAnySource = -1;
   int src = kAnySource;
   std::function<bool(const Message&)> accept;
+
+  // Diagnostic labels surfaced by the deadlock detector (never used for
+  // matching): what operation is blocked and on which user-level tag.
+  const char* what = "recv";  ///< e.g. "recv", "rendezvous-cts", "waitany"
+  int user_tag = -1;          ///< user-level tag; -1 = wildcard/unknown
 };
 
 class Engine;
@@ -81,15 +86,13 @@ class Process {
   VTime now() const { return clock_; }
 
   /// Charges `dt` of local computation to this process's virtual clock.
-  void advance(VTime dt) {
-    STGSIM_DCHECK(dt >= 0);
-    clock_ += dt;
-  }
+  /// Enforces the virtual-time budget and (periodically) the host
+  /// wall-clock watchdog. Defined after Engine.
+  void advance(VTime dt);
 
   /// clock = max(clock, t); used for receive/transfer completions.
-  void lift_clock(VTime t) {
-    if (t > clock_) clock_ = t;
-  }
+  /// Enforces the virtual-time budget. Defined after Engine.
+  void lift_clock(VTime t);
 
   /// Sends a message. msg.src must equal rank(); seq is assigned here.
   void send(Message msg);
@@ -121,9 +124,15 @@ class Process {
  private:
   friend class Engine;
 
+  /// How many advance() calls between host wall-clock watchdog probes
+  /// (clock_gettime per charge would be measurable on hot loops).
+  static constexpr int kWatchdogStride = 4096;
+
   Engine* engine_ = nullptr;
   int rank_ = -1;
   VTime clock_ = 0;
+  VTime vtime_budget_ = kVTimeNever;  ///< from EngineConfig.max_virtual_time
+  int watchdog_countdown_ = kWatchdogStride;
   Rng rng_;
 
   std::unique_ptr<Fiber> fiber_;
@@ -187,6 +196,14 @@ struct EngineConfig {
 
   /// Record the slice trace (sequential scheduler only).
   bool record_host_trace = false;
+
+  // Run budgets (0 = unlimited). When a budget is exceeded the run is torn
+  // down cleanly and BudgetExceededError is thrown, so a pathological
+  // target program (unbounded loop, livelocked protocol) terminates with a
+  // diagnosis instead of spinning forever.
+  VTime max_virtual_time = 0;       ///< cap on any process's virtual clock
+  std::uint64_t max_messages = 0;   ///< cap on delivered messages
+  double max_host_seconds = 0.0;    ///< cap on real wall-clock for the run
 };
 
 struct RunResult {
@@ -201,10 +218,50 @@ struct RunResult {
 };
 
 /// Thrown when every unfinished process is blocked and nothing can match.
+/// Carries a structured snapshot of every blocked rank (its virtual clock
+/// and the MatchSpec it is waiting on) for programmatic inspection.
 class DeadlockError : public std::runtime_error {
  public:
+  struct BlockedRank {
+    int rank = -1;
+    VTime clock = 0;
+    int waiting_src = -2;  ///< MatchSpec::kAnySource for wildcard; -2 none
+    int waiting_tag = -1;
+    std::string waiting_what;  ///< MatchSpec::what, e.g. "recv"
+  };
+
   explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+  DeadlockError(const std::string& what, std::vector<BlockedRank> blocked)
+      : std::runtime_error(what), blocked_(std::move(blocked)) {}
+
+  const std::vector<BlockedRank>& blocked() const { return blocked_; }
+
+ private:
+  std::vector<BlockedRank> blocked_;
 };
+
+/// Thrown when a run budget (EngineConfig::max_*) is exceeded.
+class BudgetExceededError : public std::runtime_error {
+ public:
+  enum class Kind { kVirtualTime, kMessages, kHostWallClock };
+
+  BudgetExceededError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+inline const char* budget_kind_name(BudgetExceededError::Kind k) {
+  switch (k) {
+    case BudgetExceededError::Kind::kVirtualTime: return "virtual time";
+    case BudgetExceededError::Kind::kMessages: return "delivered messages";
+    case BudgetExceededError::Kind::kHostWallClock: return "host wall clock";
+  }
+  return "unknown";
+}
 
 /// Thrown *inside* target-process fibers when the run is being torn down
 /// (another process failed, or a deadlock was detected); it unwinds the
@@ -248,6 +305,17 @@ class Engine {
   void run_partition_until_blocked(int worker);
   void resume_process(Process& p);
   [[noreturn]] void raise_deadlock();
+
+  /// Raises BudgetExceededError: thrown in place when called from inside a
+  /// target fiber (unwinding it through the body wrapper), or routed
+  /// through abort_run when called from scheduler context (so suspended
+  /// fibers still unwind and release RAII state).
+  [[noreturn]] void raise_budget(BudgetExceededError::Kind kind,
+                                 const std::string& what);
+
+  /// True when max_host_seconds is set and the run has exceeded it.
+  bool host_budget_exhausted() const;
+
   double now_host_sec() const;
 
   /// Ends the current slice of `p` and starts a fresh one (trace only).
@@ -285,6 +353,41 @@ class Engine {
 
   double host_t0_sec_ = 0.0;
 };
+
+// Defined here (not in-class) because they consult the Engine for budget
+// enforcement. Both run in fiber context, so a budget violation throws
+// straight through the process body into the engine's error path.
+
+inline void Process::advance(VTime dt) {
+  STGSIM_DCHECK(dt >= 0);
+  clock_ += dt;
+  if (clock_ > vtime_budget_) {
+    engine_->raise_budget(
+        BudgetExceededError::Kind::kVirtualTime,
+        "virtual-time budget exceeded: rank " + std::to_string(rank_) +
+            " reached " + vtime_to_string(clock_));
+  }
+  if (--watchdog_countdown_ <= 0) {
+    watchdog_countdown_ = kWatchdogStride;
+    if (engine_->host_budget_exhausted()) {
+      engine_->raise_budget(
+          BudgetExceededError::Kind::kHostWallClock,
+          "host wall-clock watchdog fired in rank " + std::to_string(rank_));
+    }
+  }
+}
+
+inline void Process::lift_clock(VTime t) {
+  if (t > clock_) {
+    clock_ = t;
+    if (clock_ > vtime_budget_) {
+      engine_->raise_budget(
+          BudgetExceededError::Kind::kVirtualTime,
+          "virtual-time budget exceeded: rank " + std::to_string(rank_) +
+              " reached " + vtime_to_string(clock_));
+    }
+  }
+}
 
 /// Replays `trace` on an emulated `workers`-processor host (block mapping
 /// of processes to workers) and returns the predicted wall-clock seconds.

@@ -80,14 +80,16 @@ Comm::Comm(World& world, simk::Process& proc)
 Comm::~Comm() { proc_.user = nullptr; }
 
 void Comm::compute(VTime t) {
-  proc_.advance(t);
-  stats_.compute_time += t;
+  const VTime dt = stretched(t);
+  proc_.advance(dt);
+  stats_.compute_time += dt;
 }
 
 void Comm::delay(VTime t) {
   STGSIM_CHECK_GE(t, 0) << "negative delay — bad scaling function?";
-  proc_.advance(t);
-  stats_.compute_time += t;
+  const VTime dt = stretched(t);
+  proc_.advance(dt);
+  stats_.compute_time += dt;
   ++stats_.delays;
 }
 
@@ -104,14 +106,15 @@ int Comm::decode_user_tag(int wire_tag) { return wire_tag & 0xffffff; }
 
 void Comm::send_raw(int dst, int wire_tag, std::uint64_t aux,
                     const void* data, std::size_t bytes,
-                    std::size_t wire_bytes) {
+                    std::size_t wire_bytes, net::TransferKind kind) {
   simk::Message m;
   m.src = rank();
   m.dst = dst;
   m.tag = wire_tag;
   m.aux = aux;
   m.sent_at = now();
-  m.arrival = world_.network().arrival(rank(), now(), wire_bytes, proc_.rng());
+  m.arrival =
+      world_.network().arrival(rank(), dst, now(), wire_bytes, proc_.rng(), kind);
   m.wire_bytes = bytes;  // logical message size (status / rndv transfer)
   if (data != nullptr && bytes > 0) {
     const auto* p = static_cast<const std::uint8_t*>(data);
@@ -177,8 +180,9 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
       m.tag = encode_tag(kKindRts, tag);
       m.aux = rid;
       m.sent_at = now();
-      m.arrival =
-          world_.network().arrival(rank(), now(), kControlBytes, proc_.rng());
+      m.arrival = world_.network().arrival(rank(), dst, now(), kControlBytes,
+                                           proc_.rng(),
+                                           net::TransferKind::kControl);
       m.wire_bytes = bytes;
       if (data != nullptr && bytes > 0) {
         const auto* p = static_cast<const std::uint8_t*>(data);
@@ -188,6 +192,8 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
     }
     simk::MatchSpec spec;
     spec.src = dst;
+    spec.what = "rendezvous-cts";
+    spec.user_tag = tag;
     spec.accept = [rid](const simk::Message& m) {
       return decode_kind(m.tag) == kKindCts && m.aux == rid;
     };
@@ -200,6 +206,8 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
 simk::Message Comm::match_recv(int src, int user_tag) {
   simk::MatchSpec spec;
   spec.src = (src == kAnySource) ? simk::MatchSpec::kAnySource : src;
+  spec.what = "recv";
+  spec.user_tag = user_tag;
   spec.accept = [user_tag](const simk::Message& m) {
     const MsgKind k = decode_kind(m.tag);
     if (k != kKindEager && k != kKindRts) return false;
@@ -219,8 +227,9 @@ void Comm::complete_eager_or_rts(simk::Message& m, void* data,
   if (decode_kind(m.tag) == kKindRts) {
     // Grant the transfer: CTS back to the sender, then model the bulk
     // data crossing the wire starting when the CTS reaches the sender.
-    const VTime cts_arrival =
-        world_.network().arrival(rank(), now(), kControlBytes, proc_.rng());
+    const VTime cts_arrival = world_.network().arrival(
+        rank(), m.src, now(), kControlBytes, proc_.rng(),
+        net::TransferKind::kControl);
     {
       simk::Message cts;
       cts.src = rank();
@@ -233,7 +242,8 @@ void Comm::complete_eager_or_rts(simk::Message& m, void* data,
       proc_.send(std::move(cts));
     }
     const VTime data_done = world_.network().arrival(
-        m.src, cts_arrival, m.wire_bytes, proc_.rng());
+        m.src, rank(), cts_arrival, m.wire_bytes, proc_.rng(),
+        net::TransferKind::kRendezvousData);
     proc_.lift_clock(data_done);
   }
 
@@ -284,8 +294,9 @@ Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
     m.tag = encode_tag(kKindRts, tag);
     m.aux = rid;
     m.sent_at = now();
-    m.arrival =
-        world_.network().arrival(rank(), now(), kControlBytes, proc_.rng());
+    m.arrival = world_.network().arrival(rank(), dst, now(), kControlBytes,
+                                         proc_.rng(),
+                                         net::TransferKind::kControl);
     m.wire_bytes = bytes;
     if (data != nullptr && bytes > 0) {
       const auto* p = static_cast<const std::uint8_t*>(data);
@@ -320,6 +331,8 @@ void Comm::wait(Request& req) {
     case Request::Kind::kSendRendezvous: {
       simk::MatchSpec spec;
       spec.src = req.peer;
+      spec.what = "rendezvous-cts";
+      spec.user_tag = req.tag;
       const std::uint64_t rid = req.rid;
       spec.accept = [rid](const simk::Message& m) {
         return decode_kind(m.tag) == kKindCts && m.aux == rid;
@@ -421,6 +434,7 @@ std::size_t Comm::waitany(std::vector<Request>& reqs) {
     // message is identified afterwards by re-testing each request.
     simk::MatchSpec united;
     united.src = simk::MatchSpec::kAnySource;
+    united.what = "waitany";
     const std::vector<Request>* rp = &reqs;
     united.accept = [rp](const simk::Message& mm) {
       for (const Request& r : *rp) {
@@ -495,6 +509,7 @@ void Comm::coll_send(int dst, int round, const void* data, std::size_t bytes) {
 void Comm::coll_recv(int src, int round, void* data, std::size_t bytes) {
   simk::MatchSpec spec;
   spec.src = src;
+  spec.what = "collective";
   const std::uint64_t aux =
       (coll_seq_ << 8) | static_cast<std::uint64_t>(round & 0xff);
   spec.accept = [aux](const simk::Message& m) {
@@ -523,6 +538,7 @@ void Comm::barrier() {
       for (int r = 1; r < P; ++r) {
         simk::MatchSpec spec;
         spec.src = r;
+        spec.what = "collective";
         const std::uint64_t aux = (coll_seq_ << 8);
         spec.accept = [aux](const simk::Message& m) {
           return decode_kind(m.tag) == kKindColl && m.aux == aux;
@@ -636,6 +652,7 @@ void Comm::reduce_sum(double* inout, int n, int root) {
         if (r == root) continue;
         simk::MatchSpec spec;
         spec.src = r;
+        spec.what = "collective";
         const std::uint64_t aux = (coll_seq_ << 8);
         spec.accept = [aux](const simk::Message& m) {
           return decode_kind(m.tag) == kKindColl && m.aux == aux;
@@ -722,6 +739,7 @@ void Comm::allreduce_max(double* inout, int n) {
       for (int r = 1; r < P; ++r) {
         simk::MatchSpec spec;
         spec.src = r;
+        spec.what = "collective";
         const std::uint64_t aux = (coll_seq_ << 8);
         spec.accept = [aux](const simk::Message& m) {
           return decode_kind(m.tag) == kKindColl && m.aux == aux;

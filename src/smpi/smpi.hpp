@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "machine/compute.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -97,6 +98,13 @@ class World {
     VTime param_read_cost = vtime_from_us(200);  ///< file read on rank 0
     CommTrace* trace = nullptr;  ///< optional user-level op recorder
 
+    /// Deterministic fault schedule: link degradation and eager drops are
+    /// applied by the network, straggler slowdowns by compute()/delay().
+    /// Send/receive software overheads are intentionally *not* stretched —
+    /// a straggler models a slow CPU core's effect on application work,
+    /// not on the (already-parameterized) MPI library costs.
+    fault::FaultPlan faults;
+
     /// Use naive root-sequential collective algorithms instead of the
     /// binomial/dissemination trees (ablation: collective algorithm cost
     /// under the same point-to-point model).
@@ -117,7 +125,9 @@ class World {
 
   World(Options options, int nranks)
       : options_(options), network_(options.net, nranks),
-        stats_(static_cast<std::size_t>(nranks)) {}
+        stats_(static_cast<std::size_t>(nranks)) {
+    network_.set_fault_plan(options_.faults);
+  }
 
   const Options& options() const { return options_; }
   net::Network& network() { return network_; }
@@ -249,7 +259,14 @@ class Comm {
   static int decode_user_tag(int wire_tag);
 
   void send_raw(int dst, int wire_tag, std::uint64_t aux, const void* data,
-                std::size_t bytes, std::size_t wire_bytes);
+                std::size_t bytes, std::size_t wire_bytes,
+                net::TransferKind kind = net::TransferKind::kEager);
+
+  /// Stretched virtual duration of `t` of local work starting now (applies
+  /// the fault plan's straggler factors for this rank).
+  VTime stretched(VTime t) const {
+    return world_.network().fault_plan().stretch_compute(rank(), now(), t);
+  }
   void complete_eager_or_rts(simk::Message& m, void* data, std::size_t bytes,
                              RecvStatus* status);
   simk::Message match_recv(int src, int user_tag);

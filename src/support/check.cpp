@@ -1,13 +1,39 @@
 #include "support/check.hpp"
 
+#include <cstdio>
+
 namespace stgsim::detail {
 
-void check_failed(const char* cond, const char* file, int line,
-                  const std::string& msg) {
+namespace {
+
+std::string format_failure(const char* cond, const char* file, int line,
+                           const std::string& msg) {
   std::ostringstream os;
   os << "CHECK failed: " << cond << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw CheckError(os.str());
+  return os.str();
+}
+
+}  // namespace
+
+void check_failed(const char* cond, const char* file, int line,
+                  const std::string& msg) {
+  const std::string what = format_failure(cond, file, line, msg);
+  std::fprintf(stderr, "%s\n", what.c_str());
+  std::fflush(stderr);
+  throw CheckError(what);
+}
+
+void check_failed_noexcept(const char* cond, const char* file, int line,
+                           const std::string& msg) noexcept {
+  try {
+    const std::string what = format_failure(cond, file, line, msg);
+    std::fprintf(stderr, "%s (suppressed: stack unwinding in progress)\n",
+                 what.c_str());
+    std::fflush(stderr);
+  } catch (...) {
+    // Formatting must never throw out of a noexcept reporting path.
+  }
 }
 
 }  // namespace stgsim::detail

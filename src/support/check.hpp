@@ -5,6 +5,7 @@
 // meant for hot paths (event queues, interpreter dispatch).
 #pragma once
 
+#include <exception>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -20,8 +21,14 @@ class CheckError : public std::logic_error {
 
 namespace detail {
 
+/// Prints the failure to stderr and throws CheckError.
 [[noreturn]] void check_failed(const char* cond, const char* file, int line,
                                const std::string& msg);
+
+/// Like check_failed, but only prints: used when throwing would call
+/// std::terminate (check failing during stack unwinding).
+void check_failed_noexcept(const char* cond, const char* file, int line,
+                           const std::string& msg) noexcept;
 
 /// Builds the optional streamed message for a failed check.
 class CheckMessage {
@@ -35,8 +42,17 @@ class CheckMessage {
     return *this;
   }
 
-  [[noreturn]] ~CheckMessage() noexcept(false) {
-    check_failed(cond_, file_, line_, stream_.str());
+  ~CheckMessage() noexcept(false) {
+    // A check can fail inside a destructor that runs while another
+    // exception is already unwinding the stack; throwing then would call
+    // std::terminate before anything is reported. Log-and-continue keeps
+    // the original exception (which the harness turns into a structured
+    // outcome) as the error of record.
+    if (std::uncaught_exceptions() > 0) {
+      check_failed_noexcept(cond_, file_, line_, stream_.str());
+    } else {
+      check_failed(cond_, file_, line_, stream_.str());
+    }
   }
 
  private:

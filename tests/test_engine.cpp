@@ -231,6 +231,87 @@ TEST(Engine, DeadlockIsDetectedAndReported) {
   EXPECT_THROW(e.run(), DeadlockError);
 }
 
+TEST(Engine, DeadlockErrorCarriesStructuredBlockedRanks) {
+  EngineConfig cfg;
+  cfg.num_processes = 2;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    p.advance(vtime_from_us(1 + p.rank()));
+    MatchSpec s = match_tag(1 - p.rank(), 4);
+    s.what = "recv";
+    s.user_tag = 4;
+    p.blocking_match(s);
+  });
+  try {
+    e.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& d) {
+    ASSERT_EQ(d.blocked().size(), 2u);
+    for (const auto& b : d.blocked()) {
+      EXPECT_EQ(b.clock, vtime_from_us(1 + b.rank));
+      EXPECT_EQ(b.waiting_src, 1 - b.rank);
+      EXPECT_EQ(b.waiting_tag, 4);
+      EXPECT_EQ(b.waiting_what, "recv");
+    }
+    EXPECT_NE(std::string(d.what()).find("deadlock"), std::string::npos);
+    EXPECT_NE(std::string(d.what()).find("tag=4"), std::string::npos);
+  }
+}
+
+TEST(Engine, VirtualTimeBudgetStopsRunawayFiber) {
+  EngineConfig cfg;
+  cfg.num_processes = 1;
+  cfg.max_virtual_time = vtime_from_us(100);
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    for (;;) p.advance(vtime_from_us(1));  // never returns on its own
+  });
+  try {
+    e.run();
+    FAIL() << "expected BudgetExceededError";
+  } catch (const BudgetExceededError& b) {
+    EXPECT_EQ(b.kind(), BudgetExceededError::Kind::kVirtualTime);
+  }
+}
+
+TEST(Engine, MessageBudgetStopsChatter) {
+  EngineConfig cfg;
+  cfg.num_processes = 2;
+  cfg.max_messages = 50;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    if (p.rank() == 0) {
+      for (;;) {
+        p.send(make_msg(0, 1, 1, p.now(), p.now() + vtime_from_us(1)));
+        p.advance(vtime_from_us(1));
+      }
+    }
+    for (;;) p.blocking_match(match_tag(0, 1));
+  });
+  try {
+    e.run();
+    FAIL() << "expected BudgetExceededError";
+  } catch (const BudgetExceededError& b) {
+    EXPECT_EQ(b.kind(), BudgetExceededError::Kind::kMessages);
+  }
+}
+
+TEST(Engine, HostWatchdogStopsSpinningRun) {
+  EngineConfig cfg;
+  cfg.num_processes = 1;
+  cfg.max_host_seconds = 0.05;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    for (;;) p.advance(1);  // 1 ns per step: years of host time unchecked
+  });
+  try {
+    e.run();
+    FAIL() << "expected BudgetExceededError";
+  } catch (const BudgetExceededError& b) {
+    EXPECT_EQ(b.kind(), BudgetExceededError::Kind::kHostWallClock);
+  }
+}
+
 TEST(Engine, AbortUnwindsBlockedFibersRunningDestructors) {
   static std::atomic<int> destroyed{0};
   struct Sentinel {

@@ -1,0 +1,326 @@
+// Tests for the fault-injection layer and the run-outcome taxonomy: fault
+// plan parsing/validation, degraded arrivals, straggler stretching, the
+// deadlock detector, run budgets, and cross-scheduler determinism of
+// faulted runs.
+#include <gtest/gtest.h>
+
+#include "apps/tomcatv.hpp"
+#include "fault/fault.hpp"
+#include "harness/runner.hpp"
+#include "ir/builder.hpp"
+#include "net/network.hpp"
+
+namespace stgsim {
+namespace {
+
+using sym::Expr;
+
+Expr I(std::int64_t v) { return Expr::integer(v); }
+
+// ---------------------------------------------------------------------------
+// FaultPlan: parsing, validation, factor math
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, ParseRoundTripsThroughToString) {
+  const std::string spec =
+      "link:src=0,dst=1,latency=4,bandwidth=0.25,until=0.5;"
+      "straggler:rank=2,factor=2.5,from=0.1;"
+      "brownout:rank=1,injection=0.1;"
+      "drop:prob=0.01,timeout=0.0005,backoff=2,retries=8";
+  const fault::FaultPlan plan = fault::parse_fault_plan(spec);
+  ASSERT_EQ(plan.links.size(), 1u);
+  EXPECT_EQ(plan.links[0].src, 0);
+  EXPECT_EQ(plan.links[0].dst, 1);
+  EXPECT_DOUBLE_EQ(plan.links[0].latency_factor, 4.0);
+  EXPECT_DOUBLE_EQ(plan.links[0].bandwidth_factor, 0.25);
+  EXPECT_EQ(plan.links[0].window.until, vtime_from_ms(500));
+  ASSERT_EQ(plan.stragglers.size(), 1u);
+  EXPECT_EQ(plan.stragglers[0].window.from, vtime_from_ms(100));
+  ASSERT_EQ(plan.brownouts.size(), 1u);
+  EXPECT_TRUE(plan.eager_drop.enabled());
+
+  const fault::FaultPlan again = fault::parse_fault_plan(plan.to_string());
+  EXPECT_EQ(plan.to_string(), again.to_string());
+}
+
+TEST(FaultPlan, ParseRejectsMalformedAndOutOfRangeSpecs) {
+  EXPECT_THROW(fault::parse_fault_plan("nonsense"), std::runtime_error);
+  EXPECT_THROW(fault::parse_fault_plan("link:latency"), std::runtime_error);
+  EXPECT_THROW(fault::parse_fault_plan("link:latency=abc"),
+               std::runtime_error);
+  EXPECT_THROW(fault::parse_fault_plan("link:bogus_key=1"),
+               std::runtime_error);
+  // Factors that would break the wildcard-safety bound are rejected.
+  EXPECT_THROW(fault::parse_fault_plan("link:latency=0.5"), CheckError);
+  EXPECT_THROW(fault::parse_fault_plan("link:bandwidth=1.5"), CheckError);
+  EXPECT_THROW(fault::parse_fault_plan("brownout:injection=0"), CheckError);
+  EXPECT_THROW(fault::parse_fault_plan("straggler:factor=0.9"), CheckError);
+  EXPECT_THROW(fault::parse_fault_plan("drop:prob=1"), CheckError);
+}
+
+TEST(FaultPlan, FactorsMultiplyAcrossOverlappingWindows) {
+  fault::FaultPlan plan;
+  plan.links.push_back({0, 1, {}, 2.0, 0.5});
+  plan.links.push_back(
+      {fault::kAnyRank, 1, {0, vtime_from_us(10)}, 3.0, 1.0});
+  EXPECT_DOUBLE_EQ(plan.latency_factor(0, 1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(plan.latency_factor(0, 1, vtime_from_us(10)), 2.0);
+  EXPECT_DOUBLE_EQ(plan.latency_factor(2, 1, 0), 3.0);  // kAnyRank src
+  EXPECT_DOUBLE_EQ(plan.latency_factor(0, 2, 0), 1.0);  // other link
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(0, 1, 0), 0.5);
+}
+
+TEST(FaultPlan, StretchComputeIntegratesAcrossWindowBoundaries) {
+  fault::FaultPlan plan;
+  plan.stragglers.push_back(
+      {0, {vtime_from_us(10), vtime_from_us(20)}, 2.0});
+
+  // Entirely before the window: unchanged.
+  EXPECT_EQ(plan.stretch_compute(0, 0, vtime_from_us(5)), vtime_from_us(5));
+  // Entirely inside: doubled.
+  EXPECT_EQ(plan.stretch_compute(0, vtime_from_us(10), vtime_from_us(4)),
+            vtime_from_us(8));
+  // Straddling the leading edge: 5us at 1x, then 5us of work at 2x = 15us.
+  EXPECT_EQ(plan.stretch_compute(0, vtime_from_us(5), vtime_from_us(10)),
+            vtime_from_us(15));
+  // Straddling the trailing edge: 2us of work at 2x reaches the boundary
+  // (4us elapsed), remaining 3us at 1x = 7us total.
+  EXPECT_EQ(plan.stretch_compute(0, vtime_from_us(16), vtime_from_us(5)),
+            vtime_from_us(7));
+  // Other ranks unaffected.
+  EXPECT_EQ(plan.stretch_compute(1, vtime_from_us(10), vtime_from_us(4)),
+            vtime_from_us(4));
+}
+
+TEST(FaultPlan, RetransmissionDelayBacksOffExponentially) {
+  fault::FaultPlan plan;
+  plan.eager_drop.drop_prob = 0.5;
+  plan.eager_drop.retransmit_timeout = vtime_from_us(100);
+  plan.eager_drop.backoff_factor = 2.0;
+  EXPECT_EQ(plan.retransmission_delay(0), 0);
+  EXPECT_EQ(plan.retransmission_delay(1), vtime_from_us(100));
+  EXPECT_EQ(plan.retransmission_delay(3), vtime_from_us(700));
+}
+
+TEST(FaultPlan, DrawEagerDropsIsBoundedAndSeeded) {
+  fault::FaultPlan plan;
+  plan.eager_drop.drop_prob = 0.9;
+  plan.eager_drop.max_retries = 3;
+  auto draw_all = [&] {
+    Rng rng(42);
+    std::vector<int> v;
+    for (int i = 0; i < 100; ++i) v.push_back(plan.draw_eager_drops(rng));
+    return v;
+  };
+  const auto a = draw_all();
+  EXPECT_EQ(a, draw_all());  // same stream, same drops
+  for (int d : a) {
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 3);  // a transfer can never be dropped forever
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Network integration
+// ---------------------------------------------------------------------------
+
+TEST(FaultNetwork, LinkDegradationSlowsMatchingTrafficOnly) {
+  net::NetworkParams p;
+  p.latency = vtime_from_us(10);
+  p.bytes_per_sec = 1e8;
+  net::Network n(p, 3);
+  fault::FaultPlan plan;
+  plan.links.push_back({0, 1, {}, 3.0, 0.5});
+  n.set_fault_plan(plan);
+
+  Rng rng(1);
+  // 1 MB at 100 MB/s is 10 ms; degraded link: 30us latency + 20ms.
+  EXPECT_EQ(n.arrival(0, 1, 0, 1000000, rng),
+            vtime_from_us(30) + vtime_from_ms(20));
+  // Reverse direction and other pairs keep the healthy parameters.
+  EXPECT_EQ(n.arrival(1, 0, 0, 1000000, rng),
+            vtime_from_us(10) + vtime_from_ms(10));
+  EXPECT_EQ(n.arrival(0, 2, 0, 1000000, rng),
+            vtime_from_us(10) + vtime_from_ms(10));
+}
+
+TEST(FaultNetwork, BrownoutThrottlesEverythingTheRankSends) {
+  net::NetworkParams p;
+  p.latency = 0;
+  p.bytes_per_sec = 1e6;
+  net::Network n(p, 2);
+  fault::FaultPlan plan;
+  plan.brownouts.push_back({0, {}, 0.25});
+  n.set_fault_plan(plan);
+  Rng rng(1);
+  EXPECT_EQ(n.arrival(0, 1, 0, 1000, rng), vtime_from_ms(4));
+  EXPECT_EQ(n.arrival(1, 0, 0, 1000, rng), vtime_from_ms(1));
+}
+
+TEST(FaultNetwork, EagerDropDelaysEagerButNotControlTraffic) {
+  net::NetworkParams p;
+  p.latency = vtime_from_us(10);
+  net::Network n(p, 2);
+  fault::FaultPlan plan;
+  plan.eager_drop.drop_prob = 0.99;  // with seed 7 some draw certainly hits
+  plan.eager_drop.retransmit_timeout = vtime_from_us(100);
+  n.set_fault_plan(plan);
+
+  Rng rng(7);
+  VTime worst_eager = 0;
+  for (int i = 0; i < 20; ++i) {
+    worst_eager = std::max(worst_eager, n.arrival(0, 1, 0, 8, rng));
+  }
+  EXPECT_GT(worst_eager, n.wire_time(8));  // retransmissions happened
+  // Control and rendezvous-data transfers are modeled as reliable: no rng
+  // draws, exact base flight time.
+  EXPECT_EQ(n.arrival(0, 1, 0, 8, rng, net::TransferKind::kControl),
+            n.wire_time(8));
+  EXPECT_EQ(n.arrival(0, 1, 0, 8, rng, net::TransferKind::kRendezvousData),
+            n.wire_time(8));
+}
+
+// ---------------------------------------------------------------------------
+// Harness: stragglers, deadlock, budgets, determinism
+// ---------------------------------------------------------------------------
+
+ir::Program delay_loop_program(std::int64_t iters, double sec_per_iter) {
+  ir::ProgramBuilder b("delay_loop");
+  b.for_loop("i", I(0), I(iters - 1),
+             [&](Expr) { b.delay(Expr::real(sec_per_iter)); });
+  return b.take();
+}
+
+TEST(FaultHarness, StragglerStretchesDelayedComputation) {
+  const ir::Program prog = delay_loop_program(10, 1e-3);
+  harness::RunConfig cfg;
+  cfg.nprocs = 2;
+  const auto healthy = harness::run_program(prog, cfg);
+  ASSERT_TRUE(healthy.ok());
+
+  cfg.faults.stragglers.push_back({1, {}, 3.0});
+  const auto faulted = harness::run_program(prog, cfg);
+  ASSERT_TRUE(faulted.ok());
+  // Rank 0 is untouched; rank 1 runs exactly 3x slower.
+  EXPECT_EQ(faulted.per_rank[0], healthy.per_rank[0]);
+  EXPECT_EQ(faulted.per_rank[1], 3 * healthy.per_rank[1]);
+}
+
+ir::Program mismatched_recv_program() {
+  // Rank 0 waits for rank 1 and vice versa, but nobody ever sends:
+  // a classic crossed-communication bug.
+  ir::ProgramBuilder b("mismatched");
+  Expr rank = b.get_rank();
+  b.decl_array("A", {I(8)});
+  b.if_then_else(
+      sym::eq(rank, I(0)), [&] { b.recv("A", I(1), I(8), I(0), 5); },
+      [&] { b.recv("A", I(0), I(8), I(0), 5); });
+  return b.take();
+}
+
+TEST(FaultHarness, MismatchedCommunicationReportsDeadlockWithBlockedRanks) {
+  harness::RunConfig cfg;
+  cfg.nprocs = 2;
+  const auto out = harness::run_program(mismatched_recv_program(), cfg);
+  EXPECT_EQ(out.status, harness::RunStatus::kDeadlock);
+  EXPECT_NE(out.diagnostic.find("deadlock"), std::string::npos);
+  EXPECT_NE(out.diagnostic.find("rank 0"), std::string::npos);
+  EXPECT_NE(out.diagnostic.find("rank 1"), std::string::npos);
+  EXPECT_NE(out.diagnostic.find("recv"), std::string::npos);
+  EXPECT_NE(out.diagnostic.find("tag=5"), std::string::npos);
+}
+
+TEST(FaultHarness, DeadlockUnderThreadedSchedulerToo) {
+  harness::RunConfig cfg;
+  cfg.nprocs = 2;
+  cfg.threads = 2;
+  const auto out = harness::run_program(mismatched_recv_program(), cfg);
+  EXPECT_EQ(out.status, harness::RunStatus::kDeadlock);
+}
+
+TEST(FaultHarness, UnboundedLoopHitsVirtualTimeBudget) {
+  // A runaway loop: a billion virtual seconds of delays. The budget stops
+  // it after ~1 virtual millisecond.
+  const ir::Program prog = delay_loop_program(1000000000, 1.0);
+  harness::RunConfig cfg;
+  cfg.nprocs = 2;
+  cfg.max_virtual_time = vtime_from_ms(1);
+  const auto out = harness::run_program(prog, cfg);
+  EXPECT_EQ(out.status, harness::RunStatus::kBudgetExceeded);
+  EXPECT_NE(out.diagnostic.find("virtual"), std::string::npos);
+}
+
+TEST(FaultHarness, MessageBudgetStopsChatterstorms) {
+  ir::ProgramBuilder b("chatter");
+  b.for_loop("i", I(0), I(100000), [&](Expr) { b.barrier(); });
+  harness::RunConfig cfg;
+  cfg.nprocs = 4;
+  cfg.max_messages = 500;
+  const auto out = harness::run_program(b.take(), cfg);
+  EXPECT_EQ(out.status, harness::RunStatus::kBudgetExceeded);
+  EXPECT_NE(out.diagnostic.find("message"), std::string::npos);
+}
+
+TEST(FaultHarness, HostWallClockWatchdogFires) {
+  // 200M tiny delays would take minutes of host time to interpret; the
+  // watchdog halts the run after ~0.2s of wall clock.
+  const ir::Program prog = delay_loop_program(200000000, 1e-9);
+  harness::RunConfig cfg;
+  cfg.nprocs = 1;
+  cfg.max_host_seconds = 0.2;
+  const auto out = harness::run_program(prog, cfg);
+  EXPECT_EQ(out.status, harness::RunStatus::kBudgetExceeded);
+  EXPECT_NE(out.diagnostic.find("wall-clock"), std::string::npos);
+}
+
+TEST(FaultHarness, TargetProgramBugIsReportedAsInternalError) {
+  // Receive buffer smaller than the message: the model check trips inside
+  // the target program; the simulator reports instead of crashing.
+  ir::ProgramBuilder b("overrun");
+  Expr rank = b.get_rank();
+  b.decl_array("A", {I(16)});
+  b.if_then_else(
+      sym::eq(rank, I(0)), [&] { b.send("A", I(1), I(16), I(0), 0); },
+      [&] { b.recv("A", I(0), I(8), I(0), 0); });
+  harness::RunConfig cfg;
+  cfg.nprocs = 2;
+  const auto out = harness::run_program(b.take(), cfg);
+  EXPECT_EQ(out.status, harness::RunStatus::kInternalError);
+  EXPECT_NE(out.diagnostic.find("buffer too small"), std::string::npos);
+}
+
+/// The determinism acceptance criterion: same seed + same plan ⇒ identical
+/// RunOutcome under the sequential and threaded conservative schedulers.
+TEST(FaultHarness, FaultedRunsAreBitIdenticalAcrossSchedulers) {
+  apps::TomcatvConfig app;
+  app.n = 64;
+  app.iterations = 2;
+  const ir::Program prog = apps::make_tomcatv(app);
+
+  harness::RunConfig cfg;
+  cfg.nprocs = 4;
+  cfg.faults = fault::parse_fault_plan(
+      "link:src=0,dst=1,latency=4,bandwidth=0.25;"
+      "straggler:rank=2,factor=2.5;brownout:rank=3,injection=0.5;"
+      "drop:prob=0.05,timeout=0.0002");
+
+  const auto seq = harness::run_program(prog, cfg);
+  cfg.threads = 2;
+  const auto par = harness::run_program(prog, cfg);
+
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(seq.predicted_time, par.predicted_time);
+  EXPECT_EQ(seq.per_rank, par.per_rank);
+  EXPECT_EQ(seq.messages, par.messages);
+
+  // And faults actually changed the prediction vs the healthy machine.
+  harness::RunConfig healthy_cfg;
+  healthy_cfg.nprocs = 4;
+  const auto healthy = harness::run_program(prog, healthy_cfg);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_GT(seq.predicted_time, healthy.predicted_time);
+}
+
+}  // namespace
+}  // namespace stgsim

@@ -61,7 +61,9 @@ TEST(Harness, MemoryCapReportsInsteadOfThrowing) {
   cfg.nprocs = 4;
   cfg.memory_cap_bytes = 1024;
   const auto out = run_program(prog, cfg);
-  EXPECT_TRUE(out.out_of_memory);
+  EXPECT_TRUE(out.out_of_memory());
+  EXPECT_EQ(out.status, RunStatus::kOutOfMemory);
+  EXPECT_FALSE(out.diagnostic.empty());
   EXPECT_EQ(out.predicted_time, 0);
 }
 
@@ -95,7 +97,7 @@ TEST(Harness, CalibrateFillsRequiredParamsForUnexecutedTasks) {
   cfg.mode = Mode::kAnalytical;
   cfg.params = params;
   const auto out = run_program(compiled.simplified.program, cfg);
-  EXPECT_FALSE(out.out_of_memory);
+  EXPECT_TRUE(out.ok());
 }
 
 TEST(Harness, EstimatedParamsTrackMeasuredOnes) {

@@ -23,7 +23,7 @@ TEST(Network, ArrivalWithoutContentionIsReadyPlusFlight) {
   p.bytes_per_sec = 1e8;
   net::Network n(p, 2);
   Rng rng(1);
-  EXPECT_EQ(n.arrival(0, vtime_from_us(5), 0, rng),
+  EXPECT_EQ(n.arrival(0, 1, vtime_from_us(5), 0, rng),
             vtime_from_us(5) + vtime_from_us(10));
 }
 
@@ -34,12 +34,12 @@ TEST(Network, ContentionSerializesInjection) {
   p.model_contention = true;
   net::Network n(p, 2);
   Rng rng(1);
-  const VTime a1 = n.arrival(0, 0, 1000, rng);
-  const VTime a2 = n.arrival(0, 0, 1000, rng);  // queued behind the first
+  const VTime a1 = n.arrival(0, 1, 0, 1000, rng);
+  const VTime a2 = n.arrival(0, 1, 0, 1000, rng);  // queued behind the first
   EXPECT_EQ(a1, vtime_from_ms(1));
   EXPECT_EQ(a2, vtime_from_ms(2));
   // A different source has its own NIC.
-  const VTime b1 = n.arrival(1, 0, 1000, rng);
+  const VTime b1 = n.arrival(1, 0, 0, 1000, rng);
   EXPECT_EQ(b1, vtime_from_ms(1));
 }
 
@@ -50,7 +50,7 @@ TEST(Network, JitterIsDeterministicGivenTheStream) {
     net::Network n(p, 1);
     Rng rng(77);
     std::vector<VTime> v;
-    for (int i = 0; i < 10; ++i) v.push_back(n.arrival(0, 0, 4096, rng));
+    for (int i = 0; i < 10; ++i) v.push_back(n.arrival(0, 0, 0, 4096, rng));
     return v;
   };
   EXPECT_EQ(sample(), sample());
@@ -62,10 +62,10 @@ TEST(Network, JitterStaysBounded) {
   net::Network n(p, 1);
   net::Network clean(net::NetworkParams{}, 1);
   Rng rng(3);
-  const double base = vtime_to_sec(clean.arrival(0, 0, 8192, rng));
+  const double base = vtime_to_sec(clean.arrival(0, 0, 0, 8192, rng));
   Rng rng2(3);
   for (int i = 0; i < 200; ++i) {
-    const double t = vtime_to_sec(n.arrival(0, 0, 8192, rng2));
+    const double t = vtime_to_sec(n.arrival(0, 0, 0, 8192, rng2));
     EXPECT_GT(t, base * 0.2);
     EXPECT_LT(t, base * 2.0);
   }

@@ -207,8 +207,8 @@ TEST_F(PipelineTest, AnalyticalModelPredictsCloseToDirectExecution) {
   am_cfg.params = params;
   const auto am = harness::run_program(compiled_.simplified.program, am_cfg);
 
-  ASSERT_FALSE(de.out_of_memory);
-  ASSERT_FALSE(am.out_of_memory);
+  ASSERT_TRUE(de.ok());
+  ASSERT_TRUE(am.ok());
   EXPECT_GT(de.predicted_seconds(), 0.0);
   // Calibration at the same process count: AM should track DE tightly.
   EXPECT_NEAR(am.predicted_seconds(), de.predicted_seconds(),
@@ -241,7 +241,7 @@ TEST_F(PipelineTest, MemoryCapReportsOutOfMemory) {
   cfg.mode = harness::Mode::kDirectExec;
   cfg.memory_cap_bytes = 4096;  // far below the arrays' footprint
   const auto out = harness::run_program(prog_, cfg);
-  EXPECT_TRUE(out.out_of_memory);
+  EXPECT_TRUE(out.out_of_memory());
 }
 
 TEST_F(PipelineTest, CompileReportMentionsKeyFacts) {

@@ -35,6 +35,38 @@ TEST(Check, FailingConditionThrowsWithContext) {
   }
 }
 
+TEST(Check, FailurePrintsToStderrBeforeThrowing) {
+  testing::internal::CaptureStderr();
+  try {
+    STGSIM_CHECK(false) << "visible before unwind";
+    FAIL();
+  } catch (const CheckError&) {
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("CHECK failed"), std::string::npos);
+  EXPECT_NE(err.find("visible before unwind"), std::string::npos);
+  EXPECT_NE(err.find("test_support.cpp"), std::string::npos);
+}
+
+TEST(Check, FailureDuringUnwindingIsLoggedNotFatal) {
+  // A check that trips in a destructor while another exception is in
+  // flight must not call std::terminate (throwing from a destructor
+  // during unwinding would); it logs and lets the original propagate.
+  struct TrapInDtor {
+    ~TrapInDtor() { STGSIM_CHECK(false) << "dtor check"; }
+  };
+  testing::internal::CaptureStderr();
+  try {
+    TrapInDtor trap;
+    throw std::runtime_error("original");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "original");
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("dtor check"), std::string::npos);
+  EXPECT_NE(err.find("suppressed"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Memory tracking
 // ---------------------------------------------------------------------------
