@@ -1,0 +1,168 @@
+// Engine-scalability smoke benchmark (not a paper figure): AM-mode runs of
+// the SAMPLE kernel and Sweep3D at growing target-process counts, reporting
+// raw simulator throughput — scheduling events per second, message matches
+// per second — plus peak RSS. This is the regression guard for the PDES
+// hot paths (indexed-heap scheduler, flat per-source inboxes, pooled
+// message memory, compiled scaling expressions): CI runs it in Release
+// mode and archives the JSON it writes.
+//
+// Usage: perf_engine_scale [--max-procs N] [--out FILE]
+//   --max-procs N   skip sweep points above N target processes
+//                   (default 16384; CI uses a smaller bound)
+//   --out FILE      JSON output path (default BENCH_engine_scale.json)
+#include <sys/resource.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/sample.hpp"
+#include "apps/sweep3d.hpp"
+#include "bench/common.hpp"
+
+using namespace stgsim;
+
+namespace {
+
+struct Point {
+  std::string app;
+  int procs = 0;
+  harness::RunOutcome outcome;
+  double peak_rss_mb = 0.0;
+
+  double events() const {
+    return static_cast<double>(outcome.messages + outcome.slices);
+  }
+  double events_per_sec() const {
+    return events() / std::max(1e-9, outcome.sim_host_seconds);
+  }
+  double matches_per_sec() const {
+    return static_cast<double>(outcome.messages) /
+           std::max(1e-9, outcome.sim_host_seconds);
+  }
+};
+
+double peak_rss_mb() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+/// One AM-mode run: compile the app program for `procs` ranks and execute
+/// the simplified program with the calibrated w_i table.
+Point run_point(const std::string& app, const benchx::ProgramFactory& make,
+                int procs, const harness::MachineSpec& machine,
+                const std::map<std::string, double>& params) {
+  ir::Program prog = make(procs);
+  core::CompileResult compiled = core::compile(prog);
+
+  harness::RunConfig cfg;
+  cfg.nprocs = procs;
+  cfg.machine = machine;
+  cfg.mode = harness::Mode::kAnalytical;
+  cfg.params = params;
+  // AM-mode fibers execute only scalar prologue + delay/communication
+  // code; they do not need the default 256 KiB stacks at 16k ranks.
+  cfg.fiber_stack_bytes = 128 * 1024;
+
+  Point p;
+  p.app = app;
+  p.procs = procs;
+  p.outcome = harness::run_program(compiled.simplified.program, cfg);
+  p.peak_rss_mb = peak_rss_mb();
+  STGSIM_CHECK(p.outcome.ok())
+      << app << " @ " << procs << ": "
+      << harness::run_status_name(p.outcome.status) << " "
+      << p.outcome.diagnostic;
+  return p;
+}
+
+void write_json(const std::string& path, const std::vector<Point>& points) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"engine_scale\",\n  \"mode\": \"am\",\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    os << "    {\"app\": \"" << p.app << "\", \"procs\": " << p.procs
+       << ", \"messages\": " << p.outcome.messages
+       << ", \"slices\": " << p.outcome.slices
+       << ", \"wall_sec\": " << p.outcome.sim_host_seconds
+       << ", \"events_per_sec\": " << p.events_per_sec()
+       << ", \"matches_per_sec\": " << p.matches_per_sec()
+       << ", \"peak_rss_mb\": " << p.peak_rss_mb << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int max_procs = 16384;
+  std::string out_path = "BENCH_engine_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-procs") == 0 && i + 1 < argc) {
+      max_procs = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: perf_engine_scale [--max-procs N] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  const auto machine = harness::ibm_sp_machine();
+  const std::vector<int> sweep = {256, 1024, 4096, 16384};
+
+  // Same workloads the CLI defaults use, so numbers are comparable to
+  // `stgsim run --mode am` timings.
+  const benchx::ProgramFactory make_sample = [](int nprocs) {
+    (void)nprocs;
+    apps::SampleConfig cfg;
+    cfg.iterations = 40;
+    cfg.msg_doubles = 1024;
+    cfg.work_iters = 100000;
+    return apps::make_sample(cfg);
+  };
+  const benchx::ProgramFactory make_sweep = [](int nprocs) {
+    apps::Sweep3DConfig cfg;  // defaults: 4x4x255 per proc, kb=17
+    apps::sweep3d_grid_for(nprocs, &cfg.npe_i, &cfg.npe_j);
+    return apps::make_sweep3d(cfg);
+  };
+
+  print_experiment_header(
+      std::cout, "BENCH engine_scale",
+      "Simulator throughput vs target count (AM mode)",
+      {"events = messages + fiber resumptions (scheduling events)",
+       "matches/sec = delivered messages retired through the matcher",
+       "peak RSS is process-cumulative (monotone down the table)"});
+
+  std::vector<Point> points;
+  TablePrinter t({"app", "procs", "messages", "wall (s)", "events/s",
+                  "matches/s", "peak RSS (MB)"});
+  for (const auto& [app, make] :
+       std::vector<std::pair<std::string, benchx::ProgramFactory>>{
+           {"sample", make_sample}, {"sweep3d", make_sweep}}) {
+    const auto params = benchx::calibrate_at(make, 16, machine);
+    for (int procs : sweep) {
+      if (procs > max_procs) continue;
+      Point p = run_point(app, make, procs, machine, params);
+      t.add_row({p.app, TablePrinter::fmt_int(p.procs),
+                 TablePrinter::fmt_int(
+                     static_cast<std::int64_t>(p.outcome.messages)),
+                 TablePrinter::fmt(p.outcome.sim_host_seconds, 3),
+                 TablePrinter::fmt_int(
+                     static_cast<std::int64_t>(p.events_per_sec())),
+                 TablePrinter::fmt_int(
+                     static_cast<std::int64_t>(p.matches_per_sec())),
+                 TablePrinter::fmt(p.peak_rss_mb, 1)});
+      points.push_back(std::move(p));
+    }
+  }
+  std::cout << t.to_ascii();
+
+  write_json(out_path, points);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -10,6 +10,11 @@
 //              [--threads N] [--abstract-comm] [--memory-cap-mb M]
 //              [--seed S] [--fault SPEC]
 //              [--max-vtime-sec T] [--max-messages N] [--max-host-sec T]
+//              [--digest]
+//
+// --digest prints a 64-bit run digest (per-rank final virtual clocks,
+// message counts, delivered bytes) — two runs predicting bit-identical
+// results print the same digest, regardless of scheduler or host timing.
 //
 // --fault injects a deterministic fault plan (see src/fault/fault.hpp for
 // the clause syntax); the --max-* flags bound pathological runs, which then
@@ -38,6 +43,7 @@
 #include "core/compiler.hpp"
 #include "core/dtg.hpp"
 #include "fault/fault.hpp"
+#include "harness/digest.hpp"
 #include "harness/runner.hpp"
 #include "support/table.hpp"
 
@@ -236,6 +242,7 @@ int cmd_run(Args& args) {
   cfg.max_virtual_time = vtime_from_sec(args.real("max-vtime-sec", 0.0));
   cfg.max_messages = static_cast<std::uint64_t>(args.num("max-messages", 0));
   cfg.max_host_seconds = args.real("max-host-sec", 0.0);
+  const bool want_digest = args.flag("digest");
 
   harness::RunOutcome out;
   if (mode_str == "measured" || mode_str == "de") {
@@ -301,6 +308,7 @@ int cmd_run(Args& args) {
   t.add_row({"simulator wall-clock",
              TablePrinter::fmt(out.sim_host_seconds, 3) + " s"});
   std::cout << t.to_ascii();
+  if (want_digest) std::cout << "digest: " << harness::run_digest_hex(out) << '\n';
   return 0;
 }
 

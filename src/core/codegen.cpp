@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "symexpr/compiled.hpp"
 
 namespace stgsim::core {
 
@@ -87,6 +88,8 @@ class Simplifier {
       }
       StmtP d = out_.make_stmt(StmtKind::kDelay);
       d->e1 = pending.seconds.simplified();
+      d->e1_compiled = std::make_shared<const sym::CompiledExpr>(
+          sym::CompiledExpr::compile(d->e1));
       CondensedTask ct;
       ct.delay_stmt_id = d->id;
       ct.seconds = d->e1;
@@ -138,6 +141,7 @@ class Simplifier {
       t->name = opt_.dummy_buffer_name;
       t->e2 = bytes;
       t->e3 = Expr::integer(0);
+      t->payload_free = true;
       dummy_sizes_.push_back(bytes);
       ++dummy_comms_;
     }

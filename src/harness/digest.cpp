@@ -1,0 +1,59 @@
+#include "harness/digest.hpp"
+
+namespace stgsim::harness {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+class Fnv {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffU;
+      h_ *= kFnvPrime;
+    }
+  }
+  void mix_signed(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+}  // namespace
+
+std::uint64_t run_digest(const RunOutcome& outcome) {
+  Fnv f;
+  f.mix(static_cast<std::uint64_t>(outcome.status));
+  f.mix(static_cast<std::uint64_t>(outcome.nprocs));
+  f.mix_signed(outcome.predicted_time);
+  f.mix(static_cast<std::uint64_t>(outcome.per_rank.size()));
+  for (VTime t : outcome.per_rank) f.mix_signed(t);
+  f.mix(outcome.messages);
+  f.mix(static_cast<std::uint64_t>(outcome.per_rank_stats.size()));
+  for (const auto& s : outcome.per_rank_stats) {
+    f.mix_signed(s.compute_time);
+    f.mix_signed(s.comm_time);
+    f.mix(s.sends);
+    f.mix(s.recvs);
+    f.mix(s.collectives);
+    f.mix(s.delays);
+    f.mix(s.bytes_sent);
+  }
+  return f.value();
+}
+
+std::string run_digest_hex(const RunOutcome& outcome) {
+  static const char* digits = "0123456789abcdef";
+  std::uint64_t v = run_digest(outcome);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace stgsim::harness

@@ -1,0 +1,26 @@
+// Run digests: a stable 64-bit fingerprint of everything a simulation run
+// *predicts* — per-rank final virtual clocks, per-rank operation counts and
+// delivered bytes — deliberately excluding host-side timings. Two runs that
+// produce the same digest made bit-identical predictions, so the digest is
+// the contract the engine's hot-path refactors are held to: any change to
+// scheduling, matching, message memory, or expression evaluation must leave
+// digests untouched across all apps and both schedulers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "harness/runner.hpp"
+
+namespace stgsim::harness {
+
+/// FNV-1a style digest over the deterministic outputs of a run: status,
+/// rank count, per-rank completion clocks, total delivered messages, and
+/// per-rank stats (compute/comm virtual time, sends, recvs, collectives,
+/// delays, bytes sent). Host wall-clock and trace data are excluded.
+std::uint64_t run_digest(const RunOutcome& outcome);
+
+/// run_digest rendered as 16 lowercase hex digits.
+std::string run_digest_hex(const RunOutcome& outcome);
+
+}  // namespace stgsim::harness

@@ -101,7 +101,9 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
     out.sim_host_seconds = rr.host_seconds;
     out.peak_target_bytes = rr.peak_target_bytes;
     out.messages = rr.messages_delivered;
+    out.slices = rr.slices;
     out.stats = world.aggregate_stats();
+    out.per_rank_stats = world.all_stats();
     if (config.record_host_trace) out.host_trace = engine.host_trace();
   } catch (const MemoryCapExceeded& e) {
     out.status = RunStatus::kOutOfMemory;

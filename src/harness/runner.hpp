@@ -113,7 +113,9 @@ struct RunOutcome {
   double sim_host_seconds = 0.0;  ///< wall-clock the simulator itself took
   std::size_t peak_target_bytes = 0;
   std::uint64_t messages = 0;
-  smpi::RankStats stats;  ///< aggregate across ranks
+  std::uint64_t slices = 0;  ///< fiber resumptions (scheduling events)
+  smpi::RankStats stats;         ///< aggregate across ranks
+  std::vector<smpi::RankStats> per_rank_stats;  ///< indexed by rank
 
   std::vector<simk::Slice> host_trace;  ///< when record_host_trace
   int nprocs = 0;

@@ -1,9 +1,11 @@
 #include "ir/interp.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "machine/compute.hpp"
 #include "support/check.hpp"
+#include "symexpr/compiled.hpp"
 
 namespace stgsim::ir {
 
@@ -36,18 +38,32 @@ struct ArrayVal {
 
 /// Per-rank interpreter state: one flat frame of scalars, arrays and
 /// request lists (the paper's single-procedure model).
+///
+/// Scalars live in a dense slot frame: each name resolves to an index once
+/// (on declaration or first compiled-expression binding) and every read or
+/// write thereafter is vector indexing. The hot expressions — kDelay
+/// seconds, kFor bounds, kernel iteration counts — are compiled to
+/// sym::CompiledExpr tapes on first execution (or taken pre-compiled from
+/// the code generator) with their free variables bound to frame slots, so
+/// the steady state performs no name lookups at all. Cold expressions
+/// (declarations, extents, communication operands) keep the tree walker.
 class ExecState : public sym::Env {
  public:
   ExecState(const Program& prog, smpi::Comm& comm, const ExecOptions& options)
-      : prog_(prog), comm_(comm), options_(options) {}
+      : prog_(prog), comm_(comm), options_(options) {
+    stmt_cache_.resize(static_cast<std::size_t>(prog.next_id()));
+  }
 
   void run() { exec_block(prog_.main()); }
 
   // sym::Env
   std::optional<sym::Value> lookup(const std::string& name) const override {
-    auto it = scalars_.find(name);
-    if (it == scalars_.end()) return std::nullopt;
-    return it->second;
+    auto it = frame_index_.find(name);
+    if (it == frame_index_.end() ||
+        frame_defined_[static_cast<std::size_t>(it->second)] == 0) {
+      return std::nullopt;
+    }
+    return frame_[static_cast<std::size_t>(it->second)];
   }
 
   smpi::Comm& comm() { return comm_; }
@@ -64,46 +80,205 @@ class ExecState : public sym::Env {
   }
 
   sym::Value scalar(const std::string& name) const {
-    auto it = scalars_.find(name);
-    STGSIM_CHECK(it != scalars_.end()) << "unknown scalar '" << name << "'";
-    return it->second;
+    auto it = frame_index_.find(name);
+    STGSIM_CHECK(it != frame_index_.end() &&
+                 frame_defined_[static_cast<std::size_t>(it->second)] != 0)
+        << "unknown scalar '" << name << "'";
+    return frame_[static_cast<std::size_t>(it->second)];
   }
 
   void set_scalar(const std::string& name, sym::Value v, bool must_exist) {
     if (must_exist) {
-      auto it = scalars_.find(name);
-      STGSIM_CHECK(it != scalars_.end())
+      auto it = frame_index_.find(name);
+      STGSIM_CHECK(it != frame_index_.end() &&
+                   frame_defined_[static_cast<std::size_t>(it->second)] != 0)
           << "assignment to undeclared scalar '" << name << "'";
-      if (it->second.is_int() && !v.is_int()) {
-        // Keep declared integer scalars integral (Fortran INTEGER).
-        it->second = sym::Value(v.as_int());
-      } else {
-        it->second = v;
-      }
+      write_slot(static_cast<std::size_t>(it->second), v);
     } else {
-      scalars_[name] = v;
+      const auto slot = static_cast<std::size_t>(slot_of(name));
+      frame_[slot] = v;
+      frame_defined_[slot] = 1;
+      ++frame_gen_[slot];
     }
+  }
+
+  /// Writes a defined slot, keeping declared integer scalars integral
+  /// (Fortran INTEGER — same coercion as set_scalar with must_exist).
+  void write_slot(std::size_t slot, const sym::Value& v) {
+    sym::Value& cur = frame_[slot];
+    if (cur.is_int() && !v.is_int()) {
+      cur = sym::Value(v.as_int());
+    } else {
+      cur = v;
+    }
+    ++frame_gen_[slot];
   }
 
  private:
   friend class KernelCtx;
 
+  /// Find-or-create the frame slot for a scalar name. A slot created here
+  /// before its declaration executes stays undefined until then; compiled
+  /// expressions leave undefined slots unbound, so reading one raises the
+  /// same EvalError the tree walker would.
+  int slot_of(const std::string& name) {
+    auto [it, inserted] =
+        frame_index_.try_emplace(name, static_cast<int>(frame_.size()));
+    if (inserted) {
+      frame_.emplace_back();
+      frame_defined_.push_back(0);
+      frame_gen_.push_back(0);
+    }
+    return it->second;
+  }
+
+  /// A compiled expression whose free variables have been resolved to
+  /// frame slots (indices stay valid as the frame vector grows).
+  /// Expressions with no slots are pure; they fold to a value at bind
+  /// time and evaluation is a load.
+  struct BoundExpr {
+    std::shared_ptr<const sym::CompiledExpr> code;
+    std::vector<int> frame_slots;  ///< frame index per code->free_slots()[i]
+    bool is_const = false;
+    bool is_var = false;  ///< single-load tape: read the frame directly
+    sym::Value const_value;
+    /// Memoized last result, valid while every input slot's write
+    /// generation still matches gen_stamp. Most steady-state expressions
+    /// (peer ranks, message counts, neighbor conditions, condensed delay
+    /// costs) read only rank/size/configuration scalars that are written
+    /// once, so revalidation is an integer compare per input instead of a
+    /// tape run. Expressions are pure, so evaluation itself never moves a
+    /// generation.
+    bool has_cache = false;
+    sym::Value cached_value;
+    std::vector<std::uint64_t> gen_stamp;  ///< per frame_slots[i]
+  };
+
+  /// Lazily-built per-statement cache of bound hot expressions (kDelay e1,
+  /// kFor lo/hi, kCompute iters, comm peer/count/offset, kIf condition,
+  /// kAssign rhs) plus resolved name lookups (frame slot, array, request
+  /// list — map/frame entries are never erased, so the pointers and
+  /// indices stay valid). Indexed densely by statement id.
+  struct StmtCache {
+    BoundExpr a, b, c;
+    ArrayVal* array = nullptr;
+    std::vector<smpi::Request>* requests = nullptr;
+    int var_slot = -1;
+    bool ready = false;
+  };
+
+  StmtCache& cache_of(const Stmt& s) {
+    STGSIM_DCHECK(s.id >= 0);
+    const auto i = static_cast<std::size_t>(s.id);
+    if (i >= stmt_cache_.size()) stmt_cache_.resize(i + 1);
+    return stmt_cache_[i];
+  }
+
+  void bind(BoundExpr& be, const sym::Expr& tree,
+            const std::shared_ptr<const sym::CompiledExpr>& precompiled) {
+    be.code = precompiled != nullptr
+                  ? precompiled
+                  : std::make_shared<const sym::CompiledExpr>(
+                        sym::CompiledExpr::compile(tree));
+    be.frame_slots.reserve(be.code->free_slots().size());
+    for (const int s : be.code->free_slots()) {
+      be.frame_slots.push_back(
+          slot_of(be.code->slot_names()[static_cast<std::size_t>(s)]));
+    }
+    if (be.code->num_slots() == 0) {
+      be.code->prepare(scratch_);
+      be.const_value = be.code->eval(scratch_);
+      be.is_const = true;
+    } else {
+      be.is_var = be.code->single_load();
+      be.gen_stamp.assign(be.frame_slots.size(), 0);
+    }
+  }
+
+  /// Evaluates a bound expression against the current frame. The shared
+  /// scratch is sized grow-only and NOT cleared between expressions: every
+  /// loadable slot is explicitly written below (free slots) or managed by
+  /// the tape itself (Sum binders), so stale entries from other
+  /// expressions are unreachable.
+  sym::Value eval_bound(BoundExpr& be) {
+    if (be.is_const) return be.const_value;
+    if (be.is_var) {
+      const auto fi = static_cast<std::size_t>(be.frame_slots[0]);
+      if (frame_defined_[fi] == 0) {
+        throw sym::EvalError("unbound variable '" +
+                             be.code->slot_names()[0] + "'");
+      }
+      return frame_[fi];
+    }
+    if (be.has_cache) {
+      bool fresh = true;
+      for (std::size_t i = 0; i < be.frame_slots.size(); ++i) {
+        if (be.gen_stamp[i] !=
+            frame_gen_[static_cast<std::size_t>(be.frame_slots[i])]) {
+          fresh = false;
+          break;
+        }
+      }
+      if (fresh) return be.cached_value;
+    }
+    const auto n = static_cast<std::size_t>(be.code->num_slots());
+    if (scratch_.slots.size() < n) {
+      scratch_.slots.resize(n);
+      scratch_.bound.resize(n);
+    }
+    const std::vector<int>& free = be.code->free_slots();
+    for (std::size_t i = 0; i < free.size(); ++i) {
+      const auto slot = static_cast<std::size_t>(free[i]);
+      const auto fi = static_cast<std::size_t>(be.frame_slots[i]);
+      if (frame_defined_[fi] != 0) {
+        scratch_.slots[slot] = frame_[fi];
+        scratch_.bound[slot] = 1;
+      } else {
+        scratch_.bound[slot] = 0;
+      }
+    }
+    sym::Value v = be.code->eval(scratch_);
+    for (std::size_t i = 0; i < be.frame_slots.size(); ++i) {
+      be.gen_stamp[i] = frame_gen_[static_cast<std::size_t>(be.frame_slots[i])];
+    }
+    be.cached_value = v;
+    be.has_cache = true;
+    return v;
+  }
+
   void exec_block(const std::vector<StmtP>& block) {
     for (const auto& s : block) exec_stmt(*s);
   }
 
+  /// Binds the hot operands of a communication statement: e1 (peer/root),
+  /// e2 (count), e3 (offset), the target array, and its request list.
+  void prepare_comm(const Stmt& s, StmtCache& c) {
+    bind(c.a, s.e1, nullptr);
+    bind(c.b, s.e2, nullptr);
+    bind(c.c, s.e3, nullptr);
+    c.array = &array(s.name);
+    if (s.kind == StmtKind::kIsend || s.kind == StmtKind::kIrecv) {
+      c.requests = &requests_[s.aux_name];
+    }
+    c.ready = true;
+  }
+
   /// Resolves (array, offset_elems, count_elems) to a raw span for a
-  /// communication statement, bounds-checked.
-  std::uint8_t* comm_span(const Stmt& s, std::size_t* bytes_out) {
-    ArrayVal& a = array(s.name);
-    const std::int64_t count = s.e2.eval_int(*this);
-    const std::int64_t offset = s.e3.eval_int(*this);
+  /// communication statement, bounds-checked. Payload-free statements
+  /// (dummy-buffer transfers emitted by the code generator) return null:
+  /// the wire size is still exact but no bytes are staged or copied.
+  std::uint8_t* comm_span(const Stmt& s, StmtCache& c,
+                          std::size_t* bytes_out) {
+    ArrayVal& a = *c.array;
+    const std::int64_t count = eval_bound(c.b).as_int();
+    const std::int64_t offset = eval_bound(c.c).as_int();
     STGSIM_CHECK_GE(count, 0);
     STGSIM_CHECK_GE(offset, 0);
     STGSIM_CHECK_LE(static_cast<std::size_t>(offset + count), a.elems)
         << "communication slice out of bounds on '" << s.name << "' (offset "
         << offset << " count " << count << " elems " << a.elems << ")";
     *bytes_out = static_cast<std::size_t>(count) * a.elem_bytes;
+    if (s.payload_free) return nullptr;
     return a.buf.data() + static_cast<std::size_t>(offset) * a.elem_bytes;
   }
 
@@ -134,20 +309,47 @@ class ExecState : public sym::Env {
         arrays_[s.name] = std::move(a);
         break;
       }
-      case StmtKind::kAssign:
-        set_scalar(s.name, s.e1.eval(*this), /*must_exist=*/true);
+      case StmtKind::kAssign: {
+        StmtCache& c = cache_of(s);
+        if (!c.ready) {
+          bind(c.a, s.e1, nullptr);
+          c.ready = true;
+        }
+        sym::Value v = eval_bound(c.a);
+        if (c.var_slot < 0) {
+          set_scalar(s.name, v, /*must_exist=*/true);  // checks declaration
+          c.var_slot = frame_index_.find(s.name)->second;
+        } else {
+          write_slot(static_cast<std::size_t>(c.var_slot), v);
+        }
         break;
+      }
       case StmtKind::kFor: {
-        const std::int64_t lo = s.e1.eval_int(*this);
-        const std::int64_t hi = s.e2.eval_int(*this);
+        StmtCache& c = cache_of(s);
+        if (!c.ready) {
+          bind(c.a, s.e1, nullptr);
+          bind(c.b, s.e2, nullptr);
+          c.var_slot = slot_of(s.name);
+          c.ready = true;
+        }
+        const std::int64_t lo = eval_bound(c.a).as_int();
+        const std::int64_t hi = eval_bound(c.b).as_int();
+        const auto var = static_cast<std::size_t>(c.var_slot);
         for (std::int64_t i = lo; i <= hi; ++i) {
-          set_scalar(s.name, sym::Value(i), /*must_exist=*/false);
+          frame_[var] = sym::Value(i);
+          frame_defined_[var] = 1;
+          ++frame_gen_[var];
           exec_block(s.body);
         }
         break;
       }
       case StmtKind::kIf: {
-        const bool taken = s.e1.eval(*this).as_bool();
+        StmtCache& c = cache_of(s);
+        if (!c.ready) {
+          bind(c.a, s.e1, nullptr);
+          c.ready = true;
+        }
+        const bool taken = eval_bound(c.a).as_bool();
         if (options_.branches != nullptr) {
           options_.branches->record(s.id, taken);
         }
@@ -162,38 +364,46 @@ class ExecState : public sym::Env {
         exec_kernel(s, s.kernel);
         break;
       case StmtKind::kSend: {
+        StmtCache& c = cache_of(s);
+        if (!c.ready) prepare_comm(s, c);
         std::size_t bytes = 0;
-        const std::uint8_t* p = comm_span(s, &bytes);
-        const auto dst = static_cast<int>(s.e1.eval_int(*this));
+        const std::uint8_t* p = comm_span(s, c, &bytes);
+        const auto dst = static_cast<int>(eval_bound(c.a).as_int());
         const VTime t0 = comm_.now();
         comm_.send(dst, s.tag, p, bytes);
         observe_comm(s, dst, bytes, t0);
         break;
       }
       case StmtKind::kRecv: {
+        StmtCache& c = cache_of(s);
+        if (!c.ready) prepare_comm(s, c);
         std::size_t bytes = 0;
-        std::uint8_t* p = comm_span(s, &bytes);
-        const auto src = static_cast<int>(s.e1.eval_int(*this));
+        std::uint8_t* p = comm_span(s, c, &bytes);
+        const auto src = static_cast<int>(eval_bound(c.a).as_int());
         const VTime t0 = comm_.now();
         comm_.recv(src, s.tag, p, bytes);
         observe_comm(s, src, bytes, t0);
         break;
       }
       case StmtKind::kIsend: {
+        StmtCache& c = cache_of(s);
+        if (!c.ready) prepare_comm(s, c);
         std::size_t bytes = 0;
-        const std::uint8_t* p = comm_span(s, &bytes);
-        const auto dst = static_cast<int>(s.e1.eval_int(*this));
+        const std::uint8_t* p = comm_span(s, c, &bytes);
+        const auto dst = static_cast<int>(eval_bound(c.a).as_int());
         const VTime t0 = comm_.now();
-        reqs(s.aux_name).push_back(comm_.isend(dst, s.tag, p, bytes));
+        c.requests->push_back(comm_.isend(dst, s.tag, p, bytes));
         observe_comm(s, dst, bytes, t0);
         break;
       }
       case StmtKind::kIrecv: {
+        StmtCache& c = cache_of(s);
+        if (!c.ready) prepare_comm(s, c);
         std::size_t bytes = 0;
-        std::uint8_t* p = comm_span(s, &bytes);
-        const auto src = static_cast<int>(s.e1.eval_int(*this));
+        std::uint8_t* p = comm_span(s, c, &bytes);
+        const auto src = static_cast<int>(eval_bound(c.a).as_int());
         const VTime t0 = comm_.now();
-        reqs(s.aux_name).push_back(comm_.irecv(src, s.tag, p, bytes));
+        c.requests->push_back(comm_.irecv(src, s.tag, p, bytes));
         observe_comm(s, src, bytes, t0);
         break;
       }
@@ -210,9 +420,11 @@ class ExecState : public sym::Env {
         break;
       }
       case StmtKind::kBcast: {
+        StmtCache& c = cache_of(s);
+        if (!c.ready) prepare_comm(s, c);
         std::size_t bytes = 0;
-        std::uint8_t* p = comm_span(s, &bytes);
-        const auto root = static_cast<int>(s.e1.eval_int(*this));
+        std::uint8_t* p = comm_span(s, c, &bytes);
+        const auto root = static_cast<int>(eval_bound(c.a).as_int());
         const VTime t0 = comm_.now();
         comm_.bcast(p, bytes, root);
         observe_comm(s, root, bytes, t0);
@@ -243,7 +455,12 @@ class ExecState : public sym::Env {
                    /*must_exist=*/false);
         break;
       case StmtKind::kDelay: {
-        const double sec = s.e1.eval_real(*this);
+        StmtCache& c = cache_of(s);
+        if (!c.ready) {
+          bind(c.a, s.e1, s.e1_compiled);
+          c.ready = true;
+        }
+        const double sec = eval_bound(c.a).as_real();
         STGSIM_CHECK_GE(sec, -1e-12)
             << "negative delay from scaling function: " << s.e1.to_string();
         comm_.delay_seconds(std::max(sec, 0.0));
@@ -287,7 +504,12 @@ class ExecState : public sym::Env {
 
   void exec_kernel(const Stmt& stmt, const KernelSpec& k) {
     const VTime t_begin = comm_.now();
-    const std::int64_t iters = k.iters.eval_int(*this);
+    StmtCache& c = cache_of(stmt);
+    if (!c.ready) {
+      bind(c.a, k.iters, nullptr);
+      c.ready = true;
+    }
+    const std::int64_t iters = eval_bound(c.a).as_int();
     STGSIM_CHECK_GE(iters, 0) << "negative iteration count for " << k.task;
 
     KernelCtx ctx(*this, k, iters);
@@ -330,7 +552,15 @@ class ExecState : public sym::Env {
   smpi::Comm& comm_;
   ExecOptions options_;
 
-  std::map<std::string, sym::Value> scalars_;
+  // Scalar slot frame (see class comment).
+  std::vector<sym::Value> frame_;
+  std::vector<std::uint8_t> frame_defined_;
+  std::vector<std::uint64_t> frame_gen_;  ///< write generation per slot
+  std::unordered_map<std::string, int> frame_index_;
+
+  std::vector<StmtCache> stmt_cache_;  ///< indexed by Stmt::id
+  sym::CompiledExpr::Scratch scratch_;
+
   std::map<std::string, ArrayVal> arrays_;
   std::map<std::string, std::vector<smpi::Request>> requests_;
   std::map<std::string, VTime> open_timers_;

@@ -176,11 +176,13 @@ StmtP clone_stmt(const Stmt& s) {
   c->aux_name = s.aux_name;
   c->scalar_is_real = s.scalar_is_real;
   c->has_init = s.has_init;
+  c->payload_free = s.payload_free;
   c->elem_bytes = s.elem_bytes;
   c->tag = s.tag;
   c->e1 = s.e1;
   c->e2 = s.e2;
   c->e3 = s.e3;
+  c->e1_compiled = s.e1_compiled;
   c->extents = s.extents;
   c->kernel = s.kernel;
   c->body = clone_block(s.body);

@@ -43,6 +43,10 @@
 
 #include "symexpr/expr.hpp"
 
+namespace stgsim::sym {
+class CompiledExpr;
+}
+
 namespace stgsim::ir {
 
 class KernelCtx;
@@ -102,12 +106,25 @@ struct Stmt {
   std::string aux_name;
   bool scalar_is_real = false;
   bool has_init = false;
+
+  /// Set by the code generator on communication statements it redirected
+  /// to the shared dummy buffer: the transfer must be modeled with the
+  /// correct wire size and timing, but the bytes moved carry no meaning,
+  /// so the interpreter passes a null span and no payload is copied.
+  bool payload_free = false;
   std::size_t elem_bytes = sizeof(double);
   int tag = 0;
 
   sym::Expr e1, e2, e3;
   std::vector<sym::Expr> extents;
   KernelSpec kernel;
+
+  /// Optional precompiled form of e1, set by the code generator for kDelay
+  /// statements: the condensed scaling expression is compiled to a slot
+  /// tape once and shared (immutably) by every rank's interpreter instead
+  /// of being re-walked as an Expr DAG per evaluation. clone() preserves
+  /// the pointer.
+  std::shared_ptr<const sym::CompiledExpr> e1_compiled;
 
   std::vector<StmtP> body;
   std::vector<StmtP> else_body;

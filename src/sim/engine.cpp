@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <queue>
 #include <sstream>
 #include <thread>
 
@@ -30,28 +29,40 @@ double thread_cpu_sec() {
          static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
-/// Min-heap of (clock, rank); clocks are frozen while a process is ready,
-/// so entries never go stale.
-using ReadyHeap =
-    std::priority_queue<std::pair<VTime, int>,
-                        std::vector<std::pair<VTime, int>>,
-                        std::greater<std::pair<VTime, int>>>;
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Process
 // ---------------------------------------------------------------------------
 
+Process::~Process() {
+  // Unconsumed messages (legal at exit, like unmatched MPI sends) go back
+  // to the engine's arena; the arena outlives procs_ by declaration order.
+  if (engine_ == nullptr) return;
+  for (auto& ch : channels_) {
+    MsgNode* n = ch.head;
+    while (n != nullptr) {
+      MsgNode* next = n->next;
+      engine_->msg_arena_.recycle(n);
+      n = next;
+    }
+    ch.head = ch.tail = nullptr;
+  }
+}
+
 int Process::world_size() const { return engine_->config().num_processes; }
 
 MemoryTracker& Process::memory() { return engine_->memory(); }
+
+PayloadBuf Process::make_payload(const void* data, std::size_t n) {
+  return engine_->payload_pool_.make(data, n);
+}
 
 void Process::send(Message msg) {
   STGSIM_DCHECK(msg.src == rank_);
   STGSIM_DCHECK(msg.dst >= 0 && msg.dst < world_size());
   STGSIM_DCHECK(msg.arrival >= msg.sent_at);
-  msg.seq = next_seq_[msg.dst]++;
+  msg.seq = next_seq_for(msg.dst);
   if (engine_->config().record_host_trace) {
     msg.producer_slice = current_slice_;
     msg.producer_offset_sec = thread_cpu_sec() - slice_begin_sec_;
@@ -60,10 +71,15 @@ void Process::send(Message msg) {
 }
 
 bool Process::try_match(const MatchSpec& spec, Message* out) {
-  auto take = [&](std::deque<Message>& q, std::size_t idx) {
-    *out = std::move(q[idx]);
-    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+  auto take = [&](Channel& ch, MsgNode* node, MsgNode* prev) {
+    if (prev != nullptr) {
+      prev->next = node->next;
+    } else {
+      ch.head = node->next;
+    }
+    if (ch.tail == node) ch.tail = prev;
     --inbox_size_;
+    *out = engine_->msg_arena_.release(node);
     if (engine_->config().record_host_trace) {
       // Consuming a message is a dependency point: end the current slice
       // here and begin a new one gated on the message's production point.
@@ -75,13 +91,13 @@ bool Process::try_match(const MatchSpec& spec, Message* out) {
     }
   };
 
-  if (spec.src != MatchSpec::kAnySource) {
-    auto it = inbox_.find(spec.src);
-    if (it == inbox_.end()) return false;
-    auto& q = it->second;
-    for (std::size_t i = 0; i < q.size(); ++i) {
-      if (spec.accept(q[i])) {
-        take(q, i);
+  if (spec.src != MatchSpec::kAnySource && spec.any_of == nullptr) {
+    Channel* ch = find_channel(spec.src);
+    if (ch == nullptr) return false;
+    MsgNode* prev = nullptr;
+    for (MsgNode* n = ch->head; n != nullptr; prev = n, n = n->next) {
+      if (spec.accepts(n->value)) {
+        take(*ch, n, prev);
         return true;
       }
     }
@@ -90,37 +106,41 @@ bool Process::try_match(const MatchSpec& spec, Message* out) {
 
   // Wildcard: per MPI, messages from one source are matched in send order;
   // across sources we pick the earliest arrival (ties by source id) among
-  // each channel's first acceptable message.
-  std::deque<Message>* best_q = nullptr;
-  std::size_t best_idx = 0;
+  // each channel's first acceptable message. The explicit tie-break makes
+  // channel iteration order irrelevant.
+  Channel* best_ch = nullptr;
+  MsgNode* best_node = nullptr;
+  MsgNode* best_prev = nullptr;
   VTime best_arrival = kVTimeNever;
   int best_src = -1;
-  for (auto& [src, q] : inbox_) {
-    for (std::size_t i = 0; i < q.size(); ++i) {
-      if (spec.accept(q[i])) {
-        if (q[i].arrival < best_arrival ||
-            (q[i].arrival == best_arrival && src < best_src)) {
-          best_q = &q;
-          best_idx = i;
-          best_arrival = q[i].arrival;
-          best_src = src;
+  for (auto& ch : channels_) {
+    MsgNode* prev = nullptr;
+    for (MsgNode* n = ch.head; n != nullptr; prev = n, n = n->next) {
+      if (spec.accepts(n->value)) {
+        if (n->value.arrival < best_arrival ||
+            (n->value.arrival == best_arrival && ch.src < best_src)) {
+          best_ch = &ch;
+          best_node = n;
+          best_prev = prev;
+          best_arrival = n->value.arrival;
+          best_src = ch.src;
         }
         break;  // only the first acceptable message per channel competes
       }
     }
   }
-  if (best_q == nullptr) return false;
-  take(*best_q, best_idx);
+  if (best_ch == nullptr) return false;
+  take(*best_ch, best_node, best_prev);
   return true;
 }
 
 bool Process::peek_match(const MatchSpec& spec, VTime* arrival) const {
   VTime best = kVTimeNever;
-  for (const auto& [src, q] : inbox_) {
-    if (spec.src != MatchSpec::kAnySource && spec.src != src) continue;
-    for (const auto& m : q) {
-      if (spec.accept(m)) {
-        best = std::min(best, m.arrival);
+  for (const auto& ch : channels_) {
+    if (spec.src != MatchSpec::kAnySource && spec.src != ch.src) continue;
+    for (const MsgNode* n = ch.head; n != nullptr; n = n->next) {
+      if (spec.accepts(n->value)) {
+        best = std::min(best, n->value.arrival);
         break;  // send order: only the first acceptable per channel
       }
     }
@@ -174,16 +194,24 @@ void Engine::deliver(Message&& msg) {
   Process& dst = *procs_[static_cast<std::size_t>(msg.dst)];
 
   if (threaded_phase_ && dst.home_worker_ != g_current_worker) {
-    // Cross-partition: buffered until the end-of-round barrier.
+    // Cross-partition: buffered until the end-of-round barrier. (Payload
+    // buffers allocated on this worker travel with the message; the pool
+    // is spinlocked, and the barrier orders node reuse.)
     round_outboxes_[static_cast<std::size_t>(g_current_worker)].push_back(
         std::move(msg));
     return;
   }
 
-  auto& q = dst.inbox_[msg.src];
-  STGSIM_DCHECK(q.empty() || q.back().seq < msg.seq)
+  Process::Channel& ch = dst.channel(msg.src);
+  STGSIM_DCHECK(ch.tail == nullptr || ch.tail->value.seq < msg.seq)
       << "FIFO violation on channel " << msg.src << "->" << msg.dst;
-  q.push_back(std::move(msg));
+  MsgNode* node = msg_arena_.acquire(std::move(msg));
+  if (ch.tail != nullptr) {
+    ch.tail->next = node;
+  } else {
+    ch.head = node;
+  }
+  ch.tail = node;
   ++dst.inbox_size_;
   const std::uint64_t delivered = ++messages_delivered_;
   if (config_.max_messages > 0 && delivered > config_.max_messages) {
@@ -197,14 +225,14 @@ void Engine::deliver(Message&& msg) {
     // Wake only if the newly available message completes a match, so a
     // process never context-switches spuriously.
     const MatchSpec& spec = *dst.waiting_on_;
-    const Message& m = q.back();
+    const Message& m = node->value;
     bool can_match = false;
     if (spec.src == MatchSpec::kAnySource || spec.src == m.src) {
       // The new message is last in its channel; it can only be matched if
       // no earlier message in the same channel also matches (that one
       // would have woken us already) — so testing the new message alone
       // is exact.
-      can_match = spec.accept(m);
+      can_match = spec.accepts(m);
     }
     if (can_match) {
       dst.blocked_ = false;
@@ -394,9 +422,12 @@ RunResult Engine::run() {
 }
 
 void Engine::run_sequential() {
-  ReadyHeap heap;
+  // Runnable processes keyed by virtual clock; clocks are frozen while a
+  // process is ready, so entries never go stale. (key, id) pop order
+  // matches the std::priority_queue<pair> the heap replaced.
+  IndexedMinHeap<VTime> heap(config_.num_processes);
   ready_.reserve(procs_.size());
-  for (const auto& p : procs_) heap.push({p->clock_, p->rank_});
+  for (const auto& p : procs_) heap.push(p->rank_, p->clock_);
 
   std::size_t remaining = procs_.size();
   std::uint64_t iter = 0;
@@ -408,16 +439,14 @@ void Engine::run_sequential() {
       raise_budget(BudgetExceededError::Kind::kHostWallClock,
                    "host wall-clock watchdog fired in scheduler");
     }
-    const auto [clock, rank] = heap.top();
-    heap.pop();
+    const int rank = heap.pop();
     Process& p = *procs_[static_cast<std::size_t>(rank)];
-    STGSIM_DCHECK(p.clock_ == clock);
     resume_process(p);
     if (error_) abort_run(error_);
     if (p.finished_) --remaining;
     // Deliveries during the slice queued wakeups into ready_.
     for (int woken : ready_) {
-      heap.push({procs_[static_cast<std::size_t>(woken)]->clock_, woken});
+      heap.push(woken, procs_[static_cast<std::size_t>(woken)]->clock_);
     }
     ready_.clear();
   }
@@ -425,21 +454,20 @@ void Engine::run_sequential() {
 
 void Engine::run_partition_until_blocked(int worker) {
   g_current_worker = worker;
-  ReadyHeap heap;
+  IndexedMinHeap<VTime>& heap = worker_heaps_[static_cast<std::size_t>(worker)];
   std::vector<int>& local_ready = worker_ready_[static_cast<std::size_t>(worker)];
   for (int rank : local_ready) {
-    heap.push({procs_[static_cast<std::size_t>(rank)]->clock_, rank});
+    heap.push(rank, procs_[static_cast<std::size_t>(rank)]->clock_);
   }
   local_ready.clear();
 
   while (!heap.empty()) {
-    const auto [clock, rank] = heap.top();
-    heap.pop();
+    const int rank = heap.pop();
     Process& p = *procs_[static_cast<std::size_t>(rank)];
     resume_process(p);
     // Local deliveries appended wakeups to our own worker list.
     for (int woken : local_ready) {
-      heap.push({procs_[static_cast<std::size_t>(woken)]->clock_, woken});
+      heap.push(woken, procs_[static_cast<std::size_t>(woken)]->clock_);
     }
     local_ready.clear();
   }
@@ -448,8 +476,11 @@ void Engine::run_partition_until_blocked(int worker) {
 void Engine::run_threaded() {
   const int workers = config_.host_workers;
   threaded_run_ = true;
-  round_outboxes_.assign(static_cast<std::size_t>(workers), {});
+  round_outboxes_.clear();
+  round_outboxes_.resize(static_cast<std::size_t>(workers));
   worker_ready_.assign(static_cast<std::size_t>(workers), {});
+  worker_heaps_.resize(static_cast<std::size_t>(workers));
+  for (auto& h : worker_heaps_) h.reset(config_.num_processes);
   for (const auto& p : procs_) {
     worker_ready_[static_cast<std::size_t>(p->home_worker_)].push_back(
         p->rank_);

@@ -22,20 +22,28 @@
 //    flushes cross-partition mailboxes at a barrier. Used to validate that
 //    parallel execution is deterministic and agrees with the sequential
 //    scheduler.
+//
+// Hot-path data structures (all per-engine, no global state):
+//  * runnable processes sit in an IndexedMinHeap keyed by virtual clock;
+//  * each process's inbox is a flat vector of per-source channels holding
+//    intrusively-linked nodes from a shared ObjectArena<Message>;
+//  * direct-execution payloads live in a size-classed PayloadPool.
+// All three recycle storage, so steady-state simulation performs no heap
+// allocation per message.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/fiber.hpp"
+#include "sim/pool.hpp"
 #include "support/check.hpp"
+#include "support/indexed_heap.hpp"
 #include "support/memtrack.hpp"
 #include "support/rng.hpp"
 #include "support/vtime.hpp"
@@ -44,42 +52,78 @@ namespace stgsim::simk {
 
 /// A timestamped message between target processes. Payload holds real data
 /// under direct execution; under the analytical model only `wire_bytes` is
-/// meaningful and the payload stays empty.
+/// meaningful and the payload stays empty. `kind` is a protocol-layer
+/// discriminator (smpi: eager/RTS/CTS/collective) kept separate from the
+/// user-level tag so matching never has to unpack bit fields.
 struct Message {
   int src = -1;
   int dst = -1;
-  int tag = 0;
+  int tag = 0;              ///< user-level tag (protocol kind is `kind`)
+  std::uint8_t kind = 0;    ///< protocol-defined discriminator, < 8
   VTime sent_at = 0;        ///< virtual time the send was issued
   VTime arrival = 0;        ///< virtual time available at the receiver
   std::uint64_t seq = 0;    ///< per-(src,dst) send order (non-overtaking)
   std::uint64_t aux = 0;    ///< protocol-defined (rendezvous/collective ids)
   std::size_t wire_bytes = 0;
-  std::vector<std::uint8_t> payload;
+  PayloadBuf payload;       ///< pooled; empty under the analytical model
 
   // Host-trace bookkeeping (set by the engine on send).
   std::uint64_t producer_slice = 0;
   double producer_offset_sec = 0.0;
 };
 
-/// Matching rule for a (blocking) receive: source (or kAnySource) plus an
-/// acceptance test over tag/kind. The engine applies MPI ordering: for a
-/// fixed source, the earliest message in send order whose accept() holds.
+/// Matching rule for a (blocking) receive: plain data compared inline —
+/// no std::function, no allocation per probe. The engine applies MPI
+/// ordering: for a fixed source, the earliest message in send order that
+/// the spec accepts. `any_of` expresses a union of alternatives (waitany):
+/// the alternatives array must outlive the spec's use (stack-lived in the
+/// blocked fiber is fine).
 struct MatchSpec {
   static constexpr int kAnySource = -1;
+  static constexpr int kAnyTag = -1;
+  static constexpr std::uint8_t kAnyKind = 0xff;
+
   int src = kAnySource;
-  std::function<bool(const Message&)> accept;
+  int tag = kAnyTag;               ///< user tag; kAnyTag accepts all
+  std::uint8_t kind_mask = kAnyKind;  ///< bit per accepted Message::kind
+  bool match_aux = false;          ///< when set, require aux equality
+  std::uint64_t aux = 0;
+
+  const MatchSpec* any_of = nullptr;  ///< union of alternatives (waitany)
+  std::uint32_t any_of_count = 0;
 
   // Diagnostic labels surfaced by the deadlock detector (never used for
   // matching): what operation is blocked and on which user-level tag.
   const char* what = "recv";  ///< e.g. "recv", "rendezvous-cts", "waitany"
   int user_tag = -1;          ///< user-level tag; -1 = wildcard/unknown
+
+  bool accepts(const Message& m) const {
+    if (any_of != nullptr) {
+      for (std::uint32_t i = 0; i < any_of_count; ++i) {
+        if (any_of[i].accepts(m)) return true;
+      }
+      return false;
+    }
+    if (src != kAnySource && src != m.src) return false;
+    if ((kind_mask & static_cast<std::uint8_t>(1u << m.kind)) == 0) {
+      return false;
+    }
+    if (tag != kAnyTag && tag != m.tag) return false;
+    if (match_aux && aux != m.aux) return false;
+    return true;
+  }
 };
 
 class Engine;
 
+/// Queued-message node; lives in the engine's ObjectArena.
+using MsgNode = ObjectArena<Message>::Node;
+
 /// Handle a target-process body uses to interact with the simulation.
 class Process {
  public:
+  ~Process();
+
   int rank() const { return rank_; }
   int world_size() const;
 
@@ -96,6 +140,10 @@ class Process {
 
   /// Sends a message. msg.src must equal rank(); seq is assigned here.
   void send(Message msg);
+
+  /// Copies `n` bytes into a buffer from the engine's payload pool (the
+  /// allocation-free path for direct-execution sends).
+  PayloadBuf make_payload(const void* data, std::size_t n);
 
   /// Non-blocking probe-and-remove: returns true and fills *out if a
   /// message matching `spec` is available now.
@@ -124,6 +172,42 @@ class Process {
  private:
   friend class Engine;
 
+  /// One FIFO of queued messages from a single source. Three words when
+  /// empty; nodes come from the engine's arena, so inbox overhead is
+  /// bounded by peak in-flight messages, not message churn.
+  struct Channel {
+    int src = -1;
+    MsgNode* head = nullptr;
+    MsgNode* tail = nullptr;
+  };
+
+  Channel* find_channel(int src) {
+    for (auto& ch : channels_) {
+      if (ch.src == src) return &ch;
+    }
+    return nullptr;
+  }
+  const Channel* find_channel(int src) const {
+    for (const auto& ch : channels_) {
+      if (ch.src == src) return &ch;
+    }
+    return nullptr;
+  }
+  Channel& channel(int src) {
+    if (Channel* ch = find_channel(src)) return *ch;
+    channels_.push_back(Channel{src, nullptr, nullptr});
+    return channels_.back();
+  }
+
+  /// Next outgoing seq for `dst` (flat map: senders talk to few peers).
+  std::uint64_t next_seq_for(int dst) {
+    for (auto& e : next_seq_) {
+      if (e.first == dst) return e.second++;
+    }
+    next_seq_.push_back({dst, 1});
+    return 0;
+  }
+
   /// How many advance() calls between host wall-clock watchdog probes
   /// (clock_gettime per charge would be measurable on hot loops).
   static constexpr int kWatchdogStride = 4096;
@@ -141,12 +225,14 @@ class Process {
   const MatchSpec* waiting_on_ = nullptr;  // valid while blocked_
   int home_worker_ = 0;
 
-  // Inbox: per-source channels in send (seq) order.
-  std::map<int, std::deque<Message>> inbox_;
+  // Inbox: per-source channels in send (seq) order. Channel order is
+  // first-delivery order; all cross-channel choices use explicit
+  // (arrival, src) tie-breaks, so iteration order never affects results.
+  std::vector<Channel> channels_;
   std::uint64_t inbox_size_ = 0;
 
   // Next seq per destination for outgoing messages.
-  std::map<int, std::uint64_t> next_seq_;
+  std::vector<std::pair<int, std::uint64_t>> next_seq_;
 
   // Host-trace state: current slice id and its start instant.
   std::uint64_t current_slice_ = 0;
@@ -296,6 +382,12 @@ class Engine {
   /// Used for ANY_SOURCE safety by the layer above.
   VTime wildcard_safe_bound(VTime min_latency) const;
 
+  /// Pool/arena accounting — simulator overhead, distinct from the
+  /// MemoryTracker's target-visible bytes. Capacity is bounded by peak
+  /// in-flight demand, never by total message churn.
+  PayloadPool::Stats payload_stats() { return payload_pool_.stats(); }
+  ObjectArena<Message>::Stats arena_stats() { return msg_arena_.stats(); }
+
  private:
   friend class Process;
 
@@ -329,6 +421,13 @@ class Engine {
 
   EngineConfig config_;
   ProcessBody body_;
+
+  // Pools are declared before procs_ so they outlive the processes whose
+  // destructors recycle queued nodes — and payload_pool_ before
+  // msg_arena_, whose chunk teardown releases payload buffers.
+  PayloadPool payload_pool_;
+  ObjectArena<Message> msg_arena_;
+
   std::vector<std::unique_ptr<Process>> procs_;
   MemoryTracker memory_;
 
@@ -340,9 +439,11 @@ class Engine {
   std::atomic<std::uint64_t> messages_delivered_{0};
   bool ran_ = false;
 
-  // Threaded mode: per-worker ready lists and outboxes for cross-partition
+  // Threaded mode: per-worker ready lists, ready heaps (persistent across
+  // rounds; drained within each), and outboxes for cross-partition
   // messages, flushed at the end-of-round barrier.
   std::vector<std::vector<int>> worker_ready_;
+  std::vector<IndexedMinHeap<VTime>> worker_heaps_;
   std::vector<std::vector<Message>> round_outboxes_;
   bool threaded_run_ = false;
   bool threaded_phase_ = false;

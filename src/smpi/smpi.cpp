@@ -93,32 +93,21 @@ void Comm::delay(VTime t) {
   ++stats_.delays;
 }
 
-int Comm::encode_tag(MsgKind kind, int user_tag) {
-  STGSIM_DCHECK(user_tag >= 0 && user_tag < (1 << 24));
-  return (static_cast<int>(kind) << 24) | user_tag;
-}
-
-Comm::MsgKind Comm::decode_kind(int wire_tag) {
-  return static_cast<MsgKind>(wire_tag >> 24);
-}
-
-int Comm::decode_user_tag(int wire_tag) { return wire_tag & 0xffffff; }
-
-void Comm::send_raw(int dst, int wire_tag, std::uint64_t aux,
+void Comm::send_raw(int dst, MsgKind msg_kind, int tag, std::uint64_t aux,
                     const void* data, std::size_t bytes,
                     std::size_t wire_bytes, net::TransferKind kind) {
   simk::Message m;
   m.src = rank();
   m.dst = dst;
-  m.tag = wire_tag;
+  m.kind = msg_kind;
+  m.tag = tag;
   m.aux = aux;
   m.sent_at = now();
   m.arrival =
       world_.network().arrival(rank(), dst, now(), wire_bytes, proc_.rng(), kind);
   m.wire_bytes = bytes;  // logical message size (status / rndv transfer)
   if (data != nullptr && bytes > 0) {
-    const auto* p = static_cast<const std::uint8_t*>(data);
-    m.payload.assign(p, p + bytes);
+    m.payload = proc_.make_payload(data, bytes);
   }
   proc_.send(std::move(m));
 }
@@ -139,14 +128,14 @@ void Comm::coll_send_at(int dst, int round, const void* data,
   simk::Message m;
   m.src = rank();
   m.dst = dst;
-  m.tag = encode_tag(kKindColl, 0);
+  m.kind = kKindColl;
+  m.tag = 0;
   m.aux = aux;
   m.sent_at = now();
   m.arrival = std::max(arrival, now());
   m.wire_bytes = bytes;
   if (data != nullptr && bytes > 0) {
-    const auto* pb = static_cast<const std::uint8_t*>(data);
-    m.payload.assign(pb, pb + bytes);
+    m.payload = proc_.make_payload(data, bytes);
   }
   proc_.send(std::move(m));
   stats_.bytes_sent += bytes;
@@ -165,7 +154,7 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   stats_.bytes_sent += bytes;
 
   if (abstract_comm() || !world_.network().uses_rendezvous(bytes)) {
-    send_raw(dst, encode_tag(kKindEager, tag), 0, data, bytes, bytes);
+    send_raw(dst, kKindEager, tag, 0, data, bytes, bytes);
   } else {
     // Rendezvous: the RTS envelope carries the payload for fidelity of the
     // data, but only kControlBytes travel now; the bulk transfer is modeled
@@ -177,7 +166,8 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
       simk::Message m;
       m.src = rank();
       m.dst = dst;
-      m.tag = encode_tag(kKindRts, tag);
+      m.kind = kKindRts;
+      m.tag = tag;
       m.aux = rid;
       m.sent_at = now();
       m.arrival = world_.network().arrival(rank(), dst, now(), kControlBytes,
@@ -185,18 +175,17 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
                                            net::TransferKind::kControl);
       m.wire_bytes = bytes;
       if (data != nullptr && bytes > 0) {
-        const auto* p = static_cast<const std::uint8_t*>(data);
-        m.payload.assign(p, p + bytes);
+        m.payload = proc_.make_payload(data, bytes);
       }
       proc_.send(std::move(m));
     }
     simk::MatchSpec spec;
     spec.src = dst;
+    spec.kind_mask = kMaskCts;
+    spec.match_aux = true;
+    spec.aux = rid;
     spec.what = "rendezvous-cts";
     spec.user_tag = tag;
-    spec.accept = [rid](const simk::Message& m) {
-      return decode_kind(m.tag) == kKindCts && m.aux == rid;
-    };
     simk::Message cts = proc_.blocking_match(spec);
     proc_.lift_clock(cts.arrival);
   }
@@ -206,13 +195,10 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
 simk::Message Comm::match_recv(int src, int user_tag) {
   simk::MatchSpec spec;
   spec.src = (src == kAnySource) ? simk::MatchSpec::kAnySource : src;
+  spec.kind_mask = kMaskP2P;
+  spec.tag = user_tag;  // kAnyTag == MatchSpec::kAnyTag
   spec.what = "recv";
   spec.user_tag = user_tag;
-  spec.accept = [user_tag](const simk::Message& m) {
-    const MsgKind k = decode_kind(m.tag);
-    if (k != kKindEager && k != kKindRts) return false;
-    return user_tag == kAnyTag || decode_user_tag(m.tag) == user_tag;
-  };
   return proc_.blocking_match(spec);
 }
 
@@ -220,11 +206,10 @@ void Comm::complete_eager_or_rts(simk::Message& m, void* data,
                                  std::size_t bytes, RecvStatus* status) {
   STGSIM_CHECK_LE(m.wire_bytes, bytes)
       << "receive buffer too small: posted " << bytes << " got "
-      << m.wire_bytes << " (src " << m.src << " tag "
-      << decode_user_tag(m.tag) << ")";
+      << m.wire_bytes << " (src " << m.src << " tag " << m.tag << ")";
   proc_.lift_clock(m.arrival);
 
-  if (decode_kind(m.tag) == kKindRts) {
+  if (m.kind == kKindRts) {
     // Grant the transfer: CTS back to the sender, then model the bulk
     // data crossing the wire starting when the CTS reaches the sender.
     const VTime cts_arrival = world_.network().arrival(
@@ -234,7 +219,8 @@ void Comm::complete_eager_or_rts(simk::Message& m, void* data,
       simk::Message cts;
       cts.src = rank();
       cts.dst = m.src;
-      cts.tag = encode_tag(kKindCts, decode_user_tag(m.tag));
+      cts.kind = kKindCts;
+      cts.tag = m.tag;
       cts.aux = m.aux;
       cts.sent_at = now();
       cts.arrival = cts_arrival;
@@ -253,7 +239,7 @@ void Comm::complete_eager_or_rts(simk::Message& m, void* data,
   }
   if (status != nullptr) {
     status->src = m.src;
-    status->tag = decode_user_tag(m.tag);
+    status->tag = m.tag;
     status->bytes = m.wire_bytes;
   }
   ++stats_.recvs;
@@ -282,7 +268,7 @@ Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
   req.bytes = bytes;
 
   if (abstract_comm() || !world_.network().uses_rendezvous(bytes)) {
-    send_raw(dst, encode_tag(kKindEager, tag), 0, data, bytes, bytes);
+    send_raw(dst, kKindEager, tag, 0, data, bytes, bytes);
     req.kind_ = Request::Kind::kSendDone;
     req.done_ = true;
   } else {
@@ -291,7 +277,8 @@ Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
     simk::Message m;
     m.src = rank();
     m.dst = dst;
-    m.tag = encode_tag(kKindRts, tag);
+    m.kind = kKindRts;
+    m.tag = tag;
     m.aux = rid;
     m.sent_at = now();
     m.arrival = world_.network().arrival(rank(), dst, now(), kControlBytes,
@@ -299,8 +286,7 @@ Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
                                          net::TransferKind::kControl);
     m.wire_bytes = bytes;
     if (data != nullptr && bytes > 0) {
-      const auto* p = static_cast<const std::uint8_t*>(data);
-      m.payload.assign(p, p + bytes);
+      m.payload = proc_.make_payload(data, bytes);
     }
     proc_.send(std::move(m));
     req.kind_ = Request::Kind::kSendRendezvous;
@@ -331,12 +317,11 @@ void Comm::wait(Request& req) {
     case Request::Kind::kSendRendezvous: {
       simk::MatchSpec spec;
       spec.src = req.peer;
+      spec.kind_mask = kMaskCts;
+      spec.match_aux = true;
+      spec.aux = req.rid;
       spec.what = "rendezvous-cts";
       spec.user_tag = req.tag;
-      const std::uint64_t rid = req.rid;
-      spec.accept = [rid](const simk::Message& m) {
-        return decode_kind(m.tag) == kKindCts && m.aux == rid;
-      };
       simk::Message cts = proc_.blocking_match(spec);
       proc_.lift_clock(cts.arrival);
       break;
@@ -371,21 +356,20 @@ std::size_t Comm::waitany(std::vector<Request>& reqs) {
   auto spec_for = [](const Request& r, simk::MatchSpec* spec) {
     if (r.kind_ == Request::Kind::kSendRendezvous) {
       spec->src = r.peer;
-      const std::uint64_t rid = r.rid;
-      spec->accept = [rid](const simk::Message& mm) {
-        return decode_kind(mm.tag) == kKindCts && mm.aux == rid;
-      };
+      spec->kind_mask = kMaskCts;
+      spec->match_aux = true;
+      spec->aux = r.rid;
+      spec->what = "rendezvous-cts";
+      spec->user_tag = r.tag;
       return true;
     }
     if (r.kind_ == Request::Kind::kRecv) {
       spec->src =
           (r.peer == kAnySource) ? simk::MatchSpec::kAnySource : r.peer;
-      const int want = r.tag;
-      spec->accept = [want](const simk::Message& mm) {
-        const MsgKind k = decode_kind(mm.tag);
-        if (k != kKindEager && k != kKindRts) return false;
-        return want == kAnyTag || decode_user_tag(mm.tag) == want;
-      };
+      spec->kind_mask = kMaskP2P;
+      spec->tag = r.tag;  // kAnyTag == MatchSpec::kAnyTag
+      spec->what = "recv";
+      spec->user_tag = r.tag;
       return true;
     }
     return false;
@@ -431,53 +415,36 @@ std::size_t Comm::waitany(std::vector<Request>& reqs) {
     STGSIM_CHECK(any_incomplete) << "waitany with no incomplete requests";
 
     // Pass 2: block on the union of all pending matches; the winning
-    // message is identified afterwards by re-testing each request.
+    // message is identified afterwards by re-testing each request. The
+    // alternatives live on this fiber's stack for the whole block.
+    std::vector<simk::MatchSpec> alts;
+    alts.reserve(reqs.size());
+    for (const Request& r : reqs) {
+      if (!r.valid() || r.done_) continue;
+      simk::MatchSpec s;
+      if (spec_for(r, &s)) alts.push_back(s);
+    }
     simk::MatchSpec united;
     united.src = simk::MatchSpec::kAnySource;
     united.what = "waitany";
-    const std::vector<Request>* rp = &reqs;
-    united.accept = [rp](const simk::Message& mm) {
-      for (const Request& r : *rp) {
-        if (!r.valid() || r.done_) continue;
-        if (r.kind_ == Request::Kind::kSendRendezvous) {
-          if (decode_kind(mm.tag) == kKindCts && mm.aux == r.rid &&
-              mm.src == r.peer) {
-            return true;
-          }
-        } else if (r.kind_ == Request::Kind::kRecv) {
-          const MsgKind k = decode_kind(mm.tag);
-          if (k != kKindEager && k != kKindRts) continue;
-          if (r.peer != kAnySource && r.peer != mm.src) continue;
-          if (r.tag != kAnyTag && decode_user_tag(mm.tag) != r.tag) continue;
-          return true;
-        }
-      }
-      return false;
-    };
+    united.any_of = alts.data();
+    united.any_of_count = static_cast<std::uint32_t>(alts.size());
     simk::Message m = proc_.blocking_match(united);
 
     // Attribute the message to the first request it satisfies.
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       Request& r = reqs[i];
       if (!r.valid() || r.done_) continue;
+      simk::MatchSpec s;
+      if (!spec_for(r, &s) || !s.accepts(m)) continue;
       if (r.kind_ == Request::Kind::kSendRendezvous) {
-        if (decode_kind(m.tag) == kKindCts && m.aux == r.rid &&
-            m.src == r.peer) {
-          proc_.lift_clock(m.arrival);
-          r.done_ = true;
-          stats_.comm_time += now() - t0;
-          return i;
-        }
-      } else if (r.kind_ == Request::Kind::kRecv) {
-        const MsgKind k = decode_kind(m.tag);
-        if (k != kKindEager && k != kKindRts) continue;
-        if (r.peer != kAnySource && r.peer != m.src) continue;
-        if (r.tag != kAnyTag && decode_user_tag(m.tag) != r.tag) continue;
+        proc_.lift_clock(m.arrival);
+      } else {
         complete_eager_or_rts(m, r.buf, r.bytes, r.status);
-        r.done_ = true;
-        stats_.comm_time += now() - t0;
-        return i;
       }
+      r.done_ = true;
+      stats_.comm_time += now() - t0;
+      return i;
     }
     STGSIM_UNREACHABLE("waitany matched a message no request claims");
   }
@@ -501,7 +468,7 @@ void Comm::coll_send(int dst, int round, const void* data, std::size_t bytes) {
   proc_.advance(world_.options().net.send_overhead);
   const std::uint64_t aux =
       (coll_seq_ << 8) | static_cast<std::uint64_t>(round & 0xff);
-  send_raw(dst, encode_tag(kKindColl, 0), aux, data, bytes,
+  send_raw(dst, kKindColl, 0, aux, data, bytes,
            std::max(bytes, std::size_t{8}));
   stats_.bytes_sent += bytes;
 }
@@ -509,12 +476,10 @@ void Comm::coll_send(int dst, int round, const void* data, std::size_t bytes) {
 void Comm::coll_recv(int src, int round, void* data, std::size_t bytes) {
   simk::MatchSpec spec;
   spec.src = src;
+  spec.kind_mask = kMaskColl;
+  spec.match_aux = true;
+  spec.aux = (coll_seq_ << 8) | static_cast<std::uint64_t>(round & 0xff);
   spec.what = "collective";
-  const std::uint64_t aux =
-      (coll_seq_ << 8) | static_cast<std::uint64_t>(round & 0xff);
-  spec.accept = [aux](const simk::Message& m) {
-    return decode_kind(m.tag) == kKindColl && m.aux == aux;
-  };
   simk::Message m = proc_.blocking_match(spec);
   proc_.lift_clock(m.arrival);
   proc_.advance(world_.options().net.recv_overhead);
@@ -538,11 +503,10 @@ void Comm::barrier() {
       for (int r = 1; r < P; ++r) {
         simk::MatchSpec spec;
         spec.src = r;
+        spec.kind_mask = kMaskColl;
+        spec.match_aux = true;
+        spec.aux = (coll_seq_ << 8);
         spec.what = "collective";
-        const std::uint64_t aux = (coll_seq_ << 8);
-        spec.accept = [aux](const simk::Message& m) {
-          return decode_kind(m.tag) == kKindColl && m.aux == aux;
-        };
         simk::Message m = proc_.blocking_match(spec);
         latest = std::max(latest, m.arrival);
       }
@@ -652,11 +616,10 @@ void Comm::reduce_sum(double* inout, int n, int root) {
         if (r == root) continue;
         simk::MatchSpec spec;
         spec.src = r;
+        spec.kind_mask = kMaskColl;
+        spec.match_aux = true;
+        spec.aux = (coll_seq_ << 8);
         spec.what = "collective";
-        const std::uint64_t aux = (coll_seq_ << 8);
-        spec.accept = [aux](const simk::Message& m) {
-          return decode_kind(m.tag) == kKindColl && m.aux == aux;
-        };
         simk::Message m = proc_.blocking_match(spec);
         latest = std::max(latest, m.arrival);
         if (inout != nullptr && !m.payload.empty()) {
@@ -739,11 +702,10 @@ void Comm::allreduce_max(double* inout, int n) {
       for (int r = 1; r < P; ++r) {
         simk::MatchSpec spec;
         spec.src = r;
+        spec.kind_mask = kMaskColl;
+        spec.match_aux = true;
+        spec.aux = (coll_seq_ << 8);
         spec.what = "collective";
-        const std::uint64_t aux = (coll_seq_ << 8);
-        spec.accept = [aux](const simk::Message& m) {
-          return decode_kind(m.tag) == kKindColl && m.aux == aux;
-        };
         simk::Message m = proc_.blocking_match(spec);
         latest = std::max(latest, m.arrival);
         if (inout != nullptr && !m.payload.empty()) {

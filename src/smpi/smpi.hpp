@@ -247,19 +247,21 @@ class Comm {
   void allreduce_max(double* inout, int n);
 
  private:
-  enum MsgKind : int {
+  enum MsgKind : std::uint8_t {
     kKindEager = 0,
     kKindRts = 1,
     kKindCts = 2,
     kKindColl = 3,
   };
 
-  static int encode_tag(MsgKind kind, int user_tag);
-  static MsgKind decode_kind(int wire_tag);
-  static int decode_user_tag(int wire_tag);
+  /// Kind masks for data-driven MatchSpecs (bit per Message::kind).
+  static constexpr std::uint8_t kMaskP2P =
+      (1u << kKindEager) | (1u << kKindRts);
+  static constexpr std::uint8_t kMaskCts = 1u << kKindCts;
+  static constexpr std::uint8_t kMaskColl = 1u << kKindColl;
 
-  void send_raw(int dst, int wire_tag, std::uint64_t aux, const void* data,
-                std::size_t bytes, std::size_t wire_bytes,
+  void send_raw(int dst, MsgKind msg_kind, int tag, std::uint64_t aux,
+                const void* data, std::size_t bytes, std::size_t wire_bytes,
                 net::TransferKind kind = net::TransferKind::kEager);
 
   /// Stretched virtual duration of `t` of local work starting now (applies

@@ -5,8 +5,6 @@
 
 namespace stgsim::sym {
 
-namespace {
-
 Value apply_binary(Op op, const Value& a, const Value& b) {
   const bool both_int = a.is_int() && b.is_int();
   switch (op) {
@@ -61,6 +59,8 @@ Value apply_binary(Op op, const Value& a, const Value& b) {
       STGSIM_UNREACHABLE("non-binary op in apply_binary");
   }
 }
+
+namespace {
 
 /// Env wrapper that shadows one variable, used by kSum evaluation.
 class ShadowEnv : public Env {
@@ -123,9 +123,13 @@ Value eval_node(const Node& n, const Env& env) {
       if (all_int) return Value(iacc);
       return Value(racc);
     }
-    default:
-      return apply_binary(n.op, eval_node(*n.children[0], env),
-                          eval_node(*n.children[1], env));
+    default: {
+      // Explicitly sequence left-to-right so which domain error fires
+      // first is well-defined (and matches CompiledExpr's tape order).
+      const Value a = eval_node(*n.children[0], env);
+      const Value b = eval_node(*n.children[1], env);
+      return apply_binary(n.op, a, b);
+    }
   }
 }
 

@@ -127,6 +127,10 @@ class EvalError : public std::runtime_error {
   explicit EvalError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Applies a binary operator with the evaluator's exact coercion and
+/// domain-error semantics (shared by the tree walker and CompiledExpr).
+Value apply_binary(Op op, const Value& a, const Value& b);
+
 /// Value-semantic handle to an expression DAG.
 class Expr {
  public:

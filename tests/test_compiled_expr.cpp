@@ -1,0 +1,242 @@
+// Property tests for symexpr::CompiledExpr: for random expression DAGs,
+// the compiled postfix tape must agree with the tree walker on every
+// environment — same values (including int-vs-real kind), and the same
+// EvalError behavior for domain errors and unbound variables.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "support/rng.hpp"
+#include "symexpr/compiled.hpp"
+#include "symexpr/expr.hpp"
+
+namespace stgsim::sym {
+namespace {
+
+// Either a value or "threw EvalError(message)".
+struct Outcome {
+  std::optional<Value> value;
+  std::string error;
+
+  bool operator==(const Outcome& o) const {
+    if (value.has_value() != o.value.has_value()) return false;
+    if (!value.has_value()) return error == o.error;
+    // Distinguish Value(2) from Value(2.0): coercion rules must match too.
+    return value->is_int() == o.value->is_int() && *value == *o.value;
+  }
+};
+
+// Both evaluators may also throw CheckError (e.g. a fractional real used
+// as an integer operand); what matters is that they throw the *same*
+// error, so the outcome records the message of whatever escaped.
+Outcome tree_eval(const Expr& e, const Env& env) {
+  try {
+    return {e.eval(env), ""};
+  } catch (const std::exception& err) {
+    return {std::nullopt, err.what()};
+  }
+}
+
+Outcome compiled_eval(const CompiledExpr& ce, const Env& env) {
+  try {
+    return {ce.eval(env), ""};
+  } catch (const std::exception& err) {
+    return {std::nullopt, err.what()};
+  }
+}
+
+std::string outcome_str(const Outcome& o) {
+  if (!o.value) return "error " + o.error;
+  return std::string(o.value->is_int() ? "int " : "real ") +
+         std::to_string(o.value->as_real());
+}
+
+// Random expression generator. Depth-bounded; mixes every operator,
+// integer and real literals, and a small variable alphabet so Sum binders
+// shadow free variables of the same name.
+class ExprGen {
+ public:
+  explicit ExprGen(std::uint64_t seed) : rng_(seed) {}
+
+  Expr gen(int depth) {
+    if (depth <= 0 || rng_.next_in(0, 5) == 0) return leaf();
+    switch (rng_.next_in(0, 13)) {
+      case 0: return gen(depth - 1) + gen(depth - 1);
+      case 1: return gen(depth - 1) - gen(depth - 1);
+      case 2: return gen(depth - 1) * gen(depth - 1);
+      case 3: return gen(depth - 1) / gen(depth - 1);
+      case 4: return idiv(gen(depth - 1), gen(depth - 1));
+      case 5: return imod(gen(depth - 1), gen(depth - 1));
+      case 6: return min(gen(depth - 1), gen(depth - 1));
+      case 7: return max(gen(depth - 1), gen(depth - 1));
+      case 8: return -gen(depth - 1);
+      case 9: return logical_not(compare(depth - 1));
+      case 10:
+        return select(compare(depth - 1), gen(depth - 1), gen(depth - 1));
+      case 11: {
+        // Small, possibly empty, iteration space keeps runtimes bounded.
+        const std::string v = var_name();
+        return sum(v, Expr::integer(rng_.next_in(-2, 2)),
+                   Expr::integer(rng_.next_in(-2, 4)), gen(depth - 1));
+      }
+      case 12:
+        return logical_and(compare(depth - 1), compare(depth - 1));
+      default:
+        return logical_or(compare(depth - 1), compare(depth - 1));
+    }
+  }
+
+  Expr compare(int depth) {
+    switch (rng_.next_in(0, 5)) {
+      case 0: return eq(gen(depth), gen(depth));
+      case 1: return ne(gen(depth), gen(depth));
+      case 2: return lt(gen(depth), gen(depth));
+      case 3: return le(gen(depth), gen(depth));
+      case 4: return gt(gen(depth), gen(depth));
+      default: return ge(gen(depth), gen(depth));
+    }
+  }
+
+  std::string var_name() {
+    static const char* names[] = {"i", "j", "n", "p", "w"};
+    return names[rng_.next_in(0, 4)];
+  }
+
+ private:
+  Expr leaf() {
+    switch (rng_.next_in(0, 3)) {
+      case 0: return Expr::integer(rng_.next_in(-4, 9));
+      case 1: return Expr::real(static_cast<double>(rng_.next_in(-8, 16)) * 0.25);
+      default: return Expr::var(var_name());
+    }
+  }
+
+  Rng rng_;
+};
+
+TEST(CompiledExpr, AgreesWithTreeWalkOnRandomDags) {
+  int evaluated = 0;
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    ExprGen gen(seed);
+    const Expr e = gen.gen(4);
+    const CompiledExpr ce = CompiledExpr::compile(e);
+
+    Rng env_rng(seed * 977);
+    for (int trial = 0; trial < 8; ++trial) {
+      MapEnv env;
+      for (const char* name : {"i", "j", "n", "p", "w"}) {
+        const auto kind = env_rng.next_in(0, 3);
+        if (kind == 0) continue;  // leave unbound
+        if (kind == 1) {
+          env.set(name, Value(env_rng.next_in(-3, 6)));
+        } else {
+          env.set(name,
+                  Value(static_cast<double>(env_rng.next_in(-6, 12)) * 0.5));
+        }
+      }
+      const Outcome want = tree_eval(e, env);
+      const Outcome got = compiled_eval(ce, env);
+      ASSERT_TRUE(got == want)
+          << "seed " << seed << " trial " << trial
+          << "\nexpr: " << e.to_string() << "\ntree:     "
+          << outcome_str(want) << "\ncompiled: " << outcome_str(got);
+      ++evaluated;
+    }
+  }
+  EXPECT_GE(evaluated, 3000);
+}
+
+TEST(CompiledExpr, SelectEvaluatesOnlyTakenBranch) {
+  // The untaken branch divides by zero and reads an unbound variable;
+  // neither may fire, exactly like the tree walker.
+  const Expr e = select(gt(Expr::var("n"), Expr::integer(0)),
+                        Expr::var("n") * 2,
+                        Expr::var("ghost") / Expr::integer(0));
+  const CompiledExpr ce = CompiledExpr::compile(e);
+  MapEnv env;
+  env.set("n", Value(std::int64_t{21}));
+  const Value v = ce.eval(env);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 42);
+
+  env.set("n", Value(std::int64_t{-1}));
+  EXPECT_THROW(ce.eval(env), EvalError);
+}
+
+TEST(CompiledExpr, SumBinderShadowsFreeVariable) {
+  // sum_{i=1..3} i*w  with free i also in the environment: the binder must
+  // shadow it inside the body and the outer binding must survive.
+  const Expr body = Expr::var("i") * Expr::var("w");
+  const Expr e =
+      sum("i", Expr::integer(1), Expr::integer(3), body) + Expr::var("i");
+  const CompiledExpr ce = CompiledExpr::compile(e);
+  MapEnv env;
+  env.set("i", Value(std::int64_t{100}));
+  env.set("w", Value(std::int64_t{10}));
+  EXPECT_EQ(ce.eval(env).as_int(), (1 + 2 + 3) * 10 + 100);
+  EXPECT_EQ(e.eval(env).as_int(), (1 + 2 + 3) * 10 + 100);
+}
+
+TEST(CompiledExpr, SumSwitchesToRealAtFirstRealTerm) {
+  // Matches the tree walker's int-until-first-real accumulation.
+  const Expr e = sum("i", Expr::integer(1), Expr::integer(4),
+                     select(ge(Expr::var("i"), Expr::integer(3)),
+                            Expr::real(0.5), Expr::var("i")));
+  const CompiledExpr ce = CompiledExpr::compile(e);
+  MapEnv env;
+  const Value vt = e.eval(env);
+  const Value vc = ce.eval(env);
+  EXPECT_FALSE(vt.is_int());
+  EXPECT_FALSE(vc.is_int());
+  EXPECT_DOUBLE_EQ(vc.as_real(), vt.as_real());
+}
+
+TEST(CompiledExpr, UnboundSlotThrowsOnlyWhenRead) {
+  const Expr e = Expr::var("missing") + Expr::integer(1);
+  const CompiledExpr ce = CompiledExpr::compile(e);
+  CompiledExpr::Scratch scratch;
+  ce.prepare(scratch);
+  try {
+    ce.eval(scratch);
+    FAIL() << "expected EvalError";
+  } catch (const EvalError& err) {
+    EXPECT_STREQ(err.what(), "unbound variable 'missing'");
+  }
+}
+
+TEST(CompiledExpr, DomainErrorsMatchTreeWalker) {
+  MapEnv env;
+  for (const Expr& e : {Expr::integer(1) / Expr::integer(0),
+                        idiv(Expr::integer(1), Expr::integer(0)),
+                        imod(Expr::integer(1), Expr::integer(0))}) {
+    const Outcome want = tree_eval(e, env);
+    const Outcome got = compiled_eval(CompiledExpr::compile(e), env);
+    ASSERT_FALSE(want.value.has_value());
+    EXPECT_TRUE(got == want) << e.to_string();
+  }
+}
+
+TEST(CompiledExpr, ScratchIsReusableAcrossExpressions) {
+  CompiledExpr::Scratch scratch;
+  const Expr a = Expr::var("x") * Expr::integer(3);
+  const Expr b = sum("k", Expr::integer(0), Expr::var("x"), Expr::var("k"));
+  const CompiledExpr ca = CompiledExpr::compile(a);
+  const CompiledExpr cb = CompiledExpr::compile(b);
+  for (int x = 0; x < 10; ++x) {
+    ca.prepare(scratch);
+    scratch.slots[static_cast<std::size_t>(ca.free_slots()[0])] =
+        Value(std::int64_t{x});
+    scratch.bound[static_cast<std::size_t>(ca.free_slots()[0])] = 1;
+    EXPECT_EQ(ca.eval(scratch).as_int(), 3 * x);
+    cb.prepare(scratch);
+    scratch.slots[static_cast<std::size_t>(cb.free_slots()[0])] =
+        Value(std::int64_t{x});
+    scratch.bound[static_cast<std::size_t>(cb.free_slots()[0])] = 1;
+    EXPECT_EQ(cb.eval(scratch).as_int(), x * (x + 1) / 2);
+  }
+}
+
+}  // namespace
+}  // namespace stgsim::sym

@@ -1,0 +1,187 @@
+// Bit-identity regression tests: golden run digests captured from the
+// pre-refactor engine (PR 2). Any change to scheduling order, message
+// matching, payload handling, or expression evaluation that alters a
+// single predicted clock tick, message count, or delivered byte changes
+// the digest and fails these tests — under either scheduler.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "apps/nas_sp.hpp"
+#include "apps/sample.hpp"
+#include "apps/sweep3d.hpp"
+#include "apps/tomcatv.hpp"
+#include "core/compiler.hpp"
+#include "fault/fault.hpp"
+#include "harness/digest.hpp"
+#include "harness/runner.hpp"
+
+namespace stgsim {
+namespace {
+
+std::uint64_t digest_of(const ir::Program& prog, int nprocs, int threads,
+                        harness::Mode mode,
+                        const std::map<std::string, double>& params = {},
+                        const fault::FaultPlan& faults = {}) {
+  harness::RunConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.mode = mode;
+  cfg.threads = threads;
+  cfg.params = params;
+  cfg.faults = faults;
+  harness::RunOutcome out = harness::run_program(prog, cfg);
+  EXPECT_TRUE(out.ok()) << out.diagnostic;
+  return harness::run_digest(out);
+}
+
+// Prints the digest so new goldens can be harvested when a PR
+// *intentionally* changes predictions (which this PR must not).
+void expect_golden(const char* name, std::uint64_t actual,
+                   std::uint64_t golden) {
+  std::fprintf(stderr, "GOLDEN %-24s 0x%016llx\n", name,
+               static_cast<unsigned long long>(actual));
+  EXPECT_EQ(actual, golden) << name;
+}
+
+// --- Direct-execution (MPI-SIM-DE) digests, both schedulers ------------
+
+constexpr std::uint64_t kGoldenTomcatv = 0xf7a88373c8256116ULL;
+constexpr std::uint64_t kGoldenSweep3D = 0xae531a8f3b6690cfULL;
+constexpr std::uint64_t kGoldenNasSp = 0x4ce19daf4497acf2ULL;
+constexpr std::uint64_t kGoldenSample = 0x49d6f41b672638d5ULL;
+
+TEST(RunDigest, TomcatvDE) {
+  apps::TomcatvConfig c;
+  c.n = 128;
+  c.iterations = 2;
+  ir::Program prog = apps::make_tomcatv(c);
+  expect_golden("tomcatv/seq", digest_of(prog, 8, 0, harness::Mode::kDirectExec),
+                kGoldenTomcatv);
+  expect_golden("tomcatv/thr3",
+                digest_of(prog, 8, 3, harness::Mode::kDirectExec),
+                kGoldenTomcatv);
+}
+
+TEST(RunDigest, Sweep3DDE) {
+  apps::Sweep3DConfig c;
+  c.it = 2;
+  c.jt = 2;
+  c.kt = 12;
+  c.kb = 4;
+  c.mm = 2;
+  c.mmi = 1;
+  c.npe_i = 2;
+  c.npe_j = 2;
+  ir::Program prog = apps::make_sweep3d(c);
+  expect_golden("sweep3d/seq", digest_of(prog, 4, 0, harness::Mode::kDirectExec),
+                kGoldenSweep3D);
+  expect_golden("sweep3d/thr3",
+                digest_of(prog, 4, 3, harness::Mode::kDirectExec),
+                kGoldenSweep3D);
+}
+
+TEST(RunDigest, NasSpDE) {
+  apps::NasSpConfig c = apps::sp_class('A', 2, 2);
+  ir::Program prog = apps::make_nas_sp(c);
+  expect_golden("nas_sp/seq", digest_of(prog, 4, 0, harness::Mode::kDirectExec),
+                kGoldenNasSp);
+  expect_golden("nas_sp/thr3",
+                digest_of(prog, 4, 3, harness::Mode::kDirectExec),
+                kGoldenNasSp);
+}
+
+TEST(RunDigest, SampleDE) {
+  apps::SampleConfig c;
+  c.iterations = 5;
+  c.msg_doubles = 256;
+  c.work_iters = 1000;
+  ir::Program prog = apps::make_sample(c);
+  expect_golden("sample/seq", digest_of(prog, 8, 0, harness::Mode::kDirectExec),
+                kGoldenSample);
+  expect_golden("sample/thr3",
+                digest_of(prog, 8, 3, harness::Mode::kDirectExec),
+                kGoldenSample);
+}
+
+// --- Analytical-model (MPI-SIM-AM) digests: the delay() hot path -------
+
+constexpr std::uint64_t kGoldenSampleAM = 0xa5becb21e60ea472ULL;
+constexpr std::uint64_t kGoldenSweep3DAM = 0x765ecbee93c01d13ULL;
+
+TEST(RunDigest, SampleAM) {
+  apps::SampleConfig c;
+  c.iterations = 5;
+  c.msg_doubles = 256;
+  c.work_iters = 1000;
+  ir::Program prog = apps::make_sample(c);
+  core::CompileResult compiled = core::compile(prog);
+  auto params = harness::estimate_params(prog, 8, harness::ibm_sp_machine(),
+                                         compiled.simplified.params);
+  expect_golden("sample-am/seq",
+                digest_of(compiled.simplified.program, 8, 0,
+                          harness::Mode::kAnalytical, params),
+                kGoldenSampleAM);
+  expect_golden("sample-am/thr3",
+                digest_of(compiled.simplified.program, 8, 3,
+                          harness::Mode::kAnalytical, params),
+                kGoldenSampleAM);
+}
+
+TEST(RunDigest, Sweep3DAM) {
+  apps::Sweep3DConfig c;
+  c.it = 2;
+  c.jt = 2;
+  c.kt = 12;
+  c.kb = 4;
+  c.mm = 2;
+  c.mmi = 1;
+  c.npe_i = 2;
+  c.npe_j = 2;
+  ir::Program prog = apps::make_sweep3d(c);
+  core::CompileResult compiled = core::compile(prog);
+  auto params = harness::estimate_params(prog, 4, harness::ibm_sp_machine(),
+                                         compiled.simplified.params);
+  expect_golden("sweep3d-am/seq",
+                digest_of(compiled.simplified.program, 4, 0,
+                          harness::Mode::kAnalytical, params),
+                kGoldenSweep3DAM);
+  expect_golden("sweep3d-am/thr3",
+                digest_of(compiled.simplified.program, 4, 3,
+                          harness::Mode::kAnalytical, params),
+                kGoldenSweep3DAM);
+}
+
+// --- Fault-degraded runs: digests must agree across schedulers ---------
+
+TEST(RunDigest, FaultedCrossScheduler) {
+  apps::SampleConfig c;
+  c.iterations = 5;
+  c.msg_doubles = 256;
+  c.work_iters = 1000;
+  ir::Program prog = apps::make_sample(c);
+  fault::FaultPlan plan = fault::parse_fault_plan(
+      "link:src=0,dst=1,latency=4,bandwidth=0.25;straggler:rank=2,factor=2");
+  const std::uint64_t seq =
+      digest_of(prog, 8, 0, harness::Mode::kDirectExec, {}, plan);
+  const std::uint64_t thr =
+      digest_of(prog, 8, 3, harness::Mode::kDirectExec, {}, plan);
+  std::fprintf(stderr, "GOLDEN %-24s 0x%016llx\n", "sample-fault/seq",
+               static_cast<unsigned long long>(seq));
+  EXPECT_EQ(seq, thr);
+}
+
+// Digest must not depend on host wall-clock: two identical runs agree.
+TEST(RunDigest, StableAcrossRepeatedRuns) {
+  apps::SampleConfig c;
+  c.iterations = 3;
+  c.msg_doubles = 64;
+  c.work_iters = 500;
+  ir::Program prog = apps::make_sample(c);
+  EXPECT_EQ(digest_of(prog, 4, 0, harness::Mode::kDirectExec),
+            digest_of(prog, 4, 0, harness::Mode::kDirectExec));
+}
+
+}  // namespace
+}  // namespace stgsim

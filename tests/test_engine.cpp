@@ -84,7 +84,7 @@ Message make_msg(int src, int dst, int tag, VTime sent, VTime arrival) {
 MatchSpec match_tag(int src, int tag) {
   MatchSpec s;
   s.src = src;
-  s.accept = [tag](const Message& m) { return m.tag == tag; };
+  s.tag = tag;
   return s;
 }
 
@@ -199,7 +199,7 @@ TEST(Engine, WildcardPicksEarliestArrivalAcrossSources) {
       p.advance(vtime_from_us(100));  // both candidates present
       MatchSpec any;
       any.src = MatchSpec::kAnySource;
-      any.accept = [](const Message& m) { return m.tag == 9; };
+      any.tag = 9;
       Message first = p.blocking_match(any);
       EXPECT_EQ(first.src, 1);  // earlier arrival
       Message second = p.blocking_match(any);
@@ -218,6 +218,108 @@ TEST(Engine, TryMatchDoesNotBlock) {
     EXPECT_FALSE(p.try_match(match_tag(0, 1), &out));
   });
   e.run();
+}
+
+TEST(Engine, UnionSpecMatchesAnyAlternative) {
+  EngineConfig cfg;
+  cfg.num_processes = 3;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    if (p.rank() == 0) {
+      p.send(make_msg(0, 2, 5, 0, vtime_from_us(9)));
+    } else if (p.rank() == 1) {
+      p.send(make_msg(1, 2, 6, 0, vtime_from_us(4)));
+    } else {
+      p.advance(vtime_from_us(50));
+      MatchSpec alts[2];
+      alts[0].src = 0;
+      alts[0].tag = 5;
+      alts[1].src = 1;
+      alts[1].tag = 6;
+      MatchSpec united;
+      united.src = MatchSpec::kAnySource;
+      united.any_of = alts;
+      united.any_of_count = 2;
+      // Earliest arrival among the alternatives wins.
+      Message first = p.blocking_match(united);
+      EXPECT_EQ(first.src, 1);
+      Message second = p.blocking_match(united);
+      EXPECT_EQ(second.src, 0);
+    }
+  });
+  e.run();
+}
+
+TEST(Engine, KindAndAuxMatchingSelectsProtocolTraffic) {
+  EngineConfig cfg;
+  cfg.num_processes = 2;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    if (p.rank() == 0) {
+      Message a = make_msg(0, 1, 3, 0, vtime_from_us(1));
+      a.kind = 1;
+      a.aux = 77;
+      p.send(std::move(a));
+      Message b = make_msg(0, 1, 3, 0, vtime_from_us(2));
+      b.kind = 2;
+      b.aux = 88;
+      p.send(std::move(b));
+    } else {
+      MatchSpec s;
+      s.src = 0;
+      s.kind_mask = 1u << 2;
+      s.match_aux = true;
+      s.aux = 88;
+      Message m = p.blocking_match(s);
+      EXPECT_EQ(m.kind, 2);
+      EXPECT_EQ(m.aux, 88u);
+      // The kind-1 message is still queued and matchable afterwards.
+      MatchSpec r;
+      r.src = 0;
+      r.kind_mask = 1u << 1;
+      Message n = p.blocking_match(r);
+      EXPECT_EQ(n.kind, 1);
+    }
+  });
+  e.run();
+}
+
+// Regression for inbox memory growth: after heavy message churn the
+// engine's overhead must be bounded by *peak in-flight* demand, not by the
+// total number of messages exchanged.
+TEST(Engine, PoolOverheadBoundedUnderChurn) {
+  constexpr int kRounds = 5000;
+  EngineConfig cfg;
+  cfg.num_processes = 2;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    std::vector<std::uint8_t> buf(512, 0xab);
+    const int peer = 1 - p.rank();
+    for (int i = 0; i < kRounds; ++i) {
+      if (p.rank() == 0) {
+        Message m = make_msg(0, 1, 1, p.now(), p.now() + vtime_from_us(1));
+        m.payload = p.make_payload(buf.data(), buf.size());
+        p.send(std::move(m));
+        Message ack = p.blocking_match(match_tag(peer, 2));
+        p.lift_clock(ack.arrival);
+      } else {
+        Message m = p.blocking_match(match_tag(peer, 1));
+        p.lift_clock(m.arrival);
+        EXPECT_EQ(m.payload.size(), 512u);
+        Message ack = make_msg(1, 0, 2, p.now(), p.now() + vtime_from_us(1));
+        ack.payload = p.make_payload(buf.data(), buf.size());
+        p.send(std::move(ack));
+      }
+    }
+  });
+  e.run();
+
+  const auto arena = e.arena_stats();
+  EXPECT_EQ(arena.live, 0u);          // every message was consumed
+  EXPECT_LE(arena.capacity, 1024u);   // bounded by in-flight peak, not 10k
+  const auto pool = e.payload_stats();
+  EXPECT_EQ(pool.outstanding, 0u);
+  EXPECT_LE(pool.retained_bytes, std::size_t{1} << 16);
 }
 
 TEST(Engine, DeadlockIsDetectedAndReported) {
@@ -380,11 +482,11 @@ void ring_body(Process& p) {
       m.tag = 1;
       m.sent_at = p.now();
       m.arrival = p.now() + vtime_from_us(7);
-      p.send(m);
+      p.send(std::move(m));
     }
     MatchSpec spec;
     spec.src = prev;
-    spec.accept = [](const Message& m) { return m.tag == 1; };
+    spec.tag = 1;
     Message tok = p.blocking_match(spec);
     p.lift_clock(tok.arrival);
     p.advance(hold);
@@ -394,7 +496,7 @@ void ring_body(Process& p) {
     fwd.tag = 1;
     fwd.sent_at = p.now();
     fwd.arrival = p.now() + vtime_from_us(7);
-    p.send(fwd);
+    p.send(std::move(fwd));
   }
   // Rank 0's injected token means its successor ends with one unconsumed
   // message in its inbox — legal, like an unmatched MPI send at exit.

@@ -4,8 +4,15 @@
 
 #include <cstdio>
 
+#include <algorithm>
+#include <queue>
+#include <random>
+#include <utility>
+#include <vector>
+
 #include "core/calibration.hpp"
 #include "support/check.hpp"
+#include "support/indexed_heap.hpp"
 #include "support/memtrack.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -281,6 +288,79 @@ TEST(Calibration, SaveLoadRoundTripsAtFullPrecision) {
 
 TEST(Calibration, MissingFileThrows) {
   EXPECT_THROW(core::load_params("/nonexistent/params.txt"), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(IndexedMinHeap, PopsInKeyThenIdOrder) {
+  IndexedMinHeap<int> h(8);
+  h.push(3, 50);
+  h.push(1, 10);
+  h.push(6, 10);  // same key as id 1: id tie-break, 1 first
+  h.push(0, 99);
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_EQ(h.top(), (std::pair<int, int>{10, 1}));
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_EQ(h.pop(), 6);
+  EXPECT_EQ(h.pop(), 3);
+  EXPECT_EQ(h.pop(), 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedMinHeap, UpdateMovesBothDirections) {
+  IndexedMinHeap<int> h(4);
+  for (int i = 0; i < 4; ++i) h.push(i, 10 * (i + 1));
+  h.update(3, 5);    // decrease-key: now the minimum
+  h.update(0, 100);  // increase-key: now the maximum
+  EXPECT_EQ(h.pop(), 3);
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_EQ(h.pop(), 2);
+  EXPECT_EQ(h.pop(), 0);
+}
+
+TEST(IndexedMinHeap, EraseAndReinsert) {
+  IndexedMinHeap<int> h(4);
+  for (int i = 0; i < 4; ++i) h.push(i, i);
+  h.erase(0);
+  EXPECT_FALSE(h.contains(0));
+  EXPECT_EQ(h.pop(), 1);
+  h.push(0, 2);  // same key as id 2: id tie-break
+  EXPECT_EQ(h.pop(), 0);
+  EXPECT_EQ(h.pop(), 2);
+  EXPECT_EQ(h.pop(), 3);
+}
+
+// The heap must agree with std::priority_queue (the seed's scheduler
+// structure) on every pop across a randomized workload with duplicates
+// keys and interleaved re-pushes — this IS the determinism argument.
+TEST(IndexedMinHeap, MatchesPriorityQueueUnderRandomWorkload) {
+  using KI = std::pair<long long, int>;
+  std::mt19937 rng(20260807);
+  IndexedMinHeap<long long> h(64);
+  std::priority_queue<KI, std::vector<KI>, std::greater<KI>> ref;
+  std::vector<bool> queued(64, false);
+  for (int step = 0; step < 5000; ++step) {
+    const int op = static_cast<int>(rng() % 3);
+    if (op != 0 && !ref.empty()) {
+      auto [k, id] = ref.top();
+      ref.pop();
+      ASSERT_EQ(h.top(), (std::pair<long long, int>{k, id})) << "step " << step;
+      ASSERT_EQ(h.pop(), id);
+      queued[static_cast<std::size_t>(id)] = false;
+    } else {
+      const int id = static_cast<int>(rng() % 64);
+      if (queued[static_cast<std::size_t>(id)]) continue;
+      const long long key = static_cast<long long>(rng() % 50);
+      h.push(id, key);
+      ref.emplace(key, id);
+      queued[static_cast<std::size_t>(id)] = true;
+    }
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(h.pop(), ref.top().second);
+    ref.pop();
+  }
+  EXPECT_TRUE(h.empty());
 }
 
 }  // namespace
