@@ -6,20 +6,25 @@
 // message memory, compiled scaling expressions): CI runs it in Release
 // mode and archives the JSON it writes.
 //
-// Usage: perf_engine_scale [--max-procs N] [--out FILE]
+// Usage: perf_engine_scale [--max-procs N] [--out FILE] [--obs]
 //   --max-procs N   skip sweep points above N target processes
 //                   (default 16384; CI uses a smaller bound)
 //   --out FILE      JSON output path (default BENCH_engine_scale.json)
+//   --obs           attach a metrics-only obs::Recorder to every run, to
+//                   measure the enabled-observer overhead against a plain
+//                   run of the same sweep (budget: <5% events/sec)
 #include <sys/resource.h>
 
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/sample.hpp"
 #include "apps/sweep3d.hpp"
 #include "bench/common.hpp"
+#include "obs/obs.hpp"
 
 using namespace stgsim;
 
@@ -53,7 +58,8 @@ double peak_rss_mb() {
 /// the simplified program with the calibrated w_i table.
 Point run_point(const std::string& app, const benchx::ProgramFactory& make,
                 int procs, const harness::MachineSpec& machine,
-                const std::map<std::string, double>& params) {
+                const std::map<std::string, double>& params,
+                bool with_obs) {
   ir::Program prog = make(procs);
   core::CompileResult compiled = core::compile(prog);
 
@@ -65,6 +71,12 @@ Point run_point(const std::string& app, const benchx::ProgramFactory& make,
   // AM-mode fibers execute only scalar prologue + delay/communication
   // code; they do not need the default 256 KiB stacks at 16k ranks.
   cfg.fiber_stack_bytes = 128 * 1024;
+
+  std::unique_ptr<obs::Recorder> rec;
+  if (with_obs) {
+    rec = std::make_unique<obs::Recorder>(obs::Options{}, procs);
+    cfg.obs = rec.get();
+  }
 
   Point p;
   p.app = app;
@@ -101,13 +113,17 @@ void write_json(const std::string& path, const std::vector<Point>& points) {
 int main(int argc, char** argv) {
   int max_procs = 16384;
   std::string out_path = "BENCH_engine_scale.json";
+  bool with_obs = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-procs") == 0 && i + 1 < argc) {
       max_procs = std::stoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      with_obs = true;
     } else {
-      std::cerr << "usage: perf_engine_scale [--max-procs N] [--out FILE]\n";
+      std::cerr << "usage: perf_engine_scale [--max-procs N] [--out FILE]"
+                   " [--obs]\n";
       return 2;
     }
   }
@@ -147,7 +163,7 @@ int main(int argc, char** argv) {
     const auto params = benchx::calibrate_at(make, 16, machine);
     for (int procs : sweep) {
       if (procs > max_procs) continue;
-      Point p = run_point(app, make, procs, machine, params);
+      Point p = run_point(app, make, procs, machine, params, with_obs);
       t.add_row({p.app, TablePrinter::fmt_int(p.procs),
                  TablePrinter::fmt_int(
                      static_cast<std::int64_t>(p.outcome.messages)),

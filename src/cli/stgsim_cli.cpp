@@ -10,11 +10,22 @@
 //              [--threads N] [--abstract-comm] [--memory-cap-mb M]
 //              [--seed S] [--fault SPEC]
 //              [--max-vtime-sec T] [--max-messages N] [--max-host-sec T]
-//              [--digest]
+//              [--digest] [--trace-out f.json] [--metrics-out f.json]
+//              [--comm-matrix-out f.json]
+//
+// Flags take either "--key value" or "--key=value" form.
 //
 // --digest prints a 64-bit run digest (per-rank final virtual clocks,
 // message counts, delivered bytes) — two runs predicting bit-identical
 // results print the same digest, regardless of scheduler or host timing.
+//
+// The observability flags never change simulated results (digests are
+// bit-identical with and without them):
+//   --trace-out f        virtual-time timeline per rank as Chrome
+//                        trace-event JSON (load in Perfetto/about:tracing)
+//   --metrics-out f      engine/protocol counters + message-size histogram
+//                        as JSON; also prints a metrics summary table
+//   --comm-matrix-out f  rank×rank message/byte matrix as JSON
 //
 // --fault injects a deterministic fault plan (see src/fault/fault.hpp for
 // the clause syntax); the --max-* flags bound pathological runs, which then
@@ -32,6 +43,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +57,7 @@
 #include "fault/fault.hpp"
 #include "harness/digest.hpp"
 #include "harness/runner.hpp"
+#include "obs/obs.hpp"
 #include "support/table.hpp"
 
 namespace stgsim::cli {
@@ -59,7 +72,11 @@ class Args {
         throw std::runtime_error("expected --flag, got '" + key + "'");
       }
       key = key.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+        key = key.substr(0, eq);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "";  // boolean flag
@@ -244,6 +261,18 @@ int cmd_run(Args& args) {
   cfg.max_host_seconds = args.real("max-host-sec", 0.0);
   const bool want_digest = args.flag("digest");
 
+  const std::string trace_out = args.str("trace-out", "");
+  const std::string metrics_out = args.str("metrics-out", "");
+  const std::string matrix_out = args.str("comm-matrix-out", "");
+  std::unique_ptr<obs::Recorder> recorder;
+  if (!trace_out.empty() || !metrics_out.empty() || !matrix_out.empty()) {
+    obs::Options oopts;
+    oopts.trace = !trace_out.empty();
+    oopts.comm_matrix = !matrix_out.empty();
+    recorder = std::make_unique<obs::Recorder>(oopts, procs);
+    cfg.obs = recorder.get();
+  }
+
   harness::RunOutcome out;
   if (mode_str == "measured" || mode_str == "de") {
     cfg.mode = mode_str == "de" ? harness::Mode::kDirectExec
@@ -308,6 +337,38 @@ int cmd_run(Args& args) {
   t.add_row({"simulator wall-clock",
              TablePrinter::fmt(out.sim_host_seconds, 3) + " s"});
   std::cout << t.to_ascii();
+
+  if (recorder != nullptr) {
+    auto open_out = [](const std::string& path) {
+      std::ofstream os(path);
+      if (!os) throw std::runtime_error("cannot write " + path);
+      return os;
+    };
+    if (!trace_out.empty()) {
+      auto os = open_out(trace_out);
+      recorder->write_chrome_trace(os);
+      std::cerr << "wrote " << trace_out << '\n';
+    }
+    if (!metrics_out.empty()) {
+      auto os = open_out(metrics_out);
+      obs::Recorder::write_metrics_json(os, out.metrics);
+      std::cerr << "wrote " << metrics_out << '\n';
+    }
+    if (!matrix_out.empty()) {
+      auto os = open_out(matrix_out);
+      obs::Recorder::write_comm_matrix_json(os, out.metrics);
+      std::cerr << "wrote " << matrix_out << '\n';
+    }
+    TablePrinter mt({"metric", "value"});
+    for (const auto& [name, value] : out.metrics.scalars) {
+      const auto ll = static_cast<long long>(value);
+      mt.add_row({name, static_cast<double>(ll) == value
+                            ? TablePrinter::fmt_int(ll)
+                            : TablePrinter::fmt(value, 6)});
+    }
+    std::cout << mt.to_ascii();
+  }
+
   if (want_digest) std::cout << "digest: " << harness::run_digest_hex(out) << '\n';
   return 0;
 }

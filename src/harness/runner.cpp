@@ -60,6 +60,7 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
     wopts.comm_fidelity = smpi::World::Options::CommFidelity::kAbstract;
   }
   wopts.faults = config.faults;
+  wopts.obs = config.obs;
 
   smpi::World world(wopts, config.nprocs);
   for (const auto& [k, v] : config.params) world.set_param(k, v);
@@ -73,6 +74,7 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
   ec.max_virtual_time = config.max_virtual_time;
   ec.max_messages = config.max_messages;
   ec.max_host_seconds = config.max_host_seconds;
+  ec.observer = config.obs;
   if (config.threads > 0) {
     ec.host_workers = config.threads;
     ec.use_threads = true;
@@ -83,6 +85,10 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
   }
 
   simk::Engine engine(ec);
+  // Wildcard (ANY_SOURCE/waitany) commits are gated on the network's
+  // latency floor; set it up front so even a run whose first operation is
+  // a wildcard receive is bounded correctly.
+  engine.set_wildcard_min_latency(world.network().min_latency());
   ir::ExecOptions xopts;
   xopts.timers = timers;
   xopts.branches = branches;
@@ -105,6 +111,23 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
     out.stats = world.aggregate_stats();
     out.per_rank_stats = world.all_stats();
     if (config.record_host_trace) out.host_trace = engine.host_trace();
+    if (config.obs != nullptr) {
+      out.metrics = config.obs->snapshot();
+      const auto ps = engine.payload_stats();
+      const auto as = engine.arena_stats();
+      out.metrics.add("pool.payload_outstanding",
+                      static_cast<double>(ps.outstanding));
+      out.metrics.add("pool.payload_retained_bytes",
+                      static_cast<double>(ps.retained_bytes));
+      out.metrics.add("pool.msg_arena_live", static_cast<double>(as.live));
+      out.metrics.add("pool.msg_arena_capacity",
+                      static_cast<double>(as.capacity));
+      out.metrics.add("memory.peak_target_bytes",
+                      static_cast<double>(rr.peak_target_bytes));
+      out.metrics.add("engine.messages_delivered",
+                      static_cast<double>(rr.messages_delivered));
+      out.metrics.add("engine.fiber_slices", static_cast<double>(rr.slices));
+    }
   } catch (const MemoryCapExceeded& e) {
     out.status = RunStatus::kOutOfMemory;
     out.diagnostic = e.what();
@@ -116,6 +139,12 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
     out.status = RunStatus::kBudgetExceeded;
     out.diagnostic = std::string(simk::budget_kind_name(e.kind())) +
                      " budget: " + e.what();
+  } catch (const smpi::TargetProgramError& e) {
+    // Structured target-program fault (e.g. receive buffer too small):
+    // reported as internal_error with the smpi-level diagnostic, no check
+    // banner.
+    out.status = RunStatus::kInternalError;
+    out.diagnostic = e.what();
   } catch (const std::exception& e) {
     // Anything else is a defect in the *target* program (or a model check
     // it tripped); the simulator itself stays alive and reports it.

@@ -24,6 +24,7 @@
 #include "ir/program.hpp"
 #include "machine/compute.hpp"
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "smpi/smpi.hpp"
 
@@ -83,6 +84,12 @@ struct RunConfig {
   VTime max_virtual_time = 0;
   std::uint64_t max_messages = 0;
   double max_host_seconds = 0.0;
+
+  /// Observability sink (not owned; must outlive the run). When set it is
+  /// attached both as the engine observer and as the smpi recorder, and
+  /// RunOutcome::metrics is filled from it. Never changes simulated
+  /// results: digests with and without a recorder are bit-identical.
+  obs::Recorder* obs = nullptr;
 };
 
 /// How a run ended. Every run — including pathological target programs and
@@ -119,6 +126,10 @@ struct RunOutcome {
 
   std::vector<simk::Slice> host_trace;  ///< when record_host_trace
   int nprocs = 0;
+
+  /// Aggregated observability metrics; empty unless RunConfig::obs was
+  /// set. Includes engine pool/arena occupancy appended by the harness.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Executes `prog` under `config`. Never throws for conditions arising in

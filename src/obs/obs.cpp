@@ -1,0 +1,360 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "support/check.hpp"
+
+namespace stgsim::obs {
+
+namespace {
+
+std::size_t size_bucket(std::uint64_t bytes) {
+  std::size_t b = 0;
+  while (bytes > 1 && b + 1 < Recorder::kHistBuckets) {
+    bytes >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// Doubles print round-trip-exact but compactly (counters are integers
+/// almost everywhere, so most values render without a decimal point).
+void write_number(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v >= -9.0e15 && v <= 9.0e15) {
+    os << static_cast<long long>(v);
+  } else {
+    const auto prec = os.precision(17);
+    os << v;
+    os.precision(prec);
+  }
+}
+
+void write_matrix(std::ostream& os, const std::vector<std::uint64_t>& m,
+                  int nranks) {
+  os << "[";
+  for (int r = 0; r < nranks; ++r) {
+    os << (r == 0 ? "\n    [" : ",\n    [");
+    for (int c = 0; c < nranks; ++c) {
+      if (c != 0) os << ", ";
+      os << m[static_cast<std::size_t>(r) * static_cast<std::size_t>(nranks) +
+              static_cast<std::size_t>(c)];
+    }
+    os << "]";
+  }
+  os << "\n  ]";
+}
+
+}  // namespace
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kSend: return "send";
+    case OpKind::kRecv: return "recv";
+    case OpKind::kIsend: return "isend";
+    case OpKind::kIrecv: return "irecv";
+    case OpKind::kWait: return "wait";
+    case OpKind::kWaitall: return "waitall";
+    case OpKind::kWaitany: return "waitany";
+    case OpKind::kSendrecv: return "sendrecv";
+    case OpKind::kBarrier: return "barrier";
+    case OpKind::kBcast: return "bcast";
+    case OpKind::kReduce: return "reduce";
+    case OpKind::kAllreduce: return "allreduce";
+    case OpKind::kGather: return "gather";
+    case OpKind::kScatter: return "scatter";
+    case OpKind::kCompute: return "compute";
+    case OpKind::kDelay: return "delay";
+    case OpKind::kCount_: break;
+  }
+  return "?";
+}
+
+const char* op_kind_category(OpKind k) {
+  switch (k) {
+    case OpKind::kSend:
+    case OpKind::kRecv:
+    case OpKind::kIsend:
+    case OpKind::kIrecv:
+    case OpKind::kSendrecv:
+      return "p2p";
+    case OpKind::kWait:
+    case OpKind::kWaitall:
+    case OpKind::kWaitany:
+      return "sync";
+    case OpKind::kBarrier:
+    case OpKind::kBcast:
+    case OpKind::kReduce:
+    case OpKind::kAllreduce:
+    case OpKind::kGather:
+    case OpKind::kScatter:
+      return "collective";
+    case OpKind::kCompute:
+    case OpKind::kDelay:
+      return "compute";
+    case OpKind::kCount_:
+      break;
+  }
+  return "?";
+}
+
+Recorder::Recorder(Options opts, int nranks)
+    : opts_(opts), nranks_(nranks),
+      shards_(static_cast<std::size_t>(nranks)) {
+  STGSIM_CHECK_GT(nranks, 0);
+  if (opts_.comm_matrix) {
+    for (auto& s : shards_) {
+      s.p2p_msgs_row.assign(static_cast<std::size_t>(nranks), 0);
+      s.p2p_bytes_row.assign(static_cast<std::size_t>(nranks), 0);
+      s.coll_msgs_row.assign(static_cast<std::size_t>(nranks), 0);
+      s.coll_bytes_row.assign(static_cast<std::size_t>(nranks), 0);
+    }
+  }
+}
+
+void Recorder::record_op(int rank, OpKind k, int peer, std::uint64_t bytes,
+                         VTime begin, VTime end) {
+  RankShard& s = shard_mut(rank);
+  const auto ki = static_cast<std::size_t>(k);
+  s.op_count[ki] += 1;
+  s.op_time[ki] += end - begin;
+  if (opts_.trace) {
+    s.spans.push_back(Span{k, peer, bytes, begin, end});
+  }
+}
+
+void Recorder::count_p2p(int rank, int dst, std::uint64_t bytes,
+                         bool rendezvous) {
+  RankShard& s = shard_mut(rank);
+  if (rendezvous) {
+    s.rndv_msgs += 1;
+    s.rndv_bytes += bytes;
+  } else {
+    s.eager_msgs += 1;
+    s.eager_bytes += bytes;
+  }
+  s.size_hist[size_bucket(bytes)] += 1;
+  if (opts_.comm_matrix) {
+    s.p2p_msgs_row[static_cast<std::size_t>(dst)] += 1;
+    s.p2p_bytes_row[static_cast<std::size_t>(dst)] += bytes;
+  }
+}
+
+void Recorder::count_coll_msg(int rank, int dst, std::uint64_t bytes) {
+  if (!opts_.comm_matrix) return;
+  RankShard& s = shard_mut(rank);
+  s.coll_msgs_row[static_cast<std::size_t>(dst)] += 1;
+  s.coll_bytes_row[static_cast<std::size_t>(dst)] += bytes;
+}
+
+void Recorder::on_resume(int rank, VTime clock) {
+  (void)clock;
+  shard_mut(rank).slices += 1;
+}
+
+void Recorder::on_block(int rank, VTime clock, const simk::MatchSpec& spec) {
+  (void)spec;
+  RankShard& s = shard_mut(rank);
+  s.blocks += 1;
+  if (opts_.trace) {
+    s.block_spans.push_back(Span{OpKind::kCount_, -1, 0, clock, clock});
+    s.block_open = true;
+  }
+}
+
+void Recorder::on_wake(int rank, VTime clock, VTime arrival) {
+  RankShard& s = shard_mut(rank);
+  s.wakeups += 1;
+  if (opts_.trace && s.block_open) {
+    Span& sp = s.block_spans.back();
+    // The blocked interval ends when the waking message is available (or
+    // at the blocking clock itself when it was already queued).
+    sp.end = std::max(sp.begin,
+                      arrival == kVTimeNever ? sp.begin : arrival);
+    s.block_open = false;
+  }
+}
+
+void Recorder::on_send(const simk::Message& m) {
+  RankShard& s = shard_mut(m.src);
+  s.msgs_sent += 1;
+  s.wire_bytes += m.wire_bytes;
+}
+
+void Recorder::on_match(int rank, std::uint64_t probes, bool hit) {
+  RankShard& s = shard_mut(rank);
+  s.match_attempts += 1;
+  s.match_probes += probes;
+  if (hit) s.match_hits += 1;
+}
+
+MetricsSnapshot Recorder::snapshot() const {
+  MetricsSnapshot out;
+  out.nranks = nranks_;
+
+  RankShard tot;  // matrix rows unused; scalar sums only
+  std::uint64_t hist[kHistBuckets] = {};
+  VTime comm_time = 0, compute_time = 0;
+  std::uint64_t spans = 0;
+  for (const auto& s : shards_) {
+    tot.slices += s.slices;
+    tot.blocks += s.blocks;
+    tot.wakeups += s.wakeups;
+    tot.match_attempts += s.match_attempts;
+    tot.match_probes += s.match_probes;
+    tot.match_hits += s.match_hits;
+    tot.msgs_sent += s.msgs_sent;
+    tot.wire_bytes += s.wire_bytes;
+    tot.eager_msgs += s.eager_msgs;
+    tot.eager_bytes += s.eager_bytes;
+    tot.rndv_msgs += s.rndv_msgs;
+    tot.rndv_bytes += s.rndv_bytes;
+    for (std::size_t i = 0; i < kOpKindCount; ++i) {
+      tot.op_count[i] += s.op_count[i];
+      tot.op_time[i] += s.op_time[i];
+      const auto k = static_cast<OpKind>(i);
+      if (op_kind_category(k) == std::string_view("compute")) {
+        compute_time += s.op_time[i];
+      } else {
+        comm_time += s.op_time[i];
+      }
+    }
+    for (std::size_t i = 0; i < kHistBuckets; ++i) hist[i] += s.size_hist[i];
+    spans += s.spans.size() + s.block_spans.size();
+  }
+
+  out.add("engine.slices", static_cast<double>(tot.slices));
+  out.add("engine.blocks", static_cast<double>(tot.blocks));
+  out.add("engine.wakeups", static_cast<double>(tot.wakeups));
+  out.add("engine.match_attempts", static_cast<double>(tot.match_attempts));
+  out.add("engine.match_probes", static_cast<double>(tot.match_probes));
+  out.add("engine.match_hits", static_cast<double>(tot.match_hits));
+  out.add("engine.messages_sent", static_cast<double>(tot.msgs_sent));
+  out.add("engine.wire_bytes", static_cast<double>(tot.wire_bytes));
+  out.add("smpi.eager_msgs", static_cast<double>(tot.eager_msgs));
+  out.add("smpi.eager_bytes", static_cast<double>(tot.eager_bytes));
+  out.add("smpi.rendezvous_msgs", static_cast<double>(tot.rndv_msgs));
+  out.add("smpi.rendezvous_bytes", static_cast<double>(tot.rndv_bytes));
+  out.add("smpi.comm_time_sec", vtime_to_sec(comm_time));
+  out.add("smpi.compute_time_sec", vtime_to_sec(compute_time));
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    const auto k = static_cast<OpKind>(i);
+    if (tot.op_count[i] == 0) continue;
+    out.add(std::string("op.") + op_kind_name(k) + ".count",
+            static_cast<double>(tot.op_count[i]));
+    out.add(std::string("op.") + op_kind_name(k) + ".time_sec",
+            vtime_to_sec(tot.op_time[i]));
+  }
+  if (opts_.trace) out.add("trace.spans", static_cast<double>(spans));
+
+  // Trim the histogram to the last non-empty bucket.
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    if (hist[i] != 0) last = i + 1;
+  }
+  out.msg_size_hist.assign(hist, hist + last);
+
+  if (opts_.comm_matrix) {
+    const auto n = static_cast<std::size_t>(nranks_);
+    out.p2p_messages.assign(n * n, 0);
+    out.p2p_bytes.assign(n * n, 0);
+    out.coll_messages.assign(n * n, 0);
+    out.coll_bytes.assign(n * n, 0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const RankShard& s = shards_[r];
+      for (std::size_t c = 0; c < n; ++c) {
+        out.p2p_messages[r * n + c] = s.p2p_msgs_row[c];
+        out.p2p_bytes[r * n + c] = s.p2p_bytes_row[c];
+        out.coll_messages[r * n + c] = s.coll_msgs_row[c];
+        out.coll_bytes[r * n + c] = s.coll_bytes_row[c];
+      }
+    }
+  }
+  return out;
+}
+
+double MetricsSnapshot::value(const std::string& name, bool* found) const {
+  for (const auto& [n, v] : scalars) {
+    if (n == name) {
+      if (found != nullptr) *found = true;
+      return v;
+    }
+  }
+  if (found != nullptr) *found = false;
+  return 0.0;
+}
+
+void Recorder::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](int rank, const char* name, const char* cat,
+                  const Span& sp) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << name << "\",\"cat\":\"" << cat
+       << "\",\"ph\":\"X\",\"ts\":" << vtime_to_us(sp.begin)
+       << ",\"dur\":" << vtime_to_us(sp.end - sp.begin)
+       << ",\"pid\":0,\"tid\":" << rank << ",\"args\":{\"peer\":" << sp.peer
+       << ",\"bytes\":" << sp.bytes << "}}";
+  };
+  for (int r = 0; r < nranks_; ++r) {
+    const RankShard& s = shard(r);
+    // Thread-name metadata rows make Perfetto label timelines "rank N".
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+       << ",\"args\":{\"name\":\"rank " << r << "\"}}";
+    for (const Span& sp : s.spans) {
+      emit(r, op_kind_name(sp.kind), op_kind_category(sp.kind), sp);
+    }
+    for (const Span& sp : s.block_spans) {
+      if (sp.end < sp.begin) continue;  // open interval at teardown
+      emit(r, "blocked", "engine", sp);
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Recorder::write_metrics_json(std::ostream& os,
+                                  const MetricsSnapshot& s) {
+  os << "{\n  \"metrics\": {";
+  for (std::size_t i = 0; i < s.scalars.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << s.scalars[i].first
+       << "\": ";
+    write_number(os, s.scalars[i].second);
+  }
+  os << "\n  },\n  \"msg_size_hist\": [";
+  for (std::size_t i = 0; i < s.msg_size_hist.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << s.msg_size_hist[i];
+  }
+  os << "]";
+  if (!s.p2p_messages.empty()) {
+    os << ",\n  \"comm_matrix\": ";
+    std::ostringstream tmp;
+    write_comm_matrix_json(tmp, s);
+    // Indent the nested document by re-emitting it verbatim; it is already
+    // a standalone JSON object.
+    os << tmp.str();
+  }
+  os << "\n}\n";
+}
+
+void Recorder::write_comm_matrix_json(std::ostream& os,
+                                      const MetricsSnapshot& s) {
+  os << "{\n  \"nranks\": " << s.nranks;
+  os << ",\n  \"p2p_messages\": ";
+  write_matrix(os, s.p2p_messages, s.nranks);
+  os << ",\n  \"p2p_bytes\": ";
+  write_matrix(os, s.p2p_bytes, s.nranks);
+  os << ",\n  \"coll_messages\": ";
+  write_matrix(os, s.coll_messages, s.nranks);
+  os << ",\n  \"coll_bytes\": ";
+  write_matrix(os, s.coll_bytes, s.nranks);
+  os << "\n}";
+}
+
+}  // namespace stgsim::obs

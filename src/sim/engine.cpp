@@ -67,6 +67,7 @@ void Process::send(Message msg) {
     msg.producer_slice = current_slice_;
     msg.producer_offset_sec = thread_cpu_sec() - slice_begin_sec_;
   }
+  if (engine_->observer_ != nullptr) engine_->observer_->on_send(msg);
   engine_->deliver(std::move(msg));
 }
 
@@ -91,17 +92,28 @@ bool Process::try_match(const MatchSpec& spec, Message* out) {
     }
   };
 
+  // Probe accounting for the observer: one local increment per inspected
+  // node, reported once per attempt (never per node).
+  std::uint64_t probes = 0;
+  auto report = [&](bool hit) {
+    if (engine_->observer_ != nullptr) {
+      engine_->observer_->on_match(rank_, probes, hit);
+    }
+    return hit;
+  };
+
   if (spec.src != MatchSpec::kAnySource && spec.any_of == nullptr) {
     Channel* ch = find_channel(spec.src);
-    if (ch == nullptr) return false;
+    if (ch == nullptr) return report(false);
     MsgNode* prev = nullptr;
     for (MsgNode* n = ch->head; n != nullptr; prev = n, n = n->next) {
+      ++probes;
       if (spec.accepts(n->value)) {
         take(*ch, n, prev);
-        return true;
+        return report(true);
       }
     }
-    return false;
+    return report(false);
   }
 
   // Wildcard: per MPI, messages from one source are matched in send order;
@@ -116,6 +128,7 @@ bool Process::try_match(const MatchSpec& spec, Message* out) {
   for (auto& ch : channels_) {
     MsgNode* prev = nullptr;
     for (MsgNode* n = ch.head; n != nullptr; prev = n, n = n->next) {
+      ++probes;
       if (spec.accepts(n->value)) {
         if (n->value.arrival < best_arrival ||
             (n->value.arrival == best_arrival && ch.src < best_src)) {
@@ -129,9 +142,9 @@ bool Process::try_match(const MatchSpec& spec, Message* out) {
       }
     }
   }
-  if (best_ch == nullptr) return false;
+  if (best_ch == nullptr) return report(false);
   take(*best_ch, best_node, best_prev);
-  return true;
+  return report(true);
 }
 
 bool Process::peek_match(const MatchSpec& spec, VTime* arrival) const {
@@ -152,9 +165,28 @@ bool Process::peek_match(const MatchSpec& spec, VTime* arrival) const {
 
 Message Process::blocking_match(const MatchSpec& spec) {
   Message out;
-  if (try_match(spec, &out)) return out;
-  blocked_ = true;
-  waiting_on_ = &spec;
+  if (!spec.is_wildcard()) {
+    if (try_match(spec, &out)) return out;
+    blocked_ = true;
+    waiting_on_ = &spec;
+  } else {
+    // A wildcard receive may only commit when no slower-clocked process
+    // can still produce an earlier-arriving match. If the best queued
+    // candidate is not yet bound-safe (or we are inside a threaded round,
+    // where the bound cannot be evaluated), block and park for promotion.
+    VTime arrival = kVTimeNever;
+    if (peek_match(spec, &arrival) &&
+        engine_->wildcard_commit_safe(*this, arrival)) {
+      STGSIM_CHECK(try_match(spec, &out));
+      return out;
+    }
+    blocked_ = true;
+    waiting_on_ = &spec;
+    if (arrival != kVTimeNever) engine_->park_wildcard(*this);
+  }
+  if (engine_->observer_ != nullptr) {
+    engine_->observer_->on_block(rank_, clock_, spec);
+  }
   Fiber::yield_to_scheduler();
   if (engine_->aborting_) throw FiberAborted{};
   // The engine only wakes us when a match is available.
@@ -171,6 +203,7 @@ Engine::Engine(EngineConfig config) : config_(config) {
   STGSIM_CHECK_GT(config_.num_processes, 0);
   STGSIM_CHECK_GT(config_.host_workers, 0);
   memory_.set_cap(config_.memory_cap_bytes);
+  observer_ = config_.observer;
   if (config_.use_threads) {
     STGSIM_CHECK(!config_.record_host_trace)
         << "host-trace recording requires the sequential scheduler";
@@ -179,13 +212,23 @@ Engine::Engine(EngineConfig config) : config_(config) {
 
 Engine::~Engine() = default;
 
-VTime Engine::wildcard_safe_bound(VTime min_latency) const {
+VTime Engine::wildcard_safe_bound(VTime min_latency, int exclude_rank) const {
   VTime lo = kVTimeNever;
   for (const auto& p : procs_) {
-    if (!p->finished_) lo = std::min(lo, p->clock_);
+    if (p->finished_ || p->rank_ == exclude_rank) continue;
+    lo = std::min(lo, p->clock_);
   }
   if (lo == kVTimeNever) return kVTimeNever;
   return lo + min_latency;
+}
+
+bool Engine::wildcard_commit_safe(const Process& p, VTime arrival) const {
+  if (threaded_phase_) return false;  // clocks race during a round
+  const VTime bound = wildcard_safe_bound(
+      wildcard_min_latency_.load(std::memory_order_relaxed), p.rank_);
+  // kVTimeNever: no other unfinished process exists, so the queued message
+  // set is final and any match is safe.
+  return bound == kVTimeNever || arrival < bound;
 }
 
 double Engine::now_host_sec() const { return steady_now_sec() - host_t0_sec_; }
@@ -227,7 +270,8 @@ void Engine::deliver(Message&& msg) {
     const MatchSpec& spec = *dst.waiting_on_;
     const Message& m = node->value;
     bool can_match = false;
-    if (spec.src == MatchSpec::kAnySource || spec.src == m.src) {
+    if (spec.src == MatchSpec::kAnySource || spec.src == m.src ||
+        spec.any_of != nullptr) {
       // The new message is last in its channel; it can only be matched if
       // no earlier message in the same channel also matches (that one
       // would have woken us already) — so testing the new message alone
@@ -235,22 +279,111 @@ void Engine::deliver(Message&& msg) {
       can_match = spec.accepts(m);
     }
     if (can_match) {
-      dst.blocked_ = false;
-      dst.waiting_on_ = nullptr;
-      if (threaded_run_) {
-        // Local deliveries happen on the destination's own worker; flush
-        // deliveries happen between rounds — both may touch this list.
-        worker_ready_[static_cast<std::size_t>(dst.home_worker_)].push_back(
-            dst.rank_);
-      } else {
-        ready_.push_back(dst.rank_);
+      if (spec.is_wildcard() &&
+          (threaded_run_ || !wildcard_commit_safe(dst, m.arrival))) {
+        // A slower-clocked rank could still send an earlier-arriving
+        // match (or, in a threaded round, we cannot tell): defer the
+        // wakeup until the safety bound passes. If an already-queued
+        // candidate has an even earlier arrival, it is safe whenever this
+        // one is, and try_match picks it on resume.
+        park_wildcard(dst);
+        return;
       }
+      wake_process(dst, m.arrival);
     }
+  }
+}
+
+void Engine::wake_process(Process& p, VTime arrival) {
+  p.blocked_ = false;
+  p.waiting_on_ = nullptr;
+  p.wildcard_parked_ = false;
+  if (observer_ != nullptr) observer_->on_wake(p.rank_, p.clock_, arrival);
+  if (threaded_run_) {
+    // Local deliveries happen on the destination's own worker; flush
+    // deliveries and promotions happen between rounds — both may touch
+    // this list.
+    worker_ready_[static_cast<std::size_t>(p.home_worker_)].push_back(
+        p.rank_);
+  } else {
+    ready_.push_back(p.rank_);
+  }
+}
+
+void Engine::park_wildcard(Process& p) {
+  STGSIM_DCHECK(p.blocked_ && p.waiting_on_ != nullptr);
+  if (p.wildcard_parked_) return;
+  p.wildcard_parked_ = true;
+  if (threaded_phase_) {
+    worker_wildcard_pending_[static_cast<std::size_t>(g_current_worker)]
+        .push_back(p.rank_);
+  } else {
+    wildcard_pending_.push_back(p.rank_);
+  }
+}
+
+void Engine::promote_safe_wildcards(bool stuck) {
+  // One O(P) scan gives the two smallest unfinished clocks; excluding the
+  // parked receiver itself then costs O(1) per candidate.
+  VTime min1 = kVTimeNever, min2 = kVTimeNever;
+  int argmin = -1;
+  for (const auto& q : procs_) {
+    if (q->finished_) continue;
+    if (q->clock_ < min1) {
+      min2 = min1;
+      min1 = q->clock_;
+      argmin = q->rank_;
+    } else if (q->clock_ < min2) {
+      // Covers duplicates of min1 too: excluding argmin still leaves a
+      // process at that clock, so min2 must equal min1 then.
+      min2 = q->clock_;
+    }
+  }
+  const VTime lat = wildcard_min_latency_.load(std::memory_order_relaxed);
+
+  bool promoted = false;
+  VTime best_arrival = kVTimeNever;
+  int best_rank = -1;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < wildcard_pending_.size(); ++i) {
+    const int rank = wildcard_pending_[i];
+    Process& p = *procs_[static_cast<std::size_t>(rank)];
+    if (!p.blocked_ || !p.wildcard_parked_) continue;  // woken since; drop
+    VTime arrival = kVTimeNever;
+    STGSIM_CHECK(p.peek_match(*p.waiting_on_, &arrival))
+        << "parked wildcard receive on rank " << rank
+        << " lost its queued candidate";
+    const VTime lo = (p.rank_ == argmin) ? min2 : min1;
+    if (lo == kVTimeNever || arrival < lo + lat) {
+      wake_process(p, arrival);
+      promoted = true;
+      continue;
+    }
+    if (arrival < best_arrival ||
+        (arrival == best_arrival && rank < best_rank)) {
+      best_arrival = arrival;
+      best_rank = rank;
+    }
+    wildcard_pending_[keep++] = rank;
+  }
+  wildcard_pending_.resize(keep);
+
+  if (!promoted && stuck && best_rank >= 0) {
+    // Nothing can run, so no further message will ever be queued: the
+    // earliest-arrival candidate is exactly what the safety bound would
+    // eventually admit. Wake only that one; its commit may unblock others
+    // for real (bound-safe) promotion later.
+    Process& p = *procs_[static_cast<std::size_t>(best_rank)];
+    wake_process(p, best_arrival);
+    wildcard_pending_.erase(
+        std::find(wildcard_pending_.begin(), wildcard_pending_.end(),
+                  best_rank));
   }
 }
 
 void Engine::resume_process(Process& p) {
   STGSIM_DCHECK(!p.finished_ && !p.blocked_);
+  if (observer_ != nullptr) observer_->on_resume(p.rank_, p.clock_);
   if (config_.record_host_trace) {
     p.current_slice_ = trace_.size();
     trace_.push_back(Slice{p.rank_, 0.0, {}});
@@ -432,6 +565,13 @@ void Engine::run_sequential() {
   std::size_t remaining = procs_.size();
   std::uint64_t iter = 0;
   while (remaining > 0) {
+    if (!wildcard_pending_.empty()) {
+      promote_safe_wildcards(/*stuck=*/heap.empty());
+      for (int woken : ready_) {
+        heap.push(woken, procs_[static_cast<std::size_t>(woken)]->clock_);
+      }
+      ready_.clear();
+    }
     if (heap.empty()) raise_deadlock();
     // A process that blocks immediately never runs advance(), so its
     // in-fiber watchdog never fires; probe from the scheduler too.
@@ -461,7 +601,20 @@ void Engine::run_partition_until_blocked(int worker) {
   }
   local_ready.clear();
 
+  std::uint64_t iter = 0;
   while (!heap.empty()) {
+    // The round barrier only probes the wall-clock watchdog between
+    // rounds; a round that never drains (e.g. two processes in the same
+    // partition ping-ponging without advancing their clocks) would
+    // otherwise spin forever. Probe in-loop, like the sequential
+    // scheduler; the main thread tears the run down after join.
+    if ((++iter & 1023U) == 0 && host_budget_exhausted()) {
+      note_error(std::make_exception_ptr(BudgetExceededError(
+          BudgetExceededError::Kind::kHostWallClock,
+          "host wall-clock watchdog fired in threaded worker " +
+              std::to_string(worker))));
+      break;
+    }
     const int rank = heap.pop();
     Process& p = *procs_[static_cast<std::size_t>(rank)];
     resume_process(p);
@@ -479,6 +632,7 @@ void Engine::run_threaded() {
   round_outboxes_.clear();
   round_outboxes_.resize(static_cast<std::size_t>(workers));
   worker_ready_.assign(static_cast<std::size_t>(workers), {});
+  worker_wildcard_pending_.assign(static_cast<std::size_t>(workers), {});
   worker_heaps_.resize(static_cast<std::size_t>(workers));
   for (auto& h : worker_heaps_) h.reset(config_.num_processes);
   for (const auto& p : procs_) {
@@ -523,6 +677,20 @@ void Engine::run_threaded() {
     for (auto& outbox : round_outboxes_) {
       for (auto& msg : outbox) deliver(std::move(msg));
       outbox.clear();
+    }
+
+    // Wildcard receives always park during a round (clocks race); now the
+    // barrier has frozen every clock and flushed every message, evaluate
+    // the safety bound. Worker lists merge in fixed order, and promotion
+    // itself is (arrival, rank)-deterministic, so this preserves the
+    // sequential scheduler's commit choices.
+    for (auto& pending : worker_wildcard_pending_) {
+      wildcard_pending_.insert(wildcard_pending_.end(), pending.begin(),
+                               pending.end());
+      pending.clear();
+    }
+    if (!wildcard_pending_.empty()) {
+      promote_safe_wildcards(/*stuck=*/!any_ready());
     }
   }
   threaded_run_ = false;

@@ -112,6 +112,50 @@ struct MatchSpec {
     if (match_aux && aux != m.aux) return false;
     return true;
   }
+
+  /// True when the choice of message can depend on scheduling order: the
+  /// spec accepts more than one source (ANY_SOURCE, or a waitany union).
+  /// Such receives may only commit under the engine's safety bound.
+  bool is_wildcard() const {
+    return src == kAnySource || any_of != nullptr;
+  }
+};
+
+/// Instrumentation hooks the engine invokes on scheduling and messaging
+/// events. All methods have empty default bodies; the engine calls them
+/// only when an observer is installed (EngineConfig::observer), so the
+/// disabled path costs a single predictable branch per event.
+///
+/// Threading contract: callbacks carrying a `rank` are invoked either on
+/// the worker thread that owns that rank's partition or on the scheduler
+/// thread between rounds — never from two threads at once for the same
+/// rank. An implementation that shards its state per rank therefore needs
+/// no locks. `on_send` runs on the *sender's* context and should shard by
+/// `m.src`.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  /// A process slice begins: `rank` is resumed at virtual time `clock`.
+  virtual void on_resume(int rank, VTime clock) {
+    (void)rank; (void)clock;
+  }
+  /// `rank` blocks at `clock` waiting for a message matching `spec`.
+  virtual void on_block(int rank, VTime clock, const MatchSpec& spec) {
+    (void)rank; (void)clock; (void)spec;
+  }
+  /// A delivery (or wildcard safety-bound promotion) wakes `rank`; the
+  /// waking message arrives at `arrival` (kVTimeNever when unknown).
+  virtual void on_wake(int rank, VTime clock, VTime arrival) {
+    (void)rank; (void)clock; (void)arrival;
+  }
+  /// A message was handed to the engine for delivery.
+  virtual void on_send(const Message& m) { (void)m; }
+  /// One matching attempt by `rank`: `probes` queued messages were
+  /// inspected; `hit` says whether one was removed.
+  virtual void on_match(int rank, std::uint64_t probes, bool hit) {
+    (void)rank; (void)probes; (void)hit;
+  }
 };
 
 class Engine;
@@ -223,6 +267,7 @@ class Process {
   bool finished_ = false;
   bool blocked_ = false;
   const MatchSpec* waiting_on_ = nullptr;  // valid while blocked_
+  bool wildcard_parked_ = false;  ///< blocked wildcard with an unsafe match
   int home_worker_ = 0;
 
   // Inbox: per-source channels in send (seq) order. Channel order is
@@ -282,6 +327,10 @@ struct EngineConfig {
 
   /// Record the slice trace (sequential scheduler only).
   bool record_host_trace = false;
+
+  /// Instrumentation sink (not owned; must outlive the engine). Null
+  /// disables all observer callbacks at the cost of one branch per event.
+  EngineObserver* observer = nullptr;
 
   // Run budgets (0 = unlimited). When a budget is exceeded the run is torn
   // down cleanly and BudgetExceededError is thrown, so a pathological
@@ -377,10 +426,26 @@ class Engine {
   /// Recorded slice trace (empty unless config.record_host_trace).
   const std::vector<Slice>& host_trace() const { return trace_; }
 
-  /// Lower bound on the arrival time of any message not yet matchable:
-  /// min over unfinished processes of their clock, plus `min_latency`.
-  /// Used for ANY_SOURCE safety by the layer above.
-  VTime wildcard_safe_bound(VTime min_latency) const;
+  /// Lower bound on the arrival time of any message that could still be
+  /// sent: min over unfinished processes of their clock, plus
+  /// `min_latency`. `exclude_rank` (when >= 0) is left out of the scan —
+  /// pass the blocked receiver itself, which cannot send while it waits.
+  VTime wildcard_safe_bound(VTime min_latency, int exclude_rank = -1) const;
+
+  /// Minimum over-the-wire latency used in the wildcard safety bound.
+  /// Zero (the default) is always conservative-correct but forces every
+  /// contested wildcard receive through the stuck-promotion slow path;
+  /// the smpi layer sets it to Network::min_latency().
+  void set_wildcard_min_latency(VTime min_latency) {
+    wildcard_min_latency_.store(min_latency, std::memory_order_relaxed);
+  }
+
+  /// True when a wildcard receive by `p` may commit to a queued message
+  /// arriving at `arrival`: no other unfinished process can still produce
+  /// an earlier-arriving match. Always false during a threaded round
+  /// (other ranks' clocks are racing); such receives park and are
+  /// promoted at the barrier.
+  bool wildcard_commit_safe(const Process& p, VTime arrival) const;
 
   /// Pool/arena accounting — simulator overhead, distinct from the
   /// MemoryTracker's target-visible bytes. Capacity is bounded by peak
@@ -397,6 +462,19 @@ class Engine {
   void run_partition_until_blocked(int worker);
   void resume_process(Process& p);
   [[noreturn]] void raise_deadlock();
+
+  /// Unblocks `p` and queues it on the appropriate ready list. `arrival`
+  /// is the waking message's arrival time (for the observer).
+  void wake_process(Process& p, VTime arrival);
+  /// Records `p` (blocked on a wildcard spec with at least one queued
+  /// match) for later safety-bound promotion.
+  void park_wildcard(Process& p);
+  /// Wakes every parked process whose best queued match has passed the
+  /// safety bound. When `stuck` (no process can run, so the queued message
+  /// set is final), and no parked process is bound-safe, wakes exactly the
+  /// one with the smallest (arrival, rank) — the choice is then exact.
+  /// Single-threaded contexts only (sequential loop / round barrier).
+  void promote_safe_wildcards(bool stuck);
 
   /// Raises BudgetExceededError: thrown in place when called from inside a
   /// target fiber (unwinding it through the body wrapper), or routed
@@ -447,6 +525,18 @@ class Engine {
   std::vector<std::vector<Message>> round_outboxes_;
   bool threaded_run_ = false;
   bool threaded_phase_ = false;
+
+  // Wildcard safety: ranks blocked on a wildcard receive whose queued
+  // candidate has not passed the safety bound yet. Sequential deliveries
+  // park into the global list; deliveries during a threaded round park
+  // into the current worker's list, merged at the barrier. The latency
+  // floor is atomic only because smpi::Comm instances set it (to the same
+  // value) from every rank's fiber, including worker threads.
+  std::atomic<VTime> wildcard_min_latency_{0};
+  std::vector<int> wildcard_pending_;
+  std::vector<std::vector<int>> worker_wildcard_pending_;
+
+  EngineObserver* observer_ = nullptr;
 
   std::mutex error_mutex_;
   std::exception_ptr error_;

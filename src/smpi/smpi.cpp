@@ -75,22 +75,31 @@ Comm::Comm(World& world, simk::Process& proc)
     : world_(world), proc_(proc), stats_(world.stats(proc.rank())) {
   STGSIM_CHECK_EQ(world.nranks(), proc.world_size());
   proc_.user = this;
+  // Arm the engine's wildcard (ANY_SOURCE / waitany) safety bound with
+  // this network's latency floor; without it the bound degenerates to the
+  // raw minimum clock and every contested wildcard receive takes the
+  // stuck-promotion slow path.
+  proc_.engine().set_wildcard_min_latency(world_.network().min_latency());
 }
 
 Comm::~Comm() { proc_.user = nullptr; }
 
 void Comm::compute(VTime t) {
+  const VTime t0 = now();
   const VTime dt = stretched(t);
   proc_.advance(dt);
   stats_.compute_time += dt;
+  obs_op(obs::OpKind::kCompute, -1, 0, t0);
 }
 
 void Comm::delay(VTime t) {
   STGSIM_CHECK_GE(t, 0) << "negative delay — bad scaling function?";
+  const VTime t0 = now();
   const VTime dt = stretched(t);
   proc_.advance(dt);
   stats_.compute_time += dt;
   ++stats_.delays;
+  obs_op(obs::OpKind::kDelay, -1, 0, t0);
 }
 
 void Comm::send_raw(int dst, MsgKind msg_kind, int tag, std::uint64_t aux,
@@ -139,6 +148,9 @@ void Comm::coll_send_at(int dst, int round, const void* data,
   }
   proc_.send(std::move(m));
   stats_.bytes_sent += bytes;
+  if (world_.options().obs != nullptr) {
+    world_.options().obs->count_coll_msg(rank(), dst, bytes);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -190,6 +202,12 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
     proc_.lift_clock(cts.arrival);
   }
   stats_.comm_time += now() - t0;
+  if (world_.options().obs != nullptr) {
+    world_.options().obs->count_p2p(
+        rank(), dst, bytes,
+        !abstract_comm() && world_.network().uses_rendezvous(bytes));
+    obs_op(obs::OpKind::kSend, dst, bytes, t0);
+  }
 }
 
 simk::Message Comm::match_recv(int src, int user_tag) {
@@ -204,9 +222,16 @@ simk::Message Comm::match_recv(int src, int user_tag) {
 
 void Comm::complete_eager_or_rts(simk::Message& m, void* data,
                                  std::size_t bytes, RecvStatus* status) {
-  STGSIM_CHECK_LE(m.wire_bytes, bytes)
-      << "receive buffer too small: posted " << bytes << " got "
-      << m.wire_bytes << " (src " << m.src << " tag " << m.tag << ")";
+  if (m.wire_bytes > bytes) {
+    // A target-program bug (MPI_ERR_TRUNCATE territory), not a simulator
+    // invariant: report it structurally so the harness can surface an
+    // internal_error outcome instead of a check-failure banner.
+    std::ostringstream os;
+    os << "rank " << rank() << ": receive buffer too small: posted " << bytes
+       << " got " << m.wire_bytes << " (src " << m.src << " tag " << m.tag
+       << ")";
+    throw TargetProgramError(os.str());
+  }
   proc_.lift_clock(m.arrival);
 
   if (m.kind == kKindRts) {
@@ -250,8 +275,10 @@ void Comm::recv(int src, int tag, void* data, std::size_t bytes,
   const VTime t0 = now();
   trace(CommEvent::Kind::kRecv, src, tag, bytes);
   simk::Message m = match_recv(src, tag);
+  const int from = m.src;
   complete_eager_or_rts(m, data, bytes, status);
   stats_.comm_time += now() - t0;
+  obs_op(obs::OpKind::kRecv, from, bytes, t0);
 }
 
 Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
@@ -293,6 +320,12 @@ Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
     req.rid = rid;
   }
   stats_.comm_time += now() - t0;
+  if (world_.options().obs != nullptr) {
+    world_.options().obs->count_p2p(
+        rank(), dst, bytes,
+        !abstract_comm() && world_.network().uses_rendezvous(bytes));
+    obs_op(obs::OpKind::kIsend, dst, bytes, t0);
+  }
   return req;
 }
 
@@ -306,6 +339,7 @@ Request Comm::irecv(int src, int tag, void* data, std::size_t bytes,
   req.buf = data;
   req.bytes = bytes;
   req.status = status;
+  obs_op(obs::OpKind::kIrecv, src, bytes, now());  // posting is instant
   return req;
 }
 
@@ -336,9 +370,11 @@ void Comm::wait(Request& req) {
   }
   req.done_ = true;
   stats_.comm_time += now() - t0;
+  obs_op(obs::OpKind::kWait, req.peer, req.bytes, t0);
 }
 
 void Comm::waitall(std::vector<Request>& reqs) {
+  const VTime t0 = now();
   trace(CommEvent::Kind::kWaitall, -1, 0, reqs.size());
   // Service receives first: granting CTSes unblocks peers whose
   // rendezvous sends we may be waiting on ourselves (progress-engine
@@ -349,6 +385,7 @@ void Comm::waitall(std::vector<Request>& reqs) {
   for (auto& r : reqs) {
     if (!r.done_) wait(r);
   }
+  obs_op(obs::OpKind::kWaitall, -1, reqs.size(), t0);
 }
 
 std::size_t Comm::waitany(std::vector<Request>& reqs) {
@@ -385,6 +422,7 @@ std::size_t Comm::waitany(std::vector<Request>& reqs) {
     }
     r.done_ = true;
     stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kWaitany, r.peer, r.bytes, t0);
   };
 
   while (true) {
@@ -392,6 +430,7 @@ std::size_t Comm::waitany(std::vector<Request>& reqs) {
     // message arrived earliest in virtual time (what a real waitany on
     // the target machine would have observed first).
     bool any_incomplete = false;
+    int matchable = 0;
     std::size_t best_idx = reqs.size();
     VTime best_arrival = kVTimeNever;
     simk::MatchSpec best_spec;
@@ -401,6 +440,7 @@ std::size_t Comm::waitany(std::vector<Request>& reqs) {
       any_incomplete = true;
       simk::MatchSpec spec;
       if (!spec_for(r, &spec)) continue;
+      ++matchable;
       VTime arrival = 0;
       if (proc_.peek_match(spec, &arrival) && arrival < best_arrival) {
         best_arrival = arrival;
@@ -409,8 +449,19 @@ std::size_t Comm::waitany(std::vector<Request>& reqs) {
       }
     }
     if (best_idx < reqs.size()) {
-      complete(best_idx, best_spec);
-      return best_idx;
+      // Committing here is a cross-source choice whenever more than one
+      // request (or an ANY_SOURCE request) is pending: a slower-clocked
+      // rank could still send an earlier-arriving match for another
+      // alternative. Only commit under the engine's safety bound; when it
+      // does not hold yet, fall through to the blocking path, which parks
+      // until the bound passes.
+      const bool choice =
+          matchable > 1 || best_spec.src == simk::MatchSpec::kAnySource;
+      if (!choice ||
+          proc_.engine().wildcard_commit_safe(proc_, best_arrival)) {
+        complete(best_idx, best_spec);
+        return best_idx;
+      }
     }
     STGSIM_CHECK(any_incomplete) << "waitany with no incomplete requests";
 
@@ -444,6 +495,7 @@ std::size_t Comm::waitany(std::vector<Request>& reqs) {
       }
       r.done_ = true;
       stats_.comm_time += now() - t0;
+      obs_op(obs::OpKind::kWaitany, r.peer, r.bytes, t0);
       return i;
     }
     STGSIM_UNREACHABLE("waitany matched a message no request claims");
@@ -454,10 +506,12 @@ void Comm::sendrecv(int dst, int send_tag, const void* send_data,
                     std::size_t send_bytes, int src, int recv_tag,
                     void* recv_data, std::size_t recv_bytes,
                     RecvStatus* status) {
+  const VTime t0 = now();
   std::vector<Request> reqs;
   reqs.push_back(irecv(src, recv_tag, recv_data, recv_bytes, status));
   reqs.push_back(isend(dst, send_tag, send_data, send_bytes));
   waitall(reqs);
+  obs_op(obs::OpKind::kSendrecv, dst, send_bytes + recv_bytes, t0);
 }
 
 // ---------------------------------------------------------------------------
@@ -471,6 +525,9 @@ void Comm::coll_send(int dst, int round, const void* data, std::size_t bytes) {
   send_raw(dst, kKindColl, 0, aux, data, bytes,
            std::max(bytes, std::size_t{8}));
   stats_.bytes_sent += bytes;
+  if (world_.options().obs != nullptr) {
+    world_.options().obs->count_coll_msg(rank(), dst, bytes);
+  }
 }
 
 void Comm::coll_recv(int src, int round, void* data, std::size_t bytes) {
@@ -519,6 +576,7 @@ void Comm::barrier() {
       coll_recv(0, 1, nullptr, 0);
     }
     stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kBarrier, -1, 0, t0);
     return;
   }
   if (world_.options().linear_collectives) {
@@ -531,6 +589,7 @@ void Comm::barrier() {
       coll_recv(0, 1, nullptr, 0);
     }
     stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kBarrier, -1, 0, t0);
     return;
   }
   for (int round = 0, offset = 1; offset < P; ++round, offset <<= 1) {
@@ -540,6 +599,7 @@ void Comm::barrier() {
     coll_recv(src, round, nullptr, 0);
   }
   stats_.comm_time += now() - t0;
+  obs_op(obs::OpKind::kBarrier, -1, 0, t0);
 }
 
 void Comm::bcast(void* data, std::size_t bytes, int root) {
@@ -561,6 +621,7 @@ void Comm::bcast(void* data, std::size_t bytes, int root) {
       coll_recv(root, 0, data, bytes);
     }
     stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kBcast, root, bytes, t0);
     return;
   }
 
@@ -573,6 +634,7 @@ void Comm::bcast(void* data, std::size_t bytes, int root) {
       coll_recv(root, 0, data, bytes);
     }
     stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kBcast, root, bytes, t0);
     return;
   }
 
@@ -594,6 +656,7 @@ void Comm::bcast(void* data, std::size_t bytes, int root) {
     mask >>= 1;
   }
   stats_.comm_time += now() - t0;
+  obs_op(obs::OpKind::kBcast, root, bytes, t0);
 }
 
 void Comm::reduce_sum(double* inout, int n, int root) {
@@ -632,6 +695,7 @@ void Comm::reduce_sum(double* inout, int n, int root) {
       coll_send_at(root, 0, inout, bytes, now());
     }
     stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kReduce, root, bytes, t0);
     return;
   }
 
@@ -648,6 +712,7 @@ void Comm::reduce_sum(double* inout, int n, int root) {
       coll_send(root, 0, inout, bytes);
     }
     stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kReduce, root, bytes, t0);
     return;
   }
 
@@ -670,6 +735,7 @@ void Comm::reduce_sum(double* inout, int n, int root) {
     mask <<= 1;
   }
   stats_.comm_time += now() - t0;
+  obs_op(obs::OpKind::kReduce, root, bytes, t0);
 }
 
 void Comm::allreduce_sum(double* inout, int n) {
@@ -720,6 +786,7 @@ void Comm::allreduce_max(double* inout, int n) {
       coll_send_at(0, 0, inout, bytes, now());
     }
     stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kAllreduce, -1, bytes, t0);
     bcast(inout, bytes, 0);
     return;
   }
@@ -742,6 +809,7 @@ void Comm::allreduce_max(double* inout, int n) {
     mask <<= 1;
   }
   stats_.comm_time += now() - t0;
+  obs_op(obs::OpKind::kAllreduce, -1, bytes, t0);
   bcast(inout, bytes, 0);
 }
 
@@ -770,6 +838,7 @@ void Comm::gather(const void* send, std::size_t bytes_each, void* recv_all,
     coll_send(root, 0, send, bytes_each);
   }
   stats_.comm_time += now() - t0;
+  obs_op(obs::OpKind::kGather, root, bytes_each, t0);
 }
 
 void Comm::scatter(const void* send_all, std::size_t bytes_each, void* recv,
@@ -796,6 +865,7 @@ void Comm::scatter(const void* send_all, std::size_t bytes_each, void* recv,
     coll_recv(root, 0, recv, bytes_each);
   }
   stats_.comm_time += now() - t0;
+  obs_op(obs::OpKind::kScatter, root, bytes_each, t0);
 }
 
 double Comm::read_param(const std::string& name) {

@@ -25,6 +25,7 @@
 #include "fault/fault.hpp"
 #include "machine/compute.hpp"
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 #include "support/vtime.hpp"
 
@@ -32,6 +33,18 @@ namespace stgsim::smpi {
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
+
+/// Error in the *target program's* use of the communication interface
+/// (e.g. posting a receive buffer smaller than the matched message).
+/// Unlike STGSIM_CHECK's CheckError — a simulator-invariant violation that
+/// prints a check banner — this is a diagnosable fault of the simulated
+/// program; the harness maps it to RunStatus::kInternalError with the
+/// message as the structured diagnostic.
+class TargetProgramError : public std::runtime_error {
+ public:
+  explicit TargetProgramError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Completion info for a receive.
 struct RecvStatus {
@@ -97,6 +110,11 @@ class World {
     machine::ComputeParams compute;
     VTime param_read_cost = vtime_from_us(200);  ///< file read on rank 0
     CommTrace* trace = nullptr;  ///< optional user-level op recorder
+
+    /// Optional observability sink (not owned): per-op virtual-time spans,
+    /// protocol counters and the comm matrix. Never affects simulated
+    /// behaviour; null disables all instrumentation.
+    obs::Recorder* obs = nullptr;
 
     /// Deterministic fault schedule: link degradation and eager drops are
     /// applied by the network, straggler slowdowns by compute()/delay().
@@ -292,6 +310,16 @@ class Comm {
   void trace(CommEvent::Kind kind, int peer, int tag, std::size_t bytes) {
     if (world_.options().trace != nullptr) {
       world_.options().trace->add(rank(), CommEvent{kind, peer, tag, bytes});
+    }
+  }
+
+  /// Observability twin of trace(): records the op's virtual-time span
+  /// [begin, now()]. Called where the op's comm_time is accounted, so
+  /// spans and RankStats always agree.
+  void obs_op(obs::OpKind kind, int peer, std::size_t bytes, VTime begin) {
+    if (world_.options().obs != nullptr) {
+      world_.options().obs->record_op(rank(), kind, peer, bytes, begin,
+                                      now());
     }
   }
 

@@ -17,6 +17,7 @@
 #include "fault/fault.hpp"
 #include "harness/digest.hpp"
 #include "harness/runner.hpp"
+#include "ir/builder.hpp"
 
 namespace stgsim {
 namespace {
@@ -168,6 +169,44 @@ TEST(RunDigest, FaultedCrossScheduler) {
   const std::uint64_t thr =
       digest_of(prog, 8, 3, harness::Mode::kDirectExec, {}, plan);
   std::fprintf(stderr, "GOLDEN %-24s 0x%016llx\n", "sample-fault/seq",
+               static_cast<unsigned long long>(seq));
+  EXPECT_EQ(seq, thr);
+}
+
+// --- Wildcard-receive race: the correctness bug this PR fixes ----------
+//
+// Rank 0's 16 KiB eager message reaches rank 1 long before rank 2's tiny
+// one (rank 2 is off in a 50us delay when rank 1 posts its first
+// ANY_SOURCE receive). An engine that commits a wildcard receive to
+// whatever has already arrived picks rank 0 first under the sequential
+// scheduler, but rank 2 first under the threaded one (where both
+// messages flush at the same round barrier) — diverging digests. With
+// the safe-bound gate both schedulers commit to the earliest *arrival*
+// (rank 2's), and the digests agree.
+TEST(RunDigest, WildcardRaceAgreesAcrossSchedulers) {
+  auto I = [](std::int64_t v) { return sym::Expr::integer(v); };
+  ir::ProgramBuilder b("wildcard_race");
+  sym::Expr myid = b.get_rank("myid");
+  b.get_size("P");
+  b.decl_array("BUF", {I(2048)});  // 16 KiB: at the eager threshold
+  b.if_then_else(
+      sym::eq(myid, I(0)), [&] { b.send("BUF", I(1), I(2048), I(0), 7); },
+      [&] {
+        b.if_then_else(
+            sym::eq(myid, I(2)),
+            [&] {
+              b.delay(sym::Expr::real(50e-6));
+              b.send("BUF", I(1), I(1), I(0), 7);
+            },
+            [&] {
+              b.recv("BUF", I(-1), I(2048), I(0), 7);  // ANY_SOURCE
+              b.recv("BUF", I(-1), I(2048), I(0), 7);
+            });
+      });
+  ir::Program prog = b.take();
+  const std::uint64_t seq = digest_of(prog, 3, 0, harness::Mode::kDirectExec);
+  const std::uint64_t thr = digest_of(prog, 3, 3, harness::Mode::kDirectExec);
+  std::fprintf(stderr, "GOLDEN %-24s 0x%016llx\n", "wildcard-race/seq",
                static_cast<unsigned long long>(seq));
   EXPECT_EQ(seq, thr);
 }

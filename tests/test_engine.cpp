@@ -250,6 +250,45 @@ TEST(Engine, UnionSpecMatchesAnyAlternative) {
   e.run();
 }
 
+TEST(Engine, WildcardParksUntilSafeBoundThenPicksEarliest) {
+  // The wildcard race this PR fixes. Rank 2 posts an ANY_SOURCE receive
+  // while rank 0's message (arrival 100us) is already queued — but rank 1,
+  // whose clock is still below arrival - min_latency, has yet to send an
+  // *earlier*-arriving message (60us). Committing to the queued candidate
+  // on sight is wrong: the receive must park until the safe bound
+  // (min unfinished peer clock + min latency) passes the candidate's
+  // arrival, then take the earliest arrival among all candidates.
+  //
+  // Slices are run-to-block, so the interleaving is forced with a token:
+  // rank 1 blocks on rank 2's "go" message, guaranteeing rank 1 is still
+  // unfinished (clock 0) at the moment rank 2 sees rank 0's candidate.
+  EngineConfig cfg;
+  cfg.num_processes = 3;
+  Engine e(cfg);
+  e.set_wildcard_min_latency(vtime_from_us(5));
+  e.set_body([](Process& p) {
+    if (p.rank() == 0) {
+      p.send(make_msg(0, 2, 9, 0, vtime_from_us(100)));
+    } else if (p.rank() == 1) {
+      Message go = p.blocking_match(match_tag(2, 1));
+      p.lift_clock(go.arrival);   // 30us
+      p.advance(vtime_from_us(20));
+      p.send(make_msg(1, 2, 9, p.now(), vtime_from_us(60)));
+    } else {
+      p.send(make_msg(2, 1, 1, 0, vtime_from_us(30)));
+      MatchSpec any;
+      any.src = MatchSpec::kAnySource;
+      any.tag = 9;
+      Message first = p.blocking_match(any);
+      EXPECT_EQ(first.src, 1);  // the late-sent but earlier-arriving one
+      EXPECT_EQ(first.arrival, vtime_from_us(60));
+      Message second = p.blocking_match(any);
+      EXPECT_EQ(second.src, 0);
+    }
+  });
+  e.run();
+}
+
 TEST(Engine, KindAndAuxMatchingSelectsProtocolTraffic) {
   EngineConfig cfg;
   cfg.num_processes = 2;
@@ -405,6 +444,36 @@ TEST(Engine, HostWatchdogStopsSpinningRun) {
   Engine e(cfg);
   e.set_body([](Process& p) {
     for (;;) p.advance(1);  // 1 ns per step: years of host time unchecked
+  });
+  try {
+    e.run();
+    FAIL() << "expected BudgetExceededError";
+  } catch (const BudgetExceededError& b) {
+    EXPECT_EQ(b.kind(), BudgetExceededError::Kind::kHostWallClock);
+  }
+}
+
+TEST(Engine, HostWatchdogStopsSpinningThreadedWorker) {
+  // Two ranks in the same partition ping-ponging zero-latency messages
+  // never leave run_partition_until_blocked (every wake lands in the same
+  // worker's ready list), so the between-rounds watchdog on the scheduler
+  // thread never gets a chance — the in-loop probe inside the worker must
+  // fire instead.
+  EngineConfig cfg;
+  cfg.num_processes = 2;
+  cfg.use_threads = true;
+  cfg.host_workers = 1;  // both ranks share one partition
+  cfg.max_host_seconds = 0.2;
+  Engine e(cfg);
+  e.set_body([](Process& p) {
+    MatchSpec from_peer;
+    from_peer.src = 1 - p.rank();
+    from_peer.tag = 1;
+    if (p.rank() == 0) p.send(make_msg(0, 1, 1, p.now(), p.now()));
+    for (;;) {
+      (void)p.blocking_match(from_peer);
+      p.send(make_msg(p.rank(), 1 - p.rank(), 1, p.now(), p.now()));
+    }
   });
   try {
     e.run();
