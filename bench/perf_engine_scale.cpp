@@ -6,23 +6,34 @@
 // message memory, compiled scaling expressions): CI runs it in Release
 // mode and archives the JSON it writes.
 //
-// Usage: perf_engine_scale [--max-procs N] [--out FILE] [--obs]
+// Usage: perf_engine_scale [--max-procs N] [--out FILE] [--obs] [--threaded]
 //   --max-procs N   skip sweep points above N target processes
 //                   (default 16384; CI uses a smaller bound)
-//   --out FILE      JSON output path (default BENCH_engine_scale.json)
+//   --out FILE      JSON output path (default BENCH_engine_scale.json, or
+//                   BENCH_threaded_scale.json with --threaded)
 //   --obs           attach a metrics-only obs::Recorder to every run, to
 //                   measure the enabled-observer overhead against a plain
 //                   run of the same sweep (budget: <5% events/sec)
+//   --threaded      run the threaded-scheduler sweep instead: workers in
+//                   {1,2,4,8} x ranks x all four apps under the comm-aware
+//                   partition, with the workers=1 rows (sequential fast
+//                   path) as the baseline. The JSON records host_cores —
+//                   events/sec ratios are only meaningful against it
+//                   (workers > cores measures protocol overhead, not
+//                   speedup).
 #include <sys/resource.h>
 
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "apps/nas_sp.hpp"
 #include "apps/sample.hpp"
 #include "apps/sweep3d.hpp"
+#include "apps/tomcatv.hpp"
 #include "bench/common.hpp"
 #include "obs/obs.hpp"
 
@@ -90,6 +101,167 @@ Point run_point(const std::string& app, const benchx::ProgramFactory& make,
   return p;
 }
 
+// ---------------------------------------------------------------------------
+// Threaded-scheduler sweep (--threaded)
+// ---------------------------------------------------------------------------
+
+struct ThreadedPoint {
+  std::string app;
+  int procs = 0;
+  int workers = 0;  ///< 1 = sequential fast path (the baseline rows)
+  harness::RunOutcome outcome;
+
+  double events_per_sec() const {
+    return static_cast<double>(outcome.messages + outcome.slices) /
+           std::max(1e-9, outcome.sim_host_seconds);
+  }
+};
+
+ThreadedPoint run_threaded_point(const std::string& app,
+                                 const benchx::ProgramFactory& make,
+                                 int procs, int workers,
+                                 const harness::MachineSpec& machine,
+                                 const std::map<std::string, double>& params) {
+  ir::Program prog = make(procs);
+  core::CompileResult compiled = core::compile(prog);
+
+  harness::RunConfig cfg;
+  cfg.nprocs = procs;
+  cfg.machine = machine;
+  cfg.mode = harness::Mode::kAnalytical;
+  cfg.params = params;
+  cfg.fiber_stack_bytes = 128 * 1024;
+  cfg.threads = workers;
+  cfg.partition = simk::PartitionMode::kComm;
+
+  ThreadedPoint p;
+  p.app = app;
+  p.procs = procs;
+  p.workers = workers;
+  p.outcome = harness::run_program(compiled.simplified.program, cfg);
+  STGSIM_CHECK(p.outcome.ok())
+      << app << " @ " << procs << " x " << workers << " workers: "
+      << harness::run_status_name(p.outcome.status) << " "
+      << p.outcome.diagnostic;
+  return p;
+}
+
+void write_threaded_json(const std::string& path,
+                         const std::vector<ThreadedPoint>& points) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"threaded_scale\",\n  \"mode\": \"am\",\n"
+     << "  \"partition\": \"comm\",\n"
+     << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
+     << "  \"note\": \"workers=1 rows are the sequential fast path;"
+        " digests are identical across all rows of one (app, procs)\",\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ThreadedPoint& p = points[i];
+    // Baseline = the workers=1 row of the same (app, procs).
+    double base_wall = 0.0;
+    for (const ThreadedPoint& q : points) {
+      if (q.app == p.app && q.procs == p.procs && q.workers == 1) {
+        base_wall = q.outcome.sim_host_seconds;
+      }
+    }
+    const simk::ParallelStats& ps = p.outcome.parallel;
+    os << "    {\"app\": \"" << p.app << "\", \"procs\": " << p.procs
+       << ", \"workers\": " << p.workers
+       << ", \"messages\": " << p.outcome.messages
+       << ", \"slices\": " << p.outcome.slices
+       << ", \"wall_sec\": " << p.outcome.sim_host_seconds
+       << ", \"events_per_sec\": " << p.events_per_sec()
+       << ", \"speedup_vs_seq\": "
+       << (p.outcome.sim_host_seconds > 0.0 && base_wall > 0.0
+               ? base_wall / p.outcome.sim_host_seconds
+               : 0.0)
+       << ", \"rounds\": " << ps.rounds
+       << ", \"intra_messages\": " << ps.intra_messages
+       << ", \"mailbox_messages\": " << ps.mailbox_messages
+       << ", \"barrier_messages\": " << ps.barrier_messages << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+int run_threaded_sweep(int max_procs, const std::string& out_path) {
+  const auto machine = harness::ibm_sp_machine();
+  // Square counts so nas_sp's q x q grid exists at every point.
+  const std::vector<int> sweep = {1024, 4096, 16384};
+  const std::vector<int> worker_counts = {1, 2, 4, 8};
+
+  const benchx::ProgramFactory make_sample = [](int nprocs) {
+    (void)nprocs;
+    apps::SampleConfig cfg;
+    cfg.iterations = 40;
+    cfg.msg_doubles = 1024;
+    cfg.work_iters = 100000;
+    return apps::make_sample(cfg);
+  };
+  const benchx::ProgramFactory make_sweep = [](int nprocs) {
+    apps::Sweep3DConfig cfg;
+    apps::sweep3d_grid_for(nprocs, &cfg.npe_i, &cfg.npe_j);
+    return apps::make_sweep3d(cfg);
+  };
+  const benchx::ProgramFactory make_tomcatv = [](int nprocs) {
+    apps::TomcatvConfig cfg;
+    cfg.n = std::max<std::int64_t>(2048, 2 * nprocs);  // >= 2 rows per rank
+    cfg.iterations = 2;
+    return apps::make_tomcatv(cfg);
+  };
+  const benchx::ProgramFactory make_sp = [](int nprocs) {
+    int q = 1;
+    while ((q + 1) * (q + 1) <= nprocs) ++q;
+    return apps::make_nas_sp(apps::sp_class('A', q, /*timesteps=*/2));
+  };
+
+  print_experiment_header(
+      std::cout, "BENCH threaded_scale",
+      "Threaded conservative scheduler vs worker count (AM mode, comm "
+      "partition)",
+      {"workers=1 rows take the sequential fast path (the baseline)",
+       "speedup_vs_seq is wall-clock baseline / wall-clock; only",
+       "meaningful up to the host core count recorded in the JSON",
+       "digests are bit-identical across every row of one (app, procs)"});
+
+  std::vector<ThreadedPoint> points;
+  TablePrinter t({"app", "procs", "workers", "wall (s)", "events/s",
+                  "rounds", "cross msgs", "intra msgs"});
+  for (const auto& [app, make] :
+       std::vector<std::pair<std::string, benchx::ProgramFactory>>{
+           {"sample", make_sample},
+           {"sweep3d", make_sweep},
+           {"tomcatv", make_tomcatv},
+           {"nas_sp", make_sp}}) {
+    const auto params = benchx::calibrate_at(make, 16, machine);
+    for (int procs : sweep) {
+      if (procs > max_procs) continue;
+      for (int workers : worker_counts) {
+        ThreadedPoint p =
+            run_threaded_point(app, make, procs, workers, machine, params);
+        const simk::ParallelStats& ps = p.outcome.parallel;
+        t.add_row({p.app, TablePrinter::fmt_int(p.procs),
+                   TablePrinter::fmt_int(p.workers),
+                   TablePrinter::fmt(p.outcome.sim_host_seconds, 3),
+                   TablePrinter::fmt_int(
+                       static_cast<std::int64_t>(p.events_per_sec())),
+                   TablePrinter::fmt_int(
+                       static_cast<std::int64_t>(ps.rounds)),
+                   TablePrinter::fmt_int(
+                       static_cast<std::int64_t>(ps.cross_messages())),
+                   TablePrinter::fmt_int(
+                       static_cast<std::int64_t>(ps.intra_messages))});
+        points.push_back(std::move(p));
+      }
+    }
+  }
+  std::cout << t.to_ascii();
+
+  write_threaded_json(out_path, points);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
 void write_json(const std::string& path, const std::vector<Point>& points) {
   std::ofstream os(path);
   os << "{\n  \"bench\": \"engine_scale\",\n  \"mode\": \"am\",\n"
@@ -112,8 +284,9 @@ void write_json(const std::string& path, const std::vector<Point>& points) {
 
 int main(int argc, char** argv) {
   int max_procs = 16384;
-  std::string out_path = "BENCH_engine_scale.json";
+  std::string out_path;
   bool with_obs = false;
+  bool threaded = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-procs") == 0 && i + 1 < argc) {
       max_procs = std::stoi(argv[++i]);
@@ -121,12 +294,19 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       with_obs = true;
+    } else if (std::strcmp(argv[i], "--threaded") == 0) {
+      threaded = true;
     } else {
       std::cerr << "usage: perf_engine_scale [--max-procs N] [--out FILE]"
-                   " [--obs]\n";
+                   " [--obs] [--threaded]\n";
       return 2;
     }
   }
+  if (out_path.empty()) {
+    out_path =
+        threaded ? "BENCH_threaded_scale.json" : "BENCH_engine_scale.json";
+  }
+  if (threaded) return run_threaded_sweep(max_procs, out_path);
 
   const auto machine = harness::ibm_sp_machine();
   const std::vector<int> sweep = {256, 1024, 4096, 16384};

@@ -7,7 +7,8 @@
 //   stgsim run --app <name> --procs P --mode measured|de|am [app flags]
 //              [--machine sp|origin2000] [--calib N]
 //              [--load-params f] [--save-params f]
-//              [--threads N] [--abstract-comm] [--memory-cap-mb M]
+//              [--workers N] [--partition block|interleave|comm]
+//              [--abstract-comm] [--memory-cap-mb M]
 //              [--seed S] [--fault SPEC]
 //              [--max-vtime-sec T] [--max-messages N] [--max-host-sec T]
 //              [--digest] [--trace-out f.json] [--metrics-out f.json]
@@ -247,7 +248,13 @@ int cmd_run(Args& args) {
   harness::RunConfig cfg;
   cfg.nprocs = procs;
   cfg.machine = machine;
-  cfg.threads = static_cast<int>(args.num("threads", 0));
+  // --workers is the preferred spelling; --threads is kept as an alias.
+  cfg.threads = static_cast<int>(
+      args.num("workers", args.num("threads", 0)));
+  const std::string part_str = args.str("partition", "block");
+  STGSIM_CHECK(simk::parse_partition_mode(part_str, &cfg.partition))
+      << "unknown --partition mode '" << part_str
+      << "' (expected block|interleave|comm)";
   cfg.abstract_comm = args.flag("abstract-comm");
   cfg.memory_cap_bytes =
       static_cast<std::size_t>(args.num("memory-cap-mb", 0)) << 20;

@@ -60,6 +60,17 @@ double FaultPlan::latency_factor(int src, int dst, VTime t) const {
   return f;
 }
 
+double FaultPlan::latency_floor_factor() const {
+  double f = 1.0;
+  for (const auto& l : links) {
+    if (l.src == kAnyRank && l.dst == kAnyRank && l.window.from <= 0 &&
+        l.window.until == kVTimeNever) {
+      f *= l.latency_factor;
+    }
+  }
+  return f;
+}
+
 double FaultPlan::bandwidth_factor(int src, int dst, VTime t) const {
   double f = 1.0;
   for (const auto& l : links) {

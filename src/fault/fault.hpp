@@ -107,6 +107,15 @@ struct FaultPlan {
   /// `start`, integrating piecewise across slowdown-window boundaries.
   VTime stretch_compute(int rank, VTime start, VTime work) const;
 
+  /// Factor by which the plan provably raises *every* wire latency: the
+  /// product of latency factors over clauses that match all traffic at all
+  /// times (src = dst = kAnyRank, window [0, never)). Always >= 1. The
+  /// threaded scheduler multiplies the network latency floor by this to
+  /// widen its lookahead window; clauses scoped to specific links or time
+  /// windows contribute nothing (they cannot raise the floor for traffic
+  /// they do not cover).
+  double latency_floor_factor() const;
+
   /// Draws the number of times an eager transmission is lost before one
   /// gets through (0 when drop injection is off). Consumes exactly one
   /// uniform variate per attempt from `rng` — callers pass the sender's

@@ -1,0 +1,216 @@
+#include "harness/affinity.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+namespace stgsim::harness {
+
+namespace {
+
+class VarEnv : public sym::Env {
+ public:
+  std::optional<sym::Value> lookup(const std::string& name) const override {
+    auto it = vars.find(name);
+    if (it == vars.end()) return std::nullopt;
+    return it->second;
+  }
+  std::map<std::string, sym::Value> vars;
+};
+
+class Walker {
+ public:
+  Walker(const ir::Program& prog, int nprocs, int rank, simk::Affinity* aff)
+      : prog_(prog), nprocs_(nprocs), rank_(rank), aff_(aff) {}
+
+  void walk_block(const std::vector<ir::StmtP>& block) {
+    for (const auto& s : block) walk(*s);
+  }
+
+ private:
+  // Walks beyond this call depth are cut off; real target programs nest a
+  // handful of loops, so only a recursive kCall chain could get here.
+  static constexpr int kMaxDepth = 64;
+
+  bool block_has_comm(const std::vector<ir::StmtP>& block) {
+    for (const auto& s : block) {
+      if (has_comm(*s)) return true;
+    }
+    return false;
+  }
+
+  bool has_comm(const ir::Stmt& s) {
+    auto it = comm_memo_.find(&s);
+    if (it != comm_memo_.end()) return it->second;
+    bool r = false;
+    switch (s.kind) {
+      case ir::StmtKind::kSend:
+      case ir::StmtKind::kRecv:
+      case ir::StmtKind::kIsend:
+      case ir::StmtKind::kIrecv:
+        r = true;
+        break;
+      case ir::StmtKind::kCall: {
+        const ir::Procedure* proc = prog_.find_procedure(s.name);
+        r = proc != nullptr && block_has_comm(proc->body);
+        break;
+      }
+      default:
+        r = block_has_comm(s.body) || block_has_comm(s.else_body);
+        break;
+    }
+    comm_memo_.emplace(&s, r);
+    return r;
+  }
+
+  void record_comm(const ir::Stmt& s) {
+    std::int64_t peer = 0;
+    try {
+      peer = s.e1.eval_int(env_);
+    } catch (...) {
+      return;  // peer depends on state the static walk cannot resolve
+    }
+    if (peer < 0 || peer >= nprocs_ || peer == rank_) return;
+    double w = 1.0;
+    try {
+      const auto elems = static_cast<double>(s.e2.eval_int(env_));
+      if (elems > 0) w = elems * static_cast<double>(s.elem_bytes);
+    } catch (...) {
+      // Unresolvable size: count the edge with unit weight.
+    }
+    aff_->add(rank_, static_cast<int>(peer), w);
+  }
+
+  void walk(const ir::Stmt& s) {
+    if (depth_ > kMaxDepth) return;
+    switch (s.kind) {
+      case ir::StmtKind::kGetRank:
+        env_.vars[s.name] = sym::Value(rank_);
+        return;
+      case ir::StmtKind::kGetSize:
+        env_.vars[s.name] = sym::Value(nprocs_);
+        return;
+      case ir::StmtKind::kDeclScalar:
+        if (s.has_init) {
+          assign(s.name, s.e1);
+        } else {
+          env_.vars.erase(s.name);
+        }
+        return;
+      case ir::StmtKind::kAssign:
+        assign(s.name, s.e1);
+        return;
+      case ir::StmtKind::kReadParam:
+        // Parameter values live in the smpi world, not the static frame.
+        env_.vars.erase(s.name);
+        return;
+      case ir::StmtKind::kSend:
+      case ir::StmtKind::kRecv:
+      case ir::StmtKind::kIsend:
+      case ir::StmtKind::kIrecv:
+        record_comm(s);
+        return;
+      case ir::StmtKind::kFor:
+        walk_for(s);
+        return;
+      case ir::StmtKind::kIf:
+        walk_if(s);
+        return;
+      case ir::StmtKind::kCall: {
+        const ir::Procedure* proc = prog_.find_procedure(s.name);
+        if (proc != nullptr && block_has_comm(proc->body)) {
+          ++depth_;
+          walk_block(proc->body);
+          --depth_;
+        }
+        return;
+      }
+      default:
+        return;  // compute/collectives/timers: no placement signal
+    }
+  }
+
+  void walk_for(const ir::Stmt& s) {
+    if (!block_has_comm(s.body)) return;
+    std::int64_t lo = 0, hi = 0;
+    bool bounded = true;
+    try {
+      lo = s.e1.eval_int(env_);
+      hi = s.e2.eval_int(env_);
+    } catch (...) {
+      bounded = false;
+    }
+    ++depth_;
+    if (!bounded) {
+      // Unknown trip space: walk the body once with the loop variable
+      // unresolved, so peer expressions independent of it still evaluate.
+      env_.vars.erase(s.name);
+      walk_block(s.body);
+    } else if (hi >= lo) {
+      // Sample the boundary iterations: neighbour-exchange peers are
+      // either loop-invariant or shift by one between iterations, so
+      // {lo, lo+1, hi} covers the edge structure without executing the
+      // full (possibly huge) trip count.
+      const std::int64_t samples[3] = {lo, std::min(lo + 1, hi), hi};
+      std::int64_t prev = lo - 1;
+      for (std::int64_t v : samples) {
+        if (v == prev) continue;
+        prev = v;
+        env_.vars[s.name] = sym::Value(v);
+        walk_block(s.body);
+      }
+      env_.vars.erase(s.name);
+    }
+    --depth_;
+  }
+
+  void walk_if(const ir::Stmt& s) {
+    bool taken = false;
+    bool resolved = true;
+    try {
+      taken = s.e1.eval(env_).as_bool();
+    } catch (...) {
+      resolved = false;
+    }
+    ++depth_;
+    if (resolved) {
+      walk_block(taken ? s.body : s.else_body);
+    } else {
+      // Condition unknown: both branches may run for some rank; an edge
+      // recorded from an untaken branch only perturbs the heuristic.
+      walk_block(s.body);
+      walk_block(s.else_body);
+    }
+    --depth_;
+  }
+
+  void assign(const std::string& name, const sym::Expr& e) {
+    try {
+      env_.vars[name] = e.eval(env_);
+    } catch (...) {
+      env_.vars.erase(name);  // rhs unresolvable: the name becomes unknown
+    }
+  }
+
+  const ir::Program& prog_;
+  const int nprocs_;
+  const int rank_;
+  simk::Affinity* aff_;
+  VarEnv env_;
+  std::unordered_map<const ir::Stmt*, bool> comm_memo_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+simk::Affinity comm_affinity(const ir::Program& prog, int nprocs) {
+  simk::Affinity aff(nprocs);
+  for (int r = 0; r < nprocs; ++r) {
+    Walker w(prog, nprocs, r, &aff);
+    w.walk_block(prog.main());
+  }
+  return aff;
+}
+
+}  // namespace stgsim::harness

@@ -1,5 +1,8 @@
 #include "harness/runner.hpp"
 
+#include <algorithm>
+
+#include "harness/affinity.hpp"
 #include "support/check.hpp"
 
 namespace stgsim::harness {
@@ -82,13 +85,27 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
         << "calibration/profiling require the sequential scheduler";
     STGSIM_CHECK(config.mode != Mode::kMeasured)
         << "emulation (NIC contention state) is sequential-only";
+    if (config.partition != simk::PartitionMode::kBlock &&
+        config.threads > 1) {
+      if (config.partition == simk::PartitionMode::kComm) {
+        const simk::Affinity aff = comm_affinity(prog, config.nprocs);
+        ec.partition = simk::make_partition(config.partition, config.nprocs,
+                                            config.threads, &aff);
+      } else {
+        ec.partition = simk::make_partition(config.partition, config.nprocs,
+                                            config.threads, nullptr);
+      }
+    }
   }
 
   simk::Engine engine(ec);
-  // Wildcard (ANY_SOURCE/waitany) commits are gated on the network's
-  // latency floor; set it up front so even a run whose first operation is
-  // a wildcard receive is bounded correctly.
-  engine.set_wildcard_min_latency(world.network().min_latency());
+  // Wildcard (ANY_SOURCE/waitany) commits — and the threaded scheduler's
+  // lookahead window — are gated on the latency floor; set it up front so
+  // even a run whose first operation is a wildcard receive is bounded
+  // correctly. The floor includes the fault plan's always-on global
+  // latency factors (a sound, possibly larger bound that never changes
+  // which candidate commits).
+  engine.set_wildcard_min_latency(world.wildcard_latency_floor());
   ir::ExecOptions xopts;
   xopts.timers = timers;
   xopts.branches = branches;
@@ -111,6 +128,7 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
     out.stats = world.aggregate_stats();
     out.per_rank_stats = world.all_stats();
     if (config.record_host_trace) out.host_trace = engine.host_trace();
+    out.parallel = engine.parallel_stats();
     if (config.obs != nullptr) {
       out.metrics = config.obs->snapshot();
       const auto ps = engine.payload_stats();
@@ -127,6 +145,36 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
       out.metrics.add("engine.messages_delivered",
                       static_cast<double>(rr.messages_delivered));
       out.metrics.add("engine.fiber_slices", static_cast<double>(rr.slices));
+      if (config.threads > 1) {
+        // Threaded-conservative protocol metrics. Message-locality counts
+        // are deterministic for a fixed partition; rounds and the
+        // mailbox/barrier split depend on host timing and are excluded
+        // from digests.
+        const simk::ParallelStats& ps2 = out.parallel;
+        out.metrics.add("parallel.workers",
+                        static_cast<double>(config.threads));
+        out.metrics.add("parallel.rounds", static_cast<double>(ps2.rounds));
+        out.metrics.add("parallel.intra_messages",
+                        static_cast<double>(ps2.intra_messages));
+        out.metrics.add("parallel.mailbox_messages",
+                        static_cast<double>(ps2.mailbox_messages));
+        out.metrics.add("parallel.barrier_messages",
+                        static_cast<double>(ps2.barrier_messages));
+        out.metrics.add("parallel.cross_messages",
+                        static_cast<double>(ps2.cross_messages()));
+        for (std::size_t w = 0; w < ps2.worker_busy_vtime.size(); ++w) {
+          const std::string prefix =
+              "parallel.worker" + std::to_string(w) + ".";
+          const double busy = vtime_to_sec(ps2.worker_busy_vtime[w]);
+          out.metrics.add(prefix + "busy_vtime_sec", busy);
+          out.metrics.add(
+              prefix + "idle_vtime_sec",
+              std::max(0.0, vtime_to_sec(rr.completion) - busy));
+          out.metrics.add(prefix + "slices",
+                          static_cast<double>(ps2.worker_slices[w]));
+        }
+        out.metrics.window_advance_hist = ps2.window_advance_hist;
+      }
     }
   } catch (const MemoryCapExceeded& e) {
     out.status = RunStatus::kOutOfMemory;

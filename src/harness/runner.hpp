@@ -26,6 +26,7 @@
 #include "net/network.hpp"
 #include "obs/obs.hpp"
 #include "sim/engine.hpp"
+#include "sim/partition.hpp"
 #include "smpi/smpi.hpp"
 
 namespace stgsim::harness {
@@ -67,6 +68,12 @@ struct RunConfig {
   /// Run the threaded conservative scheduler with this many workers
   /// (0 = sequential scheduler).
   int threads = 0;
+
+  /// Rank→worker placement policy for the threaded scheduler (ignored
+  /// when threads == 0). kComm derives rank affinity from the program's
+  /// communication structure (harness::comm_affinity) and partitions to
+  /// minimize cross-worker traffic. Never affects simulated results.
+  simk::PartitionMode partition = simk::PartitionMode::kBlock;
 
   /// Replace the detailed communication simulation with the abstract
   /// communication model (paper §5's proposed extension).
@@ -126,6 +133,10 @@ struct RunOutcome {
 
   std::vector<simk::Slice> host_trace;  ///< when record_host_trace
   int nprocs = 0;
+
+  /// Threaded-conservative protocol counters (all zero for sequential
+  /// runs and for threads == 1, which takes the sequential fast path).
+  simk::ParallelStats parallel;
 
   /// Aggregated observability metrics; empty unless RunConfig::obs was
   /// set. Includes engine pool/arena occupancy appended by the harness.

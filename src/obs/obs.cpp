@@ -332,6 +332,14 @@ void Recorder::write_metrics_json(std::ostream& os,
     os << s.msg_size_hist[i];
   }
   os << "]";
+  if (!s.window_advance_hist.empty()) {
+    os << ",\n  \"window_advance_hist\": [";
+    for (std::size_t i = 0; i < s.window_advance_hist.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << s.window_advance_hist[i];
+    }
+    os << "]";
+  }
   if (!s.p2p_messages.empty()) {
     os << ",\n  \"comm_matrix\": ";
     std::ostringstream tmp;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <sstream>
 #include <thread>
+
+#include "sim/worker_pool.hpp"
 
 namespace stgsim::simk {
 
@@ -233,16 +236,38 @@ bool Engine::wildcard_commit_safe(const Process& p, VTime arrival) const {
 
 double Engine::now_host_sec() const { return steady_now_sec() - host_t0_sec_; }
 
-void Engine::deliver(Message&& msg) {
+void Engine::deliver(Message&& msg, bool redelivery) {
   Process& dst = *procs_[static_cast<std::size_t>(msg.dst)];
 
-  if (threaded_phase_ && dst.home_worker_ != g_current_worker) {
-    // Cross-partition: buffered until the end-of-round barrier. (Payload
-    // buffers allocated on this worker travel with the message; the pool
-    // is spinlocked, and the barrier orders node reuse.)
-    round_outboxes_[static_cast<std::size_t>(g_current_worker)].push_back(
-        std::move(msg));
-    return;
+  if (threaded_phase_) {
+    const int w = g_current_worker;
+    if (dst.home_worker_ != w) {
+      // Cross-partition. In-window messages ride the SPSC mailbox so the
+      // owning worker can consume them this round; the rest wait for the
+      // end-of-round barrier. Once one message on a (sender worker,
+      // destination worker) lane spills to the outbox, every later
+      // message on that lane must follow it this round — the barrier
+      // flushes outboxes after mailboxes, and per-(src,dst) channel FIFO
+      // must survive the split. (Payload buffers allocated on this worker
+      // travel with the message; the pool is spinlocked.)
+      WorkerStat& ws = worker_stats_[static_cast<std::size_t>(w)];
+      const std::size_t lane =
+          static_cast<std::size_t>(w) *
+              static_cast<std::size_t>(config_.host_workers) +
+          static_cast<std::size_t>(dst.home_worker_);
+      if (spill_epoch_[lane] != round_epoch_ &&
+          msg.arrival <= window_bound_ &&
+          mailboxes_[lane]->try_push(std::move(msg))) {
+        ++ws.mailbox;
+      } else {
+        spill_epoch_[lane] = round_epoch_;
+        ++ws.barrier;
+        round_outboxes_[static_cast<std::size_t>(w)].push_back(
+            std::move(msg));
+      }
+      return;
+    }
+    if (!redelivery) ++worker_stats_[static_cast<std::size_t>(w)].intra;
   }
 
   Process::Channel& ch = dst.channel(msg.src);
@@ -258,10 +283,22 @@ void Engine::deliver(Message&& msg) {
   ++dst.inbox_size_;
   const std::uint64_t delivered = ++messages_delivered_;
   if (config_.max_messages > 0 && delivered > config_.max_messages) {
-    raise_budget(BudgetExceededError::Kind::kMessages,
-                 "message budget exceeded: " + std::to_string(delivered) +
-                     " messages delivered (cap " +
-                     std::to_string(config_.max_messages) + ")");
+    if (threaded_phase_ && Fiber::current() == nullptr) {
+      // Mailbox drain on a worker thread: raising here would tear down
+      // fibers owned by other workers. Record the violation; every worker
+      // sees has_error_ and ends its round, and the scheduler aborts at
+      // the barrier.
+      note_error(std::make_exception_ptr(BudgetExceededError(
+          BudgetExceededError::Kind::kMessages,
+          "message budget exceeded: " + std::to_string(delivered) +
+              " messages delivered (cap " +
+              std::to_string(config_.max_messages) + ")")));
+    } else {
+      raise_budget(BudgetExceededError::Kind::kMessages,
+                   "message budget exceeded: " + std::to_string(delivered) +
+                       " messages delivered (cap " +
+                       std::to_string(config_.max_messages) + ")");
+    }
   }
 
   if (dst.blocked_) {
@@ -413,6 +450,7 @@ void Engine::split_slice(Process& p) {
 void Engine::note_error(std::exception_ptr e) {
   std::lock_guard<std::mutex> lock(error_mutex_);
   if (!error_) error_ = std::move(e);
+  has_error_.store(true, std::memory_order_release);
 }
 
 void Engine::abort_run(std::exception_ptr fallback) {
@@ -441,6 +479,7 @@ void Engine::raise_deadlock() {
     DeadlockError::BlockedRank b;
     b.rank = p->rank_;
     b.clock = p->clock_;
+    b.home_worker = p->home_worker_;
     if (p->waiting_on_ != nullptr) {
       b.waiting_src = p->waiting_on_->src;
       b.waiting_tag = p->waiting_on_->user_tag;
@@ -451,16 +490,7 @@ void Engine::raise_deadlock() {
     blocked.push_back(std::move(b));
   }
 
-  std::ostringstream os;
-  os << "simulation deadlock: " << blocked.size()
-     << " unfinished process(es) blocked with no matching message in flight"
-     << " and no future wakeup;";
-  std::size_t shown = 0;
-  for (const auto& b : blocked) {
-    if (shown++ == 8) {
-      os << " ... (" << blocked.size() - 8 << " more)";
-      break;
-    }
+  auto describe = [](std::ostream& os, const DeadlockError::BlockedRank& b) {
     os << " rank " << b.rank << " @" << vtime_to_string(b.clock) << " in "
        << b.waiting_what << "(src=";
     if (b.waiting_src == MatchSpec::kAnySource) {
@@ -475,6 +505,38 @@ void Engine::raise_deadlock() {
       os << b.waiting_tag;
     }
     os << ");";
+  };
+
+  std::ostringstream os;
+  os << "simulation deadlock: " << blocked.size()
+     << " unfinished process(es) blocked with no matching message in flight"
+     << " and no future wakeup;";
+  if (threaded_run_) {
+    // Per-partition detail: which worker owns the blocked ranks and what
+    // each is waiting on, so a parallel deadlock report reads like the
+    // sequential one instead of an undifferentiated rank list.
+    std::map<int, std::vector<const DeadlockError::BlockedRank*>> by_worker;
+    for (const auto& b : blocked) by_worker[b.home_worker].push_back(&b);
+    for (const auto& [w, ranks] : by_worker) {
+      os << " worker " << w << " (" << ranks.size() << " blocked):";
+      std::size_t shown = 0;
+      for (const auto* b : ranks) {
+        if (shown++ == 4) {
+          os << " ... (" << ranks.size() - 4 << " more);";
+          break;
+        }
+        describe(os, *b);
+      }
+    }
+  } else {
+    std::size_t shown = 0;
+    for (const auto& b : blocked) {
+      if (shown++ == 8) {
+        os << " ... (" << blocked.size() - 8 << " more)";
+        break;
+      }
+      describe(os, b);
+    }
   }
   abort_run(std::make_exception_ptr(DeadlockError(os.str(), std::move(blocked))));
 }
@@ -510,9 +572,18 @@ RunResult Engine::run() {
       p->vtime_budget_ = config_.max_virtual_time;
     }
     p->rng_.reseed(seeder.next());
-    p->home_worker_ = static_cast<int>(
-        static_cast<long long>(r) * config_.host_workers /
-        config_.num_processes);
+    if (!config_.partition.empty()) {
+      STGSIM_CHECK_EQ(config_.partition.size(),
+                      static_cast<std::size_t>(config_.num_processes));
+      const int w = config_.partition[static_cast<std::size_t>(r)];
+      STGSIM_CHECK(w >= 0 && w < config_.host_workers)
+          << "partition maps rank " << r << " to worker " << w;
+      p->home_worker_ = w;
+    } else {
+      p->home_worker_ = static_cast<int>(
+          static_cast<long long>(r) * config_.host_workers /
+          config_.num_processes);
+    }
     Process* raw = p.get();
     p->fiber_ = std::make_unique<Fiber>(
         [this, raw] {
@@ -592,39 +663,123 @@ void Engine::run_sequential() {
   }
 }
 
-void Engine::run_partition_until_blocked(int worker) {
+bool Engine::drain_mailboxes(int worker, bool redelivery) {
+  const int workers = config_.host_workers;
+  bool any = false;
+  Message m;
+  for (int u = 0; u < workers; ++u) {
+    if (u == worker) continue;
+    SpscRing<Message>& ring =
+        *mailboxes_[static_cast<std::size_t>(u) *
+                        static_cast<std::size_t>(workers) +
+                    static_cast<std::size_t>(worker)];
+    while (ring.try_pop(&m)) {
+      deliver(std::move(m), redelivery);
+      any = true;
+    }
+  }
+  return any;
+}
+
+void Engine::run_partition_round(int worker) {
   g_current_worker = worker;
   IndexedMinHeap<VTime>& heap = worker_heaps_[static_cast<std::size_t>(worker)];
   std::vector<int>& local_ready = worker_ready_[static_cast<std::size_t>(worker)];
-  for (int rank : local_ready) {
-    heap.push(rank, procs_[static_cast<std::size_t>(rank)]->clock_);
-  }
-  local_ready.clear();
+  WorkerStat& ws = worker_stats_[static_cast<std::size_t>(worker)];
 
+  // round_running_ counts workers that currently have (or may produce)
+  // local work. A worker leaves the count when its heap and mailboxes are
+  // both empty, rejoins if a mailbox delivery wakes one of its ranks, and
+  // exits the round when the count hits zero — at that point every worker
+  // is idle, so only barrier-deferred messages remain.
+  bool active = true;
   std::uint64_t iter = 0;
-  while (!heap.empty()) {
-    // The round barrier only probes the wall-clock watchdog between
-    // rounds; a round that never drains (e.g. two processes in the same
-    // partition ping-ponging without advancing their clocks) would
-    // otherwise spin forever. Probe in-loop, like the sequential
-    // scheduler; the main thread tears the run down after join.
-    if ((++iter & 1023U) == 0 && host_budget_exhausted()) {
-      note_error(std::make_exception_ptr(BudgetExceededError(
-          BudgetExceededError::Kind::kHostWallClock,
-          "host wall-clock watchdog fired in threaded worker " +
-              std::to_string(worker))));
-      break;
-    }
-    const int rank = heap.pop();
-    Process& p = *procs_[static_cast<std::size_t>(rank)];
-    resume_process(p);
-    // Local deliveries appended wakeups to our own worker list.
+  for (;;) {
+    // In-window cross-partition messages delivered by peers since the
+    // last check; wakeups land on local_ready.
+    drain_mailboxes(worker, /*redelivery=*/true);
     for (int woken : local_ready) {
       heap.push(woken, procs_[static_cast<std::size_t>(woken)]->clock_);
     }
     local_ready.clear();
+
+    if (heap.empty()) {
+      if (active) {
+        active = false;
+        round_running_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if (has_error_.load(std::memory_order_acquire)) break;
+      if (round_running_.load(std::memory_order_acquire) == 0) {
+        // Everyone is idle. One last drain: a peer may have pushed right
+        // before it went idle; the acquire above makes that push visible.
+        if (!drain_mailboxes(worker, /*redelivery=*/true)) break;
+        continue;
+      }
+      // A peer is still running and may yet feed us through a mailbox.
+      // An idle spin that never probes the watchdog could outlive the
+      // budget if that peer is stuck in a long slice.
+      if ((++iter & 1023U) == 0 && host_budget_exhausted()) {
+        note_error(std::make_exception_ptr(BudgetExceededError(
+            BudgetExceededError::Kind::kHostWallClock,
+            "host wall-clock watchdog fired in threaded worker " +
+                std::to_string(worker))));
+        break;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+
+    if (!active) {
+      active = true;
+      round_running_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    // The round barrier only probes the wall-clock watchdog between
+    // rounds; a round that never drains (e.g. two processes in the same
+    // partition ping-ponging without advancing their clocks) would
+    // otherwise spin forever. Probe in-loop, like the sequential
+    // scheduler; the scheduler thread tears the run down at the barrier.
+    if ((++iter & 1023U) == 0) {
+      if (has_error_.load(std::memory_order_acquire)) break;
+      if (host_budget_exhausted()) {
+        note_error(std::make_exception_ptr(BudgetExceededError(
+            BudgetExceededError::Kind::kHostWallClock,
+            "host wall-clock watchdog fired in threaded worker " +
+                std::to_string(worker))));
+        break;
+      }
+    }
+    const int rank = heap.pop();
+    Process& p = *procs_[static_cast<std::size_t>(rank)];
+    const VTime clock_before = p.clock_;
+    resume_process(p);
+    ws.busy_vtime += p.clock_ - clock_before;
+    ++ws.slices;
   }
+  if (active) round_running_.fetch_sub(1, std::memory_order_acq_rel);
 }
+
+namespace {
+
+/// Mailbox depth per (sender worker, receiver worker) lane. Overflow is
+/// not an error — excess traffic spills to the barrier outbox — so this
+/// only bounds how much can bypass the barrier per round.
+constexpr std::size_t kMailboxCapacity = 256;
+
+/// Log2-ns buckets for ParallelStats::window_advance_hist.
+constexpr std::size_t kAdvanceBuckets = 48;
+
+std::size_t advance_bucket(VTime adv) {
+  if (adv <= 0) return 0;
+  auto v = static_cast<std::uint64_t>(adv);
+  std::size_t b = 1;
+  while (v > 1 && b + 1 < kAdvanceBuckets) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
 
 void Engine::run_threaded() {
   const int workers = config_.host_workers;
@@ -635,10 +790,34 @@ void Engine::run_threaded() {
   worker_wildcard_pending_.assign(static_cast<std::size_t>(workers), {});
   worker_heaps_.resize(static_cast<std::size_t>(workers));
   for (auto& h : worker_heaps_) h.reset(config_.num_processes);
+  worker_stats_.assign(static_cast<std::size_t>(workers), WorkerStat{});
+  const auto lanes = static_cast<std::size_t>(workers) *
+                     static_cast<std::size_t>(workers);
+  mailboxes_.clear();
+  mailboxes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    mailboxes_.push_back(std::make_unique<SpscRing<Message>>(kMailboxCapacity));
+  }
+  spill_epoch_.assign(lanes, 0);
+  round_epoch_ = 0;
+  pstats_ = ParallelStats{};
+  pstats_.window_advance_hist.assign(kAdvanceBuckets, 0);
   for (const auto& p : procs_) {
     worker_ready_[static_cast<std::size_t>(p->home_worker_)].push_back(
         p->rank_);
   }
+
+  // Workers persist for the whole run; each pool round runs one
+  // conservative window. A worker-side exception (simulator invariant
+  // failure) must not escape the pool thread — record it and let the
+  // scheduler abort at the barrier.
+  WorkerPool pool(workers, [this](int w) {
+    try {
+      run_partition_round(w);
+    } catch (...) {
+      note_error(std::current_exception());
+    }
+  });
 
   auto any_ready = [&] {
     for (const auto& v : worker_ready_) {
@@ -647,6 +826,7 @@ void Engine::run_threaded() {
     return false;
   };
 
+  VTime prev_min = kVTimeNever;
   while (true) {
     if (!any_ready()) {
       bool all_done = true;
@@ -655,15 +835,27 @@ void Engine::run_threaded() {
       raise_deadlock();
     }
 
-    threaded_phase_ = true;
-    {
-      std::vector<std::thread> threads;
-      threads.reserve(static_cast<std::size_t>(workers));
-      for (int w = 0; w < workers; ++w) {
-        threads.emplace_back([this, w] { run_partition_until_blocked(w); });
-      }
-      for (auto& t : threads) t.join();
+    // Conservative window for this round: no message sent from here on
+    // can arrive before (min unfinished clock) + (latency floor), so
+    // anything arriving at or below that bound is safe to hand straight
+    // to the destination worker mid-round.
+    VTime min_clock = kVTimeNever;
+    for (const auto& p : procs_) {
+      if (!p->finished_) min_clock = std::min(min_clock, p->clock_);
     }
+    const VTime lookahead =
+        wildcard_min_latency_.load(std::memory_order_relaxed);
+    window_bound_ =
+        min_clock == kVTimeNever ? kVTimeNever : min_clock + lookahead;
+    ++pstats_.rounds;
+    pstats_.window_advance_hist[advance_bucket(
+        prev_min == kVTimeNever ? 0 : min_clock - prev_min)] += 1;
+    prev_min = min_clock;
+    ++round_epoch_;
+
+    round_running_.store(workers, std::memory_order_relaxed);
+    threaded_phase_ = true;
+    pool.run_round();
     threaded_phase_ = false;
     if (error_) abort_run(error_);
     if (host_budget_exhausted()) {
@@ -671,11 +863,18 @@ void Engine::run_threaded() {
                    "host wall-clock watchdog fired at round barrier");
     }
 
-    // Barrier reached: flush cross-partition messages. Worker order is
-    // fixed and per-channel order is preserved within each outbox, so the
-    // flush — and therefore the whole run — is deterministic.
+    // Barrier reached: deliver everything still in flight. Mailboxes
+    // first (a lane's outbox spill began only after its last successful
+    // mailbox push, so draining rings before outboxes preserves
+    // per-channel FIFO), in fixed (sender, receiver) order; then the
+    // outboxes in worker order. Both orders are fixed and per-channel
+    // order is preserved within each, so the flush — and therefore the
+    // whole run — is deterministic.
+    for (int v = 0; v < workers; ++v) {
+      drain_mailboxes(v, /*redelivery=*/true);
+    }
     for (auto& outbox : round_outboxes_) {
-      for (auto& msg : outbox) deliver(std::move(msg));
+      for (auto& msg : outbox) deliver(std::move(msg), /*redelivery=*/true);
       outbox.clear();
     }
 
@@ -692,6 +891,19 @@ void Engine::run_threaded() {
     if (!wildcard_pending_.empty()) {
       promote_safe_wildcards(/*stuck=*/!any_ready());
     }
+  }
+
+  for (const auto& ws : worker_stats_) {
+    pstats_.intra_messages += ws.intra;
+    pstats_.mailbox_messages += ws.mailbox;
+    pstats_.barrier_messages += ws.barrier;
+    pstats_.worker_busy_vtime.push_back(ws.busy_vtime);
+    pstats_.worker_slices.push_back(ws.slices);
+  }
+  // Trim the histogram to the last populated bucket.
+  while (!pstats_.window_advance_hist.empty() &&
+         pstats_.window_advance_hist.back() == 0) {
+    pstats_.window_advance_hist.pop_back();
   }
   threaded_run_ = false;
 }

@@ -17,11 +17,15 @@
 //    simulation would take on k host processors — this stands in for the
 //    paper's measurements of MPI-Sim on a parallel host (Figs. 14-16),
 //    since this container has a single core.
-//  * Threaded conservative: partitions processes over real worker threads;
-//    each round runs every partition until all its processes block, then
-//    flushes cross-partition mailboxes at a barrier. Used to validate that
-//    parallel execution is deterministic and agrees with the sequential
-//    scheduler.
+//  * Threaded conservative: partitions processes over a persistent pool
+//    of worker threads. Each round the scheduler computes a conservative
+//    lookahead window W = (min unfinished clock) + (network latency
+//    floor); workers execute their partitions and exchange cross-partition
+//    messages arriving inside the window through bounded SPSC mailboxes,
+//    deferring the rest to the round barrier, where the deterministic
+//    flush/merge order (and wildcard promotion) keeps results bit-identical
+//    to the sequential scheduler. See DESIGN.md §10 for the protocol and
+//    its safety argument.
 //
 // Hot-path data structures (all per-engine, no global state):
 //  * runnable processes sit in an IndexedMinHeap keyed by virtual clock;
@@ -41,6 +45,7 @@
 #include <vector>
 
 #include "sim/fiber.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/pool.hpp"
 #include "support/check.hpp"
 #include "support/indexed_heap.hpp"
@@ -321,6 +326,13 @@ struct EngineConfig {
   int host_workers = 1;
   bool use_threads = false;
 
+  /// rank -> worker map for the threaded scheduler (from
+  /// simk::make_partition or custom). Empty means the historical block
+  /// partition. Size must equal num_processes; values in
+  /// [0, host_workers). Never affects simulated results — only which
+  /// thread executes each rank.
+  std::vector<int> partition;
+
   std::size_t fiber_stack_bytes = 256 * 1024;
   std::size_t memory_cap_bytes = 0;  ///< 0 = uncapped
   std::uint64_t seed = 0x5eedULL;
@@ -339,6 +351,32 @@ struct EngineConfig {
   VTime max_virtual_time = 0;       ///< cap on any process's virtual clock
   std::uint64_t max_messages = 0;   ///< cap on delivered messages
   double max_host_seconds = 0.0;    ///< cap on real wall-clock for the run
+};
+
+/// Counters describing one threaded-conservative run (all zero after a
+/// sequential run). Message counts are deterministic for a fixed partition
+/// and fault plan; `rounds` and the mailbox/barrier split depend on host
+/// timing (a message races the end of the round it was sent in) — they
+/// are excluded from run digests.
+struct ParallelStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t intra_messages = 0;    ///< both endpoints on one worker
+  std::uint64_t mailbox_messages = 0;  ///< cross-partition, in-window SPSC
+  std::uint64_t barrier_messages = 0;  ///< cross-partition, barrier-flushed
+
+  std::uint64_t cross_messages() const {
+    return mailbox_messages + barrier_messages;
+  }
+
+  /// Bucket k>0 counts rounds whose safe-window base (min unfinished
+  /// clock) advanced by [2^(k-1), 2^k) ns since the previous round;
+  /// bucket 0 counts zero-advance rounds.
+  std::vector<std::uint64_t> window_advance_hist;
+
+  /// Per-worker virtual time spent executing slices (sum over executed
+  /// slices of the resumed rank's clock delta) and slice counts.
+  std::vector<VTime> worker_busy_vtime;
+  std::vector<std::uint64_t> worker_slices;
 };
 
 struct RunResult {
@@ -363,6 +401,8 @@ class DeadlockError : public std::runtime_error {
     int waiting_src = -2;  ///< MatchSpec::kAnySource for wildcard; -2 none
     int waiting_tag = -1;
     std::string waiting_what;  ///< MatchSpec::what, e.g. "recv"
+    int home_worker = 0;  ///< owning partition (0 under the sequential
+                          ///< scheduler)
   };
 
   explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
@@ -453,13 +493,29 @@ class Engine {
   PayloadPool::Stats payload_stats() { return payload_pool_.stats(); }
   ObjectArena<Message>::Stats arena_stats() { return msg_arena_.stats(); }
 
+  /// Counters from the threaded conservative protocol; all zero after a
+  /// sequential run. Valid once run() returned.
+  const ParallelStats& parallel_stats() const { return pstats_; }
+
  private:
   friend class Process;
 
-  void deliver(Message&& msg);
+  /// Routes a message to its destination. During a threaded round a
+  /// cross-partition message goes to the in-window SPSC mailbox (or the
+  /// barrier outbox when out-of-window / full / order requires it);
+  /// otherwise it is inserted into the destination inbox directly.
+  /// `redelivery` marks the second leg of a deferred message (mailbox
+  /// drain / barrier flush) so protocol counters count each message once.
+  void deliver(Message&& msg, bool redelivery = false);
   void run_sequential();
   void run_threaded();
-  void run_partition_until_blocked(int worker);
+  /// One round of worker `w`: execute the partition, draining incoming
+  /// mailboxes between slices, until no local work remains and the round
+  /// is quiescing.
+  void run_partition_round(int worker);
+  /// Pops every queued message from `worker`'s incoming mailboxes and
+  /// inserts it locally. Returns true if anything was delivered.
+  bool drain_mailboxes(int worker, bool redelivery);
   void resume_process(Process& p);
   [[noreturn]] void raise_deadlock();
 
@@ -519,12 +575,38 @@ class Engine {
 
   // Threaded mode: per-worker ready lists, ready heaps (persistent across
   // rounds; drained within each), and outboxes for cross-partition
-  // messages, flushed at the end-of-round barrier.
+  // messages that could not ride a mailbox, flushed at the end-of-round
+  // barrier.
   std::vector<std::vector<int>> worker_ready_;
   std::vector<IndexedMinHeap<VTime>> worker_heaps_;
   std::vector<std::vector<Message>> round_outboxes_;
   bool threaded_run_ = false;
   bool threaded_phase_ = false;
+
+  // Lookahead-window state. mailboxes_[w * workers + v] carries messages
+  // from worker w to worker v; spill_epoch_ records, per lane, the last
+  // round in which a message was diverted to the outbox — once one spills,
+  // the rest of that lane's round must follow it (per-channel FIFO).
+  // window_bound_ is written by the scheduler before each round (the
+  // pool barrier publishes it); round_running_ lets an idle worker leave
+  // the round as soon as it is the last one that could still produce work.
+  std::vector<std::unique_ptr<SpscRing<Message>>> mailboxes_;
+  std::vector<std::uint64_t> spill_epoch_;
+  std::uint64_t round_epoch_ = 0;
+  VTime window_bound_ = kVTimeNever;
+  std::atomic<int> round_running_{0};
+  std::atomic<bool> has_error_{false};
+
+  // Per-worker protocol counters, padded so workers never share a line.
+  struct alignas(64) WorkerStat {
+    std::uint64_t intra = 0;
+    std::uint64_t mailbox = 0;
+    std::uint64_t barrier = 0;
+    std::uint64_t slices = 0;
+    VTime busy_vtime = 0;
+  };
+  std::vector<WorkerStat> worker_stats_;
+  ParallelStats pstats_;
 
   // Wildcard safety: ranks blocked on a wildcard receive whose queued
   // candidate has not passed the safety bound yet. Sequential deliveries

@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 
 #include "support/check.hpp"
@@ -12,7 +13,11 @@ namespace stgsim::simk {
 namespace {
 
 thread_local Fiber* g_current_fiber = nullptr;
-thread_local unsigned long long g_switches = 0;
+// Global (not thread_local): the threaded scheduler resumes fibers from
+// persistent worker threads, and per-thread counters would silently drop
+// every resume performed off the scheduler thread. A relaxed increment is
+// noise next to the swapcontext it accompanies.
+std::atomic<unsigned long long> g_switches{0};
 
 std::size_t page_size() {
   static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
@@ -81,7 +86,7 @@ void Fiber::resume() {
   STGSIM_CHECK(!finished_) << "resume() on finished fiber";
   started_ = true;
   g_current_fiber = this;
-  ++g_switches;
+  g_switches.fetch_add(1, std::memory_order_relaxed);
   STGSIM_CHECK_EQ(swapcontext(&return_context_, &context_), 0);
   STGSIM_CHECK(g_current_fiber == nullptr);
 }
@@ -98,6 +103,8 @@ void Fiber::yield_to_scheduler() {
 
 Fiber* Fiber::current() { return g_current_fiber; }
 
-unsigned long long Fiber::switch_count() { return g_switches; }
+unsigned long long Fiber::switch_count() {
+  return g_switches.load(std::memory_order_relaxed);
+}
 
 }  // namespace stgsim::simk

@@ -41,7 +41,9 @@ class Fiber {
 
   bool finished() const { return finished_; }
 
-  /// Total resume() calls across all fibers on this thread (stats).
+  /// Total resume() calls across all fibers process-wide (stats). Counts
+  /// resumes from every thread, so threaded-scheduler slice totals match
+  /// the sequential scheduler's.
   static unsigned long long switch_count();
 
  private:

@@ -1,0 +1,77 @@
+// Bounded single-producer single-consumer ring used as a cross-partition
+// mailbox by the threaded conservative scheduler.
+//
+// One ring connects one (sending worker, receiving worker) pair. During a
+// round the sending worker is the only producer and the receiving worker
+// the only consumer, so the ring needs no locks — just acquire/release
+// pairs on the head and tail indices. At the round barrier the scheduler
+// thread takes over the consumer role; the worker pool's barrier provides
+// the happens-before edge that makes that hand-off safe.
+//
+// try_push never blocks: a full ring reports failure and the caller falls
+// back to the per-round outbox (flushed at the barrier), so a burst of
+// cross-partition traffic degrades to the old barrier path instead of
+// stalling a worker.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace stgsim::simk {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (>= 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+  SpscRing(SpscRing&&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false (leaving `v` untouched) when full.
+  bool try_push(T&& v) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h - tail_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[h & mask_] = std::move(v);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T* out) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (head_.load(std::memory_order_acquire) == t) return false;
+    *out = std::move(slots_[t & mask_]);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness check (exact for the consumer; a producer
+  /// may have pushed since for other observers).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next push index
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next pop index
+};
+
+}  // namespace stgsim::simk

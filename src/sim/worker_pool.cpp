@@ -1,0 +1,88 @@
+#include "sim/worker_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace stgsim::simk {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+inline void cpu_relax() { __builtin_ia32_pause(); }
+#else
+inline void cpu_relax() { std::this_thread::yield(); }
+#endif
+
+/// Spin iterations on the release generation before a worker parks on the
+/// condition variable. Small on purpose: on an oversubscribed (or
+/// single-core) host spinning only steals cycles from the scheduler that
+/// is about to release us.
+constexpr int kReleaseSpins = 256;
+
+}  // namespace
+
+WorkerPool::WorkerPool(int workers, WorkFn fn) : fn_(std::move(fn)) {
+  STGSIM_CHECK_GT(workers, 0);
+  STGSIM_CHECK(fn_ != nullptr);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  release_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run_round() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_count_ = 0;
+    // Release edge: round state written by the scheduler before this call
+    // is published to workers by the generation store + mutex.
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  release_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] {
+    return done_count_ == static_cast<int>(threads_.size());
+  });
+}
+
+void WorkerPool::worker_main(int w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Fast path: the next round is released while we spin.
+    bool released = false;
+    for (int i = 0; i < kReleaseSpins; ++i) {
+      if (generation_.load(std::memory_order_acquire) != seen) {
+        released = true;
+        break;
+      }
+      cpu_relax();
+    }
+    if (!released) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      release_cv_.wait(lock, [this, seen] {
+        return stop_ || generation_.load(std::memory_order_relaxed) != seen;
+      });
+      if (stop_) return;
+    }
+    seen = generation_.load(std::memory_order_acquire);
+
+    fn_(w);
+
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = ++done_count_ == static_cast<int>(threads_.size());
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+}  // namespace stgsim::simk

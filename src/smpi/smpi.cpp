@@ -78,8 +78,9 @@ Comm::Comm(World& world, simk::Process& proc)
   // Arm the engine's wildcard (ANY_SOURCE / waitany) safety bound with
   // this network's latency floor; without it the bound degenerates to the
   // raw minimum clock and every contested wildcard receive takes the
-  // stuck-promotion slow path.
-  proc_.engine().set_wildcard_min_latency(world_.network().min_latency());
+  // stuck-promotion slow path. The floor includes the fault plan's
+  // always-on global latency factors — a sound, possibly larger bound.
+  proc_.engine().set_wildcard_min_latency(world_.wildcard_latency_floor());
 }
 
 Comm::~Comm() { proc_.user = nullptr; }

@@ -149,6 +149,56 @@ TEST(Obs, MetricsAgreeWithEngineAndStats) {
   EXPECT_EQ(s.value("engine.blocks"), s.value("engine.wakeups"));
 }
 
+// Threaded runs must populate the parallel-protocol metrics family;
+// sequential runs must not emit it at all.
+TEST(Obs, ParallelMetricsPopulatedInThreadedRunsOnly) {
+  apps::NasSpConfig c = apps::sp_class('A', 2, 2);
+  ir::Program prog = apps::make_nas_sp(c);
+
+  obs::Recorder seq_rec(obs::Options{}, 4);
+  harness::RunOutcome seq = run_with(prog, 4, 0, &seq_rec);
+  bool found = false;
+  seq.metrics.value("parallel.rounds", &found);
+  EXPECT_FALSE(found);
+  EXPECT_TRUE(seq.metrics.window_advance_hist.empty());
+
+  obs::Recorder par_rec(obs::Options{}, 4);
+  harness::RunOutcome par = run_with(prog, 4, 2, &par_rec);
+  const obs::MetricsSnapshot& s = par.metrics;
+  EXPECT_EQ(s.value("parallel.workers", &found), 2.0);
+  EXPECT_TRUE(found);
+  EXPECT_GT(s.value("parallel.rounds"), 0.0);
+  // Locality split is exhaustive: intra + mailbox + barrier = all
+  // deliveries, and cross is the sum of the two cross-partition paths.
+  const double intra = s.value("parallel.intra_messages");
+  const double mailbox = s.value("parallel.mailbox_messages");
+  const double barrier = s.value("parallel.barrier_messages");
+  const double cross = s.value("parallel.cross_messages");
+  EXPECT_EQ(cross, mailbox + barrier);
+  EXPECT_GT(cross, 0.0);
+  EXPECT_EQ(intra + cross, static_cast<double>(par.messages));
+  // Per-worker busy/idle virtual time and slice counts, both workers.
+  double slices = 0.0;
+  for (int w = 0; w < 2; ++w) {
+    const std::string prefix = "parallel.worker" + std::to_string(w) + ".";
+    EXPECT_GE(s.value(prefix + "busy_vtime_sec", &found), 0.0);
+    EXPECT_TRUE(found) << prefix;
+    EXPECT_GE(s.value(prefix + "idle_vtime_sec"), 0.0);
+    slices += s.value(prefix + "slices");
+  }
+  EXPECT_EQ(slices, static_cast<double>(par.slices));
+  // The window-advance histogram accounts for every round.
+  ASSERT_FALSE(s.window_advance_hist.empty());
+  std::uint64_t hist_total = 0;
+  for (std::uint64_t b : s.window_advance_hist) hist_total += b;
+  EXPECT_EQ(hist_total, static_cast<std::uint64_t>(s.value("parallel.rounds")));
+
+  // And the JSON writer carries the histogram through.
+  std::ostringstream ms;
+  obs::Recorder::write_metrics_json(ms, s);
+  EXPECT_NE(ms.str().find("\"window_advance_hist\": ["), std::string::npos);
+}
+
 // Trace spans are well-formed virtual-time intervals and the writer emits
 // parseable Chrome trace-event JSON structure.
 TEST(Obs, ChromeTraceSpansAreWellFormed) {

@@ -1,0 +1,210 @@
+// Rank-to-worker partitioning: the pure graph algorithms in
+// src/sim/partition.*, the static affinity extraction in
+// src/harness/affinity.*, and the end-to-end properties the threaded
+// scheduler depends on — comm-aware placement strictly reduces
+// cross-partition traffic on the 2-D apps, and no placement ever changes
+// simulated results (digest identity across modes and schedulers).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "apps/nas_sp.hpp"
+#include "apps/sweep3d.hpp"
+#include "harness/affinity.hpp"
+#include "harness/digest.hpp"
+#include "harness/runner.hpp"
+#include "sim/partition.hpp"
+
+namespace stgsim {
+namespace {
+
+using simk::Affinity;
+using simk::PartitionMode;
+
+// ---------------------------------------------------------------------------
+// Pure partitioners
+// ---------------------------------------------------------------------------
+
+void expect_balanced(const std::vector<int>& part, int nranks, int workers) {
+  ASSERT_EQ(part.size(), static_cast<std::size_t>(nranks));
+  std::vector<int> sizes(static_cast<std::size_t>(workers), 0);
+  for (int w : part) {
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, workers);
+    ++sizes[static_cast<std::size_t>(w)];
+  }
+  const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LE(*mx - *mn, 1);
+}
+
+TEST(Partition, BlockAndInterleaveShapes) {
+  const auto blk = simk::block_partition(10, 4);
+  expect_balanced(blk, 10, 4);
+  // Contiguous runs (remainder ranks spread across workers: 3,2,3,2).
+  EXPECT_EQ(blk, (std::vector<int>{0, 0, 0, 1, 1, 2, 2, 2, 3, 3}));
+  const auto il = simk::interleave_partition(10, 4);
+  expect_balanced(il, 10, 4);
+  EXPECT_EQ(il, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3, 0, 1}));
+}
+
+Affinity grid_affinity(int w, int h, double weight) {
+  Affinity aff(w * h);
+  for (int j = 0; j < h; ++j) {
+    for (int i = 0; i < w; ++i) {
+      const int r = j * w + i;
+      if (i + 1 < w) aff.add(r, r + 1, weight);
+      if (j + 1 < h) aff.add(r, r + w, weight);
+    }
+  }
+  return aff;
+}
+
+TEST(Partition, CutWeightCountsEachCrossEdgeOnce) {
+  Affinity aff(4);
+  aff.add(0, 1, 2.0);
+  aff.add(1, 2, 3.0);
+  aff.add(2, 3, 5.0);
+  const std::vector<int> part = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(simk::cut_weight(aff, part), 3.0);
+  EXPECT_DOUBLE_EQ(simk::cut_weight(aff, {0, 1, 0, 1}), 10.0);
+  EXPECT_DOUBLE_EQ(simk::cut_weight(aff, {0, 0, 0, 0}), 0.0);
+}
+
+TEST(Partition, CommFindsTilesOnA2dGrid) {
+  // 8x2 grid over 4 workers: block = rows-of-4 cuts 10 edges; the optimal
+  // 2x2 tiling cuts 6. KL must escape the zero-gain plateau between them.
+  const Affinity aff = grid_affinity(8, 2, 1.0);
+  const auto blk = simk::block_partition(16, 4);
+  const auto cm = simk::comm_partition(aff, 4);
+  expect_balanced(cm, 16, 4);
+  EXPECT_DOUBLE_EQ(simk::cut_weight(aff, blk), 10.0);
+  EXPECT_DOUBLE_EQ(simk::cut_weight(aff, cm), 6.0);
+}
+
+TEST(Partition, CommNeverWorseThanBlockOnGrids) {
+  for (int w : {2, 3, 4, 8}) {
+    for (auto [gw, gh] : {std::pair{4, 4}, {6, 6}, {8, 2}, {16, 1}}) {
+      const Affinity aff = grid_affinity(gw, gh, 1.0);
+      const auto blk = simk::block_partition(aff.nranks(), w);
+      const auto cm = simk::comm_partition(aff, w);
+      expect_balanced(cm, aff.nranks(), w);
+      EXPECT_LE(simk::cut_weight(aff, cm), simk::cut_weight(aff, blk))
+          << gw << "x" << gh << " over " << w;
+    }
+  }
+}
+
+TEST(Partition, CommIsDeterministic) {
+  const Affinity aff = grid_affinity(6, 6, 1.0);
+  EXPECT_EQ(simk::comm_partition(aff, 4), simk::comm_partition(aff, 4));
+}
+
+TEST(Partition, MakePartitionDispatchesAndParses) {
+  PartitionMode m;
+  EXPECT_TRUE(simk::parse_partition_mode("comm", &m));
+  EXPECT_EQ(m, PartitionMode::kComm);
+  EXPECT_TRUE(simk::parse_partition_mode("interleave", &m));
+  EXPECT_EQ(m, PartitionMode::kInterleave);
+  EXPECT_FALSE(simk::parse_partition_mode("metis", &m));
+  const Affinity aff = grid_affinity(4, 2, 1.0);
+  EXPECT_EQ(simk::make_partition(PartitionMode::kBlock, 8, 2, nullptr),
+            simk::block_partition(8, 2));
+  EXPECT_EQ(simk::make_partition(PartitionMode::kComm, 8, 2, &aff),
+            simk::comm_partition(aff, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Static affinity extraction
+// ---------------------------------------------------------------------------
+
+TEST(Affinity, Sweep3dAffinityIsTheProcessGrid) {
+  apps::Sweep3DConfig sc;
+  sc.npe_i = 4;
+  sc.npe_j = 4;
+  const Affinity aff = harness::comm_affinity(apps::make_sweep3d(sc), 16);
+  ASSERT_EQ(aff.nranks(), 16);
+  // Every rank talks only to its grid neighbors (|di|+|dj| == 1).
+  for (int r = 0; r < 16; ++r) {
+    for (const auto& [peer, w] : aff.neighbors(r)) {
+      EXPECT_GT(w, 0.0);
+      const int di = std::abs(r % 4 - peer % 4);
+      const int dj = std::abs(r / 4 - peer / 4);
+      EXPECT_EQ(di + dj, 1) << r << " <-> " << peer;
+    }
+  }
+  EXPECT_GT(aff.total_weight(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: placement quality and digest invariance
+// ---------------------------------------------------------------------------
+
+harness::RunOutcome run_app(const ir::Program& prog, int procs, int threads,
+                            PartitionMode part, obs::Recorder* obs = nullptr) {
+  harness::RunConfig cfg;
+  cfg.nprocs = procs;
+  cfg.mode = harness::Mode::kDirectExec;
+  cfg.threads = threads;
+  cfg.partition = part;
+  cfg.obs = obs;
+  return harness::run_program(prog, cfg);
+}
+
+TEST(Partition, CommBeatsBlockOnSweep3dCrossTraffic) {
+  apps::Sweep3DConfig sc;
+  sc.npe_i = 8;
+  sc.npe_j = 2;
+  const ir::Program prog = apps::make_sweep3d(sc);
+  const auto block = run_app(prog, 16, 4, PartitionMode::kBlock);
+  const auto comm = run_app(prog, 16, 4, PartitionMode::kComm);
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(comm.ok());
+  // Message totals are identical — only locality changes.
+  EXPECT_EQ(block.messages, comm.messages);
+  EXPECT_LT(comm.parallel.cross_messages(), block.parallel.cross_messages());
+  EXPECT_GT(comm.parallel.intra_messages, block.parallel.intra_messages);
+}
+
+TEST(Partition, CommBeatsBlockOnNasSpCrossTraffic) {
+  const ir::Program prog = apps::make_nas_sp(apps::sp_class('A', 4, 2));
+  const auto block = run_app(prog, 16, 4, PartitionMode::kBlock);
+  const auto comm = run_app(prog, 16, 4, PartitionMode::kComm);
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(comm.ok());
+  EXPECT_EQ(block.messages, comm.messages);
+  EXPECT_LT(comm.parallel.cross_messages(), block.parallel.cross_messages());
+}
+
+TEST(Partition, DigestsIdenticalAcrossModesAndSchedulers) {
+  apps::Sweep3DConfig sc;
+  sc.npe_i = 8;
+  sc.npe_j = 2;
+  const ir::Program prog = apps::make_sweep3d(sc);
+  const auto seq = run_app(prog, 16, 0, PartitionMode::kBlock);
+  ASSERT_TRUE(seq.ok());
+  const std::uint64_t want = harness::run_digest(seq);
+  for (PartitionMode m : {PartitionMode::kBlock, PartitionMode::kInterleave,
+                          PartitionMode::kComm}) {
+    for (int threads : {1, 2, 4}) {
+      const auto out = run_app(prog, 16, threads, m);
+      ASSERT_TRUE(out.ok());
+      EXPECT_EQ(harness::run_digest(out), want)
+          << simk::partition_mode_name(m) << " x " << threads << " workers";
+    }
+  }
+}
+
+TEST(Partition, SingleThreadFastPathSkipsParallelProtocol) {
+  const ir::Program prog = apps::make_nas_sp(apps::sp_class('A', 2, 2));
+  const auto seq = run_app(prog, 4, 0, PartitionMode::kBlock);
+  const auto one = run_app(prog, 4, 1, PartitionMode::kComm);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(harness::run_digest(one), harness::run_digest(seq));
+  EXPECT_EQ(one.parallel.rounds, 0u);
+  EXPECT_EQ(one.parallel.cross_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace stgsim
