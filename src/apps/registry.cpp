@@ -1,0 +1,150 @@
+#include "apps/registry.hpp"
+
+#include <stdexcept>
+
+#include "apps/nas_sp.hpp"
+#include "apps/sample.hpp"
+#include "apps/sweep3d.hpp"
+#include "apps/tomcatv.hpp"
+
+namespace stgsim::apps {
+
+namespace {
+
+const std::vector<AppInfo>& registry() {
+  static const std::vector<AppInfo> apps = {
+      {"tomcatv",
+       "2D SOR mesh solver (paper Figs. 3, 13)",
+       {{"n", "1024"}, {"iters", "4"}}},
+      {"sweep3d",
+       "ASCI wavefront sweep (paper Figs. 4, 10-12)",
+       {{"it", "6"}, {"jt", "6"}, {"kt", "255"}, {"kb", "51"},
+        {"mm", "6"}, {"mmi", "3"}, {"steps", "1"}}},
+      {"nas_sp",
+       "NAS SP pseudo-app, classes A/B/C (paper Figs. 5-6, 12)",
+       {{"class", "A"}, {"steps", "2"}}},
+      {"sample",
+       "synthetic SAMPLE kernels (paper Figs. 8-9)",
+       {{"pattern", "nn"}, {"iters", "40"}, {"msg-doubles", "1024"},
+        {"work", "100000"}}},
+  };
+  return apps;
+}
+
+/// Options for `spec` with defaults filled in; rejects unknown names.
+std::map<std::string, std::string> resolve_options(const AppInfo& info,
+                                                   const AppSpec& spec) {
+  std::map<std::string, std::string> out;
+  for (const auto& [name, dflt] : info.options) out[name] = dflt;
+  for (const auto& [name, value] : spec.options) {
+    auto it = out.find(name);
+    if (it == out.end()) {
+      std::string known;
+      for (const auto& [opt, _] : info.options) {
+        if (!known.empty()) known += ", ";
+        known += opt;
+      }
+      throw std::runtime_error("app '" + info.name +
+                               "' has no option '" + name +
+                               "' (accepted: " + known + ")");
+    }
+    it->second = value;
+  }
+  return out;
+}
+
+long long to_num(const std::string& app, const std::string& opt,
+                 const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("app '" + app + "' option '" + opt +
+                             "': expected an integer, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
+const std::vector<AppInfo>& registered_apps() { return registry(); }
+
+const AppInfo* find_app(const std::string& name) {
+  for (const auto& info : registry()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+AppSpec canonical_app_spec(const AppSpec& spec) {
+  const AppInfo* info = find_app(spec.name);
+  if (info == nullptr) {
+    throw std::runtime_error("unknown app '" + spec.name +
+                             "' (try: stgsim list-apps)");
+  }
+  AppSpec out;
+  out.name = spec.name;
+  out.options = resolve_options(*info, spec);
+  return out;
+}
+
+ir::Program build_app(const AppSpec& spec, int nprocs) {
+  const AppSpec full = canonical_app_spec(spec);
+  const auto& o = full.options;
+  auto num = [&](const std::string& opt) {
+    return to_num(full.name, opt, o.at(opt));
+  };
+
+  if (full.name == "tomcatv") {
+    TomcatvConfig cfg;
+    cfg.n = num("n");
+    cfg.iterations = num("iters");
+    return make_tomcatv(cfg);
+  }
+  if (full.name == "sweep3d") {
+    Sweep3DConfig cfg;
+    cfg.it = num("it");
+    cfg.jt = num("jt");
+    cfg.kt = num("kt");
+    cfg.kb = num("kb");
+    cfg.mm = num("mm");
+    cfg.mmi = num("mmi");
+    cfg.timesteps = num("steps");
+    sweep3d_grid_for(nprocs, &cfg.npe_i, &cfg.npe_j);
+    return make_sweep3d(cfg);
+  }
+  if (full.name == "nas_sp") {
+    int q = 1;
+    while ((q + 1) * (q + 1) <= nprocs) ++q;
+    if (q * q != nprocs) {
+      throw std::runtime_error("nas_sp needs a square process count, got " +
+                               std::to_string(nprocs));
+    }
+    const std::string& cls = o.at("class");
+    if (cls.size() != 1 || (cls != "A" && cls != "B" && cls != "C")) {
+      throw std::runtime_error("nas_sp class must be A, B or C, got '" +
+                               cls + "'");
+    }
+    return make_nas_sp(sp_class(cls.at(0), q, num("steps")));
+  }
+  if (full.name == "sample") {
+    SampleConfig cfg;
+    const std::string& pattern = o.at("pattern");
+    if (pattern == "wavefront") {
+      cfg.pattern = SamplePattern::kWavefront;
+    } else if (pattern == "nn") {
+      cfg.pattern = SamplePattern::kNearestNeighbor;
+    } else {
+      throw std::runtime_error("sample pattern must be nn or wavefront, got '" +
+                               pattern + "'");
+    }
+    cfg.iterations = num("iters");
+    cfg.msg_doubles = num("msg-doubles");
+    cfg.work_iters = num("work");
+    return make_sample(cfg);
+  }
+  throw std::runtime_error("unknown app '" + full.name + "'");
+}
+
+}  // namespace stgsim::apps

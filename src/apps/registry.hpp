@@ -1,0 +1,56 @@
+// Application registry: one place that knows how to build every target
+// program from a (name, option map) pair.
+//
+// Before the campaign subsystem, only the CLI could construct apps, and it
+// did so from its own flag parser — scenario files, config files, and the
+// bench harness each would have needed another copy of that switch. An
+// AppSpec is the neutral representation all of them share: options are
+// strings exactly as they appear on a command line or in a JSON scenario,
+// validated here (unknown option names and malformed values are structured
+// errors, not silently-applied defaults).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace stgsim::apps {
+
+/// A target program by name plus its app-specific options ("kt" -> "36").
+/// The map is sorted, so the canonical JSON form of a spec — and therefore
+/// every cache key derived from it — is independent of option order.
+struct AppSpec {
+  std::string name;
+  std::map<std::string, std::string> options;
+
+  bool operator==(const AppSpec&) const = default;
+};
+
+/// One registered application.
+struct AppInfo {
+  std::string name;
+  std::string summary;
+  /// Every option the app accepts, with its default (as a string).
+  std::vector<std::pair<std::string, std::string>> options;
+};
+
+/// All registered apps, in listing order.
+const std::vector<AppInfo>& registered_apps();
+
+/// Registry entry for `name`; nullptr when unknown.
+const AppInfo* find_app(const std::string& name);
+
+/// Builds the program for `spec` on `nprocs` ranks. Throws
+/// std::runtime_error for an unknown app, an option the app does not
+/// accept, a malformed value, or an invalid process count (e.g. nas_sp on
+/// a non-square count).
+ir::Program build_app(const AppSpec& spec, int nprocs);
+
+/// `spec` with every option the app accepts present (defaults filled in)
+/// and validated — the canonical form used for cache keys, so
+/// "kt defaulted to 255" and "kt=255 given explicitly" digest identically.
+AppSpec canonical_app_spec(const AppSpec& spec);
+
+}  // namespace stgsim::apps

@@ -1,0 +1,78 @@
+#include "campaign/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace stgsim::campaign {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create cache directory '" + dir_ +
+                             "': " + ec.message());
+  }
+}
+
+std::string ResultCache::path_for(const std::string& key_hex) const {
+  return (fs::path(dir_) / (key_hex + ".json")).string();
+}
+
+bool ResultCache::contains(const std::string& key_hex) const {
+  std::error_code ec;
+  return fs::exists(path_for(key_hex), ec);
+}
+
+std::optional<json::Value> ResultCache::load(const std::string& key_hex) const {
+  std::ifstream in(path_for(key_hex), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return json::Value::parse(buf.str());
+  } catch (const std::exception&) {
+    return std::nullopt;  // corrupt entry == miss; the run simply re-executes
+  }
+}
+
+void ResultCache::store(const std::string& key_hex,
+                        const json::Value& doc) const {
+  const std::string final_path = path_for(key_hex);
+  // Unique temp name per writer so two concurrent stores of the same key
+  // (possible when a campaign races a standalone run) never interleave.
+  const std::string tmp_path =
+      final_path + ".tmp." +
+      std::to_string(reinterpret_cast<std::uintptr_t>(&doc));
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot write cache entry '" + tmp_path + "'");
+    }
+    out << doc.dump(2) << '\n';
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("short write to cache entry '" + tmp_path +
+                               "'");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("cannot finalize cache entry '" + final_path +
+                             "'");
+  }
+}
+
+void ResultCache::remove(const std::string& key_hex) const {
+  std::error_code ec;
+  fs::remove(path_for(key_hex), ec);
+}
+
+}  // namespace stgsim::campaign

@@ -1,0 +1,48 @@
+// Content-addressed result cache.
+//
+// Every completed simulation stores its serialized outcome under the
+// digest of its resolved RunSpec (plus the simulator version). A later
+// campaign — or a resumed one — that resolves a spec to the same digest
+// skips the simulation entirely and reuses the stored outcome
+// bit-identically: the cache file *is* the campaign's durable state, so
+// resume-after-kill needs no separate journal; whatever finished is
+// cached, whatever didn't is re-run.
+//
+// Entries are written atomically (temp file + rename) so a killed process
+// never leaves a half-written entry that a resume would trust.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace stgsim::campaign {
+
+class ResultCache {
+ public:
+  /// Opens (creating if needed) the cache rooted at `dir`.
+  explicit ResultCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// The stored document for `key_hex`, or nullopt. A corrupt entry
+  /// (unparseable JSON — e.g. a damaged disk) is treated as a miss.
+  std::optional<json::Value> load(const std::string& key_hex) const;
+
+  /// Atomically stores `doc` under `key_hex`, overwriting any previous
+  /// entry.
+  void store(const std::string& key_hex, const json::Value& doc) const;
+
+  /// Removes the entry for `key_hex` (no-op when absent).
+  void remove(const std::string& key_hex) const;
+
+  bool contains(const std::string& key_hex) const;
+
+  std::string path_for(const std::string& key_hex) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace stgsim::campaign

@@ -1,0 +1,94 @@
+// Campaign execution: runs an expanded Scenario through the result cache
+// on a host-thread job pool and produces deterministic aggregate reports.
+//
+// Execution is a two-phase DAG walk. Phase 1 runs the deduplicated
+// calibration jobs (cache-checked by calibration digest); phase 2 resolves
+// every run against its calibration's w_i table, digests the *resolved*
+// spec, and either reuses the cached outcome or executes it. Runs that
+// resolve to the same digest — duplicate sweep points — execute once.
+//
+// Determinism contract: report_json()/report_csv() are pure functions of
+// the scenario and the cached outcomes. They contain no wall-clock, host
+// load, or hit/miss information, so re-invoking a completed campaign
+// rewrites them byte-identically with zero simulation work. The mutable
+// facts (cache hits, campaign wall time) live in the campaign.json
+// manifest instead.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/scenario.hpp"
+#include "harness/config_json.hpp"
+#include "support/json.hpp"
+
+namespace stgsim::campaign {
+
+struct CampaignOptions {
+  /// Worker threads for the job pool (1 = serial). Each worker executes
+  /// whole runs; per-run engine state is isolated, so results are
+  /// independent of `jobs`.
+  int jobs = 1;
+  std::string cache_dir = ".stgsim-cache";
+  /// Where report.json / report.csv / campaign.json are written by
+  /// write_reports(); empty = caller handles output.
+  std::string out_dir;
+  /// Re-execute cached runs whose status != ok. By default every completed
+  /// outcome — including deadlocks and budget overruns, which are
+  /// deterministic — is reused.
+  bool retry_failed = false;
+  /// Attach a metrics-only Recorder to executed runs so reports can roll
+  /// up campaign-wide counters. Never affects digests.
+  bool with_metrics = true;
+};
+
+/// One run's results as the campaign saw them.
+struct RunReport {
+  std::string id;
+  harness::RunSpec resolved;   ///< params filled for analytical runs
+  std::string digest_hex;      ///< empty when resolution itself failed
+  bool cache_hit = false;
+  harness::RunOutcome outcome;
+};
+
+struct CampaignResult {
+  std::string name;
+  std::string scenario_digest;
+  std::vector<RunReport> runs;  ///< scenario expansion order
+
+  std::size_t cache_hits = 0;        ///< runs served from the cache
+  std::size_t executed = 0;          ///< unique digests simulated
+  std::size_t calibrations_run = 0;
+  std::size_t calibrations_cached = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Executes the scenario. Individual run failures (including calibration
+/// failures, which surface as kInternalError on every dependent run) are
+/// recorded in the result, not thrown; only environment errors (unwritable
+/// cache dir) throw.
+CampaignResult run_campaign(const Scenario& scenario,
+                            const CampaignOptions& options);
+
+/// Deterministic aggregate report (see the contract above): per-run spec +
+/// outcome, status taxonomy rollup, measured-vs-predicted comparisons for
+/// sweep points that share everything but the mode, and a campaign-wide
+/// metrics rollup.
+json::Value report_json(const CampaignResult& result);
+
+/// The same data as CSV — one row per run, RFC-4180 quoting.
+std::string report_csv(const CampaignResult& result);
+
+/// Mutable companion to the reports: cache hit/miss per run, wall time,
+/// job count, cache directory. Not part of the byte-identity contract.
+json::Value manifest_json(const CampaignResult& result,
+                          const CampaignOptions& options);
+
+/// Writes report.json, report.csv, and campaign.json into
+/// options.out_dir (created if needed).
+void write_reports(const CampaignResult& result,
+                   const CampaignOptions& options);
+
+}  // namespace stgsim::campaign

@@ -1,0 +1,109 @@
+#include "cli/args.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace stgsim::cli {
+
+Args::Args(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      if (key.rfind('-', 0) == 0) {
+        throw std::runtime_error("expected --flag, got '" + key + "'");
+      }
+      positionals_.push_back(key);
+      continue;
+    }
+    key = key.substr(2);
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      values_[key.substr(0, eq)] = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[key] = argv[++i];
+    } else {
+      values_[key] = "";  // boolean flag
+    }
+    seen_[key] = false;
+  }
+}
+
+void Args::alias(const std::string& legacy, const std::string& canonical) {
+  auto it = values_.find(legacy);
+  if (it == values_.end()) return;
+  std::cerr << "note: --" << legacy << " is deprecated; use --" << canonical
+            << '\n';
+  if (!values_.contains(canonical)) {
+    values_[canonical] = it->second;
+    seen_[canonical] = false;
+  }
+  values_.erase(it);
+  seen_.erase(legacy);
+}
+
+std::string Args::str(const std::string& key, const std::string& dflt) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  seen_[key] = true;
+  return it->second;
+}
+
+long long Args::num(const std::string& key, long long dflt) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  seen_[key] = true;
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + key + ": expected an integer, got '" +
+                             it->second + "'");
+  }
+}
+
+double Args::real(const std::string& key, double dflt) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  seen_[key] = true;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + key + ": expected a number, got '" +
+                             it->second + "'");
+  }
+}
+
+bool Args::flag(const std::string& key) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  seen_[key] = true;
+  return true;
+}
+
+const std::string& Args::positional(std::size_t i,
+                                    const std::string& what) const {
+  if (i >= positionals_.size()) {
+    throw std::runtime_error("missing " + what);
+  }
+  return positionals_[i];
+}
+
+void Args::no_positionals() const {
+  if (!positionals_.empty()) {
+    throw std::runtime_error("unexpected argument '" + positionals_.front() +
+                             "'");
+  }
+}
+
+void Args::check_all_consumed() const {
+  for (const auto& [key, used] : seen_) {
+    if (!used) throw std::runtime_error("unknown flag --" + key);
+  }
+}
+
+}  // namespace stgsim::cli

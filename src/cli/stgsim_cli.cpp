@@ -1,24 +1,50 @@
 // stgsim — command-line front end.
 //
 //   stgsim list-apps
-//   stgsim compile --app <name> [app flags] [--procs P]
-//                  [--dump-stg f.dot] [--dump-dtg f.dot]
-//                  [--print-simplified] [--print-timer]
-//   stgsim run --app <name> --procs P --mode measured|de|am [app flags]
-//              [--machine sp|origin2000] [--calib N]
-//              [--load-params f] [--save-params f]
-//              [--workers N] [--partition block|interleave|comm]
-//              [--abstract-comm] [--memory-cap-mb M]
-//              [--seed S] [--fault SPEC]
-//              [--max-vtime-sec T] [--max-messages N] [--max-host-sec T]
-//              [--digest] [--trace-out f.json] [--metrics-out f.json]
-//              [--comm-matrix-out f.json]
+//   stgsim compile  --app <name> [--<option> v ...] [--procs P]
+//                   [--dump-stg f.dot] [--dump-dtg f.dot]
+//                   [--print-simplified] [--print-timer]
+//   stgsim run      [--config spec.json] [--app <name>] [--<option> v ...]
+//                   [--procs P] [--mode measured|de|am]
+//                   [--machine "ibm_sp[latency_us=30,bw=120e6]"]
+//                   [--calibrate N] [--load-params f] [--save-params f]
+//                   [--workers N] [--partition block|interleave|comm]
+//                   [--abstract-comm] [--memory-cap-mb M]
+//                   [--seed S] [--fault SPEC]
+//                   [--max-vtime-sec T] [--max-messages N] [--max-host-sec T]
+//                   [--digest] [--print-config]
+//                   [--trace-out f.json] [--metrics-out f.json]
+//                   [--comm-matrix-out f.json]
+//   stgsim calibrate --app <name> [--<option> v ...] --procs P
+//                   [--machine M] [--seed S] [--save-params f] [--json]
+//   stgsim campaign <scenario.json> [--jobs N] [--cache-dir D] [--out-dir D]
+//                   [--retry-failed] [--no-metrics] [--print-report]
 //
 // Flags take either "--key value" or "--key=value" form.
+//
+// `run` executes one simulation. Its configuration is the RunSpec JSON
+// schema (harness/config_json.hpp): start from --config if given, then
+// apply flag overrides — flags always win. --print-config dumps the
+// resulting canonical spec as JSON and exits; feeding that back through
+// --config reproduces the run exactly. --machine accepts a registry name
+// or a spec string with field overrides ("ibm_sp[latency_us=30]"); unknown
+// machines, override keys, apps, and app options are structured errors.
+//
+// `calibrate` runs only the Figure-2 measurement pass and prints the w_i
+// table (or JSON with --json); --save-params writes the file `run
+// --load-params` and scenario files consume.
+//
+// `campaign` expands a declarative scenario file (campaign/scenario.hpp)
+// into a DAG of calibrations and runs, executes it on --jobs worker
+// threads through a content-addressed result cache, and writes
+// report.json / report.csv / campaign.json into --out-dir. Re-invoking a
+// completed campaign performs zero simulation work and rewrites the
+// reports byte-identically.
 //
 // --digest prints a 64-bit run digest (per-rank final virtual clocks,
 // message counts, delivered bytes) — two runs predicting bit-identical
 // results print the same digest, regardless of scheduler or host timing.
+// The same digest appears as "run_digest" in campaign reports.
 //
 // The observability flags never change simulated results (digests are
 // bit-identical with and without them):
@@ -32,163 +58,183 @@
 // the clause syntax); the --max-* flags bound pathological runs, which then
 // exit with a structured outcome instead of hanging.
 //
+// Legacy spellings are kept as deprecated aliases: "stgsim --app ..."
+// (no subcommand) runs `run`; --threads means --workers; --calib means
+// --calibrate; machine "sp" means "ibm_sp".
+//
 // Exit codes: 0 ok, 2 out_of_memory, 3 deadlock, 4 budget_exceeded,
 // 5 internal_error (1 = usage/configuration errors).
 //
 // Examples:
 //   stgsim run --app tomcatv --n 1024 --procs 64 --mode am
-//   stgsim run --app sweep3d --kt 1000 --procs 10000 --mode am --calib 16
+//   stgsim run --app sweep3d --kt 1000 --procs 10000 --mode am --calibrate 16
 //   stgsim run --app sweep3d --procs 4 --mode de \
 //       --fault "link:src=0,dst=1,latency=4,bandwidth=0.25;straggler:rank=2,factor=2"
+//   stgsim run --app tomcatv --procs 16 --mode de \
+//       --machine "ibm_sp[latency_us=30,bw=120e6]"
+//   stgsim campaign examples/scenario_sweep3d.json --jobs 4 --out-dir out
 //   stgsim compile --app nas_sp --class A --procs 16 --dump-stg sp.dot
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "apps/nas_sp.hpp"
-#include "apps/sample.hpp"
-#include "apps/sweep3d.hpp"
-#include "apps/tomcatv.hpp"
+#include "apps/registry.hpp"
+#include "campaign/exec.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+#include "cli/args.hpp"
 #include "core/calibration.hpp"
 #include "core/compiler.hpp"
 #include "core/dtg.hpp"
-#include "fault/fault.hpp"
+#include "harness/config_json.hpp"
 #include "harness/digest.hpp"
+#include "harness/machines.hpp"
 #include "harness/runner.hpp"
 #include "obs/obs.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace stgsim::cli {
 namespace {
 
-class Args {
- public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        throw std::runtime_error("expected --flag, got '" + key + "'");
-      }
-      key = key.substr(2);
-      if (const auto eq = key.find('='); eq != std::string::npos) {
-        values_[key.substr(0, eq)] = key.substr(eq + 1);
-        key = key.substr(0, eq);
-      } else if (i + 1 < argc &&
-                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        values_[key] = argv[++i];
-      } else {
-        values_[key] = "";  // boolean flag
-      }
-      seen_[key] = false;
-    }
+int status_exit_code(const harness::RunOutcome& out) {
+  switch (out.status) {
+    case harness::RunStatus::kOk: return 0;
+    case harness::RunStatus::kOutOfMemory: return 2;
+    case harness::RunStatus::kDeadlock: return 3;
+    case harness::RunStatus::kBudgetExceeded: return 4;
+    case harness::RunStatus::kInternalError: return 5;
   }
-
-  bool has(const std::string& key) const { return values_.contains(key); }
-
-  std::string str(const std::string& key, const std::string& dflt) {
-    auto it = values_.find(key);
-    if (it == values_.end()) return dflt;
-    seen_[key] = true;
-    return it->second;
-  }
-
-  long long num(const std::string& key, long long dflt) {
-    auto it = values_.find(key);
-    if (it == values_.end()) return dflt;
-    seen_[key] = true;
-    return std::stoll(it->second);
-  }
-
-  double real(const std::string& key, double dflt) {
-    auto it = values_.find(key);
-    if (it == values_.end()) return dflt;
-    seen_[key] = true;
-    return std::stod(it->second);
-  }
-
-  bool flag(const std::string& key) {
-    auto it = values_.find(key);
-    if (it == values_.end()) return false;
-    seen_[key] = true;
-    return true;
-  }
-
-  void check_all_consumed() const {
-    for (const auto& [key, used] : seen_) {
-      if (!used) throw std::runtime_error("unknown flag --" + key);
-    }
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-  mutable std::map<std::string, bool> seen_;
-};
-
-const std::vector<std::string> kApps = {"tomcatv", "sweep3d", "nas_sp",
-                                        "sample"};
-
-ir::Program build_app(const std::string& app, int procs, Args& args) {
-  if (app == "tomcatv") {
-    apps::TomcatvConfig cfg;
-    cfg.n = args.num("n", 1024);
-    cfg.iterations = args.num("iters", 4);
-    return apps::make_tomcatv(cfg);
-  }
-  if (app == "sweep3d") {
-    apps::Sweep3DConfig cfg;
-    cfg.it = args.num("it", 6);
-    cfg.jt = args.num("jt", 6);
-    cfg.kt = args.num("kt", 255);
-    cfg.kb = args.num("kb", 51);
-    cfg.mm = args.num("mm", 6);
-    cfg.mmi = args.num("mmi", 3);
-    cfg.timesteps = args.num("steps", 1);
-    apps::sweep3d_grid_for(procs, &cfg.npe_i, &cfg.npe_j);
-    return apps::make_sweep3d(cfg);
-  }
-  if (app == "nas_sp") {
-    int q = 1;
-    while ((q + 1) * (q + 1) <= procs) ++q;
-    if (q * q != procs) {
-      throw std::runtime_error("nas_sp needs a square process count");
-    }
-    const std::string cls = args.str("class", "A");
-    return apps::make_nas_sp(
-        apps::sp_class(cls.at(0), q, args.num("steps", 2)));
-  }
-  if (app == "sample") {
-    apps::SampleConfig cfg;
-    const std::string pattern = args.str("pattern", "nn");
-    cfg.pattern = (pattern == "wavefront") ? apps::SamplePattern::kWavefront
-                                           : apps::SamplePattern::kNearestNeighbor;
-    cfg.iterations = args.num("iters", 40);
-    cfg.msg_doubles = args.num("msg-doubles", 1024);
-    cfg.work_iters = args.num("work", 100000);
-    return apps::make_sample(cfg);
-  }
-  throw std::runtime_error("unknown app '" + app +
-                           "' (try: stgsim list-apps)");
+  return 5;
 }
 
-harness::MachineSpec machine_for(Args& args) {
-  const std::string m = args.str("machine", "sp");
-  if (m == "sp") return harness::ibm_sp_machine();
-  if (m == "origin2000") return harness::origin2000_machine();
-  throw std::runtime_error("unknown machine '" + m + "'");
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
-int cmd_list_apps() {
-  for (const auto& a : kApps) std::cout << a << '\n';
+/// Collects --<option> flags for `app` from the registry's accepted list
+/// into a spec document's "options" object. Only registered option names
+/// are consumed, so an unrecognized flag still fails check_all_consumed().
+void apply_app_option_flags(json::Value* doc, const std::string& app,
+                            Args& args) {
+  const apps::AppInfo* info = apps::find_app(app);
+  if (info == nullptr) return;  // run_spec_from_json reports the bad app
+  json::Value opts =
+      doc->has("options") ? doc->at("options") : json::Value::object();
+  for (const auto& [name, dflt] : info->options) {
+    (void)dflt;
+    if (args.has(name)) opts.set(name, json::Value(args.str(name, "")));
+  }
+  doc->set("options", opts);
+}
+
+/// Builds the RunSpec document for `run`/`compile`: the --config file (if
+/// any) with flag overrides applied on top.
+json::Value spec_doc_from_args(Args& args) {
+  args.alias("threads", "workers");
+  args.alias("calib", "calibrate");
+
+  json::Value doc = json::Value::object();
+  const std::string config_path = args.str("config", "");
+  if (!config_path.empty()) {
+    doc = json::Value::parse(read_file(config_path));
+    (void)doc.as_object();
+  }
+
+  if (args.has("app")) doc.set("app", json::Value(args.str("app", "")));
+  if (args.has("procs")) {
+    doc.set("procs", json::Value(static_cast<std::int64_t>(args.num("procs", 0))));
+  } else if (!doc.has("procs")) {
+    doc.set("procs", json::Value(16));  // historical CLI default
+  }
+  if (args.has("mode")) doc.set("mode", json::Value(args.str("mode", "")));
+  if (args.has("machine")) {
+    doc.set("machine", json::Value(args.str("machine", "")));
+  }
+  if (args.has("workers")) {
+    doc.set("workers",
+            json::Value(static_cast<std::int64_t>(args.num("workers", 0))));
+  }
+  if (args.has("partition")) {
+    doc.set("partition", json::Value(args.str("partition", "")));
+  }
+  if (args.flag("abstract-comm")) doc.set("abstract_comm", json::Value(true));
+  if (args.has("memory-cap-mb")) {
+    doc.set("memory_cap_mb", json::Value(args.real("memory-cap-mb", 0.0)));
+  }
+  if (args.has("stack-kb")) {
+    doc.set("fiber_stack_kb", json::Value(args.real("stack-kb", 256.0)));
+  }
+  if (args.has("seed")) {
+    doc.set("seed", json::Value(static_cast<std::int64_t>(args.num("seed", 0))));
+  }
+  if (args.has("fault")) doc.set("fault", json::Value(args.str("fault", "")));
+  if (args.has("max-vtime-sec")) {
+    doc.set("max_vtime_ns",
+            json::Value(args.real("max-vtime-sec", 0.0) * 1e9));
+  }
+  if (args.has("max-messages")) {
+    doc.set("max_messages", json::Value(static_cast<std::int64_t>(
+                                args.num("max-messages", 0))));
+  }
+  if (args.has("max-host-sec")) {
+    doc.set("max_host_sec", json::Value(args.real("max-host-sec", 0.0)));
+  }
+  if (args.has("calibrate")) {
+    doc.set("calibrate",
+            json::Value(static_cast<std::int64_t>(args.num("calibrate", 0))));
+  }
+
+  const std::string app =
+      doc.has("app") ? doc.at("app").as_string() : args.str("app", "");
+  apply_app_option_flags(&doc, app, args);
+  return doc;
+}
+
+apps::AppSpec app_spec_of(const harness::RunSpec& spec) {
+  apps::AppSpec app;
+  app.name = spec.app;
+  app.options = spec.app_options;
+  return app;
+}
+
+int cmd_list_apps(Args& args) {
+  args.no_positionals();
+  args.check_all_consumed();
+  for (const auto& info : apps::registered_apps()) {
+    std::cout << info.name << " - " << info.summary << '\n';
+    std::cout << "    options:";
+    for (const auto& [name, dflt] : info.options) {
+      std::cout << " --" << name << " (" << dflt << ")";
+    }
+    std::cout << '\n';
+  }
+  std::cout << "machines:";
+  for (const auto& name : harness::machine_names()) std::cout << ' ' << name;
+  std::cout << '\n';
   return 0;
 }
 
 int cmd_compile(Args& args) {
-  const std::string app = args.str("app", "");
-  const int procs = static_cast<int>(args.num("procs", 16));
-  ir::Program prog = build_app(app, procs, args);
+  args.no_positionals();
+  json::Value doc = spec_doc_from_args(args);
+  if (!doc.has("app")) throw std::runtime_error("compile needs --app");
+  const std::string app = doc.at("app").as_string();
+  const int procs = static_cast<int>(doc.at("procs").as_int());
+  apps::AppSpec app_spec;
+  app_spec.name = app;
+  for (const auto& [name, v] : doc.at("options").as_object()) {
+    app_spec.options[name] = v.as_string();
+  }
+  ir::Program prog = apps::build_app(app_spec, procs);
   core::CompileResult compiled = core::compile(prog);
 
   std::cout << compiled.report(prog);
@@ -240,34 +286,46 @@ int cmd_compile(Args& args) {
 }
 
 int cmd_run(Args& args) {
-  const std::string app = args.str("app", "");
-  const int procs = static_cast<int>(args.num("procs", 16));
-  const std::string mode_str = args.str("mode", "de");
-  const auto machine = machine_for(args);
+  args.no_positionals();
+  json::Value doc = spec_doc_from_args(args);
+  if (!doc.has("app")) throw std::runtime_error("run needs --app");
+  harness::RunSpec spec = harness::run_spec_from_json(doc);
 
-  harness::RunConfig cfg;
-  cfg.nprocs = procs;
-  cfg.machine = machine;
-  // --workers is the preferred spelling; --threads is kept as an alias.
-  cfg.threads = static_cast<int>(
-      args.num("workers", args.num("threads", 0)));
-  const std::string part_str = args.str("partition", "block");
-  STGSIM_CHECK(simk::parse_partition_mode(part_str, &cfg.partition))
-      << "unknown --partition mode '" << part_str
-      << "' (expected block|interleave|comm)";
-  cfg.abstract_comm = args.flag("abstract-comm");
-  cfg.memory_cap_bytes =
-      static_cast<std::size_t>(args.num("memory-cap-mb", 0)) << 20;
-  cfg.seed = static_cast<std::uint64_t>(args.num("seed", 20260704));
-  cfg.fiber_stack_bytes =
-      static_cast<std::size_t>(args.num("stack-kb", 256)) * 1024;
-  const std::string fault_spec = args.str("fault", "");
-  if (!fault_spec.empty()) cfg.faults = fault::parse_fault_plan(fault_spec);
-  cfg.max_virtual_time = vtime_from_sec(args.real("max-vtime-sec", 0.0));
-  cfg.max_messages = static_cast<std::uint64_t>(args.num("max-messages", 0));
-  cfg.max_host_seconds = args.real("max-host-sec", 0.0);
+  if (args.flag("print-config")) {
+    args.check_all_consumed();
+    std::cout << harness::run_spec_to_json(spec).dump(2) << '\n';
+    return 0;
+  }
+
+  // Resolve w_i parameters for analytical runs: an explicit file beats
+  // inline/config params beats calibration (defaulting to 16 processes,
+  // the historical CLI behavior).
+  harness::RunSpec resolved = spec;
+  if (spec.config.mode == harness::Mode::kAnalytical) {
+    const std::string load = args.str("load-params", "");
+    if (!load.empty()) {
+      spec.config.params = core::load_params(load);
+      spec.calibrate_procs = 0;
+    }
+    std::map<std::string, double> calib;
+    const std::map<std::string, double>* calib_ptr = nullptr;
+    if (spec.config.params.empty()) {
+      if (spec.calibrate_procs <= 0) spec.calibrate_procs = 16;
+      std::cerr << "calibrating w_i at " << spec.calibrate_procs
+                << " processes...\n";
+      calib = campaign::run_calibration(spec);
+      calib_ptr = &calib;
+    }
+    resolved = campaign::resolve_spec(spec, calib_ptr);
+    const std::string save = args.str("save-params", "");
+    if (!save.empty()) {
+      core::save_params(save, resolved.config.params);
+      std::cerr << "wrote " << save << '\n';
+    }
+  }
+
+  harness::RunConfig cfg = resolved.config;
   const bool want_digest = args.flag("digest");
-
   const std::string trace_out = args.str("trace-out", "");
   const std::string metrics_out = args.str("metrics-out", "");
   const std::string matrix_out = args.str("comm-matrix-out", "");
@@ -276,67 +334,34 @@ int cmd_run(Args& args) {
     obs::Options oopts;
     oopts.trace = !trace_out.empty();
     oopts.comm_matrix = !matrix_out.empty();
-    recorder = std::make_unique<obs::Recorder>(oopts, procs);
+    recorder = std::make_unique<obs::Recorder>(oopts, cfg.nprocs);
     cfg.obs = recorder.get();
   }
+  args.check_all_consumed();
 
+  // Same execution pipeline as campaign::execute_spec, but configuration
+  // errors (bad app shape for this process count) exit 1 as usage errors
+  // instead of becoming a structured outcome.
+  ir::Program prog = apps::build_app(app_spec_of(resolved), cfg.nprocs);
   harness::RunOutcome out;
-  if (mode_str == "measured" || mode_str == "de") {
-    cfg.mode = mode_str == "de" ? harness::Mode::kDirectExec
-                                : harness::Mode::kMeasured;
-    ir::Program prog = build_app(app, procs, args);
-    args.check_all_consumed();
-    out = harness::run_program(prog, cfg);
-  } else if (mode_str == "am") {
-    cfg.mode = harness::Mode::kAnalytical;
-    ir::Program prog = build_app(app, procs, args);
+  if (cfg.mode == harness::Mode::kAnalytical) {
     core::CompileResult compiled = core::compile(prog);
-
-    const std::string load = args.str("load-params", "");
-    if (!load.empty()) {
-      cfg.params = core::load_params(load);
-      for (const auto& p : compiled.simplified.params) {
-        cfg.params.emplace(p, 0.0);
-      }
-    } else {
-      const int calib = static_cast<int>(args.num("calib", 16));
-      std::cerr << "calibrating w_i at " << calib << " processes...\n";
-      // The calibration program must be built for the calibration size
-      // (apps whose shape depends on the grid).
-      Args calib_args = args;
-      ir::Program calib_prog = build_app(app, calib, calib_args);
-      core::CompileResult calib_compiled = core::compile(calib_prog);
-      cfg.params =
-          harness::calibrate(calib_compiled.timer_program, calib, machine,
-                             compiled.simplified.params, cfg.seed);
-    }
-    const std::string save = args.str("save-params", "");
-    if (!save.empty()) {
-      core::save_params(save, cfg.params);
-      std::cerr << "wrote " << save << '\n';
-    }
-    args.check_all_consumed();
     out = harness::run_program(compiled.simplified.program, cfg);
   } else {
-    throw std::runtime_error("unknown mode '" + mode_str +
-                             "' (measured|de|am)");
+    out = harness::run_program(prog, cfg);
   }
 
   if (!out.ok()) {
     std::cout << "RUN FAILED [" << harness::run_status_name(out.status)
               << "]: " << out.diagnostic << '\n';
-    switch (out.status) {
-      case harness::RunStatus::kOutOfMemory: return 2;
-      case harness::RunStatus::kDeadlock: return 3;
-      case harness::RunStatus::kBudgetExceeded: return 4;
-      default: return 5;
-    }
+    return status_exit_code(out);
   }
   TablePrinter t({"quantity", "value"});
-  t.add_row({"app", app});
-  t.add_row({"mode", mode_str});
+  t.add_row({"app", resolved.app});
+  t.add_row({"mode", harness::mode_key(cfg.mode)});
+  t.add_row({"machine", harness::machine_spec_string(cfg.machine)});
   t.add_row({"outcome", harness::run_status_name(out.status)});
-  t.add_row({"target processes", TablePrinter::fmt_int(procs)});
+  t.add_row({"target processes", TablePrinter::fmt_int(cfg.nprocs)});
   t.add_row({"predicted time", vtime_to_string(out.predicted_time)});
   t.add_row({"target data (peak)", TablePrinter::fmt_bytes(out.peak_target_bytes)});
   t.add_row({"messages simulated",
@@ -376,22 +401,137 @@ int cmd_run(Args& args) {
     std::cout << mt.to_ascii();
   }
 
-  if (want_digest) std::cout << "digest: " << harness::run_digest_hex(out) << '\n';
+  if (want_digest) {
+    std::cout << "digest: " << harness::run_digest_hex(out) << '\n';
+    std::cout << "cache key: " << harness::run_spec_digest_hex(resolved)
+              << '\n';
+  }
+  return 0;
+}
+
+int cmd_calibrate(Args& args) {
+  args.no_positionals();
+  args.alias("calib", "calibrate");
+  json::Value doc = json::Value::object();
+  if (!args.has("app")) throw std::runtime_error("calibrate needs --app");
+  doc.set("app", json::Value(args.str("app", "")));
+  doc.set("mode", json::Value("am"));
+  if (args.has("machine")) {
+    doc.set("machine", json::Value(args.str("machine", "")));
+  }
+  if (args.has("seed")) {
+    doc.set("seed", json::Value(static_cast<std::int64_t>(args.num("seed", 0))));
+  }
+  doc.set("calibrate", json::Value(static_cast<std::int64_t>(
+                           args.num("procs", args.num("calibrate", 16)))));
+  apply_app_option_flags(&doc, doc.at("app").as_string(), args);
+  harness::RunSpec spec = harness::run_spec_from_json(doc);
+
+  const bool as_json = args.flag("json");
+  const std::string save = args.str("save-params", "");
+  args.check_all_consumed();
+
+  std::cerr << "calibrating w_i at " << spec.calibrate_procs
+            << " processes...\n";
+  const std::map<std::string, double> params = campaign::run_calibration(spec);
+  if (!save.empty()) {
+    core::save_params(save, params);
+    std::cerr << "wrote " << save << '\n';
+  }
+  if (as_json) {
+    std::cout << harness::params_to_json(params).dump(2) << '\n';
+  } else {
+    TablePrinter t({"parameter", "sec/iteration"});
+    for (const auto& [name, value] : params) {
+      t.add_row({name, TablePrinter::fmt(value, 9)});
+    }
+    std::cout << t.to_ascii();
+  }
+  return 0;
+}
+
+int cmd_campaign(Args& args) {
+  std::string path = args.str("scenario", "");
+  if (path.empty() && !args.positionals().empty()) {
+    path = args.positional(0, "scenario file");
+  }
+  if (path.empty()) {
+    throw std::runtime_error("campaign needs a scenario file argument");
+  }
+
+  campaign::CampaignOptions opts;
+  opts.jobs = static_cast<int>(args.num("jobs", 1));
+  if (opts.jobs < 1) throw std::runtime_error("--jobs must be >= 1");
+  opts.cache_dir = args.str("cache-dir", ".stgsim-cache");
+  opts.out_dir = args.str("out-dir", "campaign-out");
+  opts.retry_failed = args.flag("retry-failed");
+  opts.with_metrics = !args.flag("no-metrics");
+  const bool print_report = args.flag("print-report");
+  args.check_all_consumed();
+
+  campaign::Scenario scenario =
+      campaign::parse_scenario_text(read_file(path));
+  std::cerr << "campaign '" << scenario.name << "': " << scenario.runs.size()
+            << " runs, " << scenario.calibrations.size()
+            << " calibrations, jobs=" << opts.jobs << '\n';
+
+  campaign::CampaignResult result = campaign::run_campaign(scenario, opts);
+  campaign::write_reports(result, opts);
+
+  std::map<std::string, int> status_counts;
+  for (const auto& r : result.runs) {
+    ++status_counts[harness::run_status_name(r.outcome.status)];
+  }
+  TablePrinter t({"quantity", "value"});
+  t.add_row({"campaign", result.name});
+  t.add_row({"runs", TablePrinter::fmt_int(
+                         static_cast<long long>(result.runs.size()))});
+  for (const auto& [name, n] : status_counts) {
+    t.add_row({"  " + name, TablePrinter::fmt_int(n)});
+  }
+  t.add_row({"cache hits", TablePrinter::fmt_int(
+                               static_cast<long long>(result.cache_hits))});
+  t.add_row({"executed", TablePrinter::fmt_int(
+                             static_cast<long long>(result.executed))});
+  t.add_row({"calibrations run",
+             TablePrinter::fmt_int(
+                 static_cast<long long>(result.calibrations_run))});
+  t.add_row({"calibrations cached",
+             TablePrinter::fmt_int(
+                 static_cast<long long>(result.calibrations_cached))});
+  t.add_row({"wall-clock", TablePrinter::fmt(result.wall_seconds, 3) + " s"});
+  t.add_row({"reports", opts.out_dir + "/report.{json,csv}"});
+  std::cout << t.to_ascii();
+
+  if (print_report) {
+    std::cout << campaign::report_json(result).dump(2) << '\n';
+  }
   return 0;
 }
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: stgsim <list-apps|compile|run> [--flags]\n"
+    std::cerr << "usage: stgsim <list-apps|compile|run|calibrate|campaign> "
+                 "[--flags]\n"
                  "see the header of src/cli/stgsim_cli.cpp for examples\n";
     return 1;
   }
-  const std::string cmd = argv[1];
+  std::string cmd = argv[1];
+  int first = 2;
+  if (cmd.rfind("--", 0) == 0) {
+    // Legacy single-command form: "stgsim --app foo ..." meant `run`.
+    std::cerr << "note: invoking stgsim without a subcommand is deprecated; "
+                 "use 'stgsim run ...'\n";
+    cmd = "run";
+    first = 1;
+  }
   try {
-    Args args(argc, argv);
-    if (cmd == "list-apps") return cmd_list_apps();
+    Args args(argc, argv, first);
+    if (cmd == "list-apps") return cmd_list_apps(args);
     if (cmd == "compile") return cmd_compile(args);
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "calibrate") return cmd_calibrate(args);
+    if (cmd == "campaign") return cmd_campaign(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 1;
   } catch (const std::exception& e) {

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/check.hpp"
+#include "support/json.hpp"
 
 namespace stgsim::fault {
 
@@ -13,10 +14,15 @@ bool rank_matches(int selector, int rank) {
   return selector == kAnyRank || selector == rank;
 }
 
+/// Shortest decimal that parses back to exactly the same double, so
+/// parse_fault_plan(to_string()) is lossless for every factor — the
+/// campaign cache embeds the canonical spec string in its keys.
+std::string fmt(double v) { return json::format_double(v); }
+
 /// Formats a VTime window bound as fractional seconds for to_string().
 void append_window(std::ostringstream& os, const Window& w) {
-  if (w.from != 0) os << ",from=" << vtime_to_sec(w.from);
-  if (w.until != kVTimeNever) os << ",until=" << vtime_to_sec(w.until);
+  if (w.from != 0) os << ",from=" << fmt(vtime_to_sec(w.from));
+  if (w.until != kVTimeNever) os << ",until=" << fmt(vtime_to_sec(w.until));
 }
 
 }  // namespace
@@ -167,25 +173,26 @@ std::string FaultPlan::to_string() const {
   for (const auto& l : links) {
     sep();
     os << "link:src=" << l.src << ",dst=" << l.dst
-       << ",latency=" << l.latency_factor
-       << ",bandwidth=" << l.bandwidth_factor;
+       << ",latency=" << fmt(l.latency_factor)
+       << ",bandwidth=" << fmt(l.bandwidth_factor);
     append_window(os, l.window);
   }
   for (const auto& s : stragglers) {
     sep();
-    os << "straggler:rank=" << s.rank << ",factor=" << s.factor;
+    os << "straggler:rank=" << s.rank << ",factor=" << fmt(s.factor);
     append_window(os, s.window);
   }
   for (const auto& b : brownouts) {
     sep();
-    os << "brownout:rank=" << b.rank << ",injection=" << b.injection_factor;
+    os << "brownout:rank=" << b.rank
+       << ",injection=" << fmt(b.injection_factor);
     append_window(os, b.window);
   }
   if (eager_drop.enabled()) {
     sep();
-    os << "drop:prob=" << eager_drop.drop_prob
-       << ",timeout=" << vtime_to_sec(eager_drop.retransmit_timeout)
-       << ",backoff=" << eager_drop.backoff_factor
+    os << "drop:prob=" << fmt(eager_drop.drop_prob)
+       << ",timeout=" << fmt(vtime_to_sec(eager_drop.retransmit_timeout))
+       << ",backoff=" << fmt(eager_drop.backoff_factor)
        << ",retries=" << eager_drop.max_retries;
   }
   return os.str();

@@ -1,0 +1,380 @@
+#include "harness/config_json.hpp"
+
+#include <stdexcept>
+
+#include "apps/registry.hpp"
+#include "fault/fault.hpp"
+#include "harness/digest.hpp"
+#include "harness/machines.hpp"
+#include "sim/partition.hpp"
+
+namespace stgsim::harness {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv64(const std::string& bytes) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Stringifies a scenario/config option value the way it would be typed on
+/// a command line: strings verbatim, numbers canonically, bools as 0/1.
+std::string option_to_string(const std::string& key, const json::Value& v) {
+  if (v.is_string()) return v.as_string();
+  if (v.is_number()) return json::format_double(v.as_number());
+  if (v.is_bool()) return v.as_bool() ? "1" : "0";
+  throw std::runtime_error("option '" + key +
+                           "' must be a string, number or bool");
+}
+
+}  // namespace
+
+const char* mode_key(Mode m) {
+  switch (m) {
+    case Mode::kMeasured: return "measured";
+    case Mode::kDirectExec: return "de";
+    case Mode::kAnalytical: return "am";
+  }
+  return "?";
+}
+
+Mode parse_mode(const std::string& key) {
+  if (key == "measured") return Mode::kMeasured;
+  if (key == "de") return Mode::kDirectExec;
+  if (key == "am") return Mode::kAnalytical;
+  throw std::runtime_error("unknown mode '" + key +
+                           "' (expected measured|de|am)");
+}
+
+json::Value params_to_json(const std::map<std::string, double>& params) {
+  json::Value out = json::Value::object();
+  for (const auto& [name, value] : params) out.set(name, json::Value(value));
+  return out;
+}
+
+std::map<std::string, double> params_from_json(const json::Value& v) {
+  std::map<std::string, double> out;
+  for (const auto& [name, value] : v.as_object()) {
+    out[name] = value.as_number();
+  }
+  return out;
+}
+
+json::Value run_config_to_json(const RunConfig& config) {
+  json::Value out = json::Value::object();
+  out.set("procs", json::Value(config.nprocs));
+  out.set("mode", json::Value(mode_key(config.mode)));
+  out.set("machine", json::Value(machine_spec_string(config.machine)));
+  out.set("workers", json::Value(config.threads));
+  out.set("partition",
+          json::Value(simk::partition_mode_name(config.partition)));
+  out.set("abstract_comm", json::Value(config.abstract_comm));
+  out.set("memory_cap_mb",
+          json::Value(static_cast<double>(config.memory_cap_bytes) /
+                      (1024.0 * 1024.0)));
+  out.set("fiber_stack_kb",
+          json::Value(static_cast<double>(config.fiber_stack_bytes) / 1024.0));
+  out.set("seed", json::Value(static_cast<double>(config.seed)));
+  out.set("fault", json::Value(config.faults.to_string()));
+  out.set("max_vtime_ns",
+          json::Value(static_cast<double>(config.max_virtual_time)));
+  out.set("max_messages",
+          json::Value(static_cast<double>(config.max_messages)));
+  out.set("max_host_sec", json::Value(config.max_host_seconds));
+  out.set("params", params_to_json(config.params));
+  return out;
+}
+
+namespace {
+
+/// Applies one RunConfig schema key. Returns false when the key does not
+/// belong to the RunConfig part of the schema (so RunSpec parsing can
+/// route its own keys and reject true unknowns with a full key list).
+bool apply_config_key(RunConfig* config, const std::string& key,
+                      const json::Value& value) {
+  if (key == "procs") {
+    config->nprocs = static_cast<int>(value.as_int());
+    if (config->nprocs <= 0) {
+      throw std::runtime_error("procs must be positive");
+    }
+  } else if (key == "mode") {
+    config->mode = parse_mode(value.as_string());
+  } else if (key == "machine") {
+    config->machine = parse_machine_spec(value.as_string());
+  } else if (key == "workers") {
+    config->threads = static_cast<int>(value.as_int());
+  } else if (key == "partition") {
+    if (!simk::parse_partition_mode(value.as_string(), &config->partition)) {
+      throw std::runtime_error("unknown partition mode '" +
+                               value.as_string() +
+                               "' (expected block|interleave|comm)");
+    }
+  } else if (key == "abstract_comm") {
+    config->abstract_comm = value.as_bool();
+  } else if (key == "memory_cap_mb") {
+    config->memory_cap_bytes =
+        static_cast<std::size_t>(value.as_number() * 1024.0 * 1024.0);
+  } else if (key == "fiber_stack_kb") {
+    config->fiber_stack_bytes =
+        static_cast<std::size_t>(value.as_number() * 1024.0);
+  } else if (key == "seed") {
+    config->seed = static_cast<std::uint64_t>(value.as_number());
+  } else if (key == "fault") {
+    config->faults = value.as_string().empty()
+                         ? fault::FaultPlan{}
+                         : fault::parse_fault_plan(value.as_string());
+  } else if (key == "max_vtime_ns") {
+    config->max_virtual_time = static_cast<VTime>(value.as_number());
+  } else if (key == "max_messages") {
+    config->max_messages = static_cast<std::uint64_t>(value.as_number());
+  } else if (key == "max_host_sec") {
+    config->max_host_seconds = value.as_number();
+  } else if (key == "params") {
+    config->params = params_from_json(value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RunConfig run_config_from_json(const json::Value& v) {
+  RunConfig config;
+  for (const auto& [key, value] : v.as_object()) {
+    if (!apply_config_key(&config, key, value)) {
+      throw std::runtime_error("unknown RunConfig key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+json::Value run_spec_to_json(const RunSpec& spec) {
+  json::Value out = run_config_to_json(spec.config);
+  apps::AppSpec app;
+  app.name = spec.app;
+  app.options = spec.app_options;
+  app = apps::canonical_app_spec(app);
+  out.set("app", json::Value(app.name));
+  json::Value opts = json::Value::object();
+  for (const auto& [name, value] : app.options) {
+    opts.set(name, json::Value(value));
+  }
+  out.set("options", opts);
+  // `calibrate` describes how w_i params get produced, so it only means
+  // something for analytical runs that do not carry them inline. Emitting 0
+  // otherwise keeps it out of the digest: a de run swept with
+  // "calibrate": 16 must hit the same cache entry as one without, and a
+  // resolved analytical run is fully determined by its params.
+  const bool calibration_relevant =
+      spec.config.mode == Mode::kAnalytical && spec.config.params.empty();
+  out.set("calibrate",
+          json::Value(calibration_relevant ? spec.calibrate_procs : 0));
+  return out;
+}
+
+RunSpec run_spec_from_json(const json::Value& v) {
+  RunSpec spec;
+  for (const auto& [key, value] : v.as_object()) {
+    if (key == "app") {
+      spec.app = value.as_string();
+    } else if (key == "options") {
+      for (const auto& [name, ov] : value.as_object()) {
+        spec.app_options[name] = option_to_string(name, ov);
+      }
+    } else if (key == "calibrate") {
+      spec.calibrate_procs = static_cast<int>(value.as_int());
+    } else if (!apply_config_key(&spec.config, key, value)) {
+      throw std::runtime_error("unknown run-spec key '" + key + "'");
+    }
+  }
+  if (spec.app.empty()) {
+    throw std::runtime_error("run spec is missing required key 'app'");
+  }
+  // Canonicalize eagerly so a bad app name / option / value fails at parse
+  // time, and so to_json(from_json(x)) is already in canonical form.
+  apps::AppSpec app;
+  app.name = spec.app;
+  app.options = spec.app_options;
+  spec.app_options = apps::canonical_app_spec(app).options;
+  return spec;
+}
+
+std::uint64_t run_spec_digest(const RunSpec& spec) {
+  return fnv64(run_spec_to_json(spec).dump() + "|" + kSimulatorVersion);
+}
+
+std::string run_spec_digest_hex(const RunSpec& spec) {
+  return hex16(run_spec_digest(spec));
+}
+
+std::uint64_t calibration_digest(const RunSpec& spec) {
+  // Only what the calibration run depends on: app (canonical options),
+  // machine, seed, and the calibration process count. Target-run fields
+  // (procs, workers, budgets, faults) deliberately excluded — every
+  // analytical point of a sweep shares one calibration.
+  json::Value key = json::Value::object();
+  apps::AppSpec app;
+  app.name = spec.app;
+  app.options = spec.app_options;
+  app = apps::canonical_app_spec(app);
+  key.set("kind", json::Value("calibration"));
+  key.set("app", json::Value(app.name));
+  json::Value opts = json::Value::object();
+  for (const auto& [name, value] : app.options) {
+    opts.set(name, json::Value(value));
+  }
+  key.set("options", opts);
+  key.set("machine", json::Value(machine_spec_string(spec.config.machine)));
+  key.set("seed", json::Value(static_cast<double>(spec.config.seed)));
+  key.set("procs", json::Value(spec.calibrate_procs));
+  return fnv64(key.dump() + "|" + kSimulatorVersion);
+}
+
+std::string calibration_digest_hex(const RunSpec& spec) {
+  return hex16(calibration_digest(spec));
+}
+
+// ---------------------------------------------------------------------------
+// RunOutcome serialization
+
+namespace {
+
+json::Value rank_stats_to_json(const smpi::RankStats& s) {
+  json::Value out = json::Value::object();
+  out.set("compute_ns", json::Value(static_cast<double>(s.compute_time)));
+  out.set("comm_ns", json::Value(static_cast<double>(s.comm_time)));
+  out.set("sends", json::Value(static_cast<double>(s.sends)));
+  out.set("recvs", json::Value(static_cast<double>(s.recvs)));
+  out.set("collectives", json::Value(static_cast<double>(s.collectives)));
+  out.set("delays", json::Value(static_cast<double>(s.delays)));
+  out.set("bytes_sent", json::Value(static_cast<double>(s.bytes_sent)));
+  return out;
+}
+
+smpi::RankStats rank_stats_from_json(const json::Value& v) {
+  smpi::RankStats s;
+  s.compute_time = static_cast<VTime>(v.at("compute_ns").as_number());
+  s.comm_time = static_cast<VTime>(v.at("comm_ns").as_number());
+  s.sends = static_cast<std::uint64_t>(v.at("sends").as_number());
+  s.recvs = static_cast<std::uint64_t>(v.at("recvs").as_number());
+  s.collectives =
+      static_cast<std::uint64_t>(v.at("collectives").as_number());
+  s.delays = static_cast<std::uint64_t>(v.at("delays").as_number());
+  s.bytes_sent = static_cast<std::uint64_t>(v.at("bytes_sent").as_number());
+  return s;
+}
+
+json::Value hist_to_json(const std::vector<std::uint64_t>& hist) {
+  json::Value out = json::Value::array();
+  for (const std::uint64_t v : hist) {
+    out.push_back(json::Value(static_cast<double>(v)));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> hist_from_json(const json::Value& v) {
+  std::vector<std::uint64_t> out;
+  for (const auto& e : v.as_array()) {
+    out.push_back(static_cast<std::uint64_t>(e.as_number()));
+  }
+  return out;
+}
+
+RunStatus parse_run_status(const std::string& name) {
+  for (const RunStatus s :
+       {RunStatus::kOk, RunStatus::kOutOfMemory, RunStatus::kDeadlock,
+        RunStatus::kBudgetExceeded, RunStatus::kInternalError}) {
+    if (name == run_status_name(s)) return s;
+  }
+  throw std::runtime_error("unknown run status '" + name + "'");
+}
+
+}  // namespace
+
+json::Value outcome_to_json(const RunOutcome& outcome) {
+  json::Value out = json::Value::object();
+  out.set("status", json::Value(run_status_name(outcome.status)));
+  out.set("diagnostic", json::Value(outcome.diagnostic));
+  out.set("nprocs", json::Value(outcome.nprocs));
+  out.set("predicted_ns",
+          json::Value(static_cast<double>(outcome.predicted_time)));
+  json::Value per_rank = json::Value::array();
+  for (const VTime t : outcome.per_rank) {
+    per_rank.push_back(json::Value(static_cast<double>(t)));
+  }
+  out.set("per_rank_ns", per_rank);
+  out.set("messages", json::Value(static_cast<double>(outcome.messages)));
+  out.set("slices", json::Value(static_cast<double>(outcome.slices)));
+  out.set("peak_target_bytes",
+          json::Value(static_cast<double>(outcome.peak_target_bytes)));
+  out.set("sim_host_seconds", json::Value(outcome.sim_host_seconds));
+  out.set("stats", rank_stats_to_json(outcome.stats));
+  json::Value per_rank_stats = json::Value::array();
+  for (const auto& s : outcome.per_rank_stats) {
+    per_rank_stats.push_back(rank_stats_to_json(s));
+  }
+  out.set("per_rank_stats", per_rank_stats);
+
+  json::Value metrics = json::Value::object();
+  json::Value scalars = json::Value::object();
+  for (const auto& [name, value] : outcome.metrics.scalars) {
+    scalars.set(name, json::Value(value));
+  }
+  metrics.set("scalars", scalars);
+  metrics.set("msg_size_hist", hist_to_json(outcome.metrics.msg_size_hist));
+  metrics.set("window_advance_hist",
+              hist_to_json(outcome.metrics.window_advance_hist));
+  out.set("metrics", metrics);
+
+  out.set("digest", json::Value(run_digest_hex(outcome)));
+  return out;
+}
+
+RunOutcome outcome_from_json(const json::Value& v) {
+  RunOutcome out;
+  out.status = parse_run_status(v.at("status").as_string());
+  out.diagnostic = v.at("diagnostic").as_string();
+  out.nprocs = static_cast<int>(v.at("nprocs").as_int());
+  out.predicted_time = static_cast<VTime>(v.at("predicted_ns").as_number());
+  for (const auto& t : v.at("per_rank_ns").as_array()) {
+    out.per_rank.push_back(static_cast<VTime>(t.as_number()));
+  }
+  out.messages = static_cast<std::uint64_t>(v.at("messages").as_number());
+  out.slices = static_cast<std::uint64_t>(v.at("slices").as_number());
+  out.peak_target_bytes =
+      static_cast<std::size_t>(v.at("peak_target_bytes").as_number());
+  out.sim_host_seconds = v.at("sim_host_seconds").as_number();
+  out.stats = rank_stats_from_json(v.at("stats"));
+  for (const auto& s : v.at("per_rank_stats").as_array()) {
+    out.per_rank_stats.push_back(rank_stats_from_json(s));
+  }
+  const json::Value& metrics = v.at("metrics");
+  for (const auto& [name, value] : metrics.at("scalars").as_object()) {
+    out.metrics.add(name, value.as_number());
+  }
+  out.metrics.msg_size_hist = hist_from_json(metrics.at("msg_size_hist"));
+  out.metrics.window_advance_hist =
+      hist_from_json(metrics.at("window_advance_hist"));
+  out.metrics.nranks = out.nprocs;
+  return out;
+}
+
+}  // namespace stgsim::harness

@@ -1,0 +1,90 @@
+// One JSON schema for a run, shared by every front end.
+//
+// A RunSpec is the serializable description of one simulation run: the
+// target app (by registry name + options), the resolved RunConfig, and an
+// optional calibration dependency for analytical-model runs. The same
+// schema is read from three places — `stgsim run --config file.json`,
+// campaign scenario files (where any field may be a sweep list), and the
+// bench harness — so config plumbing lives here once instead of being
+// re-implemented per consumer.
+//
+// Canonicalization contract:
+//   * to_json(spec) emits every field with defaults resolved (app options
+//     filled from the registry, machine rendered as its canonical spec
+//     string, fault plan as its canonical clause string), keys sorted.
+//   * from_json(to_json(spec)) reproduces the spec exactly (up to the
+//     "calibrate" count, which is canonicalized to 0 when the run's
+//     prediction cannot depend on it — see run_spec_to_json), and
+//     to_json is idempotent: dump(to_json(from_json(j))) is a pure
+//     function of the *meaning* of j, not its formatting.
+//   * run_spec_digest() hashes that canonical dump plus the simulator
+//     version — the campaign cache key. Any field that can change a
+//     prediction (seed, machine override, fault plan, params, ...)
+//     changes the digest; formatting of the input JSON never does.
+//
+// RunOutcome serialization round-trips everything the aggregate reports
+// and the run digest need (per-rank clocks and stats, counters, metrics);
+// host-side trace data is excluded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "harness/runner.hpp"
+#include "support/json.hpp"
+
+namespace stgsim::harness {
+
+/// Bumped whenever simulated predictions can legitimately change (machine
+/// models, protocol costs, app kernels). Part of every cache key, so stale
+/// campaign caches invalidate wholesale instead of serving results from an
+/// older simulator.
+inline constexpr const char kSimulatorVersion[] = "stgsim-5";
+
+/// Short mode keys used by the CLI and all JSON schemas:
+/// "measured" / "de" / "am" (mode_name() stays the display form).
+const char* mode_key(Mode m);
+Mode parse_mode(const std::string& key);  ///< throws on unknown keys
+
+/// One fully-described run: target app + resolved configuration.
+struct RunSpec {
+  std::string app;  ///< registry name (apps/registry.hpp)
+  std::map<std::string, std::string> app_options;
+  RunConfig config;
+  /// For kAnalytical runs with no inline params: calibrate w_i at this
+  /// process count first (on the same machine and seed). 0 = none.
+  int calibrate_procs = 0;
+};
+
+/// RunConfig <-> JSON (without the app — used inside RunSpec's schema).
+json::Value run_config_to_json(const RunConfig& config);
+RunConfig run_config_from_json(const json::Value& v);
+
+/// RunSpec <-> JSON. from_json rejects unknown keys with a structured
+/// error; to_json emits the canonical (defaults-resolved, sorted) form.
+json::Value run_spec_to_json(const RunSpec& spec);
+RunSpec run_spec_from_json(const json::Value& v);
+
+/// Content-address of a run: FNV-1a over the canonical spec dump and
+/// kSimulatorVersion. Two specs digest equally iff they would simulate
+/// the same thing on this simulator version.
+std::uint64_t run_spec_digest(const RunSpec& spec);
+std::string run_spec_digest_hex(const RunSpec& spec);
+
+/// Cache key of the calibration run a RunSpec depends on: the same app /
+/// machine / seed, measured at `calibrate_procs` ranks with timers on.
+std::uint64_t calibration_digest(const RunSpec& spec);
+std::string calibration_digest_hex(const RunSpec& spec);
+
+/// RunOutcome <-> JSON. Everything reports and digests need round-trips;
+/// host_trace and the parallel protocol counters (host-timing dependent)
+/// are excluded.
+json::Value outcome_to_json(const RunOutcome& outcome);
+RunOutcome outcome_from_json(const json::Value& v);
+
+/// Params table (w_i) <-> JSON object.
+json::Value params_to_json(const std::map<std::string, double>& params);
+std::map<std::string, double> params_from_json(const json::Value& v);
+
+}  // namespace stgsim::harness

@@ -1,0 +1,50 @@
+// Machine registry and spec-string parsing.
+//
+// The CLI and scenario files name target machines with a spec string:
+//
+//   "ibm_sp"                          — a registered base machine
+//   "ibm_sp[latency_us=30,bw=120e6]"  — the base with field overrides
+//
+// Every NetworkParams / ComputeParams / emulation field is overridable, so
+// a sweep can explore "what if the SP switch had half the latency" without
+// recompiling. Unknown machine names and unknown override keys are
+// structured errors listing the accepted alternatives — a typo must never
+// silently fall back to a default machine (a campaign would cache the wrong
+// prediction under the right-looking key).
+//
+// machine_spec_string() renders a MachineSpec back to its canonical spec:
+// base key plus only the fields that differ from the registered base, in a
+// fixed order, with shortest-round-trip numbers. parse_machine_spec() of
+// that string reproduces the MachineSpec exactly, which makes the spec
+// string safe to embed in cache keys and reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+
+namespace stgsim::harness {
+
+/// Keys of all registered base machines, in listing order.
+std::vector<std::string> machine_names();
+
+/// The registered base machine for `key` ("ibm_sp", "origin2000"; "sp" is
+/// accepted as a legacy alias for "ibm_sp"). Throws std::runtime_error for
+/// unknown keys.
+MachineSpec base_machine(const std::string& key);
+
+/// Override keys accepted inside [...] — for error messages and docs.
+/// Each entry is {key, description}.
+const std::vector<std::pair<std::string, std::string>>& machine_override_keys();
+
+/// Parses "name" or "name[key=value,...]". Throws std::runtime_error with
+/// the accepted keys on an unknown machine, an unknown override key, or a
+/// malformed value.
+MachineSpec parse_machine_spec(const std::string& spec);
+
+/// Canonical spec string: base key, plus overrides for exactly the fields
+/// that differ from the registered base. parse_machine_spec() round-trips.
+std::string machine_spec_string(const MachineSpec& m);
+
+}  // namespace stgsim::harness

@@ -30,6 +30,7 @@ const char* run_status_name(RunStatus s) {
 MachineSpec ibm_sp_machine() {
   MachineSpec m;
   m.name = "IBM SP";
+  m.key = "ibm_sp";
   m.net = net::ibm_sp();
   m.compute = machine::ibm_sp_node();
   return m;
@@ -38,6 +39,7 @@ MachineSpec ibm_sp_machine() {
 MachineSpec origin2000_machine() {
   MachineSpec m;
   m.name = "SGI Origin 2000";
+  m.key = "origin2000";
   m.net = net::origin2000();
   m.compute = machine::origin2000_node();
   return m;

@@ -38,7 +38,8 @@ const char* mode_name(Mode m);
 /// A target machine: communication + compute models plus the emulation-only
 /// imperfections that make kMeasured differ from the simulator's model.
 struct MachineSpec {
-  std::string name;
+  std::string name;  ///< display name ("IBM SP")
+  std::string key;   ///< registry id ("ibm_sp") — see harness/machines.hpp
   net::NetworkParams net;
   machine::ComputeParams compute;
   double emulation_net_jitter = 0.03;

@@ -287,6 +287,39 @@ double MetricsSnapshot::value(const std::string& name, bool* found) const {
   return 0.0;
 }
 
+namespace {
+
+void merge_hist(std::vector<std::uint64_t>* dst,
+                const std::vector<std::uint64_t>& src) {
+  if (dst->size() < src.size()) dst->resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i) (*dst)[i] += src[i];
+}
+
+}  // namespace
+
+void merge_metrics(MetricsSnapshot* dst, const MetricsSnapshot& src) {
+  for (const auto& [name, value] : src.scalars) {
+    bool found = false;
+    for (auto& [n, v] : dst->scalars) {
+      if (n == name) {
+        v += value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) dst->add(name, value);
+  }
+  merge_hist(&dst->msg_size_hist, src.msg_size_hist);
+  merge_hist(&dst->window_advance_hist, src.window_advance_hist);
+  if (dst->nranks == src.nranks && !src.p2p_messages.empty() &&
+      dst->p2p_messages.size() == src.p2p_messages.size()) {
+    merge_hist(&dst->p2p_messages, src.p2p_messages);
+    merge_hist(&dst->p2p_bytes, src.p2p_bytes);
+    merge_hist(&dst->coll_messages, src.coll_messages);
+    merge_hist(&dst->coll_bytes, src.coll_bytes);
+  }
+}
+
 void Recorder::write_chrome_trace(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   bool first = true;

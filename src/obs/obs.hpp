@@ -97,6 +97,14 @@ struct MetricsSnapshot {
   double value(const std::string& name, bool* found = nullptr) const;
 };
 
+/// Accumulates `src` into `dst`: scalars sum by name (new names append in
+/// src order), histograms sum element-wise (growing dst as needed), comm
+/// matrices sum only when both sides describe the same rank count —
+/// cross-campaign rollups mix runs of different sizes, where a summed
+/// matrix would be meaningless, so mismatched planes are dropped. Used by
+/// the campaign runner to publish one per-campaign metrics rollup.
+void merge_metrics(MetricsSnapshot* dst, const MetricsSnapshot& src);
+
 /// The observability sink: engine observer + smpi instrumentation target.
 /// One Recorder instruments one run (counters are never reset).
 class Recorder : public simk::EngineObserver {

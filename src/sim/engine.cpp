@@ -421,6 +421,7 @@ void Engine::promote_safe_wildcards(bool stuck) {
 void Engine::resume_process(Process& p) {
   STGSIM_DCHECK(!p.finished_ && !p.blocked_);
   if (observer_ != nullptr) observer_->on_resume(p.rank_, p.clock_);
+  slices_.fetch_add(1, std::memory_order_relaxed);
   if (config_.record_host_trace) {
     p.current_slice_ = trace_.size();
     trace_.push_back(Slice{p.rank_, 0.0, {}});
@@ -600,7 +601,6 @@ RunResult Engine::run() {
   }
 
   host_t0_sec_ = steady_now_sec();
-  const auto switches_before = Fiber::switch_count();
 
   if (config_.use_threads && config_.host_workers > 1) {
     run_threaded();
@@ -619,7 +619,7 @@ RunResult Engine::run() {
   res.messages_delivered = messages_delivered_;
   res.slices = config_.record_host_trace
                    ? trace_.size()
-                   : (Fiber::switch_count() - switches_before);
+                   : slices_.load(std::memory_order_relaxed);
   res.peak_target_bytes = memory_.peak_bytes();
   res.final_target_bytes = memory_.current_bytes();
   return res;

@@ -571,6 +571,10 @@ class Engine {
 
   std::vector<Slice> trace_;
   std::atomic<std::uint64_t> messages_delivered_{0};
+  // Per-engine resume count. Not the global Fiber::switch_count(): several
+  // engines run concurrently under the campaign job pool, and a shared
+  // counter would bleed one run's slices into another's RunResult.
+  std::atomic<std::uint64_t> slices_{0};
   bool ran_ = false;
 
   // Threaded mode: per-worker ready lists, ready heaps (persistent across

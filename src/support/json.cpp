@@ -1,0 +1,377 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace stgsim::json {
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) {
+    throw std::runtime_error("non-finite number is not representable");
+  }
+  // Integral values inside the exactly-representable range print as
+  // integers ("4096", not "4096.0" or "4.096e3").
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf),
+                                   static_cast<std::int64_t>(v));
+    return std::string(buf, res.ptr);
+  }
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+// ---------------------------------------------------------------------------
+// Accessors
+
+namespace {
+[[noreturn]] void kind_error(const char* want, Value::Kind got) {
+  static const char* names[] = {"null", "bool", "number",
+                                "string", "array", "object"};
+  throw std::runtime_error(std::string("JSON value is ") +
+                           names[static_cast<int>(got)] + ", expected " +
+                           want);
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  return num_;
+}
+
+std::int64_t Value::as_int() const {
+  const double d = as_number();
+  const auto i = static_cast<std::int64_t>(d);
+  if (static_cast<double>(i) != d) {
+    throw std::runtime_error("JSON number " + format_double(d) +
+                             " is not an integer");
+  }
+  return i;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return str_;
+}
+
+const Value::Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return arr_;
+}
+
+Value::Array& Value::as_array() {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return arr_;
+}
+
+const Value::Object& Value::as_object() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return obj_;
+}
+
+Value::Object& Value::as_object() {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return obj_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("missing JSON key '" + key + "'");
+  }
+  return *v;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+void Value::set(const std::string& key, Value v) {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  obj_[key] = std::move(v);
+}
+
+void Value::push_back(Value v) {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  arr_.push_back(std::move(v));
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kNumber: return num_ == other.num_;
+    case Kind::kString: return str_ == other.str_;
+    case Kind::kArray: return arr_ == other.arr_;
+    case Kind::kObject: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+namespace {
+
+void append_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void append_newline_indent(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  out->push_back('\n');
+  out->append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: *out += "null"; return;
+    case Kind::kBool: *out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: *out += format_double(num_); return;
+    case Kind::kString: append_escaped(out, str_); return;
+    case Kind::kArray: {
+      if (arr_.empty()) { *out += "[]"; return; }
+      out->push_back('[');
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        append_newline_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) { *out += "{}"; return; }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out->push_back(',');
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, k);
+        *out += indent < 0 ? ":" : ": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(&out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value(parse_string());
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      return Value(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      return Value(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return Value();
+    }
+    return parse_number();
+  }
+
+  Value parse_number() {
+    double d = 0.0;
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto res = std::from_chars(begin, end, d);
+    if (res.ec != std::errc() || res.ptr == begin) fail("malformed number");
+    pos_ = static_cast<std::size_t>(res.ptr - text_.data());
+    return Value(d);
+  }
+
+  void append_utf8(std::string* out, unsigned cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          append_utf8(&out, cp);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value out = Value::array();
+    skip_ws();
+    if (peek() == ']') { ++pos_; return out; }
+    while (true) {
+      out.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ']') { ++pos_; return out; }
+      if (c != ',') fail("expected ',' or ']' in array");
+      ++pos_;
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value out = Value::object();
+    skip_ws();
+    if (peek() == '}') { ++pos_; return out; }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out.set(key, parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == '}') { ++pos_; return out; }
+      if (c != ',') fail("expected ',' or '}' in object");
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace stgsim::json

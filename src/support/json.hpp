@@ -1,0 +1,100 @@
+// Minimal JSON document model with a *canonical* writer.
+//
+// The campaign subsystem keys its result cache on a digest of the
+// serialized run configuration, and promises byte-identical reports across
+// re-invocations. Both properties need a JSON representation that is a pure
+// function of the value: object keys are kept sorted (std::map), doubles
+// are printed with the shortest representation that round-trips exactly
+// (std::to_chars), and the writer emits no locale- or pointer-dependent
+// bytes. parse(dump(v)) == v for every value built from finite numbers.
+//
+// This is deliberately small: no comments, no NaN/Inf (checked), UTF-8
+// passed through verbatim, \uXXXX escapes decoded to UTF-8 on parse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stgsim::json {
+
+/// Shortest decimal string that parses back to exactly `v`; integral
+/// values within the exact-double range print without a decimal point.
+/// Shared by every writer that must round-trip doubles (JSON, machine
+/// spec strings, fault-plan specs, CSV).
+std::string format_double(double v);
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;  // sorted => canonical dumps
+
+  Value() = default;  // null
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(double d) : kind_(Kind::kNumber), num_(d) {}
+  Value(int v) : kind_(Kind::kNumber), num_(v) {}
+  Value(std::int64_t v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Value(std::uint64_t v) : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  Value(const char* s) : kind_(Kind::kString), str_(s) {}
+  Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Value(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  Value(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  static Value array() { return Value(Array{}); }
+  static Value object() { return Value(Object{}); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; throw std::runtime_error on kind mismatch so scenario
+  // files fail with a message instead of reading garbage.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  ///< checks the number is integral
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object member access. `at` throws with the key name when missing;
+  /// `find` returns nullptr. `set` inserts or overwrites.
+  const Value& at(const std::string& key) const;
+  const Value* find(const std::string& key) const;
+  void set(const std::string& key, Value v);
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+
+  void push_back(Value v);
+
+  bool operator==(const Value& other) const;
+
+  /// Canonical serialization: sorted keys, shortest round-trip numbers.
+  /// indent < 0 emits the compact one-line form; indent >= 0 pretty-prints
+  /// with that many spaces per level (still canonical — only whitespace
+  /// differs between the two, and each form is itself deterministic).
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  /// Throws std::runtime_error with offset information on malformed input.
+  static Value parse(const std::string& text);
+
+ private:
+  void dump_to(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace stgsim::json

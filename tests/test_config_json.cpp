@@ -1,0 +1,252 @@
+// Tests for the shared run-configuration surface: machine registry and
+// spec-string parsing (harness/machines.hpp) and the RunSpec/RunOutcome
+// JSON schema with its content-address digests (harness/config_json.hpp).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "harness/config_json.hpp"
+#include "harness/digest.hpp"
+#include "harness/machines.hpp"
+#include "harness/runner.hpp"
+#include "support/json.hpp"
+
+namespace stgsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Machine registry + spec strings
+// ---------------------------------------------------------------------------
+
+TEST(MachineSpecString, BaseMachinesRoundTrip) {
+  for (const std::string& name : harness::machine_names()) {
+    const harness::MachineSpec m = harness::base_machine(name);
+    EXPECT_EQ(harness::machine_spec_string(m), name);
+    const harness::MachineSpec again =
+        harness::parse_machine_spec(harness::machine_spec_string(m));
+    EXPECT_EQ(harness::machine_spec_string(again), name);
+  }
+}
+
+TEST(MachineSpecString, LegacySpAliasMapsToIbmSp) {
+  const harness::MachineSpec m = harness::parse_machine_spec("sp");
+  EXPECT_EQ(m.key, "ibm_sp");
+  EXPECT_EQ(harness::machine_spec_string(m), "ibm_sp");
+}
+
+TEST(MachineSpecString, OverridesApplyAndRoundTrip) {
+  const harness::MachineSpec m =
+      harness::parse_machine_spec("ibm_sp[latency_us=30,bw=120e6]");
+  const harness::MachineSpec base = harness::base_machine("ibm_sp");
+  EXPECT_EQ(m.net.latency, vtime_from_us(30));
+  EXPECT_EQ(m.net.bytes_per_sec, 120e6);
+  // Untouched fields stay at the base values.
+  EXPECT_EQ(m.net.send_overhead, base.net.send_overhead);
+  EXPECT_EQ(m.compute.flop_time_ns, base.compute.flop_time_ns);
+
+  // Canonical string mentions exactly the overridden fields and parses
+  // back to the same machine.
+  const std::string spec = harness::machine_spec_string(m);
+  EXPECT_EQ(spec, "ibm_sp[latency_us=30,bw=120000000]");
+  EXPECT_EQ(harness::machine_spec_string(harness::parse_machine_spec(spec)),
+            spec);
+}
+
+TEST(MachineSpecString, OverrideEqualToBaseIsCanonicallyAbsent) {
+  const double base_bw = harness::base_machine("origin2000").net.bytes_per_sec;
+  const harness::MachineSpec m = harness::parse_machine_spec(
+      "origin2000[bw=" + json::format_double(base_bw) + "]");
+  EXPECT_EQ(harness::machine_spec_string(m), "origin2000");
+}
+
+TEST(MachineSpecString, StructuredErrors) {
+  // Unknown machine: error lists registered names.
+  try {
+    (void)harness::parse_machine_spec("cray_t3e");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ibm_sp"), std::string::npos);
+  }
+  // Unknown override key: error lists accepted keys.
+  try {
+    (void)harness::parse_machine_spec("ibm_sp[warp_factor=9]");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("latency_us"), std::string::npos);
+  }
+  for (const char* bad :
+       {"ibm_sp[", "ibm_sp[latency_us]", "ibm_sp[latency_us=]",
+        "ibm_sp[latency_us=fast]", "ibm_sp[]x", "ibm_sp[latency_us=1"}) {
+    EXPECT_THROW((void)harness::parse_machine_spec(bad), std::runtime_error)
+        << bad;
+  }
+}
+
+TEST(MachineSpecString, WhitespaceTolerantBetweenOverrides) {
+  const harness::MachineSpec m =
+      harness::parse_machine_spec("ibm_sp[latency_us=30, bw=120e6]");
+  EXPECT_EQ(m.net.bytes_per_sec, 120e6);
+}
+
+// ---------------------------------------------------------------------------
+// RunSpec JSON schema
+// ---------------------------------------------------------------------------
+
+harness::RunSpec sample_spec() {
+  harness::RunSpec spec;
+  spec.app = "sample";
+  spec.app_options = {{"iters", "3"}, {"work", "2000"}};
+  spec.config.nprocs = 4;
+  spec.config.mode = harness::Mode::kDirectExec;
+  spec.config.seed = 7;
+  return spec;
+}
+
+TEST(RunSpecJson, RoundTripsExactly) {
+  harness::RunSpec spec = sample_spec();
+  spec.config.machine = harness::parse_machine_spec("ibm_sp[latency_us=30]");
+  spec.config.threads = 2;
+  spec.config.partition = simk::PartitionMode::kInterleave;
+  spec.config.memory_cap_bytes = 64 << 20;
+  spec.config.faults = fault::parse_fault_plan(
+      "link:src=0,dst=1,latency=4,bandwidth=0.25;straggler:rank=2,factor=2");
+  spec.config.max_virtual_time = vtime_from_sec(1.5);
+
+  const json::Value doc = harness::run_spec_to_json(spec);
+  const harness::RunSpec back = harness::run_spec_from_json(doc);
+  // to_json of the parsed spec reproduces the document byte-for-byte.
+  EXPECT_EQ(harness::run_spec_to_json(back).dump(), doc.dump());
+  EXPECT_EQ(back.config.nprocs, 4);
+  EXPECT_EQ(back.config.threads, 2);
+  EXPECT_EQ(back.config.memory_cap_bytes, std::size_t{64} << 20);
+  EXPECT_EQ(back.config.faults.to_string(), spec.config.faults.to_string());
+  EXPECT_EQ(harness::machine_spec_string(back.config.machine),
+            "ibm_sp[latency_us=30]");
+}
+
+TEST(RunSpecJson, CanonicalFormFillsAppOptionDefaults) {
+  const json::Value doc = harness::run_spec_to_json(sample_spec());
+  // All four sample options appear even though only two were given.
+  const json::Value& opts = doc.at("options");
+  EXPECT_TRUE(opts.has("iters"));
+  EXPECT_TRUE(opts.has("pattern"));
+  EXPECT_TRUE(opts.has("msg-doubles"));
+  EXPECT_TRUE(opts.has("work"));
+  EXPECT_EQ(opts.at("pattern").as_string(), "nn");
+}
+
+TEST(RunSpecJson, UnknownKeysAreStructuredErrors) {
+  json::Value doc = harness::run_spec_to_json(sample_spec());
+  doc.set("turbo", json::Value(true));
+  EXPECT_THROW((void)harness::run_spec_from_json(doc), std::runtime_error);
+
+  json::Value doc2 = harness::run_spec_to_json(sample_spec());
+  json::Value opts = doc2.at("options");
+  opts.set("bogus_option", json::Value(1));
+  doc2.set("options", opts);
+  EXPECT_THROW((void)harness::run_spec_from_json(doc2), std::runtime_error);
+}
+
+TEST(RunSpecJson, FormattingDoesNotChangeTheDigest) {
+  const json::Value doc = harness::run_spec_to_json(sample_spec());
+  // Re-parse from pretty-printed text: same digest.
+  const harness::RunSpec a = harness::run_spec_from_json(doc);
+  const harness::RunSpec b =
+      harness::run_spec_from_json(json::Value::parse(doc.dump(4)));
+  EXPECT_EQ(harness::run_spec_digest(a), harness::run_spec_digest(b));
+}
+
+TEST(RunSpecJson, DigestIsSensitiveToSeedMachineAndFault) {
+  const harness::RunSpec base = sample_spec();
+  const std::uint64_t d0 = harness::run_spec_digest(base);
+
+  harness::RunSpec seed = base;
+  seed.config.seed = 8;
+  EXPECT_NE(harness::run_spec_digest(seed), d0);
+
+  harness::RunSpec machine = base;
+  machine.config.machine = harness::parse_machine_spec("ibm_sp[latency_us=1]");
+  EXPECT_NE(harness::run_spec_digest(machine), d0);
+
+  harness::RunSpec faulted = base;
+  faulted.config.faults =
+      fault::parse_fault_plan("straggler:rank=0,factor=2");
+  EXPECT_NE(harness::run_spec_digest(faulted), d0);
+
+  harness::RunSpec procs = base;
+  procs.config.nprocs = 8;
+  EXPECT_NE(harness::run_spec_digest(procs), d0);
+}
+
+TEST(RunSpecJson, IrrelevantCalibrateCountIsCanonicalizedOut) {
+  // A de-mode run swept with "calibrate" digests the same as one without:
+  // calibration cannot affect its prediction.
+  harness::RunSpec with = sample_spec();
+  with.calibrate_procs = 16;
+  EXPECT_EQ(harness::run_spec_digest(with),
+            harness::run_spec_digest(sample_spec()));
+
+  // For analytical runs without inline params it IS part of the address...
+  harness::RunSpec am = sample_spec();
+  am.config.mode = harness::Mode::kAnalytical;
+  am.calibrate_procs = 16;
+  harness::RunSpec am8 = am;
+  am8.calibrate_procs = 8;
+  EXPECT_NE(harness::run_spec_digest(am), harness::run_spec_digest(am8));
+
+  // ...but once params are resolved inline, they alone define the run.
+  am.config.params = {{"w_x", 1e-6}};
+  am8.config.params = {{"w_x", 1e-6}};
+  EXPECT_EQ(harness::run_spec_digest(am), harness::run_spec_digest(am8));
+}
+
+TEST(RunSpecJson, FaultPlanStringRoundTripsLossslessly) {
+  const std::string spec =
+      "link:src=0,dst=1,latency=4,bandwidth=0.25,from=0.001;"
+      "straggler:rank=2,factor=1.5";
+  const fault::FaultPlan plan = fault::parse_fault_plan(spec);
+  const fault::FaultPlan again = fault::parse_fault_plan(plan.to_string());
+  EXPECT_EQ(plan.to_string(), again.to_string());
+}
+
+// ---------------------------------------------------------------------------
+// RunOutcome serialization
+// ---------------------------------------------------------------------------
+
+TEST(OutcomeJson, RoundTripPreservesDigest) {
+  harness::RunOutcome out;
+  out.status = harness::RunStatus::kOk;
+  out.nprocs = 2;
+  out.predicted_time = 123456789;
+  out.per_rank = {123456789, 123450000};
+  out.messages = 42;
+  out.slices = 17;
+  out.peak_target_bytes = 1 << 20;
+  out.sim_host_seconds = 0.25;
+  smpi::RankStats s;
+  s.compute_time = 1000;
+  s.comm_time = 2000;
+  s.sends = 3;
+  s.recvs = 4;
+  s.collectives = 5;
+  s.delays = 6;
+  s.bytes_sent = 7;
+  out.per_rank_stats = {s, s};
+  out.stats = s;
+  out.metrics.add("engine.slices", 17.0);
+  out.metrics.msg_size_hist = {0, 2, 1};
+
+  const json::Value doc = harness::outcome_to_json(out);
+  const harness::RunOutcome back = harness::outcome_from_json(doc);
+  EXPECT_EQ(harness::run_digest(back), harness::run_digest(out));
+  EXPECT_EQ(doc.at("digest").as_string(), harness::run_digest_hex(back));
+  EXPECT_EQ(back.messages, 42u);
+  EXPECT_EQ(back.per_rank_stats.size(), 2u);
+  EXPECT_EQ(back.metrics.msg_size_hist.size(), 3u);
+  // Serialization is stable through a round trip.
+  EXPECT_EQ(harness::outcome_to_json(back).dump(), doc.dump());
+}
+
+}  // namespace
+}  // namespace stgsim

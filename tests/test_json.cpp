@@ -1,0 +1,122 @@
+// Unit tests for the canonical JSON document model (support/json.hpp):
+// parse/dump round trips, canonical (sorted, shortest-number) output, and
+// structured parse errors. The campaign cache keys and byte-identical
+// report contract both rest on dump() being a pure function of the value.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace stgsim {
+namespace {
+
+TEST(FormatDouble, IntegralValuesPrintWithoutDecimalPoint) {
+  EXPECT_EQ(json::format_double(0.0), "0");
+  EXPECT_EQ(json::format_double(42.0), "42");
+  EXPECT_EQ(json::format_double(-7.0), "-7");
+  EXPECT_EQ(json::format_double(1e15), "1000000000000000");
+}
+
+TEST(FormatDouble, ShortestRoundTrip) {
+  // (smallest *normal* double — stod raises out_of_range on subnormals)
+  for (const double v : {0.1, 1.0 / 3.0, 3.14159265358979, 120e6, 2.5e-8,
+                         -0.75, 1e308, 2.2250738585072014e-308}) {
+    const std::string s = json::format_double(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(JsonValue, ParseDumpRoundTripIsIdentity) {
+  const std::string text =
+      R"({"a":[1,2.5,true,false,null,"x"],"b":{"nested":{"k":-3}},"c":""})";
+  const json::Value v = json::Value::parse(text);
+  EXPECT_EQ(v.dump(), text);
+  EXPECT_EQ(json::Value::parse(v.dump()), v);
+}
+
+TEST(JsonValue, ObjectKeysAreSorted) {
+  json::Value v = json::Value::object();
+  v.set("zebra", json::Value(1));
+  v.set("alpha", json::Value(2));
+  v.set("mid", json::Value(3));
+  EXPECT_EQ(v.dump(), R"({"alpha":2,"mid":3,"zebra":1})");
+}
+
+TEST(JsonValue, DumpIsIndependentOfInsertionOrder) {
+  json::Value a = json::Value::object();
+  a.set("x", json::Value(1));
+  a.set("y", json::Value("s"));
+  json::Value b = json::Value::object();
+  b.set("y", json::Value("s"));
+  b.set("x", json::Value(1));
+  EXPECT_EQ(a.dump(), b.dump());
+  EXPECT_EQ(a, b);
+}
+
+TEST(JsonValue, PrettyAndCompactParseToTheSameValue) {
+  json::Value v = json::Value::object();
+  v.set("list", json::Value(json::Value::Array{json::Value(1), json::Value(2)}));
+  v.set("s", json::Value("hi"));
+  EXPECT_EQ(json::Value::parse(v.dump(2)), json::Value::parse(v.dump()));
+}
+
+TEST(JsonValue, StringEscapesRoundTrip) {
+  json::Value v = json::Value(std::string("quote\" backslash\\ newline\n "
+                                          "tab\t control\x01 end"));
+  EXPECT_EQ(json::Value::parse(v.dump()), v);
+}
+
+TEST(JsonValue, ParsesUnicodeEscapes) {
+  const json::Value v = json::Value::parse(R"("Aé")");
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9");  // "Aé" in UTF-8
+}
+
+TEST(JsonValue, NumbersRoundTripExactly) {
+  const json::Value v = json::Value::parse("[0.1,1e-9,123456789012345,2.5e8]");
+  EXPECT_EQ(json::Value::parse(v.dump()), v);
+}
+
+TEST(JsonValue, AsIntRejectsNonIntegralNumbers) {
+  EXPECT_EQ(json::Value(7.0).as_int(), 7);
+  EXPECT_THROW((void)json::Value(7.5).as_int(), std::runtime_error);
+}
+
+TEST(JsonValue, TypeMismatchesThrow) {
+  const json::Value v = json::Value(1.0);
+  EXPECT_THROW((void)v.as_string(), std::runtime_error);
+  EXPECT_THROW((void)v.as_object(), std::runtime_error);
+  EXPECT_THROW((void)v.at("k"), std::runtime_error);
+}
+
+TEST(JsonValue, MissingKeyNamesTheKey) {
+  const json::Value v = json::Value::object();
+  try {
+    (void)v.at("needle");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("needle"), std::string::npos);
+  }
+}
+
+TEST(JsonValue, MalformedDocumentsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "[1 2]", "nan"}) {
+    EXPECT_THROW((void)json::Value::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(JsonValue, NonFiniteNumbersAreRejectedOnDump) {
+  EXPECT_THROW(
+      (void)json::Value(std::numeric_limits<double>::infinity()).dump(),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)json::Value(std::numeric_limits<double>::quiet_NaN()).dump(),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace stgsim
