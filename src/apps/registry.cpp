@@ -135,9 +135,12 @@ ir::Program build_app(const AppSpec& spec, int nprocs) {
       cfg.pattern = SamplePattern::kWavefront;
     } else if (pattern == "nn") {
       cfg.pattern = SamplePattern::kNearestNeighbor;
+    } else if (pattern == "anysource") {
+      cfg.pattern = SamplePattern::kAnySource;
     } else {
-      throw std::runtime_error("sample pattern must be nn or wavefront, got '" +
-                               pattern + "'");
+      throw std::runtime_error(
+          "sample pattern must be nn, wavefront or anysource, got '" +
+          pattern + "'");
     }
     cfg.iterations = num("iters");
     cfg.msg_doubles = num("msg-doubles");

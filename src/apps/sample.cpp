@@ -43,7 +43,12 @@ ir::KernelSpec work_kernel(const SampleConfig& config) {
 }  // namespace
 
 const char* sample_pattern_name(SamplePattern p) {
-  return p == SamplePattern::kWavefront ? "wavefront" : "nearest-neighbor";
+  switch (p) {
+    case SamplePattern::kWavefront: return "wavefront";
+    case SamplePattern::kNearestNeighbor: return "nearest-neighbor";
+    case SamplePattern::kAnySource: return "anysource";
+  }
+  return "?";
 }
 
 ir::Program make_sample(const SampleConfig& config) {
@@ -97,6 +102,23 @@ ir::Program make_sample(const SampleConfig& config) {
         });
         b.waitall("reqs");
         b.compute(work_kernel(config));
+        break;
+      case SamplePattern::kAnySource:
+        // Many-to-one gather with ANY_SOURCE matching: every non-root
+        // rank computes a *different* amount of work (more for lower
+        // ids) before sending to rank 0, so message readiness order is
+        // rank-dependent and the root's wildcard receives are genuine
+        // races for the scheduler to resolve.
+        b.if_then(sym::gt(myid, I(0)), [&] {
+          ir::KernelSpec k = work_kernel(config);
+          k.iters = Expr::var("WORK") * (P - myid);
+          b.compute(std::move(k));
+          b.send("buf", I(0), msg, I(0), 7);
+        });
+        b.if_then(sym::eq(myid, I(0)), [&] {
+          b.for_loop("k", I(1), P - 1,
+                     [&](Expr) { b.recv("buf", I(-1), msg, I(0), 7); });
+        });
         break;
     }
   });

@@ -3,6 +3,12 @@
 // granularity and the communication pattern. Two patterns, as in the
 // paper's Origin 2000 study: a wavefront pipeline and a nearest-neighbour
 // exchange; the computation:communication ratio is a direct knob.
+//
+// A third pattern, "anysource", is a many-to-one gather into rank 0 via
+// MPI_ANY_SOURCE receives with per-sender staggered compute, so which
+// sender's message is matched first genuinely depends on schedule. It is
+// the canonical workload for `stgsim check` (the wildcard safety bound is
+// exactly what makes its digest schedule-invariant).
 #pragma once
 
 #include <cstdint>
@@ -14,7 +20,7 @@
 
 namespace stgsim::apps {
 
-enum class SamplePattern { kWavefront, kNearestNeighbor };
+enum class SamplePattern { kWavefront, kNearestNeighbor, kAnySource };
 
 const char* sample_pattern_name(SamplePattern p);
 

@@ -11,6 +11,28 @@ namespace stgsim::campaign {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// Entry checksum: FNV-1a over the payload's canonical compact dump, as
+/// 16 hex digits. Canonical dumps are byte-stable, so the checksum is a
+/// pure function of the payload's meaning.
+std::string payload_checksum(const json::Value& payload) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char ch : payload.dump()) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  static const char* const digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
@@ -34,10 +56,22 @@ std::optional<json::Value> ResultCache::load(const std::string& key_hex) const {
   if (!in) return std::nullopt;
   std::ostringstream buf;
   buf << in.rdbuf();
+  // Corrupt entry == miss at every stage; the run simply re-executes.
   try {
-    return json::Value::parse(buf.str());
+    json::Value entry = json::Value::parse(buf.str());
+    if (!entry.is_object()) return std::nullopt;
+    const json::Value* checksum = entry.find("checksum");
+    const json::Value* payload = entry.find("payload");
+    if (checksum == nullptr || payload == nullptr ||
+        !checksum->is_string()) {
+      return std::nullopt;  // pre-envelope or damaged entry
+    }
+    if (checksum->as_string() != payload_checksum(*payload)) {
+      return std::nullopt;  // torn/bit-flipped but still-parseable entry
+    }
+    return *payload;
   } catch (const std::exception&) {
-    return std::nullopt;  // corrupt entry == miss; the run simply re-executes
+    return std::nullopt;
   }
 }
 
@@ -54,7 +88,10 @@ void ResultCache::store(const std::string& key_hex,
     if (!out) {
       throw std::runtime_error("cannot write cache entry '" + tmp_path + "'");
     }
-    out << doc.dump(2) << '\n';
+    json::Value entry = json::Value::object();
+    entry.set("checksum", payload_checksum(doc));
+    entry.set("payload", doc);
+    out << entry.dump(2) << '\n';
     out.flush();
     if (!out) {
       throw std::runtime_error("short write to cache entry '" + tmp_path +

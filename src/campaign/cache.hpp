@@ -9,7 +9,13 @@
 // cached, whatever didn't is re-run.
 //
 // Entries are written atomically (temp file + rename) so a killed process
-// never leaves a half-written entry that a resume would trust.
+// never leaves a half-written entry that a resume would trust. On top of
+// that, every entry embeds an FNV-1a checksum of its payload: torn or
+// bit-flipped files that still parse as JSON (truncation inside a number,
+// a flipped digit) fail verification and read as misses instead of
+// poisoning report.json. Entries from before the checksum envelope read
+// as misses too — re-running a simulation is always safe; trusting
+// damaged bytes is not.
 #pragma once
 
 #include <optional>
@@ -26,8 +32,9 @@ class ResultCache {
 
   const std::string& dir() const { return dir_; }
 
-  /// The stored document for `key_hex`, or nullopt. A corrupt entry
-  /// (unparseable JSON — e.g. a damaged disk) is treated as a miss.
+  /// The stored payload for `key_hex`, or nullopt. A corrupt entry —
+  /// unparseable JSON, a missing/invalid checksum envelope, or a payload
+  /// that fails its checksum — is treated as a miss, never an error.
   std::optional<json::Value> load(const std::string& key_hex) const;
 
   /// Atomically stores `doc` under `key_hex`, overwriting any previous

@@ -82,7 +82,16 @@ bool Args::flag(const std::string& key) {
   auto it = values_.find(key);
   if (it == values_.end()) return false;
   seen_[key] = true;
-  return true;
+  // A bare "--key" means true; an explicit value must be a recognized
+  // boolean. Anything else used to silently read as true ("--digest=no"
+  // enabled digests) — now it is a structured error.
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::runtime_error("flag --" + key + ": expected a boolean, got '" +
+                           v + "'");
 }
 
 const std::string& Args::positional(std::size_t i,

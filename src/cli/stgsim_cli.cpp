@@ -19,8 +19,18 @@
 //                   [--machine M] [--seed S] [--save-params f] [--json]
 //   stgsim campaign <scenario.json> [--jobs N] [--cache-dir D] [--out-dir D]
 //                   [--retry-failed] [--no-metrics] [--print-report]
+//   stgsim check    --app <name> [--<option> v ...] [--procs P (<= 8)]
+//                   [--mode de|am] [--machine M] [--seed S] [--fault SPEC]
+//                   [--max-schedules N] [--max-depth N] [--max-host-sec T]
+//                   [--workers N] [--trials N] [--drain-seed S]
+//                   [--no-dpor] [--keep-going] [--inject unsafe-wildcard]
+//                   [--counterexample-out f.json]
+//   stgsim check    --replay f.json [--trace-out f] [--metrics-out f]
+//                   [--comm-matrix-out f] [--divergence-out f]
 //
-// Flags take either "--key value" or "--key=value" form.
+// Flags take either "--key value" or "--key=value" form. Boolean flags
+// accept --key, --key=true/1/yes/on and --key=false/0/no/off; any other
+// value is an error (it used to silently read as true).
 //
 // `run` executes one simulation. Its configuration is the RunSpec JSON
 // schema (harness/config_json.hpp): start from --config if given, then
@@ -58,12 +68,26 @@
 // the clause syntax); the --max-* flags bound pathological runs, which then
 // exit with a structured outcome instead of hanging.
 //
+// `check` is the exhaustive-interleaving protocol gate (src/mc,
+// DESIGN.md §13): it explores every message-delivery/match ordering of a
+// small run (DFS with sleep-set DPOR reduction; --no-dpor disables the
+// reduction) and asserts that all schedules commit the sequential
+// scheduler's digest and that deadlocks, if any, are deterministic. A
+// threaded cross-check then perturbs mailbox drain order under --workers
+// N (default 2; 0 skips) for --trials seeded permutations. Divergences
+// serialize to --counterexample-out; `check --replay file` re-runs that
+// one schedule deterministically, with the observability flags available
+// and --divergence-out writing a canonical-vs-observed field dump.
+// --inject unsafe-wildcard plants the pre-PR-3 wildcard commit race
+// behind a test-only flag, for exercising the gate itself.
+//
 // Legacy spellings are kept as deprecated aliases: "stgsim --app ..."
 // (no subcommand) runs `run`; --threads means --workers; --calib means
 // --calibrate; machine "sp" means "ibm_sp".
 //
 // Exit codes: 0 ok, 2 out_of_memory, 3 deadlock, 4 budget_exceeded,
-// 5 internal_error (1 = usage/configuration errors).
+// 5 internal_error, 6 protocol divergence (`check`)
+// (1 = usage/configuration errors).
 //
 // Examples:
 //   stgsim run --app tomcatv --n 1024 --procs 64 --mode am
@@ -94,6 +118,9 @@
 #include "harness/digest.hpp"
 #include "harness/machines.hpp"
 #include "harness/runner.hpp"
+#include "mc/checker.hpp"
+#include "mc/oracles.hpp"
+#include "mc/schedule.hpp"
 #include "obs/obs.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
@@ -287,9 +314,18 @@ int cmd_compile(Args& args) {
 
 int cmd_run(Args& args) {
   args.no_positionals();
+  const bool partition_given = args.has("partition");
   json::Value doc = spec_doc_from_args(args);
   if (!doc.has("app")) throw std::runtime_error("run needs --app");
   harness::RunSpec spec = harness::run_spec_from_json(doc);
+  if (partition_given && spec.config.threads < 2) {
+    // Used to be silently ignored: partitioning only exists under the
+    // threaded scheduler, so accepting it on a sequential run hides the
+    // typo'd/missing --workers the user meant to pass.
+    throw std::runtime_error(
+        "--partition requires --workers >= 2 (sequential runs have no "
+        "rank partitions)");
+  }
 
   if (args.flag("print-config")) {
     args.check_all_consumed();
@@ -509,9 +545,289 @@ int cmd_campaign(Args& args) {
   return 0;
 }
 
+/// Builds the executable program for a fully-resolved spec: the app
+/// itself under de, the compiler-simplified program (with inline w_i
+/// params) under am.
+ir::Program program_for_spec(const harness::RunSpec& resolved) {
+  ir::Program prog =
+      apps::build_app(app_spec_of(resolved), resolved.config.nprocs);
+  if (resolved.config.mode == harness::Mode::kAnalytical) {
+    core::CompileResult compiled = core::compile(prog);
+    return std::move(compiled.simplified.program);
+  }
+  return prog;
+}
+
+int run_check_replay(Args& args, const std::string& path) {
+  json::Value doc = json::Value::parse(read_file(path));
+  if (!doc.has("kind") || doc.at("kind").as_string() != "stgsim-schedule") {
+    throw std::runtime_error("'" + path +
+                             "' is not a stgsim counterexample file");
+  }
+  if (!doc.has("spec")) {
+    throw std::runtime_error(
+        "counterexample has no embedded run spec; cannot replay");
+  }
+  harness::RunSpec spec = harness::run_spec_from_json(doc.at("spec"));
+  const std::string canonical_digest =
+      doc.at("canonical").at("digest").as_string();
+  const std::string recorded_digest =
+      doc.at("observed").at("digest").as_string();
+
+  harness::RunConfig cfg = spec.config;
+  cfg.threads = 0;
+  cfg.record_host_trace = false;
+  cfg.max_host_seconds = 0.0;
+  if (const json::Value* inj = doc.find("inject")) {
+    if (inj->as_string() == "unsafe-wildcard") {
+      cfg.unsafe_wildcard_commit = true;
+    } else {
+      throw std::runtime_error("unknown inject '" + inj->as_string() + "'");
+    }
+  }
+
+  // Full observability is the point of replay: attach a recorder when any
+  // output was requested (never changes simulated results).
+  const std::string trace_out = args.str("trace-out", "");
+  const std::string metrics_out = args.str("metrics-out", "");
+  const std::string matrix_out = args.str("comm-matrix-out", "");
+  const std::string div_out = args.str("divergence-out", "");
+  std::unique_ptr<obs::Recorder> recorder;
+  if (!trace_out.empty() || !metrics_out.empty() || !matrix_out.empty()) {
+    obs::Options oopts;
+    oopts.trace = !trace_out.empty();
+    oopts.comm_matrix = !matrix_out.empty();
+    recorder = std::make_unique<obs::Recorder>(oopts, cfg.nprocs);
+    cfg.obs = recorder.get();
+  }
+  args.check_all_consumed();
+
+  ir::Program prog = program_for_spec(spec);
+
+  std::unique_ptr<simk::ScheduleOracle> oracle;
+  if (const json::Value* steps = doc.find("steps")) {
+    oracle =
+        std::make_unique<mc::ReplayOracle>(mc::schedule_from_json(*steps));
+  } else {
+    // Threaded drain-permutation counterexample: re-run the exact trial.
+    cfg.threads = static_cast<int>(doc.at("workers").as_int());
+    oracle = std::make_unique<mc::DrainPermuteOracle>(
+        static_cast<std::uint64_t>(doc.at("drain_seed").as_number()),
+        cfg.threads);
+  }
+  cfg.oracle = oracle.get();
+
+  harness::RunOutcome out = harness::run_program(prog, cfg);
+  const std::string replayed_digest = harness::run_digest_hex(out);
+
+  TablePrinter t({"quantity", "value"});
+  t.add_row({"counterexample", path});
+  t.add_row({"divergence kind", doc.at("divergence").as_string()});
+  t.add_row({"canonical digest", canonical_digest});
+  t.add_row({"recorded divergent digest", recorded_digest});
+  t.add_row({"replayed digest", replayed_digest});
+  t.add_row({"replayed outcome", harness::run_status_name(out.status)});
+  if (!out.diagnostic.empty()) t.add_row({"diagnostic", out.diagnostic});
+  t.add_row({"reproduced",
+             replayed_digest == canonical_digest ? "no (matches canonical)"
+                                                 : "yes"});
+  std::cout << t.to_ascii();
+
+  if (recorder != nullptr) {
+    auto open_out = [](const std::string& p) {
+      std::ofstream os(p);
+      if (!os) throw std::runtime_error("cannot write " + p);
+      return os;
+    };
+    if (!trace_out.empty()) {
+      auto os = open_out(trace_out);
+      recorder->write_chrome_trace(os);
+      std::cerr << "wrote " << trace_out << '\n';
+    }
+    if (!metrics_out.empty()) {
+      auto os = open_out(metrics_out);
+      obs::Recorder::write_metrics_json(os, recorder->snapshot());
+      std::cerr << "wrote " << metrics_out << '\n';
+    }
+    if (!matrix_out.empty()) {
+      auto os = open_out(matrix_out);
+      obs::Recorder::write_comm_matrix_json(os, recorder->snapshot());
+      std::cerr << "wrote " << matrix_out << '\n';
+    }
+  }
+  if (!div_out.empty()) {
+    std::ofstream os(div_out);
+    if (!os) throw std::runtime_error("cannot write " + div_out);
+    std::vector<std::pair<std::string, std::string>> canon_fields = {
+        {"digest", canonical_digest},
+        {"status", doc.at("canonical").at("status").as_string()},
+    };
+    std::vector<std::pair<std::string, std::string>> obs_fields = {
+        {"digest", replayed_digest},
+        {"status", harness::run_status_name(out.status)},
+        {"predicted_vtime", vtime_to_string(out.predicted_time)},
+    };
+    for (std::size_t r = 0; r < out.per_rank.size(); ++r) {
+      obs_fields.emplace_back("rank" + std::to_string(r) + "_clock",
+                              std::to_string(out.per_rank[r]));
+    }
+    obs::Recorder::write_divergence_json(
+        os, doc.at("description").as_string(), canon_fields, obs_fields);
+    std::cerr << "wrote " << div_out << '\n';
+  }
+  return replayed_digest == canonical_digest ? 0 : 6;
+}
+
+int cmd_check(Args& args) {
+  args.no_positionals();
+  const std::string replay_path = args.str("replay", "");
+  if (!replay_path.empty()) return run_check_replay(args, replay_path);
+
+  const bool workers_given = args.has("workers") || args.has("threads");
+  json::Value doc = spec_doc_from_args(args);
+  if (!doc.has("app")) throw std::runtime_error("check needs --app");
+
+  mc::CheckOptions copts;
+  copts.max_schedules =
+      static_cast<std::uint64_t>(args.num("max-schedules", 256));
+  copts.max_depth = static_cast<std::size_t>(args.num("max-depth", 0));
+  copts.use_dpor = !args.flag("no-dpor");
+  copts.keep_going = args.flag("keep-going");
+  copts.threaded_trials = static_cast<int>(args.num("trials", 4));
+  copts.drain_seed = static_cast<std::uint64_t>(args.num("drain-seed", 1));
+  const std::string inject = args.str("inject", "");
+  const std::string cex_out = args.str("counterexample-out", "");
+  args.check_all_consumed();
+
+  harness::RunSpec spec = harness::run_spec_from_json(doc);
+  if (spec.config.mode == harness::Mode::kMeasured) {
+    throw std::runtime_error(
+        "check requires --mode de or am: measured mode's seeded noise is "
+        "order-dependent by design, so digest invariance cannot hold");
+  }
+  if (spec.config.nprocs > 8) {
+    throw std::runtime_error(
+        "check explores schedules exhaustively and supports at most 8 "
+        "ranks (got " +
+        std::to_string(spec.config.nprocs) + ")");
+  }
+  if (workers_given) {
+    copts.threaded_workers = spec.config.threads;
+    if (copts.threaded_workers == 1) {
+      throw std::runtime_error(
+          "--workers for check must be 0 (skip the threaded cross-check) "
+          "or >= 2");
+    }
+  }
+  // --max-host-sec bounds the *whole exploration* here (a per-run wall
+  // budget would fire schedule-nondeterministically).
+  if (spec.config.max_host_seconds > 0.0) {
+    copts.max_host_seconds = spec.config.max_host_seconds;
+  }
+  if (!inject.empty() && inject != "unsafe-wildcard") {
+    throw std::runtime_error("unknown --inject '" + inject +
+                             "' (expected unsafe-wildcard)");
+  }
+
+  // Resolve w_i parameters for analytical-model checks.
+  harness::RunSpec resolved = spec;
+  if (spec.config.mode == harness::Mode::kAnalytical &&
+      spec.config.params.empty()) {
+    if (spec.calibrate_procs <= 0) spec.calibrate_procs = spec.config.nprocs;
+    std::cerr << "calibrating w_i at " << spec.calibrate_procs
+              << " processes...\n";
+    const std::map<std::string, double> calib =
+        campaign::run_calibration(spec);
+    resolved = campaign::resolve_spec(spec, &calib);
+  }
+
+  copts.base = resolved.config;
+  copts.base.unsafe_wildcard_commit = (inject == "unsafe-wildcard");
+  ir::Program prog = program_for_spec(resolved);
+
+  mc::CheckReport rep = mc::check_program(prog, copts);
+  if (!rep.error.empty()) {
+    std::cout << "CHECK ERROR: " << rep.error << '\n';
+    return 5;
+  }
+
+  TablePrinter t({"quantity", "value"});
+  t.add_row({"app", resolved.app});
+  t.add_row({"mode", harness::mode_key(resolved.config.mode)});
+  t.add_row({"target processes", TablePrinter::fmt_int(resolved.config.nprocs)});
+  t.add_row({"canonical outcome",
+             harness::run_status_name(rep.canonical.status)});
+  t.add_row({"canonical digest", rep.canonical_digest});
+  t.add_row({"wildcard receives", rep.used_wildcard_recv ? "yes" : "no"});
+  t.add_row({"schedules explored",
+             TablePrinter::fmt_int(static_cast<long long>(rep.stats.schedules))});
+  t.add_row({"prefixes pruned (sleep sets)",
+             TablePrinter::fmt_int(static_cast<long long>(rep.stats.pruned))});
+  if (rep.stats.depth_clipped > 0) {
+    t.add_row({"runs clipped by --max-depth",
+               TablePrinter::fmt_int(
+                   static_cast<long long>(rep.stats.depth_clipped))});
+  }
+  t.add_row({"deepest schedule (choice points)",
+             TablePrinter::fmt_int(
+                 static_cast<long long>(rep.stats.max_depth_seen))});
+  t.add_row({"distinct schedule digests",
+             TablePrinter::fmt_int(
+                 static_cast<long long>(rep.distinct_schedule_digests))});
+  t.add_row({"exploration",
+             rep.stats.complete ? std::string("complete")
+                                : (rep.stats.budget_reason.empty()
+                                       ? std::string("stopped")
+                                       : rep.stats.budget_reason)});
+  if (copts.threaded_workers >= 2) {
+    t.add_row({"threaded cross-check trials",
+               TablePrinter::fmt_int(rep.threaded_trials_run) + " (workers=" +
+                   std::to_string(copts.threaded_workers) + ")"});
+  }
+  t.add_row({"divergences",
+             TablePrinter::fmt_int(
+                 static_cast<long long>(rep.divergences.size()))});
+  std::cout << t.to_ascii();
+
+  if (rep.divergences.empty()) {
+    std::cout << "PROTOCOL GATE PASSED: all explored schedules commit "
+                 "digest "
+              << rep.canonical_digest << '\n';
+    return 0;
+  }
+
+  for (std::size_t i = 0; i < rep.divergences.size(); ++i) {
+    const mc::Divergence& d = rep.divergences[i];
+    std::cout << "DIVERGENCE " << (i + 1) << " ["
+              << mc::divergence_kind_name(d.kind) << "]: " << d.description
+              << '\n';
+    if (!d.schedule.empty()) {
+      std::cout << "  schedule (" << d.schedule.size() << " steps):";
+      for (const auto& s : d.schedule) std::cout << ' ' << mc::option_label(s);
+      std::cout << '\n';
+    } else if (d.kind == mc::Divergence::Kind::kThreadedDigest) {
+      std::cout << "  threaded trial: workers=" << d.workers
+                << " drain_seed=" << d.drain_seed << '\n';
+    }
+  }
+  if (!cex_out.empty()) {
+    json::Value cex = mc::counterexample_to_json(
+        rep.divergences.front(), rep, harness::run_spec_to_json(resolved));
+    if (!inject.empty()) cex.set("inject", inject);
+    std::ofstream os(cex_out);
+    if (!os) throw std::runtime_error("cannot write " + cex_out);
+    os << cex.dump(2) << '\n';
+    std::cerr << "wrote " << cex_out << '\n';
+  }
+  std::cout << "PROTOCOL GATE FAILED: " << rep.divergences.size()
+            << " divergent schedule(s); replay with stgsim check --replay "
+            << (cex_out.empty() ? "<counterexample.json>" : cex_out) << '\n';
+  return 6;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: stgsim <list-apps|compile|run|calibrate|campaign> "
+    std::cerr << "usage: stgsim <list-apps|compile|run|calibrate|campaign|check> "
                  "[--flags]\n"
                  "see the header of src/cli/stgsim_cli.cpp for examples\n";
     return 1;
@@ -532,6 +848,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "calibrate") return cmd_calibrate(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "check") return cmd_check(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 1;
   } catch (const std::exception& e) {

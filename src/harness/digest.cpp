@@ -1,5 +1,8 @@
 #include "harness/digest.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 namespace stgsim::harness {
 
 namespace {
@@ -54,6 +57,96 @@ std::string run_digest_hex(const RunOutcome& outcome) {
     v >>= 4;
   }
   return out;
+}
+
+std::string describe_run_divergence(const RunOutcome& a, const RunOutcome& b) {
+  // Mirrors run_digest's field coverage: every comparison below is over a
+  // digest-covered quantity, so (digest(a) == digest(b)) iff this returns
+  // the empty string.
+  std::ostringstream os;
+  int reported = 0;
+  auto report = [&](const std::string& what, auto va, auto vb) {
+    if (reported > 0) os << "; ";
+    if (reported >= 8) return false;  // enough to act on
+    os << what << ": " << va << " vs " << vb;
+    ++reported;
+    return true;
+  };
+  if (a.status != b.status) {
+    report("status", run_status_name(a.status), run_status_name(b.status));
+  }
+  if (a.nprocs != b.nprocs) report("nprocs", a.nprocs, b.nprocs);
+  if (a.predicted_time != b.predicted_time) {
+    report("predicted completion vtime", a.predicted_time, b.predicted_time);
+  }
+  if (a.per_rank.size() != b.per_rank.size()) {
+    report("per-rank clock count", a.per_rank.size(), b.per_rank.size());
+  } else {
+    for (std::size_t r = 0; r < a.per_rank.size(); ++r) {
+      if (a.per_rank[r] != b.per_rank[r]) {
+        report("rank " + std::to_string(r) + " completion", a.per_rank[r],
+               b.per_rank[r]);
+      }
+    }
+  }
+  if (a.messages != b.messages) {
+    report("messages delivered", a.messages, b.messages);
+  }
+  if (a.per_rank_stats.size() != b.per_rank_stats.size()) {
+    report("per-rank stats count", a.per_rank_stats.size(),
+           b.per_rank_stats.size());
+  } else {
+    for (std::size_t r = 0; r < a.per_rank_stats.size(); ++r) {
+      const auto& sa = a.per_rank_stats[r];
+      const auto& sb = b.per_rank_stats[r];
+      const std::string p = "rank " + std::to_string(r) + " ";
+      if (sa.compute_time != sb.compute_time) {
+        report(p + "compute vtime", sa.compute_time, sb.compute_time);
+      }
+      if (sa.comm_time != sb.comm_time) {
+        report(p + "comm vtime", sa.comm_time, sb.comm_time);
+      }
+      if (sa.sends != sb.sends) report(p + "sends", sa.sends, sb.sends);
+      if (sa.recvs != sb.recvs) report(p + "recvs", sa.recvs, sb.recvs);
+      if (sa.collectives != sb.collectives) {
+        report(p + "collectives", sa.collectives, sb.collectives);
+      }
+      if (sa.delays != sb.delays) report(p + "delays", sa.delays, sb.delays);
+      if (sa.bytes_sent != sb.bytes_sent) {
+        report(p + "bytes sent", sa.bytes_sent, sb.bytes_sent);
+      }
+    }
+  }
+  std::string msg = os.str();
+  if (msg.empty() && run_digest(a) != run_digest(b)) {
+    msg = "digests differ but no covered field does (digest bug?)";
+  }
+  return msg;
+}
+
+std::uint64_t deadlock_report_key(
+    const std::vector<simk::DeadlockError::BlockedRank>& blocked) {
+  // Sort a copy by rank so the key is insensitive to report ordering
+  // (worker-grouped in threaded runs, rank-ordered in sequential ones).
+  std::vector<const simk::DeadlockError::BlockedRank*> sorted;
+  sorted.reserve(blocked.size());
+  for (const auto& b : blocked) sorted.push_back(&b);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* x, const auto* y) { return x->rank < y->rank; });
+  Fnv f;
+  f.mix(static_cast<std::uint64_t>(sorted.size()));
+  for (const auto* b : sorted) {
+    f.mix_signed(b->rank);
+    f.mix_signed(b->clock);
+    f.mix_signed(b->waiting_src);
+    f.mix_signed(b->waiting_tag);
+    f.mix(static_cast<std::uint64_t>(b->waiting_what.size()));
+    for (char c : b->waiting_what) {
+      f.mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+    // home_worker deliberately excluded: host placement, not protocol.
+  }
+  return f.value();
 }
 
 }  // namespace stgsim::harness

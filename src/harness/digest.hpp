@@ -23,4 +23,20 @@ std::uint64_t run_digest(const RunOutcome& outcome);
 /// run_digest rendered as 16 lowercase hex digits.
 std::string run_digest_hex(const RunOutcome& outcome);
 
+/// Human-readable account of why two outcomes digest differently: names
+/// the first few differing digest-covered fields ("rank 2 completion:
+/// 10400 vs 10700; rank 2 recvs: 6 vs 7"). Empty string when the digests
+/// agree. Used by the protocol checker to turn a bare digest mismatch
+/// into an actionable counterexample report.
+std::string describe_run_divergence(const RunOutcome& a, const RunOutcome& b);
+
+/// Fingerprint of a structured deadlock report: covers (rank, clock,
+/// waiting_src, waiting_tag, waiting_what) for every blocked rank,
+/// deliberately ignoring home_worker (a host-placement detail that varies
+/// with --workers but never with the schedule). Two deadlocks with equal
+/// keys blocked the same ranks at the same virtual times on the same
+/// operations.
+std::uint64_t deadlock_report_key(
+    const std::vector<simk::DeadlockError::BlockedRank>& blocked);
+
 }  // namespace stgsim::harness

@@ -80,6 +80,8 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
   ec.max_messages = config.max_messages;
   ec.max_host_seconds = config.max_host_seconds;
   ec.observer = config.obs;
+  ec.oracle = config.oracle;
+  ec.unsafe_wildcard_commit = config.unsafe_wildcard_commit;
   if (config.threads > 0) {
     ec.host_workers = config.threads;
     ec.use_threads = true;
@@ -185,6 +187,7 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
   } catch (const simk::DeadlockError& e) {
     out.status = RunStatus::kDeadlock;
     out.diagnostic = e.what();
+    out.blocked_ranks = e.blocked();
   } catch (const simk::BudgetExceededError& e) {
     out.status = RunStatus::kBudgetExceeded;
     out.diagnostic = std::string(simk::budget_kind_name(e.kind())) +
@@ -201,6 +204,7 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
     out.status = RunStatus::kInternalError;
     out.diagnostic = e.what();
   }
+  out.used_wildcard_recv = engine.saw_wildcard_recv();
   return out;
 }
 

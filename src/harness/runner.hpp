@@ -98,6 +98,19 @@ struct RunConfig {
   /// RunOutcome::metrics is filled from it. Never changes simulated
   /// results: digests with and without a recorder are bit-identical.
   obs::Recorder* obs = nullptr;
+
+  /// Schedule oracle for model-checking runs (not owned; must outlive the
+  /// run). Under the sequential scheduler it switches the engine to MC
+  /// mode (explicit delivery steps, forced wildcard parking); under the
+  /// threaded scheduler it only perturbs mailbox drain order. See
+  /// simk::ScheduleOracle.
+  simk::ScheduleOracle* oracle = nullptr;
+
+  /// Test-only fault injection: commit wildcard receives on sight,
+  /// bypassing the conservative safety bound — reintroduces the wildcard
+  /// race the bound exists to prevent, so `stgsim check` has a known bug
+  /// to find. Never set outside tests/CI.
+  bool unsafe_wildcard_commit = false;
 };
 
 /// How a run ended. Every run — including pathological target programs and
@@ -142,6 +155,15 @@ struct RunOutcome {
   /// Aggregated observability metrics; empty unless RunConfig::obs was
   /// set. Includes engine pool/arena occupancy appended by the harness.
   obs::MetricsSnapshot metrics;
+
+  /// Structured per-rank blocking report when status == kDeadlock (the
+  /// same data the diagnostic renders as text). Sorted by rank.
+  std::vector<simk::DeadlockError::BlockedRank> blocked_ranks;
+
+  /// True when any rank executed a wildcard (ANY_SOURCE/waitany) receive.
+  /// The protocol checker uses this to pick the right independence
+  /// relation for DPOR reduction.
+  bool used_wildcard_recv = false;
 };
 
 /// Executes `prog` under `config`. Never throws for conditions arising in

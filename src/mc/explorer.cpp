@@ -1,0 +1,133 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "mc/schedule.hpp"
+#include "support/check.hpp"
+
+namespace stgsim::mc {
+
+using simk::ChoiceOption;
+
+namespace {
+
+double steady_now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool contains(const std::vector<ChoiceOption>& set, const ChoiceOption& o) {
+  return std::find(set.begin(), set.end(), o) != set.end();
+}
+
+/// One node on the DFS path: the choice point's enabled set, the sleep
+/// set it was entered with, the choices already fully explored here, and
+/// the choice the current path takes.
+struct Frame {
+  std::vector<ChoiceOption> options;
+  std::vector<ChoiceOption> sleep;
+  std::vector<ChoiceOption> done;
+  ChoiceOption chosen;
+};
+
+}  // namespace
+
+ExploreStats explore(const RunScheduleFn& run, const ExploreOptions& opts) {
+  IndependenceFn indep = opts.indep;
+  if (!opts.use_dpor || !indep) {
+    indep = [](const ChoiceOption&, const ChoiceOption&) { return false; };
+  }
+
+  ExploreStats stats;
+  std::vector<Frame> path;
+  std::vector<ChoiceOption> prefix;
+  std::vector<ChoiceOption> start_sleep;
+  const double deadline =
+      opts.max_host_seconds > 0.0 ? steady_now_sec() + opts.max_host_seconds
+                                  : 0.0;
+
+  for (;;) {
+    RecordingOracle oracle(prefix, start_sleep, indep, opts.max_depth);
+    const bool keep_going = run(oracle);
+    const std::vector<StepLog>& log = oracle.log();
+
+    // Determinism gate: the replayed part of the run must present exactly
+    // the option sets recorded when the path was first walked.
+    STGSIM_CHECK_GE(log.size(), path.size())
+        << "run ended before finishing its recorded prefix";
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      STGSIM_CHECK(log[i].options == path[i].options)
+          << "engine produced a different enabled set at step " << i
+          << " when replaying a recorded prefix";
+    }
+    // Extend the path with the fresh choice points this run discovered.
+    for (std::size_t i = path.size(); i < log.size(); ++i) {
+      path.push_back(Frame{log[i].options, log[i].sleep, {}, log[i].chosen});
+    }
+
+    if (oracle.depth_clipped()) {
+      ++stats.depth_clipped;
+    } else if (oracle.abandoned()) {
+      ++stats.pruned;
+    } else {
+      ++stats.schedules;
+    }
+    stats.max_depth_seen = std::max(stats.max_depth_seen, log.size());
+
+    if (!keep_going) {
+      stats.budget_reason = "stopped by caller";
+      return stats;
+    }
+    if (opts.max_schedules != 0 && stats.schedules >= opts.max_schedules) {
+      stats.budget_reason = "max-schedules budget reached";
+      return stats;
+    }
+    if (deadline != 0.0 && steady_now_sec() >= deadline) {
+      stats.budget_reason = "wall-clock budget reached";
+      return stats;
+    }
+
+    // Backtrack: retire the current choice at the deepest frame and pick
+    // the next unexplored, not-asleep sibling; pop frames with none left.
+    bool descended = false;
+    while (!path.empty()) {
+      Frame& f = path.back();
+      f.done.push_back(f.chosen);
+      const ChoiceOption* next = nullptr;
+      for (const ChoiceOption& o : f.options) {
+        if (!contains(f.done, o) && !contains(f.sleep, o)) {
+          next = &o;
+          break;
+        }
+      }
+      if (next != nullptr) {
+        f.chosen = *next;
+        prefix.clear();
+        for (const Frame& fr : path) prefix.push_back(fr.chosen);
+        // Child sleep set: everything asleep here or already explored
+        // here survives into the sibling iff it commutes with the new
+        // choice (it is then still covered by the earlier schedules).
+        start_sleep.clear();
+        for (const ChoiceOption& u : f.sleep) {
+          if (indep(u, f.chosen)) start_sleep.push_back(u);
+        }
+        for (const ChoiceOption& u : f.done) {
+          if (!(u == f.chosen) && indep(u, f.chosen)) {
+            start_sleep.push_back(u);
+          }
+        }
+        descended = true;
+        break;
+      }
+      path.pop_back();
+    }
+    if (!descended) {
+      stats.complete = true;
+      return stats;
+    }
+  }
+}
+
+}  // namespace stgsim::mc

@@ -1,0 +1,56 @@
+// Stateless DFS schedule exploration with sleep-set reduction.
+//
+// The explorer owns no engine state: every schedule is a fresh run of the
+// target program under a RecordingOracle that replays the DFS path prefix
+// by label and then continues greedily. Between runs the explorer keeps
+// only the path stack — enabled options, sleep set, and the set of
+// already-explored choices per depth — which is what makes exploration
+// memory-bounded in the depth of the run, not the size of the state space.
+//
+// Reduction is sleep sets over mc::make_independence (DPOR's commutativity
+// relation on (sender,receiver,tag)): a choice moved to sleep after being
+// explored at a node is provably covered by the schedules already run, so
+// any fresh run finding all options asleep is pruned without executing to
+// completion. Sleep sets preserve every Mazurkiewicz trace, hence every
+// terminal state and every deadlock — the two invariants the checker
+// gates on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mc/oracles.hpp"
+
+namespace stgsim::mc {
+
+struct ExploreOptions {
+  std::uint64_t max_schedules = 0;  ///< 0 = unlimited
+  std::size_t max_depth = 0;        ///< choice points per run; 0 = unlimited
+  double max_host_seconds = 0.0;    ///< whole-exploration wall budget; 0 = ∞
+  bool use_dpor = true;  ///< false: empty independence → plain DFS
+  IndependenceFn indep;  ///< required when use_dpor (make_independence)
+};
+
+struct ExploreStats {
+  std::uint64_t schedules = 0;      ///< complete runs executed
+  std::uint64_t pruned = 0;         ///< sleep-set-abandoned prefixes
+  std::uint64_t depth_clipped = 0;  ///< runs cut by max_depth
+  std::size_t max_depth_seen = 0;   ///< longest schedule, in choice points
+  bool complete = false;  ///< DFS exhausted the schedule space
+  std::string budget_reason;  ///< why exploration stopped early, if it did
+};
+
+/// Executes the target program once under `oracle`; returns false to stop
+/// exploration (e.g. first divergence with --keep-going off). The callee
+/// must install the oracle in its RunConfig and must let ScheduleAbandoned
+/// and DepthExceeded propagate back out of harness::run_program (they do
+/// not derive from std::exception precisely so they can).
+using RunScheduleFn = std::function<bool(RecordingOracle& oracle)>;
+
+/// Runs the DFS. `run` is invoked once per schedule (or pruned prefix);
+/// exploration ends when the space is exhausted, a budget fires, or `run`
+/// returns false.
+ExploreStats explore(const RunScheduleFn& run, const ExploreOptions& opts);
+
+}  // namespace stgsim::mc

@@ -1,0 +1,148 @@
+#include "mc/oracles.hpp"
+
+#include <algorithm>
+
+#include "mc/schedule.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace stgsim::mc {
+
+using simk::ChoiceOption;
+
+namespace {
+
+bool contains(const std::vector<ChoiceOption>& set, const ChoiceOption& o) {
+  return std::find(set.begin(), set.end(), o) != set.end();
+}
+
+}  // namespace
+
+IndependenceFn make_independence(bool program_has_wildcards) {
+  return [program_has_wildcards](const ChoiceOption& a,
+                                 const ChoiceOption& b) {
+    using K = ChoiceOption::Kind;
+    if (a.kind == K::kWildcard || b.kind == K::kWildcard) return false;
+    if (a.kind == K::kResume && b.kind == K::kResume) {
+      return a.rank != b.rank;
+    }
+    if (a.kind == K::kDeliver && b.kind == K::kDeliver) {
+      if (a.dst != b.dst) return true;
+      return a.src != b.src && !program_has_wildcards;
+    }
+    // One resume, one deliver: a delivery only mutates the destination
+    // rank's inbox/wake state, and a resume of the *sender* pushes to the
+    // lane tail while delivery pops its head — FIFO, so they commute.
+    const ChoiceOption& r = (a.kind == K::kResume) ? a : b;
+    const ChoiceOption& d = (a.kind == K::kResume) ? b : a;
+    return r.rank != d.dst;
+  };
+}
+
+RecordingOracle::RecordingOracle(std::vector<ChoiceOption> prefix,
+                                 std::vector<ChoiceOption> start_sleep,
+                                 IndependenceFn indep, std::size_t max_depth)
+    : prefix_(std::move(prefix)),
+      sleep_(std::move(start_sleep)),
+      indep_(std::move(indep)),
+      max_depth_(max_depth) {}
+
+std::size_t RecordingOracle::choose(const std::vector<ChoiceOption>& options) {
+  STGSIM_CHECK(!options.empty());
+  if (max_depth_ != 0 && step_ >= max_depth_) {
+    depth_clipped_ = true;
+    throw DepthExceeded{};
+  }
+
+  std::size_t pick = options.size();
+  std::vector<ChoiceOption> sleep_at_entry;
+  if (step_ < prefix_.size()) {
+    // Replay: match the recorded label. A miss means the engine is not
+    // deterministic up to the controlled choices — a checker-invariant
+    // violation in its own right, reported loudly.
+    const ChoiceOption& want = prefix_[step_];
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      if (options[i] == want) {
+        pick = i;
+        break;
+      }
+    }
+    STGSIM_CHECK_LT(pick, options.size())
+        << "schedule replay diverged at step " << step_ << ": recorded "
+        << option_label(want) << " is not enabled (engine nondeterminism "
+        << "outside the controlled choice points?)";
+  } else {
+    // Fresh territory: first enabled option not in the sleep set.
+    sleep_at_entry = sleep_;
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      if (!contains(sleep_, options[i])) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == options.size()) {
+      // Every continuation from here is covered by an already-explored
+      // schedule; abandon the run.
+      abandoned_ = true;
+      throw ScheduleAbandoned{};
+    }
+    // Sleep-set propagation: only entries independent of the chosen step
+    // stay asleep in the successor state.
+    const ChoiceOption chosen = options[pick];
+    sleep_.erase(std::remove_if(sleep_.begin(), sleep_.end(),
+                                [&](const ChoiceOption& u) {
+                                  return !indep_(u, chosen);
+                                }),
+                 sleep_.end());
+  }
+
+  log_.push_back(StepLog{options, std::move(sleep_at_entry), options[pick]});
+  ++step_;
+  return pick;
+}
+
+std::size_t ReplayOracle::choose(const std::vector<ChoiceOption>& options) {
+  STGSIM_CHECK_LT(step_, schedule_.size())
+      << "replay schedule exhausted after " << schedule_.size()
+      << " steps but the engine asked for another choice";
+  const ChoiceOption& want = schedule_[step_];
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    if (options[i] == want) {
+      ++step_;
+      return i;
+    }
+  }
+  STGSIM_CHECK(false) << "replay diverged at step " << step_ << ": "
+                      << option_label(want) << " is not enabled";
+  return 0;  // unreachable
+}
+
+DrainPermuteOracle::DrainPermuteOracle(std::uint64_t seed, int workers)
+    : seed_(seed), counters_(static_cast<std::size_t>(workers), 0) {}
+
+std::size_t DrainPermuteOracle::choose(
+    const std::vector<ChoiceOption>& options) {
+  STGSIM_CHECK(false) << "DrainPermuteOracle drives only the threaded "
+                      << "scheduler; choose() must never be reached";
+  return options.size();  // unreachable
+}
+
+void DrainPermuteOracle::permute_drain_order(int worker,
+                                             std::vector<int>& from_workers) {
+  auto& counter = counters_.at(static_cast<std::size_t>(worker));
+  // Key the stream on (seed, worker, call counter) so every drain gets an
+  // independent deterministic permutation.
+  SplitMix64 key(seed_);
+  std::uint64_t k = key.next() ^
+                    (static_cast<std::uint64_t>(worker) * 0x9e3779b97f4a7c15ULL) ^
+                    (counter << 20);
+  ++counter;
+  SplitMix64 stream(k);
+  for (std::size_t i = from_workers.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(stream.next() % static_cast<std::uint64_t>(i));
+    std::swap(from_workers[i - 1], from_workers[j]);
+  }
+}
+
+}  // namespace stgsim::mc

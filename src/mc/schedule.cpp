@@ -1,0 +1,76 @@
+#include "mc/schedule.hpp"
+
+#include <stdexcept>
+
+namespace stgsim::mc {
+
+using simk::ChoiceOption;
+
+std::string option_label(const ChoiceOption& o) {
+  switch (o.kind) {
+    case ChoiceOption::Kind::kResume:
+      return "resume(" + std::to_string(o.rank) + ")";
+    case ChoiceOption::Kind::kDeliver:
+      return "deliver(" + std::to_string(o.src) + "->" +
+             std::to_string(o.dst) + " tag " + std::to_string(o.tag) + ")";
+    case ChoiceOption::Kind::kWildcard:
+      return "wildcard(" + std::to_string(o.rank) + ")";
+  }
+  return "?";
+}
+
+json::Value option_to_json(const ChoiceOption& o) {
+  json::Value v = json::Value::object();
+  switch (o.kind) {
+    case ChoiceOption::Kind::kResume:
+      v.set("k", "resume");
+      v.set("rank", o.rank);
+      break;
+    case ChoiceOption::Kind::kDeliver:
+      v.set("k", "deliver");
+      v.set("src", o.src);
+      v.set("dst", o.dst);
+      v.set("tag", o.tag);
+      break;
+    case ChoiceOption::Kind::kWildcard:
+      v.set("k", "wildcard");
+      v.set("rank", o.rank);
+      break;
+  }
+  return v;
+}
+
+ChoiceOption option_from_json(const json::Value& v) {
+  const std::string& k = v.at("k").as_string();
+  ChoiceOption o;
+  if (k == "resume") {
+    o.kind = ChoiceOption::Kind::kResume;
+    o.rank = static_cast<int>(v.at("rank").as_int());
+  } else if (k == "deliver") {
+    o.kind = ChoiceOption::Kind::kDeliver;
+    o.src = static_cast<int>(v.at("src").as_int());
+    o.dst = static_cast<int>(v.at("dst").as_int());
+    o.tag = static_cast<int>(v.at("tag").as_int());
+  } else if (k == "wildcard") {
+    o.kind = ChoiceOption::Kind::kWildcard;
+    o.rank = static_cast<int>(v.at("rank").as_int());
+  } else {
+    throw std::runtime_error("unknown schedule step kind '" + k + "'");
+  }
+  return o;
+}
+
+json::Value schedule_to_json(const std::vector<ChoiceOption>& steps) {
+  json::Value arr = json::Value::array();
+  for (const auto& s : steps) arr.push_back(option_to_json(s));
+  return arr;
+}
+
+std::vector<ChoiceOption> schedule_from_json(const json::Value& v) {
+  std::vector<ChoiceOption> steps;
+  steps.reserve(v.as_array().size());
+  for (const auto& e : v.as_array()) steps.push_back(option_from_json(e));
+  return steps;
+}
+
+}  // namespace stgsim::mc

@@ -1,0 +1,39 @@
+// Schedule serialization for the protocol checker.
+//
+// A schedule is the sequence of ChoiceOption labels an exploration run
+// committed at the engine's choice points. Because options are labels
+// (matched by value on replay, not by index), a serialized schedule stays
+// a valid counterexample as long as the engine is deterministic up to the
+// controlled choices — the property the checker itself verifies.
+//
+// On-disk format (see DESIGN.md §13): a JSON array of step objects,
+//   {"k":"resume","rank":0}
+//   {"k":"deliver","src":1,"dst":0,"tag":7}
+//   {"k":"wildcard","rank":2}
+// embedded in a counterexample envelope produced by mc::check_program and
+// consumed by `stgsim check --replay`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "support/json.hpp"
+
+namespace stgsim::mc {
+
+/// Compact human-readable rendering of one option, e.g. "resume(3)",
+/// "deliver(1->0 tag 7)", "wildcard(2)". Used in logs and diagnostics.
+std::string option_label(const simk::ChoiceOption& o);
+
+json::Value option_to_json(const simk::ChoiceOption& o);
+
+/// Inverse of option_to_json. Throws std::runtime_error on malformed or
+/// unknown-kind steps so a hand-edited counterexample fails loudly.
+simk::ChoiceOption option_from_json(const json::Value& v);
+
+json::Value schedule_to_json(const std::vector<simk::ChoiceOption>& steps);
+
+std::vector<simk::ChoiceOption> schedule_from_json(const json::Value& v);
+
+}  // namespace stgsim::mc

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "support/check.hpp"
+#include "support/json.hpp"
 
 namespace stgsim::obs {
 
@@ -166,6 +167,7 @@ void Recorder::on_block(int rank, VTime clock, const simk::MatchSpec& spec) {
 }
 
 void Recorder::on_wake(int rank, VTime clock, VTime arrival) {
+  (void)clock;
   RankShard& s = shard_mut(rank);
   s.wakeups += 1;
   if (opts_.trace && s.block_open) {
@@ -396,6 +398,26 @@ void Recorder::write_comm_matrix_json(std::ostream& os,
   os << ",\n  \"coll_bytes\": ";
   write_matrix(os, s.coll_bytes, s.nranks);
   os << "\n}";
+}
+
+void Recorder::write_divergence_json(
+    std::ostream& os, const std::string& description,
+    const std::vector<std::pair<std::string, std::string>>& canonical,
+    const std::vector<std::pair<std::string, std::string>>& observed) {
+  // Built through json::Value for canonical escaping/ordering; field pairs
+  // land in sorted-key objects, which is fine — names are already unique.
+  json::Value doc = json::Value::object();
+  doc.set("kind", "stgsim-divergence");
+  doc.set("description", description);
+  auto fields_to_json = [](const std::vector<std::pair<std::string,
+                                                       std::string>>& fs) {
+    json::Value o = json::Value::object();
+    for (const auto& [name, value] : fs) o.set(name, json::Value(value));
+    return o;
+  };
+  doc.set("canonical", fields_to_json(canonical));
+  doc.set("observed", fields_to_json(observed));
+  os << doc.dump(2) << '\n';
 }
 
 }  // namespace stgsim::obs

@@ -153,6 +153,16 @@ class Recorder : public simk::EngineObserver {
   static void write_comm_matrix_json(std::ostream& os,
                                      const MetricsSnapshot& s);
 
+  /// Per-schedule divergence dump (`stgsim check --replay
+  /// --divergence-out`): a canonical-vs-observed field comparison plus a
+  /// human-readable description. Fields are ordered (name, value) pairs
+  /// rendered as JSON objects in the given order; the caller decides what
+  /// to compare (digests, statuses, per-rank clocks, ...).
+  static void write_divergence_json(
+      std::ostream& os, const std::string& description,
+      const std::vector<std::pair<std::string, std::string>>& canonical,
+      const std::vector<std::pair<std::string, std::string>>& observed);
+
   /// Per-rank storage; public so tests can assert against a single rank.
   struct RankShard {
     // Engine-level counters.

@@ -123,6 +123,7 @@ bool Process::try_match(const MatchSpec& spec, Message* out) {
   // across sources we pick the earliest arrival (ties by source id) among
   // each channel's first acceptable message. The explicit tie-break makes
   // channel iteration order irrelevant.
+  engine_->saw_wildcard_recv_.store(true, std::memory_order_relaxed);
   Channel* best_ch = nullptr;
   MsgNode* best_node = nullptr;
   MsgNode* best_prev = nullptr;
@@ -207,6 +208,13 @@ Engine::Engine(EngineConfig config) : config_(config) {
   STGSIM_CHECK_GT(config_.host_workers, 0);
   memory_.set_cap(config_.memory_cap_bytes);
   observer_ = config_.observer;
+  oracle_ = config_.oracle;
+  mc_active_ =
+      oracle_ != nullptr && !(config_.use_threads && config_.host_workers > 1);
+  if (mc_active_) {
+    STGSIM_CHECK(!config_.record_host_trace)
+        << "host-trace recording is meaningless under MC schedule control";
+  }
   if (config_.use_threads) {
     STGSIM_CHECK(!config_.record_host_trace)
         << "host-trace recording requires the sequential scheduler";
@@ -226,7 +234,18 @@ VTime Engine::wildcard_safe_bound(VTime min_latency, int exclude_rank) const {
 }
 
 bool Engine::wildcard_commit_safe(const Process& p, VTime arrival) const {
+  if (config_.unsafe_wildcard_commit) {
+    // Test-only fault injection: commit on sight, reproducing the racy
+    // pre-safety-bound behavior for the schedule checker to rediscover.
+    return true;
+  }
   if (threaded_phase_) return false;  // clocks race during a round
+  if (mc_active_) {
+    // MC mode: never commit mid-slice. Wildcards park and are promoted
+    // only when every in-flight lane is drained, so the candidate set the
+    // promotion scan evaluates is final (mirrors the threaded barrier).
+    return false;
+  }
   const VTime bound = wildcard_safe_bound(
       wildcard_min_latency_.load(std::memory_order_relaxed), p.rank_);
   // kVTimeNever: no other unfinished process exists, so the queued message
@@ -269,6 +288,32 @@ void Engine::deliver(Message&& msg, bool redelivery) {
     }
     if (!redelivery) ++worker_stats_[static_cast<std::size_t>(w)].intra;
   }
+
+  if (mc_active_) {
+    // MC mode: the message becomes *in flight*. Handing it to the inbox is
+    // a separate schedulable step so the oracle can explore delivery
+    // orders across lanes (per-lane FIFO is preserved by the deque).
+    InflightLane& lane = inflight_lane(msg.src, msg.dst);
+    lane.q.push_back(std::move(msg));
+    ++inflight_total_;
+    return;
+  }
+
+  deliver_now(std::move(msg));
+}
+
+Engine::InflightLane& Engine::inflight_lane(int src, int dst) {
+  auto it = inflight_.begin();
+  for (; it != inflight_.end(); ++it) {
+    if (it->src == src && it->dst == dst) return *it;
+    if (it->src > src || (it->src == src && it->dst > dst)) break;
+  }
+  it = inflight_.insert(it, InflightLane(src, dst));
+  return *it;
+}
+
+void Engine::deliver_now(Message&& msg) {
+  Process& dst = *procs_[static_cast<std::size_t>(msg.dst)];
 
   Process::Channel& ch = dst.channel(msg.src);
   STGSIM_DCHECK(ch.tail == nullptr || ch.tail->value.seq < msg.seq)
@@ -410,6 +455,27 @@ void Engine::promote_safe_wildcards(bool stuck) {
     // earliest-arrival candidate is exactly what the safety bound would
     // eventually admit. Wake only that one; its commit may unblock others
     // for real (bound-safe) promotion later.
+    if (mc_active_) {
+      // Several parked ranks tied at the same candidate arrival is the one
+      // point where the (arrival, rank) rule is a genuine tie-break rather
+      // than a timestamp-forced choice. Expose the tie to the oracle so
+      // the checker can prove the committed results do not depend on it.
+      std::vector<ChoiceOption> tied;
+      for (int rank : wildcard_pending_) {
+        Process& q = *procs_[static_cast<std::size_t>(rank)];
+        VTime arrival = kVTimeNever;
+        STGSIM_CHECK(q.peek_match(*q.waiting_on_, &arrival));
+        if (arrival == best_arrival) {
+          ChoiceOption c;
+          c.kind = ChoiceOption::Kind::kWildcard;
+          c.rank = rank;
+          tied.push_back(c);
+        }
+      }
+      if (tied.size() > 1) {
+        best_rank = tied[oracle_choose(tied)].rank;
+      }
+    }
     Process& p = *procs_[static_cast<std::size_t>(best_rank)];
     wake_process(p, best_arrival);
     wildcard_pending_.erase(
@@ -604,6 +670,8 @@ RunResult Engine::run() {
 
   if (config_.use_threads && config_.host_workers > 1) {
     run_threaded();
+  } else if (mc_active_) {
+    run_sequential_mc();
   } else {
     run_sequential();
   }
@@ -663,12 +731,93 @@ void Engine::run_sequential() {
   }
 }
 
+std::size_t Engine::oracle_choose(const std::vector<ChoiceOption>& options) {
+  STGSIM_DCHECK(!options.empty());
+  try {
+    const std::size_t idx = oracle_->choose(options);
+    STGSIM_CHECK_LT(idx, options.size())
+        << "schedule oracle chose out of range";
+    return idx;
+  } catch (...) {
+    // Unwind suspended fibers before the oracle's exception (typically a
+    // deliberate prefix-abandon) leaves Engine::run().
+    abort_run(std::current_exception());
+  }
+}
+
+void Engine::run_sequential_mc() {
+  // Ready ranks in a sorted vector (not the clock-ordered heap): in MC
+  // mode *which* ready rank runs next is the oracle's choice, and the
+  // sorted order gives the option list a canonical shape.
+  std::vector<int> ready_set;
+  auto add_ready = [&](int rank) {
+    ready_set.insert(
+        std::lower_bound(ready_set.begin(), ready_set.end(), rank), rank);
+  };
+  for (const auto& p : procs_) ready_set.push_back(p->rank_);
+
+  std::size_t remaining = procs_.size();
+  std::uint64_t iter = 0;
+  std::vector<ChoiceOption> options;
+  while (remaining > 0) {
+    // Promotion point: with every lane drained no further message can
+    // appear without some rank running first, so parked wildcard
+    // candidate sets are final — the same quiescent condition the
+    // threaded scheduler's barrier establishes before it promotes.
+    if (inflight_total_ == 0 && !wildcard_pending_.empty()) {
+      promote_safe_wildcards(/*stuck=*/ready_set.empty());
+      for (int woken : ready_) add_ready(woken);
+      ready_.clear();
+    }
+    if ((++iter & 255U) == 0 && host_budget_exhausted()) {
+      raise_budget(BudgetExceededError::Kind::kHostWallClock,
+                   "host wall-clock watchdog fired in MC scheduler");
+    }
+
+    options.clear();
+    for (int rank : ready_set) {
+      ChoiceOption c;
+      c.kind = ChoiceOption::Kind::kResume;
+      c.rank = rank;
+      options.push_back(c);
+    }
+    for (const auto& lane : inflight_) {
+      if (lane.q.empty()) continue;
+      ChoiceOption c;
+      c.kind = ChoiceOption::Kind::kDeliver;
+      c.src = lane.src;
+      c.dst = lane.dst;
+      c.tag = lane.q.front().tag;
+      options.push_back(c);
+    }
+    if (options.empty()) raise_deadlock();
+
+    const ChoiceOption& c = options[oracle_choose(options)];
+    if (c.kind == ChoiceOption::Kind::kResume) {
+      ready_set.erase(
+          std::find(ready_set.begin(), ready_set.end(), c.rank));
+      Process& p = *procs_[static_cast<std::size_t>(c.rank)];
+      resume_process(p);
+      if (error_) abort_run(error_);
+      if (p.finished_) --remaining;
+    } else {
+      InflightLane& lane = inflight_lane(c.src, c.dst);
+      STGSIM_CHECK(!lane.q.empty());
+      Message m = std::move(lane.q.front());
+      lane.q.pop_front();
+      --inflight_total_;
+      deliver_now(std::move(m));
+    }
+    for (int woken : ready_) add_ready(woken);
+    ready_.clear();
+  }
+}
+
 bool Engine::drain_mailboxes(int worker, bool redelivery) {
   const int workers = config_.host_workers;
   bool any = false;
   Message m;
-  for (int u = 0; u < workers; ++u) {
-    if (u == worker) continue;
+  auto drain_from = [&](int u) {
     SpscRing<Message>& ring =
         *mailboxes_[static_cast<std::size_t>(u) *
                         static_cast<std::size_t>(workers) +
@@ -677,6 +826,33 @@ bool Engine::drain_mailboxes(int worker, bool redelivery) {
       deliver(std::move(m), redelivery);
       any = true;
     }
+  };
+  if (oracle_ != nullptr) {
+    // Schedule-checker hook: the claim the drain order is held to is that
+    // it never affects simulated results (every cross-channel choice has
+    // an explicit tie-break). Let the oracle permute it; validate that the
+    // result is still a permutation of the sender set.
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int u = 0; u < workers; ++u) {
+      if (u != worker) order.push_back(u);
+    }
+    const std::size_t n = order.size();
+    oracle_->permute_drain_order(worker, order);
+    STGSIM_CHECK_EQ(order.size(), n) << "drain order must stay a permutation";
+    std::uint64_t seen = 0;
+    for (int u : order) {
+      STGSIM_CHECK(u >= 0 && u < workers && u != worker &&
+                   (seen & (1ULL << u)) == 0)
+          << "drain order must stay a permutation of the sender set";
+      seen |= 1ULL << u;
+      drain_from(u);
+    }
+    return any;
+  }
+  for (int u = 0; u < workers; ++u) {
+    if (u == worker) continue;
+    drain_from(u);
   }
   return any;
 }

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <functional>
 #include <memory>
@@ -160,6 +161,59 @@ class EngineObserver {
   /// inspected; `hit` says whether one was removed.
   virtual void on_match(int rank, std::uint64_t probes, bool hit) {
     (void)rank; (void)probes; (void)hit;
+  }
+};
+
+/// One schedulable step at an engine choice point, exposed to a
+/// ScheduleOracle when the engine runs under model-checking control.
+/// Options are labels, not indices: a schedule replayed against a fresh
+/// engine run matches options by value, so a recorded prefix stays valid
+/// as long as the engine is deterministic up to the controlled choices.
+struct ChoiceOption {
+  enum class Kind : std::uint8_t {
+    kResume,    ///< resume ready process `rank`
+    kDeliver,   ///< deliver the head of in-flight lane `src` -> `dst`
+    kWildcard,  ///< stuck-promotion tie: wake parked wildcard `rank`
+  };
+
+  Kind kind = Kind::kResume;
+  int rank = -1;  ///< kResume / kWildcard
+  int src = -1;   ///< kDeliver
+  int dst = -1;   ///< kDeliver
+  int tag = 0;    ///< kDeliver: user tag of the lane-head message
+
+  bool operator==(const ChoiceOption& o) const {
+    return kind == o.kind && rank == o.rank && src == o.src && dst == o.dst &&
+           tag == o.tag;
+  }
+};
+
+/// Schedule-control hook (EngineConfig::oracle). With an oracle installed
+/// and the sequential scheduler selected, the engine runs in MC mode:
+/// sends are buffered in per-(src,dst) FIFO lanes instead of landing in
+/// the destination inbox immediately, and every nondeterministic choice —
+/// which ready rank runs next, which lane delivers its head message,
+/// which of several tied parked wildcards is promoted first — is routed
+/// through choose(). Under the threaded scheduler only the mailbox drain
+/// order is exposed (permute_drain_order); simulated results must not
+/// depend on it, which is exactly what a checker perturbs it to prove.
+class ScheduleOracle {
+ public:
+  virtual ~ScheduleOracle() = default;
+
+  /// Picks one of `options` (never empty); must return an index < size.
+  /// May throw to abandon the run: the engine tears fibers down cleanly
+  /// and rethrows the exception out of Engine::run().
+  virtual std::size_t choose(const std::vector<ChoiceOption>& options) = 0;
+
+  /// Threaded scheduler: may reorder `from_workers`, the order in which
+  /// `worker` drains its incoming mailboxes. Must remain a permutation.
+  /// Called concurrently from worker threads — implementations shard or
+  /// synchronize their own state.
+  virtual void permute_drain_order(int worker,
+                                   std::vector<int>& from_workers) {
+    (void)worker;
+    (void)from_workers;
   }
 };
 
@@ -344,6 +398,18 @@ struct EngineConfig {
   /// disables all observer callbacks at the cost of one branch per event.
   EngineObserver* observer = nullptr;
 
+  /// Schedule-control hook (not owned; must outlive the engine). With the
+  /// sequential scheduler this switches the engine into MC mode (see
+  /// ScheduleOracle); with the threaded scheduler it only perturbs the
+  /// mailbox drain order. Incompatible with record_host_trace.
+  ScheduleOracle* oracle = nullptr;
+
+  /// Test-only fault injection: wildcard receives commit to the first
+  /// matching message on sight, skipping the safety bound — the pre-fix
+  /// racy behavior the schedule checker must be able to rediscover.
+  /// Never set outside tests and `stgsim check --inject`.
+  bool unsafe_wildcard_commit = false;
+
   // Run budgets (0 = unlimited). When a budget is exceeded the run is torn
   // down cleanly and BudgetExceededError is thrown, so a pathological
   // target program (unbounded loop, livelocked protocol) terminates with a
@@ -497,6 +563,13 @@ class Engine {
   /// sequential run. Valid once run() returned.
   const ParallelStats& parallel_stats() const { return pstats_; }
 
+  /// True once any wildcard receive (ANY_SOURCE / waitany union) was
+  /// attempted this run. A schedule checker uses this to decide whether
+  /// deliveries into one inbox from distinct sources commute.
+  bool saw_wildcard_recv() const {
+    return saw_wildcard_recv_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Process;
 
@@ -507,7 +580,18 @@ class Engine {
   /// `redelivery` marks the second leg of a deferred message (mailbox
   /// drain / barrier flush) so protocol counters count each message once.
   void deliver(Message&& msg, bool redelivery = false);
+  /// The direct-insert tail of deliver(): channel insert, message budget,
+  /// wake-or-park. In MC mode deliver() buffers into an in-flight lane
+  /// instead and the MC loop calls this when the oracle picks the lane.
+  void deliver_now(Message&& msg);
   void run_sequential();
+  /// Sequential scheduler under full oracle control (MC mode): every
+  /// resume, lane delivery and stuck-promotion tie goes through
+  /// config.oracle->choose(). See DESIGN.md §13 for the choice-point model.
+  void run_sequential_mc();
+  /// Routes oracle->choose() through abort_run on throw so suspended
+  /// fibers unwind before the exception leaves Engine::run().
+  std::size_t oracle_choose(const std::vector<ChoiceOption>& options);
   void run_threaded();
   /// One round of worker `w`: execute the partition, draining incoming
   /// mailboxes between slices, until no local work remains and the round
@@ -621,6 +705,32 @@ class Engine {
   std::atomic<VTime> wildcard_min_latency_{0};
   std::vector<int> wildcard_pending_;
   std::vector<std::vector<int>> worker_wildcard_pending_;
+
+  // MC mode (oracle + sequential scheduler): sends buffer into per-
+  // (src,dst) FIFO lanes and delivery of a lane head is itself a
+  // schedulable step. Declared after the pools so queued payloads are
+  // released before the pools tear down. Lanes are kept sorted by
+  // (src,dst) so the option list the oracle sees has a canonical order.
+  struct InflightLane {
+    int src = -1;
+    int dst = -1;
+    std::deque<Message> q;
+
+    InflightLane(int s, int d) : src(s), dst(d) {}
+    // Copy deleted explicitly (Message is move-only; deque's copy ctor is
+    // declared regardless, which would otherwise win move_if_noexcept).
+    InflightLane(InflightLane&&) = default;
+    InflightLane& operator=(InflightLane&&) = default;
+    InflightLane(const InflightLane&) = delete;
+    InflightLane& operator=(const InflightLane&) = delete;
+  };
+  InflightLane& inflight_lane(int src, int dst);
+  std::vector<InflightLane> inflight_;
+  std::size_t inflight_total_ = 0;
+
+  ScheduleOracle* oracle_ = nullptr;
+  bool mc_active_ = false;  ///< oracle installed and scheduler sequential
+  std::atomic<bool> saw_wildcard_recv_{false};
 
   EngineObserver* observer_ = nullptr;
 

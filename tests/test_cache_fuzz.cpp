@@ -1,0 +1,208 @@
+// Torn-write robustness of the campaign result cache.
+//
+// A campaign resumed after a crash (or run over a flaky disk) may find
+// cache entries truncated at any byte or with arbitrary bits flipped. The
+// contract is corrupt-entry-as-miss: load() never throws and never
+// returns damaged data — any entry that is not byte-for-byte trustworthy
+// reads as nullopt and the run simply re-executes. These tests enforce
+// that at every single byte offset of a representative entry, and then at
+// the campaign level: a corrupted entry must not poison report.json.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "campaign/cache.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+#include "support/json.hpp"
+
+namespace stgsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test; removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_((fs::temp_directory_path() /
+               ("stgsim-fuzz-" + tag + "-" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed())))
+                  .string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A representative cache payload: the shape the campaign runner stores
+/// (spec + outcome), with enough numeric fields that single-bit damage
+/// inside a digit can keep the file parseable.
+json::Value sample_payload() {
+  return json::Value::parse(R"({
+    "kind": "run",
+    "outcome": {
+      "messages": 1234,
+      "predicted_time": 2964110000,
+      "status": "ok"
+    },
+    "spec": {"app": "sample", "mode": "de", "procs": 4, "seed": 11}
+  })");
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Entry-level fuzzing
+// ---------------------------------------------------------------------------
+
+TEST(CacheFuzz, RoundTripsIntactEntries) {
+  ScratchDir dir("roundtrip");
+  campaign::ResultCache cache(dir.path());
+  const json::Value doc = sample_payload();
+  cache.store("deadbeef", doc);
+  const auto loaded = cache.load("deadbeef");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dump(), doc.dump());
+}
+
+TEST(CacheFuzz, TruncationAtEveryOffsetIsAMissNeverACrash) {
+  ScratchDir dir("truncate");
+  campaign::ResultCache cache(dir.path());
+  const json::Value doc = sample_payload();
+  cache.store("deadbeef", doc);
+  const std::string intact = slurp(cache.path_for("deadbeef"));
+  ASSERT_GT(intact.size(), 0u);
+
+  for (std::size_t len = 0; len < intact.size(); ++len) {
+    spew(cache.path_for("deadbeef"), intact.substr(0, len));
+    std::optional<json::Value> loaded;
+    ASSERT_NO_THROW(loaded = cache.load("deadbeef")) << "len=" << len;
+    if (loaded.has_value()) {
+      // Cutting only trailing whitespace leaves the entry semantically
+      // intact; any prefix that lost payload bytes must fail its
+      // checksum — that closes the "truncated but still valid JSON"
+      // hole a pure parse check leaves open.
+      EXPECT_EQ(loaded->dump(), doc.dump()) << "len=" << len;
+    }
+  }
+}
+
+TEST(CacheFuzz, BitFlipAtEveryOffsetIsAMissOrTheOriginal) {
+  ScratchDir dir("bitflip");
+  campaign::ResultCache cache(dir.path());
+  const json::Value doc = sample_payload();
+  cache.store("deadbeef", doc);
+  const std::string intact = slurp(cache.path_for("deadbeef"));
+  const std::string canonical = doc.dump();
+
+  for (std::size_t off = 0; off < intact.size(); ++off) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = intact;
+      damaged[off] = static_cast<char>(damaged[off] ^ (1 << bit));
+      spew(cache.path_for("deadbeef"), damaged);
+      std::optional<json::Value> loaded;
+      ASSERT_NO_THROW(loaded = cache.load("deadbeef"))
+          << "off=" << off << " bit=" << bit;
+      if (loaded.has_value()) {
+        // Flips in whitespace/indentation can leave the entry
+        // semantically intact; anything else must be a miss.
+        EXPECT_EQ(loaded->dump(), canonical)
+            << "off=" << off << " bit=" << bit
+            << ": corrupted payload served as a hit";
+      }
+    }
+  }
+}
+
+TEST(CacheFuzz, PreEnvelopeEntriesReadAsMisses) {
+  ScratchDir dir("legacy");
+  campaign::ResultCache cache(dir.path());
+  // A raw payload written by a pre-checksum build: valid JSON, no
+  // envelope. Trusting it would mean trusting unverifiable bytes.
+  spew(cache.path_for("deadbeef"), sample_payload().dump(2));
+  EXPECT_FALSE(cache.load("deadbeef").has_value());
+  // And an envelope whose checksum lies about its payload.
+  json::Value env = json::Value::object();
+  env.set("checksum", "0000000000000000");
+  env.set("payload", sample_payload());
+  spew(cache.path_for("deadbeef"), env.dump(2));
+  EXPECT_FALSE(cache.load("deadbeef").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level: corruption must not poison report.json
+// ---------------------------------------------------------------------------
+
+TEST(CacheFuzz, CorruptedEntriesNeverPoisonCampaignReports) {
+  ScratchDir dir("campaign");
+  const campaign::Scenario scenario =
+      campaign::parse_scenario(json::Value::parse(R"({
+        "name": "fuzz-campaign",
+        "defaults": {"machine": "ibm_sp", "seed": 11},
+        "sweeps": [{
+          "app": "sample",
+          "options": {"iters": 2, "work": 2000},
+          "procs": [2],
+          "mode": ["de"]
+        }]
+      })"));
+  campaign::CampaignOptions opts;
+  opts.cache_dir = dir.path();
+
+  const campaign::CampaignResult clean = run_campaign(scenario, opts);
+  ASSERT_EQ(clean.runs.size(), 1u);
+  ASSERT_TRUE(clean.runs[0].outcome.ok());
+  const std::string baseline = campaign::report_json(clean).dump();
+  const std::string entry_path =
+      campaign::ResultCache(dir.path()).path_for(clean.runs[0].digest_hex);
+  const std::string intact = slurp(entry_path);
+  ASSERT_GT(intact.size(), 0u);
+
+  // Flip one bit per sampled byte across the whole entry. Every re-run
+  // must either hit an intact-equivalent entry or re-execute — and in
+  // both cases produce a report byte-identical to the clean baseline.
+  for (std::size_t off = 0; off < intact.size(); off += 7) {
+    std::string damaged = intact;
+    damaged[off] = static_cast<char>(damaged[off] ^ 0x10);
+    spew(entry_path, damaged);
+    const campaign::CampaignResult rerun = run_campaign(scenario, opts);
+    ASSERT_EQ(rerun.runs.size(), 1u);
+    EXPECT_TRUE(rerun.runs[0].outcome.ok()) << "off=" << off;
+    EXPECT_EQ(campaign::report_json(rerun).dump(), baseline)
+        << "off=" << off << ": corruption leaked into report.json";
+  }
+
+  // Truncations, same contract.
+  for (std::size_t len = 0; len < intact.size(); len += 11) {
+    spew(entry_path, intact.substr(0, len));
+    const campaign::CampaignResult rerun = run_campaign(scenario, opts);
+    EXPECT_EQ(campaign::report_json(rerun).dump(), baseline)
+        << "len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace stgsim
