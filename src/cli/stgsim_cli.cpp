@@ -14,7 +14,7 @@
 //                   [--max-vtime-sec T] [--max-messages N] [--max-host-sec T]
 //                   [--digest] [--print-config]
 //                   [--trace-out f.json] [--metrics-out f.json]
-//                   [--comm-matrix-out f.json]
+//                   [--comm-matrix-out f.json] [--links-out f.json]
 //   stgsim calibrate --app <name> [--<option> v ...] --procs P
 //                   [--machine M] [--seed S] [--save-params f] [--json]
 //   stgsim campaign <scenario.json> [--jobs N] [--cache-dir D] [--out-dir D]
@@ -63,6 +63,8 @@
 //   --metrics-out f      engine/protocol counters + message-size histogram
 //                        as JSON; also prints a metrics summary table
 //   --comm-matrix-out f  rank×rank message/byte matrix as JSON
+//   --links-out f        per-link utilization + hop-count histogram of the
+//                        routed platform as JSON
 //
 // --fault injects a deterministic fault plan (see src/fault/fault.hpp for
 // the clause syntax); the --max-* flags bound pathological runs, which then
@@ -96,6 +98,8 @@
 //       --fault "link:src=0,dst=1,latency=4,bandwidth=0.25;straggler:rank=2,factor=2"
 //   stgsim run --app tomcatv --procs 16 --mode de \
 //       --machine "ibm_sp[latency_us=30,bw=120e6]"
+//   stgsim run --app sweep3d --procs 64 --mode de --links-out links.json \
+//       --machine "ibm_sp[topo=fattree,radix=16,algo.bcast=binomial]"
 //   stgsim campaign examples/scenario_sweep3d.json --jobs 4 --out-dir out
 //   stgsim compile --app nas_sp --class A --procs 16 --dump-stg sp.dot
 #include <fstream>
@@ -365,8 +369,10 @@ int cmd_run(Args& args) {
   const std::string trace_out = args.str("trace-out", "");
   const std::string metrics_out = args.str("metrics-out", "");
   const std::string matrix_out = args.str("comm-matrix-out", "");
+  const std::string links_out = args.str("links-out", "");
   std::unique_ptr<obs::Recorder> recorder;
-  if (!trace_out.empty() || !metrics_out.empty() || !matrix_out.empty()) {
+  if (!trace_out.empty() || !metrics_out.empty() || !matrix_out.empty() ||
+      !links_out.empty()) {
     obs::Options oopts;
     oopts.trace = !trace_out.empty();
     oopts.comm_matrix = !matrix_out.empty();
@@ -426,6 +432,11 @@ int cmd_run(Args& args) {
       auto os = open_out(matrix_out);
       obs::Recorder::write_comm_matrix_json(os, out.metrics);
       std::cerr << "wrote " << matrix_out << '\n';
+    }
+    if (!links_out.empty()) {
+      auto os = open_out(links_out);
+      obs::Recorder::write_link_stats_json(os, out.metrics);
+      std::cerr << "wrote " << links_out << '\n';
     }
     TablePrinter mt({"metric", "value"});
     for (const auto& [name, value] : out.metrics.scalars) {

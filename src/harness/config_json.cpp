@@ -342,6 +342,16 @@ json::Value outcome_to_json(const RunOutcome& outcome) {
   metrics.set("msg_size_hist", hist_to_json(outcome.metrics.msg_size_hist));
   metrics.set("window_advance_hist",
               hist_to_json(outcome.metrics.window_advance_hist));
+  metrics.set("hop_hist", hist_to_json(outcome.metrics.hop_hist));
+  json::Value links = json::Value::array();
+  for (const auto& l : outcome.metrics.links) {
+    json::Value link = json::Value::object();
+    link.set("name", json::Value(l.name));
+    link.set("messages", json::Value(static_cast<double>(l.messages)));
+    link.set("bytes", json::Value(static_cast<double>(l.bytes)));
+    links.push_back(link);
+  }
+  metrics.set("links", links);
   out.set("metrics", metrics);
 
   out.set("digest", json::Value(run_digest_hex(outcome)));
@@ -373,6 +383,13 @@ RunOutcome outcome_from_json(const json::Value& v) {
   out.metrics.msg_size_hist = hist_from_json(metrics.at("msg_size_hist"));
   out.metrics.window_advance_hist =
       hist_from_json(metrics.at("window_advance_hist"));
+  out.metrics.hop_hist = hist_from_json(metrics.at("hop_hist"));
+  for (const auto& l : metrics.at("links").as_array()) {
+    out.metrics.links.push_back(
+        {l.at("name").as_string(),
+         static_cast<std::uint64_t>(l.at("messages").as_number()),
+         static_cast<std::uint64_t>(l.at("bytes").as_number())});
+  }
   out.metrics.nranks = out.nprocs;
   return out;
 }

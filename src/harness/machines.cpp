@@ -68,6 +68,141 @@ const std::vector<Field>& fields() {
        [](const MachineSpec& m) {
          return m.emulation_contention ? 1.0 : 0.0;
        }},
+      {"hop_us", "per-switch-hop latency beyond the first link (microseconds)",
+       [](MachineSpec* m, double v) {
+         m->net.platform.hop_latency = vtime_from_us(v);
+       },
+       [](const MachineSpec& m) {
+         return vtime_to_us(m.net.platform.hop_latency);
+       }},
+      {"radix", "fat-tree switch radix (even, >= 2)",
+       [](MachineSpec* m, double v) {
+         if (v < 2 || v != static_cast<double>(static_cast<int>(v))) {
+           throw std::runtime_error("radix must be a whole number >= 2");
+         }
+         m->net.platform.fattree_radix = static_cast<int>(v);
+       },
+       [](const MachineSpec& m) {
+         return static_cast<double>(m.net.platform.fattree_radix);
+       }},
+      {"df_routers", "dragonfly routers per group",
+       [](MachineSpec* m, double v) {
+         if (v < 1 || v != static_cast<double>(static_cast<int>(v))) {
+           throw std::runtime_error("df_routers must be a whole number >= 1");
+         }
+         m->net.platform.df_routers = static_cast<int>(v);
+       },
+       [](const MachineSpec& m) {
+         return static_cast<double>(m.net.platform.df_routers);
+       }},
+      {"df_hosts", "dragonfly hosts per router",
+       [](MachineSpec* m, double v) {
+         if (v < 1 || v != static_cast<double>(static_cast<int>(v))) {
+           throw std::runtime_error("df_hosts must be a whole number >= 1");
+         }
+         m->net.platform.df_hosts = static_cast<int>(v);
+       },
+       [](const MachineSpec& m) {
+         return static_cast<double>(m.net.platform.df_hosts);
+       }},
+      {"coll_ring_threshold",
+       "auto collective algo: binomial below, ring at/above (bytes)",
+       [](MachineSpec* m, double v) {
+         if (v < 0 || v != static_cast<double>(static_cast<std::size_t>(v))) {
+           throw std::runtime_error(
+               "coll_ring_threshold must be a whole byte count");
+         }
+         m->coll.ring_threshold = static_cast<std::size_t>(v);
+       },
+       [](const MachineSpec& m) {
+         return static_cast<double>(m.coll.ring_threshold);
+       }},
+  };
+  return f;
+}
+
+/// One overridable string-valued field (topology / algorithm names), in
+/// canonical order after the numeric fields.
+struct StrField {
+  std::string key;
+  std::string description;
+  std::function<void(MachineSpec*, const std::string&)> apply;
+  std::function<std::string(const MachineSpec&)> get;
+};
+
+std::vector<int> parse_torus_dims(const std::string& value) {
+  if (value == "auto") return {};
+  std::vector<int> dims;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const auto x = value.find('x', pos);
+    const std::string part =
+        value.substr(pos, x == std::string::npos ? std::string::npos
+                                                 : x - pos);
+    int n = 0;
+    try {
+      std::size_t used = 0;
+      n = std::stoi(part, &used);
+      if (used != part.size() || n < 1) throw std::invalid_argument(part);
+    } catch (const std::exception&) {
+      throw std::runtime_error(
+          "torus_dims: expected 'auto' or positive extents like '4x4', got '" +
+          value + "'");
+    }
+    dims.push_back(n);
+    if (x == std::string::npos) break;
+    pos = x + 1;
+  }
+  return dims;
+}
+
+std::string torus_dims_string(const std::vector<int>& dims) {
+  if (dims.empty()) return "auto";
+  std::string out;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i != 0) out += "x";
+    out += std::to_string(dims[i]);
+  }
+  return out;
+}
+
+StrField coll_algo_str_field(const char* key, smpi::CollOp op) {
+  // Descriptions enumerate the accepted names so the unknown-key error and
+  // --list-machines output double as documentation.
+  return {key,
+          std::string(smpi::coll_op_name(op)) + " algorithm (" +
+              smpi::coll_algo_choices(op) + ")",
+          [op](MachineSpec* m, const std::string& v) {
+            smpi::coll_algo_field(m->coll, op) = smpi::parse_coll_algo(op, v);
+          },
+          [op](const MachineSpec& m) {
+            auto cfg = m.coll;
+            return std::string(
+                smpi::coll_algo_name(smpi::coll_algo_field(cfg, op)));
+          }};
+}
+
+const std::vector<StrField>& str_fields() {
+  static const std::vector<StrField> f = {
+      {"topo", "platform topology (flat, torus, fattree, dragonfly)",
+       [](MachineSpec* m, const std::string& v) {
+         m->net.platform.topo = net::parse_topology(v);
+       },
+       [](const MachineSpec& m) {
+         return std::string(net::topology_name(m.net.platform.topo));
+       }},
+      {"torus_dims", "torus extents ('4x4'; 'auto' = near-square 2D)",
+       [](MachineSpec* m, const std::string& v) {
+         m->net.platform.torus_dims = parse_torus_dims(v);
+       },
+       [](const MachineSpec& m) {
+         return torus_dims_string(m.net.platform.torus_dims);
+       }},
+      coll_algo_str_field("algo.barrier", smpi::CollOp::kBarrier),
+      coll_algo_str_field("algo.bcast", smpi::CollOp::kBcast),
+      coll_algo_str_field("algo.reduce", smpi::CollOp::kReduce),
+      coll_algo_str_field("algo.allreduce", smpi::CollOp::kAllreduce),
+      coll_algo_str_field("algo.alltoall", smpi::CollOp::kAlltoall),
   };
   return f;
 }
@@ -75,6 +210,10 @@ const std::vector<Field>& fields() {
 std::string known_keys() {
   std::string out;
   for (const auto& f : fields()) {
+    if (!out.empty()) out += ", ";
+    out += f.key;
+  }
+  for (const auto& f : str_fields()) {
     if (!out.empty()) out += ", ";
     out += f.key;
   }
@@ -102,6 +241,7 @@ machine_override_keys() {
   static const std::vector<std::pair<std::string, std::string>> keys = [] {
     std::vector<std::pair<std::string, std::string>> out;
     for (const auto& f : fields()) out.emplace_back(f.key, f.description);
+    for (const auto& f : str_fields()) out.emplace_back(f.key, f.description);
     return out;
   }();
   return keys;
@@ -144,21 +284,29 @@ MachineSpec parse_machine_spec(const std::string& spec) {
     for (const auto& f : fields()) {
       if (key == f.key) { field = &f; break; }
     }
-    if (field == nullptr) {
+    const StrField* sfield = nullptr;
+    for (const auto& f : str_fields()) {
+      if (key == f.key) { sfield = &f; break; }
+    }
+    if (field == nullptr && sfield == nullptr) {
       throw std::runtime_error("machine '" + m.key +
                                "' has no overridable field '" + key +
                                "' (accepted: " + known_keys() + ")");
     }
-    double v = 0.0;
-    try {
-      std::size_t used = 0;
-      v = std::stod(value, &used);
-      if (used != value.size()) throw std::invalid_argument(value);
-    } catch (const std::exception&) {
-      throw std::runtime_error("machine override '" + key +
-                               "': expected a number, got '" + value + "'");
+    if (field != nullptr) {
+      double v = 0.0;
+      try {
+        std::size_t used = 0;
+        v = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        throw std::runtime_error("machine override '" + key +
+                                 "': expected a number, got '" + value + "'");
+      }
+      field->apply(&m, v);
+    } else {
+      sfield->apply(&m, value);
     }
-    field->apply(&m, v);
     overridden = true;
     if (comma == std::string::npos) break;
     pos = comma + 1;
@@ -175,6 +323,12 @@ std::string machine_spec_string(const MachineSpec& m) {
     if (v == f.get(base)) continue;
     if (!overrides.empty()) overrides += ",";
     overrides += std::string(f.key) + "=" + json::format_double(v);
+  }
+  for (const auto& f : str_fields()) {
+    const std::string v = f.get(m);
+    if (v == f.get(base)) continue;
+    if (!overrides.empty()) overrides += ",";
+    overrides += f.key + "=" + v;
   }
   if (overrides.empty()) return m.key;
   return m.key + "[" + overrides + "]";

@@ -1,6 +1,7 @@
 #include "harness/runner.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "harness/affinity.hpp"
 #include "support/check.hpp"
@@ -64,11 +65,10 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
   if (config.abstract_comm) {
     wopts.comm_fidelity = smpi::World::Options::CommFidelity::kAbstract;
   }
+  wopts.coll = config.machine.coll;
   wopts.faults = config.faults;
   wopts.obs = config.obs;
-
-  smpi::World world(wopts, config.nprocs);
-  for (const auto& [k, v] : config.params) world.set_param(k, v);
+  wopts.unsafe_floor_slack = config.unsafe_floor_slack;
 
   simk::EngineConfig ec;
   ec.num_processes = config.nprocs;
@@ -103,25 +103,37 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
   }
 
   simk::Engine engine(ec);
-  // Wildcard (ANY_SOURCE/waitany) commits — and the threaded scheduler's
-  // lookahead window — are gated on the latency floor; set it up front so
-  // even a run whose first operation is a wildcard receive is bounded
-  // correctly. The floor includes the fault plan's always-on global
-  // latency factors (a sound, possibly larger bound that never changes
-  // which candidate commits).
-  engine.set_wildcard_min_latency(world.wildcard_latency_floor());
   ir::ExecOptions xopts;
   xopts.timers = timers;
   xopts.branches = branches;
   xopts.kernel_meta = kernel_meta;
-  engine.set_body([&](simk::Process& p) {
-    smpi::Comm comm(world, p);
-    ir::execute(prog, comm, xopts);
-  });
 
   RunOutcome out;
   out.nprocs = config.nprocs;
+  // World construction builds the routed platform, which validates the
+  // topology parameters (torus extents vs rank count, fat-tree radix, ...)
+  // and can throw — inside the try so a bad platform config becomes an
+  // internal_error outcome, like any other model-check failure.
+  std::optional<smpi::World> world;
   try {
+    world.emplace(wopts, config.nprocs);
+    for (const auto& [k, v] : config.params) world->set_param(k, v);
+    if (config.obs != nullptr) {
+      // Per-link utilization + hop histogram; relaxed atomic counters that
+      // never feed back into timing, so digests stay identical.
+      world->network().enable_link_stats();
+    }
+    // Wildcard (ANY_SOURCE/waitany) commits — and the threaded scheduler's
+    // lookahead window — are gated on the latency floor; set it up front so
+    // even a run whose first operation is a wildcard receive is bounded
+    // correctly. The floor includes the fault plan's always-on global
+    // latency factors (a sound, possibly larger bound that never changes
+    // which candidate commits).
+    engine.set_wildcard_min_latency(world->wildcard_latency_floor());
+    engine.set_body([&](simk::Process& p) {
+      smpi::Comm comm(*world, p);
+      ir::execute(prog, comm, xopts);
+    });
     simk::RunResult rr = engine.run();
     out.predicted_time = rr.completion;
     out.per_rank = std::move(rr.per_rank_completion);
@@ -129,8 +141,8 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
     out.peak_target_bytes = rr.peak_target_bytes;
     out.messages = rr.messages_delivered;
     out.slices = rr.slices;
-    out.stats = world.aggregate_stats();
-    out.per_rank_stats = world.all_stats();
+    out.stats = world->aggregate_stats();
+    out.per_rank_stats = world->all_stats();
     if (config.record_host_trace) out.host_trace = engine.host_trace();
     out.parallel = engine.parallel_stats();
     if (config.obs != nullptr) {
@@ -149,6 +161,10 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
       out.metrics.add("engine.messages_delivered",
                       static_cast<double>(rr.messages_delivered));
       out.metrics.add("engine.fiber_slices", static_cast<double>(rr.slices));
+      out.metrics.hop_hist = world->network().hop_hist();
+      for (const auto& l : world->network().link_usage()) {
+        out.metrics.links.push_back({l.name, l.messages, l.bytes});
+      }
       if (config.threads > 1) {
         // Threaded-conservative protocol metrics. Message-locality counts
         // are deterministic for a fixed partition; rounds and the

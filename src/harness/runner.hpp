@@ -40,8 +40,10 @@ const char* mode_name(Mode m);
 struct MachineSpec {
   std::string name;  ///< display name ("IBM SP")
   std::string key;   ///< registry id ("ibm_sp") — see harness/machines.hpp
-  net::NetworkParams net;
+  net::NetworkParams net;  ///< includes the platform (topology) parameters
   machine::ComputeParams compute;
+  /// Collective algorithm selection ("algo.*" spec-string fields).
+  smpi::CollectiveConfig coll;
   double emulation_net_jitter = 0.03;
   double emulation_compute_jitter = 0.015;
   bool emulation_contention = true;
@@ -111,6 +113,13 @@ struct RunConfig {
   /// race the bound exists to prevent, so `stgsim check` has a known bug
   /// to find. Never set outside tests/CI.
   bool unsafe_wildcard_commit = false;
+
+  /// Test-only fault injection: inflate the wildcard latency floor by
+  /// this much past the network's sound bound (smpi::World::Options::
+  /// unsafe_floor_slack). A too-large floor commits wildcard receives
+  /// that a slower sender could still beat, so regression tests can show
+  /// the floor's soundness is load-bearing. Never set outside tests/CI.
+  VTime unsafe_floor_slack = 0;
 };
 
 /// How a run ended. Every run — including pathological target programs and

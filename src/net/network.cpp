@@ -26,18 +26,60 @@ NetworkParams origin2000() {
   return p;
 }
 
-Network::Network(const NetworkParams& params, int nranks) : params_(params) {
+Network::Network(const NetworkParams& params, int nranks)
+    : params_(params), platform_(params.platform, params.latency, nranks) {
   STGSIM_CHECK_GT(nranks, 0);
   STGSIM_CHECK_GT(params_.bytes_per_sec, 0.0);
+  // The advertised floor: minimum routed path latency, halved under
+  // emulation jitter because the jitter clamp floors each flight at half
+  // its (unscaled) path latency. Platform construction already verified
+  // that every pair routes at or above min_path_latency().
+  min_latency_ = platform_.min_path_latency();
+  if (params_.jitter_frac > 0.0) min_latency_ /= 2;
   if (params_.model_contention) {
-    nic_free_.assign(static_cast<std::size_t>(nranks), 0);
+    link_free_.assign(static_cast<std::size_t>(platform_.link_count()), 0);
   }
 }
 
 void Network::set_fault_plan(const fault::FaultPlan& plan) {
   plan.validate();
+  // Plan-install soundness: degradation can only raise latency, so the
+  // platform floor survives any installed plan.
+  STGSIM_CHECK_GE(plan.latency_floor_factor(), 1.0)
+      << "fault plan would lower the latency floor";
   faults_ = plan;
   has_faults_ = !plan.empty();
+}
+
+void Network::enable_link_stats() {
+  if (link_stats_enabled_) return;
+  link_stats_enabled_ = true;
+  hop_hist_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(platform_.max_hops()) + 1);
+  link_msgs_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(platform_.link_count()));
+  link_bytes_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(platform_.link_count()));
+}
+
+std::vector<std::uint64_t> Network::hop_hist() const {
+  std::vector<std::uint64_t> out(hop_hist_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = hop_hist_[i].load(std::memory_order_relaxed);
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<LinkUse> Network::link_usage() const {
+  std::vector<LinkUse> out;
+  for (std::size_t i = 0; i < link_msgs_.size(); ++i) {
+    const std::uint64_t msgs = link_msgs_[i].load(std::memory_order_relaxed);
+    if (msgs == 0) continue;
+    out.push_back({platform_.link_name(static_cast<int>(i)), msgs,
+                   link_bytes_[i].load(std::memory_order_relaxed)});
+  }
+  return out;
 }
 
 VTime Network::wire_time(std::size_t bytes) const {
@@ -47,12 +89,13 @@ VTime Network::wire_time(std::size_t bytes) const {
 
 VTime Network::arrival(int src, int dst, VTime ready, std::size_t bytes,
                        Rng& rng, TransferKind kind) {
+  const Platform::PathCost path = platform_.cost(src, dst);
   VTime start = ready;
 
-  // Effective link parameters at injection time. Degradation factors are
-  // sampled once, at `ready` — a transfer straddling a window boundary uses
-  // the conditions under which it was injected.
-  VTime latency = params_.latency;
+  // Effective routed-path parameters at injection time. Degradation
+  // factors are sampled once, at `ready` — a transfer straddling a window
+  // boundary uses the conditions under which it was injected.
+  VTime latency = path.latency;
   double bytes_per_sec = params_.bytes_per_sec;
   if (has_faults_) {
     latency = vtime_from_sec(vtime_to_sec(latency) *
@@ -63,10 +106,33 @@ VTime Network::arrival(int src, int dst, VTime ready, std::size_t bytes,
   const VTime serialize =
       vtime_from_sec(static_cast<double>(bytes) / bytes_per_sec);
 
-  if (params_.model_contention) {
-    auto& nic = nic_free_[static_cast<std::size_t>(src)];
-    start = std::max(start, nic);
-    nic = start + serialize;
+  if (params_.model_contention || link_stats_enabled_) {
+    // Materialized links are only needed for stateful occupancy and the
+    // utilization counters; the routed cost above never touches them.
+    thread_local std::vector<int> links;
+    platform_.route(src, dst, &links);
+    if (params_.model_contention) {
+      // Emulation-only (sequential): the message occupies each link along
+      // its path for the serialization time; a busy link pushes the
+      // injection back. On flat this is exactly the legacy per-source NIC
+      // queue (the single path link is the source's egress NIC).
+      for (int l : links) {
+        auto& free_at = link_free_[static_cast<std::size_t>(l)];
+        start = std::max(start, free_at);
+        free_at = start + serialize;
+      }
+    }
+    if (link_stats_enabled_) {
+      const std::size_t h = std::min(static_cast<std::size_t>(path.hops),
+                                     hop_hist_.size() - 1);
+      hop_hist_[h].fetch_add(1, std::memory_order_relaxed);
+      for (int l : links) {
+        link_msgs_[static_cast<std::size_t>(l)].fetch_add(
+            1, std::memory_order_relaxed);
+        link_bytes_[static_cast<std::size_t>(l)].fetch_add(
+            bytes, std::memory_order_relaxed);
+      }
+    }
   }
 
   VTime flight = latency + serialize;
@@ -74,7 +140,7 @@ VTime Network::arrival(int src, int dst, VTime ready, std::size_t bytes,
     const double factor =
         std::max(0.2, 1.0 + params_.jitter_frac * rng.next_gaussian());
     flight = vtime_from_sec(vtime_to_sec(flight) * factor);
-    flight = std::max(flight, params_.latency / 2);
+    flight = std::max(flight, path.latency / 2);
   }
 
   if (has_faults_ && kind == TransferKind::kEager &&

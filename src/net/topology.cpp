@@ -1,0 +1,339 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/check.hpp"
+
+namespace stgsim::net {
+
+const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::kFlat: return "flat";
+    case Topology::kTorus: return "torus";
+    case Topology::kFatTree: return "fattree";
+    case Topology::kDragonfly: return "dragonfly";
+  }
+  return "?";
+}
+
+Topology parse_topology(const std::string& name) {
+  if (name == "flat") return Topology::kFlat;
+  if (name == "torus") return Topology::kTorus;
+  if (name == "fattree") return Topology::kFatTree;
+  if (name == "dragonfly") return Topology::kDragonfly;
+  throw std::runtime_error("unknown topology '" + name +
+                           "' (accepted: flat, torus, fattree, dragonfly)");
+}
+
+namespace {
+
+/// Near-square factorization P = a*b with a <= b and a maximal — the
+/// default torus shape when no extents are given.
+std::vector<int> near_square_dims(int p) {
+  int a = static_cast<int>(std::sqrt(static_cast<double>(p)));
+  while (a > 1 && p % a != 0) --a;
+  if (a <= 1) return {p};  // prime (or 1): a ring
+  return {a, p / a};
+}
+
+}  // namespace
+
+Platform::Platform(const PlatformParams& params, VTime base_latency,
+                   int nranks)
+    : params_(params), base_latency_(base_latency), nranks_(nranks) {
+  STGSIM_CHECK_GT(nranks, 0);
+  if (params_.hop_latency < 0) {
+    throw std::runtime_error("machine platform: hop latency must be >= 0");
+  }
+
+  switch (params_.topo) {
+    case Topology::kFlat: {
+      // One egress link per rank, shared by all destinations — the same
+      // serialization point the legacy per-source NIC model used.
+      link_count_ = nranks_;
+      min_hops_ = max_hops_ = 1;
+      break;
+    }
+    case Topology::kTorus: {
+      dims_ = params_.torus_dims.empty() ? near_square_dims(nranks_)
+                                         : params_.torus_dims;
+      long long product = 1;
+      for (int d : dims_) {
+        if (d <= 0) {
+          throw std::runtime_error(
+              "machine platform: torus extents must be positive");
+        }
+        product *= d;
+      }
+      if (product != nranks_) {
+        std::ostringstream os;
+        os << "machine platform: torus extents (";
+        for (std::size_t i = 0; i < dims_.size(); ++i) {
+          os << (i ? "x" : "") << dims_[i];
+        }
+        os << ") multiply to " << product << ", not the rank count "
+           << nranks_;
+        throw std::runtime_error(os.str());
+      }
+      strides_.resize(dims_.size());
+      int stride = 1;
+      for (std::size_t i = 0; i < dims_.size(); ++i) {
+        strides_[i] = stride;
+        stride *= dims_[i];
+      }
+      // Directed links: (node, dimension, +/-).
+      link_count_ = nranks_ * static_cast<int>(dims_.size()) * 2;
+      min_hops_ = 1;
+      max_hops_ = 0;
+      for (int d : dims_) max_hops_ += d / 2;
+      max_hops_ = std::max(max_hops_, 1);
+      break;
+    }
+    case Topology::kFatTree: {
+      if (params_.fattree_radix < 2 || params_.fattree_radix % 2 != 0) {
+        throw std::runtime_error(
+            "machine platform: fat-tree radix must be an even number >= 2");
+      }
+      ft_hosts_per_leaf_ = params_.fattree_radix / 2;
+      ft_spines_ = params_.fattree_radix / 2;
+      ft_leaves_ = (nranks_ + ft_hosts_per_leaf_ - 1) / ft_hosts_per_leaf_;
+      // host-up, host-down, leaf->spine, spine->leaf.
+      link_count_ = 2 * nranks_ + 2 * ft_leaves_ * ft_spines_;
+      min_hops_ = ft_hosts_per_leaf_ > 1 && nranks_ > 1 ? 2 : (nranks_ > 1 ? 4 : 2);
+      max_hops_ = ft_leaves_ > 1 ? 4 : 2;
+      min_hops_ = std::min(min_hops_, max_hops_);
+      break;
+    }
+    case Topology::kDragonfly: {
+      if (params_.df_routers < 1 || params_.df_hosts < 1) {
+        throw std::runtime_error(
+            "machine platform: dragonfly routers/hosts must be >= 1");
+      }
+      df_group_size_ = params_.df_routers * params_.df_hosts;
+      df_groups_ = (nranks_ + df_group_size_ - 1) / df_group_size_;
+      df_nrouters_ = df_groups_ * params_.df_routers;
+      // host-up, host-down, intra-group router pairs, inter-group pairs.
+      link_count_ = 2 * nranks_ + df_nrouters_ * params_.df_routers +
+                    df_groups_ * df_groups_;
+      // Minimal routing: host-up + [local] + global + [local] + host-down,
+      // i.e. 2 hops same-router, 3 same-group, 3-5 cross-group (with a
+      // single router per group, every router is its own gateway: 3).
+      min_hops_ = (nranks_ > 1 && params_.df_hosts == 1) ? 3 : 2;
+      max_hops_ = df_groups_ > 1 ? (params_.df_routers > 1 ? 5 : 3)
+                                 : (params_.df_routers > 1 ? 3 : 2);
+      min_hops_ = std::min(min_hops_, max_hops_);
+      break;
+    }
+  }
+
+  min_path_latency_ =
+      base_latency_ + static_cast<VTime>(min_hops_ - 1) * params_.hop_latency;
+  diameter_latency_ =
+      base_latency_ + static_cast<VTime>(max_hops_ - 1) * params_.hop_latency;
+  verify_floor(min_path_latency_);
+}
+
+int Platform::torus_hops(int src, int dst) const {
+  int hops = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const int a = (src / strides_[i]) % dims_[i];
+    const int b = (dst / strides_[i]) % dims_[i];
+    const int d = std::abs(a - b);
+    hops += std::min(d, dims_[i] - d);
+  }
+  return hops;
+}
+
+Platform::PathCost Platform::cost(int src, int dst) const {
+  PathCost out;
+  if (src == dst) {
+    // Loopback through the nearest switch level: exactly the floor, so a
+    // self-send can never undercut the advertised minimum latency.
+    out.hops = min_hops_;
+    out.latency = min_path_latency_;
+    return out;
+  }
+  switch (params_.topo) {
+    case Topology::kFlat:
+      out.hops = 1;
+      break;
+    case Topology::kTorus:
+      out.hops = std::max(torus_hops(src, dst), 1);
+      break;
+    case Topology::kFatTree:
+      out.hops = (src / ft_hosts_per_leaf_ == dst / ft_hosts_per_leaf_) ? 2 : 4;
+      break;
+    case Topology::kDragonfly: {
+      const int rs = src / params_.df_hosts, rd = dst / params_.df_hosts;
+      if (rs == rd) {
+        out.hops = 2;
+      } else {
+        const int gs = src / df_group_size_, gd = dst / df_group_size_;
+        if (gs == gd) {
+          out.hops = 3;
+        } else {
+          // Gateway routers for the (gs, gd) global link.
+          const int gw_s = gs * params_.df_routers + gd % params_.df_routers;
+          const int gw_d = gd * params_.df_routers + gs % params_.df_routers;
+          out.hops = 3 + (rs != gw_s ? 1 : 0) + (rd != gw_d ? 1 : 0);
+        }
+      }
+      break;
+    }
+  }
+  out.latency =
+      base_latency_ + static_cast<VTime>(out.hops - 1) * params_.hop_latency;
+  return out;
+}
+
+void Platform::route(int src, int dst, std::vector<int>* links) const {
+  links->clear();
+  switch (params_.topo) {
+    case Topology::kFlat:
+      // The source's egress NIC — shared across destinations, so contention
+      // serializes per source exactly like the legacy model.
+      links->push_back(src);
+      return;
+    case Topology::kTorus: {
+      if (src == dst) return;
+      const int ndims = static_cast<int>(dims_.size());
+      int node = src;
+      for (int i = 0; i < ndims; ++i) {
+        const int a = (node / strides_[i]) % dims_[i];
+        const int b = (dst / strides_[i]) % dims_[i];
+        if (a == b) continue;
+        const int fwd = (b - a + dims_[i]) % dims_[i];
+        const int bwd = dims_[i] - fwd;
+        const int dir = fwd <= bwd ? 0 : 1;  // tie: positive direction
+        const int steps = std::min(fwd, bwd);
+        // Walk the ring one step at a time; each directed link belongs to
+        // the node the step leaves from.
+        int cur = a;
+        int here = node;
+        for (int s = 0; s < steps; ++s) {
+          links->push_back((here * ndims + i) * 2 + dir);
+          const int next = dir == 0 ? (cur + 1) % dims_[i]
+                                    : (cur - 1 + dims_[i]) % dims_[i];
+          here += (next - cur) * strides_[i];
+          cur = next;
+        }
+        node = here;
+      }
+      return;
+    }
+    case Topology::kFatTree: {
+      if (src == dst) return;
+      const int leaf_s = src / ft_hosts_per_leaf_;
+      const int leaf_d = dst / ft_hosts_per_leaf_;
+      links->push_back(src);                // host up
+      if (leaf_s != leaf_d) {
+        const int spine = dst % ft_spines_;  // destination-mod spine choice
+        links->push_back(2 * nranks_ + leaf_s * ft_spines_ + spine);
+        links->push_back(2 * nranks_ + ft_leaves_ * ft_spines_ +
+                         spine * ft_leaves_ + leaf_d);
+      }
+      links->push_back(nranks_ + dst);      // host down
+      return;
+    }
+    case Topology::kDragonfly: {
+      if (src == dst) return;
+      const int a = params_.df_routers;
+      const int rs = src / params_.df_hosts, rd = dst / params_.df_hosts;
+      const int local_base = 2 * nranks_;
+      const int global_base = local_base + df_nrouters_ * a;
+      links->push_back(src);  // host up
+      if (rs != rd) {
+        const int gs = src / df_group_size_, gd = dst / df_group_size_;
+        if (gs == gd) {
+          links->push_back(local_base + rs * a + rd % a);
+        } else {
+          const int gw_s = gs * a + gd % a;
+          const int gw_d = gd * a + gs % a;
+          if (rs != gw_s) links->push_back(local_base + rs * a + gw_s % a);
+          links->push_back(global_base + gs * df_groups_ + gd);
+          if (rd != gw_d) links->push_back(local_base + gw_d * a + rd % a);
+        }
+      }
+      links->push_back(nranks_ + dst);  // host down
+      return;
+    }
+  }
+}
+
+std::string Platform::link_name(int id) const {
+  std::ostringstream os;
+  switch (params_.topo) {
+    case Topology::kFlat:
+      os << "nic" << id;
+      return os.str();
+    case Topology::kTorus: {
+      const int ndims = static_cast<int>(dims_.size());
+      const int dir = id % 2;
+      const int dim = (id / 2) % ndims;
+      const int node = id / (2 * ndims);
+      os << "torus.n" << node << ".d" << dim << (dir == 0 ? "+" : "-");
+      return os.str();
+    }
+    case Topology::kFatTree: {
+      if (id < nranks_) {
+        os << "host" << id << ".up";
+      } else if (id < 2 * nranks_) {
+        os << "host" << (id - nranks_) << ".down";
+      } else if (id < 2 * nranks_ + ft_leaves_ * ft_spines_) {
+        const int k = id - 2 * nranks_;
+        os << "leaf" << (k / ft_spines_) << ".spine" << (k % ft_spines_);
+      } else {
+        const int k = id - 2 * nranks_ - ft_leaves_ * ft_spines_;
+        os << "spine" << (k / ft_leaves_) << ".leaf" << (k % ft_leaves_);
+      }
+      return os.str();
+    }
+    case Topology::kDragonfly: {
+      const int a = params_.df_routers;
+      const int local_base = 2 * nranks_;
+      const int global_base = local_base + df_nrouters_ * a;
+      if (id < nranks_) {
+        os << "host" << id << ".up";
+      } else if (id < local_base) {
+        os << "host" << (id - nranks_) << ".down";
+      } else if (id < global_base) {
+        const int k = id - local_base;
+        os << "df.r" << (k / a) << ".l" << (k % a);
+      } else {
+        const int k = id - global_base;
+        os << "df.g" << (k / df_groups_) << ".g" << (k % df_groups_);
+      }
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+void Platform::verify_floor(VTime floor) const {
+  // Self-delivery is charged min_path_latency_ by construction; check it
+  // explicitly, then every distinct ordered pair (exhaustively for small
+  // platforms, structurally via min_hops_ beyond).
+  STGSIM_CHECK_GE(min_path_latency_, floor)
+      << "platform floor " << floor << "ns exceeds the self-delivery path";
+  const VTime structural_min =
+      base_latency_ + static_cast<VTime>(min_hops_ - 1) * params_.hop_latency;
+  STGSIM_CHECK_GE(structural_min, floor)
+      << "platform floor " << floor
+      << "ns exceeds the structural minimum path latency " << structural_min
+      << "ns (" << topology_name(params_.topo) << ", min " << min_hops_
+      << " hops)";
+  if (nranks_ > 512) return;
+  for (int s = 0; s < nranks_; ++s) {
+    for (int d = 0; d < nranks_; ++d) {
+      const PathCost pc = cost(s, d);
+      STGSIM_CHECK_GE(pc.latency, floor)
+          << "pair (" << s << " -> " << d << ") routes below the advertised "
+          << "latency floor: " << pc.latency << "ns < " << floor << "ns";
+    }
+  }
+}
+
+}  // namespace stgsim::net

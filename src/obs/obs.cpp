@@ -67,6 +67,7 @@ const char* op_kind_name(OpKind k) {
     case OpKind::kAllreduce: return "allreduce";
     case OpKind::kGather: return "gather";
     case OpKind::kScatter: return "scatter";
+    case OpKind::kAlltoall: return "alltoall";
     case OpKind::kCompute: return "compute";
     case OpKind::kDelay: return "delay";
     case OpKind::kCount_: break;
@@ -92,6 +93,7 @@ const char* op_kind_category(OpKind k) {
     case OpKind::kAllreduce:
     case OpKind::kGather:
     case OpKind::kScatter:
+    case OpKind::kAlltoall:
       return "collective";
     case OpKind::kCompute:
     case OpKind::kDelay:
@@ -313,6 +315,21 @@ void merge_metrics(MetricsSnapshot* dst, const MetricsSnapshot& src) {
   }
   merge_hist(&dst->msg_size_hist, src.msg_size_hist);
   merge_hist(&dst->window_advance_hist, src.window_advance_hist);
+  merge_hist(&dst->hop_hist, src.hop_hist);
+  // Links merge by name: cross-run rollups only make sense when the runs
+  // share a platform, but summing by name is harmless either way.
+  for (const auto& l : src.links) {
+    bool found = false;
+    for (auto& d : dst->links) {
+      if (d.name == l.name) {
+        d.messages += l.messages;
+        d.bytes += l.bytes;
+        found = true;
+        break;
+      }
+    }
+    if (!found) dst->links.push_back(l);
+  }
   if (dst->nranks == src.nranks && !src.p2p_messages.empty() &&
       dst->p2p_messages.size() == src.p2p_messages.size()) {
     merge_hist(&dst->p2p_messages, src.p2p_messages);
@@ -375,6 +392,14 @@ void Recorder::write_metrics_json(std::ostream& os,
     }
     os << "]";
   }
+  if (!s.hop_hist.empty()) {
+    os << ",\n  \"hop_hist\": [";
+    for (std::size_t i = 0; i < s.hop_hist.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << s.hop_hist[i];
+    }
+    os << "]";
+  }
   if (!s.p2p_messages.empty()) {
     os << ",\n  \"comm_matrix\": ";
     std::ostringstream tmp;
@@ -398,6 +423,23 @@ void Recorder::write_comm_matrix_json(std::ostream& os,
   os << ",\n  \"coll_bytes\": ";
   write_matrix(os, s.coll_bytes, s.nranks);
   os << "\n}";
+}
+
+void Recorder::write_link_stats_json(std::ostream& os,
+                                     const MetricsSnapshot& s) {
+  os << "{\n  \"hop_hist\": [";
+  for (std::size_t i = 0; i < s.hop_hist.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << s.hop_hist[i];
+  }
+  os << "],\n  \"links\": [";
+  for (std::size_t i = 0; i < s.links.size(); ++i) {
+    const auto& l = s.links[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << l.name
+       << "\", \"messages\": " << l.messages << ", \"bytes\": " << l.bytes
+       << "}";
+  }
+  os << "\n  ]\n}\n";
 }
 
 void Recorder::write_divergence_json(

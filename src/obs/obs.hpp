@@ -36,7 +36,7 @@ namespace stgsim::obs {
 /// trace deliberately excludes.
 enum class OpKind : std::uint8_t {
   kSend, kRecv, kIsend, kIrecv, kWait, kWaitall, kWaitany, kSendrecv,
-  kBarrier, kBcast, kReduce, kAllreduce, kGather, kScatter,
+  kBarrier, kBcast, kReduce, kAllreduce, kGather, kScatter, kAlltoall,
   kCompute, kDelay,
   kCount_  // sentinel
 };
@@ -82,6 +82,20 @@ struct MetricsSnapshot {
   /// zero-advance rounds. Appended by the harness from
   /// simk::ParallelStats.
   std::vector<std::uint64_t> window_advance_hist;
+
+  /// Hop-count histogram from the routed platform: bucket h counts
+  /// messages whose path crossed h links. Empty unless the run enabled
+  /// link stats (harness --links-out / campaign link artifacts).
+  std::vector<std::uint64_t> hop_hist;
+
+  /// Per-link utilization (messages/bytes carried), in platform link-id
+  /// order, zero-traffic links omitted. Empty unless link stats enabled.
+  struct LinkStat {
+    std::string name;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<LinkStat> links;
 
   int nranks = 0;
   /// Rank-major nranks×nranks planes; empty unless comm_matrix enabled.
@@ -152,6 +166,9 @@ class Recorder : public simk::EngineObserver {
   static void write_metrics_json(std::ostream& os, const MetricsSnapshot& s);
   static void write_comm_matrix_json(std::ostream& os,
                                      const MetricsSnapshot& s);
+  /// Per-link utilization + hop histogram ("--links-out" artifact).
+  static void write_link_stats_json(std::ostream& os,
+                                    const MetricsSnapshot& s);
 
   /// Per-schedule divergence dump (`stgsim check --replay
   /// --divergence-out`): a canonical-vs-observed field comparison plus a

@@ -126,7 +126,11 @@ VTime Comm::abstract_coll_cost(std::size_t bytes) const {
   const auto& net = world_.options().net;
   int rounds = 0;
   for (int span = 1; span < size(); span <<= 1) ++rounds;
-  const VTime per_round = net.latency + net.send_overhead + net.recv_overhead;
+  // Hop-aware round latency: a collective's rounds cross the platform's
+  // diameter in the worst case. On the flat preset the diameter is the
+  // base latency, reproducing the pre-platform closed form exactly.
+  const VTime per_round = world_.network().platform().diameter_latency() +
+                          net.send_overhead + net.recv_overhead;
   return rounds * per_round +
          vtime_from_sec(static_cast<double>(bytes) / net.bytes_per_sec);
 }
@@ -580,7 +584,8 @@ void Comm::barrier() {
     obs_op(obs::OpKind::kBarrier, -1, 0, t0);
     return;
   }
-  if (world_.options().linear_collectives) {
+  if (coll_algo(CollOp::kBarrier, coll_cfg().barrier, 0) ==
+      CollAlgo::kLinear) {
     // Gather-to-0 then release, both root-sequential.
     if (rank() == 0) {
       for (int r = 1; r < P; ++r) coll_recv(r, 0, nullptr, 0);
@@ -626,7 +631,8 @@ void Comm::bcast(void* data, std::size_t bytes, int root) {
     return;
   }
 
-  if (world_.options().linear_collectives) {
+  const CollAlgo algo = coll_algo(CollOp::kBcast, coll_cfg().bcast, bytes);
+  if (algo == CollAlgo::kLinear) {
     if (rank() == root) {
       for (int r = 0; r < P; ++r) {
         if (r != root) coll_send(r, 0, data, bytes);
@@ -634,6 +640,12 @@ void Comm::bcast(void* data, std::size_t bytes, int root) {
     } else {
       coll_recv(root, 0, data, bytes);
     }
+    stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kBcast, root, bytes, t0);
+    return;
+  }
+  if (algo == CollAlgo::kRing) {
+    bcast_ring(data, bytes, root);
     stats_.comm_time += now() - t0;
     obs_op(obs::OpKind::kBcast, root, bytes, t0);
     return;
@@ -700,7 +712,8 @@ void Comm::reduce_sum(double* inout, int n, int root) {
     return;
   }
 
-  if (world_.options().linear_collectives) {
+  const CollAlgo algo = coll_algo(CollOp::kReduce, coll_cfg().reduce, bytes);
+  if (algo == CollAlgo::kLinear) {
     if (rank() == root) {
       for (int r = 0; r < P; ++r) {
         if (r == root) continue;
@@ -712,6 +725,12 @@ void Comm::reduce_sum(double* inout, int n, int root) {
     } else {
       coll_send(root, 0, inout, bytes);
     }
+    stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kReduce, root, bytes, t0);
+    return;
+  }
+  if (algo == CollAlgo::kRing && P > 1) {
+    reduce_ring(inout, n, root, /*is_max=*/false);
     stats_.comm_time += now() - t0;
     obs_op(obs::OpKind::kReduce, root, bytes, t0);
     return;
@@ -740,8 +759,23 @@ void Comm::reduce_sum(double* inout, int n, int root) {
 }
 
 void Comm::allreduce_sum(double* inout, int n) {
+  const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(double);
+  if (!abstract_comm() && size() > 1 &&
+      coll_algo(CollOp::kAllreduce, coll_cfg().allreduce, bytes) ==
+          CollAlgo::kRing) {
+    trace(CommEvent::Kind::kAllreduce, -1, 0, bytes);
+    const VTime t0 = now();
+    ++coll_seq_;
+    ++stats_.collectives;
+    allreduce_ring(inout, n, /*is_max=*/false);
+    stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kAllreduce, -1, bytes, t0);
+    return;
+  }
+  // Tree/linear compositions reuse reduce + bcast, each dispatching its
+  // own configured algorithm.
   reduce_sum(inout, n, 0);
-  bcast(inout, static_cast<std::size_t>(n) * sizeof(double), 0);
+  bcast(inout, bytes, 0);
 }
 
 double Comm::allreduce_sum(double value) {
@@ -750,6 +784,20 @@ double Comm::allreduce_sum(double value) {
 }
 
 void Comm::allreduce_max(double* inout, int n) {
+  if (!abstract_comm() && size() > 1 &&
+      coll_algo(CollOp::kAllreduce, coll_cfg().allreduce,
+                static_cast<std::size_t>(n) * sizeof(double)) ==
+          CollAlgo::kRing) {
+    const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(double);
+    trace(CommEvent::Kind::kAllreduce, -1, 1, bytes);
+    const VTime t0 = now();
+    ++coll_seq_;
+    ++stats_.collectives;
+    allreduce_ring(inout, n, /*is_max=*/true);
+    stats_.comm_time += now() - t0;
+    obs_op(obs::OpKind::kAllreduce, -1, bytes, t0);
+    return;
+  }
   trace(CommEvent::Kind::kAllreduce, -1, 1,
         static_cast<std::size_t>(n) * sizeof(double));
   // Same binomial pattern as reduce_sum with a max combiner, then bcast.
@@ -867,6 +915,218 @@ void Comm::scatter(const void* send_all, std::size_t bytes_each, void* recv,
   }
   stats_.comm_time += now() - t0;
   obs_op(obs::OpKind::kScatter, root, bytes_each, t0);
+}
+
+// ---------------------------------------------------------------------------
+// Ring algorithms
+//
+// All rings run root-relative: rank r sits at chain/ring position
+// rel = (r - root + P) % P and talks only to its immediate neighbours.
+// coll_send is eager fire-and-forget, so the send-then-recv step order is
+// deadlock-free by construction.
+// ---------------------------------------------------------------------------
+
+void Comm::bcast_ring(void* data, std::size_t bytes, int root) {
+  const int P = size();
+  if (P < 2) return;
+  auto* out = static_cast<std::uint8_t*>(data);
+  const int rel = (rank() - root + P) % P;
+  const int prev = (rank() - 1 + P) % P;
+  const int next = (rank() + 1) % P;
+  // Pipelined chain: the payload is cut into P segments that stream down
+  // the chain, so the bandwidth term is ~2x the payload (like van de
+  // Geijn scatter+allgather) instead of P-1 x for a naive chain.
+  const int segments = P;
+  for (int seg = 0; seg < segments; ++seg) {
+    const std::size_t lo = bytes * static_cast<std::size_t>(seg) / segments;
+    const std::size_t hi =
+        bytes * (static_cast<std::size_t>(seg) + 1) / segments;
+    void* p = out != nullptr ? out + lo : nullptr;
+    if (rel > 0) coll_recv(prev, seg, p, hi - lo);
+    if (rel < P - 1) coll_send(next, seg, p, hi - lo);
+  }
+}
+
+void Comm::ring_reduce_scatter(double* work, int n, int root, bool is_max) {
+  const int P = size();
+  const int rel = (rank() - root + P) % P;
+  const int right = (rank() + 1) % P;
+  const int left = (rank() - 1 + P) % P;
+  // Chunk c covers elements [c*n/P, (c+1)*n/P).
+  auto lo = [&](int c) {
+    return static_cast<std::size_t>(c) * static_cast<std::size_t>(n) / P;
+  };
+  std::vector<double> tmp(static_cast<std::size_t>(n) / P + 1);
+  for (int s = 0; s < P - 1; ++s) {
+    // The chunk received last step is the one sent this step, so the
+    // partial sums accumulate around the ring; after P-1 steps chunk
+    // (rel + 1) % P on this rank holds every rank's contribution.
+    const int send_c = ((rel - s) % P + P) % P;
+    const int recv_c = ((rel - s - 1) % P + P) % P;
+    const std::size_t recv_lo = lo(recv_c);
+    const std::size_t recv_n = lo(recv_c + 1) - recv_lo;
+    coll_send(right, s, work != nullptr ? work + lo(send_c) : nullptr,
+              (lo(send_c + 1) - lo(send_c)) * sizeof(double));
+    coll_recv(left, s, work != nullptr ? tmp.data() : nullptr,
+              recv_n * sizeof(double));
+    if (work != nullptr) {
+      for (std::size_t i = 0; i < recv_n; ++i) {
+        if (is_max) {
+          work[recv_lo + i] = std::max(work[recv_lo + i], tmp[i]);
+        } else {
+          work[recv_lo + i] += tmp[i];
+        }
+      }
+    }
+  }
+}
+
+void Comm::ring_allgather(double* work, int n, int root) {
+  const int P = size();
+  const int rel = (rank() - root + P) % P;
+  const int right = (rank() + 1) % P;
+  const int left = (rank() - 1 + P) % P;
+  auto lo = [&](int c) {
+    return static_cast<std::size_t>(c) * static_cast<std::size_t>(n) / P;
+  };
+  // Entry state: chunk (rel + 1) % P is this rank's fully reduced chunk
+  // (ring_reduce_scatter's postcondition). Rounds continue the sequence
+  // numbers where reduce-scatter left off.
+  for (int s = 0; s < P - 1; ++s) {
+    const int send_c = ((rel + 1 - s) % P + P) % P;
+    const int recv_c = ((rel - s) % P + P) % P;
+    coll_send(right, P - 1 + s,
+              work != nullptr ? work + lo(send_c) : nullptr,
+              (lo(send_c + 1) - lo(send_c)) * sizeof(double));
+    coll_recv(left, P - 1 + s,
+              work != nullptr ? work + lo(recv_c) : nullptr,
+              (lo(recv_c + 1) - lo(recv_c)) * sizeof(double));
+  }
+}
+
+void Comm::allreduce_ring(double* inout, int n, bool is_max) {
+  if (size() < 2) return;
+  ring_reduce_scatter(inout, n, 0, is_max);
+  ring_allgather(inout, n, 0);
+}
+
+void Comm::reduce_ring(double* inout, int n, int root, bool is_max) {
+  const int P = size();
+  if (P < 2) return;
+  ring_reduce_scatter(inout, n, root, is_max);
+  // Owners forward their reduced chunk to the root (chunk c is owned by
+  // relative position (c - 1 + P) % P).
+  auto lo = [&](int c) {
+    return static_cast<std::size_t>(c) * static_cast<std::size_t>(n) / P;
+  };
+  const int rel = (rank() - root + P) % P;
+  const int own_c = (rel + 1) % P;
+  if (rank() == root) {
+    for (int c = 0; c < P; ++c) {
+      if (c == own_c) continue;
+      const int owner = (((c - 1 + P) % P) + root) % P;
+      coll_recv(owner, P - 1 + c,
+                inout != nullptr ? inout + lo(c) : nullptr,
+                (lo(c + 1) - lo(c)) * sizeof(double));
+    }
+  } else {
+    coll_send(root, P - 1 + own_c,
+              inout != nullptr ? inout + lo(own_c) : nullptr,
+              (lo(own_c + 1) - lo(own_c)) * sizeof(double));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Alltoall
+// ---------------------------------------------------------------------------
+
+void Comm::alltoall_pairwise(const void* send_all, std::size_t bytes_each,
+                             void* recv_all) {
+  const int P = size();
+  const auto* in = static_cast<const std::uint8_t*>(send_all);
+  auto* out = static_cast<std::uint8_t*>(recv_all);
+  for (int s = 1; s < P; ++s) {
+    // Step s exchanges with partners at ring distance s; every rank is in
+    // exactly one pair-per-step, so the P-1 steps tile the traffic with
+    // no endpoint contention.
+    const int dst = (rank() + s) % P;
+    const int src = (rank() - s + P) % P;
+    coll_send(dst, s,
+              in != nullptr ? in + static_cast<std::size_t>(dst) * bytes_each
+                            : nullptr,
+              bytes_each);
+    coll_recv(src, s,
+              out != nullptr
+                  ? out + static_cast<std::size_t>(src) * bytes_each
+                  : nullptr,
+              bytes_each);
+  }
+}
+
+void Comm::alltoall_linear(const void* send_all, std::size_t bytes_each,
+                           void* recv_all) {
+  const int P = size();
+  const auto* in = static_cast<const std::uint8_t*>(send_all);
+  auto* out = static_cast<std::uint8_t*>(recv_all);
+  for (int r = 0; r < P; ++r) {
+    if (r == rank()) continue;
+    coll_send(r, 0,
+              in != nullptr ? in + static_cast<std::size_t>(r) * bytes_each
+                            : nullptr,
+              bytes_each);
+  }
+  for (int r = 0; r < P; ++r) {
+    if (r == rank()) continue;
+    coll_recv(r, 0,
+              out != nullptr ? out + static_cast<std::size_t>(r) * bytes_each
+                             : nullptr,
+              bytes_each);
+  }
+}
+
+void Comm::alltoall(const void* send_all, std::size_t bytes_each,
+                    void* recv_all) {
+  trace(CommEvent::Kind::kAlltoall, -1, 0, bytes_each);
+  const VTime t0 = now();
+  ++coll_seq_;
+  ++stats_.collectives;
+  const int P = size();
+  const auto* in = static_cast<const std::uint8_t*>(send_all);
+  auto* out = static_cast<std::uint8_t*>(recv_all);
+  if (out != nullptr && in != nullptr) {
+    std::memcpy(out + static_cast<std::size_t>(rank()) * bytes_each,
+                in + static_cast<std::size_t>(rank()) * bytes_each,
+                bytes_each);
+  }
+  if (abstract_comm()) {
+    // Every off-rank block lands at the closed-form completion time for
+    // the full per-rank volume.
+    const VTime done =
+        now() + abstract_coll_cost(bytes_each * static_cast<std::size_t>(P));
+    for (int s = 1; s < P; ++s) {
+      const int dst = (rank() + s) % P;
+      coll_send_at(dst, s,
+                   in != nullptr
+                       ? in + static_cast<std::size_t>(dst) * bytes_each
+                       : nullptr,
+                   bytes_each, done);
+    }
+    for (int s = 1; s < P; ++s) {
+      const int src = (rank() - s + P) % P;
+      coll_recv(src, s,
+                out != nullptr
+                    ? out + static_cast<std::size_t>(src) * bytes_each
+                    : nullptr,
+                bytes_each);
+    }
+  } else if (coll_algo(CollOp::kAlltoall, coll_cfg().alltoall, bytes_each) ==
+             CollAlgo::kLinear) {
+    alltoall_linear(send_all, bytes_each, recv_all);
+  } else {
+    alltoall_pairwise(send_all, bytes_each, recv_all);
+  }
+  stats_.comm_time += now() - t0;
+  obs_op(obs::OpKind::kAlltoall, -1, bytes_each, t0);
 }
 
 double Comm::read_param(const std::string& name) {

@@ -26,6 +26,7 @@
 #include "machine/compute.hpp"
 #include "net/network.hpp"
 #include "obs/obs.hpp"
+#include "smpi/collectives.hpp"
 #include "sim/engine.hpp"
 #include "support/vtime.hpp"
 
@@ -67,7 +68,8 @@ struct RankStats {
 /// One user-level communication operation, as recorded by CommTrace.
 struct CommEvent {
   enum class Kind : std::uint8_t {
-    kSend, kRecv, kIsend, kIrecv, kWaitall, kBarrier, kBcast, kAllreduce
+    kSend, kRecv, kIsend, kIrecv, kWaitall, kBarrier, kBcast, kAllreduce,
+    kAlltoall
   };
   Kind kind{};
   int peer = -1;  ///< destination / posted source / root (-1 where n/a)
@@ -123,10 +125,22 @@ class World {
     /// not on the (already-parameterized) MPI library costs.
     fault::FaultPlan faults;
 
-    /// Use naive root-sequential collective algorithms instead of the
-    /// binomial/dissemination trees (ablation: collective algorithm cost
-    /// under the same point-to-point model).
+    /// Per-operation collective algorithm selection (part of the machine
+    /// description; see smpi/collectives.hpp). kAuto picks by message
+    /// size like real MPI selection tables.
+    CollectiveConfig coll;
+
+    /// Legacy ablation switch: use naive root-sequential algorithms for
+    /// every collective. Mapped onto `coll` (all ops forced to kLinear)
+    /// at World construction.
     bool linear_collectives = false;
+
+    /// Test-only fault injection: widens the advertised wildcard latency
+    /// floor past the network's sound bound, so regression tests can show
+    /// that a floor tighter than every routed path trips the
+    /// wildcard-park invariant (`stgsim check` finds the race it opens).
+    /// Never set outside tests.
+    VTime unsafe_floor_slack = 0;
 
     /// §5 of the paper proposes, as future work, replacing the detailed
     /// communication simulation with "an abstract model of the
@@ -144,6 +158,13 @@ class World {
   World(Options options, int nranks)
       : options_(options), network_(options.net, nranks),
         stats_(static_cast<std::size_t>(nranks)) {
+    if (options_.linear_collectives) {
+      options_.coll.barrier = CollAlgo::kLinear;
+      options_.coll.bcast = CollAlgo::kLinear;
+      options_.coll.reduce = CollAlgo::kLinear;
+      options_.coll.allreduce = CollAlgo::kLinear;
+      options_.coll.alltoall = CollAlgo::kLinear;
+    }
     network_.set_fault_plan(options_.faults);
   }
 
@@ -160,7 +181,8 @@ class World {
   VTime wildcard_latency_floor() const {
     const double f = options_.faults.latency_floor_factor();
     const VTime base = network_.min_latency();
-    return static_cast<VTime>(static_cast<double>(base) * f);
+    return static_cast<VTime>(static_cast<double>(base) * f) +
+           options_.unsafe_floor_slack;
   }
 
   void set_param(const std::string& name, double value) {
@@ -276,6 +298,12 @@ class Comm {
   double allreduce_sum(double value);
   void allreduce_max(double* inout, int n);
 
+  /// Every rank sends block d of `send_all` (rank-major, `bytes_each` per
+  /// block) to rank d and receives block s of `recv_all` from rank s.
+  /// Buffers may be null for modeled-only transfers (correct wire sizes
+  /// and timing, no payload). Pairwise-exchange by default.
+  void alltoall(const void* send_all, std::size_t bytes_each, void* recv_all);
+
  private:
   enum MsgKind : std::uint8_t {
     kKindEager = 0,
@@ -316,7 +344,30 @@ class Comm {
            World::Options::CommFidelity::kAbstract;
   }
 
-  /// Closed-form collective completion cost for P ranks, `bytes` payload.
+  const CollectiveConfig& coll_cfg() const { return world_.options().coll; }
+  CollAlgo coll_algo(CollOp op, CollAlgo configured, std::size_t bytes) const {
+    return resolve_coll_algo(op, configured, bytes,
+                             coll_cfg().ring_threshold);
+  }
+
+  // Ring algorithm building blocks (see the .cpp for the shapes).
+  void bcast_ring(void* data, std::size_t bytes, int root);
+  /// Reduce-scatter over the ring; on return this rank's owned chunk
+  /// (index (rel + 1) % P) of `work` holds the fully combined values.
+  /// `work` may be null for modeled-only runs.
+  void ring_reduce_scatter(double* work, int n, int root, bool is_max);
+  void ring_allgather(double* work, int n, int root);
+  void reduce_ring(double* inout, int n, int root, bool is_max);
+  void allreduce_ring(double* inout, int n, bool is_max);
+
+  void alltoall_pairwise(const void* send_all, std::size_t bytes_each,
+                         void* recv_all);
+  void alltoall_linear(const void* send_all, std::size_t bytes_each,
+                       void* recv_all);
+
+  /// Closed-form collective completion cost for P ranks, `bytes` payload
+  /// (abstract comm fidelity). Hop-aware: charges the platform's diameter
+  /// latency per round, which on flat equals the base latency.
   VTime abstract_coll_cost(std::size_t bytes) const;
 
   void trace(CommEvent::Kind kind, int peer, int tag, std::size_t bytes) {

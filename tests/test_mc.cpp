@@ -134,6 +134,59 @@ TEST(McCheck, InjectedUnsafeWildcardYieldsReplayableCounterexample) {
 }
 
 // ---------------------------------------------------------------------------
+// The latency floor feeding the wildcard-park bound
+// ---------------------------------------------------------------------------
+
+/// A wildcard race only an unsound floor can lose: rank 1 sends a large
+/// message immediately (long serialization => late arrival), rank 2 sits
+/// idle past the floor and then sends a tiny message that overtakes it on
+/// the wire. The sound bound keeps rank 0 parked until rank 2's earlier
+/// arrival is queued; an inflated floor commits rank 1's candidate on
+/// sight. In anysource_program arrival order always equals send order
+/// (uniform sizes), so it cannot distinguish the two — this shape can.
+ir::Program overtaking_sender_program() {
+  ir::ProgramBuilder b("mc_floor_race");
+  Expr myid = b.get_rank("myid");
+  Expr big = b.decl_int("BIG", I(1024));  // 8 KiB: ~91us serialization
+  b.decl_array("buf", {big});
+  b.if_then(sym::eq(myid, I(0)), [&] {
+    b.recv("buf", I(-1), big, I(0), 5);
+    b.recv("buf", I(-1), big, I(0), 5);
+  });
+  b.if_then(sym::eq(myid, I(1)), [&] { b.send("buf", I(0), big, I(0), 5); });
+  b.if_then(sym::eq(myid, I(2)), [&] {
+    b.delay(Expr::real(50e-6));  // idle past the 25us floor, then overtake
+    b.send("buf", I(0), I(1), I(0), 5);
+  });
+  return b.take();
+}
+
+TEST(McCheck, InflatedLatencyFloorTripsTheWildcardParkInvariant) {
+  // The wildcard safe bound is (slowest other clock + advertised floor):
+  // a floor tightened past the platform's true minimum path latency lets
+  // a receiver commit a queued candidate while a slower sender could
+  // still produce an earlier arrival. unsafe_floor_slack (test-only)
+  // inflates the advertised floor without touching the platform, and the
+  // checker must rediscover the resulting race — this is the regression
+  // gate behind Platform::verify_floor().
+  const ir::Program prog = overtaking_sender_program();
+  mc::CheckOptions opts;
+  opts.base = base_config(3);
+  opts.base.unsafe_floor_slack = vtime_from_ms(1000);
+  const mc::CheckReport rep = mc::check_program(prog, opts);
+  ASSERT_TRUE(rep.error.empty()) << rep.error;
+  EXPECT_FALSE(rep.divergences.empty())
+      << "an overstated latency floor must produce a schedule divergence";
+
+  // The same configuration with the sound (platform-derived) floor is
+  // schedule-invariant.
+  opts.base.unsafe_floor_slack = 0;
+  const mc::CheckReport sound = mc::check_program(prog, opts);
+  ASSERT_TRUE(sound.error.empty()) << sound.error;
+  EXPECT_TRUE(sound.ok());
+}
+
+// ---------------------------------------------------------------------------
 // Deadlock determinism
 // ---------------------------------------------------------------------------
 
