@@ -7,6 +7,7 @@
 // mode and archives the JSON it writes.
 //
 // Usage: perf_engine_scale [--max-procs N] [--out FILE] [--obs] [--threaded]
+//                          [--schedule conservative|optimistic|both]
 //   --max-procs N   skip sweep points above N target processes
 //                   (default 16384; CI uses a smaller bound)
 //   --out FILE      JSON output path (default BENCH_engine_scale.json, or
@@ -21,6 +22,14 @@
 //                   events/sec ratios are only meaningful against it
 //                   (workers > cores measures protocol overhead, not
 //                   speedup).
+//   --schedule X    (--threaded only) which synchronization protocols to
+//                   sweep: the conservative lookahead window, the
+//                   optimistic Time Warp scheduler, or both (default).
+//                   Optimistic points are capped at 4096 ranks: its
+//                   consumption-log state saving retains every delivered
+//                   message until the run commits, so the 16384-rank
+//                   points cost multiple GB of host memory for no extra
+//                   protocol signal.
 #include <sys/resource.h>
 
 #include <cstring>
@@ -36,6 +45,7 @@
 #include "apps/tomcatv.hpp"
 #include "bench/common.hpp"
 #include "obs/obs.hpp"
+#include "support/numparse.hpp"
 
 using namespace stgsim;
 
@@ -51,11 +61,11 @@ struct Point {
     return static_cast<double>(outcome.messages + outcome.slices);
   }
   double events_per_sec() const {
-    return events() / std::max(1e-9, outcome.sim_host_seconds);
+    return safe_rate(events(), outcome.sim_host_seconds);
   }
   double matches_per_sec() const {
-    return static_cast<double>(outcome.messages) /
-           std::max(1e-9, outcome.sim_host_seconds);
+    return safe_rate(static_cast<double>(outcome.messages),
+                     outcome.sim_host_seconds);
   }
 };
 
@@ -109,17 +119,20 @@ struct ThreadedPoint {
   std::string app;
   int procs = 0;
   int workers = 0;  ///< 1 = sequential fast path (the baseline rows)
+  harness::Schedule schedule = harness::Schedule::kConservative;
   harness::RunOutcome outcome;
 
   double events_per_sec() const {
-    return static_cast<double>(outcome.messages + outcome.slices) /
-           std::max(1e-9, outcome.sim_host_seconds);
+    return safe_rate(
+        static_cast<double>(outcome.messages + outcome.slices),
+        outcome.sim_host_seconds);
   }
 };
 
 ThreadedPoint run_threaded_point(const std::string& app,
                                  const benchx::ProgramFactory& make,
                                  int procs, int workers,
+                                 harness::Schedule schedule,
                                  const harness::MachineSpec& machine,
                                  const std::map<std::string, double>& params) {
   ir::Program prog = make(procs);
@@ -133,14 +146,17 @@ ThreadedPoint run_threaded_point(const std::string& app,
   cfg.fiber_stack_bytes = 128 * 1024;
   cfg.threads = workers;
   cfg.partition = simk::PartitionMode::kComm;
+  cfg.schedule = schedule;
 
   ThreadedPoint p;
   p.app = app;
   p.procs = procs;
   p.workers = workers;
+  p.schedule = schedule;
   p.outcome = harness::run_program(compiled.simplified.program, cfg);
   STGSIM_CHECK(p.outcome.ok())
-      << app << " @ " << procs << " x " << workers << " workers: "
+      << app << " @ " << procs << " x " << workers << " workers ("
+      << harness::schedule_name(schedule) << "): "
       << harness::run_status_name(p.outcome.status) << " "
       << p.outcome.diagnostic;
   return p;
@@ -152,43 +168,54 @@ void write_threaded_json(const std::string& path,
   os << "{\n  \"bench\": \"threaded_scale\",\n  \"mode\": \"am\",\n"
      << "  \"partition\": \"comm\",\n"
      << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
-     << "  \"note\": \"workers=1 rows are the sequential fast path;"
-        " digests are identical across all rows of one (app, procs)\",\n"
+     << "  \"note\": \"workers=1 conservative rows are the sequential fast"
+        " path; digests are identical across all rows of one (app, procs)"
+        " regardless of schedule; optimistic rows stop at 4096 ranks"
+        " (consumption-log memory)\",\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const ThreadedPoint& p = points[i];
-    // Baseline = the workers=1 row of the same (app, procs).
+    // Baseline = the conservative workers=1 row of the same (app, procs):
+    // both protocols are measured against the one sequential fast path.
     double base_wall = 0.0;
     for (const ThreadedPoint& q : points) {
-      if (q.app == p.app && q.procs == p.procs && q.workers == 1) {
+      if (q.app == p.app && q.procs == p.procs && q.workers == 1 &&
+          q.schedule == harness::Schedule::kConservative) {
         base_wall = q.outcome.sim_host_seconds;
       }
     }
     const simk::ParallelStats& ps = p.outcome.parallel;
     os << "    {\"app\": \"" << p.app << "\", \"procs\": " << p.procs
        << ", \"workers\": " << p.workers
+       << ", \"schedule\": \"" << harness::schedule_name(p.schedule) << "\""
        << ", \"messages\": " << p.outcome.messages
        << ", \"slices\": " << p.outcome.slices
        << ", \"wall_sec\": " << p.outcome.sim_host_seconds
        << ", \"events_per_sec\": " << p.events_per_sec()
        << ", \"speedup_vs_seq\": "
-       << (p.outcome.sim_host_seconds > 0.0 && base_wall > 0.0
-               ? base_wall / p.outcome.sim_host_seconds
-               : 0.0)
+       << safe_speedup(base_wall, p.outcome.sim_host_seconds)
        << ", \"rounds\": " << ps.rounds
        << ", \"intra_messages\": " << ps.intra_messages
        << ", \"mailbox_messages\": " << ps.mailbox_messages
-       << ", \"barrier_messages\": " << ps.barrier_messages << "}"
+       << ", \"barrier_messages\": " << ps.barrier_messages
+       << ", \"rollbacks\": " << ps.rollbacks
+       << ", \"anti_messages\": " << ps.anti_messages
+       << ", \"gvt_passes\": " << ps.gvt_passes << "}"
        << (i + 1 < points.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
 
-int run_threaded_sweep(int max_procs, const std::string& out_path) {
+int run_threaded_sweep(int max_procs, const std::string& out_path,
+                       const std::vector<harness::Schedule>& schedules) {
   const auto machine = harness::ibm_sp_machine();
   // Square counts so nas_sp's q x q grid exists at every point.
   const std::vector<int> sweep = {1024, 4096, 16384};
   const std::vector<int> worker_counts = {1, 2, 4, 8};
+  // Time Warp's consumption log keeps every delivered message alive for
+  // possible replay, so its memory footprint is proportional to total
+  // message volume; the 16384-rank points would cost multiple GB.
+  constexpr int kOptimisticMaxProcs = 4096;
 
   const benchx::ProgramFactory make_sample = [](int nprocs) {
     (void)nprocs;
@@ -217,16 +244,16 @@ int run_threaded_sweep(int max_procs, const std::string& out_path) {
 
   print_experiment_header(
       std::cout, "BENCH threaded_scale",
-      "Threaded conservative scheduler vs worker count (AM mode, comm "
+      "Threaded scheduler vs worker count and protocol (AM mode, comm "
       "partition)",
-      {"workers=1 rows take the sequential fast path (the baseline)",
-       "speedup_vs_seq is wall-clock baseline / wall-clock; only",
-       "meaningful up to the host core count recorded in the JSON",
+      {"workers=1 conservative rows take the sequential fast path (the",
+       "baseline); speedup_vs_seq is baseline wall-clock / wall-clock,",
+       "only meaningful up to the host core count recorded in the JSON",
        "digests are bit-identical across every row of one (app, procs)"});
 
   std::vector<ThreadedPoint> points;
-  TablePrinter t({"app", "procs", "workers", "wall (s)", "events/s",
-                  "rounds", "cross msgs", "intra msgs"});
+  TablePrinter t({"app", "procs", "workers", "schedule", "wall (s)",
+                  "events/s", "rounds", "cross msgs", "rollbacks"});
   for (const auto& [app, make] :
        std::vector<std::pair<std::string, benchx::ProgramFactory>>{
            {"sample", make_sample},
@@ -237,21 +264,28 @@ int run_threaded_sweep(int max_procs, const std::string& out_path) {
     for (int procs : sweep) {
       if (procs > max_procs) continue;
       for (int workers : worker_counts) {
-        ThreadedPoint p =
-            run_threaded_point(app, make, procs, workers, machine, params);
-        const simk::ParallelStats& ps = p.outcome.parallel;
-        t.add_row({p.app, TablePrinter::fmt_int(p.procs),
-                   TablePrinter::fmt_int(p.workers),
-                   TablePrinter::fmt(p.outcome.sim_host_seconds, 3),
-                   TablePrinter::fmt_int(
-                       static_cast<std::int64_t>(p.events_per_sec())),
-                   TablePrinter::fmt_int(
-                       static_cast<std::int64_t>(ps.rounds)),
-                   TablePrinter::fmt_int(
-                       static_cast<std::int64_t>(ps.cross_messages())),
-                   TablePrinter::fmt_int(
-                       static_cast<std::int64_t>(ps.intra_messages))});
-        points.push_back(std::move(p));
+        for (harness::Schedule schedule : schedules) {
+          if (schedule == harness::Schedule::kOptimistic &&
+              procs > kOptimisticMaxProcs) {
+            continue;
+          }
+          ThreadedPoint p = run_threaded_point(app, make, procs, workers,
+                                               schedule, machine, params);
+          const simk::ParallelStats& ps = p.outcome.parallel;
+          t.add_row({p.app, TablePrinter::fmt_int(p.procs),
+                     TablePrinter::fmt_int(p.workers),
+                     harness::schedule_name(p.schedule),
+                     TablePrinter::fmt(p.outcome.sim_host_seconds, 3),
+                     TablePrinter::fmt_int(
+                         static_cast<std::int64_t>(p.events_per_sec())),
+                     TablePrinter::fmt_int(
+                         static_cast<std::int64_t>(ps.rounds)),
+                     TablePrinter::fmt_int(
+                         static_cast<std::int64_t>(ps.cross_messages())),
+                     TablePrinter::fmt_int(
+                         static_cast<std::int64_t>(ps.rollbacks))});
+          points.push_back(std::move(p));
+        }
       }
     }
   }
@@ -287,18 +321,42 @@ int main(int argc, char** argv) {
   std::string out_path;
   bool with_obs = false;
   bool threaded = false;
+  std::vector<harness::Schedule> schedules = {
+      harness::Schedule::kConservative, harness::Schedule::kOptimistic};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-procs") == 0 && i + 1 < argc) {
-      max_procs = std::stoi(argv[++i]);
+      long long n = 0;
+      if (support::parse_i64(argv[++i], &n) !=
+              support::ParseNumStatus::kOk ||
+          n < 1 || n > 1 << 24) {
+        std::cerr << "--max-procs: expected a positive integer, got '"
+                  << argv[i] << "'\n";
+        return 2;
+      }
+      max_procs = static_cast<int>(n);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       with_obs = true;
     } else if (std::strcmp(argv[i], "--threaded") == 0) {
       threaded = true;
+    } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
+      const std::string which = argv[++i];
+      harness::Schedule one;
+      if (which == "both") {
+        schedules = {harness::Schedule::kConservative,
+                     harness::Schedule::kOptimistic};
+      } else if (harness::parse_schedule(which, &one)) {
+        schedules = {one};
+      } else {
+        std::cerr << "--schedule: expected conservative|optimistic|both, "
+                     "got '" << which << "'\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: perf_engine_scale [--max-procs N] [--out FILE]"
-                   " [--obs] [--threaded]\n";
+                   " [--obs] [--threaded]"
+                   " [--schedule conservative|optimistic|both]\n";
       return 2;
     }
   }
@@ -306,7 +364,7 @@ int main(int argc, char** argv) {
     out_path =
         threaded ? "BENCH_threaded_scale.json" : "BENCH_engine_scale.json";
   }
-  if (threaded) return run_threaded_sweep(max_procs, out_path);
+  if (threaded) return run_threaded_sweep(max_procs, out_path, schedules);
 
   const auto machine = harness::ibm_sp_machine();
   const std::vector<int> sweep = {256, 1024, 4096, 16384};

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "apps/nas_sp.hpp"
+#include "support/numparse.hpp"
 #include "apps/sample.hpp"
 #include "apps/sweep3d.hpp"
 #include "apps/tomcatv.hpp"
@@ -55,15 +56,15 @@ std::map<std::string, std::string> resolve_options(const AppInfo& info,
 
 long long to_num(const std::string& app, const std::string& opt,
                  const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const long long v = std::stoll(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-    return v;
-  } catch (const std::exception&) {
-    throw std::runtime_error("app '" + app + "' option '" + opt +
-                             "': expected an integer, got '" + value + "'");
+  long long v = 0;
+  const auto st = support::parse_i64(value, &v);
+  if (st != support::ParseNumStatus::kOk) {
+    throw std::runtime_error(
+        "app '" + app + "' option '" + opt + "': " +
+        support::parse_num_problem(st, "expected an integer") + ", got '" +
+        value + "'");
   }
+  return v;
 }
 
 }  // namespace

@@ -1,11 +1,18 @@
 #include "campaign/cache.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace stgsim::campaign {
 
@@ -80,9 +87,18 @@ void ResultCache::store(const std::string& key_hex,
   const std::string final_path = path_for(key_hex);
   // Unique temp name per writer so two concurrent stores of the same key
   // (possible when a campaign races a standalone run) never interleave.
+  // pid disambiguates across processes sharing the cache directory; the
+  // counter disambiguates threads within one (object addresses can repeat
+  // across processes and even within one after deallocation).
+  static std::atomic<std::uint64_t> store_counter{0};
+#if defined(_WIN32)
+  const auto pid = static_cast<long long>(_getpid());
+#else
+  const auto pid = static_cast<long long>(getpid());
+#endif
   const std::string tmp_path =
-      final_path + ".tmp." +
-      std::to_string(reinterpret_cast<std::uintptr_t>(&doc));
+      final_path + ".tmp." + std::to_string(pid) + "." +
+      std::to_string(store_counter.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -101,9 +117,10 @@ void ResultCache::store(const std::string& key_hex,
   std::error_code ec;
   fs::rename(tmp_path, final_path, ec);
   if (ec) {
+    // A lost rename race (or a cache directory that became read-only
+    // mid-campaign) only costs a cache entry, never the run's results —
+    // skip the store instead of failing the campaign.
     fs::remove(tmp_path, ec);
-    throw std::runtime_error("cannot finalize cache entry '" + final_path +
-                             "'");
   }
 }
 

@@ -38,7 +38,8 @@ class ResultCache {
   std::optional<json::Value> load(const std::string& key_hex) const;
 
   /// Atomically stores `doc` under `key_hex`, overwriting any previous
-  /// entry.
+  /// entry. A failed finalize (rename) is a silent cache-skip, not an
+  /// error — the cache is an accelerator, never a correctness dependency.
   void store(const std::string& key_hex, const json::Value& doc) const;
 
   /// Removes the entry for `key_hex` (no-op when absent).

@@ -3,6 +3,8 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "support/numparse.hpp"
+
 namespace stgsim::cli {
 
 Args::Args(int argc, char** argv, int first) {
@@ -52,30 +54,30 @@ long long Args::num(const std::string& key, long long dflt) {
   auto it = values_.find(key);
   if (it == values_.end()) return dflt;
   seen_[key] = true;
-  try {
-    std::size_t used = 0;
-    const long long v = std::stoll(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument(it->second);
-    return v;
-  } catch (const std::exception&) {
-    throw std::runtime_error("flag --" + key + ": expected an integer, got '" +
-                             it->second + "'");
+  long long v = 0;
+  const auto st = support::parse_i64(it->second, &v);
+  if (st != support::ParseNumStatus::kOk) {
+    throw std::runtime_error(
+        "flag --" + key + ": " +
+        support::parse_num_problem(st, "expected an integer") + ", got '" +
+        it->second + "'");
   }
+  return v;
 }
 
 double Args::real(const std::string& key, double dflt) {
   auto it = values_.find(key);
   if (it == values_.end()) return dflt;
   seen_[key] = true;
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument(it->second);
-    return v;
-  } catch (const std::exception&) {
-    throw std::runtime_error("flag --" + key + ": expected a number, got '" +
-                             it->second + "'");
+  double v = 0.0;
+  const auto st = support::parse_f64(it->second, &v);
+  if (st != support::ParseNumStatus::kOk) {
+    throw std::runtime_error(
+        "flag --" + key + ": " +
+        support::parse_num_problem(st, "expected a number") + ", got '" +
+        it->second + "'");
   }
+  return v;
 }
 
 bool Args::flag(const std::string& key) {

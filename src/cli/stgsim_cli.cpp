@@ -9,6 +9,7 @@
 //                   [--machine "ibm_sp[latency_us=30,bw=120e6]"]
 //                   [--calibrate N] [--load-params f] [--save-params f]
 //                   [--workers N] [--partition block|interleave|comm]
+//                   [--schedule conservative|optimistic]
 //                   [--abstract-comm] [--memory-cap-mb M]
 //                   [--seed S] [--fault SPEC]
 //                   [--max-vtime-sec T] [--max-messages N] [--max-host-sec T]
@@ -23,7 +24,9 @@
 //                   [--mode de|am] [--machine M] [--seed S] [--fault SPEC]
 //                   [--max-schedules N] [--max-depth N] [--max-host-sec T]
 //                   [--workers N] [--trials N] [--drain-seed S]
-//                   [--no-dpor] [--keep-going] [--inject unsafe-wildcard]
+//                   [--schedule conservative|optimistic] [--no-dpor]
+//                   [--keep-going]
+//                   [--inject unsafe-wildcard|commit-before-gvt]
 //                   [--counterexample-out f.json]
 //   stgsim check    --replay f.json [--trace-out f] [--metrics-out f]
 //                   [--comm-matrix-out f] [--divergence-out f]
@@ -82,6 +85,14 @@
 // and --divergence-out writing a canonical-vs-observed field dump.
 // --inject unsafe-wildcard plants the pre-PR-3 wildcard commit race
 // behind a test-only flag, for exercising the gate itself.
+//
+// --schedule optimistic switches the engine to the Time Warp scheduler
+// (DESIGN.md §15): speculative execution with rollback, anti-messages and
+// GVT-driven fossil collection. Digests are bit-identical to the
+// conservative schedulers; `check --schedule optimistic` explores the
+// rollback/commit protocol against the conservative sequential digest, and
+// --inject commit-before-gvt plants a commit-finalized-before-GVT race on
+// the optimistic path for the gate to rediscover.
 //
 // Legacy spellings are kept as deprecated aliases: "stgsim --app ..."
 // (no subcommand) runs `run`; --threads means --workers; --calib means
@@ -196,6 +207,9 @@ json::Value spec_doc_from_args(Args& args) {
   }
   if (args.has("partition")) {
     doc.set("partition", json::Value(args.str("partition", "")));
+  }
+  if (args.has("schedule")) {
+    doc.set("schedule", json::Value(args.str("schedule", "")));
   }
   if (args.flag("abstract-comm")) doc.set("abstract_comm", json::Value(true));
   if (args.has("memory-cap-mb")) {
@@ -592,6 +606,8 @@ int run_check_replay(Args& args, const std::string& path) {
   if (const json::Value* inj = doc.find("inject")) {
     if (inj->as_string() == "unsafe-wildcard") {
       cfg.unsafe_wildcard_commit = true;
+    } else if (inj->as_string() == "commit-before-gvt") {
+      cfg.unsafe_commit_before_gvt = true;
     } else {
       throw std::runtime_error("unknown inject '" + inj->as_string() + "'");
     }
@@ -735,9 +751,22 @@ int cmd_check(Args& args) {
   if (spec.config.max_host_seconds > 0.0) {
     copts.max_host_seconds = spec.config.max_host_seconds;
   }
-  if (!inject.empty() && inject != "unsafe-wildcard") {
-    throw std::runtime_error("unknown --inject '" + inject +
-                             "' (expected unsafe-wildcard)");
+  if (!inject.empty() && inject != "unsafe-wildcard" &&
+      inject != "commit-before-gvt") {
+    throw std::runtime_error(
+        "unknown --inject '" + inject +
+        "' (expected unsafe-wildcard|commit-before-gvt)");
+  }
+  const bool optimistic =
+      spec.config.schedule == harness::Schedule::kOptimistic;
+  if (inject == "unsafe-wildcard" && optimistic) {
+    throw std::runtime_error(
+        "--inject unsafe-wildcard targets the conservative commit path; "
+        "use --inject commit-before-gvt with --schedule optimistic");
+  }
+  if (inject == "commit-before-gvt" && !optimistic) {
+    throw std::runtime_error(
+        "--inject commit-before-gvt requires --schedule optimistic");
   }
 
   // Resolve w_i parameters for analytical-model checks.
@@ -754,6 +783,7 @@ int cmd_check(Args& args) {
 
   copts.base = resolved.config;
   copts.base.unsafe_wildcard_commit = (inject == "unsafe-wildcard");
+  copts.base.unsafe_commit_before_gvt = (inject == "commit-before-gvt");
   ir::Program prog = program_for_spec(resolved);
 
   mc::CheckReport rep = mc::check_program(prog, copts);

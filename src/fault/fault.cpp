@@ -5,6 +5,7 @@
 
 #include "support/check.hpp"
 #include "support/json.hpp"
+#include "support/numparse.hpp"
 
 namespace stgsim::fault {
 
@@ -218,14 +219,15 @@ std::vector<std::pair<std::string, double>> parse_kvs(
     }
     const std::string key = item.substr(0, pos);
     const std::string val = item.substr(pos + 1);
-    try {
-      std::size_t used = 0;
-      const double v = std::stod(val, &used);
-      if (used != val.size()) throw std::invalid_argument(val);
-      kvs.emplace_back(key, v);
-    } catch (const std::exception&) {
-      parse_error(clause, "non-numeric value for '" + key + "'");
+    double v = 0.0;
+    const auto st = support::parse_f64(val, &v);
+    if (st != support::ParseNumStatus::kOk) {
+      parse_error(clause,
+                  std::string(support::parse_num_problem(
+                      st, "non-numeric value")) +
+                      " for '" + key + "'");
     }
+    kvs.emplace_back(key, v);
   }
   return kvs;
 }

@@ -85,6 +85,7 @@ json::Value run_config_to_json(const RunConfig& config) {
   out.set("workers", json::Value(config.threads));
   out.set("partition",
           json::Value(simk::partition_mode_name(config.partition)));
+  out.set("schedule", json::Value(schedule_name(config.schedule)));
   out.set("abstract_comm", json::Value(config.abstract_comm));
   out.set("memory_cap_mb",
           json::Value(static_cast<double>(config.memory_cap_bytes) /
@@ -125,6 +126,11 @@ bool apply_config_key(RunConfig* config, const std::string& key,
       throw std::runtime_error("unknown partition mode '" +
                                value.as_string() +
                                "' (expected block|interleave|comm)");
+    }
+  } else if (key == "schedule") {
+    if (!parse_schedule(value.as_string(), &config->schedule)) {
+      throw std::runtime_error("unknown schedule '" + value.as_string() +
+                               "' (expected conservative|optimistic)");
     }
   } else if (key == "abstract_comm") {
     config->abstract_comm = value.as_bool();

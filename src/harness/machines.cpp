@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "support/json.hpp"
+#include "support/numparse.hpp"
 
 namespace stgsim::harness {
 
@@ -139,17 +140,14 @@ std::vector<int> parse_torus_dims(const std::string& value) {
     const std::string part =
         value.substr(pos, x == std::string::npos ? std::string::npos
                                                  : x - pos);
-    int n = 0;
-    try {
-      std::size_t used = 0;
-      n = std::stoi(part, &used);
-      if (used != part.size() || n < 1) throw std::invalid_argument(part);
-    } catch (const std::exception&) {
+    long long n = 0;
+    if (support::parse_i64(part, &n) != support::ParseNumStatus::kOk ||
+        n < 1 || n > 1 << 20) {
       throw std::runtime_error(
           "torus_dims: expected 'auto' or positive extents like '4x4', got '" +
           value + "'");
     }
-    dims.push_back(n);
+    dims.push_back(static_cast<int>(n));
     if (x == std::string::npos) break;
     pos = x + 1;
   }
@@ -295,13 +293,12 @@ MachineSpec parse_machine_spec(const std::string& spec) {
     }
     if (field != nullptr) {
       double v = 0.0;
-      try {
-        std::size_t used = 0;
-        v = std::stod(value, &used);
-        if (used != value.size()) throw std::invalid_argument(value);
-      } catch (const std::exception&) {
-        throw std::runtime_error("machine override '" + key +
-                                 "': expected a number, got '" + value + "'");
+      const auto st = support::parse_f64(value, &v);
+      if (st != support::ParseNumStatus::kOk) {
+        throw std::runtime_error(
+            "machine override '" + key + "': " +
+            support::parse_num_problem(st, "expected a number") + ", got '" +
+            value + "'");
       }
       field->apply(&m, v);
     } else {

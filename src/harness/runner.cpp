@@ -17,6 +17,26 @@ const char* mode_name(Mode m) {
   return "?";
 }
 
+const char* schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::kConservative: return "conservative";
+    case Schedule::kOptimistic: return "optimistic";
+  }
+  return "?";
+}
+
+bool parse_schedule(const std::string& text, Schedule* out) {
+  if (text == "conservative") {
+    *out = Schedule::kConservative;
+    return true;
+  }
+  if (text == "optimistic") {
+    *out = Schedule::kOptimistic;
+    return true;
+  }
+  return false;
+}
+
 const char* run_status_name(RunStatus s) {
   switch (s) {
     case RunStatus::kOk: return "ok";
@@ -82,6 +102,24 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
   ec.observer = config.obs;
   ec.oracle = config.oracle;
   ec.unsafe_wildcard_commit = config.unsafe_wildcard_commit;
+  const bool optimistic = config.schedule == Schedule::kOptimistic;
+  if (optimistic) {
+    ec.optimistic = true;
+    ec.unsafe_commit_before_gvt = config.unsafe_commit_before_gvt;
+    STGSIM_CHECK(config.mode != Mode::kMeasured)
+        << "optimistic schedule: emulation (contention/jitter state) cannot "
+           "be rolled back";
+    STGSIM_CHECK(timers == nullptr && branches == nullptr &&
+                 kernel_meta == nullptr)
+        << "optimistic schedule: calibration/profiling recorders cannot be "
+           "rolled back";
+    STGSIM_CHECK(!config.record_host_trace)
+        << "optimistic schedule: host traces of rolled-back slices are "
+           "meaningless";
+  } else {
+    STGSIM_CHECK(!config.unsafe_commit_before_gvt)
+        << "unsafe_commit_before_gvt requires the optimistic schedule";
+  }
   if (config.threads > 0) {
     ec.host_workers = config.threads;
     ec.use_threads = true;
@@ -130,6 +168,16 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
     // latency factors (a sound, possibly larger bound that never changes
     // which candidate commits).
     engine.set_wildcard_min_latency(world->wildcard_latency_floor());
+    if (optimistic) {
+      // Rollback must also rewind the layers above the engine that keep
+      // per-rank state: smpi protocol counters and the obs shard. Both are
+      // rebuilt exactly by the coast-forward replay. (Comm itself lives on
+      // the fiber stack and is recreated with the fiber.)
+      engine.set_rollback_reset([&world, &config](int rank) {
+        world->stats(rank) = smpi::RankStats{};
+        if (config.obs != nullptr) config.obs->reset_rank(rank);
+      });
+    }
     engine.set_body([&](simk::Process& p) {
       smpi::Comm comm(*world, p);
       ir::execute(prog, comm, xopts);
@@ -194,6 +242,21 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
                           static_cast<double>(ps2.worker_slices[w]));
         }
         out.metrics.window_advance_hist = ps2.window_advance_hist;
+      }
+      if (optimistic) {
+        // Time Warp protocol counters. Deterministic for sequential-hosted
+        // optimistic runs; under the threaded scheduler rollback counts
+        // depend on host timing and are excluded from digests (like
+        // rounds / the mailbox split above).
+        const simk::ParallelStats& ps3 = out.parallel;
+        out.metrics.add("parallel.rollbacks",
+                        static_cast<double>(ps3.rollbacks));
+        out.metrics.add("parallel.anti_messages",
+                        static_cast<double>(ps3.anti_messages));
+        out.metrics.add("parallel.gvt_passes",
+                        static_cast<double>(ps3.gvt_passes));
+        out.metrics.add("parallel.fossil_finalized",
+                        static_cast<double>(ps3.fossil_finalized));
       }
     }
   } catch (const MemoryCapExceeded& e) {

@@ -35,6 +35,18 @@ enum class Mode { kMeasured, kDirectExec, kAnalytical };
 
 const char* mode_name(Mode m);
 
+/// Parallel synchronization protocol for the simulation engine.
+///   kConservative — never execute past the lookahead-window safe bound
+///                   (sequential scheduler when threads == 0).
+///   kOptimistic   — Time Warp: execute speculatively, roll back on
+///                   stragglers/anti-messages, commit via GVT. Digests are
+///                   bit-identical to the conservative schedulers.
+enum class Schedule { kConservative, kOptimistic };
+
+const char* schedule_name(Schedule s);
+/// Parses "conservative"/"optimistic"; returns false on anything else.
+bool parse_schedule(const std::string& text, Schedule* out);
+
 /// A target machine: communication + compute models plus the emulation-only
 /// imperfections that make kMeasured differ from the simulator's model.
 struct MachineSpec {
@@ -78,6 +90,14 @@ struct RunConfig {
   /// minimize cross-worker traffic. Never affects simulated results.
   simk::PartitionMode partition = simk::PartitionMode::kBlock;
 
+  /// Synchronization protocol. kOptimistic applies to both the sequential
+  /// scheduler (threads == 0; speculative wildcard commits corrected by
+  /// rollback) and the threaded scheduler (no lookahead window; workers
+  /// run ahead freely and GVT commits behind them). Incompatible with
+  /// kMeasured mode, calibration/profiling hooks, and host-trace
+  /// recording — all of which carry state a rollback cannot restore.
+  Schedule schedule = Schedule::kConservative;
+
   /// Replace the detailed communication simulation with the abstract
   /// communication model (paper §5's proposed extension).
   bool abstract_comm = false;
@@ -120,6 +140,13 @@ struct RunConfig {
   /// that a slower sender could still beat, so regression tests can show
   /// the floor's soundness is load-bearing. Never set outside tests/CI.
   VTime unsafe_floor_slack = 0;
+
+  /// Test-only fault injection (optimistic schedule only): finalize
+  /// speculative wildcard commits immediately — no violation records, no
+  /// straggler detection — i.e. commit before GVT has passed the commit
+  /// point. Reintroduces the Time Warp race rollback exists to fix, so
+  /// `stgsim check` has a known bug to rediscover on the optimistic path.
+  bool unsafe_commit_before_gvt = false;
 };
 
 /// How a run ended. Every run — including pathological target programs and

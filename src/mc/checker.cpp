@@ -89,7 +89,16 @@ CheckReport check_program(const ir::Program& prog, const CheckOptions& opts) {
   // Canonical reference: the plain sequential scheduler, same config
   // (including any injected fault such as unsafe_wildcard_commit — the
   // check asserts schedule-invariance of the engine *as configured*).
-  rep.canonical = harness::run_program(prog, mc_cfg);
+  // Exception: when checking the optimistic schedule the contract is
+  // "optimistic commits the *conservative* sequential digest", so the
+  // canonical run drops the optimistic schedule (and its injection) and
+  // every explored/threaded run keeps it.
+  RunConfig canon_cfg = mc_cfg;
+  if (opts.base.schedule == harness::Schedule::kOptimistic) {
+    canon_cfg.schedule = harness::Schedule::kConservative;
+    canon_cfg.unsafe_commit_before_gvt = false;
+  }
+  rep.canonical = harness::run_program(prog, canon_cfg);
   rep.canonical_digest = harness::run_digest_hex(rep.canonical);
   rep.used_wildcard_recv = rep.canonical.used_wildcard_recv;
   if (rep.canonical.status != RunStatus::kOk &&

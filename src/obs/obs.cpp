@@ -118,6 +118,17 @@ Recorder::Recorder(Options opts, int nranks)
   }
 }
 
+void Recorder::reset_rank(int rank) {
+  RankShard& s = shard_mut(rank);
+  s = RankShard{};
+  if (opts_.comm_matrix) {
+    s.p2p_msgs_row.assign(static_cast<std::size_t>(nranks_), 0);
+    s.p2p_bytes_row.assign(static_cast<std::size_t>(nranks_), 0);
+    s.coll_msgs_row.assign(static_cast<std::size_t>(nranks_), 0);
+    s.coll_bytes_row.assign(static_cast<std::size_t>(nranks_), 0);
+  }
+}
+
 void Recorder::record_op(int rank, OpKind k, int peer, std::uint64_t bytes,
                          VTime begin, VTime end) {
   RankShard& s = shard_mut(rank);

@@ -120,7 +120,8 @@ struct MetricsSnapshot {
 void merge_metrics(MetricsSnapshot* dst, const MetricsSnapshot& src);
 
 /// The observability sink: engine observer + smpi instrumentation target.
-/// One Recorder instruments one run (counters are never reset).
+/// One Recorder instruments one run; counters only reset per-rank, and
+/// only when the optimistic scheduler rolls that rank back (reset_rank).
 class Recorder : public simk::EngineObserver {
  public:
   /// Log2 buckets in the message-size histogram (covers up to 2^39 B).
@@ -152,6 +153,11 @@ class Recorder : public simk::EngineObserver {
   void on_wake(int rank, VTime clock, VTime arrival) override;
   void on_send(const simk::Message& m) override;
   void on_match(int rank, std::uint64_t probes, bool hit) override;
+
+  /// Optimistic-rollback hook: discard everything recorded for `rank`.
+  /// Coast-forward replay then re-records the rank's surviving history, so
+  /// after the run the shard describes exactly the committed execution.
+  void reset_rank(int rank);
 
   // -- output --------------------------------------------------------------
 

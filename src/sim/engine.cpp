@@ -15,6 +15,10 @@ namespace {
 
 thread_local int g_current_worker = 0;
 
+/// The process whose fiber this thread is currently executing (null in
+/// scheduler context). Used to assert a rank never rolls itself back.
+thread_local void* g_current_proc = nullptr;
+
 double steady_now_sec() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -71,10 +75,36 @@ void Process::send(Message msg) {
     msg.producer_offset_sec = thread_cpu_sec() - slice_begin_sec_;
   }
   if (engine_->observer_ != nullptr) engine_->observer_->on_send(msg);
+  if (engine_->config_.optimistic) {
+    const std::uint64_t ord = opt_.send_ordinal++;
+    if (ord < opt_.suppress_below) {
+      // Coast-forward replay of a rolled-back prefix: this send was
+      // already delivered (and logged) by the original execution, so
+      // re-issuing it would duplicate the message. Verify the replay
+      // reproduces the log, then drop it. Ordinals below send_base were
+      // fossil-collected (committed past GVT) and are dropped unchecked.
+      if (ord >= opt_.send_base) {
+        const SendRecord& sr =
+            opt_.sends[static_cast<std::size_t>(ord - opt_.send_base)];
+        STGSIM_CHECK(sr.dst == msg.dst && sr.seq == msg.seq)
+            << "optimistic replay diverged on rank " << rank_ << ": send #"
+            << ord << " went to " << msg.dst << " seq " << msg.seq
+            << ", log has dst " << sr.dst << " seq " << sr.seq;
+      }
+      return;
+    }
+    opt_.sends.push_back(
+        SendRecord{msg.dst, msg.seq, msg.sent_at, msg.arrival});
+  }
   engine_->deliver(std::move(msg));
 }
 
 bool Process::try_match(const MatchSpec& spec, Message* out) {
+  if (engine_->config_.optimistic && opt_.replaying()) {
+    // Rollback replay: consumptions come from the log, not the inbox
+    // (saw_wildcard_recv_ was already set by the original execution).
+    return engine_->opt_feed_replay(*this, spec, out);
+  }
   auto take = [&](Channel& ch, MsgNode* node, MsgNode* prev) {
     if (prev != nullptr) {
       prev->next = node->next;
@@ -84,6 +114,14 @@ bool Process::try_match(const MatchSpec& spec, Message* out) {
     if (ch.tail == node) ch.tail = prev;
     --inbox_size_;
     *out = engine_->msg_arena_.release(node);
+    if (engine_->config_.optimistic) {
+      // Consumption log: the replay feed and the anti-message lookup both
+      // need the message back after the fiber has destroyed its copy.
+      ConsumedEntry e;
+      e.msg = engine_->clone_message(*out);
+      e.sends_before = opt_.send_ordinal;
+      opt_.consumed.push_back(std::move(e));
+    }
     if (engine_->config().record_host_trace) {
       // Consuming a message is a dependency point: end the current slice
       // here and begin a new one gated on the message's production point.
@@ -152,6 +190,16 @@ bool Process::try_match(const MatchSpec& spec, Message* out) {
 }
 
 bool Process::peek_match(const MatchSpec& spec, VTime* arrival) const {
+  if (engine_->config_.optimistic && opt_.replaying()) {
+    // Replay: probes must see what the original execution saw — the next
+    // logged consumption — not the inbox (which holds messages that were
+    // unconsumed at rollback, possibly matching a different request).
+    const Message& m =
+        opt_.consumed[static_cast<std::size_t>(opt_.replay_next)].msg;
+    if (!spec.accepts(m)) return false;
+    if (arrival != nullptr) *arrival = m.arrival;
+    return true;
+  }
   VTime best = kVTimeNever;
   for (const auto& ch : channels_) {
     if (spec.src != MatchSpec::kAnySource && spec.src != ch.src) continue;
@@ -169,6 +217,30 @@ bool Process::peek_match(const MatchSpec& spec, VTime* arrival) const {
 
 Message Process::blocking_match(const MatchSpec& spec) {
   Message out;
+  if (engine_->config_.optimistic) {
+    // Optimistic mode: commit on sight. A wildcard commit is speculative —
+    // record it so a straggler that would have won the (arrival, src)
+    // choice triggers rollback (the conservative safety bound, enforced
+    // after the fact). The loop re-probes after every wake: the waking
+    // message may have been annihilated by an anti-message before this
+    // fiber actually ran.
+    for (;;) {
+      const bool fed = opt_.replaying();
+      if (try_match(spec, &out)) {
+        if (!fed && spec.is_wildcard()) {
+          engine_->opt_record_wildcard(*this, spec, out);
+        }
+        return out;
+      }
+      blocked_ = true;
+      waiting_on_ = &spec;
+      if (engine_->observer_ != nullptr) {
+        engine_->observer_->on_block(rank_, clock_, spec);
+      }
+      Fiber::yield_to_scheduler();
+      if (engine_->aborting_ || opt_.rollback_abort) throw FiberAborted{};
+    }
+  }
   if (!spec.is_wildcard()) {
     if (try_match(spec, &out)) return out;
     blocked_ = true;
@@ -219,6 +291,19 @@ Engine::Engine(EngineConfig config) : config_(config) {
     STGSIM_CHECK(!config_.record_host_trace)
         << "host-trace recording requires the sequential scheduler";
   }
+  if (config_.optimistic) {
+    STGSIM_CHECK(!config_.record_host_trace)
+        << "host-trace recording requires the conservative sequential "
+           "scheduler (rollback replay would double-count slices)";
+    STGSIM_CHECK(!config_.unsafe_wildcard_commit)
+        << "unsafe-wildcard injection targets the conservative safety "
+           "bound; use unsafe_commit_before_gvt against the optimistic "
+           "scheduler";
+    if (config_.gvt_interval == 0) config_.gvt_interval = 256;
+  } else {
+    STGSIM_CHECK(!config_.unsafe_commit_before_gvt)
+        << "commit-before-gvt injection requires the optimistic scheduler";
+  }
 }
 
 Engine::~Engine() = default;
@@ -234,6 +319,13 @@ VTime Engine::wildcard_safe_bound(VTime min_latency, int exclude_rank) const {
 }
 
 bool Engine::wildcard_commit_safe(const Process& p, VTime arrival) const {
+  if (config_.optimistic) {
+    // Optimistic mode never uses the conservative bound: cross-source
+    // choices must flow through blocking_match so the commit is recorded
+    // for straggler detection (the smpi waitany fast path commits only
+    // single-candidate, fixed-source completions, which are not choices).
+    return false;
+  }
   if (config_.unsafe_wildcard_commit) {
     // Test-only fault injection: commit on sight, reproducing the racy
     // pre-safety-bound behavior for the schedule checker to rediscover.
@@ -274,6 +366,18 @@ void Engine::deliver(Message&& msg, bool redelivery) {
           static_cast<std::size_t>(w) *
               static_cast<std::size_t>(config_.host_workers) +
           static_cast<std::size_t>(dst.home_worker_);
+      if (config_.optimistic) {
+        // Asynchronous GVT: record the smallest arrival this worker has
+        // put in transit since the last barrier (monotone min, reset at
+        // the barrier), so mid-round estimates account for messages the
+        // destination has not drained yet.
+        std::atomic<VTime>& om = opt_out_min_[static_cast<std::size_t>(w)];
+        VTime cur = om.load(std::memory_order_relaxed);
+        while (msg.arrival < cur &&
+               !om.compare_exchange_weak(cur, msg.arrival,
+                                         std::memory_order_relaxed)) {
+        }
+      }
       if (spill_epoch_[lane] != round_epoch_ &&
           msg.arrival <= window_bound_ &&
           mailboxes_[lane]->try_push(std::move(msg))) {
@@ -315,17 +419,31 @@ Engine::InflightLane& Engine::inflight_lane(int src, int dst) {
 void Engine::deliver_now(Message&& msg) {
   Process& dst = *procs_[static_cast<std::size_t>(msg.dst)];
 
-  Process::Channel& ch = dst.channel(msg.src);
-  STGSIM_DCHECK(ch.tail == nullptr || ch.tail->value.seq < msg.seq)
-      << "FIFO violation on channel " << msg.src << "->" << msg.dst;
-  MsgNode* node = msg_arena_.acquire(std::move(msg));
-  if (ch.tail != nullptr) {
-    ch.tail->next = node;
-  } else {
-    ch.head = node;
+  if (config_.optimistic && msg.anti) {
+    opt_apply_anti(dst, msg);
+    opt_flush_antis();
+    return;
   }
-  ch.tail = node;
-  ++dst.inbox_size_;
+
+  MsgNode* node;
+  if (config_.optimistic) {
+    // Seq-sorted insert, not tail-append: a rollback at the *receiver* can
+    // requeue higher-seq messages, after which a re-sent (post-replay)
+    // message from the same source arrives with a lower seq.
+    node = opt_insert_sorted(dst, std::move(msg));
+  } else {
+    Process::Channel& ch = dst.channel(msg.src);
+    STGSIM_DCHECK(ch.tail == nullptr || ch.tail->value.seq < msg.seq)
+        << "FIFO violation on channel " << msg.src << "->" << msg.dst;
+    node = msg_arena_.acquire(std::move(msg));
+    if (ch.tail != nullptr) {
+      ch.tail->next = node;
+    } else {
+      ch.head = node;
+    }
+    ch.tail = node;
+    ++dst.inbox_size_;
+  }
   const std::uint64_t delivered = ++messages_delivered_;
   if (config_.max_messages > 0 && delivered > config_.max_messages) {
     if (threaded_phase_ && Fiber::current() == nullptr) {
@@ -346,6 +464,14 @@ void Engine::deliver_now(Message&& msg) {
     }
   }
 
+  if (config_.optimistic && opt_check_violation(dst, node)) {
+    // The message landed in dst's past: opt_check_violation rolled dst
+    // back (scheduling included) and the queued message will be matched
+    // by the re-execution. Drain any cascade the rollback started.
+    opt_flush_antis();
+    return;
+  }
+
   if (dst.blocked_) {
     // Wake only if the newly available message completes a match, so a
     // process never context-switches spuriously.
@@ -361,13 +487,15 @@ void Engine::deliver_now(Message&& msg) {
       can_match = spec.accepts(m);
     }
     if (can_match) {
-      if (spec.is_wildcard() &&
+      if (!config_.optimistic && spec.is_wildcard() &&
           (threaded_run_ || !wildcard_commit_safe(dst, m.arrival))) {
-        // A slower-clocked rank could still send an earlier-arriving
-        // match (or, in a threaded round, we cannot tell): defer the
-        // wakeup until the safety bound passes. If an already-queued
-        // candidate has an even earlier arrival, it is safe whenever this
-        // one is, and try_match picks it on resume.
+        // Conservative: a slower-clocked rank could still send an
+        // earlier-arriving match (or, in a threaded round, we cannot
+        // tell): defer the wakeup until the safety bound passes. If an
+        // already-queued candidate has an even earlier arrival, it is
+        // safe whenever this one is, and try_match picks it on resume.
+        // (Optimistic mode never parks: it commits on sight and corrects
+        // with rollback.)
         park_wildcard(dst);
         return;
       }
@@ -401,6 +529,364 @@ void Engine::park_wildcard(Process& p) {
         .push_back(p.rank_);
   } else {
     wildcard_pending_.push_back(p.rank_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic (Time Warp) mode. See DESIGN.md §15 for the protocol.
+// ---------------------------------------------------------------------------
+
+void Engine::attach_fresh_fiber(Process& p) {
+  Process* raw = &p;
+  p.fiber_ = std::make_unique<Fiber>(
+      [this, raw] {
+        try {
+          body_(*raw);
+        } catch (const FiberAborted&) {
+          // Clean teardown: unwound by Engine::abort_run or a rollback.
+        } catch (...) {
+          note_error(std::current_exception());
+        }
+      },
+      config_.fiber_stack_bytes);
+  p.opt_.fresh = true;
+}
+
+Message Engine::clone_message(const Message& m) {
+  Message c;
+  c.src = m.src;
+  c.dst = m.dst;
+  c.tag = m.tag;
+  c.kind = m.kind;
+  c.anti = m.anti;
+  c.sent_at = m.sent_at;
+  c.arrival = m.arrival;
+  c.seq = m.seq;
+  c.aux = m.aux;
+  c.wire_bytes = m.wire_bytes;
+  if (m.payload.size() > 0) {
+    c.payload = payload_pool_.make(m.payload.data(), m.payload.size());
+  }
+  return c;
+}
+
+Engine::WorkerStat& Engine::opt_stat() {
+  return worker_stats_[threaded_run_
+                           ? static_cast<std::size_t>(g_current_worker)
+                           : 0];
+}
+
+bool Engine::opt_feed_replay(Process& p, const MatchSpec& spec,
+                             Message* out) {
+  OptState& o = p.opt_;
+  const ConsumedEntry& e =
+      o.consumed[static_cast<std::size_t>(o.replay_next)];
+  STGSIM_CHECK(spec.accepts(e.msg))
+      << "optimistic replay diverged on rank " << p.rank_ << ": receive #"
+      << o.replay_next << " does not accept the logged message (src "
+      << e.msg.src << " tag " << e.msg.tag << ")";
+  *out = clone_message(e.msg);
+  ++o.replay_next;
+  if (observer_ != nullptr) observer_->on_match(p.rank_, 1, true);
+  return true;
+}
+
+void Engine::opt_record_wildcard(Process& p, const MatchSpec& spec,
+                                 const Message& m) {
+  if (config_.unsafe_commit_before_gvt) {
+    // Injected fault: the commit is finalized on the spot, so no straggler
+    // can ever correct it — the race `stgsim check` must rediscover.
+    return;
+  }
+  WildcardRecord rec;
+  if (spec.any_of != nullptr) {
+    rec.alts.assign(spec.any_of, spec.any_of + spec.any_of_count);
+    for (MatchSpec& a : rec.alts) {
+      STGSIM_DCHECK(a.any_of == nullptr) << "nested waitany unions";
+      a.any_of = nullptr;
+    }
+  } else {
+    rec.spec = spec;
+  }
+  rec.arrival = m.arrival;
+  rec.src = m.src;
+  STGSIM_DCHECK(!p.opt_.consumed.empty());
+  rec.consumed_index = p.opt_.consumed.size() - 1;
+  p.opt_.records.push_back(std::move(rec));
+}
+
+bool Engine::opt_check_violation(Process& dst, const MsgNode* node) {
+  if (config_.unsafe_commit_before_gvt) return false;
+  OptState& o = dst.opt_;
+  if (o.records.empty()) return false;
+  const Message& m = node->value;
+  constexpr std::uint64_t kNone = ~std::uint64_t{0};
+  std::uint64_t k = kNone;
+  for (const WildcardRecord& rec : o.records) {
+    // The commit rule is min (arrival, src) over each channel's first
+    // acceptable message; m landed in the record's past iff it would have
+    // won that comparison.
+    if (!(m.arrival < rec.arrival ||
+          (m.arrival == rec.arrival && m.src < rec.src))) {
+      continue;
+    }
+    if (!rec.accepts(m)) continue;
+    // Shadow check: if an earlier queued message in m's channel is also
+    // acceptable, the commit scan would pick that one, not m — and it
+    // already passed (or predates) this record's check.
+    bool shadowed = false;
+    for (const MsgNode* n = dst.find_channel(m.src)->head;
+         n != nullptr && n != node; n = n->next) {
+      if (rec.accepts(n->value)) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (shadowed) continue;
+    if (k == kNone || rec.consumed_index < k) k = rec.consumed_index;
+  }
+  if (k == kNone) return false;
+  opt_rollback(dst, k, /*drop_entry=*/false);
+  return true;
+}
+
+void Engine::opt_apply_anti(Process& dst, const Message& anti) {
+  STGSIM_DCHECK(anti.anti);
+  // Still queued? Per-lane FIFO guarantees the anti arrived after its
+  // positive counterpart, so the message is either in the inbox or in the
+  // consumption log.
+  if (Process::Channel* ch = dst.find_channel(anti.src)) {
+    MsgNode* prev = nullptr;
+    for (MsgNode* n = ch->head; n != nullptr; prev = n, n = n->next) {
+      if (n->value.seq == anti.seq) {
+        if (prev != nullptr) {
+          prev->next = n->next;
+        } else {
+          ch->head = n->next;
+        }
+        if (ch->tail == n) ch->tail = prev;
+        --dst.inbox_size_;
+        msg_arena_.recycle(n);
+        messages_delivered_.fetch_sub(1, std::memory_order_relaxed);
+        return;
+      }
+      if (n->value.seq > anti.seq) break;  // channels stay seq-sorted
+    }
+  }
+  const auto& log = dst.opt_.consumed;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const Message& cm = log[i].msg;
+    if (cm.src == anti.src && cm.seq == anti.seq) {
+      messages_delivered_.fetch_sub(1, std::memory_order_relaxed);
+      opt_rollback(dst, static_cast<std::uint64_t>(i), /*drop_entry=*/true);
+      return;
+    }
+  }
+  STGSIM_CHECK(false) << "anti-message " << anti.src << "->" << anti.dst
+                      << " seq " << anti.seq
+                      << " has no positive counterpart";
+}
+
+MsgNode* Engine::opt_insert_sorted(Process& p, Message&& m) {
+  Process::Channel& ch = p.channel(m.src);
+  MsgNode* prev = nullptr;
+  MsgNode* n = ch.head;
+  while (n != nullptr && n->value.seq < m.seq) {
+    prev = n;
+    n = n->next;
+  }
+  STGSIM_DCHECK(n == nullptr || n->value.seq != m.seq);
+  MsgNode* node = msg_arena_.acquire(std::move(m));
+  node->next = n;
+  if (prev != nullptr) {
+    prev->next = node;
+  } else {
+    ch.head = node;
+  }
+  if (n == nullptr) ch.tail = node;
+  ++p.inbox_size_;
+  return node;
+}
+
+void Engine::opt_make_ready(Process& p) {
+  if (threaded_run_) {
+    worker_ready_[static_cast<std::size_t>(p.home_worker_)].push_back(
+        p.rank_);
+  } else {
+    ready_.push_back(p.rank_);
+  }
+}
+
+void Engine::opt_rollback(Process& p, std::uint64_t k, bool drop_entry) {
+  STGSIM_DCHECK(g_current_proc != static_cast<void*>(&p))
+      << "rank " << p.rank_ << " cannot roll itself back mid-slice";
+  OptState& o = p.opt_;
+  STGSIM_CHECK(k < o.consumed.size());
+  ++opt_stat().rollbacks;
+
+  // 1) Cancel speculative output: every send issued at or after the
+  //    rolled-back consumption gets an anti-message. Queued (not sent
+  //    inline) so an annihilation cascade unwinds iteratively; per-lane
+  //    FIFO still puts each anti behind its positive and ahead of any
+  //    post-replay re-send.
+  const std::uint64_t s_k = o.consumed[static_cast<std::size_t>(k)]
+                                .sends_before;
+  STGSIM_CHECK(s_k >= o.send_base)
+      << "rollback past the fossil-collected send horizon on rank "
+      << p.rank_;
+  const std::size_t keep = static_cast<std::size_t>(s_k - o.send_base);
+  auto& queue = opt_anti_queues_[threaded_run_
+                                     ? static_cast<std::size_t>(
+                                           g_current_worker)
+                                     : 0];
+  for (std::size_t i = keep; i < o.sends.size(); ++i) {
+    const SendRecord& sr = o.sends[i];
+    Message a;
+    a.src = p.rank_;
+    a.dst = sr.dst;
+    a.seq = sr.seq;
+    a.anti = true;
+    a.sent_at = sr.sent_at;
+    a.arrival = sr.arrival;
+    ++opt_stat().antis;
+    queue.push_back(std::move(a));
+  }
+  o.sends.resize(keep);
+
+  // 2) Un-consume: requeue every logged message from index k on (dropping
+  //    entry k itself when it was annihilated by an anti). Reinserted in
+  //    seq order per channel — rolled-back seqs can interleave with
+  //    still-queued ones a wildcard receive skipped.
+  for (std::size_t i = o.consumed.size(); i-- > static_cast<std::size_t>(k);) {
+    ConsumedEntry& e = o.consumed[i];
+    if (drop_entry && i == static_cast<std::size_t>(k)) continue;
+    opt_insert_sorted(p, std::move(e.msg));
+  }
+  o.consumed.resize(static_cast<std::size_t>(k));
+
+  // 3) Speculative wildcard commits at or past the rollback point are
+  //    gone; the re-execution re-decides them against the corrected inbox.
+  o.records.erase(
+      std::remove_if(o.records.begin(), o.records.end(),
+                     [k](const WildcardRecord& r) {
+                       return r.consumed_index >= k;
+                     }),
+      o.records.end());
+
+  // 4) Reset execution state for coast-forward replay.
+  o.replay_next = 0;
+  o.replay_limit = k;
+  o.suppress_below = s_k;
+  o.send_ordinal = 0;
+  o.fossil_cursor = std::min(o.fossil_cursor, k);
+  p.next_seq_.clear();
+  p.clock_ = 0;
+  p.watchdog_countdown_ = Process::kWatchdogStride;
+  p.rng_.reseed(o.rng_seed);
+  if (p.fiber_ != nullptr && p.fiber_->finished()) {
+    attach_fresh_fiber(p);  // ran to completion; nothing to unwind
+  } else if (!o.fresh) {
+    // The speculative incarnation is suspended on its own stack; ucontext
+    // switches only happen from scheduler context, so defer the unwind to
+    // the next resume. (A second rollback before that just lands here
+    // again.) A fresh fiber has never run and needs nothing.
+    o.pending_unwind = true;
+  }
+  if (rollback_reset_) rollback_reset_(p.rank_);
+
+  // 5) Scheduling: make the rank runnable exactly once.
+  const bool was_queued = !p.blocked_ && !p.finished_;
+  if (p.finished_) {
+    p.finished_ = false;
+    opt_unfinished_delta_.fetch_add(1, std::memory_order_relaxed);
+  }
+  p.blocked_ = false;
+  p.waiting_on_ = nullptr;
+  p.wildcard_parked_ = false;
+  if (!was_queued) opt_make_ready(p);
+}
+
+void Engine::opt_finish_unwind(Process& p) {
+  OptState& o = p.opt_;
+  o.pending_unwind = false;
+  o.rollback_abort = true;
+  p.fiber_->resume();  // throws FiberAborted at the suspended yield point
+  STGSIM_CHECK(p.fiber_->finished())
+      << "rolled-back fiber on rank " << p.rank_ << " did not unwind";
+  o.rollback_abort = false;
+  attach_fresh_fiber(p);
+}
+
+void Engine::opt_flush_antis() {
+  const std::size_t w =
+      threaded_run_ ? static_cast<std::size_t>(g_current_worker) : 0;
+  if (opt_flushing_[w]) return;  // already draining further up the stack
+  auto& q = opt_anti_queues_[w];
+  if (q.empty()) return;
+  opt_flushing_[w] = 1;
+  // Index-based walk: applying an anti can trigger a cascading rollback
+  // that appends more antis (and reallocates q).
+  std::size_t i = 0;
+  while (i < q.size()) {
+    Message a = std::move(q[i++]);
+    deliver(std::move(a));
+  }
+  q.clear();
+  opt_flushing_[w] = 0;
+}
+
+void Engine::opt_gvt_pass() {
+  VTime g = kVTimeNever;
+  for (const auto& p : procs_) {
+    if (!p->finished_) g = std::min(g, p->clock_);
+  }
+  // MC mode: messages parked in in-flight lanes (including antis) are
+  // in transit and bound future deliveries.
+  for (const auto& lane : inflight_) {
+    for (const Message& m : lane.q) g = std::min(g, m.arrival);
+  }
+  if (g == kVTimeNever) return;
+  if (g <= gvt_.load(std::memory_order_relaxed)) return;
+  gvt_.store(g, std::memory_order_relaxed);
+  gvt_passes_.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& p : procs_) opt_fossil_rank(*p, g);
+}
+
+void Engine::opt_fossil_rank(Process& p, VTime g) {
+  OptState& o = p.opt_;
+  if (!o.records.empty()) {
+    // A record with arrival < g is final: any message still to come has
+    // timestamp >= g and can no longer win the (arrival, src) choice.
+    auto it = std::remove_if(
+        o.records.begin(), o.records.end(),
+        [g](const WildcardRecord& r) { return r.arrival < g; });
+    opt_stat().fossil += static_cast<std::uint64_t>(o.records.end() - it);
+    o.records.erase(it, o.records.end());
+  }
+  // Send-log pruning. Every future rollback targets a consumed entry with
+  // arrival >= g (violations target live records; anti-cancellations
+  // target entries whose anti — in transit or yet to be sent — has
+  // arrival >= g), so sends issued before the first such entry can never
+  // need an anti-message. Skip ranks mid-replay: their send_ordinal is
+  // transiently rewound.
+  if (o.replaying() || o.pending_unwind) return;
+  while (o.fossil_cursor < o.consumed.size() &&
+         o.consumed[static_cast<std::size_t>(o.fossil_cursor)].msg.arrival <
+             g) {
+    ++o.fossil_cursor;
+  }
+  const std::uint64_t keep_from =
+      o.fossil_cursor < o.consumed.size()
+          ? o.consumed[static_cast<std::size_t>(o.fossil_cursor)]
+                .sends_before
+          : o.send_ordinal;
+  if (keep_from > o.send_base) {
+    const std::size_t drop =
+        static_cast<std::size_t>(keep_from - o.send_base);
+    STGSIM_DCHECK(drop <= o.sends.size());
+    o.sends.erase(o.sends.begin(),
+                  o.sends.begin() + static_cast<std::ptrdiff_t>(drop));
+    o.send_base = keep_from;
   }
 }
 
@@ -485,6 +971,7 @@ void Engine::promote_safe_wildcards(bool stuck) {
 }
 
 void Engine::resume_process(Process& p) {
+  if (config_.optimistic && p.opt_.pending_unwind) opt_finish_unwind(p);
   STGSIM_DCHECK(!p.finished_ && !p.blocked_);
   if (observer_ != nullptr) observer_->on_resume(p.rank_, p.clock_);
   slices_.fetch_add(1, std::memory_order_relaxed);
@@ -493,7 +980,10 @@ void Engine::resume_process(Process& p) {
     trace_.push_back(Slice{p.rank_, 0.0, {}});
     p.slice_begin_sec_ = thread_cpu_sec();
   }
+  p.opt_.fresh = false;
+  g_current_proc = &p;
   p.fiber_->resume();
+  g_current_proc = nullptr;
   if (config_.record_host_trace) {
     trace_[p.current_slice_].duration_sec =
         thread_cpu_sec() - p.slice_begin_sec_;
@@ -526,6 +1016,18 @@ void Engine::abort_run(std::exception_ptr fallback) {
   // inbox payloads) is destroyed; never-started fibers hold no state.
   for (auto& p : procs_) {
     if (p->finished_ || p->fiber_ == nullptr) continue;
+    if (config_.optimistic && p->opt_.pending_unwind) {
+      // Rolled back but never re-resumed: the old incarnation is still
+      // suspended on its stack. Unwind it the same way (FiberAborted at
+      // the yield point); no fresh fiber is attached during an abort.
+      p->opt_.pending_unwind = false;
+      p->opt_.rollback_abort = true;
+      p->blocked_ = false;
+      p->waiting_on_ = nullptr;
+      p->fiber_->resume();
+      p->finished_ = true;
+      continue;
+    }
     if (!p->blocked_) continue;
     p->blocked_ = false;
     p->waiting_on_ = nullptr;
@@ -638,7 +1140,9 @@ RunResult Engine::run() {
     if (config_.max_virtual_time > 0) {
       p->vtime_budget_ = config_.max_virtual_time;
     }
-    p->rng_.reseed(seeder.next());
+    const std::uint64_t rank_seed = seeder.next();
+    p->rng_.reseed(rank_seed);
+    p->opt_.rng_seed = rank_seed;
     if (!config_.partition.empty()) {
       STGSIM_CHECK_EQ(config_.partition.size(),
                       static_cast<std::size_t>(config_.num_processes));
@@ -651,19 +1155,25 @@ RunResult Engine::run() {
           static_cast<long long>(r) * config_.host_workers /
           config_.num_processes);
     }
-    Process* raw = p.get();
-    p->fiber_ = std::make_unique<Fiber>(
-        [this, raw] {
-          try {
-            body_(*raw);
-          } catch (const FiberAborted&) {
-            // Clean teardown: unwound by Engine::abort_run.
-          } catch (...) {
-            note_error(std::current_exception());
-          }
-        },
-        config_.fiber_stack_bytes);
+    attach_fresh_fiber(*p);
     procs_.push_back(std::move(p));
+  }
+
+  if (config_.optimistic) {
+    const auto nctx = static_cast<std::size_t>(
+        (config_.use_threads && config_.host_workers > 1)
+            ? config_.host_workers
+            : 1);
+    opt_anti_queues_.clear();
+    opt_anti_queues_.resize(nctx);
+    opt_flushing_.assign(nctx, 0);
+    opt_floor_ = std::make_unique<std::atomic<VTime>[]>(nctx);
+    opt_out_min_ = std::make_unique<std::atomic<VTime>[]>(nctx);
+    for (std::size_t i = 0; i < nctx; ++i) {
+      opt_floor_[i].store(0, std::memory_order_relaxed);
+      opt_out_min_[i].store(kVTimeNever, std::memory_order_relaxed);
+    }
+    if (worker_stats_.empty()) worker_stats_.assign(1, WorkerStat{});
   }
 
   host_t0_sec_ = steady_now_sec();
@@ -674,6 +1184,15 @@ RunResult Engine::run() {
     run_sequential_mc();
   } else {
     run_sequential();
+  }
+
+  if (config_.optimistic) {
+    for (const auto& ws : worker_stats_) {
+      pstats_.rollbacks += ws.rollbacks;
+      pstats_.anti_messages += ws.antis;
+      pstats_.fossil_finalized += ws.fossil;
+    }
+    pstats_.gvt_passes = gvt_passes_.load(std::memory_order_relaxed);
   }
 
   RunResult res;
@@ -718,10 +1237,18 @@ void Engine::run_sequential() {
       raise_budget(BudgetExceededError::Kind::kHostWallClock,
                    "host wall-clock watchdog fired in scheduler");
     }
+    if (config_.optimistic && (iter % config_.gvt_interval) == 0) {
+      opt_gvt_pass();
+    }
     const int rank = heap.pop();
     Process& p = *procs_[static_cast<std::size_t>(rank)];
     resume_process(p);
     if (error_) abort_run(error_);
+    if (config_.optimistic) {
+      // Rollbacks during the slice may have resurrected finished ranks.
+      remaining += static_cast<std::size_t>(
+          opt_unfinished_delta_.exchange(0, std::memory_order_relaxed));
+    }
     if (p.finished_) --remaining;
     // Deliveries during the slice queued wakeups into ready_.
     for (int woken : ready_) {
@@ -759,7 +1286,11 @@ void Engine::run_sequential_mc() {
   std::size_t remaining = procs_.size();
   std::uint64_t iter = 0;
   std::vector<ChoiceOption> options;
-  while (remaining > 0) {
+  // Optimistic mode cannot declare the run complete while messages are
+  // still in flight: an undelivered anti-message (or a straggling
+  // positive) can roll a *finished* rank back, so the lanes must drain
+  // before the final state is certified.
+  while (remaining > 0 || (config_.optimistic && inflight_total_ > 0)) {
     // Promotion point: with every lane drained no further message can
     // appear without some rank running first, so parked wildcard
     // candidate sets are final — the same quiescent condition the
@@ -772,6 +1303,9 @@ void Engine::run_sequential_mc() {
     if ((++iter & 255U) == 0 && host_budget_exhausted()) {
       raise_budget(BudgetExceededError::Kind::kHostWallClock,
                    "host wall-clock watchdog fired in MC scheduler");
+    }
+    if (config_.optimistic && (iter % config_.gvt_interval) == 0) {
+      opt_gvt_pass();
     }
 
     options.clear();
@@ -807,6 +1341,10 @@ void Engine::run_sequential_mc() {
       lane.q.pop_front();
       --inflight_total_;
       deliver_now(std::move(m));
+    }
+    if (config_.optimistic) {
+      remaining += static_cast<std::size_t>(
+          opt_unfinished_delta_.exchange(0, std::memory_order_relaxed));
     }
     for (int woken : ready_) add_ready(woken);
     ready_.clear();
@@ -870,6 +1408,51 @@ void Engine::run_partition_round(int worker) {
   // is idle, so only barrier-deferred messages remain.
   bool active = true;
   std::uint64_t iter = 0;
+  const int workers = config_.host_workers;
+  VTime opt_fossil_seen =
+      config_.optimistic ? gvt_.load(std::memory_order_relaxed) : 0;
+  // Mid-round GVT publish (optimistic mode). Each worker periodically
+  // publishes a single word: min(its unfinished ranks' clocks, the
+  // smallest arrival it has put in transit since the barrier). One
+  // combined value — not two separately-read atomics — so a reader can
+  // never pair a fresh (high) clock floor with a stale (missing) in-
+  // transit entry from the same worker. By induction over send chains,
+  // every published value lower-bounds every in-flight and future message
+  // arrival, so min over all workers is a sound (lagging) GVT estimate;
+  // the barrier recomputes it exactly.
+  auto opt_publish_and_fossil = [&] {
+    VTime f = opt_out_min_[static_cast<std::size_t>(worker)].load(
+        std::memory_order_relaxed);
+    for (const auto& pp : procs_) {
+      if (pp->home_worker_ == worker && !pp->finished_) {
+        f = std::min(f, pp->clock_);
+      }
+    }
+    opt_floor_[static_cast<std::size_t>(worker)].store(
+        f, std::memory_order_release);
+    VTime g = kVTimeNever;
+    for (int v = 0; v < workers; ++v) {
+      g = std::min(g, opt_floor_[static_cast<std::size_t>(v)].load(
+                          std::memory_order_acquire));
+    }
+    if (g != kVTimeNever) {
+      VTime cur = gvt_.load(std::memory_order_relaxed);
+      while (g > cur) {
+        if (gvt_.compare_exchange_weak(cur, g,
+                                       std::memory_order_relaxed)) {
+          gvt_passes_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    const VTime seen = gvt_.load(std::memory_order_relaxed);
+    if (seen > opt_fossil_seen) {
+      opt_fossil_seen = seen;
+      for (const auto& pp : procs_) {
+        if (pp->home_worker_ == worker) opt_fossil_rank(*pp, seen);
+      }
+    }
+  };
   for (;;) {
     // In-window cross-partition messages delivered by peers since the
     // last check; wakeups land on local_ready.
@@ -924,6 +1507,7 @@ void Engine::run_partition_round(int worker) {
         break;
       }
     }
+    if (config_.optimistic && (iter & 255U) == 0) opt_publish_and_fossil();
     const int rank = heap.pop();
     Process& p = *procs_[static_cast<std::size_t>(rank)];
     const VTime clock_before = p.clock_;
@@ -1019,10 +1603,28 @@ void Engine::run_threaded() {
     for (const auto& p : procs_) {
       if (!p->finished_) min_clock = std::min(min_clock, p->clock_);
     }
-    const VTime lookahead =
-        wildcard_min_latency_.load(std::memory_order_relaxed);
-    window_bound_ =
-        min_clock == kVTimeNever ? kVTimeNever : min_clock + lookahead;
+    if (config_.optimistic) {
+      // No safe bound: every cross-partition message may ride the mailbox
+      // and be consumed speculatively. Stragglers are corrected by
+      // rollback, so the window is unbounded.
+      window_bound_ = kVTimeNever;
+      // Seed the asynchronous-GVT inputs for this round: each worker's
+      // clock floor starts at the global min (clocks only matter once a
+      // rollback lowers them, and the triggering message's arrival is
+      // covered by the sender's out_min or the sender's floor), and the
+      // in-transit minimum restarts empty.
+      for (int v = 0; v < workers; ++v) {
+        opt_floor_[static_cast<std::size_t>(v)].store(
+            min_clock, std::memory_order_relaxed);
+        opt_out_min_[static_cast<std::size_t>(v)].store(
+            kVTimeNever, std::memory_order_relaxed);
+      }
+    } else {
+      const VTime lookahead =
+          wildcard_min_latency_.load(std::memory_order_relaxed);
+      window_bound_ =
+          min_clock == kVTimeNever ? kVTimeNever : min_clock + lookahead;
+    }
     ++pstats_.rounds;
     pstats_.window_advance_hist[advance_bucket(
         prev_min == kVTimeNever ? 0 : min_clock - prev_min)] += 1;
@@ -1066,6 +1668,22 @@ void Engine::run_threaded() {
     }
     if (!wildcard_pending_.empty()) {
       promote_safe_wildcards(/*stuck=*/!any_ready());
+    }
+
+    if (config_.optimistic) {
+      // Exact GVT at the barrier: every worker is idle and every message
+      // flushed, so min unfinished clock is the committed horizon. (The
+      // barrier flush above may itself have triggered rollbacks — on this
+      // thread — so clocks are read after it.)
+      VTime g = kVTimeNever;
+      for (const auto& p : procs_) {
+        if (!p->finished_) g = std::min(g, p->clock_);
+      }
+      if (g != kVTimeNever && g > gvt_.load(std::memory_order_relaxed)) {
+        gvt_.store(g, std::memory_order_relaxed);
+        gvt_passes_.fetch_add(1, std::memory_order_relaxed);
+        for (const auto& p : procs_) opt_fossil_rank(*p, g);
+      }
     }
   }
 

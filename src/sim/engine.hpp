@@ -9,7 +9,7 @@
 // the property direct-execution simulators rely on. Wildcard receives are
 // the exception and are guarded by a conservative safety bound.
 //
-// Two schedulers are provided:
+// Three scheduler modes are provided:
 //  * Sequential: runs fibers lowest-clock-first on one OS thread. While it
 //    runs, it records a *slice trace* (host-time cost of every execution
 //    slice and the message dependencies between slices). Replaying the
@@ -26,6 +26,13 @@
 //    flush/merge order (and wildcard promotion) keeps results bit-identical
 //    to the sequential scheduler. See DESIGN.md §10 for the protocol and
 //    its safety argument.
+//  * Optimistic (Time Warp, EngineConfig::optimistic): processes execute
+//    speculatively past the safe bound; causality violations trigger
+//    rollback via coast-forward replay from a per-process consumption log
+//    (sim/rollback.hpp), speculative output is cancelled with
+//    anti-messages, and periodic GVT passes fossil-collect the logs.
+//    Committed results stay bit-identical to the sequential scheduler.
+//    See DESIGN.md §15.
 //
 // Hot-path data structures (all per-engine, no global state):
 //  * runnable processes sit in an IndexedMinHeap keyed by virtual clock;
@@ -47,7 +54,9 @@
 
 #include "sim/fiber.hpp"
 #include "sim/mailbox.hpp"
+#include "sim/message.hpp"
 #include "sim/pool.hpp"
+#include "sim/rollback.hpp"
 #include "support/check.hpp"
 #include "support/indexed_heap.hpp"
 #include "support/memtrack.hpp"
@@ -55,77 +64,6 @@
 #include "support/vtime.hpp"
 
 namespace stgsim::simk {
-
-/// A timestamped message between target processes. Payload holds real data
-/// under direct execution; under the analytical model only `wire_bytes` is
-/// meaningful and the payload stays empty. `kind` is a protocol-layer
-/// discriminator (smpi: eager/RTS/CTS/collective) kept separate from the
-/// user-level tag so matching never has to unpack bit fields.
-struct Message {
-  int src = -1;
-  int dst = -1;
-  int tag = 0;              ///< user-level tag (protocol kind is `kind`)
-  std::uint8_t kind = 0;    ///< protocol-defined discriminator, < 8
-  VTime sent_at = 0;        ///< virtual time the send was issued
-  VTime arrival = 0;        ///< virtual time available at the receiver
-  std::uint64_t seq = 0;    ///< per-(src,dst) send order (non-overtaking)
-  std::uint64_t aux = 0;    ///< protocol-defined (rendezvous/collective ids)
-  std::size_t wire_bytes = 0;
-  PayloadBuf payload;       ///< pooled; empty under the analytical model
-
-  // Host-trace bookkeeping (set by the engine on send).
-  std::uint64_t producer_slice = 0;
-  double producer_offset_sec = 0.0;
-};
-
-/// Matching rule for a (blocking) receive: plain data compared inline —
-/// no std::function, no allocation per probe. The engine applies MPI
-/// ordering: for a fixed source, the earliest message in send order that
-/// the spec accepts. `any_of` expresses a union of alternatives (waitany):
-/// the alternatives array must outlive the spec's use (stack-lived in the
-/// blocked fiber is fine).
-struct MatchSpec {
-  static constexpr int kAnySource = -1;
-  static constexpr int kAnyTag = -1;
-  static constexpr std::uint8_t kAnyKind = 0xff;
-
-  int src = kAnySource;
-  int tag = kAnyTag;               ///< user tag; kAnyTag accepts all
-  std::uint8_t kind_mask = kAnyKind;  ///< bit per accepted Message::kind
-  bool match_aux = false;          ///< when set, require aux equality
-  std::uint64_t aux = 0;
-
-  const MatchSpec* any_of = nullptr;  ///< union of alternatives (waitany)
-  std::uint32_t any_of_count = 0;
-
-  // Diagnostic labels surfaced by the deadlock detector (never used for
-  // matching): what operation is blocked and on which user-level tag.
-  const char* what = "recv";  ///< e.g. "recv", "rendezvous-cts", "waitany"
-  int user_tag = -1;          ///< user-level tag; -1 = wildcard/unknown
-
-  bool accepts(const Message& m) const {
-    if (any_of != nullptr) {
-      for (std::uint32_t i = 0; i < any_of_count; ++i) {
-        if (any_of[i].accepts(m)) return true;
-      }
-      return false;
-    }
-    if (src != kAnySource && src != m.src) return false;
-    if ((kind_mask & static_cast<std::uint8_t>(1u << m.kind)) == 0) {
-      return false;
-    }
-    if (tag != kAnyTag && tag != m.tag) return false;
-    if (match_aux && aux != m.aux) return false;
-    return true;
-  }
-
-  /// True when the choice of message can depend on scheduling order: the
-  /// spec accepts more than one source (ANY_SOURCE, or a waitany union).
-  /// Such receives may only commit under the engine's safety bound.
-  bool is_wildcard() const {
-    return src == kAnySource || any_of != nullptr;
-  }
-};
 
 /// Instrumentation hooks the engine invokes on scheduling and messaging
 /// events. All methods have empty default bodies; the engine calls them
@@ -323,6 +261,7 @@ class Process {
   Rng rng_;
 
   std::unique_ptr<Fiber> fiber_;
+  OptState opt_;  ///< optimistic-mode logs; inert under conservative runs
   bool finished_ = false;
   bool blocked_ = false;
   const MatchSpec* waiting_on_ = nullptr;  // valid while blocked_
@@ -410,6 +349,25 @@ struct EngineConfig {
   /// Never set outside tests and `stgsim check --inject`.
   bool unsafe_wildcard_commit = false;
 
+  /// Optimistic (Time Warp) scheduler mode: processes execute
+  /// speculatively past the conservative safety bound; a straggler or
+  /// anti-message arriving in a process's past triggers rollback
+  /// (coast-forward replay from the consumption log, see sim/rollback.hpp)
+  /// and anti-messages for its speculative output; periodic GVT passes
+  /// drive fossil collection. Committed results are bit-identical to the
+  /// conservative sequential scheduler. Works under all three drivers
+  /// (sequential, MC, threaded). Incompatible with record_host_trace.
+  bool optimistic = false;
+
+  /// Test-only fault injection for the optimistic mode: wildcard commits
+  /// are finalized immediately instead of being tracked until GVT passes
+  /// them, so stragglers never trigger the rollback that would correct the
+  /// commit — the commit-before-GVT race `stgsim check` must rediscover.
+  bool unsafe_commit_before_gvt = false;
+
+  /// Optimistic mode: scheduler iterations between GVT / fossil passes.
+  std::uint64_t gvt_interval = 256;
+
   // Run budgets (0 = unlimited). When a budget is exceeded the run is torn
   // down cleanly and BudgetExceededError is thrown, so a pathological
   // target program (unbounded loop, livelocked protocol) terminates with a
@@ -443,6 +401,15 @@ struct ParallelStats {
   /// slices of the resumed rank's clock delta) and slice counts.
   std::vector<VTime> worker_busy_vtime;
   std::vector<std::uint64_t> worker_slices;
+
+  // Optimistic-mode counters (all zero under the conservative schedulers).
+  // Deterministic under the sequential driver; under the threaded driver
+  // rollback/anti counts depend on host timing. Excluded from run digests
+  // either way.
+  std::uint64_t rollbacks = 0;         ///< causality-violation rollbacks
+  std::uint64_t anti_messages = 0;     ///< anti-messages sent
+  std::uint64_t gvt_passes = 0;        ///< GVT computations that advanced
+  std::uint64_t fossil_finalized = 0;  ///< wildcard records finalized
 };
 
 struct RunResult {
@@ -523,6 +490,15 @@ class Engine {
   /// The body every process runs (rank via Process::rank()).
   void set_body(ProcessBody body) { body_ = std::move(body); }
 
+  /// Optimistic mode: called with a rank just before its fiber is
+  /// re-executed after a rollback, so layers above the engine (smpi
+  /// per-rank stats, obs shards) can reset state the replay will rebuild.
+  /// Like set_body, installed after construction (the harness builds the
+  /// world only after the engine exists).
+  void set_rollback_reset(std::function<void(int)> fn) {
+    rollback_reset_ = std::move(fn);
+  }
+
   /// Runs the simulation to completion. Callable once per Engine.
   RunResult run();
 
@@ -573,6 +549,8 @@ class Engine {
  private:
   friend class Process;
 
+  struct WorkerStat;  // defined below (used by opt_stat)
+
   /// Routes a message to its destination. During a threaded round a
   /// cross-partition message goes to the in-window SPSC mailbox (or the
   /// barrier outbox when out-of-window / full / order requires it);
@@ -606,6 +584,53 @@ class Engine {
   /// Unblocks `p` and queues it on the appropriate ready list. `arrival`
   /// is the waking message's arrival time (for the observer).
   void wake_process(Process& p, VTime arrival);
+
+  // --- Optimistic (Time Warp) mode; see DESIGN.md §15 ---
+
+  /// (Re)creates `p`'s fiber around body_; used at startup and after a
+  /// rollback unwound the speculative incarnation.
+  void attach_fresh_fiber(Process& p);
+  /// Deep copy (payload cloned from the pool) for the consumption log.
+  Message clone_message(const Message& m);
+  /// Replay feed: hands `p` the next logged consumption instead of
+  /// touching the inbox. Called from try_match while p is replaying.
+  bool opt_feed_replay(Process& p, const MatchSpec& spec, Message* out);
+  /// Records a speculative wildcard commit (called from blocking_match).
+  void opt_record_wildcard(Process& p, const MatchSpec& spec,
+                           const Message& m);
+  /// Straggler check for a just-queued message: if any live wildcard
+  /// record of `dst` would have preferred it, rolls `dst` back to the
+  /// earliest violated commit. Returns true if a rollback happened.
+  bool opt_check_violation(Process& dst, const MsgNode* node);
+  /// Annihilates `anti`'s positive counterpart: unlinks it from the inbox,
+  /// or rolls `dst` back past its consumption.
+  void opt_apply_anti(Process& dst, const Message& anti);
+  /// Rolls `p` back to consumption index `k`: cancels speculative sends
+  /// with anti-messages, requeues consumed messages >= k (dropping entry k
+  /// itself when `drop_entry`, i.e. it was annihilated), resets execution
+  /// state, and schedules the coast-forward replay.
+  void opt_rollback(Process& p, std::uint64_t k, bool drop_entry);
+  /// Performs the deferred fiber unwind + recreation scheduled by
+  /// opt_rollback (runs at the next resume, from scheduler context).
+  void opt_finish_unwind(Process& p);
+  /// Inserts a rolled-back (unconsumed again) message into its channel in
+  /// seq order — reinserted seqs can interleave with still-queued ones.
+  MsgNode* opt_insert_sorted(Process& p, Message&& m);
+  /// Queues `p` on the ready list of its driver (heap push happens in the
+  /// driver loop, like wake_process without the unblock/observer step).
+  void opt_make_ready(Process& p);
+  /// Drains this context's pending anti-messages iteratively, so a
+  /// rollback cascade never recurses deeper than one level per message.
+  void opt_flush_antis();
+  /// Exact GVT pass for the single-threaded drivers: min over unfinished
+  /// clocks (and MC in-flight lanes), then fossil-collects every rank.
+  void opt_gvt_pass();
+  /// Fossil collection for one rank at GVT `g`: finalizes (erases)
+  /// wildcard records with arrival < g and prunes the committed send-log
+  /// prefix that no future rollback can cancel.
+  void opt_fossil_rank(Process& p, VTime g);
+  /// Per-context stat cell (worker-local when threaded, slot 0 otherwise).
+  WorkerStat& opt_stat();
   /// Records `p` (blocked on a wildcard spec with at least one queued
   /// match) for later safety-bound promotion.
   void park_wildcard(Process& p);
@@ -692,9 +717,28 @@ class Engine {
     std::uint64_t barrier = 0;
     std::uint64_t slices = 0;
     VTime busy_vtime = 0;
+    // Optimistic-mode counters (slot 0 under the sequential drivers).
+    std::uint64_t rollbacks = 0;
+    std::uint64_t antis = 0;
+    std::uint64_t fossil = 0;
   };
   std::vector<WorkerStat> worker_stats_;
   ParallelStats pstats_;
+
+  // Optimistic-mode engine state. Anti-message cascades are queued per
+  // context and drained iteratively from deliver_now's tail (flag guards
+  // re-entry), so a chain of N cascading rollbacks costs O(1) stack.
+  // gvt_ / gvt_passes_ are atomic for the threaded driver's mid-round
+  // estimates; the floors/out-mins arrays implement the asynchronous GVT
+  // (min of worker clock floors and in-transit mailbox arrivals).
+  std::function<void(int)> rollback_reset_;
+  std::vector<std::vector<Message>> opt_anti_queues_;
+  std::vector<char> opt_flushing_;
+  std::atomic<VTime> gvt_{0};
+  std::atomic<std::uint64_t> gvt_passes_{0};
+  std::atomic<int> opt_unfinished_delta_{0};  ///< finished ranks resurrected
+  std::unique_ptr<std::atomic<VTime>[]> opt_floor_;
+  std::unique_ptr<std::atomic<VTime>[]> opt_out_min_;
 
   // Wildcard safety: ranks blocked on a wildcard receive whose queued
   // candidate has not passed the safety bound yet. Sequential deliveries

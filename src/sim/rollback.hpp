@@ -1,0 +1,116 @@
+// Per-process state log for the optimistic (Time Warp) scheduler mode.
+//
+// The optimistic mode does not snapshot fiber stacks (incompatible with
+// sanitizers and with RAII state living on the stack). Instead every
+// process keeps a *consumption log* — a deep copy of every message it has
+// matched, in match order — and rollback is coast-forward replay: the
+// fiber is unwound, recreated, and re-executed from rank start with its
+// receives fed from the log prefix and its sends (already delivered the
+// first time) suppressed. Target bodies are deterministic given their rng
+// seed and receive sequence, so replay reproduces the pre-rollback state
+// exactly, at which point execution continues for real.
+//
+// Three logs per process:
+//  * consumed — ConsumedEntry per matched message (the replay feed). Never
+//    truncated from the front: replay always starts at rank start. The
+//    trade-off (memory grows with total messages consumed) buys rollback
+//    that needs no state snapshots at all; see DESIGN.md §15.
+//  * sends — SendRecord per delivered send, so speculative output past a
+//    rollback point can be cancelled with anti-messages. Fossil-collected
+//    up to GVT (a committed send can never need an anti).
+//  * records — WildcardRecord per *speculative* wildcard commit still
+//    inside the rollback horizon. A message arriving later that such a
+//    record would have preferred (earlier (arrival, src)) is a causality
+//    violation and triggers rollback. GVT finalizes records (erases them)
+//    once no earlier-timestamped message can still appear.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "support/vtime.hpp"
+
+namespace stgsim::simk {
+
+/// One consumed (matched) message: a deep copy (payload cloned from the
+/// engine's pool) plus the send ordinal the consumer had reached, which
+/// tells rollback which sends were issued before / after this match.
+struct ConsumedEntry {
+  Message msg;
+  std::uint64_t sends_before = 0;  ///< send_ordinal at match time
+};
+
+/// One delivered send, identified at the receiver by (sender rank, seq).
+struct SendRecord {
+  int dst = -1;
+  std::uint64_t seq = 0;
+  VTime sent_at = 0;
+  VTime arrival = 0;
+};
+
+/// A wildcard commit that is still speculative: the receive chose the
+/// earliest-(arrival, src) candidate *queued at the time*, but a slower
+/// rank may still produce an earlier one. Self-contained copy of the
+/// matching rule (waitany alternatives deep-copied into `alts`, so the
+/// record never dangles into a fiber stack).
+struct WildcardRecord {
+  std::vector<MatchSpec> alts;  ///< non-empty iff the spec was a union
+  MatchSpec spec;               ///< used when alts is empty
+  VTime arrival = 0;            ///< committed candidate's arrival
+  int src = -1;                 ///< committed candidate's source
+  std::uint64_t consumed_index = 0;  ///< index into OptState::consumed
+
+  bool accepts(const Message& m) const {
+    if (!alts.empty()) {
+      for (const MatchSpec& a : alts) {
+        if (a.accepts(m)) return true;
+      }
+      return false;
+    }
+    return spec.accepts(m);
+  }
+};
+
+/// All optimistic-mode state of one process. Empty/inert unless
+/// EngineConfig::optimistic is set.
+struct OptState {
+  std::uint64_t rng_seed = 0;  ///< per-rank seed, reapplied on rollback
+
+  std::vector<ConsumedEntry> consumed;
+
+  // Send log. sends[i] is the send with ordinal send_base + i;
+  // send_ordinal counts sends issued by the *current incarnation* of the
+  // fiber (reset to 0 on rollback). During replay, sends with ordinal <
+  // suppress_below were already delivered and are dropped (after a
+  // consistency check against the log).
+  std::vector<SendRecord> sends;
+  std::uint64_t send_base = 0;
+  std::uint64_t send_ordinal = 0;
+  std::uint64_t suppress_below = 0;
+
+  std::vector<WildcardRecord> records;
+
+  // Replay feed: consumed[replay_next .. replay_limit) are handed to the
+  // re-executing fiber in order; replay is over when they meet.
+  std::uint64_t replay_next = 0;
+  std::uint64_t replay_limit = 0;
+
+  // Fiber lifecycle. A rollback discovered from scheduler or another
+  // fiber's context cannot unwind the victim's fiber in place (ucontext
+  // switches only happen from scheduler context): pending_unwind defers
+  // the unwind + recreation to the next resume. rollback_abort makes the
+  // old fiber throw FiberAborted at its suspended yield point. fresh is
+  // true while the attached fiber has never run (nothing to unwind).
+  bool pending_unwind = false;
+  bool rollback_abort = false;
+  bool fresh = true;
+
+  // Fossil-collection cursor: first consumed index whose arrival has not
+  // passed GVT yet (send-log pruning point). Monotone except on rollback.
+  std::uint64_t fossil_cursor = 0;
+
+  bool replaying() const { return replay_next < replay_limit; }
+};
+
+}  // namespace stgsim::simk

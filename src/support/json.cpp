@@ -271,7 +271,12 @@ class Parser {
     const char* begin = text_.data() + pos_;
     const char* end = text_.data() + text_.size();
     const auto res = std::from_chars(begin, end, d);
+    if (res.ec == std::errc::result_out_of_range) fail("number out of range");
     if (res.ec != std::errc() || res.ptr == begin) fail("malformed number");
+    // from_chars accepts "inf"/"nan" spellings JSON forbids; and no finite
+    // value may decode to a non-finite one (the writer refuses to emit
+    // them, so round-tripping can't produce this either).
+    if (!std::isfinite(d)) fail("non-finite number");
     pos_ = static_cast<std::size_t>(res.ptr - text_.data());
     return Value(d);
   }

@@ -1,0 +1,81 @@
+// Locale-independent numeric parsing built on std::from_chars.
+//
+// std::stod/std::stoll are locale-dependent (a de_DE.UTF-8 process reads
+// "3.14" as 3) and report overflow by throwing std::out_of_range, which
+// callers historically let escape as a crash. These helpers are pure
+// functions of the input bytes: they parse the C locale's formats only,
+// require the whole string to be consumed, reject "inf"/"nan" spellings
+// (no caller wants a non-finite config value), and report every failure —
+// including out-of-range — through the returned status so call sites can
+// raise a structured error with a nonzero exit instead.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string_view>
+#include <system_error>
+
+namespace stgsim::support {
+
+enum class ParseNumStatus {
+  kOk,
+  kBadFormat,    ///< not a number, or trailing junk after one
+  kOutOfRange,   ///< syntactically valid but unrepresentable
+  kNotFinite,    ///< "inf"/"nan" spellings (rejected by policy)
+};
+
+/// Parses a base-10 signed integer occupying the entire string.
+inline ParseNumStatus parse_i64(std::string_view text, long long* out) {
+  // from_chars rejects a leading '+'; accept it here for CLI friendliness
+  // ("--procs +8") and to match what std::stoll used to allow.
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  if (text.empty()) return ParseNumStatus::kBadFormat;
+  long long v = 0;
+  const auto r = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (r.ec == std::errc::result_out_of_range) {
+    return ParseNumStatus::kOutOfRange;
+  }
+  if (r.ec != std::errc{} || r.ptr != text.data() + text.size()) {
+    return ParseNumStatus::kBadFormat;
+  }
+  *out = v;
+  return ParseNumStatus::kOk;
+}
+
+/// Parses a decimal floating-point number (fixed or scientific notation)
+/// occupying the entire string. Non-finite results and the "inf"/"nan"
+/// spellings from_chars itself accepts are rejected.
+inline ParseNumStatus parse_f64(std::string_view text, double* out) {
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  if (text.empty()) return ParseNumStatus::kBadFormat;
+  // from_chars accepts "inf"/"infinity"/"nan" (any case); screen them out
+  // before parsing so they surface as kNotFinite, not as a valid value.
+  const char c = text.front() == '-' && text.size() > 1 ? text[1]
+                                                        : text.front();
+  if (c == 'i' || c == 'I' || c == 'n' || c == 'N') {
+    return ParseNumStatus::kNotFinite;
+  }
+  double v = 0.0;
+  const auto r = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (r.ec == std::errc::result_out_of_range) {
+    return ParseNumStatus::kOutOfRange;
+  }
+  if (r.ec != std::errc{} || r.ptr != text.data() + text.size()) {
+    return ParseNumStatus::kBadFormat;
+  }
+  *out = v;
+  return ParseNumStatus::kOk;
+}
+
+/// "expected an integer"-style suffix for error messages; distinguishes
+/// out-of-range from malformed so the user sees which mistake they made.
+inline const char* parse_num_problem(ParseNumStatus s, const char* kind) {
+  switch (s) {
+    case ParseNumStatus::kOutOfRange: return "value out of range";
+    case ParseNumStatus::kNotFinite: return "non-finite values not allowed";
+    default: break;
+  }
+  return kind;
+}
+
+}  // namespace stgsim::support

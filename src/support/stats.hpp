@@ -21,6 +21,20 @@ inline double abs_relative_error(double predicted, double reference) {
   return std::abs(relative_error(predicted, reference));
 }
 
+/// Count-per-second throughput, finite even for zero-duration runs (a
+/// degenerate sub-clock-tick bench point must not write inf into a JSON
+/// report the canonical writer would then refuse to serialize).
+inline double safe_rate(double count, double seconds) {
+  return count / std::max(1e-9, seconds);
+}
+
+/// baseline/current wall-clock ratio; 0 (meaning "no data") when either
+/// duration is zero, negative, or NaN rather than inf/nan.
+inline double safe_speedup(double baseline_seconds, double seconds) {
+  if (!(baseline_seconds > 0.0) || !(seconds > 0.0)) return 0.0;
+  return baseline_seconds / seconds;
+}
+
 inline double mean(const std::vector<double>& xs) {
   STGSIM_CHECK(!xs.empty());
   double acc = 0.0;

@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "apps/registry.hpp"
 #include "campaign/cache.hpp"
@@ -162,6 +164,42 @@ TEST(ResultCache, CorruptEntriesReadAsMisses) {
   // Truncate the entry mid-document.
   std::ofstream(cache.path_for("dead"), std::ios::trunc) << "{\"torn\":";
   EXPECT_FALSE(cache.load("dead").has_value());
+}
+
+TEST(ResultCache, FailedFinalizeIsACacheSkipNotAnError) {
+  ScratchDir dir("rename-fail");
+  campaign::ResultCache cache(dir.sub("c"));
+  // Occupy the entry's final path with a non-empty directory so the
+  // finalize rename cannot succeed (mirrors a concurrent process or a
+  // cache directory going bad mid-campaign).
+  fs::create_directories(fs::path(cache.path_for("beef")) / "occupied");
+  json::Value doc = json::Value::object();
+  doc.set("k", json::Value(2));
+  EXPECT_NO_THROW(cache.store("beef", doc));
+  // The failed store reads as a miss, and no tmp litter is left behind.
+  EXPECT_FALSE(cache.load("beef").has_value());
+  for (const auto& e : fs::directory_iterator(cache.dir())) {
+    EXPECT_EQ(e.path().string().find(".tmp."), std::string::npos)
+        << e.path();
+  }
+}
+
+TEST(ResultCache, ConcurrentStoresOfOneKeyNeverTearTheEntry) {
+  ScratchDir dir("concurrent");
+  campaign::ResultCache cache(dir.sub("c"));
+  json::Value doc = json::Value::object();
+  doc.set("payload", json::Value(std::string(4096, 'x')));
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) cache.store("cafe", doc);
+    });
+  }
+  for (auto& w : writers) w.join();
+  // Every interleaving of pid+counter-suffixed tmp files must finalize to
+  // a readable, checksum-valid entry.
+  ASSERT_TRUE(cache.load("cafe").has_value());
+  EXPECT_EQ(*cache.load("cafe"), doc);
 }
 
 // ---------------------------------------------------------------------------

@@ -118,5 +118,18 @@ TEST(JsonValue, NonFiniteNumbersAreRejectedOnDump) {
       std::runtime_error);
 }
 
+TEST(JsonValue, NonFiniteNumbersAreRejectedOnParse) {
+  // std::from_chars accepts inf/nan spellings JSON forbids, and an
+  // overflowing exponent would otherwise round to infinity — none of
+  // these may produce a Value the writer then refuses to serialize.
+  for (const char* bad :
+       {"inf", "-inf", "Infinity", "-Infinity", "nan", "NaN", "1e999",
+        "-1e999", "[1e999]", "{\"x\": inf}"}) {
+    EXPECT_THROW((void)json::Value::parse(bad), std::runtime_error) << bad;
+  }
+  // Large-but-finite values still parse.
+  EXPECT_EQ(json::Value::parse("1e308").as_number(), 1e308);
+}
+
 }  // namespace
 }  // namespace stgsim

@@ -263,5 +263,44 @@ TEST(McExplore, DporExploresSameDigestsAsFullExploration) {
   EXPECT_GT(full.stats.schedules, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// The optimistic (Time Warp) path under the protocol gate
+// ---------------------------------------------------------------------------
+
+TEST(McCheck, OptimisticScheduleIsDigestInvariantAcrossAllSchedules) {
+  // Every explored delivery order may trigger different speculative
+  // commits and rollbacks; all of them must still commit the *canonical
+  // conservative* digest. The canonical run drops the optimistic
+  // schedule — that asymmetry is the contract under test.
+  const ir::Program prog = anysource_program(3);
+  mc::CheckOptions opts;
+  opts.base = base_config(3);
+  opts.base.schedule = harness::Schedule::kOptimistic;
+  const mc::CheckReport rep = mc::check_program(prog, opts);
+  ASSERT_TRUE(rep.error.empty()) << rep.error;
+  EXPECT_TRUE(rep.ok()) << (rep.divergences.empty()
+                                ? ""
+                                : rep.divergences.front().description);
+  EXPECT_TRUE(rep.used_wildcard_recv);
+  EXPECT_GT(rep.stats.schedules, 1u);
+  EXPECT_EQ(rep.distinct_schedule_digests, 1u);
+  EXPECT_GT(rep.threaded_trials_run, 0);
+}
+
+TEST(McCheck, InjectedCommitBeforeGvtIsRediscoveredOnTheOptimisticPath) {
+  const ir::Program prog = anysource_program(3);
+  mc::CheckOptions opts;
+  opts.base = base_config(3);
+  opts.base.schedule = harness::Schedule::kOptimistic;
+  opts.base.unsafe_commit_before_gvt = true;
+  const mc::CheckReport rep = mc::check_program(prog, opts);
+  ASSERT_TRUE(rep.error.empty()) << rep.error;
+  ASSERT_FALSE(rep.divergences.empty())
+      << "committing speculative state before GVT passes it must "
+         "reintroduce the wildcard race";
+  EXPECT_EQ(rep.divergences.front().kind, mc::Divergence::Kind::kDigest)
+      << rep.divergences.front().description;
+}
+
 }  // namespace
 }  // namespace stgsim

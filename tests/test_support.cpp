@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <queue>
 #include <random>
 #include <utility>
@@ -14,6 +16,7 @@
 #include "support/check.hpp"
 #include "support/indexed_heap.hpp"
 #include "support/memtrack.hpp"
+#include "support/numparse.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -361,6 +364,79 @@ TEST(IndexedMinHeap, MatchesPriorityQueueUnderRandomWorkload) {
     ref.pop();
   }
   EXPECT_TRUE(h.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Locale-independent number parsing (numparse.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(NumParse, ParsesIntegersIncludingSignsAndRejectsJunk) {
+  using support::ParseNumStatus;
+  long long v = 0;
+  EXPECT_EQ(support::parse_i64("42", &v), ParseNumStatus::kOk);
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(support::parse_i64("-7", &v), ParseNumStatus::kOk);
+  EXPECT_EQ(v, -7);
+  // from_chars itself rejects a leading '+'; the helper accepts it.
+  EXPECT_EQ(support::parse_i64("+8", &v), ParseNumStatus::kOk);
+  EXPECT_EQ(v, 8);
+  for (const char* bad : {"", "+", "12x", "1.5", " 3", "3 ", "0x10"}) {
+    EXPECT_EQ(support::parse_i64(bad, &v), ParseNumStatus::kBadFormat)
+        << bad;
+  }
+}
+
+TEST(NumParse, IntegerOverflowIsAStructuredStatusNotUB) {
+  long long v = 0;
+  EXPECT_EQ(support::parse_i64("99999999999999999999", &v),
+            support::ParseNumStatus::kOutOfRange);
+  EXPECT_EQ(support::parse_i64("-99999999999999999999", &v),
+            support::ParseNumStatus::kOutOfRange);
+}
+
+TEST(NumParse, ParsesDoublesAndRejectsNonFiniteSpellings) {
+  using support::ParseNumStatus;
+  double d = 0.0;
+  EXPECT_EQ(support::parse_f64("3.25", &d), ParseNumStatus::kOk);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_EQ(support::parse_f64("-1e3", &d), ParseNumStatus::kOk);
+  EXPECT_DOUBLE_EQ(d, -1000.0);
+  EXPECT_EQ(support::parse_f64("+2.5", &d), ParseNumStatus::kOk);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(support::parse_f64("1e999", &d), ParseNumStatus::kOutOfRange);
+  for (const char* nf : {"inf", "-inf", "Infinity", "nan", "NaN", "-NAN"}) {
+    EXPECT_EQ(support::parse_f64(nf, &d), ParseNumStatus::kNotFinite) << nf;
+  }
+  for (const char* bad : {"", "+", "2,5", "1e", "12 "}) {
+    EXPECT_EQ(support::parse_f64(bad, &d), ParseNumStatus::kBadFormat)
+        << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bench ratio math (stats.hpp): degenerate runs must stay finite
+// ---------------------------------------------------------------------------
+
+TEST(Stats, SafeRateIsFiniteOnDegenerateDurations) {
+  // A sub-clock-tick run reports 0.0 seconds; the rate must clamp, not
+  // divide by zero (the JSON writer rejects non-finite numbers).
+  EXPECT_TRUE(std::isfinite(safe_rate(1e6, 0.0)));
+  EXPECT_TRUE(std::isfinite(safe_rate(0.0, 0.0)));
+  EXPECT_TRUE(std::isfinite(safe_rate(1e6, -1.0)));
+  EXPECT_DOUBLE_EQ(safe_rate(500.0, 2.0), 250.0);
+}
+
+TEST(Stats, SafeSpeedupIsFiniteOnDegenerateBaselines) {
+  EXPECT_DOUBLE_EQ(safe_speedup(2.0, 1.0), 2.0);
+  // Zero/negative/NaN durations on either side read as "no data" (0),
+  // never inf or nan.
+  EXPECT_DOUBLE_EQ(safe_speedup(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_speedup(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_speedup(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_speedup(-1.0, 2.0), 0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(safe_speedup(nan, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_speedup(2.0, nan), 0.0);
 }
 
 }  // namespace
