@@ -10,6 +10,8 @@
 //                   [--calibrate N] [--load-params f] [--save-params f]
 //                   [--workers N] [--partition block|interleave|comm]
 //                   [--schedule conservative|optimistic]
+//                   [--gvt-interval N] [--checkpoint-interval N|none]
+//                   [--checkpoint-adaptive on|off] [--speculation-window SEC]
 //                   [--abstract-comm] [--memory-cap-mb M]
 //                   [--seed S] [--fault SPEC]
 //                   [--max-vtime-sec T] [--max-messages N] [--max-host-sec T]
@@ -25,6 +27,7 @@
 //                   [--max-schedules N] [--max-depth N] [--max-host-sec T]
 //                   [--workers N] [--trials N] [--drain-seed S]
 //                   [--schedule conservative|optimistic] [--no-dpor]
+//                   [--gvt-interval N] [--checkpoint-interval N|none]
 //                   [--keep-going]
 //                   [--inject unsafe-wildcard|commit-before-gvt]
 //                   [--counterexample-out f.json]
@@ -92,7 +95,22 @@
 // conservative schedulers; `check --schedule optimistic` explores the
 // rollback/commit protocol against the conservative sequential digest, and
 // --inject commit-before-gvt plants a commit-finalized-before-GVT race on
-// the optimistic path for the gate to rediscover.
+// the optimistic path for the gate to rediscover. Four knobs tune the
+// optimistic engine without changing any simulated result (digests are
+// bit-identical across every setting):
+//   --gvt-interval N          committed events between GVT passes on the
+//                             sequential drivers (adaptively retuned at
+//                             runtime unless the config disables it)
+//   --checkpoint-interval N   committed consumes between per-rank restore
+//                             points; rollback coast-forwards from the
+//                             newest checkpoint at-or-before the violation
+//                             and GVT prunes the consumption log behind
+//                             committed checkpoints. "none" disables both
+//                             (replay from rank start, unpruned log).
+//   --checkpoint-adaptive     auto-tune the interval per rank from observed
+//                             rollback frequency (default on)
+//   --speculation-window SEC  hold back ranks more than SEC of virtual time
+//                             ahead of GVT (default unbounded)
 //
 // Legacy spellings are kept as deprecated aliases: "stgsim --app ..."
 // (no subcommand) runs `run`; --threads means --workers; --calib means
@@ -210,6 +228,39 @@ json::Value spec_doc_from_args(Args& args) {
   }
   if (args.has("schedule")) {
     doc.set("schedule", json::Value(args.str("schedule", "")));
+  }
+  if (args.has("gvt-interval")) {
+    const long long v = args.num("gvt-interval", 0);
+    if (v < 1) {
+      throw std::runtime_error("flag --gvt-interval: must be >= 1, got '" +
+                               std::to_string(v) + "'");
+    }
+    doc.set("gvt_interval", json::Value(static_cast<std::int64_t>(v)));
+  }
+  if (args.has("checkpoint-interval")) {
+    // "none" disables checkpoints (rollback replays from rank start);
+    // otherwise the value is a committed-consume count >= 1.
+    long long v = 0;
+    if (args.str("checkpoint-interval", "") != "none") {
+      v = args.num("checkpoint-interval", 0);
+      if (v < 1) {
+        throw std::runtime_error(
+            "flag --checkpoint-interval: must be >= 1 or 'none', got '" +
+            std::to_string(v) + "'");
+      }
+    }
+    doc.set("checkpoint_interval", json::Value(static_cast<std::int64_t>(v)));
+  }
+  if (args.has("checkpoint-adaptive")) {
+    doc.set("checkpoint_adaptive", json::Value(args.flag("checkpoint-adaptive")));
+  }
+  if (args.has("speculation-window")) {
+    const double v = args.real("speculation-window", 0.0);
+    if (v <= 0.0) {
+      throw std::runtime_error(
+          "flag --speculation-window: must be > 0 seconds of virtual time");
+    }
+    doc.set("speculation_window_sec", json::Value(v));
   }
   if (args.flag("abstract-comm")) doc.set("abstract_comm", json::Value(true));
   if (args.has("memory-cap-mb")) {
@@ -422,6 +473,19 @@ int cmd_run(Args& args) {
   t.add_row({"target data (peak)", TablePrinter::fmt_bytes(out.peak_target_bytes)});
   t.add_row({"messages simulated",
              TablePrinter::fmt_int(static_cast<long long>(out.messages))});
+  if (cfg.schedule == harness::Schedule::kOptimistic) {
+    t.add_row({"rollbacks",
+               TablePrinter::fmt_int(
+                   static_cast<long long>(out.parallel.rollbacks))});
+    t.add_row({"checkpoints taken",
+               TablePrinter::fmt_int(
+                   static_cast<long long>(out.parallel.checkpoints_taken))});
+    t.add_row({"events replayed",
+               TablePrinter::fmt_int(
+                   static_cast<long long>(out.parallel.replayed_events))});
+    t.add_row({"consumption log (peak)",
+               TablePrinter::fmt_bytes(out.parallel.log_bytes_peak)});
+  }
   t.add_row({"simulator wall-clock",
              TablePrinter::fmt(out.sim_host_seconds, 3) + " s"});
   std::cout << t.to_ascii();

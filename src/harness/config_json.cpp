@@ -86,6 +86,13 @@ json::Value run_config_to_json(const RunConfig& config) {
   out.set("partition",
           json::Value(simk::partition_mode_name(config.partition)));
   out.set("schedule", json::Value(schedule_name(config.schedule)));
+  out.set("gvt_interval",
+          json::Value(static_cast<double>(config.gvt_interval)));
+  out.set("checkpoint_interval",
+          json::Value(static_cast<double>(config.checkpoint_interval)));
+  out.set("checkpoint_adaptive", json::Value(config.checkpoint_adaptive));
+  out.set("speculation_window_sec",
+          json::Value(config.speculation_window_sec));
   out.set("abstract_comm", json::Value(config.abstract_comm));
   out.set("memory_cap_mb",
           json::Value(static_cast<double>(config.memory_cap_bytes) /
@@ -131,6 +138,21 @@ bool apply_config_key(RunConfig* config, const std::string& key,
     if (!parse_schedule(value.as_string(), &config->schedule)) {
       throw std::runtime_error("unknown schedule '" + value.as_string() +
                                "' (expected conservative|optimistic)");
+    }
+  } else if (key == "gvt_interval") {
+    const std::int64_t n = value.as_int();
+    if (n < 0) throw std::runtime_error("gvt_interval must be >= 0");
+    config->gvt_interval = static_cast<std::uint64_t>(n);
+  } else if (key == "checkpoint_interval") {
+    const std::int64_t n = value.as_int();
+    if (n < 0) throw std::runtime_error("checkpoint_interval must be >= 0");
+    config->checkpoint_interval = static_cast<std::uint64_t>(n);
+  } else if (key == "checkpoint_adaptive") {
+    config->checkpoint_adaptive = value.as_bool();
+  } else if (key == "speculation_window_sec") {
+    config->speculation_window_sec = value.as_number();
+    if (config->speculation_window_sec < 0.0) {
+      throw std::runtime_error("speculation_window_sec must be >= 0");
     }
   } else if (key == "abstract_comm") {
     config->abstract_comm = value.as_bool();
@@ -348,6 +370,8 @@ json::Value outcome_to_json(const RunOutcome& outcome) {
   metrics.set("msg_size_hist", hist_to_json(outcome.metrics.msg_size_hist));
   metrics.set("window_advance_hist",
               hist_to_json(outcome.metrics.window_advance_hist));
+  metrics.set("rollback_depth_hist",
+              hist_to_json(outcome.metrics.rollback_depth_hist));
   metrics.set("hop_hist", hist_to_json(outcome.metrics.hop_hist));
   json::Value links = json::Value::array();
   for (const auto& l : outcome.metrics.links) {
@@ -389,6 +413,9 @@ RunOutcome outcome_from_json(const json::Value& v) {
   out.metrics.msg_size_hist = hist_from_json(metrics.at("msg_size_hist"));
   out.metrics.window_advance_hist =
       hist_from_json(metrics.at("window_advance_hist"));
+  if (const json::Value* h = metrics.find("rollback_depth_hist")) {
+    out.metrics.rollback_depth_hist = hist_from_json(*h);
+  }
   out.metrics.hop_hist = hist_from_json(metrics.at("hop_hist"));
   for (const auto& l : metrics.at("links").as_array()) {
     out.metrics.links.push_back(

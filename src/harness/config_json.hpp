@@ -40,7 +40,7 @@ namespace stgsim::harness {
 /// models, protocol costs, app kernels). Part of every cache key, so stale
 /// campaign caches invalidate wholesale instead of serving results from an
 /// older simulator.
-inline constexpr const char kSimulatorVersion[] = "stgsim-7";
+inline constexpr const char kSimulatorVersion[] = "stgsim-8";
 
 /// Short mode keys used by the CLI and all JSON schemas:
 /// "measured" / "de" / "am" (mode_name() stays the display form).

@@ -106,6 +106,12 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
   if (optimistic) {
     ec.optimistic = true;
     ec.unsafe_commit_before_gvt = config.unsafe_commit_before_gvt;
+    if (config.gvt_interval > 0) ec.gvt_interval = config.gvt_interval;
+    ec.checkpoint_interval = config.checkpoint_interval;
+    ec.checkpoint_adaptive = config.checkpoint_adaptive;
+    if (config.speculation_window_sec > 0.0) {
+      ec.speculation_window = vtime_from_sec(config.speculation_window_sec);
+    }
     STGSIM_CHECK(config.mode != Mode::kMeasured)
         << "optimistic schedule: emulation (contention/jitter state) cannot "
            "be rolled back";
@@ -257,6 +263,13 @@ RunOutcome run_program(const ir::Program& prog, const RunConfig& config,
                         static_cast<double>(ps3.gvt_passes));
         out.metrics.add("parallel.fossil_finalized",
                         static_cast<double>(ps3.fossil_finalized));
+        out.metrics.add("parallel.checkpoints_taken",
+                        static_cast<double>(ps3.checkpoints_taken));
+        out.metrics.add("parallel.replayed_events",
+                        static_cast<double>(ps3.replayed_events));
+        out.metrics.add("parallel.log_bytes_peak",
+                        static_cast<double>(ps3.log_bytes_peak));
+        out.metrics.rollback_depth_hist = ps3.rollback_depth_hist;
       }
     }
   } catch (const MemoryCapExceeded& e) {

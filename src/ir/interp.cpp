@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "machine/compute.hpp"
+#include "support/blob.hpp"
 #include "support/check.hpp"
 #include "symexpr/compiled.hpp"
 
@@ -54,7 +55,29 @@ class ExecState : public sym::Env {
     stmt_cache_.resize(static_cast<std::size_t>(prog.next_id()));
   }
 
-  void run() { exec_block(prog_.main()); }
+  void run() {
+    simk::Process& proc = comm_.process();
+    const std::vector<std::uint8_t>* blob = proc.pending_restore();
+    if (blob == nullptr) {
+      exec_block(prog_.main());
+      return;
+    }
+    // Optimistic-mode rollback into a checkpoint: rebuild the captured
+    // interpreter state, then re-enter the statement tree at the recorded
+    // position. The engine feeds subsequent receives from its consumption
+    // log (coast-forward replay), so execution from here reproduces the
+    // pre-rollback state exactly.
+    std::vector<PosFrame> pos;
+    {
+      BlobReader r(*blob);
+      comm_.restore_state(r);
+      deserialize_state(r, &pos);
+      STGSIM_CHECK(r.done()) << "trailing bytes in checkpoint blob";
+    }
+    proc.clear_pending_restore();
+    STGSIM_CHECK(!pos.empty()) << "checkpoint blob carries no position";
+    exec_block_resume(prog_.main(), pos, 0);
+  }
 
   // sym::Env
   std::optional<sym::Value> lookup(const std::string& name) const override {
@@ -246,8 +269,182 @@ class ExecState : public sym::Env {
     return v;
   }
 
+  /// One level of the interpreter's position in the statement tree, as a
+  /// plain restartable coordinate: the statement index within the block,
+  /// plus — when that statement is the one being descended through — its
+  /// in-progress state (kFor: current induction value and the bound as
+  /// evaluated at loop entry, since the body may mutate its inputs; kIf:
+  /// which arm was taken). Serialized into checkpoints; rollback resumes
+  /// by re-descending the stack.
+  struct PosFrame {
+    std::uint32_t index = 0;
+    std::int64_t loop_i = 0;
+    std::int64_t loop_hi = 0;
+    std::uint8_t branch = 0;
+  };
+
   void exec_block(const std::vector<StmtP>& block) {
-    for (const auto& s : block) exec_stmt(*s);
+    const std::size_t d = pos_stack_.size();
+    pos_stack_.emplace_back();
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      // Index, never a held reference: nested exec_block calls grow the
+      // stack and may reallocate it.
+      pos_stack_[d].index = static_cast<std::uint32_t>(i);
+      exec_stmt(*block[i]);
+      maybe_checkpoint();
+    }
+    pos_stack_.pop_back();
+  }
+
+  /// Re-enters `block` at the checkpointed position `pos[depth...]`: the
+  /// innermost frame's statement had completed when the checkpoint was
+  /// taken, every outer frame's statement is in progress and is descended
+  /// through; after the resumed statement the block continues normally.
+  void exec_block_resume(const std::vector<StmtP>& block,
+                         const std::vector<PosFrame>& pos,
+                         std::size_t depth) {
+    const std::size_t d = pos_stack_.size();
+    pos_stack_.push_back(pos[depth]);
+    std::size_t start = static_cast<std::size_t>(pos[depth].index) + 1;
+    if (depth + 1 != pos.size()) {
+      STGSIM_CHECK_LT(static_cast<std::size_t>(pos[depth].index),
+                      block.size())
+          << "checkpoint position out of range";
+      exec_stmt_resume(*block[pos[depth].index], pos, depth);
+    }
+    for (std::size_t i = start; i < block.size(); ++i) {
+      pos_stack_[d].index = static_cast<std::uint32_t>(i);
+      exec_stmt(*block[i]);
+      maybe_checkpoint();
+    }
+    pos_stack_.pop_back();
+  }
+
+  /// Descends into an in-progress block-bearing statement during resume.
+  void exec_stmt_resume(const Stmt& s, const std::vector<PosFrame>& pos,
+                        std::size_t depth) {
+    const PosFrame f = pos[depth];
+    switch (s.kind) {
+      case StmtKind::kFor: {
+        // The restored frame already holds the induction variable at
+        // f.loop_i with its original write generation; finish the current
+        // iteration, then run the remaining ones normally. The bound is
+        // the one recorded at loop entry, never re-evaluated.
+        const auto var = static_cast<std::size_t>(slot_of(s.name));
+        {
+          const std::size_t pd = pos_stack_.size() - 1;
+          pos_stack_[pd].loop_i = f.loop_i;
+          pos_stack_[pd].loop_hi = f.loop_hi;
+          exec_block_resume(s.body, pos, depth + 1);
+        }
+        for (std::int64_t i = f.loop_i + 1; i <= f.loop_hi; ++i) {
+          frame_[var] = sym::Value(i);
+          frame_defined_[var] = 1;
+          ++frame_gen_[var];
+          const std::size_t pd = pos_stack_.size() - 1;
+          pos_stack_[pd].loop_i = i;
+          pos_stack_[pd].loop_hi = f.loop_hi;
+          exec_block(s.body);
+        }
+        break;
+      }
+      case StmtKind::kIf:
+        exec_block_resume(f.branch != 0 ? s.body : s.else_body, pos,
+                          depth + 1);
+        break;
+      case StmtKind::kCall: {
+        const Procedure* p = prog_.find_procedure(s.name);
+        STGSIM_CHECK(p != nullptr) << "unknown procedure " << s.name;
+        exec_block_resume(p->body, pos, depth + 1);
+        break;
+      }
+      default:
+        STGSIM_CHECK(false)
+            << "checkpoint position descends through a non-block statement";
+    }
+  }
+
+  /// Statement-boundary checkpoint poll (optimistic mode; a no-op flag
+  /// read everywhere else). Captures only at quiescent boundaries — no
+  /// outstanding Requests — because Request handles are deliberately not
+  /// serialized.
+  void maybe_checkpoint() {
+    if (pending_requests_ != 0) return;
+    simk::Process& proc = comm_.process();
+    if (!proc.checkpoint_due()) return;
+    std::vector<std::uint8_t> blob;
+    // State size is near-constant across captures (same frame, same
+    // arrays); reserving the previous size turns the write into a single
+    // allocation instead of log2(bytes) grow-and-copy rounds.
+    blob.reserve(last_blob_bytes_ + 256);
+    BlobWriter w(blob);
+    comm_.save_state(w);
+    serialize_state(w);
+    last_blob_bytes_ = blob.size();
+    proc.take_checkpoint(std::move(blob));
+  }
+
+  /// Serializes everything a fresh ExecState needs to resume at the
+  /// current position: the scalar frame (values, definedness, write
+  /// generations, name->slot map), arrays with their payload bytes, open
+  /// timers, and the position stack. Request lists are all empty at a
+  /// quiescent boundary and stmt_cache_/scratch_ rebuild lazily.
+  void serialize_state(BlobWriter& w) const {
+    w.vec_pod(frame_);
+    w.vec_pod(frame_defined_);
+    w.vec_pod(frame_gen_);
+    w.u64(frame_index_.size());
+    for (const auto& [name, slot] : frame_index_) {
+      w.str(name);
+      w.u32(static_cast<std::uint32_t>(slot));
+    }
+    w.u64(arrays_.size());
+    for (const auto& [name, a] : arrays_) {
+      w.str(name);
+      w.vec_pod(a.extents);
+      w.u64(a.elems);
+      w.u64(a.elem_bytes);
+      w.u64(a.buf.size_bytes());
+      w.raw(a.buf.data(), a.buf.size_bytes());
+    }
+    w.u64(open_timers_.size());
+    for (const auto& [name, t] : open_timers_) {
+      w.str(name);
+      w.i64(t);
+    }
+    w.vec_pod(pos_stack_);
+  }
+
+  void deserialize_state(BlobReader& r, std::vector<PosFrame>* pos) {
+    r.vec_pod(&frame_);
+    r.vec_pod(&frame_defined_);
+    r.vec_pod(&frame_gen_);
+    frame_index_.clear();
+    const std::uint64_t nslots = r.u64();
+    for (std::uint64_t i = 0; i < nslots; ++i) {
+      const std::string name = r.str();
+      frame_index_[name] = static_cast<int>(r.u32());
+    }
+    arrays_.clear();
+    const std::uint64_t narrays = r.u64();
+    for (std::uint64_t i = 0; i < narrays; ++i) {
+      const std::string name = r.str();
+      ArrayVal a;
+      r.vec_pod(&a.extents);
+      a.elems = static_cast<std::size_t>(r.u64());
+      a.elem_bytes = static_cast<std::size_t>(r.u64());
+      const auto bytes = static_cast<std::size_t>(r.u64());
+      a.buf = TrackedBuffer(&comm_.process().memory(), bytes);
+      r.raw(a.buf.data(), bytes);
+      arrays_[name] = std::move(a);
+    }
+    open_timers_.clear();
+    const std::uint64_t ntimers = r.u64();
+    for (std::uint64_t i = 0; i < ntimers; ++i) {
+      const std::string name = r.str();
+      open_timers_[name] = r.i64();
+    }
+    r.vec_pod(pos);
   }
 
   /// Binds the hot operands of a communication statement: e1 (peer/root),
@@ -339,6 +536,9 @@ class ExecState : public sym::Env {
           frame_[var] = sym::Value(i);
           frame_defined_[var] = 1;
           ++frame_gen_[var];
+          const std::size_t pd = pos_stack_.size() - 1;
+          pos_stack_[pd].loop_i = i;
+          pos_stack_[pd].loop_hi = hi;
           exec_block(s.body);
         }
         break;
@@ -353,6 +553,7 @@ class ExecState : public sym::Env {
         if (options_.branches != nullptr) {
           options_.branches->record(s.id, taken);
         }
+        pos_stack_[pos_stack_.size() - 1].branch = taken ? 1 : 0;
         if (taken) {
           exec_block(s.body);
         } else {
@@ -393,6 +594,7 @@ class ExecState : public sym::Env {
         const auto dst = static_cast<int>(eval_bound(c.a).as_int());
         const VTime t0 = comm_.now();
         c.requests->push_back(comm_.isend(dst, s.tag, p, bytes));
+        ++pending_requests_;
         observe_comm(s, dst, bytes, t0);
         break;
       }
@@ -404,12 +606,14 @@ class ExecState : public sym::Env {
         const auto src = static_cast<int>(eval_bound(c.a).as_int());
         const VTime t0 = comm_.now();
         c.requests->push_back(comm_.irecv(src, s.tag, p, bytes));
+        ++pending_requests_;
         observe_comm(s, src, bytes, t0);
         break;
       }
       case StmtKind::kWaitall: {
         auto& rs = reqs(s.name);
         comm_.waitall(rs);
+        pending_requests_ -= rs.size();
         rs.clear();
         break;
       }
@@ -564,6 +768,15 @@ class ExecState : public sym::Env {
   std::map<std::string, ArrayVal> arrays_;
   std::map<std::string, std::vector<smpi::Request>> requests_;
   std::map<std::string, VTime> open_timers_;
+
+  /// Live position in the statement tree (see PosFrame); one frame per
+  /// open block. Serialized into checkpoints.
+  std::vector<PosFrame> pos_stack_;
+  /// Outstanding isend/irecv handles across statements; checkpoints are
+  /// only taken while this is zero.
+  std::size_t pending_requests_ = 0;
+  /// Size of the last checkpoint blob, used to pre-reserve the next one.
+  std::size_t last_blob_bytes_ = 0;
 };
 
 // ---------------------------------------------------------------------------

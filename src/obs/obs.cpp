@@ -129,6 +129,58 @@ void Recorder::reset_rank(int rank) {
   }
 }
 
+void Recorder::save_rank(int rank, BlobWriter& w) const {
+  const RankShard& s = shard(rank);
+  w.u64(s.slices);
+  w.u64(s.blocks);
+  w.u64(s.wakeups);
+  w.u64(s.match_attempts);
+  w.u64(s.match_probes);
+  w.u64(s.match_hits);
+  w.u64(s.msgs_sent);
+  w.u64(s.wire_bytes);
+  for (std::size_t i = 0; i < kOpKindCount; ++i) w.u64(s.op_count[i]);
+  for (std::size_t i = 0; i < kOpKindCount; ++i) w.i64(s.op_time[i]);
+  w.u64(s.eager_msgs);
+  w.u64(s.eager_bytes);
+  w.u64(s.rndv_msgs);
+  w.u64(s.rndv_bytes);
+  for (std::size_t i = 0; i < kHistBuckets; ++i) w.u64(s.size_hist[i]);
+  w.vec_pod(s.p2p_msgs_row);
+  w.vec_pod(s.p2p_bytes_row);
+  w.vec_pod(s.coll_msgs_row);
+  w.vec_pod(s.coll_bytes_row);
+  w.vec_pod(s.spans);
+  w.vec_pod(s.block_spans);
+  w.u8(s.block_open ? 1 : 0);
+}
+
+void Recorder::restore_rank(int rank, BlobReader& r) {
+  RankShard& s = shard_mut(rank);
+  s.slices = r.u64();
+  s.blocks = r.u64();
+  s.wakeups = r.u64();
+  s.match_attempts = r.u64();
+  s.match_probes = r.u64();
+  s.match_hits = r.u64();
+  s.msgs_sent = r.u64();
+  s.wire_bytes = r.u64();
+  for (std::size_t i = 0; i < kOpKindCount; ++i) s.op_count[i] = r.u64();
+  for (std::size_t i = 0; i < kOpKindCount; ++i) s.op_time[i] = r.i64();
+  s.eager_msgs = r.u64();
+  s.eager_bytes = r.u64();
+  s.rndv_msgs = r.u64();
+  s.rndv_bytes = r.u64();
+  for (std::size_t i = 0; i < kHistBuckets; ++i) s.size_hist[i] = r.u64();
+  r.vec_pod(&s.p2p_msgs_row);
+  r.vec_pod(&s.p2p_bytes_row);
+  r.vec_pod(&s.coll_msgs_row);
+  r.vec_pod(&s.coll_bytes_row);
+  r.vec_pod(&s.spans);
+  r.vec_pod(&s.block_spans);
+  s.block_open = r.u8() != 0;
+}
+
 void Recorder::record_op(int rank, OpKind k, int peer, std::uint64_t bytes,
                          VTime begin, VTime end) {
   RankShard& s = shard_mut(rank);
@@ -326,6 +378,7 @@ void merge_metrics(MetricsSnapshot* dst, const MetricsSnapshot& src) {
   }
   merge_hist(&dst->msg_size_hist, src.msg_size_hist);
   merge_hist(&dst->window_advance_hist, src.window_advance_hist);
+  merge_hist(&dst->rollback_depth_hist, src.rollback_depth_hist);
   merge_hist(&dst->hop_hist, src.hop_hist);
   // Links merge by name: cross-run rollups only make sense when the runs
   // share a platform, but summing by name is harmless either way.
@@ -400,6 +453,14 @@ void Recorder::write_metrics_json(std::ostream& os,
     for (std::size_t i = 0; i < s.window_advance_hist.size(); ++i) {
       if (i != 0) os << ", ";
       os << s.window_advance_hist[i];
+    }
+    os << "]";
+  }
+  if (!s.rollback_depth_hist.empty()) {
+    os << ",\n  \"rollback_depth_hist\": [";
+    for (std::size_t i = 0; i < s.rollback_depth_hist.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << s.rollback_depth_hist[i];
     }
     os << "]";
   }

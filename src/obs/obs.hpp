@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "support/blob.hpp"
 #include "support/vtime.hpp"
 
 namespace stgsim::obs {
@@ -82,6 +83,12 @@ struct MetricsSnapshot {
   /// zero-advance rounds. Appended by the harness from
   /// simk::ParallelStats.
   std::vector<std::uint64_t> window_advance_hist;
+
+  /// Optimistic-rollback depth histogram (empty for conservative runs):
+  /// bucket k>0 counts rollbacks that discarded [2^(k-1), 2^k) consumed
+  /// log entries; bucket 0 counts rollbacks that discarded none.
+  /// Appended by the harness from simk::ParallelStats.
+  std::vector<std::uint64_t> rollback_depth_hist;
 
   /// Hop-count histogram from the routed platform: bucket h counts
   /// messages whose path crossed h links. Empty unless the run enabled
@@ -158,6 +165,13 @@ class Recorder : public simk::EngineObserver {
   /// Coast-forward replay then re-records the rank's surviving history, so
   /// after the run the shard describes exactly the committed execution.
   void reset_rank(int rank);
+
+  /// Checkpoint twins of reset_rank: serialize / overwrite one rank's
+  /// shard. A rollback that restores from a checkpoint rewinds the shard
+  /// to the capture point instead of zeroing it; replay from the
+  /// checkpoint then re-records only the surviving suffix.
+  void save_rank(int rank, BlobWriter& w) const;
+  void restore_rank(int rank, BlobReader& r);
 
   // -- output --------------------------------------------------------------
 

@@ -117,10 +117,13 @@ bool Process::try_match(const MatchSpec& spec, Message* out) {
     if (engine_->config_.optimistic) {
       // Consumption log: the replay feed and the anti-message lookup both
       // need the message back after the fiber has destroyed its copy.
+      // clone_message shares the payload (refcount bump, no byte copy).
       ConsumedEntry e;
       e.msg = engine_->clone_message(*out);
       e.sends_before = opt_.send_ordinal;
+      engine_->opt_log_charge(*this, e.msg);
       opt_.consumed.push_back(std::move(e));
+      engine_->opt_note_consume(*this);
     }
     if (engine_->config().record_host_trace) {
       // Consuming a message is a dependency point: end the current slice
@@ -194,8 +197,7 @@ bool Process::peek_match(const MatchSpec& spec, VTime* arrival) const {
     // Replay: probes must see what the original execution saw — the next
     // logged consumption — not the inbox (which holds messages that were
     // unconsumed at rollback, possibly matching a different request).
-    const Message& m =
-        opt_.consumed[static_cast<std::size_t>(opt_.replay_next)].msg;
+    const Message& m = opt_.entry(opt_.replay_next).msg;
     if (!spec.accepts(m)) return false;
     if (arrival != nullptr) *arrival = m.arrival;
     return true;
@@ -564,9 +566,10 @@ Message Engine::clone_message(const Message& m) {
   c.seq = m.seq;
   c.aux = m.aux;
   c.wire_bytes = m.wire_bytes;
-  if (m.payload.size() > 0) {
-    c.payload = payload_pool_.make(m.payload.data(), m.payload.size());
-  }
+  // Refcount-share the payload instead of deep-cloning: payload bytes are
+  // immutable after creation, so the log's copy and the receiver's copy
+  // can alias the same pooled storage.
+  c.payload = m.payload.share();
   return c;
 }
 
@@ -579,16 +582,100 @@ Engine::WorkerStat& Engine::opt_stat() {
 bool Engine::opt_feed_replay(Process& p, const MatchSpec& spec,
                              Message* out) {
   OptState& o = p.opt_;
-  const ConsumedEntry& e =
-      o.consumed[static_cast<std::size_t>(o.replay_next)];
+  const ConsumedEntry& e = o.entry(o.replay_next);
   STGSIM_CHECK(spec.accepts(e.msg))
       << "optimistic replay diverged on rank " << p.rank_ << ": receive #"
       << o.replay_next << " does not accept the logged message (src "
       << e.msg.src << " tag " << e.msg.tag << ")";
   *out = clone_message(e.msg);
   ++o.replay_next;
+  ++opt_stat().replayed;
+  opt_note_consume(p);
   if (observer_ != nullptr) observer_->on_match(p.rank_, 1, true);
   return true;
+}
+
+void Engine::opt_note_consume(Process& p) {
+  OptState& o = p.opt_;
+  ++o.consumes_since_rollback;
+  const std::uint64_t iv = o.effective_interval;
+  if (iv == 0) return;  // checkpointing disabled
+  if (++o.since_checkpoint < iv) return;
+  o.checkpoint_due = true;
+  // Adaptive growth: after a long rollback-free stretch the restore points
+  // are pure overhead — stretch the interval back out (capped at 8x the
+  // configured value; rollback halves it again, see opt_rollback).
+  if (config_.checkpoint_adaptive &&
+      o.consumes_since_rollback >= 8 * iv &&
+      iv < 8 * config_.checkpoint_interval) {
+    o.effective_interval = std::min(iv * 2, 8 * config_.checkpoint_interval);
+  }
+}
+
+std::size_t Engine::opt_entry_bytes(const Message& m) {
+  return sizeof(ConsumedEntry) + m.payload.size();
+}
+
+void Engine::opt_log_charge(Process& p, const Message& m) {
+  // Plain per-rank counter: a rank's log is only ever touched by its
+  // owning worker (or the lone sequential thread). The global figure is
+  // folded from the per-rank counters at GVT passes and at run end — see
+  // opt_fold_log_bytes — so the per-message cost is one add instead of
+  // two contended atomic RMWs. The reported peak is therefore sampled at
+  // fold points, which is where the log is largest anyway (a fold runs
+  // immediately before fossil collection prunes it).
+  p.opt_.log_bytes += opt_entry_bytes(m);
+}
+
+void Engine::opt_log_release(Process& p, const Message& m) {
+  const std::size_t n = opt_entry_bytes(m);
+  STGSIM_DCHECK(p.opt_.log_bytes >= n);
+  p.opt_.log_bytes -= n;
+}
+
+std::uint64_t Engine::opt_fold_log_bytes() {
+  // Scheduler thread only (sequential drivers, or the threaded driver at
+  // a barrier / before its own fossil sweep): workers are quiesced, so
+  // plain reads of the per-rank counters and plain stores of the global
+  // are race-free.
+  std::uint64_t sum = 0;
+  for (const auto& p : procs_) sum += p->opt_.log_bytes;
+  opt_log_bytes_.store(sum, std::memory_order_relaxed);
+  if (sum > opt_log_bytes_peak_.load(std::memory_order_relaxed)) {
+    opt_log_bytes_peak_.store(sum, std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Process::take_checkpoint(std::vector<std::uint8_t> app_blob) {
+  engine_->opt_take_checkpoint(*this, std::move(app_blob));
+}
+
+void Engine::opt_take_checkpoint(Process& p, std::vector<std::uint8_t> blob) {
+  OptState& o = p.opt_;
+  STGSIM_DCHECK(config_.optimistic && o.checkpoint_due);
+  Checkpoint cp;
+  cp.cursor = o.cursor();
+  // send_ordinal is absolute within every incarnation: a restored fiber
+  // starts at its checkpoint's ordinal, a from-zero replay starts at 0, so
+  // the running counter is the capture value in all cases (mid-replay
+  // included).
+  cp.send_ordinal = o.send_ordinal;
+  cp.clock = p.clock_;
+  cp.rng = p.rng_.state();
+  cp.next_seq = p.next_seq_;
+  cp.app_blob = std::move(blob);
+  // Cursor-ordered by construction (the consume cursor is monotone within
+  // one incarnation and rollback pops checkpoints past its target), but a
+  // replaying incarnation may re-reach a cursor an older checkpoint
+  // already covers; keep the log strictly increasing.
+  while (!o.checkpoints.empty() && o.checkpoints.back().cursor >= cp.cursor) {
+    o.checkpoints.pop_back();
+  }
+  o.checkpoints.push_back(std::move(cp));
+  ++o.checkpoints_taken;
+  o.since_checkpoint = 0;
+  o.checkpoint_due = false;
 }
 
 void Engine::opt_record_wildcard(Process& p, const MatchSpec& spec,
@@ -611,7 +698,7 @@ void Engine::opt_record_wildcard(Process& p, const MatchSpec& spec,
   rec.arrival = m.arrival;
   rec.src = m.src;
   STGSIM_DCHECK(!p.opt_.consumed.empty());
-  rec.consumed_index = p.opt_.consumed.size() - 1;
+  rec.consumed_index = p.opt_.consumed_base + p.opt_.consumed.size() - 1;
   p.opt_.records.push_back(std::move(rec));
 }
 
@@ -673,12 +760,16 @@ void Engine::opt_apply_anti(Process& dst, const Message& anti) {
       if (n->value.seq > anti.seq) break;  // channels stay seq-sorted
     }
   }
+  // Retained log scan only: pruned entries are committed below GVT, and a
+  // committed consumption can never be annihilated (its anti would have
+  // had to be sent from a rollback below GVT).
   const auto& log = dst.opt_.consumed;
   for (std::size_t i = 0; i < log.size(); ++i) {
     const Message& cm = log[i].msg;
     if (cm.src == anti.src && cm.seq == anti.seq) {
       messages_delivered_.fetch_sub(1, std::memory_order_relaxed);
-      opt_rollback(dst, static_cast<std::uint64_t>(i), /*drop_entry=*/true);
+      opt_rollback(dst, dst.opt_.consumed_base + static_cast<std::uint64_t>(i),
+                   /*drop_entry=*/true);
       return;
     }
   }
@@ -689,6 +780,21 @@ void Engine::opt_apply_anti(Process& dst, const Message& anti) {
 
 MsgNode* Engine::opt_insert_sorted(Process& p, Message&& m) {
   Process::Channel& ch = p.channel(m.src);
+  // In-order arrival (the no-rollback common case) appends at the tail in
+  // O(1) — same cost as the conservative channel plus one compare. Only a
+  // receiver-side rollback requeue can put a higher-seq message ahead of
+  // a re-sent lower-seq one, forcing the head scan.
+  if (ch.tail == nullptr || ch.tail->value.seq < m.seq) {
+    MsgNode* node = msg_arena_.acquire(std::move(m));
+    if (ch.tail != nullptr) {
+      ch.tail->next = node;
+    } else {
+      ch.head = node;
+    }
+    ch.tail = node;
+    ++p.inbox_size_;
+    return node;
+  }
   MsgNode* prev = nullptr;
   MsgNode* n = ch.head;
   while (n != nullptr && n->value.seq < m.seq) {
@@ -721,16 +827,36 @@ void Engine::opt_rollback(Process& p, std::uint64_t k, bool drop_entry) {
   STGSIM_DCHECK(g_current_proc != static_cast<void*>(&p))
       << "rank " << p.rank_ << " cannot roll itself back mid-slice";
   OptState& o = p.opt_;
-  STGSIM_CHECK(k < o.consumed.size());
-  ++opt_stat().rollbacks;
+  STGSIM_CHECK(k >= o.consumed_base &&
+               k < o.consumed_base + o.consumed.size())
+      << "rollback target " << k << " outside retained log ["
+      << o.consumed_base << ", "
+      << o.consumed_base + o.consumed.size() << ") on rank " << p.rank_;
+  {
+    WorkerStat& ws = opt_stat();
+    ++ws.rollbacks;
+    const std::uint64_t depth = o.consumed_base + o.consumed.size() - k;
+    int bucket = 0;
+    while (bucket + 1 < WorkerStat::kDepthBuckets &&
+           (std::uint64_t{1} << bucket) <= depth) {
+      ++bucket;
+    }
+    if (depth == 0) bucket = 0;
+    ++ws.depth_hist[bucket];
+  }
+  // Adaptive shrink: a rollback means up to effective_interval entries of
+  // replay; frequent rollbacks favor closer restore points.
+  if (config_.checkpoint_adaptive && o.effective_interval > 1) {
+    o.effective_interval /= 2;
+  }
+  o.consumes_since_rollback = 0;
 
   // 1) Cancel speculative output: every send issued at or after the
   //    rolled-back consumption gets an anti-message. Queued (not sent
   //    inline) so an annihilation cascade unwinds iteratively; per-lane
   //    FIFO still puts each anti behind its positive and ahead of any
   //    post-replay re-send.
-  const std::uint64_t s_k = o.consumed[static_cast<std::size_t>(k)]
-                                .sends_before;
+  const std::uint64_t s_k = o.entry(k).sends_before;
   STGSIM_CHECK(s_k >= o.send_base)
       << "rollback past the fossil-collected send horizon on rank "
       << p.rank_;
@@ -757,12 +883,14 @@ void Engine::opt_rollback(Process& p, std::uint64_t k, bool drop_entry) {
   //    entry k itself when it was annihilated by an anti). Reinserted in
   //    seq order per channel — rolled-back seqs can interleave with
   //    still-queued ones a wildcard receive skipped.
-  for (std::size_t i = o.consumed.size(); i-- > static_cast<std::size_t>(k);) {
+  const std::size_t k_rel = static_cast<std::size_t>(k - o.consumed_base);
+  for (std::size_t i = o.consumed.size(); i-- > k_rel;) {
     ConsumedEntry& e = o.consumed[i];
-    if (drop_entry && i == static_cast<std::size_t>(k)) continue;
+    opt_log_release(p, e.msg);
+    if (drop_entry && i == k_rel) continue;
     opt_insert_sorted(p, std::move(e.msg));
   }
-  o.consumed.resize(static_cast<std::size_t>(k));
+  o.consumed.resize(k_rel);
 
   // 3) Speculative wildcard commits at or past the rollback point are
   //    gone; the re-execution re-decides them against the corrected inbox.
@@ -773,16 +901,43 @@ void Engine::opt_rollback(Process& p, std::uint64_t k, bool drop_entry) {
                      }),
       o.records.end());
 
-  // 4) Reset execution state for coast-forward replay.
-  o.replay_next = 0;
+  // 4) Reset execution state for coast-forward replay. Checkpoints past
+  //    the rollback point capture state the rollback just discarded; pop
+  //    them, then replay from the newest survivor (or from rank start
+  //    while none exists yet — only possible before the first checkpoint,
+  //    when consumed_base is still 0, so the full feed is retained).
+  while (!o.checkpoints.empty() && o.checkpoints.back().cursor > k) {
+    o.checkpoints.pop_back();
+  }
   o.replay_limit = k;
   o.suppress_below = s_k;
-  o.send_ordinal = 0;
   o.fossil_cursor = std::min(o.fossil_cursor, k);
-  p.next_seq_.clear();
-  p.clock_ = 0;
+  o.since_checkpoint = 0;
+  o.checkpoint_due = false;
   p.watchdog_countdown_ = Process::kWatchdogStride;
-  p.rng_.reseed(o.rng_seed);
+  if (!o.checkpoints.empty()) {
+    const Checkpoint& cp = o.checkpoints.back();
+    o.replay_next = cp.cursor;
+    o.send_ordinal = cp.send_ordinal;
+    p.next_seq_ = cp.next_seq;
+    p.clock_ = cp.clock;
+    p.rng_.set_state(cp.rng);
+    // Copy, don't alias: a checkpoint taken mid-replay may reallocate the
+    // checkpoints vector while the blob is still being consumed.
+    o.restore_blob = cp.app_blob;
+    o.restore_armed = true;
+  } else {
+    STGSIM_CHECK(o.consumed_base == 0)
+        << "rank " << p.rank_
+        << ": log pruned without a checkpoint to replay from";
+    o.replay_next = 0;
+    o.send_ordinal = 0;
+    o.restore_armed = false;
+    o.restore_blob.clear();
+    p.next_seq_.clear();
+    p.clock_ = 0;
+    p.rng_.reseed(o.rng_seed);
+  }
   if (p.fiber_ != nullptr && p.fiber_->finished()) {
     attach_fresh_fiber(p);  // ran to completion; nothing to unwind
   } else if (!o.fresh) {
@@ -792,7 +947,11 @@ void Engine::opt_rollback(Process& p, std::uint64_t k, bool drop_entry) {
     // again.) A fresh fiber has never run and needs nothing.
     o.pending_unwind = true;
   }
-  if (rollback_reset_) rollback_reset_(p.rank_);
+  // The reset hook zeroes layered per-rank state (smpi stats, obs shard)
+  // that a from-zero replay rebuilds; a checkpoint restore instead
+  // overwrites that state from the blob, so the hook would only be
+  // redundant work (the blob is applied before anything records).
+  if (!o.restore_armed && rollback_reset_) rollback_reset_(p.rank_);
 
   // 5) Scheduling: make the rank runnable exactly once.
   const bool was_queued = !p.blocked_ && !p.finished_;
@@ -835,7 +994,54 @@ void Engine::opt_flush_antis() {
   opt_flushing_[w] = 0;
 }
 
+Engine::OptDebug Engine::opt_debug(int rank) const {
+  const OptState& o = procs_[static_cast<std::size_t>(rank)]->opt_;
+  OptDebug d;
+  d.consumed_base = o.consumed_base;
+  d.consumed_size = o.consumed.size();
+  d.fossil_cursor = o.fossil_cursor;
+  d.log_bytes = o.log_bytes;
+  d.checkpoint_cursors.reserve(o.checkpoints.size());
+  for (const Checkpoint& cp : o.checkpoints) {
+    d.checkpoint_cursors.push_back(cp.cursor);
+  }
+  return d;
+}
+
+bool Engine::opt_throttled(const Process& p) const {
+  const VTime w = config_.speculation_window;
+  if (w <= 0 || mc_active_) return false;
+  if (opt_throttle_override_.load(std::memory_order_relaxed)) return false;
+  const VTime g = gvt_.load(std::memory_order_relaxed);
+  if (g > kVTimeNever - w) return false;  // saturate instead of overflow
+  return p.clock_ > g + w;
+}
+
+void Engine::opt_retune_gvt() {
+  if (config_.gvt_adaptive) {
+    const std::uint64_t cur =
+        opt_log_bytes_.load(std::memory_order_relaxed);
+    // Log pressure rising past 1 MiB: fossil-collect more aggressively.
+    // Pressure flat or falling: back off toward (and past) the configured
+    // cadence, up to 4x — GVT passes are O(P) and pure overhead when the
+    // logs stay small. Inputs are virtual-state byte counts, not host
+    // timing, so the cadence (and the run) stays deterministic.
+    if (cur > opt_log_bytes_last_pass_ && cur > opt_gvt_pressure_bytes_) {
+      opt_gvt_interval_ = std::max<std::uint64_t>(16, opt_gvt_interval_ / 2);
+    } else if (opt_gvt_interval_ < 4 * opt_gvt_base_) {
+      opt_gvt_interval_ =
+          std::min(4 * opt_gvt_base_,
+                   opt_gvt_interval_ + opt_gvt_interval_ / 4 + 1);
+    }
+    opt_log_bytes_last_pass_ = cur;
+  }
+  opt_gvt_countdown_ = opt_gvt_interval_;
+}
+
 void Engine::opt_gvt_pass() {
+  // Capture the retained-log high-water mark before fossil collection
+  // below shrinks it; the retune that follows the pass reads the fold.
+  opt_fold_log_bytes();
   VTime g = kVTimeNever;
   for (const auto& p : procs_) {
     if (!p->finished_) g = std::min(g, p->clock_);
@@ -870,16 +1076,14 @@ void Engine::opt_fossil_rank(Process& p, VTime g) {
   // need an anti-message. Skip ranks mid-replay: their send_ordinal is
   // transiently rewound.
   if (o.replaying() || o.pending_unwind) return;
-  while (o.fossil_cursor < o.consumed.size() &&
-         o.consumed[static_cast<std::size_t>(o.fossil_cursor)].msg.arrival <
-             g) {
+  const std::uint64_t log_end = o.consumed_base + o.consumed.size();
+  while (o.fossil_cursor < log_end &&
+         o.entry(o.fossil_cursor).msg.arrival < g) {
     ++o.fossil_cursor;
   }
-  const std::uint64_t keep_from =
-      o.fossil_cursor < o.consumed.size()
-          ? o.consumed[static_cast<std::size_t>(o.fossil_cursor)]
-                .sends_before
-          : o.send_ordinal;
+  const std::uint64_t keep_from = o.fossil_cursor < log_end
+                                      ? o.entry(o.fossil_cursor).sends_before
+                                      : o.send_ordinal;
   if (keep_from > o.send_base) {
     const std::size_t drop =
         static_cast<std::size_t>(keep_from - o.send_base);
@@ -887,6 +1091,33 @@ void Engine::opt_fossil_rank(Process& p, VTime g) {
     o.sends.erase(o.sends.begin(),
                   o.sends.begin() + static_cast<std::ptrdiff_t>(drop));
     o.send_base = keep_from;
+  }
+  // Consumption-log pruning, gated on checkpoints. Every future rollback
+  // target k satisfies k >= fossil_cursor, and the restore point for k is
+  // the newest checkpoint with cursor <= k — which is at or after the
+  // newest checkpoint with cursor <= fossil_cursor. Entries below *that*
+  // checkpoint can therefore never be replayed again: free them (payload
+  // refcounts drop with the entries) and advance consumed_base. Older
+  // checkpoints are superseded at the same time. Peak retained log is
+  // O(checkpoint interval + per-statement fan-in), not O(history).
+  if (o.checkpoints.empty()) return;
+  std::size_t ci = o.checkpoints.size();
+  while (ci > 0 && o.checkpoints[ci - 1].cursor > o.fossil_cursor) --ci;
+  if (ci == 0) return;  // no committed checkpoint yet
+  const std::uint64_t new_base = o.checkpoints[ci - 1].cursor;
+  if (ci > 1) {
+    o.checkpoints.erase(o.checkpoints.begin(),
+                        o.checkpoints.begin() +
+                            static_cast<std::ptrdiff_t>(ci - 1));
+  }
+  if (new_base > o.consumed_base) {
+    const std::size_t n = static_cast<std::size_t>(new_base - o.consumed_base);
+    for (std::size_t i = 0; i < n; ++i) {
+      opt_log_release(p, o.consumed[i].msg);
+    }
+    o.consumed.erase(o.consumed.begin(),
+                     o.consumed.begin() + static_cast<std::ptrdiff_t>(n));
+    o.consumed_base = new_base;
   }
 }
 
@@ -1174,6 +1405,31 @@ RunResult Engine::run() {
       opt_out_min_[i].store(kVTimeNever, std::memory_order_relaxed);
     }
     if (worker_stats_.empty()) worker_stats_.assign(1, WorkerStat{});
+    for (auto& p : procs_) {
+      p->opt_.effective_interval = config_.checkpoint_interval;
+    }
+    // Fixed cadence honors the configured interval exactly; adaptive
+    // mode raises the baseline to the rank count so the O(P) pass costs
+    // O(1) amortized per scheduler pop regardless of scale, and treats
+    // ~16 KiB of logged state per rank as steady-state (one in-flight
+    // eager message each), not memory pressure.
+    opt_gvt_base_ = config_.gvt_interval;
+    if (config_.gvt_adaptive) {
+      opt_gvt_base_ = std::max<std::uint64_t>(
+          opt_gvt_base_, static_cast<std::uint64_t>(config_.num_processes));
+    }
+    opt_gvt_pressure_bytes_ = std::max<std::uint64_t>(
+        std::uint64_t{1} << 20,
+        (std::uint64_t{16} << 10) *
+            static_cast<std::uint64_t>(config_.num_processes));
+    opt_gvt_interval_ = opt_gvt_base_;
+    opt_gvt_countdown_ = opt_gvt_interval_;
+    opt_log_bytes_last_pass_ = 0;
+    opt_log_bytes_.store(0, std::memory_order_relaxed);
+    opt_log_bytes_peak_.store(0, std::memory_order_relaxed);
+    opt_throttled_.clear();
+    opt_throttle_override_.store(false, std::memory_order_relaxed);
+    opt_release_exempt_ = -1;
   }
 
   host_t0_sec_ = steady_now_sec();
@@ -1187,12 +1443,31 @@ RunResult Engine::run() {
   }
 
   if (config_.optimistic) {
+    pstats_.rollback_depth_hist.assign(WorkerStat::kDepthBuckets, 0);
     for (const auto& ws : worker_stats_) {
       pstats_.rollbacks += ws.rollbacks;
       pstats_.anti_messages += ws.antis;
       pstats_.fossil_finalized += ws.fossil;
+      pstats_.replayed_events += ws.replayed;
+      for (int b = 0; b < WorkerStat::kDepthBuckets; ++b) {
+        pstats_.rollback_depth_hist[static_cast<std::size_t>(b)] +=
+            ws.depth_hist[b];
+      }
+    }
+    while (!pstats_.rollback_depth_hist.empty() &&
+           pstats_.rollback_depth_hist.back() == 0) {
+      pstats_.rollback_depth_hist.pop_back();
+    }
+    for (const auto& p : procs_) {
+      pstats_.checkpoints_taken += p->opt_.checkpoints_taken;
     }
     pstats_.gvt_passes = gvt_passes_.load(std::memory_order_relaxed);
+    // Final fold: a run whose last stretch never hit a GVT pass (or that
+    // disabled checkpointing and grew the log to the end) still reports
+    // its true high-water mark.
+    opt_fold_log_bytes();
+    pstats_.log_bytes_peak =
+        opt_log_bytes_peak_.load(std::memory_order_relaxed);
   }
 
   RunResult res;
@@ -1230,6 +1505,46 @@ void Engine::run_sequential() {
       }
       ready_.clear();
     }
+    if (config_.optimistic && heap.empty() && !opt_throttled_.empty()) {
+      // Every runnable rank has sped past the speculation window. Advance
+      // GVT, then re-admit ranks back inside the (new) window. If none
+      // qualify — the GVT-minimum rank may itself be blocked on a message
+      // a throttled peer has yet to send — release the earliest-clock one
+      // unconditionally so progress resumes.
+      opt_gvt_pass();
+      opt_retune_gvt();
+      const VTime g = gvt_.load(std::memory_order_relaxed);
+      const VTime w = config_.speculation_window;
+      std::size_t kept = 0;
+      std::size_t min_at = 0;
+      VTime min_clock = kVTimeNever;
+      for (const int r : opt_throttled_) {
+        Process& t = *procs_[static_cast<std::size_t>(r)];
+        if (g > kVTimeNever - w || t.clock_ <= g + w) {
+          heap.push(r, t.clock_);
+          continue;
+        }
+        if (t.clock_ < min_clock) {
+          min_clock = t.clock_;
+          min_at = kept;
+        }
+        opt_throttled_[kept++] = r;
+      }
+      opt_throttled_.resize(kept);
+      if (heap.empty() && kept > 0) {
+        const int r = opt_throttled_[min_at];
+        opt_throttled_.erase(opt_throttled_.begin() +
+                             static_cast<std::ptrdiff_t>(min_at));
+        heap.push(r, procs_[static_cast<std::size_t>(r)]->clock_);
+        // The forced release must survive the throttle re-check at pop
+        // time, or the loop spins without running anything.
+        opt_release_exempt_ = r;
+      }
+      for (int woken : ready_) {
+        heap.push(woken, procs_[static_cast<std::size_t>(woken)]->clock_);
+      }
+      ready_.clear();
+    }
     if (heap.empty()) raise_deadlock();
     // A process that blocks immediately never runs advance(), so its
     // in-fiber watchdog never fires; probe from the scheduler too.
@@ -1237,11 +1552,21 @@ void Engine::run_sequential() {
       raise_budget(BudgetExceededError::Kind::kHostWallClock,
                    "host wall-clock watchdog fired in scheduler");
     }
-    if (config_.optimistic && (iter % config_.gvt_interval) == 0) {
+    if (config_.optimistic && --opt_gvt_countdown_ == 0) {
       opt_gvt_pass();
+      opt_retune_gvt();
     }
     const int rank = heap.pop();
     Process& p = *procs_[static_cast<std::size_t>(rank)];
+    const bool release_exempt = (rank == opt_release_exempt_);
+    if (release_exempt) opt_release_exempt_ = -1;
+    if (config_.optimistic && !release_exempt && opt_throttled(p)) {
+      // Past the speculation window: hold the rank out of the schedule
+      // until GVT catches up (see the re-admission block above the
+      // deadlock check).
+      opt_throttled_.push_back(rank);
+      continue;
+    }
     resume_process(p);
     if (error_) abort_run(error_);
     if (config_.optimistic) {
@@ -1304,8 +1629,9 @@ void Engine::run_sequential_mc() {
       raise_budget(BudgetExceededError::Kind::kHostWallClock,
                    "host wall-clock watchdog fired in MC scheduler");
     }
-    if (config_.optimistic && (iter % config_.gvt_interval) == 0) {
+    if (config_.optimistic && --opt_gvt_countdown_ == 0) {
       opt_gvt_pass();
+      opt_retune_gvt();
     }
 
     options.clear();
@@ -1411,6 +1737,11 @@ void Engine::run_partition_round(int worker) {
   const int workers = config_.host_workers;
   VTime opt_fossil_seen =
       config_.optimistic ? gvt_.load(std::memory_order_relaxed) : 0;
+  // Ranks held out of this round because they ran past the speculation
+  // window; re-queued for the next round at exit (GVT will have advanced
+  // at the barrier). The scheduler thread sets opt_throttle_override_ when
+  // a whole round is throttled into making no progress.
+  std::vector<int> throttled;
   // Mid-round GVT publish (optimistic mode). Each worker periodically
   // publishes a single word: min(its unfinished ranks' clocks, the
   // smallest arrival it has put in transit since the barrier). One
@@ -1510,12 +1841,17 @@ void Engine::run_partition_round(int worker) {
     if (config_.optimistic && (iter & 255U) == 0) opt_publish_and_fossil();
     const int rank = heap.pop();
     Process& p = *procs_[static_cast<std::size_t>(rank)];
+    if (config_.optimistic && opt_throttled(p)) {
+      throttled.push_back(rank);
+      continue;
+    }
     const VTime clock_before = p.clock_;
     resume_process(p);
     ws.busy_vtime += p.clock_ - clock_before;
     ++ws.slices;
   }
   if (active) round_running_.fetch_sub(1, std::memory_order_acq_rel);
+  local_ready.insert(local_ready.end(), throttled.begin(), throttled.end());
 }
 
 namespace {
@@ -1631,6 +1967,8 @@ void Engine::run_threaded() {
     prev_min = min_clock;
     ++round_epoch_;
 
+    std::uint64_t slices_before = 0;
+    for (const auto& w : worker_stats_) slices_before += w.slices;
     round_running_.store(workers, std::memory_order_relaxed);
     threaded_phase_ = true;
     pool.run_round();
@@ -1679,10 +2017,22 @@ void Engine::run_threaded() {
       for (const auto& p : procs_) {
         if (!p->finished_) g = std::min(g, p->clock_);
       }
+      opt_fold_log_bytes();
       if (g != kVTimeNever && g > gvt_.load(std::memory_order_relaxed)) {
         gvt_.store(g, std::memory_order_relaxed);
         gvt_passes_.fetch_add(1, std::memory_order_relaxed);
         for (const auto& p : procs_) opt_fossil_rank(*p, g);
+      }
+      if (config_.speculation_window > 0) {
+        // A round in which every worker only stashed throttled ranks made
+        // zero slices while work remains: GVT cannot advance (the minimum
+        // rank is blocked on a throttled peer), so let the next round run
+        // unthrottled rather than deadlock at the window edge.
+        std::uint64_t slices_after = 0;
+        for (const auto& w : worker_stats_) slices_after += w.slices;
+        opt_throttle_override_.store(
+            slices_after == slices_before && any_ready(),
+            std::memory_order_relaxed);
       }
     }
   }

@@ -202,6 +202,29 @@ class Process {
   /// Deterministic per-process random stream.
   Rng& rng() { return rng_; }
 
+  // --- Optimistic-mode checkpoint handshake (no-ops under conservative
+  // runs). The engine decides *when* a checkpoint is due (every
+  // checkpoint_interval committed consumptions); the application layer
+  // decides *where* it is safe (a quiescent statement boundary with no
+  // pending requests) and what goes in the blob. See DESIGN.md §15.
+
+  /// True when the engine wants a checkpoint. Poll at safe boundaries.
+  bool checkpoint_due() const { return opt_.checkpoint_due; }
+  /// Captures a restore point: engine cursors + the caller's state blob.
+  /// Call only from this process's own fiber, with no pending requests.
+  void take_checkpoint(std::vector<std::uint8_t> app_blob);
+  /// Non-null when this fiber incarnation must restore from a checkpoint
+  /// blob instead of initializing fresh state (set by rollback, consumed
+  /// once at body startup via clear_pending_restore).
+  const std::vector<std::uint8_t>* pending_restore() const {
+    return opt_.restore_armed ? &opt_.restore_blob : nullptr;
+  }
+  void clear_pending_restore() {
+    opt_.restore_armed = false;
+    opt_.restore_blob.clear();
+    opt_.restore_blob.shrink_to_fit();
+  }
+
   /// Tracker charged for this run's simulated program data.
   MemoryTracker& memory();
 
@@ -366,7 +389,34 @@ struct EngineConfig {
   bool unsafe_commit_before_gvt = false;
 
   /// Optimistic mode: scheduler iterations between GVT / fossil passes.
+  /// With gvt_adaptive the value is the starting cadence; the engine then
+  /// retunes it from consumption-log pressure.
   std::uint64_t gvt_interval = 256;
+
+  /// Optimistic mode: committed consumptions between per-rank checkpoints
+  /// (engine cursors + an app-layer state blob, see sim/rollback.hpp).
+  /// Checkpoints bound both rollback cost (coast-forward replays at most
+  /// ~interval entries) and log memory (fossil collection frees entries
+  /// below the newest GVT-committed checkpoint). 0 disables checkpointing:
+  /// replay-from-zero, unbounded log — the pre-checkpoint behavior.
+  std::uint64_t checkpoint_interval = 64;
+
+  /// Auto-tune the per-rank checkpoint interval from observed rollbacks:
+  /// halve it (floor 1) when a rank rolls back, grow it (cap 8x the
+  /// configured value) after long rollback-free stretches. Never affects
+  /// committed results — only where restore points sit.
+  bool checkpoint_adaptive = true;
+
+  /// Adapt the GVT cadence of the single-threaded optimistic drivers to
+  /// consumption-log pressure: pass more often while retained log bytes
+  /// grow, back off while the logs stay small.
+  bool gvt_adaptive = true;
+
+  /// Optimistic mode: bound on speculation depth. A ready rank whose clock
+  /// is more than this far past GVT is throttled until GVT catches up
+  /// (rollback-storm damper). 0 = unbounded speculation. Not applied in MC
+  /// mode, where the oracle owns the schedule.
+  VTime speculation_window = 0;
 
   // Run budgets (0 = unlimited). When a budget is exceeded the run is torn
   // down cleanly and BudgetExceededError is thrown, so a pathological
@@ -410,6 +460,14 @@ struct ParallelStats {
   std::uint64_t anti_messages = 0;     ///< anti-messages sent
   std::uint64_t gvt_passes = 0;        ///< GVT computations that advanced
   std::uint64_t fossil_finalized = 0;  ///< wildcard records finalized
+  std::uint64_t checkpoints_taken = 0; ///< restore points captured
+  std::uint64_t replayed_events = 0;   ///< log entries re-fed by rollbacks
+  std::uint64_t log_bytes_peak = 0;    ///< peak consumption-log bytes
+
+  /// Bucket k>0 counts rollbacks that discarded [2^(k-1), 2^k) consumed
+  /// entries; bucket 0 counts rollbacks that discarded none (pure send
+  /// cancellation / annihilated-head cases).
+  std::vector<std::uint64_t> rollback_depth_hist;
 };
 
 struct RunResult {
@@ -539,6 +597,18 @@ class Engine {
   /// sequential run. Valid once run() returned.
   const ParallelStats& parallel_stats() const { return pstats_; }
 
+  /// Test hook: optimistic log/checkpoint geometry of one rank, for
+  /// asserting the fossil-pruning invariant (no entry below the newest
+  /// GVT-committed checkpoint survives collection).
+  struct OptDebug {
+    std::uint64_t consumed_base = 0;
+    std::uint64_t consumed_size = 0;
+    std::uint64_t fossil_cursor = 0;
+    std::uint64_t log_bytes = 0;
+    std::vector<std::uint64_t> checkpoint_cursors;
+  };
+  OptDebug opt_debug(int rank) const;
+
   /// True once any wildcard receive (ANY_SOURCE / waitany union) was
   /// attempted this run. A schedule checker uses this to decide whether
   /// deliveries into one inbox from distinct sources commute.
@@ -590,7 +660,8 @@ class Engine {
   /// (Re)creates `p`'s fiber around body_; used at startup and after a
   /// rollback unwound the speculative incarnation.
   void attach_fresh_fiber(Process& p);
-  /// Deep copy (payload cloned from the pool) for the consumption log.
+  /// Copy for the consumption log: fields copied, payload refcount-shared
+  /// with the pool (PayloadBuf::share) — no byte copy.
   Message clone_message(const Message& m);
   /// Replay feed: hands `p` the next logged consumption instead of
   /// touching the inbox. Called from try_match while p is replaying.
@@ -626,9 +697,32 @@ class Engine {
   /// clocks (and MC in-flight lanes), then fossil-collects every rank.
   void opt_gvt_pass();
   /// Fossil collection for one rank at GVT `g`: finalizes (erases)
-  /// wildcard records with arrival < g and prunes the committed send-log
-  /// prefix that no future rollback can cancel.
+  /// wildcard records with arrival < g, prunes the committed send-log
+  /// prefix that no future rollback can cancel, and frees consumption-log
+  /// entries below the newest checkpoint whose cursor the fossil cursor
+  /// has passed (no future rollback can replay below that checkpoint).
   void opt_fossil_rank(Process& p, VTime g);
+  /// Bookkeeping after `p` consumed a message (live match or replay feed):
+  /// advances the checkpoint countdown, arming checkpoint_due when the
+  /// effective interval elapses, and grows the adaptive interval after
+  /// long rollback-free stretches.
+  void opt_note_consume(Process& p);
+  /// Process::take_checkpoint body: captures cursors + blob into
+  /// OptState::checkpoints.
+  void opt_take_checkpoint(Process& p, std::vector<std::uint8_t> blob);
+  /// Consumption-log byte accounting (per-rank current + engine peak).
+  void opt_log_charge(Process& p, const Message& m);
+  void opt_log_release(Process& p, const Message& m);
+  std::uint64_t opt_fold_log_bytes();
+  static std::size_t opt_entry_bytes(const Message& m);
+  /// True when the optimistic speculation window throttles `p`: its clock
+  /// is more than config.speculation_window past GVT. Never true for the
+  /// GVT-defining (minimum-clock) rank, so progress is preserved.
+  bool opt_throttled(const Process& p) const;
+  /// Re-arms the single-threaded drivers' GVT countdown; with gvt_adaptive
+  /// the cadence shrinks while consumption-log bytes grow and stretches
+  /// back out while they shrink (bounds [16, 4x configured]).
+  void opt_retune_gvt();
   /// Per-context stat cell (worker-local when threaded, slot 0 otherwise).
   WorkerStat& opt_stat();
   /// Records `p` (blocked on a wildcard spec with at least one queued
@@ -712,6 +806,8 @@ class Engine {
 
   // Per-worker protocol counters, padded so workers never share a line.
   struct alignas(64) WorkerStat {
+    static constexpr int kDepthBuckets = 24;
+
     std::uint64_t intra = 0;
     std::uint64_t mailbox = 0;
     std::uint64_t barrier = 0;
@@ -721,6 +817,8 @@ class Engine {
     std::uint64_t rollbacks = 0;
     std::uint64_t antis = 0;
     std::uint64_t fossil = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t depth_hist[kDepthBuckets] = {};  ///< log2(discarded entries)
   };
   std::vector<WorkerStat> worker_stats_;
   ParallelStats pstats_;
@@ -739,6 +837,39 @@ class Engine {
   std::atomic<int> opt_unfinished_delta_{0};  ///< finished ranks resurrected
   std::unique_ptr<std::atomic<VTime>[]> opt_floor_;
   std::unique_ptr<std::atomic<VTime>[]> opt_out_min_;
+
+  // Consumption-log byte accounting: global current/peak across ranks
+  // (atomic: the threaded driver logs on worker threads).
+  std::atomic<std::uint64_t> opt_log_bytes_{0};
+  std::atomic<std::uint64_t> opt_log_bytes_peak_{0};
+
+  // Adaptive GVT cadence for the single-threaded optimistic drivers:
+  // countdown to the next pass, re-armed to opt_gvt_interval_ which the
+  // pass itself retunes from log pressure (within [16, 4x the baseline]).
+  // A pass is an O(P) scan, so the adaptive baseline scales with the
+  // rank count — a fixed cadence turns GVT into O(P/interval) amortized
+  // work per scheduler pop, which at 4096+ ranks dominates the run. The
+  // pressure threshold scales the same way: "the logs hold one eager
+  // message per rank" is steady state, not an emergency.
+  std::uint64_t opt_gvt_interval_ = 256;
+  std::uint64_t opt_gvt_countdown_ = 256;
+  std::uint64_t opt_gvt_base_ = 256;
+  std::uint64_t opt_gvt_pressure_bytes_ = std::uint64_t{1} << 20;
+  std::uint64_t opt_log_bytes_last_pass_ = 0;
+
+  // Speculation-window throttling: ready ranks past the window wait here
+  // (sequential driver) until a GVT pass re-admits them; the threaded
+  // driver instead skips over-window heap minima for a round, with a
+  // one-shot override when a whole round made no progress (the
+  // window-defining minimum rank may be blocked on a throttled peer).
+  std::vector<int> opt_throttled_;
+  std::atomic<bool> opt_throttle_override_{false};
+  // Rank granted a one-slice pass through the throttle check by the
+  // sequential driver's forced release. Without it the released rank is
+  // re-throttled at the very next pop (its clock is still past the
+  // window) and the driver livelocks: GVT pass, release, re-throttle,
+  // with no virtual state changing in between.
+  int opt_release_exempt_ = -1;
 
   // Wildcard safety: ranks blocked on a wildcard receive whose queued
   // candidate has not passed the safety bound yet. Sequential deliveries

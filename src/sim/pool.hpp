@@ -6,8 +6,13 @@
 //
 //   * PayloadPool — size-classed free lists of payload buffers. A DE-mode
 //     send copies into a recycled buffer; the buffer returns to the pool
-//     when the receive consumes the message. AM-mode messages carry no
-//     payload and never touch the pool.
+//     when the last reference drops. AM-mode messages carry no payload and
+//     never touch the pool. Buffers are refcounted (a small header ahead of
+//     the data) so the optimistic scheduler's consumption log can retain a
+//     delivered payload by sharing it (PayloadBuf::share) instead of deep
+//     cloning it: payload bytes are written once at make() and read-only
+//     afterwards, which makes aliasing safe (copy-on-write degenerates to
+//     copy-never).
 //   * ObjectArena<T> — chunked slab of intrusively-linked nodes; the
 //     engine stores queued messages in ObjectArena<Message> nodes, so an
 //     empty inbox channel holds no heap storage at all (three words), and
@@ -26,6 +31,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
@@ -50,7 +56,9 @@ class SpinLock {
 
 class PayloadPool;
 
-/// Move-only payload buffer; storage returns to its pool on destruction.
+/// Move-only handle to a refcounted payload buffer; the storage returns to
+/// its pool when the last handle drops. Copying is deliberately disabled —
+/// aliasing must be explicit via share().
 class PayloadBuf {
  public:
   PayloadBuf() = default;
@@ -71,7 +79,13 @@ class PayloadBuf {
   const std::uint8_t* data() const { return data_; }
   std::uint8_t* data() { return data_; }
 
-  /// Returns the storage to the pool and becomes empty.
+  /// Returns a second handle aliasing the same storage (refcount bump, no
+  /// copy). Payload bytes are immutable after make(), so readers through
+  /// either handle observe identical data.
+  PayloadBuf share() const;
+
+  /// Drops this handle; the storage returns to the pool when the last
+  /// handle (original or shared) resets.
   void reset();
 
  private:
@@ -113,27 +127,30 @@ class PayloadPool {
     }
   }
 
-  /// Copies [src, src+n) into a pooled buffer. n == 0 yields an empty,
-  /// pool-free buffer.
+  /// Copies [src, src+n) into a pooled buffer with refcount 1. n == 0
+  /// yields an empty, pool-free buffer. The bytes are immutable from here
+  /// on — share() relies on it.
   PayloadBuf make(const void* src, std::size_t n) {
     if (n == 0) return PayloadBuf();
     const int cls = class_for(n);
-    std::uint8_t* p = nullptr;
+    std::uint8_t* base = nullptr;
     if (cls >= 0) {
       lock_.lock();
       auto& list = free_[static_cast<std::size_t>(cls)];
       if (!list.empty()) {
-        p = list.back();
+        base = list.back();
         list.pop_back();
       }
       lock_.unlock();
-      if (p == nullptr) p = new std::uint8_t[class_bytes(cls)];
+      if (base == nullptr) base = new std::uint8_t[kHeaderBytes + class_bytes(cls)];
     } else {
-      p = new std::uint8_t[n];
+      base = new std::uint8_t[kHeaderBytes + n];
     }
-    std::memcpy(p, src, n);
+    std::uint8_t* data = base + kHeaderBytes;
+    new (base) std::atomic<std::uint64_t>(1);
+    std::memcpy(data, src, n);
     outstanding_.fetch_add(1, std::memory_order_relaxed);
-    return PayloadBuf(this, p, n, cls);
+    return PayloadBuf(this, data, n, cls);
   }
 
   struct Stats {
@@ -155,6 +172,13 @@ class PayloadPool {
  private:
   friend class PayloadBuf;
   static constexpr int kClasses = 8;  // 64 << 2c: 64 B ... 1 MiB
+  /// Refcount header ahead of the payload bytes; 16 bytes keeps the data
+  /// pointer at operator new[]'s default alignment.
+  static constexpr std::size_t kHeaderBytes = 16;
+
+  static std::atomic<std::uint64_t>* header_of(std::uint8_t* data) {
+    return reinterpret_cast<std::atomic<std::uint64_t>*>(data - kHeaderBytes);
+  }
 
   static std::size_t class_bytes(int cls) {
     return std::size_t{64} << (2 * cls);
@@ -166,14 +190,18 @@ class PayloadPool {
     return -1;  // direct heap allocation
   }
 
-  void recycle(std::uint8_t* p, int cls) {
+  /// Drops one reference to `data`'s buffer; the storage is reclaimed
+  /// only when the last reference goes.
+  void unref(std::uint8_t* data, int cls) {
+    if (header_of(data)->fetch_sub(1, std::memory_order_acq_rel) != 1) return;
     outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    std::uint8_t* base = data - kHeaderBytes;
     if (cls < 0) {
-      delete[] p;
+      delete[] base;
       return;
     }
     lock_.lock();
-    free_[static_cast<std::size_t>(cls)].push_back(p);
+    free_[static_cast<std::size_t>(cls)].push_back(base);
     lock_.unlock();
   }
 
@@ -183,11 +211,17 @@ class PayloadPool {
 };
 
 inline void PayloadBuf::reset() {
-  if (pool_ != nullptr) pool_->recycle(data_, cls_);
+  if (pool_ != nullptr) pool_->unref(data_, cls_);
   pool_ = nullptr;
   data_ = nullptr;
   size_ = 0;
   cls_ = 0;
+}
+
+inline PayloadBuf PayloadBuf::share() const {
+  if (pool_ == nullptr) return PayloadBuf();
+  PayloadPool::header_of(data_)->fetch_add(1, std::memory_order_relaxed);
+  return PayloadBuf(pool_, data_, size_, cls_);
 }
 
 /// Chunked slab of linked-list nodes with a shared free list. Node

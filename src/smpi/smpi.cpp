@@ -85,6 +85,26 @@ Comm::Comm(World& world, simk::Process& proc)
 
 Comm::~Comm() { proc_.user = nullptr; }
 
+void Comm::save_state(BlobWriter& w) const {
+  w.u32(next_rid_);
+  w.u64(coll_seq_);
+  w.pod(stats_);
+  obs::Recorder* rec = world_.options().obs;
+  w.u8(rec != nullptr ? 1 : 0);
+  if (rec != nullptr) rec->save_rank(proc_.rank(), w);
+}
+
+void Comm::restore_state(BlobReader& r) {
+  next_rid_ = r.u32();
+  coll_seq_ = r.u64();
+  stats_ = r.get<RankStats>();
+  const bool had_obs = r.u8() != 0;
+  obs::Recorder* rec = world_.options().obs;
+  STGSIM_CHECK_EQ(had_obs, rec != nullptr)
+      << "checkpoint blob and run disagree about observability";
+  if (rec != nullptr) rec->restore_rank(proc_.rank(), r);
+}
+
 void Comm::compute(VTime t) {
   const VTime t0 = now();
   const VTime dt = stretched(t);

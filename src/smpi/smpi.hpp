@@ -28,6 +28,7 @@
 #include "obs/obs.hpp"
 #include "smpi/collectives.hpp"
 #include "sim/engine.hpp"
+#include "support/blob.hpp"
 #include "support/vtime.hpp"
 
 namespace stgsim::smpi {
@@ -303,6 +304,17 @@ class Comm {
   /// Buffers may be null for modeled-only transfers (correct wire sizes
   /// and timing, no payload). Pairwise-exchange by default.
   void alltoall(const void* send_all, std::size_t bytes_each, void* recv_all);
+
+  // -- Optimistic-mode checkpoint support ----------------------------------
+
+  /// Serializes this rank's cross-statement smpi state — the rendezvous
+  /// and collective sequence counters, the RankStats accumulator, and the
+  /// obs recorder shard when observability is on — into `w`. Must only be
+  /// called at a quiescent boundary (no outstanding Requests): Requests
+  /// are deliberately not serialized.
+  void save_state(BlobWriter& w) const;
+  /// Inverse of save_state; overwrites the same state from `r`.
+  void restore_state(BlobReader& r);
 
  private:
   enum MsgKind : std::uint8_t {

@@ -5,6 +5,7 @@
 // generators, property tests) draws from an explicitly seeded stream.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace stgsim {
@@ -33,6 +34,15 @@ class Rng {
   void reseed(std::uint64_t seed) {
     SplitMix64 sm(seed);
     for (auto& s : s_) s = sm.next();
+  }
+
+  /// Raw generator state, for checkpoint/restore. Restoring a captured
+  /// state resumes the stream exactly where the capture left it.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
   std::uint64_t next_u64() {

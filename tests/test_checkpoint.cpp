@@ -1,0 +1,373 @@
+// Tests for the optimistic scheduler's state-saving layer (DESIGN.md §15):
+// periodic per-rank checkpoints, coast-forward restore, GVT-gated
+// consumption-log pruning, and the adaptive tuning knobs. The contract
+// under test throughout: none of these mechanisms may change committed
+// results — digests stay bit-identical to the sequential conservative
+// scheduler at every checkpoint interval, including runs whose fault
+// plans force real rollbacks through the restore path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/nas_sp.hpp"
+#include "apps/registry.hpp"
+#include "apps/sample.hpp"
+#include "apps/sweep3d.hpp"
+#include "apps/tomcatv.hpp"
+#include "fault/fault.hpp"
+#include "harness/config_json.hpp"
+#include "harness/digest.hpp"
+#include "harness/runner.hpp"
+#include "obs/obs.hpp"
+#include "sim/engine.hpp"
+#include "support/blob.hpp"
+
+namespace stgsim {
+namespace {
+
+harness::RunConfig base_config(int nprocs) {
+  harness::RunConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.mode = harness::Mode::kDirectExec;
+  return cfg;
+}
+
+std::uint64_t digest_of(const ir::Program& prog, harness::RunConfig cfg) {
+  harness::RunOutcome out = harness::run_program(prog, cfg);
+  EXPECT_TRUE(out.ok()) << out.diagnostic;
+  return harness::run_digest(out);
+}
+
+struct AppCase {
+  const char* name;
+  ir::Program prog;
+  int nprocs;
+};
+
+std::vector<AppCase> small_apps() {
+  std::vector<AppCase> cases;
+  {
+    apps::TomcatvConfig c;
+    c.n = 128;
+    c.iterations = 2;
+    cases.push_back({"tomcatv", apps::make_tomcatv(c), 8});
+  }
+  {
+    apps::Sweep3DConfig c;
+    c.it = 2;
+    c.jt = 2;
+    c.kt = 12;
+    c.kb = 4;
+    c.mm = 2;
+    c.mmi = 1;
+    c.npe_i = 2;
+    c.npe_j = 4;
+    cases.push_back({"sweep3d", apps::make_sweep3d(c), 8});
+  }
+  { cases.push_back({"nas_sp", apps::make_nas_sp(apps::sp_class('A', 2, 2)), 4}); }
+  {
+    apps::SampleConfig c;
+    c.pattern = apps::SamplePattern::kAnySource;
+    c.iterations = 2;
+    c.msg_doubles = 64;
+    c.work_iters = 2000;
+    cases.push_back({"sample", apps::make_sample(c), 8});
+  }
+  return cases;
+}
+
+/// Fixed intervals exercised everywhere: every-consume, small, the
+/// default, and 0 = checkpoints off (replay-from-zero, unpruned log).
+const std::uint64_t kIntervals[] = {1, 4, 64, 0};
+
+// ---------------------------------------------------------------------------
+// Digest identity across intervals, drivers and worker counts
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, DigestsBitIdenticalAcrossIntervalsAndWorkers) {
+  for (const AppCase& app : small_apps()) {
+    const std::uint64_t want = digest_of(app.prog, base_config(app.nprocs));
+    for (const std::uint64_t interval : kIntervals) {
+      for (int workers : {0, 2, 4, 8}) {
+        harness::RunConfig cfg = base_config(app.nprocs);
+        cfg.schedule = harness::Schedule::kOptimistic;
+        cfg.threads = workers;
+        cfg.checkpoint_interval = interval;
+        cfg.checkpoint_adaptive = false;  // pin the interval exactly
+        EXPECT_EQ(digest_of(app.prog, cfg), want)
+            << app.name << " interval=" << interval << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, AdaptiveTuningAndSpeculationWindowPreserveDigests) {
+  for (const AppCase& app : small_apps()) {
+    const std::uint64_t want = digest_of(app.prog, base_config(app.nprocs));
+    for (int workers : {0, 4}) {
+      harness::RunConfig cfg = base_config(app.nprocs);
+      cfg.schedule = harness::Schedule::kOptimistic;
+      cfg.threads = workers;
+      cfg.checkpoint_interval = 4;
+      cfg.checkpoint_adaptive = true;
+      cfg.gvt_interval = 16;
+      cfg.speculation_window_sec = 1e-4;  // aggressive throttle
+      EXPECT_EQ(digest_of(app.prog, cfg), want)
+          << app.name << " adaptive+window workers=" << workers;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rollback through the restore path (deterministic, via the MC engine)
+// ---------------------------------------------------------------------------
+
+/// Same straggler machinery as test_optimistic.cpp: deliver rank 1's
+/// fault-delayed message first so the wildcard root commits it
+/// prematurely, then let earlier traffic land and force the rollback.
+class StragglerFirstOracle : public simk::ScheduleOracle {
+ public:
+  std::size_t choose(const std::vector<simk::ChoiceOption>& options) override {
+    using K = simk::ChoiceOption::Kind;
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      if (options[i].kind == K::kDeliver && options[i].src == 1 &&
+          options[i].dst == 0) {
+        return i;
+      }
+    }
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      if (options[i].kind == K::kResume && options[i].rank <= 1) return i;
+    }
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      if (options[i].kind == K::kDeliver) return i;
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      if (options[i].rank >= options[best].rank) best = i;
+    }
+    return best;
+  }
+};
+
+ir::Program anysource_program(int nprocs, int iters) {
+  apps::AppSpec spec;
+  spec.name = "sample";
+  spec.options = {{"pattern", "anysource"},
+                  {"iters", std::to_string(iters)},
+                  {"work", "2000"},
+                  {"msg-doubles", "64"}};
+  return apps::build_app(spec, nprocs);
+}
+
+const char* kStragglerPlan = "link:src=1,dst=0,latency=8";
+
+TEST(Checkpoint, StragglerRollbackRestoresCorrectlyAtEveryInterval) {
+  // Several wildcard iterations so the violation lands well past the
+  // first checkpoint and coast-forward actually replays from a restore
+  // point instead of degenerating to replay-from-zero.
+  const ir::Program prog = anysource_program(3, 4);
+
+  harness::RunConfig ref = base_config(3);
+  ref.faults = fault::parse_fault_plan(kStragglerPlan);
+  const std::uint64_t want = digest_of(prog, ref);
+
+  std::uint64_t replayed_with_checkpoints = 0;
+  std::uint64_t replayed_without = 0;
+  for (const std::uint64_t interval : kIntervals) {
+    StragglerFirstOracle oracle;
+    obs::Recorder rec(obs::Options{}, 3);
+    harness::RunConfig opt = ref;
+    opt.schedule = harness::Schedule::kOptimistic;
+    opt.checkpoint_interval = interval;
+    opt.checkpoint_adaptive = false;
+    opt.oracle = &oracle;
+    opt.obs = &rec;
+    harness::RunOutcome out = harness::run_program(prog, opt);
+    ASSERT_TRUE(out.ok()) << out.diagnostic;
+
+    EXPECT_EQ(harness::run_digest(out), want)
+        << "interval=" << interval
+        << ": restore-path rollback must recover the conservative order";
+    EXPECT_GE(out.parallel.rollbacks, 1u) << "interval=" << interval;
+    if (interval == 1) {
+      EXPECT_GE(out.parallel.checkpoints_taken, 1u);
+      replayed_with_checkpoints = out.parallel.replayed_events;
+    }
+    if (interval == 0) {
+      EXPECT_EQ(out.parallel.checkpoints_taken, 0u);
+      replayed_without = out.parallel.replayed_events;
+    }
+
+    // The new counters surface through the obs metrics contract.
+    auto metric = [&out](const char* name) {
+      for (const auto& [n, v] : out.metrics.scalars) {
+        if (n == std::string(name)) return v;
+      }
+      return -1.0;
+    };
+    EXPECT_EQ(metric("parallel.checkpoints_taken"),
+              static_cast<double>(out.parallel.checkpoints_taken));
+    EXPECT_EQ(metric("parallel.replayed_events"),
+              static_cast<double>(out.parallel.replayed_events));
+    EXPECT_EQ(metric("parallel.log_bytes_peak"),
+              static_cast<double>(out.parallel.log_bytes_peak));
+  }
+  // Checkpointing every consume must not replay more than replay-from-zero
+  // does; that saving is the whole point of coast-forward restore.
+  EXPECT_LE(replayed_with_checkpoints, replayed_without);
+}
+
+TEST(Checkpoint, RollbackDepthHistogramAccountsForEveryRollback) {
+  const ir::Program prog = anysource_program(3, 4);
+  StragglerFirstOracle oracle;
+  obs::Recorder rec(obs::Options{}, 3);
+  harness::RunConfig opt = base_config(3);
+  opt.faults = fault::parse_fault_plan(kStragglerPlan);
+  opt.schedule = harness::Schedule::kOptimistic;
+  opt.checkpoint_interval = 4;
+  opt.checkpoint_adaptive = false;
+  opt.oracle = &oracle;
+  opt.obs = &rec;
+  harness::RunOutcome out = harness::run_program(prog, opt);
+  ASSERT_TRUE(out.ok()) << out.diagnostic;
+  ASSERT_GE(out.parallel.rollbacks, 1u);
+
+  std::uint64_t histogram_total = 0;
+  for (const std::uint64_t c : out.metrics.rollback_depth_hist) {
+    histogram_total += c;
+  }
+  EXPECT_EQ(histogram_total, out.parallel.rollbacks)
+      << "every rollback lands in exactly one depth bucket";
+}
+
+// ---------------------------------------------------------------------------
+// Log-memory bound
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, CheckpointsBoundConsumptionLogMemory) {
+  apps::SampleConfig c;
+  c.iterations = 30;
+  c.msg_doubles = 256;
+  c.work_iters = 1000;
+  const ir::Program prog = apps::make_sample(c);
+
+  auto peak_at = [&prog](std::uint64_t interval) {
+    harness::RunConfig cfg = base_config(8);
+    cfg.schedule = harness::Schedule::kOptimistic;
+    cfg.checkpoint_interval = interval;
+    cfg.checkpoint_adaptive = false;
+    cfg.gvt_interval = 16;
+    harness::RunOutcome out = harness::run_program(prog, cfg);
+    EXPECT_TRUE(out.ok()) << out.diagnostic;
+    EXPECT_EQ(out.parallel.checkpoints_taken > 0, interval != 0);
+    return out.parallel.log_bytes_peak;
+  };
+
+  const std::uint64_t peak_tight = peak_at(1);
+  const std::uint64_t peak_unpruned = peak_at(0);
+  EXPECT_GT(peak_tight, 0u);
+  EXPECT_LT(peak_tight, peak_unpruned)
+      << "with checkpoints every consume, GVT pruning must keep the "
+         "retained log strictly below the full-history footprint";
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level fossil-pruning invariants
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, FossilCollectionPrunesBehindCommittedCheckpoints) {
+  constexpr int kProcs = 4;
+  constexpr std::int64_t kIters = 64;
+  simk::EngineConfig cfg;
+  cfg.num_processes = kProcs;
+  cfg.optimistic = true;
+  cfg.checkpoint_interval = 4;
+  cfg.checkpoint_adaptive = false;
+  cfg.gvt_interval = 16;
+  cfg.gvt_adaptive = false;
+  simk::Engine e(cfg);
+  e.set_body([](simk::Process& p) {
+    const int r = p.rank();
+    const int next = (r + 1) % kProcs;
+    const int prev = (r + kProcs - 1) % kProcs;
+    std::int64_t start = 0;
+    if (const std::vector<std::uint8_t>* blob = p.pending_restore()) {
+      BlobReader br(*blob);
+      start = br.i64();
+      p.clear_pending_restore();
+    }
+    for (std::int64_t i = start; i < kIters; ++i) {
+      p.advance(vtime_from_us(1));
+      simk::Message m;
+      m.src = r;
+      m.dst = next;
+      m.tag = 5;
+      m.sent_at = p.now();
+      m.arrival = p.now() + vtime_from_us(2);
+      p.send(std::move(m));
+      simk::MatchSpec spec;
+      spec.src = prev;
+      spec.tag = 5;
+      simk::Message got = p.blocking_match(spec);
+      p.lift_clock(got.arrival);
+      if (p.checkpoint_due()) {
+        std::vector<std::uint8_t> blob;
+        BlobWriter w(blob);
+        w.i64(i + 1);  // resume after this iteration
+        p.take_checkpoint(std::move(blob));
+      }
+    }
+  });
+  e.run();
+
+  for (int r = 0; r < kProcs; ++r) {
+    const simk::Engine::OptDebug d = e.opt_debug(r);
+    // Absolute accounting: base + retained = total committed consumes.
+    EXPECT_EQ(d.consumed_base + d.consumed_size,
+              static_cast<std::uint64_t>(kIters))
+        << "rank " << r;
+    // GVT passed checkpoints mid-run, so the log must actually have been
+    // pruned — peak memory O(interval), not O(history).
+    EXPECT_GT(d.consumed_base, 0u) << "rank " << r;
+    EXPECT_GE(d.fossil_cursor, d.consumed_base) << "rank " << r;
+    // Pruning may only advance the base to a committed checkpoint's
+    // cursor, keeping that checkpoint as the oldest restore point: no
+    // surviving checkpoint sits below the base, and the oldest one marks
+    // exactly where the retained log begins.
+    ASSERT_FALSE(d.checkpoint_cursors.empty()) << "rank " << r;
+    EXPECT_EQ(d.checkpoint_cursors.front(), d.consumed_base) << "rank " << r;
+    for (const std::uint64_t cur : d.checkpoint_cursors) {
+      EXPECT_GE(cur, d.consumed_base) << "rank " << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Config surface
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, TuningKnobsRoundTripThroughConfigJson) {
+  harness::RunConfig cfg;
+  cfg.gvt_interval = 32;
+  cfg.checkpoint_interval = 7;
+  cfg.checkpoint_adaptive = false;
+  cfg.speculation_window_sec = 0.25;
+  const json::Value j = harness::run_config_to_json(cfg);
+  const harness::RunConfig back = harness::run_config_from_json(j);
+  EXPECT_EQ(back.gvt_interval, 32u);
+  EXPECT_EQ(back.checkpoint_interval, 7u);
+  EXPECT_FALSE(back.checkpoint_adaptive);
+  EXPECT_DOUBLE_EQ(back.speculation_window_sec, 0.25);
+
+  // "checkpoint_interval": 0 is the canonical spelling of "off".
+  harness::RunConfig off;
+  off.checkpoint_interval = 0;
+  EXPECT_EQ(harness::run_config_from_json(harness::run_config_to_json(off))
+                .checkpoint_interval,
+            0u);
+}
+
+}  // namespace
+}  // namespace stgsim
