@@ -1,0 +1,210 @@
+#include "campaign/executor.hpp"
+
+#include <utility>
+
+#include "campaign/exec.hpp"
+
+namespace stgsim::campaign {
+
+Executor::Executor(Options options)
+    : options_(std::move(options)), cache_(options_.cache_dir) {}
+
+void Executor::acquire_permit() {
+  if (options_.max_concurrency <= 0) return;
+  std::unique_lock lk(mu_);
+  ++stats_.queue_waiting;
+  permit_cv_.wait(lk, [&] { return running_ < options_.max_concurrency; });
+  --stats_.queue_waiting;
+  ++running_;
+}
+
+void Executor::release_permit() {
+  if (options_.max_concurrency <= 0) return;
+  {
+    std::lock_guard lk(mu_);
+    --running_;
+  }
+  permit_cv_.notify_one();
+}
+
+Executor::Result Executor::run_resolved(const harness::RunSpec& resolved,
+                                        bool retry_failed) {
+  const std::string digest = harness::run_spec_digest_hex(resolved);
+
+  std::shared_future<Result> fut;
+  std::promise<Result> promise;
+  bool leader = false;
+  {
+    std::lock_guard lk(mu_);
+    auto it = inflight_.find(digest);
+    if (it != inflight_.end()) {
+      fut = it->second;
+    } else {
+      fut = promise.get_future().share();
+      inflight_.emplace(digest, fut);
+      leader = true;
+      ++stats_.in_flight;
+    }
+  }
+
+  if (!leader) {
+    // One execution, N responders: block on the leader's future. The
+    // leader stores to the cache *before* publishing, so our copy and a
+    // later cache hit serialize byte-identically.
+    Result r = fut.get();
+    r.source = Source::kDedupJoined;
+    std::lock_guard lk(mu_);
+    ++stats_.dedup_joined;
+    return r;
+  }
+
+  // Leader path. Whatever happens, the in-flight entry must be published
+  // and retired exactly once.
+  auto publish = [&](Result r, std::exception_ptr error) -> Result {
+    if (error != nullptr) {
+      promise.set_exception(error);
+    } else {
+      promise.set_value(r);
+    }
+    {
+      std::lock_guard lk(mu_);
+      inflight_.erase(digest);
+      --stats_.in_flight;
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+    return r;
+  };
+
+  try {
+    if (auto doc = cache_.load(digest)) {
+      try {
+        harness::RunOutcome cached =
+            harness::outcome_from_json(doc->at("outcome"));
+        if (!retry_failed || cached.ok()) {
+          {
+            std::lock_guard lk(mu_);
+            ++stats_.cache_hits;
+          }
+          return publish({digest, Source::kCacheHit, std::move(cached)},
+                         nullptr);
+        }
+      } catch (const std::exception&) {
+        // Malformed entry: treat as a miss and re-execute.
+      }
+    }
+
+    acquire_permit();
+    harness::RunOutcome outcome;
+    try {
+      outcome = execute_spec(resolved, options_.with_metrics);
+    } catch (...) {
+      release_permit();
+      throw;
+    }
+    release_permit();
+
+    json::Value entry = json::Value::object();
+    entry.set("spec", harness::run_spec_to_json(resolved));
+    entry.set("outcome", harness::outcome_to_json(outcome));
+    cache_.store(digest, entry);
+    {
+      std::lock_guard lk(mu_);
+      ++stats_.executed;
+    }
+    return publish({digest, Source::kExecuted, std::move(outcome)}, nullptr);
+  } catch (...) {
+    return publish({}, std::current_exception());
+  }
+}
+
+std::map<std::string, double> Executor::calibration(
+    const harness::RunSpec& spec, Source* source) {
+  const std::string digest = harness::calibration_digest_hex(spec);
+
+  std::shared_future<std::map<std::string, double>> fut;
+  std::promise<std::map<std::string, double>> promise;
+  bool leader = false;
+  {
+    std::lock_guard lk(mu_);
+    auto it = inflight_calib_.find(digest);
+    if (it != inflight_calib_.end()) {
+      fut = it->second;
+    } else {
+      fut = promise.get_future().share();
+      inflight_calib_.emplace(digest, fut);
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    std::map<std::string, double> params = fut.get();
+    {
+      std::lock_guard lk(mu_);
+      ++stats_.calibrations_joined;
+    }
+    if (source != nullptr) *source = Source::kDedupJoined;
+    return params;
+  }
+
+  auto publish = [&](std::map<std::string, double> params,
+                     std::exception_ptr error) {
+    if (error != nullptr) {
+      promise.set_exception(error);
+    } else {
+      promise.set_value(params);
+    }
+    {
+      std::lock_guard lk(mu_);
+      inflight_calib_.erase(digest);
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+    return params;
+  };
+
+  try {
+    if (auto doc = cache_.load(digest)) {
+      try {
+        std::map<std::string, double> params =
+            harness::params_from_json(doc->at("params"));
+        {
+          std::lock_guard lk(mu_);
+          ++stats_.calibrations_cached;
+        }
+        if (source != nullptr) *source = Source::kCacheHit;
+        return publish(std::move(params), nullptr);
+      } catch (const std::exception&) {
+        // Malformed entry: recompute.
+      }
+    }
+
+    acquire_permit();
+    std::map<std::string, double> params;
+    try {
+      params = run_calibration(spec);
+    } catch (...) {
+      release_permit();
+      throw;
+    }
+    release_permit();
+
+    json::Value entry = json::Value::object();
+    entry.set("kind", "calibration");
+    entry.set("params", harness::params_to_json(params));
+    cache_.store(digest, entry);
+    {
+      std::lock_guard lk(mu_);
+      ++stats_.calibrations_run;
+    }
+    if (source != nullptr) *source = Source::kExecuted;
+    return publish(std::move(params), nullptr);
+  } catch (...) {
+    return publish({}, std::current_exception());
+  }
+}
+
+Executor::Stats Executor::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace stgsim::campaign

@@ -1,0 +1,110 @@
+// Shared run executor: content-addressed cache + in-flight dedup + a
+// bounded execution pool, extracted from the campaign runner so the serve
+// daemon and the offline `stgsim campaign` path execute runs through one
+// object with one contract.
+//
+// The contract, per resolved RunSpec digest:
+//
+//   * at most one execution is ever in flight — concurrent requests for
+//     the same digest elect a leader; the rest block and receive the
+//     leader's outcome (one execution, N responders);
+//   * a completed outcome is stored in the ResultCache before waiters are
+//     released, so "dedup join" and "cache hit" return byte-identical
+//     serialized outcomes;
+//   * execution concurrency is bounded by `max_concurrency` permits —
+//     callers queue (FIFO-ish, condition-variable fairness) when the pool
+//     is saturated, which is the serve daemon's backpressure point.
+//
+// Calibrations get the same treatment keyed by calibration digest, since
+// every analytical point of a sweep — and every concurrent client asking
+// for one — shares the measurement run.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "campaign/cache.hpp"
+#include "harness/config_json.hpp"
+
+namespace stgsim::campaign {
+
+class Executor {
+ public:
+  struct Options {
+    std::string cache_dir = ".stgsim-cache";
+    /// Maximum simultaneously-executing simulations (callers beyond it
+    /// wait for a permit). 0 = unbounded.
+    int max_concurrency = 0;
+    /// Attach a metrics-only recorder to executed runs (never changes
+    /// digests).
+    bool with_metrics = true;
+  };
+
+  /// Where a result came from. kExecuted ran the simulation on this call;
+  /// kCacheHit loaded the stored outcome; kDedupJoined waited on a
+  /// concurrent execution of the same digest.
+  enum class Source { kExecuted, kCacheHit, kDedupJoined };
+
+  struct Result {
+    std::string digest_hex;
+    Source source = Source::kExecuted;
+    harness::RunOutcome outcome;
+  };
+
+  /// Monotonic counters (plus two gauges) for observability.
+  struct Stats {
+    std::uint64_t executed = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t dedup_joined = 0;
+    std::uint64_t calibrations_run = 0;
+    std::uint64_t calibrations_cached = 0;
+    std::uint64_t calibrations_joined = 0;
+    std::uint64_t in_flight = 0;      ///< gauge: digests currently leading
+    std::uint64_t queue_waiting = 0;  ///< gauge: callers waiting for a permit
+  };
+
+  explicit Executor(Options options);
+
+  /// Runs a *resolved* spec through cache -> in-flight dedup -> execute.
+  /// `retry_failed` re-executes a cached outcome whose status != ok.
+  /// Never throws for simulation-level failures (they are structured
+  /// outcomes); only environment errors (unwritable cache dir) propagate.
+  Result run_resolved(const harness::RunSpec& resolved,
+                      bool retry_failed = false);
+
+  /// Deduplicated calibration: cache by calibration digest, join
+  /// concurrent identical measurements. `source` (optional) reports how
+  /// the table was obtained. Throws when the calibration run itself fails
+  /// (every dependent run is then poisoned by the caller).
+  std::map<std::string, double> calibration(const harness::RunSpec& spec,
+                                            Source* source = nullptr);
+
+  Stats stats() const;
+  const ResultCache& cache() const { return cache_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void acquire_permit();
+  void release_permit();
+
+  Options options_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable permit_cv_;
+  int running_ = 0;
+  std::map<std::string, std::shared_future<Result>> inflight_;
+  std::map<std::string,
+           std::shared_future<std::map<std::string, double>>>
+      inflight_calib_;
+
+  Stats stats_;
+};
+
+}  // namespace stgsim::campaign

@@ -8,11 +8,14 @@
 #include <fstream>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "campaign/exec.hpp"
+#include "campaign/executor.hpp"
 #include "fault/fault.hpp"
 #include "harness/digest.hpp"
 #include "harness/machines.hpp"
@@ -103,12 +106,34 @@ std::string comparison_key(const harness::RunSpec& spec) {
 CampaignResult run_campaign(const Scenario& scenario,
                             const CampaignOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
-  ResultCache cache(options.cache_dir);
+
+  // Campaigns execute through a (possibly shared) Executor so the serve
+  // daemon's concurrent campaigns dedup against each other; standalone
+  // invocations build a private one with the same cache contract.
+  std::unique_ptr<Executor> owned;
+  Executor* exec = options.executor;
+  if (exec == nullptr) {
+    Executor::Options eo;
+    eo.cache_dir = options.cache_dir;
+    eo.with_metrics = options.with_metrics;
+    owned = std::make_unique<Executor>(std::move(eo));
+    exec = owned.get();
+  }
+  const ResultCache& cache = exec->cache();
 
   CampaignResult result;
   result.name = scenario.name;
   result.scenario_digest = scenario.digest_hex;
   result.runs.resize(scenario.runs.size());
+
+  // Progress hook plumbing: one serialized callback per finalized run.
+  std::mutex progress_mu;
+  std::size_t progress_done = 0;
+  auto notify_done = [&](const RunReport& report) {
+    if (!options.on_run_done) return;
+    std::lock_guard lk(progress_mu);
+    options.on_run_done(report, ++progress_done, result.runs.size());
+  };
 
   // ---- Phase 1: calibrations (deduplicated; most analytical runs share
   // one). A failed calibration poisons its dependents with a structured
@@ -116,32 +141,24 @@ CampaignResult run_campaign(const Scenario& scenario,
   const std::size_t ncal = scenario.calibrations.size();
   std::vector<std::map<std::string, double>> calib_params(ncal);
   std::vector<std::string> calib_error(ncal);
-  std::vector<char> calib_was_cached(ncal, 0);
+  std::vector<Executor::Source> calib_source(ncal, Executor::Source::kExecuted);
   for_each_parallel(options.jobs, ncal, [&](std::size_t i) {
-    const CalibrationJob& job = scenario.calibrations[i];
-    if (auto doc = cache.load(job.digest_hex)) {
-      try {
-        calib_params[i] = harness::params_from_json(doc->at("params"));
-        calib_was_cached[i] = 1;
-        return;
-      } catch (const std::exception&) {
-        // Malformed entry: fall through and recompute.
-      }
-    }
     try {
-      calib_params[i] = run_calibration(job.spec);
-      json::Value entry = json::Value::object();
-      entry.set("kind", "calibration");
-      entry.set("params", harness::params_to_json(calib_params[i]));
-      cache.store(job.digest_hex, entry);
+      calib_params[i] =
+          exec->calibration(scenario.calibrations[i].spec, &calib_source[i]);
     } catch (const std::exception& e) {
       calib_error[i] = e.what();
     }
   });
   for (std::size_t i = 0; i < ncal; ++i) {
     if (!calib_error[i].empty()) continue;
-    if (calib_was_cached[i]) ++result.calibrations_cached;
-    else ++result.calibrations_run;
+    // A concurrent campaign's measurement (kDedupJoined) counts as cached:
+    // this campaign did not run it.
+    if (calib_source[i] == Executor::Source::kExecuted) {
+      ++result.calibrations_run;
+    } else {
+      ++result.calibrations_cached;
+    }
   }
 
   // ---- Phase 2a: resolve every run, digest it, and probe the cache.
@@ -156,6 +173,7 @@ CampaignResult run_campaign(const Scenario& scenario,
     if (run.calibration >= 0 && !calib_error[run.calibration].empty()) {
       report.outcome = failure_outcome(
           run.spec, "calibration failed: " + calib_error[run.calibration]);
+      notify_done(report);
       return;
     }
     try {
@@ -164,6 +182,7 @@ CampaignResult run_campaign(const Scenario& scenario,
       report.resolved = resolve_spec(run.spec, params);
     } catch (const std::exception& e) {
       report.outcome = failure_outcome(run.spec, e.what());
+      notify_done(report);
       return;
     }
     report.digest_hex = harness::run_spec_digest_hex(report.resolved);
@@ -175,6 +194,7 @@ CampaignResult run_campaign(const Scenario& scenario,
         if (!options.retry_failed || cached.ok()) {
           report.outcome = std::move(cached);
           report.cache_hit = true;
+          notify_done(report);
           return;
         }
       } catch (const std::exception&) {
@@ -185,7 +205,9 @@ CampaignResult run_campaign(const Scenario& scenario,
   });
 
   // ---- Phase 2b: execute unique digests (duplicate sweep points simulate
-  // once), in first-appearance order for a deterministic work list.
+  // once), in first-appearance order for a deterministic work list. The
+  // Executor's in-flight map additionally dedups against runs another
+  // campaign or serve client is executing right now.
   std::map<std::string, std::vector<std::size_t>> by_digest;
   std::vector<std::string> exec_order;
   for (std::size_t i = 0; i < nruns; ++i) {
@@ -195,22 +217,30 @@ CampaignResult run_campaign(const Scenario& scenario,
     if (inserted) exec_order.push_back(result.runs[i].digest_hex);
     it->second.push_back(i);
   }
-  std::vector<harness::RunOutcome> exec_outcomes(exec_order.size());
+  std::vector<Executor::Result> exec_results(exec_order.size());
+  std::atomic<std::size_t> we_executed{0};
   for_each_parallel(options.jobs, exec_order.size(), [&](std::size_t j) {
     const std::vector<std::size_t>& members = by_digest[exec_order[j]];
     const RunReport& lead = result.runs[members.front()];
-    exec_outcomes[j] = execute_spec(lead.resolved, options.with_metrics);
-    json::Value entry = json::Value::object();
-    entry.set("spec", harness::run_spec_to_json(lead.resolved));
-    entry.set("outcome", harness::outcome_to_json(exec_outcomes[j]));
-    cache.store(lead.digest_hex, entry);
-  });
-  result.executed = exec_order.size();
-  for (std::size_t j = 0; j < exec_order.size(); ++j) {
-    for (const std::size_t i : by_digest[exec_order[j]]) {
-      result.runs[i].outcome = exec_outcomes[j];
+    try {
+      exec_results[j] = exec->run_resolved(lead.resolved, options.retry_failed);
+    } catch (const std::exception& e) {
+      exec_results[j].digest_hex = lead.digest_hex;
+      exec_results[j].outcome = failure_outcome(lead.resolved, e.what());
+      exec_results[j].source = Executor::Source::kExecuted;
     }
-  }
+    if (exec_results[j].source == Executor::Source::kExecuted) {
+      we_executed.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (const std::size_t i : members) {
+      result.runs[i].outcome = exec_results[j].outcome;
+      notify_done(result.runs[i]);
+    }
+  });
+  // Unique digests this campaign simulated itself; a digest served by a
+  // concurrent execution (kDedupJoined) or stored between probe and
+  // execute (kCacheHit) was not our work.
+  result.executed = we_executed.load();
   for (const RunReport& r : result.runs) {
     if (r.cache_hit) ++result.cache_hits;
   }

@@ -16,15 +16,19 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "campaign/cache.hpp"
+#include "campaign/executor.hpp"
 #include "campaign/scenario.hpp"
 #include "harness/config_json.hpp"
 #include "support/json.hpp"
 
 namespace stgsim::campaign {
+
+struct RunReport;
 
 struct CampaignOptions {
   /// Worker threads for the job pool (1 = serial). Each worker executes
@@ -42,6 +46,17 @@ struct CampaignOptions {
   /// Attach a metrics-only Recorder to executed runs so reports can roll
   /// up campaign-wide counters. Never affects digests.
   bool with_metrics = true;
+  /// Shared executor (cache + in-flight dedup + execution permits). When
+  /// null, run_campaign builds a private one from cache_dir/with_metrics.
+  /// The serve daemon passes its own so concurrent campaigns dedup runs
+  /// against each other, not just within one scenario.
+  Executor* executor = nullptr;
+  /// Progress hook, invoked once per run as its outcome becomes final
+  /// (serialized; never concurrently). `done` counts finished runs so far,
+  /// `total` is the scenario's run count.
+  std::function<void(const RunReport& report, std::size_t done,
+                     std::size_t total)>
+      on_run_done;
 };
 
 /// One run's results as the campaign saw them.

@@ -1,8 +1,9 @@
 #include "cli/args.hpp"
 
-#include <iostream>
 #include <stdexcept>
 
+#include "support/errors.hpp"
+#include "support/json.hpp"
 #include "support/numparse.hpp"
 
 namespace stgsim::cli {
@@ -30,17 +31,16 @@ Args::Args(int argc, char** argv, int first) {
   }
 }
 
-void Args::alias(const std::string& legacy, const std::string& canonical) {
-  auto it = values_.find(legacy);
-  if (it == values_.end()) return;
-  std::cerr << "note: --" << legacy << " is deprecated; use --" << canonical
-            << '\n';
-  if (!values_.contains(canonical)) {
-    values_[canonical] = it->second;
-    seen_[canonical] = false;
-  }
-  values_.erase(it);
-  seen_.erase(legacy);
+void Args::reject_legacy(const std::string& legacy,
+                         const std::string& canonical) const {
+  if (!values_.contains(legacy)) return;
+  json::Value detail = json::Value::object();
+  detail.set("removed", "--" + legacy);
+  detail.set("replacement", "--" + canonical);
+  throw errors::StructuredError(
+      "usage.removed_flag", errors::kCategoryUsage,
+      "--" + legacy + " was removed; use --" + canonical,
+      std::move(detail));
 }
 
 std::string Args::str(const std::string& key, const std::string& dflt) {

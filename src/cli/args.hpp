@@ -6,10 +6,10 @@
 // path). Every subcommand calls check_all_consumed() after reading its
 // flags so a typo is a structured error, never a silently ignored option.
 //
-// Legacy spellings are kept working through alias(): the old flag is
-// folded into its canonical name with a one-line deprecation note on
-// stderr, so scripts written against earlier CLI versions keep running
-// while their output nudges them forward.
+// Legacy spellings finished their deprecation cycle: reject_legacy()
+// turns the old flag into a structured "usage.removed_flag" error naming
+// its replacement, so a stale script fails loudly with a machine-readable
+// envelope (under --json-errors) instead of silently drifting.
 #pragma once
 
 #include <map>
@@ -24,10 +24,11 @@ class Args {
   /// tokens (e.g. "-flag" single-dash).
   Args(int argc, char** argv, int first);
 
-  /// Folds legacy flag `legacy` into `canonical`: if the user passed
-  /// --<legacy> (and not --<canonical>), its value moves to the canonical
-  /// key and a deprecation note is printed to stderr.
-  void alias(const std::string& legacy, const std::string& canonical);
+  /// Rejects removed flag `legacy`: if the user passed --<legacy>, throws
+  /// errors::StructuredError("usage.removed_flag") whose detail names the
+  /// `canonical` replacement.
+  void reject_legacy(const std::string& legacy,
+                     const std::string& canonical) const;
 
   bool has(const std::string& key) const { return values_.contains(key); }
 

@@ -33,6 +33,16 @@
 //                   [--counterexample-out f.json]
 //   stgsim check    --replay f.json [--trace-out f] [--metrics-out f]
 //                   [--comm-matrix-out f] [--divergence-out f]
+//   stgsim serve    [--host H] [--port P] [--port-file f] [--cache-dir D]
+//                   [--jobs N] [--max-requests N] [--max-per-client N]
+//                   [--max-run-sec T] [--no-metrics]
+//   stgsim submit   (--config spec.json | --scenario sc.json)
+//                   (--port P | --port-file f) [--host H] [--client NAME]
+//                   [--stream] [--retry-failed] [--out-dir D]
+//   stgsim status   (--port P | --port-file f) [--host H]
+//                   [--metrics] [--metrics-out f]
+//   stgsim shutdown (--port P | --port-file f) [--host H]
+//   stgsim schema   [--id ID]
 //
 // Flags take either "--key value" or "--key=value" form. Boolean flags
 // accept --key, --key=true/1/yes/on and --key=false/0/no/off; any other
@@ -112,13 +122,27 @@
 //   --speculation-window SEC  hold back ranks more than SEC of virtual time
 //                             ahead of GVT (default unbounded)
 //
-// Legacy spellings are kept as deprecated aliases: "stgsim --app ..."
-// (no subcommand) runs `run`; --threads means --workers; --calib means
-// --calibrate; machine "sp" means "ibm_sp".
+// `serve` runs the long-lived campaign daemon (DESIGN.md §16): a local
+// HTTP API (loopback by default, ephemeral port published via
+// --port-file) accepting run and campaign requests on the versioned
+// "stgsim-serve-1" wire protocol, deduping identical in-flight work
+// through the shared content-addressed cache, and streaming NDJSON
+// progress frames. `submit` and `status` are its clients; `schema` prints
+// the published JSON Schemas of every wire surface (RunSpec, RunOutcome,
+// error envelope, serve request/frame).
+//
+// The PR 5 deprecation cycle is finished: "stgsim --app ..." (no
+// subcommand), --threads, and --calib now fail with a structured
+// "usage.removed_flag" / "usage.legacy_invocation" error naming the
+// replacement instead of silently aliasing. The global --json-errors flag
+// (any subcommand) prints failures as the versioned structured-error
+// envelope (support/errors.hpp) on stdout — byte-identical to the serve
+// daemon's error responses.
 //
 // Exit codes: 0 ok, 2 out_of_memory, 3 deadlock, 4 budget_exceeded,
 // 5 internal_error, 6 protocol divergence (`check`)
-// (1 = usage/configuration errors).
+// (1 = usage/configuration errors). Structured-error categories map onto
+// the same codes (errors::category_exit_code).
 //
 // Examples:
 //   stgsim run --app tomcatv --n 1024 --procs 64 --mode am
@@ -131,12 +155,17 @@
 //       --machine "ibm_sp[topo=fattree,radix=16,algo.bcast=binomial]"
 //   stgsim campaign examples/scenario_sweep3d.json --jobs 4 --out-dir out
 //   stgsim compile --app nas_sp --class A --procs 16 --dump-stg sp.dot
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/registry.hpp"
@@ -155,11 +184,20 @@
 #include "mc/oracles.hpp"
 #include "mc/schedule.hpp"
 #include "obs/obs.hpp"
+#include "serve/daemon.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "support/errors.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace stgsim::cli {
 namespace {
+
+/// Set by the global --json-errors flag: failures print the structured
+/// envelope on stdout instead of "error: ..." prose on stderr.
+bool g_json_errors = false;
 
 int status_exit_code(const harness::RunOutcome& out) {
   switch (out.status) {
@@ -199,8 +237,8 @@ void apply_app_option_flags(json::Value* doc, const std::string& app,
 /// Builds the RunSpec document for `run`/`compile`: the --config file (if
 /// any) with flag overrides applied on top.
 json::Value spec_doc_from_args(Args& args) {
-  args.alias("threads", "workers");
-  args.alias("calib", "calibrate");
+  args.reject_legacy("threads", "workers");
+  args.reject_legacy("calib", "calibrate");
 
   json::Value doc = json::Value::object();
   const std::string config_path = args.str("config", "");
@@ -459,8 +497,18 @@ int cmd_run(Args& args) {
   }
 
   if (!out.ok()) {
-    std::cout << "RUN FAILED [" << harness::run_status_name(out.status)
-              << "]: " << out.diagnostic << '\n';
+    if (g_json_errors) {
+      // Failed outcomes share the error envelope too: the category IS the
+      // RunStatus taxonomy, so the exit code follows from it.
+      std::cout << errors::error_envelope("run.failed",
+                                          harness::run_status_name(out.status),
+                                          out.diagnostic)
+                       .dump(2)
+                << '\n';
+    } else {
+      std::cout << "RUN FAILED [" << harness::run_status_name(out.status)
+                << "]: " << out.diagnostic << '\n';
+    }
     return status_exit_code(out);
   }
   TablePrinter t({"quantity", "value"});
@@ -536,7 +584,7 @@ int cmd_run(Args& args) {
 
 int cmd_calibrate(Args& args) {
   args.no_positionals();
-  args.alias("calib", "calibrate");
+  args.reject_legacy("calib", "calibrate");
   json::Value doc = json::Value::object();
   if (!args.has("app")) throw std::runtime_error("calibrate needs --app");
   doc.set("app", json::Value(args.str("app", "")));
@@ -774,7 +822,7 @@ int cmd_check(Args& args) {
   const std::string replay_path = args.str("replay", "");
   if (!replay_path.empty()) return run_check_replay(args, replay_path);
 
-  const bool workers_given = args.has("workers") || args.has("threads");
+  const bool workers_given = args.has("workers");
   json::Value doc = spec_doc_from_args(args);
   if (!doc.has("app")) throw std::runtime_error("check needs --app");
 
@@ -930,35 +978,344 @@ int cmd_check(Args& args) {
   return 6;
 }
 
+// ---------------------------------------------------------------------------
+// Service subcommands (DESIGN.md §16).
+
+int cmd_schema(Args& args) {
+  args.no_positionals();
+  const std::string only = args.str("id", "");
+  args.check_all_consumed();
+
+  std::vector<json::Value> schemas;
+  schemas.push_back(harness::run_spec_schema_json());
+  schemas.push_back(harness::run_outcome_schema_json());
+  schemas.push_back(errors::error_envelope_schema_json());
+  schemas.push_back(serve::request_schema_json());
+  schemas.push_back(serve::frame_schema_json());
+
+  json::Value doc = json::Value::object();
+  json::Value ids = json::Value::array();
+  for (const json::Value& s : schemas) {
+    const std::string id = s.at("$id").as_string();
+    ids.push_back(id);
+    if (only.empty() || only == id) doc.set(id, s);
+  }
+  if (!only.empty() && doc.as_object().empty()) {
+    json::Value detail = json::Value::object();
+    detail.set("requested", only);
+    detail.set("available", ids);
+    throw errors::StructuredError("usage.unknown_schema_id",
+                                  errors::kCategoryUsage,
+                                  "unknown schema id '" + only + "'",
+                                  std::move(detail));
+  }
+  if (only.empty()) {
+    json::Value versions = json::Value::object();
+    json::Value spec_versions = json::Value::array();
+    for (const std::string& v : harness::published_schema_versions()) {
+      spec_versions.push_back(v);
+    }
+    versions.set("run_spec", std::move(spec_versions));
+    json::Value protos = json::Value::array();
+    for (const std::string& p : serve::published_protos()) protos.push_back(p);
+    versions.set("serve", std::move(protos));
+    json::Value error_apis = json::Value::array();
+    error_apis.push_back(std::string(errors::kErrorApi));
+    versions.set("error", std::move(error_apis));
+    doc.set("published_versions", std::move(versions));
+  }
+  std::cout << doc.dump(2) << '\n';
+  return 0;
+}
+
+std::sig_atomic_t volatile g_signal = 0;
+void on_signal(int) { g_signal = 1; }
+
+int cmd_serve(Args& args) {
+  args.no_positionals();
+  serve::Service::Options sopts;
+  sopts.cache_dir = args.str("cache-dir", ".stgsim-cache");
+  sopts.jobs = static_cast<int>(args.num("jobs", 2));
+  if (sopts.jobs < 0) throw std::runtime_error("--jobs must be >= 0");
+  sopts.max_active_requests =
+      static_cast<int>(args.num("max-requests", 16));
+  sopts.max_inflight_per_client =
+      static_cast<int>(args.num("max-per-client", 4));
+  sopts.max_run_host_seconds = args.real("max-run-sec", 0.0);
+  sopts.with_metrics = !args.flag("no-metrics");
+
+  serve::HttpServer::Options hopts;
+  hopts.host = args.str("host", "127.0.0.1");
+  hopts.port = static_cast<int>(args.num("port", 0));
+  const std::string port_file = args.str("port-file", "");
+  args.check_all_consumed();
+
+  serve::Service service(sopts);
+  serve::HttpServer server;
+  const int port = server.start(hopts, serve::make_http_handler(service));
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file, std::ios::trunc);
+    if (!pf) throw std::runtime_error("cannot write " + port_file);
+    pf << port << '\n';
+  }
+  std::cerr << "stgsim serve listening on " << hopts.host << ":" << port
+            << " (cache " << sopts.cache_dir << ", jobs " << sopts.jobs
+            << ")\n";
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!service.shutdown_requested() && g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Graceful drain: reject new work, finish what is in flight, then stop
+  // the listener (stop() joins every connection handler).
+  std::cerr << "stgsim serve draining...\n";
+  service.begin_drain();
+  service.wait_idle();
+  server.stop();
+  std::cerr << "stgsim serve stopped\n";
+  return 0;
+}
+
+/// Daemon address from --port / --port-file (+ --host).
+std::pair<std::string, int> daemon_address(Args& args) {
+  const std::string host = args.str("host", "127.0.0.1");
+  int port = static_cast<int>(args.num("port", 0));
+  if (port == 0) {
+    const std::string pf = args.str("port-file", "");
+    if (pf.empty()) {
+      throw std::runtime_error(
+          "need --port or --port-file to reach the daemon");
+    }
+    port = std::atoi(read_file(pf).c_str());
+    if (port <= 0) {
+      throw std::runtime_error("'" + pf + "' does not contain a port");
+    }
+  }
+  return {host, port};
+}
+
+/// Exit code for a terminal frame: errors map through their category,
+/// run results through their outcome status, everything else is 0.
+int frame_exit_code(const json::Value& f) {
+  if (const json::Value* event = f.find("event")) {
+    if (event->as_string() == "error") {
+      if (const json::Value* inner = f.find("error")) {
+        if (const json::Value* cat = inner->find("category")) {
+          return errors::category_exit_code(cat->as_string());
+        }
+      }
+      return errors::category_exit_code(errors::kCategoryInternalError);
+    }
+  }
+  if (const json::Value* outcome = f.find("outcome")) {
+    const std::string status = outcome->at("status").as_string();
+    if (status != "ok") return errors::category_exit_code(status);
+  }
+  return 0;
+}
+
+/// Writes a campaign result frame's reports like `stgsim campaign` does —
+/// byte-identical report.json / report.csv (canonical JSON makes the
+/// re-dump exact).
+void write_frame_reports(const json::Value& f, const std::string& out_dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create output directory '" + out_dir +
+                             "': " + ec.message());
+  }
+  auto write_file = [&](const char* name, const std::string& body) {
+    const std::string path = (fs::path(out_dir) / name).string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write '" + path + "'");
+    out << body;
+  };
+  write_file("report.json", f.at("report").dump(2) + "\n");
+  write_file("report.csv", f.at("report_csv").as_string());
+  std::cerr << "wrote " << out_dir << "/report.{json,csv}\n";
+}
+
+int cmd_submit(Args& args) {
+  args.no_positionals();
+  const auto [host, port] = daemon_address(args);
+
+  serve::Request req;
+  const std::string config = args.str("config", "");
+  const std::string scenario = args.str("scenario", "");
+  if (config.empty() == scenario.empty()) {
+    throw std::runtime_error(
+        "submit needs exactly one of --config (run) or --scenario "
+        "(campaign)");
+  }
+  req.kind = config.empty() ? serve::RequestKind::kCampaign
+                            : serve::RequestKind::kRun;
+  req.payload =
+      json::Value::parse(read_file(config.empty() ? scenario : config));
+  req.client = args.str("client", "anon");
+  req.stream = args.flag("stream");
+  req.retry_failed = args.flag("retry-failed");
+  const std::string out_dir = args.str("out-dir", "");
+  args.check_all_consumed();
+
+  const std::string body = serve::request_to_json(req).dump();
+  json::Value terminal;
+  if (req.stream) {
+    serve::http_request_stream(
+        host, port, "POST", "/v1/request", body,
+        [&](const std::string& line) {
+          if (line.empty()) return;
+          const json::Value f = json::Value::parse(line);
+          const std::string event = f.at("event").as_string();
+          if (event == "result" || event == "error") {
+            terminal = f;
+            return;
+          }
+          // Progress frames narrate on stderr; stdout stays machine-parse
+          // friendly (the terminal document only).
+          if (event == "run_done") {
+            std::cerr << "[" << f.at("done").as_int() << "/"
+                      << f.at("total").as_int() << "] " <<
+                f.at("id").as_string() << ": " << f.at("status").as_string()
+                      << (f.at("cache_hit").as_bool() ? " (cached)" : "")
+                      << '\n';
+          } else {
+            std::cerr << event << "...\n";
+          }
+        });
+    if (terminal.is_null()) {
+      throw std::runtime_error("daemon closed the stream without a result");
+    }
+  } else {
+    const serve::HttpResponse resp =
+        serve::http_request(host, port, "POST", "/v1/request", body);
+    const json::Value doc = json::Value::parse(resp.body);
+    if (doc.find("error") != nullptr && doc.find("event") == nullptr) {
+      // Non-streaming rejections arrive as the bare envelope — print it
+      // verbatim (byte-identical to --json-errors output) and exit by
+      // category.
+      std::cout << resp.body;
+      return errors::category_exit_code(
+          doc.at("error").at("category").as_string());
+    }
+    terminal = doc;
+  }
+
+  const int code = frame_exit_code(terminal);
+  if (!out_dir.empty() && terminal.find("report") != nullptr) {
+    write_frame_reports(terminal, out_dir);
+  }
+  if (terminal.find("event") != nullptr &&
+      terminal.at("event").as_string() == "error") {
+    json::Value envelope = json::Value::object();
+    envelope.set("error", terminal.at("error"));
+    std::cout << envelope.dump(2) << '\n';
+    return code;
+  }
+  std::cout << terminal.dump(2) << '\n';
+  return code;
+}
+
+int cmd_status(Args& args) {
+  args.no_positionals();
+  const auto [host, port] = daemon_address(args);
+  const bool metrics = args.flag("metrics");
+  const std::string metrics_out = args.str("metrics-out", "");
+  args.check_all_consumed();
+
+  if (metrics || !metrics_out.empty()) {
+    const serve::HttpResponse resp =
+        serve::http_request(host, port, "GET", "/v1/metrics", "");
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out, std::ios::trunc);
+      if (!os) throw std::runtime_error("cannot write " + metrics_out);
+      os << resp.body;
+      std::cerr << "wrote " << metrics_out << '\n';
+    }
+    if (metrics) std::cout << resp.body;
+    return resp.status == 200 ? 0 : 5;
+  }
+  const serve::HttpResponse resp =
+      serve::http_request(host, port, "GET", "/v1/status", "");
+  std::cout << resp.body;
+  return resp.status == 200 ? 0 : 5;
+}
+
+int cmd_shutdown(Args& args) {
+  args.no_positionals();
+  const auto [host, port] = daemon_address(args);
+  args.check_all_consumed();
+  const serve::HttpResponse resp =
+      serve::http_request(host, port, "POST", "/v1/shutdown", "");
+  std::cout << resp.body;
+  return resp.status == 200 ? 0 : 5;
+}
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: stgsim <list-apps|compile|run|calibrate|campaign|check> "
-                 "[--flags]\n"
-                 "see the header of src/cli/stgsim_cli.cpp for examples\n";
-    return 1;
+  // The global --json-errors flag may appear anywhere; strip it before
+  // subcommand parsing so every command shares it.
+  std::vector<char*> kept;
+  kept.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json-errors") {
+      g_json_errors = true;
+      continue;
+    }
+    kept.push_back(argv[i]);
   }
-  std::string cmd = argv[1];
-  int first = 2;
-  if (cmd.rfind("--", 0) == 0) {
-    // Legacy single-command form: "stgsim --app foo ..." meant `run`.
-    std::cerr << "note: invoking stgsim without a subcommand is deprecated; "
-                 "use 'stgsim run ...'\n";
-    cmd = "run";
-    first = 1;
-  }
+  argc = static_cast<int>(kept.size());
+  argv = kept.data();
+
   try {
-    Args args(argc, argv, first);
+    if (argc < 2) {
+      throw std::runtime_error(
+          "usage: stgsim <list-apps|compile|run|calibrate|campaign|check|"
+          "serve|submit|status|shutdown|schema> [--flags]\n"
+          "see the header of src/cli/stgsim_cli.cpp for examples");
+    }
+    const std::string cmd = argv[1];
+    if (cmd.rfind("--", 0) == 0) {
+      // The PR 5 deprecation cycle for "stgsim --app ..." (implicit `run`)
+      // is over: fail structurally, naming the replacement.
+      json::Value detail = json::Value::object();
+      detail.set("replacement", "stgsim run " + cmd + " ...");
+      throw errors::StructuredError(
+          "usage.legacy_invocation", errors::kCategoryUsage,
+          "invoking stgsim without a subcommand was removed; use "
+          "'stgsim run ...'",
+          std::move(detail));
+    }
+    Args args(argc, argv, 2);
     if (cmd == "list-apps") return cmd_list_apps(args);
     if (cmd == "compile") return cmd_compile(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "calibrate") return cmd_calibrate(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "check") return cmd_check(args);
-    std::cerr << "unknown command '" << cmd << "'\n";
-    return 1;
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "submit") return cmd_submit(args);
+    if (cmd == "status") return cmd_status(args);
+    if (cmd == "shutdown") return cmd_shutdown(args);
+    if (cmd == "schema") return cmd_schema(args);
+    throw errors::StructuredError("usage.unknown_command",
+                                  errors::kCategoryUsage,
+                                  "unknown command '" + cmd + "'");
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    // One exit path for every failure: the envelope (stdout, machine-read)
+    // under --json-errors, classic "error:" prose (stderr) otherwise. The
+    // exit code always follows the error's category (plain exceptions are
+    // usage errors -> 1, the historical behavior).
+    const json::Value envelope = errors::error_envelope_for(
+        e, "usage.invalid_invocation", errors::kCategoryUsage);
+    if (g_json_errors) {
+      std::cout << envelope.dump(2) << '\n';
+    } else {
+      std::cerr << "error: " << e.what() << '\n';
+    }
+    return errors::category_exit_code(
+        envelope.at("error").at("category").as_string());
   }
 }
 

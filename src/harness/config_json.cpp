@@ -7,6 +7,7 @@
 #include "harness/digest.hpp"
 #include "harness/machines.hpp"
 #include "sim/partition.hpp"
+#include "support/errors.hpp"
 
 namespace stgsim::harness {
 
@@ -45,6 +46,23 @@ std::string option_to_string(const std::string& key, const json::Value& v) {
 }
 
 }  // namespace
+
+const std::vector<std::string>& published_schema_versions() {
+  // Every tag kSimulatorVersion has ever carried. The schema only grows
+  // additively (new optional keys with defaults), so a document written
+  // for any published version parses under the current reader; the list
+  // exists to *reject* documents from the future, not to branch readers.
+  static const std::vector<std::string> kVersions = {
+      "stgsim-5", "stgsim-6", "stgsim-7", "stgsim-8"};
+  return kVersions;
+}
+
+bool schema_version_supported(const std::string& name) {
+  for (const std::string& v : published_schema_versions()) {
+    if (v == name) return true;
+  }
+  return false;
+}
 
 const char* mode_key(Mode m) {
   switch (m) {
@@ -221,7 +239,28 @@ json::Value run_spec_to_json(const RunSpec& spec) {
 RunSpec run_spec_from_json(const json::Value& v) {
   RunSpec spec;
   for (const auto& [key, value] : v.as_object()) {
-    if (key == "app") {
+    if (key == "schema") {
+      // Optional explicit version tag (the canonical dump omits it so
+      // digests and cache keys are version-bump events, not per-document
+      // bytes). Unknown or future versions are rejected with structure:
+      // a newer simulator's document must not be silently misread.
+      const std::string& name = value.as_string();
+      if (!schema_version_supported(name)) {
+        json::Value supported = json::Value::array();
+        for (const std::string& s : published_schema_versions()) {
+          supported.push_back(json::Value(s));
+        }
+        json::Value detail = json::Value::object();
+        detail.set("requested", json::Value(name));
+        detail.set("supported", supported);
+        throw errors::StructuredError(
+            "usage.unsupported_schema", errors::kCategoryUsage,
+            "run-spec schema '" + name +
+                "' is not supported by this build (current: " +
+                kSimulatorVersion + ")",
+            detail);
+      }
+    } else if (key == "app") {
       spec.app = value.as_string();
     } else if (key == "options") {
       for (const auto& [name, ov] : value.as_object()) {
@@ -425,6 +464,212 @@ RunOutcome outcome_from_json(const json::Value& v) {
   }
   out.metrics.nranks = out.nprocs;
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Published JSON Schemas (`stgsim schema`)
+
+namespace {
+
+json::Value schema_type(const char* type, const char* description = nullptr) {
+  json::Value t = json::Value::object();
+  t.set("type", json::Value(type));
+  if (description != nullptr) t.set("description", json::Value(description));
+  return t;
+}
+
+json::Value schema_enum(std::initializer_list<const char*> values,
+                        const char* description) {
+  json::Value t = schema_type("string", description);
+  json::Value e = json::Value::array();
+  for (const char* v : values) e.push_back(json::Value(v));
+  t.set("enum", e);
+  return t;
+}
+
+json::Value schema_required(std::initializer_list<const char*> keys) {
+  json::Value r = json::Value::array();
+  for (const char* k : keys) r.push_back(json::Value(k));
+  return r;
+}
+
+json::Value number_array_schema(const char* description) {
+  json::Value t = schema_type("array", description);
+  t.set("items", schema_type("number"));
+  return t;
+}
+
+}  // namespace
+
+json::Value run_spec_schema_json() {
+  json::Value props = json::Value::object();
+  {
+    json::Value schema_versions = json::Value::array();
+    for (const std::string& v : published_schema_versions()) {
+      schema_versions.push_back(json::Value(v));
+    }
+    json::Value s = schema_type(
+        "string",
+        "optional explicit schema version; unknown versions are rejected "
+        "with a structured error");
+    s.set("enum", schema_versions);
+    props.set("schema", s);
+  }
+  props.set("app", schema_type("string", "app registry name"));
+  {
+    json::Value opts = schema_type(
+        "object", "app options; values are strings, numbers or bools");
+    opts.set("additionalProperties", json::Value(true));
+    props.set("options", opts);
+  }
+  props.set("procs", schema_type("integer", "target process count (>= 1)"));
+  props.set("mode", schema_enum({"measured", "de", "am"}, "execution mode"));
+  props.set("machine",
+            schema_type("string",
+                        "machine registry name or spec string, e.g. "
+                        "ibm_sp[topo=fattree,radix=16,algo.bcast=binomial]"));
+  props.set("workers",
+            schema_type("integer",
+                        "host worker threads (0 = sequential scheduler)"));
+  props.set("partition", schema_enum({"block", "interleave", "comm"},
+                                     "rank->worker placement policy"));
+  props.set("schedule", schema_enum({"conservative", "optimistic"},
+                                    "synchronization protocol"));
+  props.set("gvt_interval",
+            schema_type("integer", "committed events between GVT passes"));
+  props.set("checkpoint_interval",
+            schema_type("integer",
+                        "committed consumes between per-rank checkpoints "
+                        "(0 disables checkpoints)"));
+  props.set("checkpoint_adaptive",
+            schema_type("boolean", "auto-tune the checkpoint interval"));
+  props.set("speculation_window_sec",
+            schema_type("number",
+                        "bounded-speculation window (0 = unbounded)"));
+  props.set("abstract_comm",
+            schema_type("boolean", "abstract communication model"));
+  props.set("memory_cap_mb", schema_type("number", "simulated-data cap"));
+  props.set("fiber_stack_kb", schema_type("number", "per-rank fiber stack"));
+  props.set("seed", schema_type("number", "RNG seed"));
+  props.set("fault",
+            schema_type("string", "fault-plan clause string (empty = none)"));
+  props.set("max_vtime_ns", schema_type("number", "virtual-time budget"));
+  props.set("max_messages", schema_type("number", "message-count budget"));
+  props.set("max_host_sec",
+            schema_type("number", "host wall-clock watchdog budget"));
+  {
+    json::Value params = schema_type(
+        "object", "inline w_i table for analytical runs (name -> sec/iter)");
+    params.set("additionalProperties", schema_type("number"));
+    props.set("params", params);
+  }
+  props.set("calibrate",
+            schema_type("integer",
+                        "calibration process count for analytical runs "
+                        "without inline params (0 = none)"));
+
+  json::Value schema = json::Value::object();
+  schema.set("$id", json::Value(std::string(kSimulatorVersion) + "/run-spec"));
+  schema.set("title", json::Value("stgsim RunSpec"));
+  schema.set("description",
+             json::Value("One fully-described simulation run. Canonical form "
+                         "(defaults resolved, keys sorted) plus "
+                         "kSimulatorVersion digests to the campaign cache "
+                         "key. Unknown keys are rejected."));
+  schema.set("type", json::Value("object"));
+  schema.set("properties", props);
+  schema.set("required", schema_required({"app"}));
+  schema.set("additionalProperties", json::Value(false));
+  return schema;
+}
+
+json::Value run_outcome_schema_json() {
+  json::Value rank_stats = json::Value::object();
+  rank_stats.set("type", json::Value("object"));
+  {
+    json::Value sp = json::Value::object();
+    for (const char* k : {"compute_ns", "comm_ns", "sends", "recvs",
+                          "collectives", "delays", "bytes_sent"}) {
+      sp.set(k, schema_type("number"));
+    }
+    rank_stats.set("properties", sp);
+    rank_stats.set("required",
+                   schema_required({"compute_ns", "comm_ns", "sends", "recvs",
+                                    "collectives", "delays", "bytes_sent"}));
+  }
+
+  json::Value props = json::Value::object();
+  props.set("status",
+            schema_enum({"ok", "out_of_memory", "deadlock", "budget_exceeded",
+                         "internal_error"},
+                        "RunOutcome status taxonomy"));
+  props.set("diagnostic",
+            schema_type("string", "failure description (empty when ok)"));
+  props.set("nprocs", schema_type("integer"));
+  props.set("predicted_ns",
+            schema_type("number", "predicted target execution time"));
+  props.set("per_rank_ns", number_array_schema("final clock per rank"));
+  props.set("messages", schema_type("number"));
+  props.set("slices", schema_type("number"));
+  props.set("peak_target_bytes", schema_type("number"));
+  props.set("sim_host_seconds",
+            schema_type("number",
+                        "simulator wall-clock (host-dependent; excluded from "
+                        "digests and deterministic reports)"));
+  props.set("stats", rank_stats);
+  {
+    json::Value prs = schema_type("array", "per-rank protocol counters");
+    prs.set("items", rank_stats);
+    props.set("per_rank_stats", prs);
+  }
+  {
+    json::Value metrics = schema_type(
+        "object", "deterministic observability counters and histograms");
+    json::Value mp = json::Value::object();
+    json::Value scalars = schema_type("object");
+    scalars.set("additionalProperties", schema_type("number"));
+    mp.set("scalars", scalars);
+    mp.set("msg_size_hist", number_array_schema("log2 message-size buckets"));
+    mp.set("window_advance_hist", number_array_schema(nullptr));
+    mp.set("rollback_depth_hist", number_array_schema(nullptr));
+    mp.set("hop_hist", number_array_schema(nullptr));
+    {
+      json::Value link = json::Value::object();
+      link.set("type", json::Value("object"));
+      json::Value lp = json::Value::object();
+      lp.set("name", schema_type("string"));
+      lp.set("messages", schema_type("number"));
+      lp.set("bytes", schema_type("number"));
+      link.set("properties", lp);
+      json::Value links = schema_type("array", "per-link utilization");
+      links.set("items", link);
+      mp.set("links", links);
+    }
+    metrics.set("properties", mp);
+    props.set("metrics", metrics);
+  }
+  props.set("digest",
+            schema_type("string",
+                        "64-bit run digest (hex): bit-identity contract "
+                        "across schedulers and hosts"));
+
+  json::Value schema = json::Value::object();
+  schema.set("$id",
+             json::Value(std::string(kSimulatorVersion) + "/run-outcome"));
+  schema.set("title", json::Value("stgsim RunOutcome"));
+  schema.set("description",
+             json::Value("How a run ended, in the form campaign reports and "
+                         "serve responses embed. Round-trips everything "
+                         "reports and digests need; host trace excluded."));
+  schema.set("type", json::Value("object"));
+  schema.set("properties", props);
+  schema.set("required",
+             schema_required({"status", "diagnostic", "nprocs", "predicted_ns",
+                              "per_rank_ns", "messages", "slices",
+                              "peak_target_bytes", "sim_host_seconds", "stats",
+                              "per_rank_stats", "metrics", "digest"}));
+  schema.set("additionalProperties", json::Value(false));
+  return schema;
 }
 
 }  // namespace stgsim::harness

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "harness/runner.hpp"
 #include "support/json.hpp"
@@ -41,6 +42,26 @@ namespace stgsim::harness {
 /// campaign caches invalidate wholesale instead of serving results from an
 /// older simulator.
 inline constexpr const char kSimulatorVersion[] = "stgsim-8";
+
+/// The RunSpec/RunOutcome JSON is a *public wire schema*: clients of the
+/// serve daemon and config files on disk both speak it. Published versions,
+/// oldest first; the last entry is always kSimulatorVersion. A document may
+/// carry an explicit "schema" key naming its version — run_spec_from_json
+/// accepts any published version (the schema has only ever grown
+/// additively, so older documents parse under the current reader) and
+/// rejects unknown/future versions with a structured error listing the
+/// supported set, instead of misreading a document written for a newer
+/// simulator.
+const std::vector<std::string>& published_schema_versions();
+
+/// True iff `name` appears in published_schema_versions().
+bool schema_version_supported(const std::string& name);
+
+/// JSON Schema documents for the public wire surface, printed by
+/// `stgsim schema`. Ids: "<kSimulatorVersion>/run-spec" and
+/// "<kSimulatorVersion>/run-outcome".
+json::Value run_spec_schema_json();
+json::Value run_outcome_schema_json();
 
 /// Short mode keys used by the CLI and all JSON schemas:
 /// "measured" / "de" / "am" (mode_name() stays the display form).

@@ -1,0 +1,111 @@
+#include "serve/daemon.hpp"
+
+#include <vector>
+
+#include "support/errors.hpp"
+
+namespace stgsim::serve {
+
+int category_http_status(const std::string& category) {
+  if (category == errors::kCategoryUsage) return 400;
+  if (category == errors::kCategoryBudgetExceeded) return 503;
+  return 500;
+}
+
+namespace {
+
+/// Reassembles the bare envelope {"error": {...}} from an error frame so
+/// the HTTP body is byte-identical to the CLI's --json-errors output.
+json::Value envelope_from_frame(const json::Value& f) {
+  json::Value env = json::Value::object();
+  if (const json::Value* inner = f.find("error")) {
+    env.set("error", *inner);
+  }
+  return env;
+}
+
+std::string error_category(const json::Value& f) {
+  if (const json::Value* inner = f.find("error")) {
+    if (const json::Value* cat = inner->find("category")) {
+      if (cat->is_string()) return cat->as_string();
+    }
+  }
+  return errors::kCategoryInternalError;
+}
+
+void respond_frames(Service& service, const std::string& body,
+                    ResponseWriter& w) {
+  // Peek at "stream" before dispatching: a streaming request writes its
+  // headers up front and emits frames as they happen; a plain request
+  // answers with exactly the terminal frame.
+  bool stream = false;
+  try {
+    const json::Value doc = json::Value::parse(body);
+    if (const json::Value* s = doc.find("stream")) stream = s->as_bool();
+  } catch (const std::exception&) {
+    // Malformed body: fall through, handle_text emits the error frame.
+  }
+
+  if (stream) {
+    w.begin_stream(200, "application/x-ndjson");
+    service.handle_text(body, [&](const json::Value& frame) {
+      w.write(frame.dump() + "\n");
+    });
+    return;
+  }
+
+  std::vector<json::Value> frames;
+  service.handle_text(
+      body, [&](const json::Value& frame) { frames.push_back(frame); });
+  if (frames.empty()) {  // cannot happen; defensive
+    w.finish(500, "application/json", "{}\n");
+    return;
+  }
+  const json::Value& last = frames.back();
+  const json::Value* event = last.find("event");
+  if (event != nullptr && event->is_string() &&
+      event->as_string() == "error") {
+    w.finish(category_http_status(error_category(last)), "application/json",
+             envelope_from_frame(last).dump(2) + "\n");
+  } else {
+    w.finish(200, "application/json", last.dump(2) + "\n");
+  }
+}
+
+}  // namespace
+
+HttpServer::Handler make_http_handler(Service& service) {
+  return [&service](const HttpRequest& req, ResponseWriter& w) {
+    if (req.path == "/v1/request") {
+      if (req.method != "POST") {
+        w.finish(405, "text/plain", "POST required\n");
+        return;
+      }
+      respond_frames(service, req.body, w);
+      return;
+    }
+    if (req.path == "/v1/status" && req.method == "GET") {
+      w.finish(200, "application/json",
+               service.status_json().dump(2) + "\n");
+      return;
+    }
+    if (req.path == "/v1/metrics" && req.method == "GET") {
+      const obs::MetricsSnapshot m = service.metrics_snapshot();
+      json::Value scalars = json::Value::object();
+      for (const auto& [name, value] : m.scalars) scalars.set(name, value);
+      json::Value doc = json::Value::object();
+      doc.set("scalars", std::move(scalars));
+      w.finish(200, "application/json", doc.dump(2) + "\n");
+      return;
+    }
+    if (req.path == "/v1/shutdown" && req.method == "POST") {
+      Request shutdown;
+      shutdown.kind = RequestKind::kShutdown;
+      respond_frames(service, request_to_json(shutdown).dump(), w);
+      return;
+    }
+    w.finish(404, "text/plain", "unknown route " + req.path + "\n");
+  };
+}
+
+}  // namespace stgsim::serve

@@ -1,0 +1,33 @@
+// HTTP glue between the Service and the socket layer — the routing table
+// `stgsim serve` mounts and the in-process tests drive.
+//
+// Routes (all bodies are JSON; kServeProto defines the shapes):
+//   POST /v1/request   generic wire request. stream=false -> one JSON
+//                      document: the terminal frame on success, the bare
+//                      structured-error envelope (byte-identical to
+//                      `--json-errors` output) on failure. stream=true ->
+//                      close-delimited NDJSON frames, one per line.
+//   GET  /v1/status    Service::status_json()
+//   GET  /v1/metrics   {"scalars": {...}} service metrics
+//   POST /v1/shutdown  begin drain; responds like a shutdown request
+//
+// Non-streaming HTTP status mapping: 200 for results; errors use the
+// envelope's category (usage -> 400, budget_exceeded -> 503, others ->
+// 500). Streaming responses are always 200 — errors arrive as frames.
+#pragma once
+
+#include <string>
+
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+
+namespace stgsim::serve {
+
+/// HTTP status for an error envelope's category.
+int category_http_status(const std::string& category);
+
+/// The daemon's request handler, bound to `service` (which must outlive
+/// the returned handler / the server it is mounted on).
+HttpServer::Handler make_http_handler(Service& service);
+
+}  // namespace stgsim::serve

@@ -1,0 +1,399 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "campaign/exec.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+#include "support/errors.hpp"
+
+namespace stgsim::serve {
+
+namespace {
+
+campaign::Executor::Options executor_options(const Service::Options& o) {
+  campaign::Executor::Options eo;
+  eo.cache_dir = o.cache_dir;
+  eo.max_concurrency = o.jobs;
+  eo.with_metrics = o.with_metrics;
+  return eo;
+}
+
+const char* source_name(campaign::Executor::Source s) {
+  switch (s) {
+    case campaign::Executor::Source::kExecuted: return "executed";
+    case campaign::Executor::Source::kCacheHit: return "cache_hit";
+    case campaign::Executor::Source::kDedupJoined: return "dedup_joined";
+  }
+  return "?";
+}
+
+}  // namespace
+
+/// RAII admission ticket: counts the request while active, throws the
+/// structured rejection when admission fails (in which case no ticket is
+/// held and the destructor never runs).
+struct Service::Admission {
+  Service& s;
+  std::string client;
+
+  Admission(Service& service, std::string client_name)
+      : s(service), client(std::move(client_name)) {
+    std::lock_guard lk(s.mu_);
+    if (s.draining_) {
+      ++s.rejected_draining_;
+      ++s.rejections_by_client_[client];
+      throw errors::StructuredError(
+          "serve.draining", errors::kCategoryBudgetExceeded,
+          "daemon is draining and not admitting new work");
+    }
+    if (s.options_.max_active_requests > 0 &&
+        s.active_ >= s.options_.max_active_requests) {
+      ++s.rejected_queue_full_;
+      ++s.rejections_by_client_[client];
+      json::Value detail = json::Value::object();
+      detail.set("max_active_requests", s.options_.max_active_requests);
+      throw errors::StructuredError(
+          "serve.queue_full", errors::kCategoryBudgetExceeded,
+          "request queue is full (" +
+              std::to_string(s.options_.max_active_requests) +
+              " active requests)",
+          std::move(detail));
+    }
+    int& mine = s.active_by_client_[client];
+    if (s.options_.max_inflight_per_client > 0 &&
+        mine >= s.options_.max_inflight_per_client) {
+      ++s.rejected_client_budget_;
+      ++s.rejections_by_client_[client];
+      json::Value detail = json::Value::object();
+      detail.set("client", client);
+      detail.set("max_inflight_per_client",
+                 s.options_.max_inflight_per_client);
+      throw errors::StructuredError(
+          "serve.client_budget", errors::kCategoryBudgetExceeded,
+          "client '" + client + "' is at its in-flight budget (" +
+              std::to_string(s.options_.max_inflight_per_client) + ")",
+          std::move(detail));
+    }
+    ++s.active_;
+    ++mine;
+  }
+
+  ~Admission() {
+    std::lock_guard lk(s.mu_);
+    --s.active_;
+    auto it = s.active_by_client_.find(client);
+    if (it != s.active_by_client_.end() && --it->second <= 0) {
+      s.active_by_client_.erase(it);
+    }
+    s.idle_cv_.notify_all();
+  }
+};
+
+Service::Service(Options options)
+    : options_(std::move(options)), executor_(executor_options(options_)) {}
+
+void Service::handle(const Request& req, const Emit& emit) {
+  {
+    std::lock_guard lk(mu_);
+    ++requests_total_;
+  }
+  try {
+    switch (req.kind) {
+      case RequestKind::kStatus: {
+        json::Value f = frame("result");
+        f.set("kind", "status");
+        f.set("status", status_json());
+        emit(f);
+        return;
+      }
+      case RequestKind::kMetrics: {
+        const obs::MetricsSnapshot m = metrics_snapshot();
+        json::Value scalars = json::Value::object();
+        for (const auto& [name, value] : m.scalars) scalars.set(name, value);
+        json::Value metrics = json::Value::object();
+        metrics.set("scalars", std::move(scalars));
+        json::Value f = frame("result");
+        f.set("kind", "metrics");
+        f.set("metrics", std::move(metrics));
+        emit(f);
+        return;
+      }
+      case RequestKind::kShutdown: {
+        begin_drain();
+        {
+          std::lock_guard lk(mu_);
+          shutdown_requested_ = true;
+        }
+        json::Value f = frame("result");
+        f.set("kind", "shutdown");
+        f.set("draining", true);
+        emit(f);
+        return;
+      }
+      case RequestKind::kRun: {
+        Admission ticket(*this, req.client);
+        handle_run(req, emit);
+        return;
+      }
+      case RequestKind::kCampaign: {
+        Admission ticket(*this, req.client);
+        handle_campaign(req, emit);
+        return;
+      }
+    }
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard lk(mu_);
+      ++errors_emitted_;
+    }
+    emit(error_frame(errors::error_envelope_for(
+        e, "serve.internal_error", errors::kCategoryInternalError)));
+  }
+}
+
+void Service::handle_text(const std::string& body, const Emit& emit) {
+  Request req;
+  try {
+    req = request_from_json(json::Value::parse(body));
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard lk(mu_);
+      ++requests_total_;
+      ++errors_emitted_;
+    }
+    emit(error_frame(errors::error_envelope_for(
+        e, "serve.malformed_request", errors::kCategoryUsage)));
+    return;
+  }
+  handle(req, emit);
+}
+
+void Service::handle_run(const Request& req, const Emit& emit) {
+  harness::RunSpec spec;
+  try {
+    spec = harness::run_spec_from_json(req.payload);
+  } catch (const errors::StructuredError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw errors::StructuredError("serve.invalid_payload",
+                                  errors::kCategoryUsage, e.what());
+  }
+
+  // Per-request watchdog (PR 1 budget machinery): budgets are canonical
+  // spec fields, so the clamp changes the cache key — which is correct,
+  // a budgeted run is a different experiment.
+  if (options_.max_run_host_seconds > 0 &&
+      (spec.config.max_host_seconds <= 0 ||
+       spec.config.max_host_seconds > options_.max_run_host_seconds)) {
+    spec.config.max_host_seconds = options_.max_run_host_seconds;
+  }
+
+  std::map<std::string, double> calib_params;
+  const std::map<std::string, double>* params = nullptr;
+  if (spec.calibrate_procs > 0) {
+    if (req.stream) {
+      json::Value f = frame("calibrating");
+      f.set("digest", harness::calibration_digest_hex(spec));
+      emit(f);
+    }
+    calib_params = executor_.calibration(spec);
+    params = &calib_params;
+  }
+  const harness::RunSpec resolved = campaign::resolve_spec(spec, params);
+
+  if (req.stream) {
+    json::Value f = frame("accepted");
+    f.set("kind", "run");
+    f.set("digest", harness::run_spec_digest_hex(resolved));
+    emit(f);
+  }
+
+  const campaign::Executor::Result r =
+      executor_.run_resolved(resolved, req.retry_failed);
+
+  json::Value f = frame("result");
+  f.set("kind", "run");
+  f.set("digest", r.digest_hex);
+  f.set("source", source_name(r.source));
+  f.set("spec", harness::run_spec_to_json(resolved));
+  f.set("outcome", harness::outcome_to_json(r.outcome));
+  emit(f);
+  {
+    std::lock_guard lk(mu_);
+    ++runs_served_;
+  }
+}
+
+void Service::handle_campaign(const Request& req, const Emit& emit) {
+  campaign::Scenario scenario;
+  try {
+    scenario = campaign::parse_scenario(req.payload);
+  } catch (const errors::StructuredError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw errors::StructuredError("serve.invalid_payload",
+                                  errors::kCategoryUsage, e.what());
+  }
+
+  if (req.stream) {
+    json::Value f = frame("accepted");
+    f.set("kind", "campaign");
+    f.set("campaign", scenario.name);
+    f.set("total", static_cast<std::int64_t>(scenario.runs.size()));
+    f.set("calibrations",
+          static_cast<std::int64_t>(scenario.calibrations.size()));
+    emit(f);
+  }
+
+  campaign::CampaignOptions copts;
+  copts.jobs = std::max(1, options_.jobs);
+  copts.cache_dir = options_.cache_dir;
+  copts.retry_failed = req.retry_failed;
+  copts.with_metrics = options_.with_metrics;
+  copts.executor = &executor_;
+  if (req.stream) {
+    copts.on_run_done = [&](const campaign::RunReport& r, std::size_t done,
+                            std::size_t total) {
+      json::Value f = frame("run_done");
+      f.set("id", r.id);
+      f.set("digest", r.digest_hex);
+      f.set("status", harness::run_status_name(r.outcome.status));
+      f.set("cache_hit", r.cache_hit);
+      f.set("done", static_cast<std::int64_t>(done));
+      f.set("total", static_cast<std::int64_t>(total));
+      emit(f);
+    };
+  }
+
+  const campaign::CampaignResult result = run_campaign(scenario, copts);
+
+  json::Value f = frame("result");
+  f.set("kind", "campaign");
+  // `report` is the exact object `stgsim campaign` writes to report.json;
+  // a client re-dumping it with indent 2 reproduces the file's bytes.
+  f.set("report", campaign::report_json(result));
+  f.set("report_csv", campaign::report_csv(result));
+  json::Value summary = json::Value::object();
+  summary.set("campaign", result.name);
+  summary.set("runs", static_cast<std::int64_t>(result.runs.size()));
+  summary.set("cache_hits", static_cast<std::int64_t>(result.cache_hits));
+  summary.set("executed", static_cast<std::int64_t>(result.executed));
+  summary.set("calibrations_run",
+              static_cast<std::int64_t>(result.calibrations_run));
+  summary.set("calibrations_cached",
+              static_cast<std::int64_t>(result.calibrations_cached));
+  f.set("summary", std::move(summary));
+  emit(f);
+  {
+    std::lock_guard lk(mu_);
+    ++campaigns_served_;
+  }
+}
+
+void Service::begin_drain() {
+  std::lock_guard lk(mu_);
+  draining_ = true;
+}
+
+bool Service::draining() const {
+  std::lock_guard lk(mu_);
+  return draining_;
+}
+
+bool Service::shutdown_requested() const {
+  std::lock_guard lk(mu_);
+  return shutdown_requested_;
+}
+
+void Service::wait_idle() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [&] { return active_ == 0; });
+}
+
+json::Value Service::status_json() const {
+  const campaign::Executor::Stats st = executor_.stats();
+  std::lock_guard lk(mu_);
+  json::Value doc = json::Value::object();
+  doc.set("proto", kServeProto);
+  doc.set("draining", draining_);
+  doc.set("active_requests", active_);
+  json::Value clients = json::Value::object();
+  for (const auto& [name, n] : active_by_client_) clients.set(name, n);
+  doc.set("active_by_client", std::move(clients));
+  doc.set("requests_total", static_cast<std::int64_t>(requests_total_));
+  doc.set("runs_served", static_cast<std::int64_t>(runs_served_));
+  doc.set("campaigns_served",
+          static_cast<std::int64_t>(campaigns_served_));
+  doc.set("errors", static_cast<std::int64_t>(errors_emitted_));
+
+  json::Value rejected = json::Value::object();
+  rejected.set("draining", static_cast<std::int64_t>(rejected_draining_));
+  rejected.set("queue_full",
+               static_cast<std::int64_t>(rejected_queue_full_));
+  rejected.set("client_budget",
+               static_cast<std::int64_t>(rejected_client_budget_));
+  doc.set("rejected", std::move(rejected));
+
+  json::Value ex = json::Value::object();
+  ex.set("executed", static_cast<std::int64_t>(st.executed));
+  ex.set("cache_hits", static_cast<std::int64_t>(st.cache_hits));
+  ex.set("dedup_joined", static_cast<std::int64_t>(st.dedup_joined));
+  ex.set("calibrations_run",
+         static_cast<std::int64_t>(st.calibrations_run));
+  ex.set("calibrations_cached",
+         static_cast<std::int64_t>(st.calibrations_cached));
+  ex.set("calibrations_joined",
+         static_cast<std::int64_t>(st.calibrations_joined));
+  ex.set("in_flight", static_cast<std::int64_t>(st.in_flight));
+  ex.set("queue_depth", static_cast<std::int64_t>(st.queue_waiting));
+  doc.set("executor", std::move(ex));
+
+  json::Value limits = json::Value::object();
+  limits.set("cache_dir", options_.cache_dir);
+  limits.set("jobs", options_.jobs);
+  limits.set("max_active_requests", options_.max_active_requests);
+  limits.set("max_inflight_per_client", options_.max_inflight_per_client);
+  limits.set("max_run_host_seconds", options_.max_run_host_seconds);
+  doc.set("limits", std::move(limits));
+  return doc;
+}
+
+obs::MetricsSnapshot Service::metrics_snapshot() const {
+  const campaign::Executor::Stats st = executor_.stats();
+  std::lock_guard lk(mu_);
+  obs::MetricsSnapshot m;
+  m.add("serve.requests_total", static_cast<double>(requests_total_));
+  m.add("serve.runs", static_cast<double>(runs_served_));
+  m.add("serve.campaigns", static_cast<double>(campaigns_served_));
+  m.add("serve.errors", static_cast<double>(errors_emitted_));
+  m.add("serve.active_requests", static_cast<double>(active_));
+  m.add("serve.queue_depth", static_cast<double>(st.queue_waiting));
+  m.add("serve.in_flight", static_cast<double>(st.in_flight));
+  m.add("serve.executed", static_cast<double>(st.executed));
+  m.add("serve.cache_hits", static_cast<double>(st.cache_hits));
+  m.add("serve.dedup_joined", static_cast<double>(st.dedup_joined));
+  m.add("serve.calibrations_run", static_cast<double>(st.calibrations_run));
+  m.add("serve.calibrations_cached",
+        static_cast<double>(st.calibrations_cached));
+  m.add("serve.calibrations_joined",
+        static_cast<double>(st.calibrations_joined));
+  const double lookups = static_cast<double>(st.executed + st.cache_hits +
+                                             st.dedup_joined);
+  m.add("serve.cache_hit_rate",
+        lookups > 0 ? static_cast<double>(st.cache_hits + st.dedup_joined) /
+                          lookups
+                    : 0.0);
+  m.add("serve.rejected.draining", static_cast<double>(rejected_draining_));
+  m.add("serve.rejected.queue_full",
+        static_cast<double>(rejected_queue_full_));
+  m.add("serve.rejected.client_budget",
+        static_cast<double>(rejected_client_budget_));
+  for (const auto& [client, n] : rejections_by_client_) {
+    m.add("serve.rejections.client." + client, static_cast<double>(n));
+  }
+  return m;
+}
+
+}  // namespace stgsim::serve

@@ -1,0 +1,118 @@
+// The campaign service: validated admission, deduped execution, streamed
+// progress — everything `stgsim serve` does except the socket.
+//
+// Service is transport-agnostic on purpose: a request comes in as a wire
+// Request (serve/wire.hpp) plus an Emit callback that receives response
+// frames; the HTTP layer and the in-process tests drive the same object
+// through the same entry point, so the concurrency tests need no sockets.
+//
+// Admission contract (checked in order, all rejections are structured
+// errors in the budget_exceeded category → exit code 4):
+//   1. draining daemon          -> "serve.draining"
+//   2. global active-request cap -> "serve.queue_full"
+//   3. per-client in-flight cap  -> "serve.client_budget"
+// status / metrics / shutdown requests bypass admission — an operator must
+// always be able to observe and drain a saturated daemon.
+//
+// Execution funnels through one shared campaign::Executor: identical
+// in-flight RunSpecs execute once with every requester receiving the same
+// stored bytes, campaign requests dedup against single-run requests, and
+// the executor's permit pool bounds simulation concurrency daemon-wide.
+//
+// The optional run watchdog (Options::max_run_host_seconds, PR 1 budget
+// machinery) clamps a single-run request's max_host_sec. Budgets are part
+// of the canonical spec — clamping legitimately changes the cache key, so
+// the clamp defaults to off and campaign payloads keep their scenario's
+// budgets verbatim (serve and offline campaigns stay byte-identical).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "campaign/executor.hpp"
+#include "obs/obs.hpp"
+#include "serve/wire.hpp"
+#include "support/json.hpp"
+
+namespace stgsim::serve {
+
+class Service {
+ public:
+  struct Options {
+    std::string cache_dir = ".stgsim-cache";
+    /// Simulation concurrency: executor permits AND per-campaign job-pool
+    /// width. 0 = one permit per request (unbounded).
+    int jobs = 2;
+    /// Admission cap on simultaneously-active run/campaign requests.
+    int max_active_requests = 16;
+    /// Per-client in-flight request budget.
+    int max_inflight_per_client = 4;
+    /// When > 0: clamp single-run requests' host wall-clock budget
+    /// (RunConfig::max_host_seconds watchdog) to this many seconds.
+    double max_run_host_seconds = 0.0;
+    bool with_metrics = true;
+  };
+
+  using Emit = std::function<void(const json::Value& frame)>;
+
+  explicit Service(Options options);
+
+  /// Dispatches one request, emitting progress frames (when req.stream)
+  /// and exactly one terminal frame (event "result" or "error"). Never
+  /// throws: every failure becomes an error frame carrying the shared
+  /// structured-error envelope. Thread-safe; blocks until the request
+  /// completes.
+  void handle(const Request& req, const Emit& emit);
+
+  /// Parses `body` as a request envelope and dispatches it. Parse errors
+  /// emit an error frame too.
+  void handle_text(const std::string& body, const Emit& emit);
+
+  /// Stops admitting run/campaign work ("serve.draining" rejections);
+  /// in-flight requests finish normally.
+  void begin_drain();
+  bool draining() const;
+  /// True once a shutdown request has been served (after begin_drain).
+  bool shutdown_requested() const;
+  /// Blocks until no run/campaign request is active.
+  void wait_idle();
+
+  /// Operator surfaces (also reachable via status/metrics requests).
+  json::Value status_json() const;
+  obs::MetricsSnapshot metrics_snapshot() const;
+
+  campaign::Executor& executor() { return executor_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Admission;  // RAII active-count ticket
+
+  void handle_run(const Request& req, const Emit& emit);
+  void handle_campaign(const Request& req, const Emit& emit);
+
+  Options options_;
+  campaign::Executor executor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  bool draining_ = false;
+  bool shutdown_requested_ = false;
+  int active_ = 0;
+  std::map<std::string, int> active_by_client_;
+
+  // Monotonic service counters (metrics_snapshot publishes them).
+  std::uint64_t requests_total_ = 0;
+  std::uint64_t runs_served_ = 0;
+  std::uint64_t campaigns_served_ = 0;
+  std::uint64_t errors_emitted_ = 0;
+  std::uint64_t rejected_draining_ = 0;
+  std::uint64_t rejected_queue_full_ = 0;
+  std::uint64_t rejected_client_budget_ = 0;
+  std::map<std::string, std::uint64_t> rejections_by_client_;
+};
+
+}  // namespace stgsim::serve

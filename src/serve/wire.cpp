@@ -1,0 +1,240 @@
+#include "serve/wire.hpp"
+
+#include <utility>
+
+#include "support/errors.hpp"
+
+namespace stgsim::serve {
+
+const std::vector<std::string>& published_protos() {
+  static const std::vector<std::string> kProtos = {"stgsim-serve-1"};
+  return kProtos;
+}
+
+bool proto_supported(const std::string& name) {
+  for (const std::string& p : published_protos()) {
+    if (p == name) return true;
+  }
+  return false;
+}
+
+const char* request_kind_name(RequestKind k) {
+  switch (k) {
+    case RequestKind::kRun: return "run";
+    case RequestKind::kCampaign: return "campaign";
+    case RequestKind::kStatus: return "status";
+    case RequestKind::kMetrics: return "metrics";
+    case RequestKind::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+RequestKind parse_kind(const std::string& name) {
+  for (const RequestKind k :
+       {RequestKind::kRun, RequestKind::kCampaign, RequestKind::kStatus,
+        RequestKind::kMetrics, RequestKind::kShutdown}) {
+    if (name == request_kind_name(k)) return k;
+  }
+  json::Value detail = json::Value::object();
+  json::Value kinds = json::Value::array();
+  for (const RequestKind k :
+       {RequestKind::kRun, RequestKind::kCampaign, RequestKind::kStatus,
+        RequestKind::kMetrics, RequestKind::kShutdown}) {
+    kinds.push_back(std::string(request_kind_name(k)));
+  }
+  detail.set("supported", std::move(kinds));
+  throw errors::StructuredError("serve.unknown_kind", errors::kCategoryUsage,
+                                "unknown request kind '" + name + "'",
+                                std::move(detail));
+}
+
+}  // namespace
+
+Request request_from_json(const json::Value& doc) {
+  if (!doc.is_object()) {
+    throw errors::StructuredError("serve.malformed_request",
+                                  errors::kCategoryUsage,
+                                  "request must be a JSON object");
+  }
+  const json::Value* proto = doc.find("proto");
+  if (proto == nullptr || !proto->is_string()) {
+    throw errors::StructuredError(
+        "serve.missing_proto", errors::kCategoryUsage,
+        "request is missing the required \"proto\" version tag");
+  }
+  if (!proto_supported(proto->as_string())) {
+    json::Value detail = json::Value::object();
+    detail.set("requested", proto->as_string());
+    json::Value supported = json::Value::array();
+    for (const std::string& p : published_protos()) supported.push_back(p);
+    detail.set("supported", std::move(supported));
+    throw errors::StructuredError(
+        "serve.unsupported_proto", errors::kCategoryUsage,
+        "unsupported wire protocol '" + proto->as_string() +
+            "' (this daemon speaks up to " + kServeProto + ")",
+        std::move(detail));
+  }
+
+  Request req;
+  bool have_kind = false;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "proto") {
+      continue;
+    } else if (key == "kind") {
+      req.kind = parse_kind(value.as_string());
+      have_kind = true;
+    } else if (key == "client") {
+      req.client = value.as_string();
+      if (req.client.empty()) req.client = "anon";
+    } else if (key == "stream") {
+      req.stream = value.as_bool();
+    } else if (key == "payload") {
+      req.payload = value;
+    } else if (key == "retry_failed") {
+      req.retry_failed = value.as_bool();
+    } else {
+      throw errors::StructuredError(
+          "serve.unknown_request_key", errors::kCategoryUsage,
+          "unknown request key '" + key + "'");
+    }
+  }
+  if (!have_kind) {
+    throw errors::StructuredError("serve.missing_kind", errors::kCategoryUsage,
+                                  "request is missing \"kind\"");
+  }
+  const bool needs_payload =
+      req.kind == RequestKind::kRun || req.kind == RequestKind::kCampaign;
+  if (needs_payload && !req.payload.is_object()) {
+    throw errors::StructuredError(
+        "serve.missing_payload", errors::kCategoryUsage,
+        std::string("a \"") + request_kind_name(req.kind) +
+            "\" request needs an object \"payload\"");
+  }
+  return req;
+}
+
+json::Value request_to_json(const Request& req) {
+  json::Value doc = json::Value::object();
+  doc.set("proto", kServeProto);
+  doc.set("kind", request_kind_name(req.kind));
+  if (req.client != "anon") doc.set("client", req.client);
+  if (req.stream) doc.set("stream", true);
+  if (!req.payload.is_null()) doc.set("payload", req.payload);
+  if (req.retry_failed) doc.set("retry_failed", true);
+  return doc;
+}
+
+json::Value frame(const std::string& event) {
+  json::Value f = json::Value::object();
+  f.set("proto", kServeProto);
+  f.set("event", event);
+  return f;
+}
+
+json::Value error_frame(const json::Value& envelope) {
+  json::Value f = frame("error");
+  // The envelope is {"error": {...}}; lift the inner object so the frame
+  // reads {"event":"error","error":{api,category,code,...}} and the inner
+  // object stays byte-identical to the CLI's --json-errors output.
+  if (const json::Value* inner = envelope.find("error")) {
+    f.set("error", *inner);
+  } else {
+    f.set("error", envelope);
+  }
+  return f;
+}
+
+namespace {
+
+json::Value schema_type(const char* type, const char* description) {
+  json::Value v = json::Value::object();
+  v.set("type", type);
+  v.set("description", description);
+  return v;
+}
+
+}  // namespace
+
+json::Value request_schema_json() {
+  json::Value s = json::Value::object();
+  s.set("$id", std::string(kServeProto) + "/request");
+  s.set("title", "stgsim serve request envelope");
+  s.set("type", "object");
+
+  json::Value props = json::Value::object();
+  json::Value proto = json::Value::object();
+  proto.set("type", "string");
+  json::Value protos = json::Value::array();
+  for (const std::string& p : published_protos()) protos.push_back(p);
+  proto.set("enum", std::move(protos));
+  props.set("proto", std::move(proto));
+
+  json::Value kind = json::Value::object();
+  kind.set("type", "string");
+  json::Value kinds = json::Value::array();
+  for (const RequestKind k :
+       {RequestKind::kRun, RequestKind::kCampaign, RequestKind::kStatus,
+        RequestKind::kMetrics, RequestKind::kShutdown}) {
+    kinds.push_back(std::string(request_kind_name(k)));
+  }
+  kind.set("enum", std::move(kinds));
+  props.set("kind", std::move(kind));
+
+  props.set("client", schema_type("string", "admission-accounting identity"));
+  props.set("stream", schema_type("boolean", "NDJSON progress frames"));
+  json::Value payload = json::Value::object();
+  payload.set("type", "object");
+  payload.set("description",
+              "RunSpec document (kind=run, see <version>/run-spec) or "
+              "campaign scenario document (kind=campaign)");
+  props.set("payload", std::move(payload));
+  props.set("retry_failed",
+            schema_type("boolean", "re-execute cached non-ok outcomes"));
+  s.set("properties", std::move(props));
+
+  json::Value required = json::Value::array();
+  required.push_back(std::string("proto"));
+  required.push_back(std::string("kind"));
+  s.set("required", std::move(required));
+  s.set("additionalProperties", false);
+  return s;
+}
+
+json::Value frame_schema_json() {
+  json::Value s = json::Value::object();
+  s.set("$id", std::string(kServeProto) + "/frame");
+  s.set("title", "stgsim serve response frame");
+  s.set("type", "object");
+
+  json::Value props = json::Value::object();
+  props.set("proto", schema_type("string", "wire protocol version"));
+  json::Value event = json::Value::object();
+  event.set("type", "string");
+  json::Value events = json::Value::array();
+  for (const char* e :
+       {"accepted", "calibrating", "run_done", "result", "error"}) {
+    events.push_back(std::string(e));
+  }
+  event.set("enum", std::move(events));
+  props.set("event", std::move(event));
+  json::Value error = json::Value::object();
+  error.set("type", "object");
+  error.set("description",
+            "structured-error envelope body (see stgsim-error-1), present "
+            "on event=error");
+  props.set("error", std::move(error));
+  s.set("properties", std::move(props));
+
+  json::Value required = json::Value::array();
+  required.push_back(std::string("event"));
+  required.push_back(std::string("proto"));
+  s.set("required", std::move(required));
+  // Frames grow additive per-event fields (result payloads, run_done
+  // progress counters) — deliberately open.
+  s.set("additionalProperties", true);
+  return s;
+}
+
+}  // namespace stgsim::serve

@@ -1,0 +1,76 @@
+// The serve daemon's versioned wire protocol ("stgsim-serve-1").
+//
+// A request is one JSON object:
+//
+//   {"proto": "stgsim-serve-1",          // required; unknown -> rejected
+//    "kind":  "run" | "campaign" | "status" | "metrics" | "shutdown",
+//    "client": "ci-warm",                // admission-accounting identity
+//    "stream": true,                     // NDJSON progress frames?
+//    "payload": {...}}                   // RunSpec / scenario document
+//
+// The payload reuses the *published* RunSpec / scenario schemas verbatim —
+// the daemon does not invent a second way to describe a run. Responses are
+// "frames": JSON objects with an "event" discriminator ("accepted",
+// "calibrating", "run_done", "result", "error"). A non-streaming exchange
+// returns exactly one frame (result or error); a streaming exchange
+// returns newline-delimited frames, close-terminated, ending with result
+// or error. Error frames embed the shared structured-error envelope
+// (support/errors.hpp) unchanged, so a daemon rejection and a CLI
+// --json-errors failure are byte-for-byte the same object.
+//
+// Versioning policy matches the RunSpec schema: additive fields may appear
+// within a proto version; anything shape-breaking bumps kServeProto, and a
+// request naming an unknown proto is rejected with a structured error
+// listing the supported set (never best-effort parsed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace stgsim::serve {
+
+inline constexpr const char kServeProto[] = "stgsim-serve-1";
+
+/// Protocol versions this daemon speaks, oldest first; the last entry is
+/// always kServeProto.
+const std::vector<std::string>& published_protos();
+bool proto_supported(const std::string& name);
+
+enum class RequestKind { kRun, kCampaign, kStatus, kMetrics, kShutdown };
+
+const char* request_kind_name(RequestKind k);
+
+struct Request {
+  RequestKind kind = RequestKind::kStatus;
+  /// Admission-accounting identity; defaults to "anon". Per-client
+  /// in-flight budgets are keyed by it.
+  std::string client = "anon";
+  /// Stream progress frames (NDJSON) instead of one result frame.
+  bool stream = false;
+  /// RunSpec document (kind=run) or scenario document (kind=campaign);
+  /// null otherwise. Optional request knobs ("retry_failed") ride beside
+  /// it in the envelope, not inside the payload.
+  json::Value payload;
+  /// kind=run/campaign: re-execute cached outcomes whose status != ok.
+  bool retry_failed = false;
+};
+
+/// Parses a request envelope. Throws errors::StructuredError for an
+/// unknown proto ("serve.unsupported_proto"), unknown kind, malformed
+/// envelope, or unknown envelope keys — payload validation happens later,
+/// at dispatch, so envelope errors are distinguishable from spec errors.
+Request request_from_json(const json::Value& doc);
+json::Value request_to_json(const Request& req);
+
+/// Frame builders. Every frame carries {"proto": kServeProto, "event": e}.
+json::Value frame(const std::string& event);
+json::Value error_frame(const json::Value& envelope);
+
+/// JSON Schemas for the request envelope and response frames, printed by
+/// `stgsim schema`. Ids: "stgsim-serve-1/request", "stgsim-serve-1/frame".
+json::Value request_schema_json();
+json::Value frame_schema_json();
+
+}  // namespace stgsim::serve

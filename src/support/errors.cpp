@@ -1,0 +1,120 @@
+#include "support/errors.hpp"
+
+#include <utility>
+
+namespace stgsim::errors {
+
+bool known_category(const std::string& category) {
+  return category == kCategoryUsage || category == kCategoryOutOfMemory ||
+         category == kCategoryDeadlock ||
+         category == kCategoryBudgetExceeded ||
+         category == kCategoryInternalError ||
+         category == kCategoryDivergence;
+}
+
+int category_exit_code(const std::string& category) {
+  if (category == kCategoryUsage) return 1;
+  if (category == kCategoryOutOfMemory) return 2;
+  if (category == kCategoryDeadlock) return 3;
+  if (category == kCategoryBudgetExceeded) return 4;
+  if (category == kCategoryInternalError) return 5;
+  if (category == kCategoryDivergence) return 6;
+  return 5;
+}
+
+StructuredError::StructuredError(std::string code, std::string category,
+                                 std::string message, json::Value detail)
+    : std::runtime_error(message),
+      code_(std::move(code)),
+      category_(std::move(category)),
+      detail_(std::move(detail)) {}
+
+json::Value error_envelope(const std::string& code,
+                           const std::string& category,
+                           const std::string& message,
+                           const json::Value& detail) {
+  json::Value err = json::Value::object();
+  err.set("api", json::Value(kErrorApi));
+  err.set("code", json::Value(code));
+  err.set("category",
+          json::Value(known_category(category) ? category
+                                               : std::string(
+                                                     kCategoryInternalError)));
+  err.set("message", json::Value(message));
+  if (!detail.is_null()) err.set("detail", detail);
+  json::Value doc = json::Value::object();
+  doc.set("error", std::move(err));
+  return doc;
+}
+
+json::Value error_envelope(const StructuredError& e) {
+  return error_envelope(e.code(), e.category(), e.what(), e.detail());
+}
+
+json::Value error_envelope_for(const std::exception& e,
+                               const std::string& fallback_code,
+                               const std::string& fallback_category) {
+  if (const auto* se = dynamic_cast<const StructuredError*>(&e)) {
+    return error_envelope(*se);
+  }
+  return error_envelope(fallback_code, fallback_category, e.what());
+}
+
+json::Value error_envelope_schema_json() {
+  const auto str_type = [] {
+    json::Value t = json::Value::object();
+    t.set("type", json::Value("string"));
+    return t;
+  };
+  json::Value categories = json::Value::array();
+  for (const char* c :
+       {kCategoryUsage, kCategoryOutOfMemory, kCategoryDeadlock,
+        kCategoryBudgetExceeded, kCategoryInternalError, kCategoryDivergence}) {
+    categories.push_back(json::Value(c));
+  }
+
+  json::Value props = json::Value::object();
+  json::Value api = str_type();
+  api.set("const", json::Value(kErrorApi));
+  props.set("api", api);
+  props.set("code", str_type());
+  json::Value category = str_type();
+  category.set("enum", categories);
+  props.set("category", category);
+  props.set("message", str_type());
+  json::Value detail = json::Value::object();
+  detail.set("description",
+             json::Value("free-form structured context, code-specific"));
+  props.set("detail", detail);
+
+  json::Value inner = json::Value::object();
+  inner.set("type", json::Value("object"));
+  inner.set("properties", props);
+  json::Value required = json::Value::array();
+  for (const char* k : {"api", "code", "category", "message"}) {
+    required.push_back(json::Value(k));
+  }
+  inner.set("required", required);
+  inner.set("additionalProperties", json::Value(false));
+
+  json::Value schema = json::Value::object();
+  schema.set("$id", json::Value(std::string(kErrorApi)));
+  schema.set("title", json::Value("stgsim structured-error envelope"));
+  schema.set("description",
+             json::Value("Shared byte-for-byte by daemon responses and every "
+                         "CLI subcommand under --json-errors; category maps "
+                         "to the CLI exit codes (usage=1, out_of_memory=2, "
+                         "deadlock=3, budget_exceeded=4, internal_error=5, "
+                         "divergence=6)."));
+  schema.set("type", json::Value("object"));
+  json::Value outer_props = json::Value::object();
+  outer_props.set("error", inner);
+  schema.set("properties", outer_props);
+  json::Value outer_required = json::Value::array();
+  outer_required.push_back(json::Value("error"));
+  schema.set("required", outer_required);
+  schema.set("additionalProperties", json::Value(false));
+  return schema;
+}
+
+}  // namespace stgsim::errors

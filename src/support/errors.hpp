@@ -1,0 +1,89 @@
+// One structured-error surface for every front end.
+//
+// Before this existed each failure path invented its own shape: the CLI
+// printed "error: <text>" and exited 1, the campaign runner stringified
+// exceptions into diagnostics, and a daemon would have had nothing
+// machine-readable to put on the wire at all. A StructuredError carries
+// what a program (or a remote client) needs to react: a stable `code`
+// ("usage.removed_flag", "serve.queue_full"), a `category` drawn from the
+// RunOutcome status taxonomy plus "usage", a human message, and optional
+// structured detail.
+//
+// The envelope is versioned (kErrorApi) and rendered by exactly one
+// function, so the daemon's wire responses and the CLI's --json-errors
+// output are byte-for-byte the same object:
+//
+//   {"error":{"api":"stgsim-error-1","category":"usage",
+//             "code":"usage.removed_flag","detail":{...},"message":"..."}}
+//
+// Categories map onto the CLI exit codes that predate the envelope
+// (category_exit_code), so scripts keyed on exit status keep working.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace stgsim::errors {
+
+/// Version tag of the error envelope. Bumped only when the envelope's
+/// *shape* changes; new codes and categories are additive.
+inline constexpr const char kErrorApi[] = "stgsim-error-1";
+
+/// Envelope categories: the RunOutcome status taxonomy plus "usage"
+/// (malformed requests, removed flags, unknown schema versions) and
+/// "divergence" (protocol-gate failures).
+inline constexpr const char kCategoryUsage[] = "usage";
+inline constexpr const char kCategoryOutOfMemory[] = "out_of_memory";
+inline constexpr const char kCategoryDeadlock[] = "deadlock";
+inline constexpr const char kCategoryBudgetExceeded[] = "budget_exceeded";
+inline constexpr const char kCategoryInternalError[] = "internal_error";
+inline constexpr const char kCategoryDivergence[] = "divergence";
+
+/// True for the category names above.
+bool known_category(const std::string& category);
+
+/// The CLI exit code a category maps to (usage→1, out_of_memory→2,
+/// deadlock→3, budget_exceeded→4, internal_error→5, divergence→6).
+/// Unknown categories map to internal_error's code.
+int category_exit_code(const std::string& category);
+
+/// An error with a machine-readable identity. `detail` is free-form
+/// structured context (e.g. {"replacement": "--workers"} for a removed
+/// flag, {"supported": [...]} for a version rejection).
+class StructuredError : public std::runtime_error {
+ public:
+  StructuredError(std::string code, std::string category, std::string message,
+                  json::Value detail = json::Value());
+
+  const std::string& code() const { return code_; }
+  const std::string& category() const { return category_; }
+  const json::Value& detail() const { return detail_; }
+
+ private:
+  std::string code_;
+  std::string category_;
+  json::Value detail_;
+};
+
+/// The canonical envelope document: {"error": {api, category, code,
+/// message[, detail]}}. Null detail is omitted. This is the ONLY place
+/// the envelope is assembled — the daemon and the CLI both call it.
+json::Value error_envelope(const std::string& code,
+                           const std::string& category,
+                           const std::string& message,
+                           const json::Value& detail = json::Value());
+json::Value error_envelope(const StructuredError& e);
+
+/// Wraps any exception: a StructuredError keeps its identity; everything
+/// else becomes (fallback_code, fallback_category, e.what()).
+json::Value error_envelope_for(const std::exception& e,
+                               const std::string& fallback_code,
+                               const std::string& fallback_category);
+
+/// JSON Schema for the envelope (published as "stgsim-error-1" by
+/// `stgsim schema`).
+json::Value error_envelope_schema_json();
+
+}  // namespace stgsim::errors

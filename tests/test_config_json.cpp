@@ -10,6 +10,7 @@
 #include "harness/digest.hpp"
 #include "harness/machines.hpp"
 #include "harness/runner.hpp"
+#include "support/errors.hpp"
 #include "support/json.hpp"
 
 namespace stgsim {
@@ -213,6 +214,59 @@ TEST(RunSpecJson, FaultPlanStringRoundTripsLossslessly) {
 // ---------------------------------------------------------------------------
 // RunOutcome serialization
 // ---------------------------------------------------------------------------
+
+TEST(RunSpecJson, EveryPublishedSchemaVersionRoundTrips) {
+  // A spec document may carry an explicit "schema" key naming any
+  // published version; parsing accepts it, and the canonical form (which
+  // omits the key) is identical across versions — the digest never
+  // depends on which accepted version the document claimed.
+  json::Value base = json::Value::parse(R"({
+    "app": "sample", "procs": 2, "mode": "de", "seed": 9,
+    "options": {"iters": "2", "work": "1000"}
+  })");
+  const harness::RunSpec plain = harness::run_spec_from_json(base);
+  const std::string canonical = harness::run_spec_to_json(plain).dump();
+  ASSERT_FALSE(harness::published_schema_versions().empty());
+  EXPECT_EQ(harness::published_schema_versions().back(),
+            harness::kSimulatorVersion);
+  for (const std::string& version : harness::published_schema_versions()) {
+    EXPECT_TRUE(harness::schema_version_supported(version)) << version;
+    json::Value doc = base;
+    doc.set("schema", version);
+    const harness::RunSpec spec = harness::run_spec_from_json(doc);
+    EXPECT_EQ(harness::run_spec_to_json(spec).dump(), canonical) << version;
+    EXPECT_EQ(harness::run_spec_digest_hex(spec),
+              harness::run_spec_digest_hex(plain))
+        << version;
+  }
+}
+
+TEST(RunSpecJson, UnknownSchemaVersionIsAStructuredRejection) {
+  json::Value doc = json::Value::parse(R"({
+    "schema": "stgsim-99", "app": "sample", "procs": 2, "mode": "de"
+  })");
+  try {
+    harness::run_spec_from_json(doc);
+    FAIL() << "unknown schema version must be rejected";
+  } catch (const errors::StructuredError& e) {
+    EXPECT_EQ(e.code(), "usage.unsupported_schema");
+    EXPECT_EQ(e.category(), errors::kCategoryUsage);
+    // The rejection lists what IS supported.
+    const auto& supported = e.detail().at("supported").as_array();
+    ASSERT_FALSE(supported.empty());
+    EXPECT_EQ(supported.back().as_string(), harness::kSimulatorVersion);
+  }
+  EXPECT_FALSE(harness::schema_version_supported("stgsim-99"));
+}
+
+TEST(RunSpecJson, PublishedJsonSchemasNameTheCurrentVersion) {
+  const json::Value spec_schema = harness::run_spec_schema_json();
+  EXPECT_EQ(spec_schema.at("$id").as_string(), "stgsim-8/run-spec");
+  EXPECT_TRUE(spec_schema.at("properties").has("max_host_sec"));
+  const json::Value outcome_schema = harness::run_outcome_schema_json();
+  EXPECT_EQ(outcome_schema.at("$id").as_string(), "stgsim-8/run-outcome");
+  EXPECT_TRUE(outcome_schema.at("properties").has("digest"));
+}
 
 TEST(OutcomeJson, RoundTripPreservesDigest) {
   harness::RunOutcome out;
